@@ -1,0 +1,93 @@
+"""Ablation — real pairing backend vs fast algebraic backend.
+
+Calibrates both backends (per-op timings) and runs the same CRSE-II query
+on each, demonstrating that (a) results agree and (b) the fast backend is
+the right substrate for paper-scale sweeps while the curve backend proves
+the cryptography end-to-end.  Also compares our measured pairing time with
+the paper's 0.44 ms PBC figure.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.report import TextTable
+from repro.cloud.costmodel import PAPER_EC2_MODEL, measure_calibration
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace, point_in_circle
+from repro.core.provision import provision_group
+
+SPACE = DataSpace(2, 8)
+
+
+def _backends():
+    rng = random.Random(0xBAC6)
+    fast = provision_group(SPACE.boundary_value_bound(), "fast", rng)
+    pairing = provision_group(
+        SPACE.boundary_value_bound(),
+        "pairing",
+        rng,
+        noise_bits=16,
+        min_payload_bits=33,
+    )
+    return fast, pairing
+
+
+def test_ablation_backend_calibration(write_result):
+    fast, pairing = _backends()
+    table = TextTable(
+        "Ablation — backend calibration (ms per operation)",
+        ["backend", "pairing ms", "exp ms", "mult ms"],
+    )
+    for group in (fast, pairing):
+        model = measure_calibration(group, repetitions=10)
+        table.add_row(
+            model.label,
+            round(model.pairing_ms, 4),
+            round(model.exponentiation_ms, 4),
+            round(model.multiplication_ms, 5),
+        )
+    table.add_row(
+        PAPER_EC2_MODEL.label,
+        PAPER_EC2_MODEL.pairing_ms,
+        PAPER_EC2_MODEL.exponentiation_ms,
+        PAPER_EC2_MODEL.multiplication_ms,
+    )
+    write_result("ablation_backends", table.render())
+
+
+def test_backends_agree_on_query_results():
+    fast, pairing = _backends()
+    query = Circle.from_radius((3, 3), 2)
+    outcomes = {}
+    for name, group in (("fast", fast), ("pairing", pairing)):
+        rng = random.Random(0xBAC7)
+        scheme = CRSE2Scheme(SPACE, group)
+        key = scheme.gen_key(rng)
+        token = scheme.gen_token(key, query, rng)
+        outcomes[name] = [
+            scheme.matches(token, scheme.encrypt(key, p, rng))
+            for p in ((3, 3), (3, 5), (5, 5), (7, 0))
+        ]
+    assert outcomes["fast"] == outcomes["pairing"]
+    assert outcomes["fast"] == [
+        point_in_circle(p, query) for p in ((3, 3), (3, 5), (5, 5), (7, 0))
+    ]
+
+
+def test_bench_real_pairing(benchmark):
+    _, pairing = _backends()
+    g = pairing.generator()
+    a = g ** 12345
+    b = g ** 67890
+    result = benchmark(pairing.pair, a, b)
+    assert not result.is_identity()
+
+
+def test_bench_fast_pairing(benchmark):
+    fast, _ = _backends()
+    g = fast.generator()
+    a = g ** 12345
+    b = g ** 67890
+    result = benchmark(fast.pair, a, b)
+    assert not result.is_identity()

@@ -1,0 +1,78 @@
+"""Ablation — higher dimensions w ∈ {2, 3, 4} (paper Sec. VI-D).
+
+The paper extends both schemes beyond the plane: at w = 3 Legendre's
+three-square theorem governs m, and at w >= 4 every integer in [0, R²] is a
+sum of squares (Lagrange), so m = R² + 1 exactly.  Costs per sub-token also
+grow (α = w + 2).  This ablation regenerates the m-growth and per-record
+cost across dimensions and checks CRSE-II correctness in 3-D and 4-D.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.opcount import crse2_search_record_ops
+from repro.analysis.report import TextTable
+from repro.cloud.costmodel import PAPER_EC2_MODEL
+from repro.core.concircles import num_concentric_circles
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace, point_in_circle
+from repro.core.provision import group_for_crse2
+
+RADIUS = 5
+
+
+def test_ablation_dimension_table(write_result):
+    table = TextTable(
+        f"Ablation — dimension sweep (R = {RADIUS})",
+        ["w", "alpha", "m", "R²+1", "worst-case search ms (model)"],
+    )
+    m_values = {}
+    for w in (2, 3, 4, 5):
+        m = num_concentric_circles(RADIUS * RADIUS, w)
+        m_values[w] = m
+        table.add_row(
+            w,
+            w + 2,
+            m,
+            RADIUS * RADIUS + 1,
+            round(PAPER_EC2_MODEL.time_ms(crse2_search_record_ops(m, w)), 1),
+        )
+    assert m_values[2] < m_values[3] <= m_values[4] == RADIUS * RADIUS + 1
+    assert m_values[5] == RADIUS * RADIUS + 1  # Lagrange
+    write_result("ablation_dimensions", table.render())
+
+
+def test_crse2_correct_in_3d():
+    rng = random.Random(0xD3)
+    space = DataSpace(3, 8)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    key = scheme.gen_key(rng)
+    q = Circle.from_radius((4, 4, 4), 2)
+    token = scheme.gen_token(key, q, rng)
+    for point in ((4, 4, 4), (4, 4, 6), (5, 5, 5), (7, 7, 7), (4, 5, 5)):
+        got = scheme.matches(token, scheme.encrypt(key, point, rng))
+        assert got == point_in_circle(point, q), point
+
+
+def test_crse2_correct_in_4d():
+    rng = random.Random(0xD4)
+    space = DataSpace(4, 6)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    key = scheme.gen_key(rng)
+    q = Circle.from_radius((3, 3, 3, 3), 2)
+    token = scheme.gen_token(key, q, rng)
+    assert token.num_sub_tokens == 5  # Lagrange: R² + 1 = 5
+    for point in ((3, 3, 3, 3), (3, 3, 3, 5), (5, 5, 3, 3), (0, 0, 0, 0)):
+        got = scheme.matches(token, scheme.encrypt(key, point, rng))
+        assert got == point_in_circle(point, q), point
+
+
+def test_bench_3d_search(benchmark):
+    rng = random.Random(0xD5)
+    space = DataSpace(3, 16)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    key = scheme.gen_key(rng)
+    token = scheme.gen_token(key, Circle.from_radius((8, 8, 8), 3), rng)
+    record = scheme.encrypt(key, (8, 8, 10), rng)
+    assert benchmark(scheme.matches, token, record) is True

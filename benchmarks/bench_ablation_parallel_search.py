@@ -1,0 +1,83 @@
+"""Ablation — parallel search across simulated EC2 instances.
+
+The paper closes its evaluation noting that "each encrypted data record …
+can be evaluated independently with a given search token, [so] performance
+can be further improved by using parallel computing with multiple instances
+of Amazon EC2".  This ablation partitions the encrypted dataset over k
+simulated instances and reports the modeled wall-clock (slowest partition),
+which scales as n/k.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.opcount import crse2_search_record_ops
+from repro.analysis.report import TextTable
+from repro.cloud.costmodel import PAPER_EC2_MODEL
+from repro.cloud.deployment import CloudDeployment
+from repro.cloud.messages import QueryRequest, SearchRequest
+from repro.core.concircles import num_concentric_circles
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace
+from repro.core.provision import group_for_crse2
+from repro.datasets.synthetic import uniform_points
+
+N_RECORDS = 600
+RADIUS = 3
+INSTANCES = (1, 2, 4, 8)
+
+
+def test_ablation_parallel(write_result):
+    rng = random.Random(0x9A12)
+    space = DataSpace(2, 128)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    deployment = CloudDeployment.create(scheme, rng=rng)
+    deployment.outsource(uniform_points(space, N_RECORDS, rng))
+    circle = Circle.from_radius((64, 64), RADIUS)
+    payload = deployment.owner.handle_query(QueryRequest(circle=circle)).payload
+    request = SearchRequest(payload=payload)
+
+    baseline = deployment.server.handle_search(request)
+    m = num_concentric_circles(RADIUS * RADIUS)
+    worst_record_ms = PAPER_EC2_MODEL.time_ms(crse2_search_record_ops(m, 2))
+
+    table = TextTable(
+        f"Ablation — parallel search, n = {N_RECORDS}, R = {RADIUS} (m = {m})",
+        [
+            "instances",
+            "measured wall ms",
+            "paper-scale wall s (worst case)",
+            "speedup vs 1",
+        ],
+    )
+    measured = []
+    for k in INSTANCES:
+        response, wall_ms = deployment.server.parallel_search(request, k)
+        assert sorted(response.identifiers) == sorted(baseline.identifiers)
+        measured.append(wall_ms)
+        # Paper-scale: ceil(n/k) records per instance, all worst case.
+        per_instance = -(-N_RECORDS // k)
+        table.add_row(
+            k,
+            round(wall_ms, 2),
+            round(per_instance * worst_record_ms / 1000, 2),
+            round(measured[0] / wall_ms, 2),
+        )
+    # Near-linear scaling: 8 instances at least 4x faster than 1.
+    assert measured[0] / measured[-1] > 4
+    write_result("ablation_parallel_search", table.render())
+
+
+def test_bench_parallel_search_4_instances(benchmark):
+    rng = random.Random(0x9A13)
+    space = DataSpace(2, 64)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    deployment = CloudDeployment.create(scheme, rng=rng)
+    deployment.outsource(uniform_points(space, 100, rng))
+    payload = deployment.owner.handle_query(
+        QueryRequest(circle=Circle.from_radius((32, 32), 2))
+    ).payload
+    request = SearchRequest(payload=payload)
+    response, _ = benchmark(deployment.server.parallel_search, request, 4)
+    assert response is not None

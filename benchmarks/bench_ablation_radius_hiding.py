@@ -1,0 +1,84 @@
+"""Ablation — the cost of radius hiding (Sec. VI-D, "Radius Privacy").
+
+Padding every CRSE-II token to K sub-tokens hides the radius pattern but
+charges every *non-matching* record K (instead of m) sub-token
+evaluations, and grows the token linearly in K.  This ablation sweeps K
+for an R = 3 query and reports token size, token generation time, and
+worst-case search cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.opcount import crse2_gen_token_ops, crse2_search_record_ops
+from repro.analysis.report import TextTable
+from repro.cloud.codec import encode_token
+from repro.cloud.costmodel import PAPER_EC2_MODEL
+from repro.core.concircles import num_concentric_circles
+from repro.core.geometry import Circle
+
+RADIUS = 3
+CENTER = (100, 100)
+PAD_LEVELS = (None, 10, 20, 40)
+
+
+def test_ablation_radius_hiding(crse2_env, write_result):
+    scheme, key, rng = crse2_env
+    m = num_concentric_circles(RADIUS * RADIUS)
+    circle = Circle.from_radius(CENTER, RADIUS)
+    miss_record = scheme.encrypt(key, (400, 400), rng)
+    hit_record = scheme.encrypt(key, (100, 102), rng)
+
+    table = TextTable(
+        f"Ablation — radius hiding via dummy sub-tokens (R = {RADIUS}, m = {m})",
+        [
+            "K",
+            "sub-tokens",
+            "token KB (measured)",
+            "token gen s (model)",
+            "miss search ms (model)",
+            "miss evals (measured)",
+        ],
+    )
+    miss_evals = []
+    for pad in PAD_LEVELS:
+        token = scheme.gen_token(key, circle, rng, hide_radius_to=pad)
+        k = token.num_sub_tokens
+        matched_miss, evals_miss = scheme.matches_with_stats(token, miss_record)
+        matched_hit, _ = scheme.matches_with_stats(token, hit_record)
+        assert not matched_miss and matched_hit
+        miss_evals.append(evals_miss)
+        table.add_row(
+            pad if pad is not None else "off",
+            k,
+            round(len(encode_token(scheme, token)) / 1000, 2),
+            round(PAPER_EC2_MODEL.time_s(crse2_gen_token_ops(k, 2)), 3),
+            round(
+                PAPER_EC2_MODEL.time_ms(crse2_search_record_ops(k, 2)), 1
+            ),
+            evals_miss,
+        )
+    # Non-matching records pay exactly K evaluations — the hiding tax.
+    assert miss_evals == [m, 10, 20, 40]
+    write_result("ablation_radius_hiding", table.render())
+
+
+def test_hidden_tokens_indistinguishable_by_count(crse2_env):
+    """With K fixed, tokens for different radii expose the same count —
+    the observable the radius pattern leaks through."""
+    scheme, key, rng = crse2_env
+    counts = set()
+    for radius in (1, 2, 3, 4):
+        token = scheme.gen_token(
+            key, Circle.from_radius(CENTER, radius), rng, hide_radius_to=25
+        )
+        counts.add(token.num_sub_tokens)
+    assert counts == {25}
+
+
+def test_bench_padded_token_generation(crse2_env, benchmark):
+    scheme, key, rng = crse2_env
+    circle = Circle.from_radius(CENTER, RADIUS)
+    token = benchmark(scheme.gen_token, key, circle, rng, 20)
+    assert token.num_sub_tokens == 20

@@ -1,0 +1,88 @@
+"""Ablation — the OPE rectangular baseline vs exact CRSE-II (paper Sec. II).
+
+Related work does circular search by querying the circle's bounding box
+over OPE-encrypted coordinates.  It is much faster (integer comparisons vs
+pairings) but (a) returns false positives — asymptotically 1 - π/4 ≈ 21.5%
+of the box on uniform data — and (b) leaks coordinate order to the server.
+This ablation measures both sides of the trade.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.analysis.report import TextTable
+from repro.baselines.rect_range import OPERectangularScheme
+from repro.core.geometry import Circle, DataSpace, point_in_circle
+from repro.datasets.synthetic import uniform_points
+
+SPACE = DataSpace(2, 256)
+CENTER = (128, 128)
+N_POINTS = 4000
+
+
+def test_ablation_false_positive_table(write_result):
+    rng = random.Random(0xFA15E)
+    points = uniform_points(SPACE, N_POINTS, rng)
+    scheme = OPERectangularScheme(SPACE, key=9)
+    table = TextTable(
+        "Ablation — rectangular (MBR over OPE) baseline vs exact circular",
+        [
+            "R",
+            "true matches",
+            "false positives",
+            "FP fraction",
+            "theory 1-pi/4",
+            "scan ms",
+        ],
+    )
+    fractions = []
+    records = scheme.encrypt_dataset(points)
+    for radius in (20, 40, 60, 80):
+        circle = Circle.from_radius(CENTER, radius)
+        token = scheme.gen_token(circle)
+        started = time.perf_counter()
+        candidates = scheme.server_search(token, records)
+        scan_ms = (time.perf_counter() - started) * 1000
+        true_pos = [i for i in candidates if point_in_circle(points[i], circle)]
+        false_pos = len(candidates) - len(true_pos)
+        fraction = false_pos / len(candidates) if candidates else 0.0
+        fractions.append(fraction)
+        table.add_row(
+            radius,
+            len(true_pos),
+            false_pos,
+            round(fraction, 3),
+            0.215,
+            round(scan_ms, 2),
+        )
+        # No false negatives ever: the MBR covers the circle.
+        expected = sum(1 for p in points if point_in_circle(p, circle))
+        assert len(true_pos) == expected
+    # Large circles approach the asymptotic corner fraction.
+    assert 0.12 < fractions[-1] < 0.30
+    write_result("ablation_rectangular_baseline", table.render())
+
+
+def test_crse2_is_exact_where_baseline_is_not(crse2_env):
+    scheme, key, rng = crse2_env
+    circle = Circle.from_radius((100, 100), 5)
+    corner = (104, 104)  # inside the MBR, outside the circle (d² = 32 > 25)
+    assert not point_in_circle(corner, circle)
+    token = scheme.gen_token(key, circle, rng)
+    assert scheme.matches(token, scheme.encrypt(key, corner, rng)) is False
+
+    rect = OPERectangularScheme(scheme.space, key=3)
+    records = rect.encrypt_dataset([corner])
+    assert rect.server_search(rect.gen_token(circle), records) == [0]
+
+
+def test_bench_ope_scan(benchmark):
+    rng = random.Random(0xFA16)
+    points = uniform_points(SPACE, 1000, rng)
+    scheme = OPERectangularScheme(SPACE, key=11)
+    records = scheme.encrypt_dataset(points)
+    token = scheme.gen_token(Circle.from_radius(CENTER, 40))
+    result = benchmark(scheme.server_search, token, records)
+    assert isinstance(result, list)

@@ -1,0 +1,82 @@
+"""Ablation — the faster-than-linear trade-off the paper declines (Sec. VI-D).
+
+An R-tree would make circular search sub-linear, but its non-leaf pruning
+test — "does this rectangle intersect the circle?" — has no encrypted
+counterpart in the paper's design, and running it in plaintext leaks the
+tree's intersection pattern.  This ablation quantifies both sides:
+
+* how many per-record evaluations the (hypothetical, leaky) R-tree saves
+  versus the paper's linear scan, at several radii and dataset sizes;
+* the modeled encrypted search time if only the *leaf* tests used CRSE-II
+  sub-tokens (worst case) while non-leaf pruning were done in the clear.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.opcount import crse2_search_record_ops
+from repro.analysis.report import TextTable
+from repro.baselines.rtree import RTree
+from repro.cloud.costmodel import PAPER_EC2_MODEL
+from repro.core.concircles import num_concentric_circles
+from repro.core.geometry import Circle
+from repro.datasets.synthetic import uniform_points
+from repro.core.geometry import DataSpace
+
+SPACE = DataSpace(2, 1024)
+CENTER = (512, 512)
+N_RECORDS = 5000
+
+
+def test_ablation_leaky_rtree(write_result):
+    rng = random.Random(0x47EE)
+    points = uniform_points(SPACE, N_RECORDS, rng)
+    tree = RTree(points, leaf_capacity=32)
+    table = TextTable(
+        f"Ablation — leaky R-tree pruning vs linear scan (n = {N_RECORDS})",
+        [
+            "R",
+            "m",
+            "linear tests",
+            "rtree tests",
+            "pruning factor",
+            "linear enc search s (model)",
+            "leaky enc search s (model)",
+        ],
+    )
+    factors = []
+    for radius in (5, 20, 80):
+        circle = Circle.from_radius(CENTER, radius)
+        results, stats = tree.range_query(circle)
+        m = num_concentric_circles(radius * radius)
+        worst_ms = PAPER_EC2_MODEL.time_ms(crse2_search_record_ops(m, 2))
+        factor = N_RECORDS / max(stats.points_tested, 1)
+        factors.append(factor)
+        table.add_row(
+            radius,
+            m,
+            N_RECORDS,
+            stats.points_tested,
+            round(factor, 1),
+            round(N_RECORDS * worst_ms / 1000, 2),
+            round(stats.points_tested * worst_ms / 1000, 2),
+        )
+        # Exactness is untouched: pruning never drops a true match.
+        brute = [p for p in points if
+                 (p[0] - CENTER[0]) ** 2 + (p[1] - CENTER[1]) ** 2
+                 <= circle.r_squared]
+        assert sorted(results) == sorted(brute)
+    # Small queries prune dramatically; the gain shrinks as R grows — the
+    # quantitative shape of the trade-off the paper discusses.
+    assert factors[0] > factors[-1]
+    assert factors[0] > 20
+    write_result("ablation_rtree_leaky", table.render())
+
+
+def test_bench_rtree_query(benchmark):
+    rng = random.Random(0x47EF)
+    tree = RTree(uniform_points(SPACE, 2000, rng), leaf_capacity=32)
+    circle = Circle.from_radius(CENTER, 20)
+    results, _ = benchmark(tree.range_query, circle)
+    assert isinstance(results, list)

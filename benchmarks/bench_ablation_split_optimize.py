@@ -1,0 +1,103 @@
+"""Ablation — naive vs optimized Split for CRSE-I.
+
+The paper remarks (under Eq. 5) that α "can be reduced by further
+simplifying polynomial P (e.g., the optimized value of α could be 10 …
+instead of 16)".  This ablation quantifies the remark: vector length, object
+size, and per-record search cost for both variants, and times the two
+splits end-to-end at R = 1 and R = 2.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.analysis.opcount import crse1_search_record_ops
+from repro.analysis.report import TextTable
+from repro.cloud.costmodel import PAPER_EC2_MODEL
+from repro.core.concircles import num_concentric_circles
+from repro.core.crse1 import CRSE1Scheme
+from repro.core.geometry import Circle, DataSpace
+from repro.core.provision import group_for_crse1
+from repro.core.split import naive_alpha, optimized_alpha, split_product
+from repro.crypto.serialize import ElementSizeModel
+
+SPACE = DataSpace(2, 64)
+
+
+def test_ablation_split_table(write_result):
+    model = ElementSizeModel.paper()
+    table = TextTable(
+        "Ablation — naive vs optimized Split (CRSE-I, w = 2)",
+        [
+            "R",
+            "m",
+            "alpha naive",
+            "alpha opt",
+            "size naive KB",
+            "size opt KB",
+            "search naive s",
+            "search opt s",
+        ],
+    )
+    for radius in (1, 2, 3, 4):
+        m = num_concentric_circles(radius * radius)
+        a_naive = naive_alpha(2, m)
+        a_opt = optimized_alpha(2, m)
+        table.add_row(
+            radius,
+            m,
+            a_naive,
+            a_opt,
+            round(model.ssw_object_bytes(a_naive) / 1000, 2),
+            round(model.ssw_object_bytes(a_opt) / 1000, 2),
+            round(PAPER_EC2_MODEL.time_s(crse1_search_record_ops(a_naive)), 3),
+            round(PAPER_EC2_MODEL.time_s(crse1_search_record_ops(a_opt)), 3),
+        )
+        assert a_opt < a_naive or m == 1
+    # The gap widens super-exponentially with m.
+    assert naive_alpha(2, 7) / optimized_alpha(2, 7) > 100
+    write_result("ablation_split_optimize", table.render())
+
+
+def test_both_variants_agree_functionally():
+    rng = random.Random(0xAB51)
+    results = {}
+    for optimize in (False, True):
+        scheme = CRSE1Scheme(
+            SPACE,
+            group_for_crse1(SPACE, 1, "fast", rng),
+            r_squared=1,
+            optimize_split=optimize,
+        )
+        key = scheme.gen_key(rng)
+        token = scheme.gen_token(key, Circle.from_radius((10, 10), 1), rng)
+        results[optimize] = [
+            scheme.matches(token, scheme.encrypt(key, p, rng))
+            for p in ((10, 10), (10, 11), (11, 11), (12, 10))
+        ]
+    assert results[False] == results[True] == [True, True, False, False]
+
+
+def test_optimized_split_is_measurably_cheaper():
+    rng = random.Random(0xAB52)
+    timings = {}
+    for optimize in (False, True):
+        scheme = CRSE1Scheme(
+            SPACE,
+            group_for_crse1(SPACE, 4, "fast", rng),
+            r_squared=4,
+            optimize_split=optimize,
+        )
+        key = scheme.gen_key(rng)
+        started = time.perf_counter()
+        for i in range(3):
+            scheme.encrypt(key, (20 + i, 20), rng)
+        timings[optimize] = time.perf_counter() - started
+    # α: 256 naive vs 35 optimized → clear speedup.
+    assert timings[True] < timings[False]
+
+
+def test_bench_split_product_construction(benchmark):
+    form = benchmark(split_product, 2, 4, True)
+    assert form.alpha == optimized_alpha(2, 4)

@@ -1,0 +1,87 @@
+"""Ablation — the rejected straightforward design, measured (paper Sec. III).
+
+Compute-then-compare with AHE and two non-colluding servers versus CRSE's
+one-round single-server search.  The paper rejects the former for its
+"heavy interactions" and trust assumption; this ablation counts them:
+interactions and ciphertext transfers grow linearly **per record**, while a
+CRSE-II query is one message regardless of n.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.analysis.report import TextTable
+from repro.baselines.strawman import StrawmanSystem
+from repro.cloud.deployment import CloudDeployment
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace, point_in_circle
+from repro.core.provision import group_for_crse2
+from repro.datasets.synthetic import uniform_points
+
+SPACE = DataSpace(2, 64)
+CIRCLE = Circle.from_radius((32, 32), 4)
+
+
+def test_ablation_strawman_vs_crse(write_result):
+    rng = random.Random(0x57AA)
+    table = TextTable(
+        "Ablation — two-server AHE strawman vs CRSE-II (query cost vs n)",
+        [
+            "n",
+            "strawman S1<->S2 interactions",
+            "strawman ciphertexts moved",
+            "strawman s",
+            "CRSE-II client msgs",
+            "CRSE-II s (fast)",
+        ],
+    )
+    interaction_counts = []
+    for n in (10, 30, 60):
+        points = uniform_points(SPACE, n, rng)
+
+        strawman = StrawmanSystem(SPACE, random.Random(n), modulus_bits=128)
+        strawman.outsource(points)
+        started = time.perf_counter()
+        straw_result = strawman.circular_search(CIRCLE)
+        straw_s = time.perf_counter() - started
+        interaction_counts.append(strawman.stats.interactions)
+
+        scheme = CRSE2Scheme(SPACE, group_for_crse2(SPACE, "fast", rng))
+        cloud = CloudDeployment.create(scheme, rng=rng)
+        cloud.outsource(points)
+        started = time.perf_counter()
+        crse_response = cloud.query(CIRCLE)
+        crse_s = time.perf_counter() - started
+
+        expected = sorted(
+            i for i, p in enumerate(points) if point_in_circle(p, CIRCLE)
+        )
+        assert straw_result == expected
+        assert sorted(crse_response.identifiers) == expected
+
+        table.add_row(
+            n,
+            strawman.stats.interactions,
+            strawman.stats.ciphertexts_transferred,
+            round(straw_s, 3),
+            1,  # one SearchRequest, whatever n is
+            round(crse_s, 3),
+        )
+    # The paper's point: interaction count is Ω(n) for the strawman.
+    assert interaction_counts[0] < interaction_counts[1] < interaction_counts[2]
+    assert interaction_counts[2] >= 3 * 60
+    write_result("ablation_strawman", table.render())
+
+
+def test_bench_strawman_record(benchmark):
+    rng = random.Random(0x57AB)
+    strawman = StrawmanSystem(SPACE, rng, modulus_bits=128)
+    strawman.outsource([(32, 33)])
+
+    def one_record_query():
+        return strawman.circular_search(CIRCLE)
+
+    result = benchmark(one_record_query)
+    assert result == [0]

@@ -1,0 +1,108 @@
+"""Ablation — mixed-trace throughput with verified replay.
+
+Drives the full deployment (owner, channels, server) through generated
+upload/query/delete traces while checking every query against a plaintext
+shadow, then fits the measured query cost against the live record count to
+confirm the linear-scan model end to end — not just in the isolated search
+microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.analysis.fit import linear_fit
+from repro.analysis.report import TextTable
+from repro.cloud.deployment import CloudDeployment
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace
+from repro.core.provision import group_for_crse2
+from repro.datasets.synthetic import uniform_points
+from repro.datasets.workload import QueryOp, UploadOp, generate_trace, replay
+
+SPACE = DataSpace(2, 64)
+
+
+def _fresh_deployment(seed: int) -> CloudDeployment:
+    rng = random.Random(seed)
+    scheme = CRSE2Scheme(SPACE, group_for_crse2(SPACE, "fast", rng))
+    return CloudDeployment.create(scheme, rng=rng)
+
+
+def test_ablation_trace_throughput(write_result):
+    table = TextTable(
+        "Ablation — verified mixed-trace replay (CRSE-II, fast backend)",
+        [
+            "ops",
+            "uploads",
+            "queries",
+            "deletes",
+            "matches",
+            "elapsed s",
+            "ops/s",
+        ],
+    )
+    for ops, seed in ((20, 1), (60, 2), (120, 3)):
+        deployment = _fresh_deployment(seed)
+        trace = generate_trace(SPACE, ops, random.Random(seed), max_radius=3)
+        report = replay(deployment, trace)
+        assert report.verified_queries == report.queries  # zero mismatches
+        table.add_row(
+            ops,
+            report.uploads,
+            report.queries,
+            report.deletes,
+            report.total_matches,
+            round(report.elapsed_s, 3),
+            round(ops / report.elapsed_s, 1),
+        )
+    write_result("ablation_workload", table.render())
+
+
+def test_query_cost_linear_in_live_records():
+    """End-to-end linearity: protocol query time vs records on the server."""
+    deployment = _fresh_deployment(7)
+    rng = random.Random(8)
+    sizes = []
+    times = []
+    query = QueryOp(circle=Circle.from_radius((32, 32), 2))
+    repetitions = 6
+    for _ in range(6):
+        deployment.outsource(uniform_points(SPACE, 80, rng))
+        # Take the best-of-repetitions per point to shed scheduler noise.
+        per_query = []
+        for _ in range(repetitions):
+            started = time.perf_counter()
+            deployment.query(query.circle)
+            per_query.append(time.perf_counter() - started)
+        times.append(min(per_query))
+        sizes.append(deployment.server.record_count)
+    fit = linear_fit(sizes, times)
+    assert fit.r_squared > 0.9
+    assert fit.slope > 0
+
+
+def test_bench_replay_50_ops(benchmark):
+    trace = generate_trace(SPACE, 50, random.Random(11), max_radius=2)
+
+    def run():
+        deployment = _fresh_deployment(12)
+        return replay(deployment, trace, verify=False)
+
+    report = benchmark(run)
+    assert report.queries > 0
+
+
+def test_bench_verified_query(benchmark):
+    deployment = _fresh_deployment(13)
+    replay(deployment, [UploadOp(points=tuple(uniform_points(SPACE, 50, random.Random(14))))])
+
+    def one_query():
+        return replay(
+            deployment,
+            [QueryOp(circle=Circle.from_radius((32, 32), 2))],
+        )
+
+    report = benchmark(one_query)
+    assert report.verified_queries == 1

@@ -1,0 +1,108 @@
+"""Extension — composite radial queries: annuli and unions of circles.
+
+Cost profile of the covering technique beyond single disks: an annulus
+query costs the *difference* of the two disks' coverings, and a union
+costs the (deduplicated) sum — all over unmodified CRSE-II keys and
+ciphertexts.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.analysis.opcount import crse2_search_record_ops
+from repro.analysis.report import TextTable
+from repro.cloud.costmodel import PAPER_EC2_MODEL
+from repro.core.composite import (
+    annulus_radii_squared,
+    gen_annulus_token,
+    gen_union_token,
+)
+from repro.core.concircles import num_concentric_circles
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace
+from repro.core.provision import group_for_crse2
+
+SPACE = DataSpace(2, 128)
+CENTER = (64, 64)
+
+
+def test_extension_annulus_table(write_result):
+    rng = random.Random(0xA44)
+    scheme = CRSE2Scheme(SPACE, group_for_crse2(SPACE, "fast", rng))
+    key = scheme.gen_key(rng)
+    table = TextTable(
+        "Extension — annulus queries (inner, outer] vs full disks",
+        [
+            "inner R",
+            "outer R",
+            "annulus m",
+            "disk m (outer)",
+            "saving",
+            "token gen s (measured)",
+            "worst search ms (model)",
+        ],
+    )
+    for inner, outer in ((2, 5), (5, 10), (10, 15)):
+        radii = annulus_radii_squared(inner * inner, outer * outer)
+        disk_m = num_concentric_circles(outer * outer)
+        started = time.perf_counter()
+        token = gen_annulus_token(
+            scheme, key, CENTER, inner * inner, outer * outer, rng
+        )
+        gen_s = time.perf_counter() - started
+        assert token.num_sub_tokens == len(radii)
+        table.add_row(
+            inner,
+            outer,
+            len(radii),
+            disk_m,
+            f"{disk_m - len(radii)} circles",
+            round(gen_s, 4),
+            round(
+                PAPER_EC2_MODEL.time_ms(
+                    crse2_search_record_ops(len(radii), 2)
+                ),
+                1,
+            ),
+        )
+        # The annulus always needs fewer circles than its outer disk.
+        assert len(radii) < disk_m
+    write_result("extension_annulus", table.render())
+
+
+def test_extension_union_dedup(write_result):
+    rng = random.Random(0xA45)
+    scheme = CRSE2Scheme(SPACE, group_for_crse2(SPACE, "fast", rng))
+    key = scheme.gen_key(rng)
+    m_single = num_concentric_circles(9)
+    table = TextTable(
+        "Extension — union-of-circles token sizes (R = 3 each)",
+        ["centers", "naive sum", "actual sub-tokens", "deduplicated"],
+    )
+    for centers in (
+        [(40, 40)],
+        [(40, 40), (80, 80)],
+        [(40, 40), (80, 80), (40, 40)],  # duplicate center
+    ):
+        circles = [Circle.from_radius(c, 3) for c in centers]
+        token = gen_union_token(scheme, key, circles, rng)
+        naive = m_single * len(circles)
+        table.add_row(
+            len(centers),
+            naive,
+            token.num_sub_tokens,
+            naive - token.num_sub_tokens,
+        )
+    write_result("extension_union", table.render())
+
+
+def test_bench_annulus_token(benchmark):
+    rng = random.Random(0xA46)
+    scheme = CRSE2Scheme(SPACE, group_for_crse2(SPACE, "fast", rng))
+    key = scheme.gen_key(rng)
+    token = benchmark(
+        gen_annulus_token, scheme, key, CENTER, 4, 25, rng
+    )
+    assert token.num_sub_tokens == len(annulus_radii_squared(4, 25))

@@ -1,0 +1,110 @@
+"""Extension — secure kNN (ASPE, ref. [22]) vs circular range search.
+
+The paper's Related Work argues the two primitives answer different
+questions and offer different security.  This bench makes the comparison
+concrete on one dataset: result semantics (fixed count vs fixed radius),
+per-query cost (rational dot products vs pairings), and the security gap
+(ASPE falls to a known-plaintext attack; SSW-based CRSE does not have a
+linear-algebra key to recover).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.analysis.opcount import crse2_search_record_ops
+from repro.analysis.report import TextTable
+from repro.baselines.aspe_knn import ASPEScheme, recover_key_known_plaintext
+from repro.cloud.costmodel import PAPER_EC2_MODEL
+from repro.core.concircles import num_concentric_circles
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace, distance_squared
+from repro.core.provision import group_for_crse2
+from repro.datasets.synthetic import uniform_points
+
+SPACE = DataSpace(2, 256)
+N_POINTS = 400
+QUERY_POINT = (128, 128)
+RADIUS = 10
+
+
+def test_extension_knn_vs_circular(write_result):
+    rng = random.Random(0x4A11)
+    points = uniform_points(SPACE, N_POINTS, rng)
+
+    # --- ASPE kNN ---
+    aspe = ASPEScheme(dimension=2)
+    aspe_key = aspe.gen_key(rng)
+    aspe_records = [
+        (i, aspe.encrypt_point(aspe_key, p)) for i, p in enumerate(points)
+    ]
+    token = aspe.encrypt_query(aspe_key, QUERY_POINT, rng)
+    started = time.perf_counter()
+    knn_ids = aspe.knn(token, aspe_records, k=10)
+    aspe_ms = (time.perf_counter() - started) * 1000
+
+    # --- CRSE-II circular range ---
+    crse = CRSE2Scheme(SPACE, group_for_crse2(SPACE, "fast", rng))
+    crse_key = crse.gen_key(rng)
+    crse_records = [crse.encrypt(crse_key, p, rng) for p in points]
+    circle = Circle.from_radius(QUERY_POINT, RADIUS)
+    circle_token = crse.gen_token(crse_key, circle, rng)
+    started = time.perf_counter()
+    range_ids = [
+        i for i, ct in enumerate(crse_records)
+        if crse.matches(circle_token, ct)
+    ]
+    crse_ms = (time.perf_counter() - started) * 1000
+
+    # Semantics: kNN always returns k; range returns whatever is inside.
+    assert len(knn_ids) == 10
+    in_radius = {
+        i for i, p in enumerate(points)
+        if distance_squared(p, QUERY_POINT) <= RADIUS * RADIUS
+    }
+    assert set(range_ids) == in_radius
+
+    m = num_concentric_circles(RADIUS * RADIUS)
+    paper_crse_ms = N_POINTS * PAPER_EC2_MODEL.time_ms(
+        crse2_search_record_ops(max(1, m // 2), 2)
+    )
+    table = TextTable(
+        "Extension — ASPE secure kNN vs CRSE-II circular range "
+        f"(n = {N_POINTS})",
+        ["primitive", "question", "results", "measured ms", "paper-scale ms"],
+    )
+    table.add_row(
+        "ASPE kNN (k=10)", "10 nearest", len(knn_ids), round(aspe_ms, 1), "n/a"
+    )
+    table.add_row(
+        f"CRSE-II (R={RADIUS})",
+        "all within R",
+        len(range_ids),
+        round(crse_ms, 1),
+        round(paper_crse_ms, 1),
+    )
+    write_result("extension_knn_comparison", table.render())
+
+
+def test_security_gap_known_plaintext():
+    """ASPE's key falls to d+1 known pairs; CRSE has no such algebra."""
+    rng = random.Random(0x4A12)
+    aspe = ASPEScheme(dimension=2)
+    key = aspe.gen_key(rng)
+    pairs = [
+        (p, aspe.encrypt_point(key, p)) for p in ((1, 0), (0, 1), (2, 5))
+    ]
+    recovered = recover_key_known_plaintext(aspe, pairs)
+    assert tuple(tuple(r) for r in recovered) == key.matrix_t
+
+
+def test_bench_aspe_knn_query(benchmark):
+    rng = random.Random(0x4A13)
+    points = uniform_points(SPACE, 200, rng)
+    aspe = ASPEScheme(dimension=2)
+    key = aspe.gen_key(rng)
+    records = [(i, aspe.encrypt_point(key, p)) for i, p in enumerate(points)]
+    token = aspe.encrypt_query(key, QUERY_POINT, rng)
+    result = benchmark(aspe.knn, token, records, 5)
+    assert len(result) == 5

@@ -1,0 +1,101 @@
+"""Extension — simplex (triangle) range search, the paper's future work.
+
+Cost profile of the lattice-point-covering construction: token size and
+search cost scale with the number of lattice points in the simplex (its
+area takes the role R² plays for circles).  Compares triangles of growing
+size against circles of comparable coverage.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.analysis.opcount import crse2_search_record_ops
+from repro.analysis.report import TextTable
+from repro.cloud.costmodel import PAPER_EC2_MODEL
+from repro.core.concircles import num_concentric_circles
+from repro.core.geometry import DataSpace
+from repro.core.provision import group_for_crse2
+from repro.core.simplex import Simplex, SimplexRangeScheme
+
+SPACE = DataSpace(2, 128)
+
+
+def _right_triangle(leg: int) -> Simplex:
+    return Simplex(((40, 40), (40 + leg, 40), (40, 40 + leg)))
+
+
+def test_extension_simplex_table(write_result):
+    rng = random.Random(0x731A)
+    scheme = SimplexRangeScheme(SPACE, group_for_crse2(SPACE, "fast", rng))
+    key = scheme.gen_key(rng)
+    table = TextTable(
+        "Extension — simplex range search (right triangles, leg sweep)",
+        [
+            "leg",
+            "lattice points",
+            "circle-equivalent m (same count)",
+            "token gen s (measured)",
+            "worst search ms (model)",
+        ],
+    )
+    counts = []
+    for leg in (2, 4, 8, 12):
+        triangle = _right_triangle(leg)
+        points = triangle.lattice_points()
+        counts.append(len(points))
+        started = time.perf_counter()
+        token = scheme.gen_simplex_token(key, triangle, rng)
+        gen_s = time.perf_counter() - started
+        assert token.num_sub_tokens == len(points)
+        # The comparable circle: the radius whose m matches the point count.
+        radius = 1
+        while num_concentric_circles(radius * radius) < len(points):
+            radius += 1
+        table.add_row(
+            leg,
+            len(points),
+            f"m(R={radius}) = {num_concentric_circles(radius * radius)}",
+            round(gen_s, 4),
+            round(
+                PAPER_EC2_MODEL.time_ms(
+                    crse2_search_record_ops(len(points), 2)
+                ),
+                1,
+            ),
+        )
+    # Quadratic growth in the leg (area): leg 12 vs leg 2 is ≈ (13·14)/(3·4).
+    assert counts[-1] / counts[0] > 10
+    # Triangular numbers: (leg+1)(leg+2)/2 lattice points.
+    assert counts == [(l + 1) * (l + 2) // 2 for l in (2, 4, 8, 12)]
+    write_result("extension_simplex", table.render())
+
+
+def test_simplex_and_circle_share_dataset(write_result):
+    rng = random.Random(0x731B)
+    scheme = SimplexRangeScheme(SPACE, group_for_crse2(SPACE, "fast", rng))
+    key = scheme.gen_key(rng)
+    from repro.core.geometry import Circle
+
+    records = {
+        p: scheme.encrypt(key, p, rng)
+        for p in ((41, 41), (50, 50), (42, 40), (70, 70))
+    }
+    tri_token = scheme.gen_simplex_token(key, _right_triangle(4), rng)
+    circle_token = scheme.gen_token(key, Circle.from_radius((41, 41), 2), rng)
+    tri_hits = {p for p, ct in records.items() if scheme.matches(tri_token, ct)}
+    circle_hits = {
+        p for p, ct in records.items() if scheme.matches(circle_token, ct)
+    }
+    assert tri_hits == {(41, 41), (42, 40)}
+    assert circle_hits == {(41, 41), (42, 40)}
+
+
+def test_bench_simplex_token_generation(benchmark):
+    rng = random.Random(0x731C)
+    scheme = SimplexRangeScheme(SPACE, group_for_crse2(SPACE, "fast", rng))
+    key = scheme.gen_key(rng)
+    triangle = _right_triangle(4)
+    token = benchmark(scheme.gen_simplex_token, key, triangle, rng)
+    assert token.num_sub_tokens == 15

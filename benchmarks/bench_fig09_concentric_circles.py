@@ -1,0 +1,42 @@
+"""Fig. 9 — the number of concentric circles m vs the query radius R.
+
+Paper: m grows with R but stays well below the R² upper bound (the
+sum-of-two-squares density).  This bench regenerates the exact curve —
+``GenConCircle`` is deterministic, so our values *are* the paper's values —
+and times the enumeration itself.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Series, format_series_block, series_to_csv
+from repro.core.concircles import gen_con_circle, num_concentric_circles
+
+RADII = range(1, 51)
+
+
+def test_fig09_series(write_result, write_csv):
+    m_series = Series("m (w=2)")
+    square = Series("R^2")
+    for radius in RADII:
+        m_series.add(radius, num_concentric_circles(radius * radius))
+        square.add(radius, radius * radius)
+    # Shape assertions: monotone, below the square, matching the anchors
+    # the paper's other figures imply.
+    assert all(a < b for a, b in zip(m_series.y, m_series.y[1:]))
+    assert all(m <= r * r + 1 for r, m in zip(RADII, m_series.y))
+    assert m_series.y[0] == 2  # R = 1
+    assert m_series.y[9] == 44  # R = 10
+    write_result(
+        "fig09_concentric_circles",
+        format_series_block(
+            "Fig. 9 — number of concentric circles m vs radius R (w = 2)",
+            [m_series, square],
+        ),
+    )
+    write_csv("fig09_concentric_circles", series_to_csv([m_series, square]))
+
+
+def test_bench_gen_con_circle_r50(benchmark):
+    """Time GenConCircle at the paper's largest radius (R = 50)."""
+    result = benchmark(gen_con_circle, 2500)
+    assert result[0] == 0 and result[-1] == 2500

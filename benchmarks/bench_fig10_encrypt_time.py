@@ -1,0 +1,54 @@
+"""Fig. 10 — CRSE-II encryption time per record vs query radius R.
+
+Paper: encryption is **independent of R** (flat line at ≈5.61 ms on EC2),
+because a CRSE-II ciphertext is one SSW encryption at α = w + 2 no matter
+what queries will later be asked.  We verify the flatness by construction
+(the operation count never mentions R), measure our backend, and print the
+paper-scale line.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.opcount import crse2_encrypt_ops
+from repro.analysis.report import Series, format_series_block, series_to_csv
+from repro.cloud.costmodel import PAPER_EC2_MODEL
+
+RADII = (10, 20, 30, 40, 50)
+
+
+def _measure_encrypt_ms(scheme, key, rng, repetitions: int = 30) -> float:
+    started = time.perf_counter()
+    for i in range(repetitions):
+        scheme.encrypt(key, (100 + i, 200), rng)
+    return (time.perf_counter() - started) * 1000.0 / repetitions
+
+
+def test_fig10_series(crse2_env, write_result, write_csv):
+    scheme, key, rng = crse2_env
+    measured = Series("measured ms (fast backend)")
+    paper = Series("paper-scale ms (EC2 model)")
+    paper_ms = PAPER_EC2_MODEL.time_ms(crse2_encrypt_ops(w=2))
+    for radius in RADII:
+        # The encryption code path cannot depend on the radius; re-measuring
+        # per R documents the flat line the paper plots.
+        measured.add(radius, round(_measure_encrypt_ms(scheme, key, rng), 4))
+        paper.add(radius, round(paper_ms, 2))
+    # Flatness: max/min within noise (2x guard for CI jitter).
+    assert max(measured.y) <= 2.5 * min(measured.y)
+    # Paper-scale value matches Fig. 10's ≈5.61 ms.
+    assert abs(paper_ms - 5.61) / 5.61 < 0.2
+    write_result(
+        "fig10_encrypt_time",
+        format_series_block(
+            "Fig. 10 — CRSE-II encryption time per record vs R (flat)",
+            [measured, paper],
+        ),
+    )
+    write_csv("fig10_encrypt_time", series_to_csv([measured, paper]))
+
+
+def test_bench_crse2_encrypt(crse2_env, benchmark):
+    scheme, key, rng = crse2_env
+    benchmark(scheme.encrypt, key, (123, 321), rng)

@@ -1,0 +1,59 @@
+"""Fig. 11 — CRSE-II token generation time per query vs radius R.
+
+Paper: grows with the square of R (one sub-token per concentric circle,
+m = O(R²)), reaching ≈5.6 s at R = 50 on EC2.  We measure the sweep on the
+fast backend and print the paper-scale curve from the operation counts.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.opcount import crse2_gen_token_ops
+from repro.analysis.report import Series, format_series_block, series_to_csv
+from repro.cloud.costmodel import PAPER_EC2_MODEL
+from repro.core.concircles import num_concentric_circles
+from repro.core.geometry import Circle
+
+RADII = (10, 20, 30, 40, 50)
+CENTER = (256, 256)
+
+
+def test_fig11_series(crse2_env, write_result, write_csv):
+    scheme, key, rng = crse2_env
+    measured = Series("measured s (fast backend)")
+    paper = Series("paper-scale s (EC2 model)")
+    m_values = []
+    for radius in RADII:
+        circle = Circle.from_radius(CENTER, radius)
+        started = time.perf_counter()
+        token = scheme.gen_token(key, circle, rng)
+        measured.add(radius, round(time.perf_counter() - started, 4))
+        m = num_concentric_circles(radius * radius)
+        m_values.append(m)
+        assert token.num_sub_tokens == m
+        paper.add(
+            radius,
+            round(PAPER_EC2_MODEL.time_s(crse2_gen_token_ops(m, w=2)), 3),
+        )
+    # Shape: strictly increasing, superlinear in R (quadratic in m).
+    assert all(a < b for a, b in zip(measured.y, measured.y[1:]))
+    assert paper.y[-1] / paper.y[0] > 10  # R 10→50 grows ≥ m-ratio ≈ 15x
+    # Anchor: paper reports 329.47 ms at R = 10.
+    assert abs(paper.y[0] - 0.329) / 0.329 < 0.2
+    write_result(
+        "fig11_token_time",
+        format_series_block(
+            "Fig. 11 — CRSE-II token generation time per query vs R "
+            f"(m = {m_values})",
+            [measured, paper],
+        ),
+    )
+    write_csv("fig11_token_time", series_to_csv([measured, paper]))
+
+
+def test_bench_crse2_gen_token_r10(crse2_env, benchmark):
+    scheme, key, rng = crse2_env
+    circle = Circle.from_radius(CENTER, 10)
+    token = benchmark(scheme.gen_token, key, circle, rng)
+    assert token.num_sub_tokens == 44

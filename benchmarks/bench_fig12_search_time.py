@@ -1,0 +1,90 @@
+"""Fig. 12 — CRSE-II search time per record vs radius R (average case).
+
+Paper: ≈98.65 ms at R = 10, growing with R² — "in average case" a matching
+record is found after m/2 sub-token evaluations (the permuted sub-tokens
+make the hit position uniform).  We reproduce the average case empirically:
+encrypt records uniformly distributed *inside* the query (the paper's
+matching-record average), record how many sub-tokens were actually
+evaluated, and convert both to measured and paper-scale time.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.analysis.opcount import crse2_search_record_ops
+from repro.analysis.report import Series, format_series_block, series_to_csv
+from repro.cloud.costmodel import PAPER_EC2_MODEL
+from repro.core.geometry import Circle
+
+RADII = (10, 20, 30, 40)
+CENTER = (256, 256)
+
+
+def _matching_points(scheme, circle, count, rng):
+    pts = []
+    radius = int(circle.r_squared**0.5)
+    while len(pts) < count:
+        x = CENTER[0] + rng.randint(-radius, radius)
+        y = CENTER[1] + rng.randint(-radius, radius)
+        if (x - CENTER[0]) ** 2 + (y - CENTER[1]) ** 2 <= circle.r_squared:
+            pts.append((x, y))
+    return pts
+
+
+def test_fig12_series(crse2_env, write_result, write_csv):
+    scheme, key, rng = crse2_env
+    measured = Series("measured ms/record (fast)")
+    paper = Series("paper-scale ms/record")
+    avg_fraction = Series("avg evaluated / m")
+    for radius in RADII:
+        circle = Circle.from_radius(CENTER, radius)
+        token = scheme.gen_token(key, circle, rng)
+        points = _matching_points(scheme, circle, 12, rng)
+        records = [scheme.encrypt(key, p, rng) for p in points]
+        evaluated_total = 0
+        started = time.perf_counter()
+        for record in records:
+            matched, evaluated = scheme.matches_with_stats(token, record)
+            assert matched
+            evaluated_total += evaluated
+        elapsed_ms = (time.perf_counter() - started) * 1000 / len(records)
+        avg_evaluated = evaluated_total / len(records)
+        measured.add(radius, round(elapsed_ms, 4))
+        paper.add(
+            radius,
+            round(
+                PAPER_EC2_MODEL.time_ms(
+                    crse2_search_record_ops(round(avg_evaluated), w=2)
+                ),
+                2,
+            ),
+        )
+        avg_fraction.add(radius, round(avg_evaluated / token.num_sub_tokens, 3))
+    # Average case: hits land near m/2 thanks to the fresh permutation.
+    assert all(0.2 <= f <= 0.8 for f in avg_fraction.y)
+    # Growth: quadratic-ish in R.
+    assert paper.y[-1] > 5 * paper.y[0]
+    # Anchor: ≈98.65 ms at R = 10 (wide tolerance: 12-sample average).
+    assert 40 <= paper.y[0] <= 160
+    write_result(
+        "fig12_search_time",
+        format_series_block(
+            "Fig. 12 — CRSE-II search time per record vs R (average case)",
+            [measured, paper, avg_fraction],
+        ),
+    )
+    write_csv("fig12_search_time", series_to_csv([measured, paper, avg_fraction]))
+
+
+def test_bench_crse2_search_record_r10(crse2_env, benchmark):
+    scheme, key, rng = crse2_env
+    circle = Circle.from_radius(CENTER, 10)
+    token = scheme.gen_token(key, circle, rng)
+    record = scheme.encrypt(key, (259, 259), rng)
+
+    def search_once():
+        return scheme.matches(token, record)
+
+    assert benchmark(search_once) is True

@@ -1,0 +1,46 @@
+"""Fig. 13 — CRSE-II ciphertext size vs radius R.
+
+Paper: flat at 640 bytes (10 group elements × 64 B at the 512-bit field),
+independent of R.  We reproduce both the paper-scale constant and our
+backend's measured wire size.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Series, format_series_block, series_to_csv
+from repro.cloud.codec import encode_ciphertext
+from repro.crypto.serialize import ElementSizeModel
+
+RADII = (10, 20, 30, 40, 50)
+
+
+def test_fig13_series(crse2_env, write_result, write_csv):
+    scheme, key, rng = crse2_env
+    paper_model = ElementSizeModel.paper()
+    measured_model = ElementSizeModel.for_group(scheme.group)
+    measured = Series("measured bytes (fast backend)")
+    paper = Series("paper-scale bytes (512-bit field)")
+    for radius in RADII:
+        wire = len(encode_ciphertext(scheme, scheme.encrypt(key, (7, 7), rng)))
+        measured.add(radius, wire)
+        paper.add(radius, paper_model.crse2_ciphertext_bytes(w=2))
+    # Flat, and exactly the paper's 640 B at the paper's field size.
+    assert len(set(measured.y)) == 1
+    assert set(paper.y) == {640}
+    # The measured wire size matches the size model plus the count prefix.
+    assert measured.y[0] == measured_model.crse2_ciphertext_bytes(w=2) + 2
+    write_result(
+        "fig13_ciphertext_size",
+        format_series_block(
+            "Fig. 13 — CRSE-II ciphertext size vs R (radius-independent)",
+            [measured, paper],
+        ),
+    )
+    write_csv("fig13_ciphertext_size", series_to_csv([measured, paper]))
+
+
+def test_bench_encode_ciphertext(crse2_env, benchmark):
+    scheme, key, rng = crse2_env
+    ciphertext = scheme.encrypt(key, (5, 9), rng)
+    data = benchmark(encode_ciphertext, scheme, ciphertext)
+    assert len(data) > 0

@@ -1,0 +1,49 @@
+"""Fig. 14 — CRSE-II search token size vs radius R.
+
+Paper: grows with R² (one 640 B sub-token per concentric circle); 28.16 KB
+at R = 10.  Reproduced exactly by the size model and measured on the wire.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Series, format_series_block, series_to_csv
+from repro.cloud.codec import encode_token
+from repro.core.concircles import num_concentric_circles
+from repro.core.geometry import Circle
+from repro.crypto.serialize import ElementSizeModel
+
+RADII = (10, 20, 30, 40, 50)
+CENTER = (256, 256)
+
+
+def test_fig14_series(crse2_env, write_result, write_csv):
+    scheme, key, rng = crse2_env
+    paper_model = ElementSizeModel.paper()
+    measured = Series("measured KB (fast backend)")
+    paper = Series("paper-scale KB (512-bit field)")
+    for radius in RADII:
+        token = scheme.gen_token(key, Circle.from_radius(CENTER, radius), rng)
+        m = num_concentric_circles(radius * radius)
+        wire_kb = len(encode_token(scheme, token)) / 1000
+        measured.add(radius, round(wire_kb, 2))
+        paper.add(radius, round(paper_model.crse2_token_bytes(m) / 1000, 2))
+    # Anchor: the paper's 28.16 KB at R = 10, exactly.
+    assert paper.y[0] == 28.16
+    # Growth ∝ m ∝ R²: R 10 → 50 multiplies m by ≈15.5.
+    assert 10 < paper.y[-1] / paper.y[0] < 25
+    assert all(a < b for a, b in zip(measured.y, measured.y[1:]))
+    write_result(
+        "fig14_token_size",
+        format_series_block(
+            "Fig. 14 — CRSE-II search token size vs R",
+            [measured, paper],
+        ),
+    )
+    write_csv("fig14_token_size", series_to_csv([measured, paper]))
+
+
+def test_bench_encode_token_r10(crse2_env, benchmark):
+    scheme, key, rng = crse2_env
+    token = scheme.gen_token(key, Circle.from_radius(CENTER, 10), rng)
+    data = benchmark(encode_token, scheme, token)
+    assert len(data) > 0

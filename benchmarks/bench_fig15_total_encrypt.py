@@ -1,0 +1,58 @@
+"""Fig. 15 — CRSE-II total encryption time vs dataset size n.
+
+Paper: linear in n (records encrypt independently), ≈11 s at n = 2000 on
+EC2.  We sweep n on the fast backend, check linearity, and print the
+paper-scale line (n × 5.61 ms).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.analysis.opcount import crse2_encrypt_ops
+from repro.analysis.report import Series, format_series_block, series_to_csv
+from repro.cloud.costmodel import PAPER_EC2_MODEL
+from repro.datasets.synthetic import uniform_points
+
+SIZES = (500, 1000, 1500, 2000)
+
+
+def test_fig15_series(crse2_env, write_result, write_csv):
+    scheme, key, _ = crse2_env
+    rng = random.Random(15)
+    measured = Series("measured s (fast backend)")
+    paper = Series("paper-scale s (EC2 model)")
+    per_record_ops = crse2_encrypt_ops(w=2)
+    for n in SIZES:
+        points = uniform_points(scheme.space, n, rng)
+        started = time.perf_counter()
+        for point in points:
+            scheme.encrypt(key, point, rng)
+        measured.add(n, round(time.perf_counter() - started, 4))
+        paper.add(n, round(n * PAPER_EC2_MODEL.time_s(per_record_ops), 2))
+    # Linearity: doubling n doubles time (25% tolerance for jitter).
+    ratio = measured.y[-1] / measured.y[0]
+    assert 2.8 <= ratio <= 5.5  # ideal 4.0 for 500 → 2000
+    # Paper anchor: ≈11.2 s at n = 2000.
+    assert abs(paper.y[-1] - 11.22) / 11.22 < 0.2
+    write_result(
+        "fig15_total_encrypt",
+        format_series_block(
+            "Fig. 15 — CRSE-II total encryption time vs n (linear)",
+            [measured, paper],
+        ),
+    )
+    write_csv("fig15_total_encrypt", series_to_csv([measured, paper]))
+
+
+def test_bench_encrypt_batch_100(crse2_env, benchmark):
+    scheme, key, _ = crse2_env
+    rng = random.Random(16)
+    points = uniform_points(scheme.space, 100, rng)
+
+    def encrypt_all():
+        for point in points:
+            scheme.encrypt(key, point, rng)
+
+    benchmark(encrypt_all)

@@ -1,0 +1,88 @@
+"""Fig. 16 — CRSE-II total search time vs dataset size n, for R ∈ {1, 5, 10}.
+
+Paper: linear in n for every radius, with the slope set by m(R): at
+n = 1000, 4.44 s for R = 1 vs 98.65 s for R = 10.  We run honest searches
+(mixed hit/miss datasets — misses pay all m sub-tokens) on the fast
+backend across the sweep, and print the paper-scale average-case line.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.analysis.opcount import crse2_search_record_ops
+from repro.analysis.report import Series, format_series_block, series_to_csv
+from repro.cloud.costmodel import PAPER_EC2_MODEL
+from repro.core.concircles import num_concentric_circles
+from repro.core.geometry import Circle
+from repro.datasets.synthetic import uniform_points
+
+SIZES = (500, 1000, 2000)
+RADII = (1, 5, 10)
+CENTER = (256, 256)
+
+
+def test_fig16_series(crse2_env, write_result, write_csv):
+    scheme, key, _ = crse2_env
+    rng = random.Random(17)
+    max_n = max(SIZES)
+    points = uniform_points(scheme.space, max_n, rng)
+    records = [scheme.encrypt(key, p, rng) for p in points]
+
+    measured_series = []
+    paper_series = []
+    for radius in RADII:
+        token = scheme.gen_token(key, Circle.from_radius(CENTER, radius), rng)
+        m = num_concentric_circles(radius * radius)
+        measured = Series(f"measured s R={radius}")
+        paper = Series(f"paper-scale s R={radius}")
+        for n in SIZES:
+            started = time.perf_counter()
+            for record in records[:n]:
+                scheme.matches(token, record)
+            measured.add(n, round(time.perf_counter() - started, 3))
+            # Paper's average case: m/2 sub-token evaluations per record.
+            per_record = PAPER_EC2_MODEL.time_s(
+                crse2_search_record_ops(max(1, m // 2), w=2)
+            )
+            paper.add(n, round(n * per_record, 2))
+        measured_series.append(measured)
+        paper_series.append(paper)
+
+    # Linear in n for each radius.
+    for series in measured_series:
+        assert 2.4 <= series.y[-1] / series.y[0] <= 6.5  # ideal 4x
+    # Slope ordering: larger radius costs more at every n.
+    for i in range(len(SIZES)):
+        assert (
+            measured_series[0].y[i]
+            < measured_series[1].y[i]
+            < measured_series[2].y[i]
+        )
+    # Paper anchors at n = 1000: 4.44 s (R=1) and 98.65 s (R=10).
+    assert abs(paper_series[0].y[1] - 4.44) / 4.44 < 0.15
+    assert abs(paper_series[2].y[1] - 98.65) / 98.65 < 0.15
+    write_result(
+        "fig16_total_search",
+        format_series_block(
+            "Fig. 16 — CRSE-II total search time vs n (x = n)",
+            measured_series + paper_series,
+        ),
+    )
+    write_csv("fig16_total_search", series_to_csv(measured_series + paper_series))
+
+
+def test_bench_search_100_records_r5(crse2_env, benchmark):
+    scheme, key, _ = crse2_env
+    rng = random.Random(18)
+    records = [
+        scheme.encrypt(key, p, rng)
+        for p in uniform_points(scheme.space, 100, rng)
+    ]
+    token = scheme.gen_token(key, Circle.from_radius(CENTER, 5), rng)
+
+    def scan():
+        return sum(scheme.matches(token, r) for r in records)
+
+    benchmark(scan)

@@ -1,0 +1,54 @@
+"""Summary — collate every regenerated table/figure into one overview.
+
+Runs last (the ``zz`` prefix orders it after the other bench modules) and
+stitches ``benchmarks/results/*.txt`` into ``results/SUMMARY.txt``, giving
+a single artifact to diff against the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import TextTable
+
+# The experiments a complete run must have produced.
+EXPECTED = [
+    "fig09_concentric_circles",
+    "fig10_encrypt_time",
+    "fig11_token_time",
+    "fig12_search_time",
+    "fig13_ciphertext_size",
+    "fig14_token_size",
+    "fig15_total_encrypt",
+    "fig16_total_search",
+    "table1_crse1_time",
+    "table2_crse1_size",
+    "table3_accuracy_tradeoff",
+]
+
+
+def test_zz_collate_summary(results_dir, write_result):
+    produced = sorted(
+        p.stem for p in results_dir.glob("*.txt") if p.stem != "SUMMARY"
+    )
+    missing = [name for name in EXPECTED if name not in produced]
+    # Tolerate partial runs (someone benchmarking one file), but flag them.
+    coverage = TextTable(
+        "Reproduction coverage",
+        ["kind", "count"],
+    )
+    coverage.add_row("paper tables/figures produced", len(
+        [n for n in produced if n.startswith(("fig", "table"))]
+    ))
+    coverage.add_row("ablations/extensions produced", len(
+        [n for n in produced if n.startswith(("ablation", "extension"))]
+    ))
+    coverage.add_row("missing paper experiments", len(missing))
+
+    sections = [coverage.render()]
+    if missing:
+        sections.append("missing: " + ", ".join(missing))
+    for name in produced:
+        sections.append((results_dir / f"{name}.txt").read_text().rstrip())
+    write_result("SUMMARY", "\n\n".join(sections))
+    # When the full suite ran (the normal case), everything must be there.
+    if not missing:
+        assert len(produced) >= len(EXPECTED)

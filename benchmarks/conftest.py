@@ -1,0 +1,71 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure from the paper.  Two kinds
+of numbers are produced:
+
+* **measured** — wall-clock of our pure-Python implementation (the
+  pytest-benchmark timings plus explicit sweeps on the fast backend);
+* **paper-scale** — operation counts translated through the EC2-calibrated
+  cost model (:data:`repro.cloud.costmodel.PAPER_EC2_MODEL`), directly
+  comparable to the numbers printed in the paper.
+
+Each benchmark writes its paper-style table into
+``benchmarks/results/<name>.txt`` so the full evaluation can be diffed
+against the paper after a run (EXPERIMENTS.md summarizes the comparison).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+
+import pytest
+
+from repro.core import CRSE2Scheme, DataSpace, group_for_crse2
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting the regenerated tables/figures."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    """Write one regenerated table/figure and echo it to stdout."""
+
+    def writer(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return writer
+
+
+@pytest.fixture(scope="session")
+def write_csv(results_dir):
+    """Write a figure's raw data as CSV for external plotting."""
+
+    def writer(name: str, csv_text: str) -> None:
+        (results_dir / f"{name}.csv").write_text(csv_text + "\n")
+
+    return writer
+
+
+@pytest.fixture(scope="session")
+def paper_space() -> DataSpace:
+    """A data space comfortably holding the paper's R <= 50 sweeps."""
+    return DataSpace(w=2, t=512)
+
+
+@pytest.fixture(scope="session")
+def crse2_env(paper_space):
+    """CRSE-II on the fast backend with a generated key (shared)."""
+    rng = random.Random(0xBE7C)
+    scheme = CRSE2Scheme(
+        paper_space, group_for_crse2(paper_space, "fast", rng)
+    )
+    key = scheme.gen_key(rng)
+    return scheme, key, rng

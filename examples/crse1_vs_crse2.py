@@ -1,0 +1,88 @@
+"""CRSE-I vs CRSE-II on the paper's worked example (Fig. 5), side by side.
+
+Walks the exact numbers from Sections V and VI: the query circle
+Q = {(3,2), 1}, the inside point D = (2,2) and the outside point
+D' = (1,3); shows the split vectors, both schemes' verdicts, their cost
+profiles, and the security difference (the sub-token observation CRSE-II
+leaks and CRSE-I does not).
+
+Run:  python examples/crse1_vs_crse2.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Circle, CRSE1Scheme, CRSE2Scheme, DataSpace
+from repro.core.provision import group_for_crse1, group_for_crse2
+from repro.core.split import split_boundary, split_product
+from repro.crypto.ssw import ssw_query
+
+SPACE = DataSpace(w=2, t=8)
+QUERY = Circle.from_radius((3, 2), 1)
+INSIDE, OUTSIDE = (2, 2), (1, 3)
+
+
+def show_vectors() -> None:
+    print("== the Split vectors of the paper's example ==")
+    cpe = split_boundary(2)
+    print(f"CPE (Eq. 4):  f_u(D)  = {tuple(cpe.f_u(INSIDE))}")
+    print(f"              f_v(Q)  = {tuple(cpe.f_v(QUERY.center, [1]))}")
+    product = split_product(2, 2, optimize=False)
+    u = product.f_u(INSIDE)
+    v = product.f_v(QUERY.center, [0, 1])
+    print(f"CRSE-I (Eq. 5, naive, α = {product.alpha}):")
+    print(f"              f_u(D)  = {tuple(u)}")
+    print(f"              f_v(Q)  = {tuple(v)}")
+    print(f"              ⟨u, v⟩  = {sum(a * b for a, b in zip(u, v))} "
+          f"(zero ⇒ inside)")
+    u_out = product.f_u(OUTSIDE)
+    print(f"              ⟨u', v⟩ = {sum(a * b for a, b in zip(u_out, v))} "
+          f"(the paper's 20)\n")
+
+
+def run_crse1(rng) -> None:
+    print("== CRSE-I: one indivisible token, radius fixed at GenKey ==")
+    scheme = CRSE1Scheme(
+        SPACE, group_for_crse1(SPACE, 1, "fast", rng), r_squared=1
+    )
+    key = scheme.gen_key(rng)
+    token = scheme.gen_token(key, QUERY, rng)
+    print(f"m = {scheme.m} concentric circles folded into α = {scheme.alpha}")
+    for point in (INSIDE, OUTSIDE, QUERY.center):
+        verdict = scheme.matches(token, scheme.encrypt(key, point, rng))
+        print(f"  {point}: {'inside' if verdict else 'outside'}")
+    print("the server sees ONE Boolean per record — no finer structure\n")
+
+
+def run_crse2(rng) -> None:
+    print("== CRSE-II: one sub-token per concentric circle, permuted ==")
+    scheme = CRSE2Scheme(SPACE, group_for_crse2(SPACE, "fast", rng))
+    key = scheme.gen_key(rng)
+    token = scheme.gen_token(key, QUERY, rng)
+    print(f"token carries {token.num_sub_tokens} sub-tokens (m = 2: r² ∈ {{0, 1}})")
+    for point in (INSIDE, OUTSIDE, QUERY.center):
+        ciphertext = scheme.encrypt(key, point, rng)
+        hits = [
+            i for i, sub in enumerate(token.sub_tokens)
+            if ssw_query(sub, ciphertext.ssw)
+        ]
+        verdict = "inside" if hits else "outside"
+        leak = f", matched sub-token #{hits[0]}" if hits else ""
+        print(f"  {point}: {verdict}{leak}")
+    print("the matched sub-token index is extra leakage: two records hitting "
+          "the same index provably lie on the same concentric circle "
+          "(the paper's Fig. 18/19 weakness)\n")
+
+
+def main() -> None:
+    rng = random.Random(5)
+    show_vectors()
+    run_crse1(rng)
+    run_crse2(rng)
+    print("trade-off: CRSE-I pays α = (w+2)^m for full SCPA privacy; "
+          "CRSE-II pays α·m with the co-boundary leakage")
+
+
+if __name__ == "__main__":
+    main()

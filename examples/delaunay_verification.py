@@ -1,0 +1,115 @@
+"""Verifying a Delaunay triangulation over encrypted points (paper Sec. I).
+
+The paper's computational-geometry motivation: "verifying whether a
+triangulation T of a point set S is a Delaunay triangulation can be done by
+performing circular range search to see if any point from S is inside any
+circumcircle of a triangulation of T".  The Delaunay condition needs the
+*strict* interior; our encrypted toolkit provides exactly the two
+predicates to express it:
+
+* CRSE-II answers "inside or on the boundary" of a circumcircle;
+* CPE answers "exactly on the boundary" (every triangle's own vertices are).
+
+A point violates the Delaunay property iff CRSE-II says yes and CPE says no.
+
+The demo triangulates an even grid into right triangles (whose circumcircles
+have integer centers — hypotenuse midpoints — and integer squared radius 2),
+verifies it, then injects a rogue point and watches the verification fail.
+
+Run:  python examples/delaunay_verification.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    Circle,
+    CirclePredicateEncryption,
+    CRSE2Scheme,
+    DataSpace,
+    group_for_crse2,
+)
+from repro.core.provision import provision_group
+
+GRID = 4  # vertices at (2i, 2j) for i, j in [0, GRID]
+
+
+def grid_triangulation():
+    """Unit right triangles over the even grid, with their circumcircles."""
+    vertices = [
+        (2 * i, 2 * j) for i in range(GRID + 1) for j in range(GRID + 1)
+    ]
+    triangles = []
+    for i in range(GRID):
+        for j in range(GRID):
+            a, b = (2 * i, 2 * j), (2 * i + 2, 2 * j)
+            c, d = (2 * i, 2 * j + 2), (2 * i + 2, 2 * j + 2)
+            # Both triangles of the cell share the circumcircle centered at
+            # the cell midpoint with r² = 2 (hypotenuse midpoint rule).
+            circumcircle = Circle((2 * i + 1, 2 * j + 1), 2)
+            triangles.append(((a, b, c), circumcircle))
+            triangles.append(((b, c, d), circumcircle))
+    return vertices, triangles
+
+
+def verify_delaunay(points, triangles, rng) -> list[tuple]:
+    """Return the points strictly inside some circumcircle (violations)."""
+    space = DataSpace(w=2, t=2 * GRID + 2)
+    interior_scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    boundary_scheme = CirclePredicateEncryption(
+        space, provision_group(space.boundary_value_bound(), "fast", rng)
+    )
+    k_in = interior_scheme.gen_key(rng)
+    k_on = boundary_scheme.gen_key(rng)
+
+    # The point set is encrypted once, under both keys.
+    encrypted = [
+        (p, interior_scheme.encrypt(k_in, p, rng),
+         boundary_scheme.encrypt(k_on, p, rng))
+        for p in points
+    ]
+
+    violations = []
+    seen_circles = set()
+    for _, circumcircle in triangles:
+        if circumcircle in seen_circles:
+            continue  # shared circumcircles need only one pair of tokens
+        seen_circles.add(circumcircle)
+        inside_token = interior_scheme.gen_token(k_in, circumcircle, rng)
+        boundary_token = boundary_scheme.gen_token(k_on, circumcircle, rng)
+        for point, ct_in, ct_on in encrypted:
+            inside = interior_scheme.matches(inside_token, ct_in)
+            on_boundary = boundary_scheme.query(boundary_token, ct_on)
+            if inside and not on_boundary:
+                violations.append((point, circumcircle))
+    return violations
+
+
+def main() -> None:
+    rng = random.Random(3)
+    vertices, triangles = grid_triangulation()
+    print(f"triangulation: {len(triangles)} triangles over "
+          f"{len(vertices)} grid vertices")
+
+    violations = verify_delaunay(vertices, triangles, rng)
+    print(f"clean grid: {len(violations)} circumcircle violations "
+          f"→ {'Delaunay ✓' if not violations else 'NOT Delaunay'}")
+    assert not violations
+
+    # Inject a point at a cell midpoint: strictly inside that cell's
+    # circumcircle (distance 0 < r), so the triangulation stops being
+    # Delaunay until it is re-triangulated around the new point.
+    rogue = (3, 3)
+    violations = verify_delaunay(vertices + [rogue], triangles, rng)
+    print(f"after inserting rogue point {rogue}: "
+          f"{len(violations)} violation(s)")
+    for point, circle in violations[:3]:
+        print(f"  point {point} strictly inside circumcircle "
+              f"center={circle.center} r²={circle.r_squared}")
+    assert any(p == rogue for p, _ in violations)
+    print("the cloud performed every in-circle test on ciphertexts only")
+
+
+if __name__ == "__main__":
+    main()

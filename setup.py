@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without PEP 660 editable-install support.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+``python setup.py develop`` / legacy ``pip install -e .`` on toolchains
+missing the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,132 @@
+"""repro — Circular Range Search on Encrypted Spatial Data (ICDCS 2015).
+
+A from-scratch reproduction of Wang, Li, Wang and Li's two symmetric-key
+Circular Range Searchable Encryption schemes (CRSE-I, CRSE-II), the Circle
+Predicate Encryption stepping stone, and the SSW inner-product predicate
+encryption they build on — over a pure-Python composite-order bilinear
+pairing (the paper's supersingular curve ``y² = x³ + x``), plus the
+simulated cloud deployment, plaintext/OPE baselines, Brightkite-style
+workloads, executable SCPA security games, and the full benchmark suite
+regenerating every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    import random
+    from repro import (DataSpace, Circle, CRSE2Scheme, group_for_crse2,
+                       CloudDeployment)
+
+    rng = random.Random(7)
+    space = DataSpace(w=2, t=1024)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, backend="fast", rng=rng))
+    cloud = CloudDeployment.create(scheme, rng=rng)
+    cloud.outsource([(100, 200), (105, 205), (900, 900)])
+    hits = cloud.query_points(Circle.from_radius((101, 201), 10))
+
+Use ``backend="pairing"`` for the real elliptic-curve pairing backend.
+"""
+
+from repro.cloud import (
+    PAPER_EC2_MODEL,
+    Channel,
+    CloudDeployment,
+    CloudServer,
+    CostModel,
+    DataOwner,
+    DataUser,
+    LatencyModel,
+    measure_calibration,
+)
+from repro.core import (
+    CirclePredicateEncryption,
+    Circle,
+    CRSE1Scheme,
+    CRSE2Scheme,
+    CRSEScheme,
+    DataSpace,
+    EncryptedRecord,
+    encrypt_dataset,
+    gen_con_circle,
+    group_for_crse1,
+    group_for_crse2,
+    linear_search,
+    num_concentric_circles,
+    point_in_circle,
+    point_on_boundary,
+    provision_group,
+    Rectangle,
+    gen_region_token,
+    Simplex,
+    SimplexRangeScheme,
+)
+from repro.crypto import ElementSizeModel, PAPER_ELEMENT_BYTES, RecordCipher
+from repro.crypto.keystore import (
+    load_crse1_key,
+    load_crse2_key,
+    save_crse1_key,
+    save_crse2_key,
+)
+from repro.crypto.groups import (
+    FastCompositeGroup,
+    SupersingularPairingGroup,
+    generate_params,
+    params_for_bound,
+)
+from repro.errors import (
+    CryptoError,
+    ParameterError,
+    ProtocolError,
+    ReproError,
+    SchemeError,
+    SerializationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_EC2_MODEL",
+    "PAPER_ELEMENT_BYTES",
+    "Channel",
+    "Circle",
+    "CirclePredicateEncryption",
+    "CloudDeployment",
+    "CloudServer",
+    "CostModel",
+    "CryptoError",
+    "CRSE1Scheme",
+    "CRSE2Scheme",
+    "CRSEScheme",
+    "DataOwner",
+    "DataSpace",
+    "DataUser",
+    "ElementSizeModel",
+    "EncryptedRecord",
+    "FastCompositeGroup",
+    "LatencyModel",
+    "ParameterError",
+    "ProtocolError",
+    "RecordCipher",
+    "Rectangle",
+    "ReproError",
+    "SchemeError",
+    "SerializationError",
+    "Simplex",
+    "SimplexRangeScheme",
+    "SupersingularPairingGroup",
+    "encrypt_dataset",
+    "gen_con_circle",
+    "gen_region_token",
+    "generate_params",
+    "group_for_crse1",
+    "group_for_crse2",
+    "linear_search",
+    "load_crse1_key",
+    "load_crse2_key",
+    "measure_calibration",
+    "num_concentric_circles",
+    "params_for_bound",
+    "point_in_circle",
+    "point_on_boundary",
+    "provision_group",
+    "save_crse1_key",
+    "save_crse2_key",
+]

@@ -1,0 +1,49 @@
+"""Analysis utilities: operation counting and paper-style reporting."""
+
+from repro.analysis.fit import FitResult, linear_fit, power_fit
+from repro.analysis.growth import (
+    LANDAU_RAMANUJAN,
+    crse1_max_feasible_radius,
+    crse2_cost_curve,
+    landau_ramanujan_estimate,
+    predicted_m,
+)
+from repro.analysis.opcount import (
+    OpCount,
+    crse1_encrypt_ops,
+    crse1_gen_token_ops,
+    crse1_search_record_ops,
+    crse2_encrypt_ops,
+    crse2_gen_token_ops,
+    crse2_search_record_ops,
+    ssw_encrypt_ops,
+    ssw_gen_token_ops,
+    ssw_query_ops,
+    ssw_setup_ops,
+)
+from repro.analysis.report import Series, TextTable, format_series_block
+
+__all__ = [
+    "LANDAU_RAMANUJAN",
+    "FitResult",
+    "OpCount",
+    "Series",
+    "TextTable",
+    "crse1_encrypt_ops",
+    "crse1_gen_token_ops",
+    "crse1_search_record_ops",
+    "crse2_encrypt_ops",
+    "crse2_gen_token_ops",
+    "crse2_search_record_ops",
+    "crse1_max_feasible_radius",
+    "crse2_cost_curve",
+    "format_series_block",
+    "landau_ramanujan_estimate",
+    "linear_fit",
+    "power_fit",
+    "predicted_m",
+    "ssw_encrypt_ops",
+    "ssw_gen_token_ops",
+    "ssw_query_ops",
+    "ssw_setup_ops",
+]

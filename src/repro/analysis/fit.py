@@ -1,0 +1,72 @@
+"""Tiny regression helpers for verifying the paper's growth claims.
+
+The evaluation's qualitative claims — encryption flat in R, token/search
+quadratic in R, everything linear in n — deserve more than eyeballing.
+These closed-form least-squares fits let benchmarks and tests assert a
+shape numerically: fit the sweep, check the exponent and the coefficient of
+determination.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ParameterError
+
+__all__ = ["FitResult", "linear_fit", "power_fit"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """A fitted model ``y ≈ a·x + b`` (or ``y ≈ exp(b)·x^a`` for power fits).
+
+    Attributes:
+        slope: ``a``.
+        intercept: ``b``.
+        r_squared: Coefficient of determination in the fitted space.
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Ordinary least squares for ``y = a·x + b``.
+
+    Raises:
+        ParameterError: With fewer than two points or zero x-variance.
+    """
+    if len(x) != len(y) or len(x) < 2:
+        raise ParameterError("need at least two (x, y) pairs")
+    n = len(x)
+    mean_x = sum(x) / n
+    mean_y = sum(y) / n
+    sxx = sum((xi - mean_x) ** 2 for xi in x)
+    if sxx == 0:
+        raise ParameterError("x values must not all be equal")
+    sxy = sum((xi - mean_x) * (yi - mean_y) for xi, yi in zip(x, y))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum(
+        (yi - (slope * xi + intercept)) ** 2 for xi, yi in zip(x, y)
+    )
+    ss_tot = sum((yi - mean_y) ** 2 for yi in y)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return FitResult(slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+def power_fit(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Fit ``y = c·x^a`` by regressing in log-log space.
+
+    The returned ``slope`` is the exponent ``a`` (≈2 for the paper's
+    R²-growth claims), ``intercept`` is ``ln c``.
+
+    Raises:
+        ParameterError: On non-positive inputs (log-log needs x, y > 0).
+    """
+    if any(v <= 0 for v in x) or any(v <= 0 for v in y):
+        raise ParameterError("power fit needs strictly positive data")
+    return linear_fit([math.log(v) for v in x], [math.log(v) for v in y])

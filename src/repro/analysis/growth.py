@@ -1,0 +1,111 @@
+"""Asymptotics of the concentric-circle count (the Fig. 9 curve, analyzed).
+
+The paper bounds ``m <= R² + 1`` and plots how far below the bound the true
+count sits.  Classical analytic number theory makes that precise: the
+number of integers up to ``x`` expressible as a sum of two squares is
+asymptotically ``K·x/√ln x`` with ``K ≈ 0.7642`` the **Landau-Ramanujan
+constant**.  These helpers provide the estimate, the implied cost curves
+for CRSE-II, and the crossover radius where CRSE-I's exponential token
+overtakes any fixed budget — the analytical companions to the measured
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.analysis.opcount import (
+    crse2_gen_token_ops,
+    crse2_search_record_ops,
+)
+from repro.core.concircles import num_concentric_circles
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.cloud.costmodel import CostModel
+from repro.core.split import naive_alpha, optimized_alpha
+from repro.errors import ParameterError
+
+__all__ = [
+    "LANDAU_RAMANUJAN",
+    "landau_ramanujan_estimate",
+    "predicted_m",
+    "crse2_cost_curve",
+    "crse1_max_feasible_radius",
+]
+
+#: The Landau-Ramanujan constant (density of sums of two squares).
+LANDAU_RAMANUJAN = 0.76422365358922
+
+# Second-order correction factor (Shanks): the density is
+# K/√ln x · (1 + C/ln x + …) with C ≈ 0.581948659.
+_SHANKS_C = 0.581948659
+
+
+def landau_ramanujan_estimate(x: float) -> float:
+    """Estimate of ``#{n <= x : n = a² + b²}`` (with Shanks' correction).
+
+    Raises:
+        ParameterError: For ``x < 2`` (the asymptotic regime needs ln x > 0).
+    """
+    if x < 2:
+        raise ParameterError("estimate needs x >= 2")
+    lx = math.log(x)
+    return LANDAU_RAMANUJAN * x / math.sqrt(lx) * (1.0 + _SHANKS_C / lx)
+
+
+def predicted_m(radius: int) -> float:
+    """Analytic prediction of the concentric-circle count at *radius*."""
+    if radius < 2:
+        return float(num_concentric_circles(radius * radius))
+    return landau_ramanujan_estimate(radius * radius)
+
+
+def crse2_cost_curve(
+    radii: list[int], model: "CostModel", w: int = 2
+) -> list[dict]:
+    """Predicted CRSE-II cost profile across *radii* under *model*.
+
+    Returns one row per radius with the exact ``m``, the analytic
+    prediction, and the modeled token-generation and average-case search
+    times in seconds.
+    """
+    rows = []
+    for radius in radii:
+        m = num_concentric_circles(radius * radius, w)
+        rows.append(
+            {
+                "radius": radius,
+                "m": m,
+                "m_predicted": predicted_m(radius),
+                "token_s": model.time_s(crse2_gen_token_ops(m, w)),
+                "avg_search_record_s": model.time_s(
+                    crse2_search_record_ops(max(1, m // 2), w)
+                ),
+            }
+        )
+    return rows
+
+
+def crse1_max_feasible_radius(
+    max_alpha: int, w: int = 2, optimized: bool = True
+) -> int:
+    """Largest radius whose CRSE-I vector length stays within *max_alpha*.
+
+    This is the quantitative version of the paper's "impractical for
+    circular range queries with large radiuses": the feasible radius under
+    any real budget is tiny (R = 3-5), even with the optimized split.
+
+    Raises:
+        ParameterError: If no radius fits (``max_alpha`` below the R = 0
+            cost).
+    """
+    if max_alpha < w + 2:
+        raise ParameterError("budget below the single-circle vector length")
+    alpha_of = optimized_alpha if optimized else naive_alpha
+    radius = 0
+    while True:
+        m_next = num_concentric_circles((radius + 1) * (radius + 1), w)
+        if alpha_of(w, m_next) > max_alpha:
+            return radius
+        radius += 1

@@ -1,0 +1,115 @@
+"""Cryptographic operation counts for every scheme algorithm.
+
+The paper's running times are dominated by group operations ("pairing
+operations … are the dominating operations in our search process", Sec.
+VIII, 0.44 ms each on EC2).  These formulas count the pairings,
+exponentiations, and multiplications our implementations perform, so the
+cost model (:mod:`repro.cloud.costmodel`) can translate *operation counts*
+into paper-scale milliseconds independent of the Python constant factor.
+
+The counts mirror :mod:`repro.crypto.ssw` exactly; the test suite verifies
+them dynamically by running the algorithms on an instrumented group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "OpCount",
+    "ssw_setup_ops",
+    "ssw_encrypt_ops",
+    "ssw_gen_token_ops",
+    "ssw_query_ops",
+    "crse2_encrypt_ops",
+    "crse2_gen_token_ops",
+    "crse2_search_record_ops",
+    "crse1_encrypt_ops",
+    "crse1_gen_token_ops",
+    "crse1_search_record_ops",
+]
+
+
+@dataclass(frozen=True)
+class OpCount:
+    """Pairings, group exponentiations, and group multiplications."""
+
+    pairings: int = 0
+    exponentiations: int = 0
+    multiplications: int = 0
+
+    def __add__(self, other: "OpCount") -> "OpCount":
+        return OpCount(
+            self.pairings + other.pairings,
+            self.exponentiations + other.exponentiations,
+            self.multiplications + other.multiplications,
+        )
+
+    def __mul__(self, k: int) -> "OpCount":
+        return OpCount(
+            self.pairings * k,
+            self.exponentiations * k,
+            self.multiplications * k,
+        )
+
+    __rmul__ = __mul__
+
+
+def ssw_setup_ops(n: int) -> OpCount:
+    """``Setup``: 4n secret bases, one exponentiation each."""
+    return OpCount(exponentiations=4 * n)
+
+
+def ssw_encrypt_ops(n: int) -> OpCount:
+    """``Enc``: C and C0 cost 2 exps + 1 mult each; each coordinate costs
+    9 exps (5 for C1i with its fresh payload, 4 for C2i reusing it) and
+    6 mults."""
+    return OpCount(exponentiations=4 + 9 * n, multiplications=2 + 6 * n)
+
+
+def ssw_gen_token_ops(n: int) -> OpCount:
+    """``GenToken``: K and K0 accumulate 2n exps each (plus their masks);
+    each coordinate pair K1i/K2i costs 7 exps and 4 mults."""
+    return OpCount(exponentiations=2 + 11 * n, multiplications=8 * n)
+
+
+def ssw_query_ops(n: int) -> OpCount:
+    """``Query``: the 2n + 2 pairings the paper counts, plus the product."""
+    return OpCount(pairings=2 * n + 2, multiplications=2 * n + 1)
+
+
+# ----------------------------------------------------------------------
+# CRSE-II (α = w + 2 per sub-token)
+# ----------------------------------------------------------------------
+def crse2_encrypt_ops(w: int = 2) -> OpCount:
+    """One SSW encryption at ``α = w + 2`` — radius-independent (Fig. 10)."""
+    return ssw_encrypt_ops(w + 2)
+
+
+def crse2_gen_token_ops(m: int, w: int = 2) -> OpCount:
+    """``m`` SSW tokens at ``α = w + 2`` — the O(R²) growth of Fig. 11."""
+    return m * ssw_gen_token_ops(w + 2)
+
+
+def crse2_search_record_ops(evaluated: int, w: int = 2) -> OpCount:
+    """*evaluated* sub-token queries: ``m`` worst case, ``~m/2`` average
+    for matching records (Fig. 12 reports the average case)."""
+    return evaluated * ssw_query_ops(w + 2)
+
+
+# ----------------------------------------------------------------------
+# CRSE-I (one SSW instance at the product length α)
+# ----------------------------------------------------------------------
+def crse1_encrypt_ops(alpha: int) -> OpCount:
+    """One SSW encryption at the product vector length (Table I, Enc)."""
+    return ssw_encrypt_ops(alpha)
+
+
+def crse1_gen_token_ops(alpha: int) -> OpCount:
+    """One SSW token at the product vector length (Table I, GenToken)."""
+    return ssw_gen_token_ops(alpha)
+
+
+def crse1_search_record_ops(alpha: int) -> OpCount:
+    """One SSW query at the product vector length (Table I, Search)."""
+    return ssw_query_ops(alpha)

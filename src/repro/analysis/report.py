@@ -1,0 +1,108 @@
+"""Formatting helpers for paper-style tables and figure series.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation.  These helpers render them uniformly: fixed-width text tables
+(like Table I-III) and labelled numeric series (the data behind Figs.
+9-16), so ``EXPERIMENTS.md`` and benchmark stdout stay consistent and easy
+to diff against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["TextTable", "Series", "format_series_block", "series_to_csv"]
+
+
+@dataclass
+class TextTable:
+    """A fixed-width table with a title, header row, and numeric rows."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row (arity-checked against the header)."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(values)
+
+    def to_csv(self) -> str:
+        """Render the table as CSV (header row first) for external plotting."""
+        lines = [",".join(str(h) for h in self.headers)]
+        lines.extend(
+            ",".join(_format_cell(v) for v in row) for row in self.rows
+        )
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        cells = [[str(h) for h in self.headers]]
+        cells.extend([_format_cell(v) for v in row] for row in self.rows)
+        widths = [
+            max(len(row[col]) for row in cells) for col in range(len(self.headers))
+        ]
+        lines = [self.title]
+        header = " | ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class Series:
+    """One labelled (x, y) series — the data behind one figure curve."""
+
+    label: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one sample."""
+        self.x.append(x)
+        self.y.append(y)
+
+
+def series_to_csv(series_list: Sequence[Series]) -> str:
+    """CSV for one or more aligned series: ``x`` column plus one per series."""
+    if not series_list:
+        return ""
+    header = ["x"] + [s.label for s in series_list]
+    lines = [",".join(header)]
+    for i, x in enumerate(series_list[0].x):
+        row = [x] + [
+            (s.y[i] if i < len(s.y) else float("nan")) for s in series_list
+        ]
+        lines.append(",".join(_format_cell(v) for v in row))
+    return "\n".join(lines)
+
+
+def format_series_block(title: str, series_list: Sequence[Series]) -> str:
+    """Render figure data as aligned columns: x, then one column per series."""
+    if not series_list:
+        return title
+    xs = series_list[0].x
+    headers = ["x"] + [s.label for s in series_list]
+    table = TextTable(title, headers)
+    for i, x in enumerate(xs):
+        row = [x] + [
+            (s.y[i] if i < len(s.y) else float("nan")) for s in series_list
+        ]
+        table.add_row(*row)
+    return table.render()

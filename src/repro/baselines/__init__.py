@@ -1,0 +1,32 @@
+"""Baselines: plaintext search structures and the OPE rectangular scheme."""
+
+from repro.baselines.aspe_knn import (
+    ASPEKey,
+    ASPEScheme,
+    recover_key_known_plaintext,
+)
+from repro.baselines.kdtree import KDTree
+from repro.baselines.ope import OPECipher
+from repro.baselines.plaintext import GridIndex, linear_circular_search
+from repro.baselines.rect_range import (
+    EncryptedRectRecord,
+    OPERectangularScheme,
+    RectToken,
+)
+from repro.baselines.rtree import Rect, RTree, RTreeStats
+
+__all__ = [
+    "ASPEKey",
+    "ASPEScheme",
+    "EncryptedRectRecord",
+    "GridIndex",
+    "KDTree",
+    "OPECipher",
+    "OPERectangularScheme",
+    "RTree",
+    "RTreeStats",
+    "Rect",
+    "RectToken",
+    "linear_circular_search",
+    "recover_key_known_plaintext",
+]

@@ -1,0 +1,168 @@
+"""Secure kNN via ASPE — the related-work baseline (paper Sec. II, ref. [22]).
+
+Wong et al.'s Asymmetric Scalar-Product-preserving Encryption (SIGMOD'09)
+was the first secure-kNN scheme the paper contrasts with: it supports
+nearest-neighbor queries over encrypted points with linear search, but
+
+* it answers a *different question* than circular range search — kNN fixes
+  the result count, a circular query fixes the radius (the paper's core
+  Related Work distinction, demonstrated in the tests); and
+* it is "vulnerable under Chosen-Plaintext Attacks": an attacker holding
+  ``d + 1`` known (plaintext, ciphertext) pairs recovers the secret matrix
+  by solving a linear system — also demonstrated in the tests.
+
+Construction (exact rational arithmetic, see :mod:`repro.math.linalg`):
+
+* point ``p`` → ``p̂ = (p, -½‖p‖²)``, ciphertext ``M^T p̂``;
+* query ``q`` → ``q̂ = r·(q, 1)`` for fresh random ``r > 0``, token
+  ``M^{-1} q̂``;
+* then ``⟨Enc(p), Tok(q)⟩ = r(⟨p,q⟩ - ½‖p‖²) = -r/2·(‖p-q‖² - ‖q‖²)``,
+  so ordering the dot products orders the distances — the server ranks
+  without learning either side.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import CryptoError, ParameterError
+from repro.math.linalg import (
+    mat_inverse,
+    mat_vec,
+    random_invertible_matrix,
+)
+
+__all__ = ["ASPEKey", "ASPEScheme", "recover_key_known_plaintext"]
+
+
+@dataclass(frozen=True)
+class ASPEKey:
+    """The secret invertible matrix and its inverse (both kept client-side)."""
+
+    dimension: int
+    matrix_t: tuple[tuple[Fraction, ...], ...]  # M^T, used on points
+    matrix_inv: tuple[tuple[Fraction, ...], ...]  # M^{-1}, used on queries
+
+
+class ASPEScheme:
+    """Asymmetric scalar-product-preserving encryption for kNN."""
+
+    def __init__(self, dimension: int):
+        """Fix the point dimension ``d`` (vectors are lifted to ``d + 1``)."""
+        if dimension < 1:
+            raise ParameterError("dimension must be positive")
+        self.dimension = dimension
+
+    # ------------------------------------------------------------------
+    def gen_key(self, rng: random.Random) -> ASPEKey:
+        """Sample the secret invertible matrix ``M``."""
+        n = self.dimension + 1
+        m = random_invertible_matrix(n, rng)
+        m_t = [[m[j][i] for j in range(n)] for i in range(n)]
+        m_inv = mat_inverse(m)
+        return ASPEKey(
+            dimension=self.dimension,
+            matrix_t=tuple(tuple(row) for row in m_t),
+            matrix_inv=tuple(tuple(row) for row in m_inv),
+        )
+
+    def _check(self, key: ASPEKey, vector: Sequence[int]) -> None:
+        if key.dimension != self.dimension:
+            raise CryptoError("key dimension does not match scheme")
+        if len(vector) != self.dimension:
+            raise CryptoError(
+                f"vector has {len(vector)} coordinates, expected {self.dimension}"
+            )
+
+    # ------------------------------------------------------------------
+    def encrypt_point(
+        self, key: ASPEKey, point: Sequence[int]
+    ) -> tuple[Fraction, ...]:
+        """Encrypt a database point: ``M^T (p, -½‖p‖²)``."""
+        self._check(key, point)
+        norm_sq = sum(c * c for c in point)
+        lifted = [Fraction(c) for c in point] + [Fraction(-norm_sq, 2)]
+        return tuple(mat_vec([list(r) for r in key.matrix_t], lifted))
+
+    def encrypt_query(
+        self, key: ASPEKey, query: Sequence[int], rng: random.Random
+    ) -> tuple[Fraction, ...]:
+        """Tokenize a query point: ``M^{-1} · r(q, 1)`` with fresh ``r > 0``."""
+        self._check(key, query)
+        r = Fraction(rng.randint(1, 1_000_000))
+        lifted = [r * c for c in query] + [r]
+        return tuple(mat_vec([list(row) for row in key.matrix_inv], lifted))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def score(
+        encrypted_point: Sequence[Fraction], token: Sequence[Fraction]
+    ) -> Fraction:
+        """The server-computable ranking score (larger = closer)."""
+        return sum(
+            (a * b for a, b in zip(encrypted_point, token)), Fraction(0)
+        )
+
+    @classmethod
+    def knn(
+        cls,
+        token: Sequence[Fraction],
+        records: Sequence[tuple[int, tuple[Fraction, ...]]],
+        k: int,
+    ) -> list[int]:
+        """Server-side kNN: identifiers of the *k* highest-scoring records.
+
+        Raises:
+            ParameterError: If ``k < 1``.
+        """
+        if k < 1:
+            raise ParameterError("k must be at least 1")
+        ranked = sorted(
+            records,
+            key=lambda item: cls.score(item[1], token),
+            reverse=True,
+        )
+        return [identifier for identifier, _ in ranked[:k]]
+
+
+def recover_key_known_plaintext(
+    scheme: ASPEScheme,
+    pairs: Sequence[tuple[Sequence[int], Sequence[Fraction]]],
+) -> list[list[Fraction]]:
+    """The known-plaintext attack the paper's Related Work cites.
+
+    Given ``d + 1`` known (point, ciphertext) pairs with linearly
+    independent lifted points, solve ``lifted_i · X = ciphertext_i`` for the
+    secret ``M^T`` column by column.
+
+    Returns:
+        The recovered ``M^T``.
+
+    Raises:
+        ParameterError: If the pairs are insufficient or dependent.
+    """
+    n = scheme.dimension + 1
+    if len(pairs) < n:
+        raise ParameterError(f"need at least {n} known pairs")
+    lifted_rows = []
+    outputs = []
+    for point, ciphertext in pairs[:n]:
+        norm_sq = sum(c * c for c in point)
+        lifted_rows.append(
+            [Fraction(c) for c in point] + [Fraction(-norm_sq, 2)]
+        )
+        outputs.append(list(ciphertext))
+    # ciphertext = M^T · lifted  ⇔  lifted_rows · M = outputs (row-wise),
+    # so M = lifted_rows^{-1} · outputs and we return its transpose.
+    m = mat_inverse(lifted_rows)
+    product = [
+        [
+            sum((m[i][k] * outputs[k][j] for k in range(n)), Fraction(0))
+            for j in range(n)
+        ]
+        for i in range(n)
+    ]
+    return [[product[j][i] for j in range(n)] for i in range(n)]

@@ -1,0 +1,129 @@
+"""A k-d tree for exact circular range search and nearest neighbors.
+
+The faster-than-linear plaintext structure the paper cites for encrypted
+rectangular range search (Lu, NDSS'12 uses kd-trees) and for the
+nearest-neighbor comparison in Related Work.  Supports:
+
+* circular range queries (prune subtrees whose bounding slab cannot meet
+  the circle),
+* k-nearest-neighbor queries — used to demonstrate the paper's Related
+  Work argument that kNN and circular range search answer *different*
+  questions even in plaintext.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.core.geometry import Circle, distance_squared
+from repro.errors import ParameterError
+
+__all__ = ["KDTree"]
+
+
+class _Node:
+    __slots__ = ("point", "axis", "left", "right")
+
+    def __init__(self, point: tuple[int, ...], axis: int):
+        self.point = point
+        self.axis = axis
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+
+
+class KDTree:
+    """A static k-d tree built by median splitting."""
+
+    def __init__(self, points: Sequence[Sequence[int]]):
+        """Build the tree over integer points (duplicates allowed).
+
+        Raises:
+            ParameterError: On inconsistent dimensions.
+        """
+        pts = [tuple(p) for p in points]
+        if pts:
+            w = len(pts[0])
+            if any(len(p) != w for p in pts):
+                raise ParameterError("points must share one dimension")
+            self.w = w
+        else:
+            self.w = 0
+        self._size = len(pts)
+        self._root = self._build(pts, 0)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _build(self, pts: list[tuple[int, ...]], depth: int) -> "_Node | None":
+        if not pts:
+            return None
+        axis = depth % self.w
+        pts.sort(key=lambda p: p[axis])
+        mid = len(pts) // 2
+        node = _Node(pts[mid], axis)
+        node.left = self._build(pts[:mid], depth + 1)
+        node.right = self._build(pts[mid + 1 :], depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    def range_query(self, circle: Circle) -> list[tuple[int, ...]]:
+        """All indexed points inside (or on) *circle*."""
+        if self._root is not None and circle.w != self.w:
+            raise ParameterError("query dimension does not match tree")
+        results: list[tuple[int, ...]] = []
+
+        def visit(node: "_Node | None") -> None:
+            if node is None:
+                return
+            if distance_squared(node.point, circle.center) <= circle.r_squared:
+                results.append(node.point)
+            axis, split = node.axis, node.point[node.axis]
+            delta = circle.center[axis] - split
+            # The splitting hyperplane is at distance |delta|; a subtree on
+            # the far side can be pruned once delta² exceeds r².
+            if delta <= 0 or delta * delta <= circle.r_squared:
+                visit(node.left)
+            if delta >= 0 or delta * delta <= circle.r_squared:
+                visit(node.right)
+
+        visit(self._root)
+        return results
+
+    # ------------------------------------------------------------------
+    def nearest(self, query: Sequence[int], k: int = 1) -> list[tuple[int, ...]]:
+        """The *k* nearest indexed points to *query* (ties broken arbitrarily).
+
+        Raises:
+            ParameterError: If ``k < 1`` or dimensions mismatch.
+        """
+        if k < 1:
+            raise ParameterError("k must be at least 1")
+        if self._root is not None and len(query) != self.w:
+            raise ParameterError("query dimension does not match tree")
+        query = tuple(query)
+        # Max-heap of (-dist², counter, point) keeping the best k.
+        heap: list[tuple[int, int, tuple[int, ...]]] = []
+        counter = 0
+
+        def visit(node: "_Node | None") -> None:
+            nonlocal counter
+            if node is None:
+                return
+            dist = distance_squared(node.point, query)
+            counter += 1
+            if len(heap) < k:
+                heapq.heappush(heap, (-dist, counter, node.point))
+            elif dist < -heap[0][0]:
+                heapq.heapreplace(heap, (-dist, counter, node.point))
+            axis = node.axis
+            delta = query[axis] - node.point[axis]
+            near, far = (
+                (node.left, node.right) if delta <= 0 else (node.right, node.left)
+            )
+            visit(near)
+            if len(heap) < k or delta * delta <= -heap[0][0]:
+                visit(far)
+
+        visit(self._root)
+        return [point for _, __, point in sorted(heap, reverse=True)]

@@ -1,0 +1,79 @@
+"""A toy order-preserving encryption (OPE) substrate.
+
+Related-work baseline infrastructure: the paper notes that "simply using
+Order-Preserving Encryption with multiple dimensions is … another option to
+enable rectangular range search on encrypted spatial data" (Sec. II), and
+rectangular range search is the classic *approximate* route to circular
+search (take the circle's MBR, accept false positives).
+
+This is a pedagogical OPE in the Agrawal-et-al. spirit: a keyed, strictly
+increasing random mapping built from pseudorandom gaps.  It preserves order
+(hence leaks it — the well-known OPE weakness, far more leakage than CRSE's
+boolean results) and is deterministic under one key.  It is **not** a
+secure OPE construction; it exists so the rectangular baseline exercises a
+realistic encrypted-comparison code path.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+
+from repro.errors import CryptoError, ParameterError
+
+__all__ = ["OPECipher"]
+
+
+class OPECipher:
+    """Keyed order-preserving encryption on the domain ``[0, domain_size)``.
+
+    Ciphertexts are strictly increasing in the plaintext, so any comparison
+    a server performs on ciphertexts mirrors the plaintext comparison.
+    """
+
+    def __init__(self, key: int, domain_size: int, gap_bits: int = 16):
+        """Derive the mapping from *key*.
+
+        Args:
+            key: Integer secret key (seeds the gap generator).
+            domain_size: Number of plaintexts; table construction is
+                ``O(domain_size)``.
+            gap_bits: Gap magnitude; larger gaps spread ciphertexts more.
+
+        Raises:
+            ParameterError: For a non-positive domain.
+        """
+        if domain_size < 1:
+            raise ParameterError("OPE domain must be non-empty")
+        rng = random.Random(("ope-key", key, domain_size, gap_bits).__hash__())
+        gaps = (rng.randrange(1, 1 << gap_bits) for _ in range(domain_size))
+        self._table = list(itertools.accumulate(gaps))
+        self.domain_size = domain_size
+
+    def encrypt(self, plaintext: int) -> int:
+        """Encrypt one value.
+
+        Raises:
+            CryptoError: If the plaintext is outside the domain.
+        """
+        if not 0 <= plaintext < self.domain_size:
+            raise CryptoError(
+                f"plaintext {plaintext} outside OPE domain [0, {self.domain_size})"
+            )
+        return self._table[plaintext]
+
+    def decrypt(self, ciphertext: int) -> int:
+        """Invert :meth:`encrypt`.
+
+        Raises:
+            CryptoError: If *ciphertext* is not a valid ciphertext.
+        """
+        index = bisect.bisect_left(self._table, ciphertext)
+        if index >= self.domain_size or self._table[index] != ciphertext:
+            raise CryptoError("value is not a valid OPE ciphertext")
+        return index
+
+    def max_ciphertext(self) -> int:
+        """The largest ciphertext (encryption of ``domain_size - 1``)."""
+        return self._table[-1]

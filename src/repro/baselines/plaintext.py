@@ -1,0 +1,74 @@
+"""Plaintext circular range search baselines.
+
+Ground truth and speed references for the encrypted schemes: the linear
+scan every CRSE search is compared against, plus a uniform-grid index —
+the simplest faster-than-linear structure — to quantify what the paper
+gives up by staying linear (Sec. VI-D, "The Challenge and Trade-off of
+Achieving Faster-Than-Linear Search").
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.core.geometry import Circle, distance_squared, point_in_circle
+from repro.errors import ParameterError
+
+__all__ = ["linear_circular_search", "GridIndex"]
+
+
+def linear_circular_search(
+    points: Iterable[Sequence[int]], circle: Circle
+) -> list[tuple[int, ...]]:
+    """Scan *points* and return those inside (or on) *circle*."""
+    return [tuple(p) for p in points if point_in_circle(p, circle)]
+
+
+class GridIndex:
+    """A uniform bucket grid over integer points.
+
+    Cell size should be on the order of the typical query radius; queries
+    visit only the cells overlapping the circle's bounding box and then
+    filter exactly.
+    """
+
+    def __init__(self, points: Iterable[Sequence[int]], cell_size: int = 8):
+        """Index *points* into cells of side *cell_size*.
+
+        Raises:
+            ParameterError: If *cell_size* is not positive.
+        """
+        if cell_size < 1:
+            raise ParameterError("cell size must be positive")
+        self.cell_size = cell_size
+        self._cells: dict[tuple[int, ...], list[tuple[int, ...]]] = defaultdict(list)
+        self._count = 0
+        for point in points:
+            key = tuple(c // cell_size for c in point)
+            self._cells[key].append(tuple(point))
+            self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def query(self, circle: Circle) -> list[tuple[int, ...]]:
+        """Return all indexed points inside (or on) *circle*."""
+        radius = math.isqrt(circle.r_squared) + 1
+        lows = [(c - radius) // self.cell_size for c in circle.center]
+        highs = [(c + radius) // self.cell_size for c in circle.center]
+
+        results: list[tuple[int, ...]] = []
+
+        def visit(dim: int, key: tuple[int, ...]) -> None:
+            if dim == len(circle.center):
+                for point in self._cells.get(key, ()):
+                    if distance_squared(point, circle.center) <= circle.r_squared:
+                        results.append(point)
+                return
+            for cell in range(lows[dim], highs[dim] + 1):
+                visit(dim + 1, key + (cell,))
+
+        visit(0, ())
+        return results

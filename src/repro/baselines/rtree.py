@@ -1,0 +1,202 @@
+"""An R-tree (STR bulk-loaded) with circle queries and pruning statistics.
+
+The paper's Sec. VI-D names R-trees as the natural route to
+faster-than-linear circular range search, and identifies the missing
+encrypted primitive: testing whether a *rectangle intersects a circle* at
+non-leaf nodes.  This module provides the plaintext structure, the exact
+rectangle-circle intersection predicate, and visit counters — so the
+``leaky R-tree`` ablation can quantify how much pruning the paper's schemes
+forgo by staying linear (and what the leaked intersection pattern would
+buy).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.geometry import Circle, distance_squared
+from repro.errors import ParameterError
+
+__all__ = ["Rect", "RTree", "RTreeStats"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned minimum bounding rectangle (closed box)."""
+
+    mins: tuple[int, ...]
+    maxs: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.mins) != len(self.maxs):
+            raise ParameterError("MBR min/max dimension mismatch")
+        if any(lo > hi for lo, hi in zip(self.mins, self.maxs)):
+            raise ParameterError("MBR has min > max")
+
+    @classmethod
+    def of_point(cls, point: Sequence[int]) -> "Rect":
+        """Degenerate rectangle covering a single point."""
+        p = tuple(point)
+        return cls(p, p)
+
+    @classmethod
+    def union(cls, rects: Sequence["Rect"]) -> "Rect":
+        """Smallest rectangle covering all of *rects*."""
+        if not rects:
+            raise ParameterError("cannot take the union of zero rectangles")
+        w = len(rects[0].mins)
+        mins = tuple(min(r.mins[d] for r in rects) for d in range(w))
+        maxs = tuple(max(r.maxs[d] for r in rects) for d in range(w))
+        return cls(mins, maxs)
+
+    def min_distance_squared(self, point: Sequence[int]) -> int:
+        """Squared distance from *point* to the nearest point of the box."""
+        total = 0
+        for lo, hi, c in zip(self.mins, self.maxs, point):
+            if c < lo:
+                total += (lo - c) * (lo - c)
+            elif c > hi:
+                total += (c - hi) * (c - hi)
+        return total
+
+    def intersects_circle(self, circle: Circle) -> bool:
+        """The non-leaf predicate the paper lacks in the ciphertext domain."""
+        return self.min_distance_squared(circle.center) <= circle.r_squared
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        """True if *point* lies inside the closed box."""
+        return all(
+            lo <= c <= hi for lo, hi, c in zip(self.mins, self.maxs, point)
+        )
+
+
+@dataclass
+class RTreeStats:
+    """Work counters for one query: the pruning the tree achieved."""
+
+    internal_nodes_visited: int = 0
+    leaf_nodes_visited: int = 0
+    points_tested: int = 0
+
+
+class _RNode:
+    __slots__ = ("rect", "children", "points")
+
+    def __init__(
+        self,
+        rect: Rect,
+        children: "list[_RNode] | None" = None,
+        points: list[tuple[int, ...]] | None = None,
+    ):
+        self.rect = rect
+        self.children = children
+        self.points = points
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.points is not None
+
+
+class RTree:
+    """A static R-tree bulk-loaded with Sort-Tile-Recursive packing."""
+
+    def __init__(self, points: Sequence[Sequence[int]], leaf_capacity: int = 16):
+        """Build the tree.
+
+        Args:
+            points: Integer points to index.
+            leaf_capacity: Max entries per node (leaves and internals).
+
+        Raises:
+            ParameterError: On bad capacity or inconsistent dimensions.
+        """
+        if leaf_capacity < 2:
+            raise ParameterError("leaf capacity must be at least 2")
+        pts = [tuple(p) for p in points]
+        if pts:
+            w = len(pts[0])
+            if any(len(p) != w for p in pts):
+                raise ParameterError("points must share one dimension")
+            self.w = w
+        else:
+            self.w = 0
+        self.capacity = leaf_capacity
+        self._size = len(pts)
+        self._root = self._bulk_load(pts)
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # STR bulk loading
+    # ------------------------------------------------------------------
+    def _pack_leaves(self, pts: list[tuple[int, ...]]) -> list[_RNode]:
+        leaves = []
+        for start in range(0, len(pts), self.capacity):
+            chunk = pts[start : start + self.capacity]
+            rect = Rect.union([Rect.of_point(p) for p in chunk])
+            leaves.append(_RNode(rect, points=chunk))
+        return leaves
+
+    def _str_sort(self, pts: list[tuple[int, ...]]) -> list[tuple[int, ...]]:
+        """Sort-Tile-Recursive ordering: slabs on x, sorted by y within."""
+        if self.w < 2:
+            return sorted(pts)
+        pts = sorted(pts)
+        leaf_count = math.ceil(len(pts) / self.capacity)
+        slab_count = math.ceil(math.sqrt(leaf_count)) or 1
+        slab_size = math.ceil(len(pts) / slab_count) * 1
+        ordered: list[tuple[int, ...]] = []
+        for start in range(0, len(pts), max(slab_size, 1)):
+            slab = pts[start : start + slab_size]
+            ordered.extend(sorted(slab, key=lambda p: p[1:]))
+        return ordered
+
+    def _bulk_load(self, pts: list[tuple[int, ...]]) -> "_RNode | None":
+        if not pts:
+            return None
+        nodes: list[_RNode] = self._pack_leaves(self._str_sort(pts))
+        while len(nodes) > 1:
+            parents = []
+            for start in range(0, len(nodes), self.capacity):
+                group = nodes[start : start + self.capacity]
+                rect = Rect.union([n.rect for n in group])
+                parents.append(_RNode(rect, children=group))
+            nodes = parents
+        return nodes[0]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query(
+        self, circle: Circle
+    ) -> tuple[list[tuple[int, ...]], RTreeStats]:
+        """Exact circular range query with pruning statistics."""
+        stats = RTreeStats()
+        results: list[tuple[int, ...]] = []
+
+        def visit(node: "_RNode | None") -> None:
+            if node is None:
+                return
+            if node.is_leaf:
+                stats.leaf_nodes_visited += 1
+                for point in node.points or ():
+                    stats.points_tested += 1
+                    if distance_squared(point, circle.center) <= circle.r_squared:
+                        results.append(point)
+                return
+            stats.internal_nodes_visited += 1
+            for child in node.children or ():
+                # This is the intersects-circle test the paper cannot do
+                # over ciphertexts; here it prunes whole subtrees.
+                if child.rect.intersects_circle(circle):
+                    visit(child)
+
+        visit(self._root)
+        return results, stats
+
+    def linear_scan_cost(self) -> int:
+        """Points a linear scan would test — the paper's search cost."""
+        return self._size

@@ -1,0 +1,223 @@
+"""The compute-then-compare strawman: two non-colluding servers + AHE.
+
+Paper Sec. III, "A Straightforward Design": evaluate the distance under
+additively homomorphic encryption, then compare against the radius — and
+the paper rejects it because AHE cannot chain into a comparison without
+"heavy interactions between a client and the cloud server or the
+impractical assumption of two (or more) non-colluding servers".  This
+module implements the two-server variant in the style of the secure-kNN
+line the paper cites ([23] Hu et al., [24] Elmehdwi et al.), so the cost of
+that rejection is measurable:
+
+* **S1** stores Paillier ciphertexts of the coordinates and drives the
+  protocol; it never holds the key.
+* **S2** holds the decryption key and answers *masked* sub-queries; it
+  never sees an unmasked value, only (a) products of additively masked
+  operands during secure multiplication, and (b) the sign of a
+  multiplicatively masked difference — the Boolean result the model
+  concedes anyway.
+* The querying client does one round with S1, but S1↔S2 run **2w + 1
+  interactions per record** (one secure multiplication per squared
+  coordinate difference — each a full mask/decrypt/re-encrypt round trip —
+  plus one comparison).  CRSE needs zero: that is the paper's argument,
+  in numbers (see ``bench_ablation_strawman``).
+
+Security caveats (inherent to the strawman, worth stating): S2 learns the
+per-record Boolean result and the *sign* masking leaks nothing further,
+but the additive masks in secure multiplication must be sampled from a
+range dominating the operands; we size them per the data space.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.geometry import Circle, DataSpace
+from repro.crypto.paillier import (
+    PaillierPublicKey,
+    PaillierSecretKey,
+    paillier_keygen,
+)
+from repro.errors import CryptoError, ParameterError
+
+__all__ = ["InteractionStats", "StrawmanServerS2", "StrawmanSystem"]
+
+
+@dataclass
+class InteractionStats:
+    """Protocol-cost counters for the S1↔S2 channel."""
+
+    interactions: int = 0
+    secure_multiplications: int = 0
+    comparisons: int = 0
+    ciphertexts_transferred: int = 0
+
+
+class StrawmanServerS2:
+    """The key-holding server: answers masked multiplication and sign queries."""
+
+    def __init__(self, secret: PaillierSecretKey, rng: random.Random):
+        self._secret = secret
+        self._rng = rng
+
+    def multiply_masked(self, enc_a_masked: int, enc_b_masked: int) -> int:
+        """Decrypt two masked operands, multiply, re-encrypt the product."""
+        a = self._secret.decrypt(enc_a_masked)
+        b = self._secret.decrypt(enc_b_masked)
+        return self._secret.public.encrypt(a * b, self._rng)
+
+    def sign_of_masked(self, enc_masked: int) -> bool:
+        """True iff the masked value is non-negative (the Boolean result)."""
+        return self._secret.decrypt(enc_masked) >= 0
+
+
+class StrawmanSystem:
+    """S1's side of the protocol, wired to an S2 instance."""
+
+    def __init__(
+        self,
+        space: DataSpace,
+        rng: random.Random,
+        modulus_bits: int = 128,
+    ):
+        """Set up keys, both servers, and the mask ranges.
+
+        Args:
+            space: The data space (bounds the masks).
+            rng: Randomness for keys, encryption, and masks.
+            modulus_bits: Paillier modulus size; must comfortably exceed
+                the masked products (checked).
+
+        Raises:
+            ParameterError: If the modulus cannot hold the masked values.
+        """
+        self.space = space
+        self._rng = rng
+        self._secret = paillier_keygen(modulus_bits, rng)
+        self.public: PaillierPublicKey = self._secret.public
+        self.s2 = StrawmanServerS2(self._secret, rng)
+        self.stats = InteractionStats()
+        # Masks dominate the coordinate differences; masked products must
+        # stay inside the signed plaintext space.
+        self._mask_bound = 4 * space.t
+        if (4 * self._mask_bound * self._mask_bound) >= self.public.n // 2:
+            raise ParameterError(
+                "Paillier modulus too small for this data space's masks"
+            )
+        self._records: list[tuple[int, list[int]]] = []
+
+    # ------------------------------------------------------------------
+    # Data upload (owner side: encrypt coordinates)
+    # ------------------------------------------------------------------
+    def outsource(self, points: Sequence[Sequence[int]]) -> None:
+        """Encrypt and store coordinate ciphertexts on S1."""
+        for point in points:
+            point = self.space.validate_point(point)
+            identifier = len(self._records)
+            self._records.append(
+                (
+                    identifier,
+                    [self.public.encrypt(c, self._rng) for c in point],
+                )
+            )
+
+    @property
+    def record_count(self) -> int:
+        """Records stored on S1."""
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # The S1↔S2 sub-protocols
+    # ------------------------------------------------------------------
+    def _secure_multiply(self, enc_a: int, enc_b: int) -> int:
+        """SM(Enc(a), Enc(b)) → Enc(a·b), one S2 round trip.
+
+        S1 masks additively, S2 multiplies in the clear, S1 strips the
+        cross terms homomorphically:
+        ``ab = (a+ra)(b+rb) - a·rb - b·ra - ra·rb``.
+        """
+        ra = self._rng.randrange(1, self._mask_bound)
+        rb = self._rng.randrange(1, self._mask_bound)
+        masked_a = self.public.add(enc_a, self.public.encrypt(ra, self._rng))
+        masked_b = self.public.add(enc_b, self.public.encrypt(rb, self._rng))
+        enc_product_masked = self.s2.multiply_masked(masked_a, masked_b)
+        self.stats.interactions += 1
+        self.stats.secure_multiplications += 1
+        self.stats.ciphertexts_transferred += 3
+        result = enc_product_masked
+        result = self.public.add(result, self.public.scalar_mul(enc_a, -rb))
+        result = self.public.add(result, self.public.scalar_mul(enc_b, -ra))
+        result = self.public.add(
+            result, self.public.encrypt(-ra * rb, self._rng)
+        )
+        return result
+
+    def _secure_compare_nonpositive(self, enc_t: int) -> bool:
+        """Is the encrypted value ``t <= 0``?  One S2 round trip.
+
+        S1 multiplicatively masks with a random positive ρ (sign-preserving)
+        before S2 decrypts; S2 learns only the sign.
+        """
+        rho = self._rng.randrange(1, self._mask_bound)
+        masked = self.public.scalar_mul(enc_t, rho)
+        non_negative = self.s2.sign_of_masked(
+            self.public.rerandomize(masked, self._rng)
+        )
+        self.stats.interactions += 1
+        self.stats.comparisons += 1
+        self.stats.ciphertexts_transferred += 1
+        return not non_negative or self._is_zero_probe(enc_t)
+
+    def _is_zero_probe(self, enc_t: int) -> bool:
+        """Boundary case ``t == 0``: check sign of ``-t`` as well."""
+        negated = self.public.scalar_mul(enc_t, -1)
+        rho = self._rng.randrange(1, self._mask_bound)
+        masked = self.public.scalar_mul(negated, rho)
+        self.stats.interactions += 1
+        self.stats.ciphertexts_transferred += 1
+        return self.s2.sign_of_masked(
+            self.public.rerandomize(masked, self._rng)
+        )
+
+    # ------------------------------------------------------------------
+    # The query
+    # ------------------------------------------------------------------
+    def circular_search(self, circle: Circle) -> list[int]:
+        """Return identifiers inside *circle* via compute-then-compare.
+
+        The query circle arrives at S1 **encrypted** (center ciphertexts),
+        so S1 learns neither side; the price is the per-record interaction
+        storm with S2.
+
+        Raises:
+            ParameterError: On a circle outside the space.
+        """
+        self.space.validate_circle(circle)
+        enc_center = [
+            self.public.encrypt(-c, self._rng) for c in circle.center
+        ]
+        matches = []
+        for identifier, enc_coords in self._records:
+            if len(enc_coords) != len(enc_center):
+                raise CryptoError("record/query dimension mismatch")
+            # Enc(d²) = Σ SM(x_k - c_k, x_k - c_k).
+            enc_d_squared = self.public.encrypt(0, self._rng)
+            for enc_x, enc_neg_c in zip(enc_coords, enc_center):
+                enc_diff = self.public.add(enc_x, enc_neg_c)
+                enc_d_squared = self.public.add(
+                    enc_d_squared, self._secure_multiply(enc_diff, enc_diff)
+                )
+            # t = d² - r²; inside ⇔ t <= 0.
+            enc_t = self.public.add(
+                enc_d_squared,
+                self.public.encrypt(-circle.r_squared, self._rng),
+            )
+            if self._secure_compare_nonpositive(enc_t):
+                matches.append(identifier)
+        return matches
+
+    def interactions_per_record(self) -> int:
+        """Protocol cost: w secure mults + up to 2 comparison rounds."""
+        return self.space.w + 2

@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A file-based workflow around the library, mirroring the paper's three-party
+deployment for a user driving it from a shell:
+
+* ``keygen``   — the data owner creates a CRSE-II key (JSON blob on disk);
+* ``encrypt``  — encrypt a CSV of points into an uploadable records file;
+* ``token``    — tokenize a circular query;
+* ``search``   — the server side: scan a records file with a token;
+* ``tables``   — print the paper's deterministic anchors (m values, sizes);
+* ``calibrate``— time the group backends on this machine;
+* ``demo``     — a self-contained end-to-end run.
+
+Search only needs public parameters, but for CLI simplicity it reads the
+key file and uses the public part — a real server would receive the scheme
+parameters out of band and never the key.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+
+from repro.cloud.codec import decode_ciphertext, decode_token, encode_ciphertext, encode_token
+from repro.cloud.costmodel import PAPER_EC2_MODEL, measure_calibration
+from repro.core.concircles import num_concentric_circles
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace
+from repro.core.provision import group_for_crse2, provision_group
+from repro.core.split import naive_alpha, optimized_alpha
+from repro.crypto.keystore import load_crse2_key, save_crse2_key
+from repro.crypto.serialize import ElementSizeModel
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Circular range search on encrypted spatial data "
+        "(ICDCS 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    keygen = sub.add_parser("keygen", help="generate a CRSE-II key")
+    keygen.add_argument("--size", type=int, default=1024, help="dimension size T")
+    keygen.add_argument("--dims", type=int, default=2, help="dimensions w")
+    keygen.add_argument(
+        "--backend", choices=("fast", "pairing"), default="fast"
+    )
+    keygen.add_argument("--seed", type=int, default=None)
+    keygen.add_argument("--out", type=Path, required=True)
+
+    encrypt = sub.add_parser("encrypt", help="encrypt a CSV of points")
+    encrypt.add_argument("--key", type=Path, required=True)
+    encrypt.add_argument(
+        "--points", type=Path, required=True, help="CSV: one 'x,y' per line"
+    )
+    encrypt.add_argument("--seed", type=int, default=None)
+    encrypt.add_argument("--out", type=Path, required=True)
+
+    token = sub.add_parser("token", help="tokenize a circular query")
+    token.add_argument("--key", type=Path, required=True)
+    token.add_argument(
+        "--center", required=True, help="query center, e.g. '100,200'"
+    )
+    token.add_argument("--radius", type=int, required=True)
+    token.add_argument(
+        "--hide-to", type=int, default=None, help="dummy-pad to K sub-tokens"
+    )
+    token.add_argument("--seed", type=int, default=None)
+    token.add_argument("--out", type=Path, required=True)
+
+    search = sub.add_parser("search", help="scan records with a token")
+    search.add_argument("--key", type=Path, required=True)
+    search.add_argument("--records", type=Path, required=True)
+    search.add_argument("--token", type=Path, required=True)
+
+    sub.add_parser("tables", help="print the paper's deterministic anchors")
+
+    calibrate = sub.add_parser("calibrate", help="time the backends")
+    calibrate.add_argument(
+        "--backend", choices=("fast", "pairing", "both"), default="both"
+    )
+
+    demo = sub.add_parser("demo", help="self-contained end-to-end run")
+    demo.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def _rng(seed: int | None) -> random.Random:
+    return random.Random(seed) if seed is not None else random.Random()
+
+
+def _parse_point(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.strip().split(","))
+
+
+def _cmd_keygen(args, out) -> int:
+    rng = _rng(args.seed)
+    space = DataSpace(w=args.dims, t=args.size)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, args.backend, rng))
+    key = scheme.gen_key(rng)
+    args.out.write_bytes(save_crse2_key(scheme, key))
+    print(
+        f"wrote CRSE-II key for Δ^{args.dims}_{args.size} "
+        f"({args.backend} backend) to {args.out}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_encrypt(args, out) -> int:
+    scheme, key = load_crse2_key(args.key.read_bytes())
+    rng = _rng(args.seed)
+    lines = [
+        line for line in args.points.read_text().splitlines() if line.strip()
+    ]
+    with args.out.open("w") as sink:
+        for identifier, line in enumerate(lines):
+            point = _parse_point(line)
+            blob = encode_ciphertext(
+                scheme, scheme.encrypt(key, point, rng)
+            )
+            sink.write(f"{identifier}:{blob.hex()}\n")
+    print(f"encrypted {len(lines)} records to {args.out}", file=out)
+    return 0
+
+
+def _cmd_token(args, out) -> int:
+    scheme, key = load_crse2_key(args.key.read_bytes())
+    rng = _rng(args.seed)
+    circle = Circle.from_radius(_parse_point(args.center), args.radius)
+    token = scheme.gen_token(key, circle, rng, hide_radius_to=args.hide_to)
+    blob = encode_token(scheme, token)
+    args.out.write_bytes(blob)
+    print(
+        f"wrote token ({token.num_sub_tokens} sub-tokens, "
+        f"{len(blob)} bytes) to {args.out}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_search(args, out) -> int:
+    scheme, _key = load_crse2_key(args.key.read_bytes())
+    token = decode_token(scheme, args.token.read_bytes())
+    matches = []
+    for line in args.records.read_text().splitlines():
+        if not line.strip():
+            continue
+        identifier, hex_blob = line.split(":", 1)
+        ciphertext = decode_ciphertext(scheme, bytes.fromhex(hex_blob))
+        if scheme.matches(token, ciphertext):
+            matches.append(int(identifier))
+    print(f"matches: {matches}", file=out)
+    return 0
+
+
+def _cmd_tables(args, out) -> int:
+    model = ElementSizeModel.paper()
+    print("m(R) for w = 2 (Fig. 9 anchors):", file=out)
+    for radius in (1, 2, 3, 5, 10, 20, 50):
+        print(f"  R = {radius:>2}: m = {num_concentric_circles(radius * radius)}", file=out)
+    print("\nCRSE-I object sizes at 512-bit field (Table II):", file=out)
+    for radius in (1, 2, 3):
+        m = num_concentric_circles(radius * radius)
+        naive_kb = model.ssw_object_bytes(naive_alpha(2, m)) / 1000
+        opt_kb = model.ssw_object_bytes(optimized_alpha(2, m)) / 1000
+        print(
+            f"  R = {radius}: naive {naive_kb:.2f} KB, optimized {opt_kb:.2f} KB",
+            file=out,
+        )
+    print(
+        f"\nCRSE-II: ciphertext {model.crse2_ciphertext_bytes()} B (Fig. 13); "
+        f"token at R = 10: {model.crse2_token_bytes(44) / 1000:.2f} KB (Fig. 14)",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_calibrate(args, out) -> int:
+    rng = random.Random(0xCA11)
+    backends = (
+        ["fast", "pairing"] if args.backend == "both" else [args.backend]
+    )
+    print(
+        f"paper reference: {PAPER_EC2_MODEL.pairing_ms} ms/pairing "
+        "(PBC on EC2 medium)",
+        file=out,
+    )
+    for backend in backends:
+        group = provision_group(10**6, backend, rng, noise_bits=16)
+        model = measure_calibration(group, repetitions=10)
+        print(
+            f"{model.label}: pairing {model.pairing_ms:.3f} ms, "
+            f"exp {model.exponentiation_ms:.3f} ms, "
+            f"mult {model.multiplication_ms:.4f} ms",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_demo(args, out) -> int:
+    from repro.cloud.deployment import CloudDeployment
+
+    rng = _rng(args.seed)
+    space = DataSpace(w=2, t=256)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    cloud = CloudDeployment.create(scheme, rng=rng)
+    points = [(50, 50), (52, 51), (200, 10)]
+    cloud.outsource(points)
+    hits = cloud.query_points(Circle.from_radius((51, 51), 5))
+    print(f"outsourced {points}; query circle (51,51) R=5 → {sorted(hits)}", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "keygen": _cmd_keygen,
+    "encrypt": _cmd_encrypt,
+    "token": _cmd_token,
+    "search": _cmd_search,
+    "tables": _cmd_tables,
+    "calibrate": _cmd_calibrate,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

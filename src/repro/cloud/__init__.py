@@ -1,0 +1,54 @@
+"""Simulated cloud deployment: the paper's system model as running code."""
+
+from repro.cloud.client import DataUser
+from repro.cloud.codec import (
+    decode_ciphertext,
+    decode_token,
+    encode_ciphertext,
+    encode_token,
+)
+from repro.cloud.costmodel import (
+    PAPER_EC2_MODEL,
+    CostModel,
+    QueryLatencyEstimate,
+    estimate_query_latency,
+    measure_calibration,
+)
+from repro.cloud.deployment import CloudDeployment
+from repro.cloud.messages import (
+    QueryRequest,
+    SearchRequest,
+    SearchResponse,
+    TokenResponse,
+    UploadDataset,
+    UploadRecord,
+)
+from repro.cloud.network import Channel, ChannelStats, LatencyModel
+from repro.cloud.owner import DataOwner
+from repro.cloud.server import CloudServer, SearchStats
+
+__all__ = [
+    "Channel",
+    "ChannelStats",
+    "CloudDeployment",
+    "CloudServer",
+    "CostModel",
+    "DataOwner",
+    "DataUser",
+    "LatencyModel",
+    "QueryLatencyEstimate",
+    "PAPER_EC2_MODEL",
+    "QueryRequest",
+    "SearchRequest",
+    "SearchResponse",
+    "SearchStats",
+    "TokenResponse",
+    "UploadDataset",
+    "UploadRecord",
+    "decode_ciphertext",
+    "decode_token",
+    "encode_ciphertext",
+    "encode_token",
+    "estimate_query_latency",
+    "measure_calibration",
+]

@@ -1,0 +1,88 @@
+"""The data user: query issuance over the one-round protocol.
+
+A data user trusts the data owner (who tokenizes queries) but not the cloud
+server.  One circular range search is exactly one round with the server —
+``SearchRequest`` out, ``SearchResponse`` back — which is the interaction
+pattern the paper sets as a design goal against compute-then-compare
+alternatives (Sec. III, "A Straightforward Design").
+"""
+
+from __future__ import annotations
+
+from repro.cloud.messages import (
+    FetchRequest,
+    QueryRequest,
+    SearchRequest,
+    SearchResponse,
+)
+from repro.cloud.network import Channel
+from repro.cloud.owner import DataOwner
+from repro.cloud.server import CloudServer
+from repro.core.geometry import Circle
+
+__all__ = ["DataUser"]
+
+
+class DataUser:
+    """A querier wired to a data owner and a cloud server via channels."""
+
+    def __init__(
+        self,
+        owner: DataOwner,
+        server: CloudServer,
+        owner_channel: Channel,
+        server_channel: Channel,
+    ):
+        self._owner = owner
+        self._server = server
+        self._owner_channel = owner_channel
+        self._server_channel = server_channel
+
+    def search(
+        self, circle: Circle, hide_radius_to: int | None = None
+    ) -> SearchResponse:
+        """Run one full circular range query.
+
+        Flows 2-5 of Fig. 2: ask the owner for a token, forward it to the
+        server, return the server's response.
+
+        Args:
+            circle: The query circle.
+            hide_radius_to: Optional CRSE-II dummy-token padding ``K``.
+        """
+        request = QueryRequest(circle=circle, hide_radius_to=hide_radius_to)
+        self._owner_channel.deliver(request)
+        token = self._owner.handle_query(request)
+        self._owner_channel.deliver(token)
+
+        search = SearchRequest(payload=token.payload)
+        self._server_channel.deliver(search)
+        response = self._server.handle_search(search)
+        self._server_channel.deliver(response)
+        return response
+
+    def fetch_contents(self, identifiers: tuple[int, ...]) -> dict[int, bytes]:
+        """Retrieve and decrypt matched records' contents.
+
+        The server ships the traditional-encryption ciphertexts; decryption
+        happens client-side with the record key the (trusted) owner shares
+        with its users.
+        """
+        request = FetchRequest(identifiers=tuple(identifiers))
+        self._server_channel.deliver(request)
+        response = self._server.handle_fetch(request)
+        self._server_channel.deliver(response)
+        cipher = self._owner.record_cipher
+        return {
+            identifier: cipher.decrypt(body)
+            for identifier, body in response.contents
+        }
+
+    @property
+    def server_round_trips(self) -> int:
+        """Messages exchanged with the untrusted server, in rounds.
+
+        Exactly one per query — the paper's "minimal one-round client-server
+        interaction".
+        """
+        return self._server_channel.stats.messages // 2

@@ -1,0 +1,92 @@
+"""Wire encoding of scheme-level ciphertexts and tokens.
+
+The cloud protocol ships bytes; this codec maps CRSE-I/CRSE-II objects onto
+the SSW wire format from :mod:`repro.crypto.serialize`.  A CRSE-II token is
+framed as a 2-byte sub-token count followed by the fixed-size SSW token
+blobs (sub-token order is exactly the permuted order — the wire must not
+re-sort what ``Permute`` shuffled).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import CRSEScheme
+from repro.core.crse1 import CRSE1Ciphertext, CRSE1Scheme, CRSE1Token
+from repro.core.crse2 import CRSE2Ciphertext, CRSE2Scheme, CRSE2Token
+from repro.crypto.serialize import (
+    deserialize_ciphertext,
+    deserialize_token,
+    serialize_ciphertext,
+    serialize_token,
+)
+from repro.errors import SerializationError
+
+__all__ = [
+    "encode_ciphertext",
+    "decode_ciphertext",
+    "encode_token",
+    "decode_token",
+]
+
+_COUNT_PREFIX = 2
+
+
+def encode_ciphertext(scheme: CRSEScheme, ciphertext) -> bytes:
+    """Serialize a scheme ciphertext for upload."""
+    if isinstance(ciphertext, (CRSE1Ciphertext, CRSE2Ciphertext)):
+        return serialize_ciphertext(scheme.group, ciphertext.ssw)
+    raise SerializationError(
+        f"cannot encode ciphertext of type {type(ciphertext).__name__}"
+    )
+
+
+def decode_ciphertext(scheme: CRSEScheme, data: bytes):
+    """Deserialize an uploaded ciphertext for the scheme in use."""
+    ssw = deserialize_ciphertext(scheme.group, data)
+    if isinstance(scheme, CRSE1Scheme):
+        return CRSE1Ciphertext(ssw=ssw)
+    if isinstance(scheme, CRSE2Scheme):
+        return CRSE2Ciphertext(ssw=ssw)
+    raise SerializationError(
+        f"cannot decode ciphertexts for scheme {type(scheme).__name__}"
+    )
+
+
+def encode_token(scheme: CRSEScheme, token) -> bytes:
+    """Serialize a search token for transmission."""
+    if isinstance(token, CRSE1Token):
+        return serialize_token(scheme.group, token.ssw)
+    if isinstance(token, CRSE2Token):
+        chunks = [len(token.sub_tokens).to_bytes(_COUNT_PREFIX, "big")]
+        chunks.extend(
+            serialize_token(scheme.group, sub) for sub in token.sub_tokens
+        )
+        return b"".join(chunks)
+    raise SerializationError(f"cannot encode token of type {type(token).__name__}")
+
+
+def decode_token(scheme: CRSEScheme, data: bytes):
+    """Deserialize a search token for the scheme in use.
+
+    Raises:
+        SerializationError: On malformed framing.
+    """
+    if isinstance(scheme, CRSE1Scheme):
+        return CRSE1Token(ssw=deserialize_token(scheme.group, data))
+    if isinstance(scheme, CRSE2Scheme):
+        if len(data) < _COUNT_PREFIX:
+            raise SerializationError("truncated CRSE-II token")
+        count = int.from_bytes(data[:_COUNT_PREFIX], "big")
+        body = data[_COUNT_PREFIX:]
+        if count == 0:
+            raise SerializationError("CRSE-II token must have sub-tokens")
+        if len(body) % count != 0:
+            raise SerializationError("CRSE-II token framing is inconsistent")
+        chunk = len(body) // count
+        subs = tuple(
+            deserialize_token(scheme.group, body[i * chunk : (i + 1) * chunk])
+            for i in range(count)
+        )
+        return CRSE2Token(sub_tokens=subs)
+    raise SerializationError(
+        f"cannot decode tokens for scheme {type(scheme).__name__}"
+    )

@@ -1,0 +1,179 @@
+"""EC2-calibrated cost model: operation counts → paper-scale milliseconds.
+
+The paper measures on an Amazon EC2 medium instance (2×2.5 GHz, 4 GB) with
+GMP+PBC, reporting "the average running time of a pairing operation with
+the preprocessing model in PBC is around 0.44 milliseconds".  Our backends
+run pure Python, so absolute wall-clock differs by a constant factor; to
+compare *shapes and scales* against the paper we translate operation counts
+(:mod:`repro.analysis.opcount`) through per-operation constants.
+
+``PAPER_EC2_MODEL``'s exponentiation constant is back-solved from the
+paper's own numbers and is self-consistent across all of them:
+
+* CRSE-II encryption at ``w=2`` is 40 exponentiations; the paper reports
+  5.61 ms → 0.14 ms/exp.
+* CRSE-II token generation is 46 exps/sub-token; the paper reports
+  329.47 ms at ``m = 44`` → 7.49 ms/sub-token → 0.16 ms/exp.
+* CRSE-II average search at ``R = 10`` is ``m/2 = 22`` sub-token queries ×
+  10 pairings × 0.44 ms ≈ 97 ms; the paper reports 98.65 ms.
+
+``measure_calibration`` times a live backend instead, for honest "our
+hardware" numbers next to the paper-scale ones in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.analysis.opcount import OpCount
+from repro.crypto.groups.base import CompositeBilinearGroup
+
+__all__ = [
+    "CostModel",
+    "PAPER_EC2_MODEL",
+    "QueryLatencyEstimate",
+    "estimate_query_latency",
+    "measure_calibration",
+]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation time constants, in milliseconds."""
+
+    pairing_ms: float
+    exponentiation_ms: float
+    multiplication_ms: float
+    label: str = "custom"
+
+    def time_ms(self, ops: OpCount) -> float:
+        """Predicted milliseconds for an operation count."""
+        return (
+            ops.pairings * self.pairing_ms
+            + ops.exponentiations * self.exponentiation_ms
+            + ops.multiplications * self.multiplication_ms
+        )
+
+    def time_s(self, ops: OpCount) -> float:
+        """Predicted seconds for an operation count."""
+        return self.time_ms(ops) / 1000.0
+
+
+#: The paper's EC2 medium instance with PBC preprocessing (Sec. VIII).
+PAPER_EC2_MODEL = CostModel(
+    pairing_ms=0.44,
+    exponentiation_ms=0.15,
+    multiplication_ms=0.002,
+    label="paper-ec2-medium",
+)
+
+
+@dataclass(frozen=True)
+class QueryLatencyEstimate:
+    """Breakdown of one end-to-end circular query, in milliseconds."""
+
+    token_generation_ms: float
+    token_transfer_ms: float
+    server_search_ms: float
+    response_transfer_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        """Sum of all phases."""
+        return (
+            self.token_generation_ms
+            + self.token_transfer_ms
+            + self.server_search_ms
+            + self.response_transfer_ms
+        )
+
+
+def estimate_query_latency(
+    m: int,
+    n_records: int,
+    model: CostModel,
+    w: int = 2,
+    expected_matches: int = 0,
+    rtt_ms: float = 0.0,
+    bandwidth_mbps: float = 0.0,
+    element_bytes: int = 64,
+) -> QueryLatencyEstimate:
+    """End-to-end latency model for one CRSE-II query.
+
+    Combines the crypto cost model with the transfer cost of the token
+    (``m`` sub-tokens of ``2(w+2)+2`` elements) and the response.  Matching
+    records are charged the average case (``m/2`` sub-tokens), misses the
+    full ``m`` — the composition behind the paper's Fig. 16 totals, plus
+    the network terms the paper leaves implicit.
+    """
+    from repro.analysis.opcount import (
+        crse2_gen_token_ops,
+        crse2_search_record_ops,
+    )
+
+    token_ms = model.time_ms(crse2_gen_token_ops(m, w))
+    misses = max(n_records - expected_matches, 0)
+    search_ops = misses * crse2_search_record_ops(m, w) + (
+        expected_matches * crse2_search_record_ops(max(1, m // 2), w)
+    )
+    search_ms = model.time_ms(search_ops)
+    token_bytes = m * (2 * (w + 2) + 2) * element_bytes
+    response_bytes = 8 * expected_matches
+
+    def transfer(size_bytes: int) -> float:
+        cost = rtt_ms
+        if bandwidth_mbps > 0:
+            cost += size_bytes * 8 / (bandwidth_mbps * 1000.0)
+        return cost
+
+    return QueryLatencyEstimate(
+        token_generation_ms=token_ms,
+        token_transfer_ms=transfer(token_bytes),
+        server_search_ms=search_ms,
+        response_transfer_ms=transfer(response_bytes),
+    )
+
+
+def measure_calibration(
+    group: CompositeBilinearGroup,
+    repetitions: int = 20,
+    rng: random.Random | None = None,
+) -> CostModel:
+    """Time one pairing/exponentiation/multiplication on a live backend.
+
+    Args:
+        group: The backend to calibrate.
+        repetitions: Averaging rounds per operation.
+        rng: Randomness for the sampled operands.
+
+    Returns:
+        A :class:`CostModel` labelled with the backend's class name.
+    """
+    rng = rng or random.Random(0xCA11)
+    g = group.generator()
+    elements = [g ** group.random_exponent(rng) for _ in range(repetitions)]
+    exponents = [group.random_exponent(rng) for _ in range(repetitions)]
+
+    started = time.perf_counter()
+    for element in elements:
+        group.pair(element, g)
+    pairing_ms = (time.perf_counter() - started) * 1000.0 / repetitions
+
+    started = time.perf_counter()
+    for element, exponent in zip(elements, exponents):
+        _ = element**exponent
+    exp_ms = (time.perf_counter() - started) * 1000.0 / repetitions
+
+    started = time.perf_counter()
+    for element in elements:
+        _ = element * g
+    mult_ms = (time.perf_counter() - started) * 1000.0 / repetitions
+
+    return CostModel(
+        pairing_ms=pairing_ms,
+        exponentiation_ms=exp_ms,
+        multiplication_ms=mult_ms,
+        label=type(group).__name__,
+    )

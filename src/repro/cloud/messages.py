@@ -1,0 +1,150 @@
+"""Protocol messages for the outsourced-search system model (paper Fig. 2).
+
+The paper's deployment has three principals and five message flows:
+
+1. data owner → cloud server: the encrypted dataset,
+2. data user → data owner: a circular range query (center, radius),
+3. data owner → data user: the search token for that query,
+4. data user → cloud server: the search token,
+5. cloud server → data user: the matching identifiers.
+
+Messages carry already-serialized payloads (bytes), so the channel layer
+can do honest byte accounting — the numbers behind the paper's
+ciphertext-size and token-size figures are exactly these payload lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.geometry import Circle
+
+__all__ = [
+    "UploadRecord",
+    "UploadDataset",
+    "QueryRequest",
+    "TokenResponse",
+    "SearchRequest",
+    "SearchResponse",
+]
+
+
+@dataclass(frozen=True)
+class UploadRecord:
+    """One encrypted record as shipped to the server.
+
+    ``payload`` is the searchable CRSE ciphertext of the coordinates;
+    ``content`` is the record's body under the independent traditional
+    encryption layer the paper assumes (Sec. III) — opaque bytes to the
+    server, fetched back by identifier after a search.
+    """
+
+    identifier: int
+    payload: bytes
+    content: bytes = b""
+
+    @property
+    def size_bytes(self) -> int:
+        """Payload size (identifier overhead excluded, as in the paper)."""
+        return len(self.payload) + len(self.content)
+
+
+@dataclass(frozen=True)
+class UploadDataset:
+    """Message 1: the encrypted dataset."""
+
+    records: tuple[UploadRecord, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        """Total ciphertext bytes."""
+        return sum(record.size_bytes for record in self.records)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """Message 2: a data user asks the owner to tokenize a query.
+
+    Sent over the trusted user↔owner channel (the user trusts the data
+    owner, paper Sec. III), so it may carry the plaintext circle.
+    """
+
+    circle: Circle
+    hide_radius_to: int | None = None
+
+
+@dataclass(frozen=True)
+class TokenResponse:
+    """Message 3: the owner returns the search token (serialized)."""
+
+    payload: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """Token size in bytes — the quantity in Fig. 14 / Table II."""
+        return len(self.payload)
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """Message 4: the user forwards the token to the cloud server."""
+
+    payload: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """Token size in bytes."""
+        return len(self.payload)
+
+
+@dataclass(frozen=True)
+class SearchResponse:
+    """Message 5: identifiers of matching encrypted records."""
+
+    identifiers: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate response size (8 bytes per identifier)."""
+        return 8 * len(self.identifiers)
+
+
+@dataclass(frozen=True)
+class FetchRequest:
+    """Follow-up: retrieve the encrypted contents of matched records."""
+
+    identifiers: tuple[int, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        """Request size (8 bytes per identifier)."""
+        return 8 * len(self.identifiers)
+
+
+@dataclass(frozen=True)
+class FetchResponse:
+    """Encrypted record bodies, by identifier."""
+
+    contents: tuple[tuple[int, bytes], ...]
+
+    @property
+    def size_bytes(self) -> int:
+        """Total encrypted-content bytes (plus 8 per identifier)."""
+        return sum(8 + len(body) for _, body in self.contents)
+
+
+@dataclass(frozen=True)
+class DeleteRequest:
+    """Dynamic update: remove records by identifier.
+
+    Linear CRSE needs no index maintenance for deletions — one reason the
+    paper highlights that trees make "secure dynamic data … another major
+    challenging issue" while the linear design stays trivially dynamic.
+    """
+
+    identifiers: tuple[int, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        """Request size (8 bytes per identifier)."""
+        return 8 * len(self.identifiers)

@@ -1,0 +1,83 @@
+"""Simulated network channels with byte accounting and a latency model.
+
+The paper's evaluation runs on one EC2 instance and reports crypto time and
+object sizes; client↔server transfer cost is implicit in the token and
+ciphertext sizes.  The reproduction makes that explicit: every message flow
+passes through a :class:`Channel` that records message counts and bytes and
+(optionally) accumulates simulated wall-clock under a simple
+latency + bandwidth model, so examples and benchmarks can report end-to-end
+protocol cost, not just crypto time.
+
+One-round interaction — the design goal the paper contrasts with
+compute-then-compare protocols — shows up here directly: a full query is
+exactly one ``SearchRequest`` and one ``SearchResponse`` on the
+client↔server channel (:class:`repro.cloud.deployment.CloudDeployment`
+asserts this in its round accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["LatencyModel", "ChannelStats", "Channel"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """A fixed-RTT plus bandwidth cost model.
+
+    Attributes:
+        rtt_ms: One round-trip time charged per message.
+        bandwidth_mbps: Link bandwidth in megabits per second; zero or
+            negative disables the bandwidth term.
+    """
+
+    rtt_ms: float = 0.0
+    bandwidth_mbps: float = 0.0
+
+    def transfer_ms(self, size_bytes: int) -> float:
+        """Simulated milliseconds to deliver one message of *size_bytes*."""
+        cost = self.rtt_ms
+        if self.bandwidth_mbps > 0:
+            cost += size_bytes * 8 / (self.bandwidth_mbps * 1000.0)
+        return cost
+
+
+@dataclass
+class ChannelStats:
+    """Running totals for one channel."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    simulated_ms: float = 0.0
+
+    def record(self, size_bytes: int, cost_ms: float) -> None:
+        """Account for one delivered message."""
+        self.messages += 1
+        self.bytes_sent += size_bytes
+        self.simulated_ms += cost_ms
+
+
+@dataclass
+class Channel:
+    """A point-to-point simulated link between two principals.
+
+    Messages are delivered synchronously (returned to the caller); the
+    channel only observes and accounts.  Message objects must expose a
+    ``size_bytes`` property (all :mod:`repro.cloud.messages` types do).
+    """
+
+    name: str
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    stats: ChannelStats = field(default_factory=ChannelStats)
+
+    def deliver(self, message: Any) -> Any:
+        """Deliver *message*, recording its size and simulated latency."""
+        size = getattr(message, "size_bytes", 0)
+        self.stats.record(size, self.latency.transfer_ms(size))
+        return message
+
+    def reset_stats(self) -> None:
+        """Zero the counters (e.g. between benchmark repetitions)."""
+        self.stats = ChannelStats()

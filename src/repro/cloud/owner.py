@@ -1,0 +1,119 @@
+"""The data owner: key management, dataset encryption, token issuance.
+
+The owner is the only principal holding the CRSE secret key (paper Sec.
+III: "The data owner manages the secret keys for encrypting data and
+generating search tokens").  Data users are trusted by the owner and obtain
+tokens through :class:`repro.cloud.client.DataUser`'s query flow.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.cloud.codec import encode_ciphertext, encode_token
+from repro.cloud.messages import (
+    QueryRequest,
+    TokenResponse,
+    UploadDataset,
+    UploadRecord,
+)
+from repro.core.base import CRSEScheme
+from repro.core.crse2 import CRSE2Scheme
+from repro.crypto.recordcipher import RecordCipher
+from repro.errors import ProtocolError
+
+__all__ = ["DataOwner"]
+
+
+class DataOwner:
+    """Holds the secret key; encrypts records and issues tokens."""
+
+    def __init__(
+        self,
+        scheme: CRSEScheme,
+        rng: random.Random | None = None,
+        record_key: bytes | None = None,
+    ):
+        """Generate a fresh key for *scheme*.
+
+        Args:
+            scheme: The CRSE construction to deploy.
+            rng: Randomness source; defaults to a fresh system-seeded one.
+            record_key: Master key for the traditional-encryption layer
+                protecting record contents; generated if omitted.
+        """
+        self.scheme = scheme
+        self._rng = rng or random.Random()
+        self._key = scheme.gen_key(self._rng)
+        self.record_cipher = RecordCipher(
+            record_key if record_key is not None else RecordCipher.generate_key()
+        )
+        self._next_identifier = 0
+        # identifier → plaintext point, so the owner can interpret results.
+        self.directory: dict[int, tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def encrypt_dataset(
+        self,
+        points: Sequence[Sequence[int]],
+        contents: Sequence[bytes] | None = None,
+    ) -> UploadDataset:
+        """Encrypt *points* and build the upload message (flow 1 in Fig. 2).
+
+        Args:
+            points: Spatial coordinates, one record each.
+            contents: Optional plaintext record bodies; each is protected by
+                the independent traditional-encryption layer before upload.
+
+        Raises:
+            ProtocolError: If *contents* has a different length than *points*.
+        """
+        if contents is not None and len(contents) != len(points):
+            raise ProtocolError("one content body per point required")
+        records = []
+        for index, point in enumerate(points):
+            identifier = self._next_identifier
+            self._next_identifier += 1
+            ciphertext = self.scheme.encrypt(self._key, point, self._rng)
+            self.directory[identifier] = tuple(point)
+            body = b""
+            if contents is not None:
+                body = self.record_cipher.encrypt(contents[index])
+            records.append(
+                UploadRecord(
+                    identifier=identifier,
+                    payload=encode_ciphertext(self.scheme, ciphertext),
+                    content=body,
+                )
+            )
+        return UploadDataset(records=tuple(records))
+
+    def handle_query(self, request: QueryRequest) -> TokenResponse:
+        """Tokenize a trusted user's query (flows 2 → 3 in Fig. 2).
+
+        Raises:
+            ProtocolError: If radius hiding is requested on a scheme that
+                only supports it at key-generation time (CRSE-I).
+        """
+        if request.hide_radius_to is not None and not isinstance(
+            self.scheme, CRSE2Scheme
+        ):
+            raise ProtocolError(
+                "per-query radius hiding requires CRSE-II; CRSE-I fixes the "
+                "padding K at key generation"
+            )
+        if isinstance(self.scheme, CRSE2Scheme):
+            token = self.scheme.gen_token(
+                self._key,
+                request.circle,
+                self._rng,
+                hide_radius_to=request.hide_radius_to,
+            )
+        else:
+            token = self.scheme.gen_token(self._key, request.circle, self._rng)
+        return TokenResponse(payload=encode_token(self.scheme, token))
+
+    def resolve(self, identifiers: Sequence[int]) -> list[tuple[int, ...]]:
+        """Map result identifiers back to plaintext points (owner-side)."""
+        return [self.directory[i] for i in identifiers]

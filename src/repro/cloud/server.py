@@ -1,0 +1,197 @@
+"""The semi-honest cloud server.
+
+Stores the encrypted dataset and answers search tokens by the paper's
+linear scan (Sec. VI-D discusses why linear is the honest baseline for a
+first construction).  The server holds only **public** material: the scheme
+object (public parameters: data space, group, split form) — never the
+secret key.  Consequently everything it can compute is exactly the paper's
+leakage function: Boolean match results (access pattern), repeated token
+bytes (search pattern), record and query counts (size pattern), and the
+sub-token count of CRSE-II tokens (radius pattern).
+
+``parallel_search`` models the paper's closing remark that "the performance
+… can be further improved by using parallel computing with multiple
+instances of Amazon EC2": records are partitioned across *k* simulated
+instances; the reported wall-clock is the slowest partition.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cloud.codec import decode_ciphertext, decode_token
+from repro.cloud.messages import (
+    DeleteRequest,
+    FetchRequest,
+    FetchResponse,
+    SearchRequest,
+    SearchResponse,
+    UploadDataset,
+)
+from repro.core.base import CRSEScheme, EncryptedRecord
+from repro.core.crse2 import CRSE2Scheme
+from repro.errors import ProtocolError
+
+__all__ = ["SearchStats", "CloudServer"]
+
+
+@dataclass
+class SearchStats:
+    """Observable work done for one search request."""
+
+    records_scanned: int = 0
+    matches: int = 0
+    sub_token_evaluations: int = 0
+    elapsed_ms: float = 0.0
+
+
+@dataclass
+class _ServerLog:
+    """What a curious server could write down (the leakage function)."""
+
+    uploads: int = 0
+    records_stored: int = 0
+    queries_served: int = 0
+    token_sizes: list[int] = field(default_factory=list)
+    sub_token_counts: list[int] = field(default_factory=list)
+    access_pattern: list[tuple[int, ...]] = field(default_factory=list)
+
+
+class CloudServer:
+    """Honest-but-curious storage and search service."""
+
+    def __init__(self, scheme: CRSEScheme):
+        """Create a server knowing only public scheme parameters."""
+        self.scheme = scheme
+        self._records: list[EncryptedRecord] = []
+        self._contents: dict[int, bytes] = {}
+        self.log = _ServerLog()
+        self.last_search_stats = SearchStats()
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    @property
+    def record_count(self) -> int:
+        """Number of stored encrypted records (the size pattern)."""
+        return len(self._records)
+
+    def handle_upload(self, message: UploadDataset) -> None:
+        """Store an encrypted dataset (message 1).
+
+        Raises:
+            ProtocolError: On duplicate identifiers.
+        """
+        seen = {record.identifier for record in self._records}
+        for upload in message.records:
+            if upload.identifier in seen:
+                raise ProtocolError(
+                    f"duplicate record identifier {upload.identifier}"
+                )
+            seen.add(upload.identifier)
+            ciphertext = decode_ciphertext(self.scheme, upload.payload)
+            self._records.append(
+                EncryptedRecord(upload.identifier, ciphertext)
+            )
+            if upload.content:
+                self._contents[upload.identifier] = upload.content
+        self.log.uploads += 1
+        self.log.records_stored = len(self._records)
+
+    def handle_fetch(self, message: FetchRequest) -> FetchResponse:
+        """Return the encrypted contents of previously matched records.
+
+        Raises:
+            ProtocolError: For an unknown identifier.
+        """
+        contents = []
+        for identifier in message.identifiers:
+            if identifier not in self._contents:
+                raise ProtocolError(
+                    f"no stored content for identifier {identifier}"
+                )
+            contents.append((identifier, self._contents[identifier]))
+        return FetchResponse(contents=tuple(contents))
+
+    def handle_delete(self, message: DeleteRequest) -> int:
+        """Remove records (the trivially-dynamic upside of linear search).
+
+        Returns:
+            How many records were actually removed.
+        """
+        doomed = set(message.identifiers)
+        before = len(self._records)
+        self._records = [
+            record for record in self._records if record.identifier not in doomed
+        ]
+        for identifier in doomed:
+            self._contents.pop(identifier, None)
+        removed = before - len(self._records)
+        self.log.records_stored = len(self._records)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def handle_search(self, message: SearchRequest) -> SearchResponse:
+        """Linear-scan search (messages 4 → 5)."""
+        token = decode_token(self.scheme, message.payload)
+        self.log.queries_served += 1
+        self.log.token_sizes.append(message.size_bytes)
+        if hasattr(token, "num_sub_tokens"):
+            self.log.sub_token_counts.append(token.num_sub_tokens)
+
+        stats = SearchStats()
+        started = time.perf_counter()
+        identifiers = []
+        for record in self._records:
+            stats.records_scanned += 1
+            if isinstance(self.scheme, CRSE2Scheme):
+                matched, evaluated = self.scheme.matches_with_stats(
+                    token, record.ciphertext
+                )
+                stats.sub_token_evaluations += evaluated
+            else:
+                matched = self.scheme.matches(token, record.ciphertext)
+                stats.sub_token_evaluations += 1
+            if matched:
+                identifiers.append(record.identifier)
+        stats.matches = len(identifiers)
+        stats.elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self.last_search_stats = stats
+        self.log.access_pattern.append(tuple(identifiers))
+        return SearchResponse(identifiers=tuple(identifiers))
+
+    def parallel_search(
+        self, message: SearchRequest, instances: int
+    ) -> tuple[SearchResponse, float]:
+        """Search with the dataset partitioned over *instances* simulated VMs.
+
+        Returns:
+            The combined response and the simulated wall-clock (ms): the
+            maximum per-partition scan time, since partitions run
+            independently on separate instances.
+
+        Raises:
+            ProtocolError: If *instances* is not positive.
+        """
+        if instances < 1:
+            raise ProtocolError("need at least one instance")
+        token = decode_token(self.scheme, message.payload)
+        partitions: list[list[EncryptedRecord]] = [
+            self._records[i::instances] for i in range(instances)
+        ]
+        identifiers: list[int] = []
+        slowest_ms = 0.0
+        for partition in partitions:
+            started = time.perf_counter()
+            for record in partition:
+                if self.scheme.matches(token, record.ciphertext):
+                    identifiers.append(record.identifier)
+            slowest_ms = max(
+                slowest_ms, (time.perf_counter() - started) * 1000.0
+            )
+        self.log.queries_served += 1
+        identifiers.sort()
+        return SearchResponse(identifiers=tuple(identifiers)), slowest_ms

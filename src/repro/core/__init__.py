@@ -1,0 +1,106 @@
+"""The paper's contribution: CPE, CRSE-I, and CRSE-II."""
+
+from repro.core.base import (
+    CRSEScheme,
+    EncryptedRecord,
+    encrypt_dataset,
+    linear_search,
+)
+from repro.core.composite import (
+    annulus_radii_squared,
+    gen_annulus_token,
+    gen_union_token,
+    point_in_annulus,
+)
+from repro.core.concircles import (
+    gen_con_circle,
+    gen_con_circles_for,
+    num_concentric_circles,
+)
+from repro.core.cpe import (
+    CirclePredicateEncryption,
+    CPECiphertext,
+    CPEKey,
+    CPEToken,
+)
+from repro.core.crse1 import CRSE1Ciphertext, CRSE1Key, CRSE1Scheme, CRSE1Token
+from repro.core.crse2 import (
+    CRSE2Ciphertext,
+    CRSE2Key,
+    CRSE2Scheme,
+    CRSE2Token,
+    dummy_circle,
+)
+from repro.core.geometry import (
+    Circle,
+    DataSpace,
+    distance_squared,
+    point_in_circle,
+    point_on_boundary,
+)
+from repro.core.interval import (
+    IntervalScheme,
+    RectangleScheme,
+    interval_inner_product_bound,
+)
+from repro.core.permute import permutation_from_beta, permute, random_beta
+from repro.core.provision import group_for_crse1, group_for_crse2, provision_group
+from repro.core.region import Rectangle, gen_region_token
+from repro.core.simplex import Simplex, SimplexRangeScheme
+from repro.core.split import (
+    SplitForm,
+    naive_alpha,
+    optimized_alpha,
+    split_boundary,
+    split_product,
+)
+
+__all__ = [
+    "CPECiphertext",
+    "CPEKey",
+    "CPEToken",
+    "CRSE1Ciphertext",
+    "CRSE1Key",
+    "CRSE1Scheme",
+    "CRSE1Token",
+    "CRSE2Ciphertext",
+    "CRSE2Key",
+    "CRSE2Scheme",
+    "CRSE2Token",
+    "CRSEScheme",
+    "Circle",
+    "CirclePredicateEncryption",
+    "DataSpace",
+    "EncryptedRecord",
+    "IntervalScheme",
+    "Rectangle",
+    "RectangleScheme",
+    "Simplex",
+    "SimplexRangeScheme",
+    "SplitForm",
+    "distance_squared",
+    "annulus_radii_squared",
+    "dummy_circle",
+    "encrypt_dataset",
+    "gen_annulus_token",
+    "gen_con_circle",
+    "gen_con_circles_for",
+    "gen_region_token",
+    "gen_union_token",
+    "interval_inner_product_bound",
+    "group_for_crse1",
+    "group_for_crse2",
+    "linear_search",
+    "naive_alpha",
+    "num_concentric_circles",
+    "optimized_alpha",
+    "permutation_from_beta",
+    "permute",
+    "point_in_annulus",
+    "point_in_circle",
+    "point_on_boundary",
+    "provision_group",
+    "random_beta",
+    "split_boundary",
+    "split_product",
+]

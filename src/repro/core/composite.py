@@ -1,0 +1,146 @@
+"""Composite radial queries: annuli and unions of circles.
+
+The concentric-circle covering (Sec. VI-A) is more general than a single
+disk: *any* radial condition over integer distances is a set of admissible
+squared radii, and CRSE-II will happily carry one sub-token per admissible
+radius.  Two useful shapes fall out immediately, both answered by the
+unmodified keys and ciphertexts:
+
+* **annulus** ("between 100 m and 200 m away"): admissible radii are the
+  sums of squares in ``(r_inner², r_outer²]`` — simply drop the inner
+  disk's circles from the covering;
+* **union of circles** (multi-center proximity, e.g. "near any of my three
+  stores"): concatenate the coverings, deduplicating identical
+  (center, r²) pairs.
+
+Leakage mirrors CRSE-II: the sub-token count now reveals the *composite*
+shape's covering size; the same dummy padding applies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.concircles import gen_con_circle
+from repro.core.crse2 import CRSE2Key, CRSE2Scheme, CRSE2Token, dummy_circle
+from repro.core.geometry import Circle
+from repro.core.permute import permute, random_beta
+from repro.crypto.ssw import ssw_gen_token
+from repro.errors import ParameterError, SchemeError
+
+__all__ = [
+    "annulus_radii_squared",
+    "gen_annulus_token",
+    "gen_union_token",
+    "point_in_annulus",
+]
+
+
+def annulus_radii_squared(
+    inner_r_squared: int, outer_r_squared: int, w: int = 2
+) -> list[int]:
+    """Covering radii for the annulus ``inner < d² <= outer``.
+
+    Raises:
+        ParameterError: For an inverted or negative annulus.
+    """
+    if inner_r_squared < 0 or outer_r_squared < inner_r_squared:
+        raise ParameterError(
+            f"invalid annulus ({inner_r_squared}, {outer_r_squared}]"
+        )
+    outer = gen_con_circle(outer_r_squared, w)
+    return [r_sq for r_sq in outer if r_sq > inner_r_squared]
+
+
+def point_in_annulus(
+    point: Sequence[int],
+    center: Sequence[int],
+    inner_r_squared: int,
+    outer_r_squared: int,
+) -> bool:
+    """Plaintext predicate: ``inner < d(point, center)² <= outer``."""
+    d_sq = sum((a - b) * (a - b) for a, b in zip(point, center))
+    return inner_r_squared < d_sq <= outer_r_squared
+
+
+def _build_token(
+    scheme: CRSE2Scheme,
+    key: CRSE2Key,
+    circles: list[Circle],
+    rng: random.Random,
+    hide_count_to: int | None,
+) -> CRSE2Token:
+    if not circles:
+        raise SchemeError("composite query covers no concentric circle")
+    if hide_count_to is not None:
+        if hide_count_to < len(circles):
+            raise SchemeError(
+                f"cannot hide {len(circles)} sub-tokens inside {hide_count_to}"
+            )
+        circles = circles + [
+            dummy_circle(scheme.space, circles[0].center)
+            for _ in range(hide_count_to - len(circles))
+        ]
+    sub_tokens = [
+        ssw_gen_token(key.ssw, key.split.f_v(c.center, [c.r_squared]), rng)
+        for c in circles
+    ]
+    beta = random_beta(len(sub_tokens), rng)
+    return CRSE2Token(sub_tokens=tuple(permute(sub_tokens, beta)))
+
+
+def gen_annulus_token(
+    scheme: CRSE2Scheme,
+    key: CRSE2Key,
+    center: Sequence[int],
+    inner_r_squared: int,
+    outer_r_squared: int,
+    rng: random.Random,
+    hide_count_to: int | None = None,
+) -> CRSE2Token:
+    """Token matching points with ``inner < d² <= outer`` from *center*.
+
+    Note the strict inner bound: points exactly at distance²
+    ``inner_r_squared`` are *excluded* (they belong to the inner disk).
+
+    Raises:
+        SchemeError / ParameterError: On domain violations or an annulus
+            containing no admissible radius.
+    """
+    scheme.space.validate_circle(Circle(tuple(center), outer_r_squared))
+    radii = annulus_radii_squared(
+        inner_r_squared, outer_r_squared, scheme.space.w
+    )
+    circles = [Circle(tuple(center), r_sq) for r_sq in radii]
+    return _build_token(scheme, key, circles, rng, hide_count_to)
+
+
+def gen_union_token(
+    scheme: CRSE2Scheme,
+    key: CRSE2Key,
+    circles: Sequence[Circle],
+    rng: random.Random,
+    hide_count_to: int | None = None,
+) -> CRSE2Token:
+    """Token matching points inside *any* of the query circles.
+
+    Coverings are concatenated and deduplicated on (center, r²); a point in
+    several circles simply matches its first surviving sub-token.
+
+    Raises:
+        SchemeError / ParameterError: On an empty union or domain
+            violations.
+    """
+    if not circles:
+        raise SchemeError("union query needs at least one circle")
+    seen: set[tuple[tuple[int, ...], int]] = set()
+    covering: list[Circle] = []
+    for circle in circles:
+        scheme.space.validate_circle(circle)
+        for r_sq in gen_con_circle(circle.r_squared, scheme.space.w):
+            fingerprint = (circle.center, r_sq)
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                covering.append(Circle(circle.center, r_sq))
+    return _build_token(scheme, key, covering, rng, hide_count_to)

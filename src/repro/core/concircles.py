@@ -1,0 +1,64 @@
+"""``GenConCircle``: concentric circles covering a query circle (Sec. VI-A).
+
+The paper's central covering idea: every integer point inside a query circle
+of squared radius ``R²`` lies at an integer squared distance ``d ∈ [0, R²]``
+from the center, and ``d`` must be a sum of ``w`` integer squares.  So the
+concentric circles with exactly those squared radii — the center itself is
+the degenerate circle with radius 0 — cover **all** candidate points, and a
+point is inside the query iff it is on the boundary of one of them.
+
+``m``, the number of concentric circles, is what drives every cost in the
+paper's evaluation: for ``w = 2`` it is the count of sums-of-two-squares in
+``[0, R²]`` (Fig. 9, upper-bounded by ``R² + 1``); for ``w = 3`` Legendre's
+theorem applies; for ``w >= 4`` Lagrange's theorem makes it exactly
+``R² + 1``.
+"""
+
+from __future__ import annotations
+
+from repro.core.geometry import Circle
+from repro.errors import ParameterError
+from repro.math.sumsquares import sums_of_squares_up_to
+
+__all__ = [
+    "gen_con_circle",
+    "gen_con_circles_for",
+    "num_concentric_circles",
+]
+
+
+def gen_con_circle(r_squared: int, w: int = 2) -> list[int]:
+    """Return the squared radii of the covering concentric circles.
+
+    This is the paper's ``GenConCircle`` — deterministic and independent of
+    the circle's center (Sec. VI-A).
+
+    Args:
+        r_squared: The query circle's squared radius ``R²``.
+        w: Spatial dimension.
+
+    Returns:
+        The sorted squared radii ``r_1² = 0 < r_2² < … <= R²``; the list
+        length is ``m``.
+
+    Raises:
+        ParameterError: If arguments are out of domain.
+    """
+    if r_squared < 0:
+        raise ParameterError("squared radius must be non-negative")
+    if w < 1:
+        raise ParameterError("dimension must be at least 1")
+    return sums_of_squares_up_to(r_squared, w)
+
+
+def num_concentric_circles(r_squared: int, w: int = 2) -> int:
+    """Return ``m`` — the number of concentric circles for a query."""
+    return len(gen_con_circle(r_squared, w))
+
+
+def gen_con_circles_for(circle: Circle) -> list[Circle]:
+    """Materialize the concentric circles ``Q_i = {center, r_i}`` of a query."""
+    return [
+        Circle(circle.center, r_sq)
+        for r_sq in gen_con_circle(circle.r_squared, circle.w)
+    ]

@@ -1,0 +1,118 @@
+"""Circle Predicate Encryption (paper Sec. V, Fig. 4).
+
+CPE tests whether an encrypted point lies exactly **on the boundary** of a
+query circle: split the circle polynomial into an inner product (Eq. 2) and
+run SSW.  It is the stepping stone for both CRSE schemes — CRSE-II literally
+issues one CPE sub-token per concentric circle.
+
+``D ∈* Q`` denotes "on the boundary"; ``Query`` outputs 1 iff the boundary
+polynomial vanishes at the point.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.geometry import Circle, DataSpace
+from repro.core.split import SplitForm, split_boundary
+from repro.crypto.groups.base import CompositeBilinearGroup
+from repro.crypto.ssw import (
+    SSWCiphertext,
+    SSWSecretKey,
+    SSWToken,
+    ssw_encrypt,
+    ssw_gen_token,
+    ssw_query,
+    ssw_setup,
+)
+from repro.errors import SchemeError
+
+__all__ = ["CPEKey", "CPECiphertext", "CPEToken", "CirclePredicateEncryption"]
+
+
+@dataclass(frozen=True)
+class CPEKey:
+    """CPE secret key: an SSW key plus the public split form.
+
+    ``{w, T, α, f_u, f_v}`` are public parameters (paper Fig. 4); only the
+    SSW key material is secret.
+    """
+
+    ssw: SSWSecretKey
+    split: SplitForm
+    space: DataSpace
+
+
+@dataclass(frozen=True)
+class CPECiphertext:
+    """Encryption of one point's boundary-test vector ``f_u(D)``."""
+
+    ssw: SSWCiphertext
+
+
+@dataclass(frozen=True)
+class CPEToken:
+    """Search token for one circle's vector ``f_v(Q)``."""
+
+    ssw: SSWToken
+
+
+class CirclePredicateEncryption:
+    """The CPE scheme: ``GenKey``, ``Enc``, ``GenToken``, ``Query``."""
+
+    def __init__(self, space: DataSpace, group: CompositeBilinearGroup):
+        """Bind the scheme to a data space and a group backend.
+
+        Raises:
+            SchemeError: If the group's payload prime is too small for the
+                space (would admit false positives).
+        """
+        self.space = space
+        self.group = group
+        self._split = split_boundary(space.w)
+        if not group.exponent_bound_ok(space.boundary_value_bound()):
+            raise SchemeError(
+                "payload prime too small for this data space; use "
+                "repro.crypto.groups.params_for_bound("
+                f"{space.boundary_value_bound()})"
+            )
+
+    @property
+    def alpha(self) -> int:
+        """Vector length ``α = w + 2``."""
+        return self._split.alpha
+
+    def gen_key(self, rng: random.Random) -> CPEKey:
+        """``GenKey(1^λ, Δ^w_T)``: compute ``Split(P)`` and run SSW setup."""
+        return CPEKey(
+            ssw=ssw_setup(self.group, self._split.alpha, rng),
+            split=self._split,
+            space=self.space,
+        )
+
+    def encrypt(
+        self, key: CPEKey, point: Sequence[int], rng: random.Random
+    ) -> CPECiphertext:
+        """``Enc(SK, D)``: encrypt ``f_u(D)`` under SSW."""
+        point = self.space.validate_point(point)
+        vector = key.split.f_u(point)
+        return CPECiphertext(ssw=ssw_encrypt(key.ssw, vector, rng))
+
+    def gen_token(
+        self, key: CPEKey, circle: Circle, rng: random.Random
+    ) -> CPEToken:
+        """``GenToken(SK, Q)``: tokenize ``f_v(Q)`` under SSW.
+
+        Unlike a full CRSE query, a CPE circle may have any squared radius
+        up to the space diameter — including radii whose circles contain no
+        lattice point at all.
+        """
+        self.space.validate_circle(circle)
+        vector = key.split.f_v(circle.center, [circle.r_squared])
+        return CPEToken(ssw=ssw_gen_token(key.ssw, vector, rng))
+
+    def query(self, token: CPEToken, ciphertext: CPECiphertext) -> bool:
+        """``Query(TK, C)``: True iff ``D ∈* Q`` (point on the boundary)."""
+        return ssw_query(token.ssw, ciphertext.ssw)

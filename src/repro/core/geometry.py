@@ -1,0 +1,212 @@
+"""Points, circles, and data spaces (paper Sec. III, "Notations").
+
+The paper's data model: the data space ``Δ^w_T`` holds ``w``-dimensional
+integer points with every coordinate in ``[0, T-1]``; a data record is a
+point ``D ∈ Δ^w_T`` and a circular range query is a circle
+``Q = {(xc, yc), R} ⊆ Δ^w_T``.  "Inside" includes the boundary (paper
+footnote 2).
+
+Circles store the **squared** radius: the paper notes (Sec. VI, "Floating
+Numbers") that the radius itself may be irrational (e.g. ``√2``) as long as
+``R²`` is an integer, because only ``R²`` enters the encryption.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "Circle",
+    "DataSpace",
+    "distance_squared",
+    "point_in_circle",
+    "point_on_boundary",
+]
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A circle (``w = 2``) or hypersphere: integer center plus squared radius.
+
+    Attributes:
+        center: Integer coordinates of the center.
+        r_squared: The squared radius ``R²`` (non-negative integer).
+    """
+
+    center: tuple[int, ...]
+    r_squared: int
+
+    def __post_init__(self) -> None:
+        if self.r_squared < 0:
+            raise ParameterError("squared radius must be non-negative")
+        if not self.center:
+            raise ParameterError("circle center must have at least 1 dimension")
+        if any(not isinstance(c, int) for c in self.center):
+            raise ParameterError("circle centers must have integer coordinates")
+        object.__setattr__(self, "center", tuple(self.center))
+
+    @classmethod
+    def from_radius(cls, center: Sequence[int], radius: int) -> "Circle":
+        """Build a circle from an integer radius (``r_squared = radius²``)."""
+        if radius < 0:
+            raise ParameterError("radius must be non-negative")
+        return cls(tuple(center), radius * radius)
+
+    @property
+    def w(self) -> int:
+        """Dimension of the ambient space."""
+        return len(self.center)
+
+    @property
+    def radius(self) -> float:
+        """The (possibly irrational) radius ``√(r_squared)``."""
+        return math.sqrt(self.r_squared)
+
+    def integer_radius(self) -> int:
+        """The radius as an integer.
+
+        Raises:
+            ParameterError: If ``r_squared`` is not a perfect square.
+        """
+        root = math.isqrt(self.r_squared)
+        if root * root != self.r_squared:
+            raise ParameterError(
+                f"squared radius {self.r_squared} is not a perfect square"
+            )
+        return root
+
+
+def distance_squared(a: Sequence[int], b: Sequence[int]) -> int:
+    """Squared Euclidean distance between two integer points.
+
+    Raises:
+        ParameterError: On dimension mismatch.
+    """
+    if len(a) != len(b):
+        raise ParameterError(f"dimension mismatch: {len(a)} vs {len(b)}")
+    return sum((x - y) * (x - y) for x, y in zip(a, b))
+
+
+def point_in_circle(point: Sequence[int], circle: Circle) -> bool:
+    """The plaintext predicate ``D ∈ Q``: inside or on the boundary."""
+    return distance_squared(point, circle.center) <= circle.r_squared
+
+
+def point_on_boundary(point: Sequence[int], circle: Circle) -> bool:
+    """The plaintext predicate ``D ∈* Q``: exactly on the boundary."""
+    return distance_squared(point, circle.center) == circle.r_squared
+
+
+@dataclass(frozen=True)
+class DataSpace:
+    """The data space ``Δ^w_T``: ``w`` dimensions of size ``T`` each.
+
+    Valid coordinates are the integers ``0 … T-1`` (paper Sec. III).
+
+    Attributes:
+        w: Number of dimensions (``w >= 2`` for the CRSE schemes; the paper
+            presents ``w = 2`` and extends to higher dimensions in Sec. VI).
+        t: Size of each dimension.
+    """
+
+    w: int
+    t: int
+
+    def __post_init__(self) -> None:
+        if self.w < 1:
+            raise ParameterError("data space needs at least 1 dimension")
+        if self.t < 1:
+            raise ParameterError("dimension size T must be positive")
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        """True if *point* is an element of ``Δ^w_T``."""
+        return len(point) == self.w and all(
+            isinstance(c, int) and 0 <= c < self.t for c in point
+        )
+
+    def validate_point(self, point: Sequence[int]) -> tuple[int, ...]:
+        """Return *point* as a tuple, or raise.
+
+        Raises:
+            ParameterError: If the point lies outside the space.
+        """
+        if not self.contains_point(point):
+            raise ParameterError(f"point {tuple(point)} is not in Δ^{self.w}_{self.t}")
+        return tuple(point)
+
+    def validate_circle(self, circle: Circle) -> Circle:
+        """Check that a query circle is posed over this space.
+
+        The paper requires ``Q ⊆ Δ^w_T``; operationally we require the
+        center to lie in the space and the squared radius not to exceed the
+        space diameter (larger radii match everything and only waste
+        sub-tokens; dummy circles for radius hiding are created through
+        :func:`repro.core.crse2.dummy_circle` instead).
+
+        Raises:
+            ParameterError: If the circle is malformed for this space.
+        """
+        if circle.w != self.w:
+            raise ParameterError(
+                f"circle dimension {circle.w} does not match space dimension {self.w}"
+            )
+        if not self.contains_point(circle.center):
+            raise ParameterError(f"circle center {circle.center} is outside the space")
+        if circle.r_squared > self.max_distance_squared():
+            raise ParameterError(
+                "squared radius exceeds the data-space diameter; "
+                "use a dummy circle for radius hiding instead"
+            )
+        return circle
+
+    def max_distance_squared(self) -> int:
+        """Largest squared distance between two points of the space."""
+        return self.w * (self.t - 1) * (self.t - 1)
+
+    def boundary_value_bound(self, max_r_squared: int | None = None) -> int:
+        """Bound on ``|P(D)|`` for one boundary polynomial.
+
+        ``P(D) = Σ_k (x_k - c_k)² - r²`` ranges over
+        ``[-max_r_squared, w(T-1)²]`` for points and centers in the space.
+        This (and its CRSE-I power) is what sizes the SSW payload prime.
+        """
+        if max_r_squared is None:
+            max_r_squared = self.max_distance_squared()
+        return max(self.max_distance_squared(), max_r_squared)
+
+    def iter_points(self) -> Iterator[tuple[int, ...]]:
+        """Iterate every point of the space (use only for small spaces)."""
+
+        def rec(prefix: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+            if len(prefix) == self.w:
+                yield prefix
+                return
+            for value in range(self.t):
+                yield from rec(prefix + (value,))
+
+        return rec(())
+
+    def lattice_points_in_circle(self, circle: Circle) -> list[tuple[int, ...]]:
+        """All space points inside (or on) *circle* — the ground-truth result set."""
+        self.validate_circle(circle)
+        lo = [max(0, c - math.isqrt(circle.r_squared)) for c in circle.center]
+        hi = [
+            min(self.t - 1, c + math.isqrt(circle.r_squared))
+            for c in circle.center
+        ]
+
+        def rec(dim: int, prefix: tuple[int, ...], budget: int) -> Iterator[tuple[int, ...]]:
+            if dim == self.w:
+                yield prefix
+                return
+            c = circle.center[dim]
+            for value in range(lo[dim], hi[dim] + 1):
+                rest = budget - (value - c) * (value - c)
+                if rest >= 0:
+                    yield from rec(dim + 1, prefix + (value,), rest)
+
+        return list(rec(0, (), circle.r_squared))

@@ -1,0 +1,261 @@
+"""Interval and rectangle search over SSW — the Related-Work primitive,
+rebuilt with the paper's own technique.
+
+The paper's Related Work surveys multi-dimensional range searchable
+encryption ([13]-[17]) as the established alternative: rectangular range
+search.  The CRSE splitting trick covers that primitive too, with a
+different polynomial: membership of ``x`` in the integer interval
+``[a, b]`` is the vanishing of the *root product*
+
+    P(x) = ∏_{v=a}^{b} (x - v),
+
+and ``P`` splits into ``⟨(x^d, …, x, 1), (c_d, …, c_1, c_0)⟩`` — the
+point side is the **moment vector** of ``x`` and the query side carries the
+coefficients of ``P``.  One SSW instance per dimension then answers
+axis-aligned boxes by conjunction.
+
+The construction mirrors CRSE-I's structural costs and limitations,
+deliberately:
+
+* the maximum interval **width** is fixed at key generation (the vector
+  length is public), padded with out-of-space roots for narrower queries —
+  exactly the dummy-circle trick;
+* the payload prime must dominate ``max |P(x)| ≈ (T + W)^W``, so the
+  feasible width is small — the same exponential wall as CRSE-I's radius;
+* the conjunction leaks **per-dimension Booleans** to the server (strictly
+  more than CRSE's single Boolean), which is the security price of the
+  box shape and is demonstrated in the tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.geometry import DataSpace
+from repro.crypto.groups.base import CompositeBilinearGroup
+from repro.crypto.ssw import (
+    SSWCiphertext,
+    SSWSecretKey,
+    SSWToken,
+    ssw_encrypt,
+    ssw_gen_token,
+    ssw_query,
+    ssw_setup,
+)
+from repro.errors import ParameterError, SchemeError
+from repro.math.polynomial import Polynomial
+
+__all__ = [
+    "IntervalKey",
+    "IntervalCiphertext",
+    "IntervalToken",
+    "IntervalScheme",
+    "RectangleScheme",
+    "interval_inner_product_bound",
+]
+
+
+def interval_inner_product_bound(t: int, max_width: int) -> int:
+    """Payload-prime bound: ``max |∏ (x - root)|`` over the data space.
+
+    Roots live in ``[0, T + W]`` (dummy padding sits just above the
+    space), so each factor has magnitude at most ``T + W``.
+    """
+    return (t + max_width) ** max_width
+
+
+@dataclass(frozen=True)
+class IntervalKey:
+    """Secret key for one dimension's interval predicate."""
+
+    ssw: SSWSecretKey
+    t: int
+    max_width: int
+
+    @property
+    def alpha(self) -> int:
+        """Vector length: ``max_width + 1`` coefficients."""
+        return self.max_width + 1
+
+
+@dataclass(frozen=True)
+class IntervalCiphertext:
+    """Encryption of a coordinate's moment vector ``(x^d, …, x, 1)``."""
+
+    ssw: SSWCiphertext
+
+
+@dataclass(frozen=True)
+class IntervalToken:
+    """Token carrying the root-product coefficients of one interval."""
+
+    ssw: SSWToken
+
+
+class IntervalScheme:
+    """1-D range predicate encryption via root products."""
+
+    def __init__(
+        self,
+        t: int,
+        max_width: int,
+        group: CompositeBilinearGroup,
+    ):
+        """Fix the domain ``[0, T)`` and the maximum interval width.
+
+        Args:
+            t: Domain size.
+            max_width: Largest number of integers an interval may contain;
+                public (the analogue of CRSE-I's fixed radius).
+            group: Backend; payload prime must exceed
+                :func:`interval_inner_product_bound`.
+
+        Raises:
+            ParameterError / SchemeError: On bad domain or undersized group.
+        """
+        if t < 1:
+            raise ParameterError("domain size must be positive")
+        if max_width < 1:
+            raise ParameterError("maximum width must be at least 1")
+        self.t = t
+        self.max_width = max_width
+        self.group = group
+        if not group.exponent_bound_ok(interval_inner_product_bound(t, max_width)):
+            raise SchemeError(
+                "payload prime too small for this interval configuration; "
+                "provision with interval_inner_product_bound"
+            )
+
+    # ------------------------------------------------------------------
+    def gen_key(self, rng: random.Random) -> IntervalKey:
+        """SSW setup at vector length ``max_width + 1``."""
+        return IntervalKey(
+            ssw=ssw_setup(self.group, self.max_width + 1, rng),
+            t=self.t,
+            max_width=self.max_width,
+        )
+
+    def encrypt(
+        self, key: IntervalKey, value: int, rng: random.Random
+    ) -> IntervalCiphertext:
+        """Encrypt the moment vector of *value*.
+
+        Raises:
+            ParameterError: For out-of-domain values.
+        """
+        if not 0 <= value < self.t:
+            raise ParameterError(f"value {value} outside [0, {self.t})")
+        degree = self.max_width
+        moments = [value**e for e in range(degree, -1, -1)]
+        return IntervalCiphertext(ssw=ssw_encrypt(key.ssw, moments, rng))
+
+    def gen_token(
+        self, key: IntervalKey, lo: int, hi: int, rng: random.Random
+    ) -> IntervalToken:
+        """Tokenize the interval ``[lo, hi]`` (inclusive).
+
+        Narrower intervals are padded with roots above the domain, so every
+        token exposes the same width ``max_width`` — width hiding for free.
+
+        Raises:
+            ParameterError / SchemeError: On bad bounds or excessive width.
+        """
+        if not 0 <= lo <= hi < self.t:
+            raise ParameterError(f"invalid interval [{lo}, {hi}] for [0, {self.t})")
+        width = hi - lo + 1
+        if width > self.max_width:
+            raise SchemeError(
+                f"interval width {width} exceeds the key's maximum "
+                f"{self.max_width}"
+            )
+        roots = list(range(lo, hi + 1))
+        # Dummy roots just above the domain: no domain value can hit them.
+        roots.extend(self.t + 1 + j for j in range(self.max_width - width))
+        poly = Polynomial.one(1)
+        for root in roots:
+            poly = poly * (Polynomial.variable(1, 0) - root)
+        degree = self.max_width
+        coeffs = [poly.coefficient((e,)) for e in range(degree, -1, -1)]
+        return IntervalToken(ssw=ssw_gen_token(key.ssw, coeffs, rng))
+
+    @staticmethod
+    def matches(token: IntervalToken, ciphertext: IntervalCiphertext) -> bool:
+        """True iff the encrypted value lies in the token's interval."""
+        return ssw_query(token.ssw, ciphertext.ssw)
+
+
+class RectangleScheme:
+    """Axis-aligned box search: one interval instance per dimension.
+
+    The server evaluates each dimension independently and reports the
+    conjunction — learning the per-dimension Booleans along the way
+    (structured leakage CRSE does not have; see the tests).
+    """
+
+    def __init__(
+        self,
+        space: DataSpace,
+        max_width: int,
+        group: CompositeBilinearGroup,
+    ):
+        self.space = space
+        self._dims = [
+            IntervalScheme(space.t, max_width, group) for _ in range(space.w)
+        ]
+
+    @property
+    def max_width(self) -> int:
+        """Per-dimension width cap."""
+        return self._dims[0].max_width
+
+    def gen_key(self, rng: random.Random) -> list[IntervalKey]:
+        """One independent interval key per dimension."""
+        return [dim.gen_key(rng) for dim in self._dims]
+
+    def encrypt(
+        self, keys: Sequence[IntervalKey], point: Sequence[int], rng: random.Random
+    ) -> list[IntervalCiphertext]:
+        """Encrypt each coordinate under its dimension's key."""
+        point = self.space.validate_point(point)
+        return [
+            dim.encrypt(key, value, rng)
+            for dim, key, value in zip(self._dims, keys, point)
+        ]
+
+    def gen_token(
+        self,
+        keys: Sequence[IntervalKey],
+        lows: Sequence[int],
+        highs: Sequence[int],
+        rng: random.Random,
+    ) -> list[IntervalToken]:
+        """Tokenize the box ``∏ [lows_d, highs_d]``."""
+        if len(lows) != self.space.w or len(highs) != self.space.w:
+            raise ParameterError("box bounds must match the space dimension")
+        return [
+            dim.gen_token(key, lo, hi, rng)
+            for dim, key, lo, hi in zip(self._dims, keys, lows, highs)
+        ]
+
+    @staticmethod
+    def matches_with_leakage(
+        tokens: Sequence[IntervalToken],
+        ciphertexts: Sequence[IntervalCiphertext],
+    ) -> tuple[bool, list[bool]]:
+        """The server's view: the conjunction *and* each dimension's Boolean."""
+        per_dimension = [
+            IntervalScheme.matches(token, ciphertext)
+            for token, ciphertext in zip(tokens, ciphertexts)
+        ]
+        return all(per_dimension), per_dimension
+
+    @classmethod
+    def matches(
+        cls,
+        tokens: Sequence[IntervalToken],
+        ciphertexts: Sequence[IntervalCiphertext],
+    ) -> bool:
+        """The box predicate (what the client receives)."""
+        return cls.matches_with_leakage(tokens, ciphertexts)[0]

@@ -1,0 +1,58 @@
+"""``Permute``: reordering CRSE-II sub-tokens (paper Sec. VI-C).
+
+CRSE-II issues one sub-token per concentric circle; shipping them in radius
+order would tell the server *which* concentric circle produced a match.  The
+paper therefore permutes the ``m`` sub-tokens "with a fresh random β each
+time", β ∈ [1, m!].
+
+We realize β exactly as that integer index via the factorial number system
+(Lehmer code), so ``permute(seq, beta)`` is a bijection between ``[1, m!]``
+and the permutations of ``seq`` — convenient for tests (every β is reachable
+and invertible) and faithful to the paper's notation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence, TypeVar
+
+from repro.errors import ParameterError
+
+__all__ = ["permute", "random_beta", "permutation_from_beta"]
+
+T = TypeVar("T")
+
+
+def permutation_from_beta(n: int, beta: int) -> list[int]:
+    """Decode β ∈ [1, n!] into a permutation of ``range(n)`` (Lehmer code).
+
+    Raises:
+        ParameterError: If β is out of range.
+    """
+    if n < 0:
+        raise ParameterError("sequence length must be non-negative")
+    total = math.factorial(n)
+    if not 1 <= beta <= total:
+        raise ParameterError(f"beta must be in [1, {total}], got {beta}")
+    index = beta - 1
+    digits = []
+    for base in range(1, n + 1):
+        digits.append(index % base)
+        index //= base
+    digits.reverse()  # most-significant factorial digit first
+    pool = list(range(n))
+    return [pool.pop(d) for d in digits]
+
+
+def permute(sequence: Sequence[T], beta: int) -> list[T]:
+    """Apply the β-th permutation to *sequence* (β ∈ [1, len!])."""
+    order = permutation_from_beta(len(sequence), beta)
+    return [sequence[i] for i in order]
+
+
+def random_beta(n: int, rng: random.Random) -> int:
+    """Sample a fresh uniform β ∈ [1, n!]."""
+    if n < 0:
+        raise ParameterError("sequence length must be non-negative")
+    return rng.randrange(math.factorial(n)) + 1

@@ -1,0 +1,103 @@
+"""Provisioning bilinear groups sized for a scheme and data space.
+
+The SSW payload prime must exceed the largest honest inner product a scheme
+can produce (otherwise a multiple of the prime masquerades as a match).
+These helpers compute the scheme-specific bound and build an appropriately
+sized backend:
+
+* ``backend="fast"`` — :class:`repro.crypto.groups.FastCompositeGroup`; no
+  curve search needed, so the four subgroup primes are sampled directly.
+* ``backend="pairing"`` — the real supersingular curve via Type-A1 parameter
+  generation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.crse1 import CRSE1Scheme
+from repro.core.geometry import DataSpace
+from repro.crypto.groups.base import CompositeBilinearGroup
+from repro.crypto.groups.fastgroup import FastCompositeGroup
+from repro.crypto.groups.pairing import SupersingularPairingGroup
+from repro.crypto.groups.params import params_for_bound
+from repro.errors import ParameterError
+from repro.math.primes import random_prime
+
+__all__ = ["provision_group", "group_for_crse2", "group_for_crse1"]
+
+_DEFAULT_NOISE_BITS = 24
+
+# Floor on the payload-prime size.  Correctness has two failure modes: a
+# non-zero inner product divisible by p2 (eliminated by p2 > bound) and the
+# blinding collision αf1+βf2 ≡ 0 (mod p2), whose probability is ~1/p2 per
+# (ciphertext, token) pair — the paper's negl(λ).  A 40-bit floor keeps the
+# latter genuinely negligible even for tiny data spaces.
+_MIN_PAYLOAD_BITS = 40
+
+
+def provision_group(
+    bound: int,
+    backend: str = "fast",
+    rng: random.Random | None = None,
+    noise_bits: int = _DEFAULT_NOISE_BITS,
+    min_payload_bits: int = _MIN_PAYLOAD_BITS,
+) -> CompositeBilinearGroup:
+    """Build a group whose payload prime strictly exceeds *bound*.
+
+    Args:
+        bound: Largest honest inner-product magnitude.
+        backend: ``"fast"`` or ``"pairing"``.
+        rng: Randomness source (seed it for reproducible parameters).
+        noise_bits: Bit size of the three non-payload subgroup primes.
+        min_payload_bits: Floor on the payload prime size, bounding the
+            blinding-collision (false match) probability by ``~2^-bits``.
+
+    Raises:
+        ParameterError: For an unknown backend name.
+    """
+    rng = rng or random.Random()
+    payload_bits = max(bound.bit_length() + 1, min_payload_bits, 3)
+    if backend == "pairing":
+        params = params_for_bound(
+            (1 << (payload_bits - 1)) | 1, noise_bits=noise_bits, rng=rng
+        )
+        return SupersingularPairingGroup(params)
+    if backend == "fast":
+        primes: list[int] = []
+        for bits in (noise_bits, payload_bits, noise_bits, noise_bits):
+            while True:
+                p = random_prime(bits, rng)
+                if p not in primes:
+                    primes.append(p)
+                    break
+        return FastCompositeGroup(tuple(primes))
+    raise ParameterError(f"unknown backend {backend!r}; use 'fast' or 'pairing'")
+
+
+def group_for_crse2(
+    space: DataSpace,
+    backend: str = "fast",
+    rng: random.Random | None = None,
+) -> CompositeBilinearGroup:
+    """Group sized for CRSE-II (and CPE) over *space*, dummies included."""
+    return provision_group(space.max_distance_squared() + 1, backend, rng)
+
+
+def group_for_crse1(
+    space: DataSpace,
+    r_squared: int,
+    backend: str = "fast",
+    rng: random.Random | None = None,
+    hide_radius_to: int | None = None,
+) -> CompositeBilinearGroup:
+    """Group sized for CRSE-I's product bound at the key's fixed radius."""
+    from repro.core.concircles import num_concentric_circles
+
+    m = num_concentric_circles(r_squared, space.w)
+    if hide_radius_to is not None:
+        if hide_radius_to < m:
+            raise ParameterError(f"cannot hide m={m} factors inside K={hide_radius_to}")
+        m = hide_radius_to
+    bound = CRSE1Scheme.required_inner_product_bound(space, r_squared, m)
+    return provision_group(bound, backend, rng)

@@ -1,0 +1,238 @@
+"""``Split``: turning circle polynomials into inner products (Sec. V, VI-B).
+
+The key trick of the paper: a boundary test is a polynomial identity
+
+    P_i(D) = Σ_k (x_k - c_k)² - r_i²  =  ⟨f_u(D), f_v(Q_i)⟩
+
+with the *point* variables separated into ``f_u`` and the *circle*
+parameters into ``f_v``.  For one circle (CPE) the split uses the basis
+
+    U = (Σ x_k², -2x_1, …, -2x_w, 1)
+    V = (1, c_1, …, c_w, Σ c_k² - r²)
+
+of length ``α = w + 2`` (paper Eq. 2/4).  CRSE-I multiplies the ``m``
+concentric-circle polynomials into ``P = P_1 ⋯ P_m`` and splits the product
+(paper Eq. 5/6): expanding distributes into ``(w+2)^m`` terms, one per
+assignment of a basis index to each factor.  The paper notes α "can be
+reduced by further simplifying polynomial P (e.g., the optimized value of α
+could be 10 … instead of 16)" — that reduction is exactly merging terms with
+equal point-monomials, i.e. grouping assignments by multiset, which this
+module implements as the *optimized* split.
+
+``Split`` is deterministic and needs only the general form (``w`` and ``m``),
+never the concrete values — matching the paper's requirement that the split
+be a public parameter.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ParameterError
+from repro.math.polynomial import Polynomial
+
+__all__ = [
+    "SplitForm",
+    "split_boundary",
+    "split_product",
+    "naive_alpha",
+    "optimized_alpha",
+]
+
+# Refuse to expand products whose naive term count exceeds this; CRSE-I is
+# O((w+2)^m) by design (the paper calls it "impractical for circular range
+# queries with large radiuses") and beyond this limit even building the
+# public parameters is hopeless.
+_MAX_NAIVE_TERMS = 4_000_000
+
+
+def _u_basis(w: int) -> list[Polynomial]:
+    """The point-side basis ``U`` for one boundary polynomial."""
+    sum_of_squares = Polynomial.zero(w)
+    for k in range(w):
+        xk = Polynomial.variable(w, k)
+        sum_of_squares = sum_of_squares + xk * xk
+    basis = [sum_of_squares]
+    basis.extend(-2 * Polynomial.variable(w, k) for k in range(w))
+    basis.append(Polynomial.one(w))
+    return basis
+
+
+def _v_value(j: int, w: int, center: Sequence[int], r_squared: int) -> int:
+    """The circle-side basis value ``V_j`` for one factor."""
+    if j == 0:
+        return 1
+    if 1 <= j <= w:
+        return center[j - 1]
+    return sum(c * c for c in center) - r_squared
+
+
+@dataclass(frozen=True)
+class SplitForm:
+    """The public output of ``Split``: ``(α, f_u, f_v)`` for a product of
+    ``m`` boundary polynomials in ``w`` dimensions.
+
+    Attributes:
+        w: Spatial dimension.
+        m: Number of boundary-polynomial factors (1 for CPE).
+        u_polys: Per-entry point polynomials (the symbolic ``f_u``).
+        assignments: Per-entry tuple of index assignments; entry ``e`` of
+            ``f_v`` sums ``∏_k V_{a[k]}(center, r_k²)`` over its assignments
+            ``a``.  Naive splits have one assignment per entry; optimized
+            splits merge all assignments sharing a point-monomial.
+    """
+
+    w: int
+    m: int
+    u_polys: tuple[Polynomial, ...]
+    assignments: tuple[tuple[tuple[int, ...], ...], ...]
+
+    @property
+    def alpha(self) -> int:
+        """The vector length ``α``."""
+        return len(self.u_polys)
+
+    def f_u(self, point: Sequence[int]) -> list[int]:
+        """Evaluate the point-side vector ``f_u(D)``."""
+        if len(point) != self.w:
+            raise ParameterError(
+                f"point has {len(point)} coordinates, split expects {self.w}"
+            )
+        return [poly.evaluate(point) for poly in self.u_polys]
+
+    def f_v(
+        self, center: Sequence[int], radii_squared: Sequence[int]
+    ) -> list[int]:
+        """Evaluate the circle-side vector ``f_v(Q_1, …, Q_m)``.
+
+        Args:
+            center: The common center of the concentric circles.
+            radii_squared: One squared radius per factor (length ``m``).
+
+        Raises:
+            ParameterError: On arity mismatches.
+        """
+        if len(center) != self.w:
+            raise ParameterError(
+                f"center has {len(center)} coordinates, split expects {self.w}"
+            )
+        if len(radii_squared) != self.m:
+            raise ParameterError(
+                f"{len(radii_squared)} radii given, split has {self.m} factors"
+            )
+        entries = []
+        for assignment_set in self.assignments:
+            total = 0
+            for assignment in assignment_set:
+                term = 1
+                for k, j in enumerate(assignment):
+                    term *= _v_value(j, self.w, center, radii_squared[k])
+                total += term
+            entries.append(total)
+        return entries
+
+    def product_polynomial_value(
+        self,
+        point: Sequence[int],
+        center: Sequence[int],
+        radii_squared: Sequence[int],
+    ) -> int:
+        """Plaintext reference value ``P(D) = ∏_i P_i(D)``.
+
+        The split is correct iff this always equals
+        ``⟨f_u(point), f_v(center, radii)⟩`` — the test suite checks exactly
+        that.
+        """
+        value = 1
+        for r_sq in radii_squared:
+            p_i = (
+                sum((x - c) * (x - c) for x, c in zip(point, center)) - r_sq
+            )
+            value *= p_i
+        return value
+
+
+def split_boundary(w: int) -> SplitForm:
+    """``Split`` for a single boundary polynomial — the CPE case (Eq. 4).
+
+    Returns a form with ``α = w + 2``.
+    """
+    if w < 1:
+        raise ParameterError("dimension must be at least 1")
+    basis = _u_basis(w)
+    return SplitForm(
+        w=w,
+        m=1,
+        u_polys=tuple(basis),
+        assignments=tuple(((j,),) for j in range(w + 2)),
+    )
+
+
+def naive_alpha(w: int, m: int) -> int:
+    """Vector length of the naive product split: ``(w+2)^m``."""
+    return (w + 2) ** m
+
+
+def optimized_alpha(w: int, m: int) -> int:
+    """Vector length after merging by point-monomial: ``C(m+w+1, w+1)``."""
+    return math.comb(m + w + 1, w + 1)
+
+
+def split_product(w: int, m: int, optimize: bool = True) -> SplitForm:
+    """``Split`` for the CRSE-I product polynomial ``P = P_1 ⋯ P_m``.
+
+    Args:
+        w: Spatial dimension.
+        m: Number of concentric circles (factors).
+        optimize: Merge entries whose point-monomials coincide, reducing
+            ``α`` from ``(w+2)^m`` to ``C(m+w+1, w+1)`` (the paper's
+            "optimized value of α" remark under Eq. 5).
+
+    Raises:
+        ParameterError: If the naive expansion would exceed the supported
+            size — CRSE-I's documented scalability limit.
+    """
+    if w < 1:
+        raise ParameterError("dimension must be at least 1")
+    if m < 1:
+        raise ParameterError("the product needs at least one factor")
+    if naive_alpha(w, m) > _MAX_NAIVE_TERMS:
+        raise ParameterError(
+            f"CRSE-I split with w={w}, m={m} needs {naive_alpha(w, m)} terms; "
+            "this exceeds the supported expansion size (the scheme is "
+            "exponential in m by design)"
+        )
+    basis = _u_basis(w)
+    if not optimize:
+        u_polys = []
+        assignments = []
+        for assignment in itertools.product(range(w + 2), repeat=m):
+            poly = Polynomial.one(w)
+            for j in assignment:
+                poly = poly * basis[j]
+            u_polys.append(poly)
+            assignments.append((assignment,))
+        return SplitForm(
+            w=w, m=m, u_polys=tuple(u_polys), assignments=tuple(assignments)
+        )
+
+    # Optimized: group assignments by their index multiset.  The point-side
+    # product depends only on the multiset, so all assignments in a group
+    # share one u-entry whose v-entry is the sum of their circle products.
+    grouped: dict[tuple[int, ...], list[tuple[int, ...]]] = {}
+    for assignment in itertools.product(range(w + 2), repeat=m):
+        grouped.setdefault(tuple(sorted(assignment)), []).append(assignment)
+    u_polys = []
+    assignments = []
+    for multiset in sorted(grouped):
+        poly = Polynomial.one(w)
+        for j in multiset:
+            poly = poly * basis[j]
+        u_polys.append(poly)
+        assignments.append(tuple(grouped[multiset]))
+    return SplitForm(
+        w=w, m=m, u_polys=tuple(u_polys), assignments=tuple(assignments)
+    )

@@ -1,0 +1,39 @@
+"""Composite-order bilinear groups: real pairing backend and fast simulation."""
+
+from repro.crypto.groups.base import (
+    NUM_SUBGROUPS,
+    SUBGROUP_P,
+    SUBGROUP_Q,
+    SUBGROUP_R,
+    SUBGROUP_S,
+    CompositeBilinearGroup,
+    GroupElement,
+    TargetElement,
+)
+from repro.crypto.groups.fastgroup import FastCompositeGroup
+from repro.crypto.groups.pairing import SupersingularPairingGroup
+from repro.crypto.groups.params import (
+    PairingParams,
+    default_test_params,
+    generate_params,
+    params_for_bound,
+    toy_params,
+)
+
+__all__ = [
+    "NUM_SUBGROUPS",
+    "SUBGROUP_P",
+    "SUBGROUP_Q",
+    "SUBGROUP_R",
+    "SUBGROUP_S",
+    "CompositeBilinearGroup",
+    "FastCompositeGroup",
+    "GroupElement",
+    "PairingParams",
+    "SupersingularPairingGroup",
+    "TargetElement",
+    "default_test_params",
+    "generate_params",
+    "params_for_bound",
+    "toy_params",
+]

@@ -1,0 +1,206 @@
+"""The supersingular elliptic curve ``y² = x³ + x`` over ``F_q``.
+
+This is the curve the paper selects ("we choose super-singular curve
+``y² = x³ + x`` to achieve the fastest performance in PBC", Sec. VIII).
+For ``q ≡ 3 (mod 4)`` it is supersingular with exactly ``q + 1`` rational
+points and embedding degree 2, which is what makes the composite-order
+Type-A1 construction work: pick ``q = l·N - 1`` and the curve contains a
+subgroup of any order dividing ``l·N``.
+
+Affine coordinates with big-int arithmetic; the point at infinity is the
+``INFINITY`` singleton.  Scalar multiplication is double-and-add — entirely
+adequate for the subgroup sizes the reproduction runs at, and it keeps the
+group law code auditable against the textbook formulas.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import CryptoError
+from repro.math.modular import is_quadratic_residue, modinv, sqrt_mod
+
+__all__ = ["Point", "INFINITY", "SupersingularCurve"]
+
+
+class Point:
+    """An affine point ``(x, y)`` or the point at infinity."""
+
+    __slots__ = ("x", "y", "_infinite")
+
+    def __init__(self, x: int = 0, y: int = 0, infinite: bool = False):
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+        object.__setattr__(self, "_infinite", infinite)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("curve points are immutable")
+
+    @property
+    def infinite(self) -> bool:
+        """True for the point at infinity (the group identity)."""
+        return self._infinite
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        if self._infinite or other._infinite:
+            return self._infinite and other._infinite
+        return self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        if self._infinite:
+            return hash("infinity")
+        return hash((self.x, self.y))
+
+    def __repr__(self) -> str:
+        if self._infinite:
+            return "Point(infinity)"
+        return f"Point({self.x}, {self.y})"
+
+
+INFINITY = Point(infinite=True)
+
+
+class SupersingularCurve:
+    """Group operations on ``y² = x³ + x`` over ``F_q``."""
+
+    def __init__(self, q: int):
+        """Create the curve over ``F_q``.
+
+        Args:
+            q: The field characteristic; must satisfy ``q ≡ 3 (mod 4)`` so
+                the curve is supersingular with ``#E = q + 1``.
+
+        Raises:
+            CryptoError: If ``q`` is not ``3 (mod 4)``.
+        """
+        if q % 4 != 3:
+            raise CryptoError("field prime must satisfy q ≡ 3 (mod 4)")
+        self.q = q
+
+    @property
+    def order(self) -> int:
+        """The number of rational points, ``q + 1``."""
+        return self.q + 1
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains(self, point: Point) -> bool:
+        """True if *point* satisfies the curve equation (infinity counts)."""
+        if point.infinite:
+            return True
+        q = self.q
+        return (point.y * point.y - (point.x**3 + point.x)) % q == 0
+
+    # ------------------------------------------------------------------
+    # Group law
+    # ------------------------------------------------------------------
+    def negate(self, point: Point) -> Point:
+        """Return ``-point``."""
+        if point.infinite:
+            return INFINITY
+        return Point(point.x, (-point.y) % self.q)
+
+    def add(self, a: Point, b: Point) -> Point:
+        """Return ``a + b`` by the chord-and-tangent law."""
+        if a.infinite:
+            return b
+        if b.infinite:
+            return a
+        q = self.q
+        if a.x == b.x:
+            if (a.y + b.y) % q == 0:
+                return INFINITY
+            return self.double(a)
+        slope = (b.y - a.y) * modinv((b.x - a.x) % q, q) % q
+        x3 = (slope * slope - a.x - b.x) % q
+        y3 = (slope * (a.x - x3) - a.y) % q
+        return Point(x3, y3)
+
+    def double(self, a: Point) -> Point:
+        """Return ``2a``."""
+        if a.infinite:
+            return INFINITY
+        q = self.q
+        if a.y == 0:
+            return INFINITY
+        # Tangent slope for y² = x³ + x: (3x² + 1) / (2y).
+        slope = (3 * a.x * a.x + 1) * modinv(2 * a.y % q, q) % q
+        x3 = (slope * slope - 2 * a.x) % q
+        y3 = (slope * (a.x - x3) - a.y) % q
+        return Point(x3, y3)
+
+    def multiply(self, point: Point, scalar: int) -> Point:
+        """Return ``scalar · point`` (double-and-add; negatives allowed)."""
+        if scalar < 0:
+            return self.multiply(self.negate(point), -scalar)
+        result = INFINITY
+        addend = point
+        k = scalar
+        while k:
+            if k & 1:
+                result = self.add(result, addend)
+            addend = self.double(addend)
+            k >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Sampling and encoding
+    # ------------------------------------------------------------------
+    def random_point(self, rng: random.Random) -> Point:
+        """Sample a uniform finite point.
+
+        Draws ``x`` until ``x³ + x`` is a quadratic residue, then picks the
+        root whose sign bit is random.
+        """
+        q = self.q
+        while True:
+            x = rng.randrange(q)
+            rhs = (x**3 + x) % q
+            if not is_quadratic_residue(rhs, q):
+                continue
+            y = sqrt_mod(rhs, q)
+            if rng.getrandbits(1):
+                y = (-y) % q
+            return Point(x, y)
+
+    def compressed_byte_length(self) -> int:
+        """Bytes needed for a compressed point: x-coordinate plus a tag."""
+        return (self.q.bit_length() + 7) // 8 + 1
+
+    def compress(self, point: Point) -> bytes:
+        """Encode a point as x-coordinate plus a sign/infinity tag byte."""
+        size = (self.q.bit_length() + 7) // 8
+        if point.infinite:
+            return bytes([2]) + bytes(size)
+        tag = point.y & 1
+        return bytes([tag]) + point.x.to_bytes(size, "big")
+
+    def decompress(self, data: bytes) -> Point:
+        """Invert :meth:`compress`.
+
+        Raises:
+            CryptoError: If the encoding is malformed or not on the curve.
+        """
+        size = (self.q.bit_length() + 7) // 8
+        if len(data) != size + 1:
+            raise CryptoError(
+                f"compressed point must be {size + 1} bytes, got {len(data)}"
+            )
+        tag = data[0]
+        if tag == 2:
+            return INFINITY
+        if tag not in (0, 1):
+            raise CryptoError(f"invalid point tag {tag}")
+        x = int.from_bytes(data[1:], "big")
+        if x >= self.q:
+            raise CryptoError("x-coordinate out of field range")
+        rhs = (x**3 + x) % self.q
+        if not is_quadratic_residue(rhs, self.q):
+            raise CryptoError("x-coordinate is not on the curve")
+        y = sqrt_mod(rhs, self.q)
+        if y & 1 != tag:
+            y = (-y) % self.q
+        return Point(x, y)

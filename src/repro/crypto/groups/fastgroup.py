@@ -1,0 +1,186 @@
+"""Fast algebraic backend for composite-order bilinear groups.
+
+A cyclic group of squarefree order ``N = p1·p2·p3·p4`` is isomorphic to
+``Z_N`` written additively in the exponent: fix a generator ``g`` and
+represent every element as its discrete log ``a`` (so the element *is*
+``g^a``).  A symmetric pairing then acts on exponents as multiplication mod
+``N``: ``e(g^a, g^b) = gT^{a·b}``.
+
+All of SSW's algebraic requirements hold exactly in this model:
+
+* the order-``p_i`` subgroup is ``{ g^{k·N/p_i} }``,
+* subgroup orthogonality: for ``i ≠ j``, ``(N/p_i)(N/p_j) ≡ 0 (mod N)``,
+  so cross-subgroup pairings hit the identity,
+* bilinearity and non-degeneracy are immediate.
+
+The representation makes discrete logarithms trivial, so this backend offers
+**no cryptographic security** — it exists to run functional tests and the
+paper-scale benchmark sweeps (Figs. 9-16) in pure Python at full speed,
+while :mod:`repro.crypto.groups.pairing` provides the real curve backend
+with identical observable behaviour.  Both backends are exercised against
+each other in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.groups.base import (
+    CompositeBilinearGroup,
+    GroupElement,
+    TargetElement,
+)
+from repro.errors import CryptoError, SerializationError
+
+__all__ = ["FastCompositeGroup", "FastElement", "FastTargetElement"]
+
+
+class FastElement(GroupElement):
+    """Element ``g^exponent`` of a :class:`FastCompositeGroup`."""
+
+    __slots__ = ("_group", "_exponent")
+
+    def __init__(self, group: "FastCompositeGroup", exponent: int):
+        self._group = group
+        self._exponent = exponent % group.order
+
+    @property
+    def group(self) -> "FastCompositeGroup":
+        return self._group
+
+    @property
+    def exponent(self) -> int:
+        """Discrete log with respect to the canonical generator."""
+        return self._exponent
+
+    def _mul(self, other: GroupElement) -> "FastElement":
+        assert isinstance(other, FastElement)
+        return FastElement(self._group, self._exponent + other._exponent)
+
+    def _pow(self, exponent: int) -> "FastElement":
+        return FastElement(self._group, self._exponent * exponent)
+
+    def is_identity(self) -> bool:
+        return self._exponent == 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FastElement):
+            return NotImplemented
+        return self._group == other._group and self._exponent == other._exponent
+
+    def __hash__(self) -> int:
+        return hash((self._group, self._exponent))
+
+    def __repr__(self) -> str:
+        return f"FastElement(g^{self._exponent})"
+
+
+class FastTargetElement(TargetElement):
+    """Element ``gT^exponent`` of the target group."""
+
+    __slots__ = ("_order", "_exponent")
+
+    def __init__(self, order: int, exponent: int):
+        self._order = order
+        self._exponent = exponent % order
+
+    @property
+    def exponent(self) -> int:
+        """Discrete log with respect to the canonical target generator."""
+        return self._exponent
+
+    def _mul(self, other: TargetElement) -> "FastTargetElement":
+        assert isinstance(other, FastTargetElement)
+        if self._order != other._order:
+            raise CryptoError("target elements from different groups")
+        return FastTargetElement(self._order, self._exponent + other._exponent)
+
+    def _pow(self, exponent: int) -> "FastTargetElement":
+        return FastTargetElement(self._order, self._exponent * exponent)
+
+    def is_identity(self) -> bool:
+        return self._exponent == 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FastTargetElement):
+            return NotImplemented
+        return self._order == other._order and self._exponent == other._exponent
+
+    def __hash__(self) -> int:
+        return hash((self._order, self._exponent))
+
+    def __repr__(self) -> str:
+        return f"FastTargetElement(gT^{self._exponent})"
+
+
+class FastCompositeGroup(CompositeBilinearGroup):
+    """Exponent-space simulation of a composite-order pairing group."""
+
+    def __init__(self, subgroup_primes: tuple[int, int, int, int]):
+        """Create the group from four distinct primes.
+
+        Args:
+            subgroup_primes: The subgroup orders ``(p1, p2, p3, p4)``; must
+                be pairwise distinct (squarefree ``N`` makes ``Z_N`` cyclic).
+
+        Raises:
+            CryptoError: If the primes are not pairwise distinct.
+        """
+        if len(set(subgroup_primes)) != 4:
+            raise CryptoError("subgroup primes must be pairwise distinct")
+        self._primes = tuple(subgroup_primes)
+        self._order = 1
+        for p in self._primes:
+            self._order *= p
+        self._byte_length = (self._order.bit_length() + 7) // 8
+        self._subgroup_generators = tuple(
+            FastElement(self, self._order // p) for p in self._primes
+        )
+
+    @property
+    def subgroup_primes(self) -> tuple[int, int, int, int]:
+        return self._primes  # type: ignore[return-value]
+
+    @property
+    def order(self) -> int:
+        return self._order
+
+    @property
+    def element_byte_length(self) -> int:
+        return self._byte_length
+
+    def identity(self) -> FastElement:
+        return FastElement(self, 0)
+
+    def gt_identity(self) -> FastTargetElement:
+        return FastTargetElement(self._order, 0)
+
+    def generator(self) -> FastElement:
+        return FastElement(self, 1)
+
+    def subgroup_generator(self, index: int) -> FastElement:
+        self._check_subgroup_index(index)
+        return self._subgroup_generators[index]
+
+    def pair(self, a: GroupElement, b: GroupElement) -> FastTargetElement:
+        if not isinstance(a, FastElement) or not isinstance(b, FastElement):
+            raise CryptoError("pairing requires FastCompositeGroup elements")
+        if a.group != self or b.group != self:
+            raise CryptoError("pairing elements from a different group")
+        return FastTargetElement(self._order, a.exponent * b.exponent)
+
+    def serialize_element(self, element: GroupElement) -> bytes:
+        if not isinstance(element, FastElement) or element.group != self:
+            raise SerializationError("element does not belong to this group")
+        return element.exponent.to_bytes(self._byte_length, "big")
+
+    def deserialize_element(self, data: bytes) -> FastElement:
+        if len(data) != self._byte_length:
+            raise SerializationError(
+                f"expected {self._byte_length} bytes, got {len(data)}"
+            )
+        value = int.from_bytes(data, "big")
+        if value >= self._order:
+            raise SerializationError("exponent out of range for this group")
+        return FastElement(self, value)
+
+    def __repr__(self) -> str:
+        return f"FastCompositeGroup(primes={self._primes})"

@@ -1,0 +1,136 @@
+"""Prime fields and their quadratic extensions.
+
+The paper evaluates on PBC's Type-A/A1 pairing: the supersingular curve
+``y² = x³ + x`` over ``F_q`` with ``q ≡ 3 (mod 4)``, whose pairing lands in
+the quadratic extension ``F_q² = F_q(i)`` with ``i² = -1`` (``-1`` is a
+non-residue precisely because ``q ≡ 3 (mod 4)``).
+
+Base-field arithmetic is done on plain Python integers for speed; this
+module adds the extension-field element class used by Miller's algorithm
+and the pairing's final exponentiation.
+"""
+
+from __future__ import annotations
+
+from repro.math.modular import modinv
+
+__all__ = ["Fq2"]
+
+
+class Fq2:
+    """An element ``real + imag·i`` of ``F_q²`` with ``i² = -1``.
+
+    Immutable.  Elements carry their modulus ``q``; mixing moduli raises
+    ``ValueError``.
+    """
+
+    __slots__ = ("q", "real", "imag")
+
+    def __init__(self, q: int, real: int, imag: int = 0):
+        object.__setattr__(self, "q", q)
+        object.__setattr__(self, "real", real % q)
+        object.__setattr__(self, "imag", imag % q)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Fq2 elements are immutable")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def one(cls, q: int) -> "Fq2":
+        """The multiplicative identity."""
+        return cls(q, 1, 0)
+
+    @classmethod
+    def zero(cls, q: int) -> "Fq2":
+        """The additive identity."""
+        return cls(q, 0, 0)
+
+    # ------------------------------------------------------------------
+    def _check(self, other: "Fq2") -> None:
+        if self.q != other.q:
+            raise ValueError("Fq2 elements from different fields")
+
+    def __add__(self, other: "Fq2") -> "Fq2":
+        self._check(other)
+        return Fq2(self.q, self.real + other.real, self.imag + other.imag)
+
+    def __sub__(self, other: "Fq2") -> "Fq2":
+        self._check(other)
+        return Fq2(self.q, self.real - other.real, self.imag - other.imag)
+
+    def __neg__(self) -> "Fq2":
+        return Fq2(self.q, -self.real, -self.imag)
+
+    def __mul__(self, other: "Fq2") -> "Fq2":
+        self._check(other)
+        q = self.q
+        a, b = self.real, self.imag
+        c, d = other.real, other.imag
+        # (a + bi)(c + di) = (ac - bd) + (ad + bc) i, with i² = -1.
+        ac = a * c
+        bd = b * d
+        return Fq2(q, ac - bd, (a + b) * (c + d) - ac - bd)
+
+    def square(self) -> "Fq2":
+        """Return ``self²`` (one fewer multiplication than ``self * self``)."""
+        q = self.q
+        a, b = self.real, self.imag
+        # (a + bi)² = (a - b)(a + b) + 2ab·i.
+        return Fq2(q, (a - b) * (a + b), 2 * a * b)
+
+    def conjugate(self) -> "Fq2":
+        """Return ``a - b·i``; equals the Frobenius ``self^q``."""
+        return Fq2(self.q, self.real, -self.imag)
+
+    def norm(self) -> int:
+        """Return the field norm ``a² + b² ∈ F_q``."""
+        return (self.real * self.real + self.imag * self.imag) % self.q
+
+    def inverse(self) -> "Fq2":
+        """Multiplicative inverse.
+
+        Raises:
+            ZeroDivisionError: For the zero element.
+        """
+        n = self.norm()
+        if n == 0:
+            raise ZeroDivisionError("inverse of zero in F_q2")
+        n_inv = modinv(n, self.q)
+        return Fq2(self.q, self.real * n_inv, -self.imag * n_inv)
+
+    def __pow__(self, exponent: int) -> "Fq2":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = Fq2.one(self.q)
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result * base
+            base = base.square()
+            e >>= 1
+        return result
+
+    def is_zero(self) -> bool:
+        """True for the additive identity."""
+        return self.real == 0 and self.imag == 0
+
+    def is_one(self) -> bool:
+        """True for the multiplicative identity."""
+        return self.real == 1 and self.imag == 0
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fq2):
+            return NotImplemented
+        return (
+            self.q == other.q
+            and self.real == other.real
+            and self.imag == other.imag
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.q, self.real, self.imag))
+
+    def __repr__(self) -> str:
+        return f"Fq2({self.real} + {self.imag}i mod {self.q})"

@@ -1,0 +1,321 @@
+"""Tate pairing on the supersingular curve and the real group backend.
+
+Implements the modified (distortion-map) Tate pairing
+
+    ê(P, Q) = f_{N,P}(φ(Q)) ^ ((q² - 1) / N),    φ(x, y) = (-x, i·y),
+
+via Miller's algorithm.  Because the embedding degree is 2 and ``φ(Q)`` has
+its x-coordinate in the base field, *denominator elimination* applies: every
+vertical-line factor lies in ``F_q*`` and is annihilated by the final
+exponentiation, so the Miller loop multiplies only the (tangent/secant) line
+values.  The final exponentiation itself collapses to the cheap form
+``(conj(f) / f) ^ l`` with ``l = (q + 1) / N``, using the Frobenius
+``f^q = conj(f)`` on ``F_q²``.
+
+This file also provides :class:`SupersingularPairingGroup`, the production
+backend implementing :class:`repro.crypto.groups.base.CompositeBilinearGroup`
+on the curve — the pure-Python stand-in for the paper's GMP+PBC stack.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.groups.base import (
+    NUM_SUBGROUPS,
+    CompositeBilinearGroup,
+    GroupElement,
+    TargetElement,
+)
+from repro.crypto.groups.curve import INFINITY, Point, SupersingularCurve
+from repro.crypto.groups.field import Fq2
+from repro.crypto.groups.params import PairingParams
+from repro.errors import CryptoError, SerializationError
+from repro.math.modular import modinv
+
+__all__ = [
+    "miller_loop",
+    "reduced_tate_pairing",
+    "SupersingularPairingGroup",
+    "CurveElement",
+    "PairingTargetElement",
+]
+
+
+def _line_value(
+    curve: SupersingularCurve,
+    t: Point,
+    s: Point,
+    eval_x: int,
+    eval_y_imag: int,
+) -> Fq2 | None:
+    """Evaluate the line through *t* and *s* at ``(eval_x, i·eval_y_imag)``.
+
+    Returns None when the line is vertical (or touches infinity): those
+    values lie in ``F_q*`` and are eliminated by the final exponentiation.
+    """
+    q = curve.q
+    if t.infinite or s.infinite:
+        return None
+    if t.x == s.x:
+        if (t.y + s.y) % q == 0:
+            return None  # vertical chord (t == -s) or 2-torsion tangent
+        slope = (3 * t.x * t.x + 1) * modinv(2 * t.y % q, q) % q
+    else:
+        slope = (s.y - t.y) * modinv((s.x - t.x) % q, q) % q
+    # l(X, Y) = Y - y_t - slope·(X - x_t) at X = eval_x, Y = i·eval_y_imag.
+    real = (-t.y - slope * (eval_x - t.x)) % q
+    return Fq2(q, real, eval_y_imag)
+
+
+def miller_loop(
+    curve: SupersingularCurve, p: Point, q_point: Point, order: int
+) -> Fq2:
+    """Compute ``f_{order,p}(φ(q_point))`` with denominator elimination.
+
+    Args:
+        curve: The ambient curve.
+        p: First pairing argument; its order must divide *order*.
+        q_point: Second pairing argument (distortion map applied here).
+        order: The Miller loop length, the group order ``N``.
+
+    Returns:
+        The unreduced pairing value in ``F_q²``.
+    """
+    field_q = curve.q
+    eval_x = (-q_point.x) % field_q  # x-coordinate of φ(Q)
+    eval_y = q_point.y % field_q  # imaginary part of φ(Q)'s y-coordinate
+    f = Fq2.one(field_q)
+    t = p
+    for bit in bin(order)[3:]:  # skip the leading 1 bit
+        line = _line_value(curve, t, t, eval_x, eval_y)
+        f = f.square() if line is None else f.square() * line
+        t = curve.double(t)
+        if bit == "1":
+            line = _line_value(curve, t, p, eval_x, eval_y)
+            if line is not None:
+                f = f * line
+            t = curve.add(t, p)
+    return f
+
+
+def reduced_tate_pairing(
+    curve: SupersingularCurve, p: Point, q_point: Point, order: int, cofactor: int
+) -> Fq2:
+    """Return the reduced modified Tate pairing ``ê(p, q_point)``.
+
+    The reduction exponent ``(q² - 1)/N`` factors as ``(q - 1) · l`` with
+    ``l = (q + 1)/N = cofactor``; the ``q - 1`` part is a Frobenius divide.
+    """
+    if p.infinite or q_point.infinite:
+        return Fq2.one(curve.q)
+    f = miller_loop(curve, p, q_point, order)
+    reduced = f.conjugate() * f.inverse()  # f^(q-1)
+    return reduced**cofactor
+
+
+class CurveElement(GroupElement):
+    """A point of the order-``N`` subgroup, as an abstract group element."""
+
+    __slots__ = ("_group", "_point")
+
+    def __init__(self, group: "SupersingularPairingGroup", point: Point):
+        self._group = group
+        self._point = point
+
+    @property
+    def group(self) -> "SupersingularPairingGroup":
+        return self._group
+
+    @property
+    def point(self) -> Point:
+        """The underlying affine point."""
+        return self._point
+
+    def _mul(self, other: GroupElement) -> "CurveElement":
+        assert isinstance(other, CurveElement)
+        return CurveElement(
+            self._group, self._group.curve.add(self._point, other._point)
+        )
+
+    def _pow(self, exponent: int) -> "CurveElement":
+        scalar = exponent % self._group.order
+        return CurveElement(
+            self._group, self._group.curve.multiply(self._point, scalar)
+        )
+
+    def is_identity(self) -> bool:
+        return self._point.infinite
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CurveElement):
+            return NotImplemented
+        return self._group == other._group and self._point == other._point
+
+    def __hash__(self) -> int:
+        return hash((self._group, self._point))
+
+    def __repr__(self) -> str:
+        return f"CurveElement({self._point!r})"
+
+
+class PairingTargetElement(TargetElement):
+    """A reduced pairing value in the order-``N`` subgroup of ``F_q²*``."""
+
+    __slots__ = ("_group", "_value")
+
+    def __init__(self, group: "SupersingularPairingGroup", value: Fq2):
+        self._group = group
+        self._value = value
+
+    @property
+    def value(self) -> Fq2:
+        """The underlying field element."""
+        return self._value
+
+    def _mul(self, other: TargetElement) -> "PairingTargetElement":
+        assert isinstance(other, PairingTargetElement)
+        if other._group != self._group:
+            raise CryptoError("target elements from different groups")
+        return PairingTargetElement(self._group, self._value * other._value)
+
+    def _pow(self, exponent: int) -> "PairingTargetElement":
+        scalar = exponent % self._group.order
+        return PairingTargetElement(self._group, self._value**scalar)
+
+    def is_identity(self) -> bool:
+        return self._value.is_one()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PairingTargetElement):
+            return NotImplemented
+        return self._group == other._group and self._value == other._value
+
+    def __hash__(self) -> int:
+        return hash((self._group, self._value))
+
+    def __repr__(self) -> str:
+        return f"PairingTargetElement({self._value!r})"
+
+
+class SupersingularPairingGroup(CompositeBilinearGroup):
+    """The order-``N`` subgroup of ``y² = x³ + x`` over ``F_q`` (Type A1)."""
+
+    def __init__(self, params: PairingParams):
+        """Build the group and fix a full-order generator.
+
+        The generator is derived deterministically from the parameters, so
+        two groups built from equal parameters are interoperable.
+
+        Raises:
+            ParameterError: If *params* fail validation.
+        """
+        params.validate()
+        self._params = params
+        self.curve = SupersingularCurve(params.field_prime)
+        self._order = params.group_order
+        self._generator = self._find_generator()
+        cofactors = [
+            self._order // p for p in params.subgroup_primes
+        ]
+        self._subgroup_generators = tuple(
+            CurveElement(
+                self, self.curve.multiply(self._generator, c)
+            )
+            for c in cofactors
+        )
+
+    def _find_generator(self) -> Point:
+        """Find a point of exact order ``N`` with a non-degenerate pairing."""
+        rng = random.Random(self._params.field_prime ^ 0x9E3779B97F4A7C15)
+        for _ in range(256):
+            candidate = self.curve.multiply(
+                self.curve.random_point(rng), self._params.cofactor
+            )
+            if candidate.infinite:
+                continue
+            if any(
+                self.curve.multiply(candidate, self._order // p).infinite
+                for p in self._params.subgroup_primes
+            ):
+                continue
+            pairing = reduced_tate_pairing(
+                self.curve,
+                candidate,
+                candidate,
+                self._order,
+                self._params.cofactor,
+            )
+            if all(
+                not (pairing ** (self._order // p)).is_one()
+                for p in self._params.subgroup_primes
+            ):
+                return candidate
+        raise CryptoError("could not find a full-order generator")
+
+    # ------------------------------------------------------------------
+    def _equality_key(self) -> tuple:
+        return (type(self), self._params)
+
+    @property
+    def params(self) -> PairingParams:
+        """The Type-A1 parameters this group was built from."""
+        return self._params
+
+    @property
+    def subgroup_primes(self) -> tuple[int, int, int, int]:
+        return self._params.subgroup_primes
+
+    @property
+    def order(self) -> int:
+        return self._order
+
+    @property
+    def element_byte_length(self) -> int:
+        return self.curve.compressed_byte_length()
+
+    def identity(self) -> CurveElement:
+        return CurveElement(self, INFINITY)
+
+    def gt_identity(self) -> PairingTargetElement:
+        return PairingTargetElement(self, Fq2.one(self.curve.q))
+
+    def generator(self) -> CurveElement:
+        return CurveElement(self, self._generator)
+
+    def subgroup_generator(self, index: int) -> CurveElement:
+        self._check_subgroup_index(index)
+        return self._subgroup_generators[index]
+
+    def pair(self, a: GroupElement, b: GroupElement) -> PairingTargetElement:
+        if not isinstance(a, CurveElement) or not isinstance(b, CurveElement):
+            raise CryptoError("pairing requires curve elements")
+        if a.group != self or b.group != self:
+            raise CryptoError("pairing elements from a different group")
+        value = reduced_tate_pairing(
+            self.curve, a.point, b.point, self._order, self._params.cofactor
+        )
+        return PairingTargetElement(self, value)
+
+    def serialize_element(self, element: GroupElement) -> bytes:
+        if not isinstance(element, CurveElement) or element.group != self:
+            raise SerializationError("element does not belong to this group")
+        return self.curve.compress(element.point)
+
+    def deserialize_element(self, data: bytes) -> CurveElement:
+        try:
+            point = self.curve.decompress(data)
+        except CryptoError as exc:
+            raise SerializationError(str(exc)) from exc
+        return CurveElement(self, point)
+
+    def __repr__(self) -> str:
+        return (
+            "SupersingularPairingGroup("
+            f"q={self._params.field_prime.bit_length()} bits, "
+            f"N={self._order.bit_length()} bits)"
+        )
+
+
+# Keep NUM_SUBGROUPS imported name used (role order documented in base).
+_ = NUM_SUBGROUPS

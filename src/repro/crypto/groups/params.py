@@ -1,0 +1,160 @@
+"""Type-A1 composite-order pairing parameters.
+
+PBC's "Type A1" parameters instantiate a composite-order symmetric pairing:
+given the desired group order ``N`` (here ``N = p1·p2·p3·p4``), find a
+cofactor ``l`` such that ``q = l·N - 1`` is prime with ``q ≡ 3 (mod 4)``.
+The supersingular curve ``y² = x³ + x`` over ``F_q`` then has ``q + 1 = l·N``
+points and contains a cyclic subgroup of order ``N``.
+
+Because ``N`` is odd, ``q ≡ 3 (mod 4)`` forces ``l ≡ 0 (mod 4)``; we search
+cofactors ``l = 4, 8, 12, …``.
+
+Sizing: SSW's match test reduces the inner product modulo the payload prime
+``p2``, so correctness (no false positives) requires ``p2`` to exceed the
+largest honest inner-product magnitude.  :func:`params_for_bound` sizes
+``p2`` from that bound, which the CRSE layers compute from the data space
+(see :meth:`repro.core.geometry.DataSpace.inner_product_bound` and the CRSE-I
+product bound).  The paper runs 512-bit-class fields for security; the
+reproduction defaults to smaller fields for pure-Python speed and reports
+sizes at both levels (see :mod:`repro.crypto.serialize`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import ParameterError
+from repro.math.primes import is_prime, random_prime
+
+__all__ = [
+    "PairingParams",
+    "generate_params",
+    "params_for_bound",
+    "toy_params",
+    "default_test_params",
+]
+
+
+@dataclass(frozen=True)
+class PairingParams:
+    """Concrete Type-A1 parameters.
+
+    Attributes:
+        subgroup_primes: The four distinct subgroup primes
+            ``(p1, p2, p3, p4)`` in SSW role order (cancellation, payload,
+            ciphertext noise, token noise).
+        cofactor: The multiplier ``l`` with ``q = l·N - 1``.
+        field_prime: The field characteristic ``q``.
+    """
+
+    subgroup_primes: tuple[int, int, int, int]
+    cofactor: int
+    field_prime: int
+
+    @property
+    def group_order(self) -> int:
+        """The composite order ``N = p1·p2·p3·p4``."""
+        n = 1
+        for p in self.subgroup_primes:
+            n *= p
+        return n
+
+    def validate(self) -> None:
+        """Sanity-check the algebraic relations.
+
+        Raises:
+            ParameterError: If any Type-A1 invariant fails.
+        """
+        primes = self.subgroup_primes
+        if len(set(primes)) != 4:
+            raise ParameterError("subgroup primes must be pairwise distinct")
+        for p in primes:
+            if not is_prime(p):
+                raise ParameterError(f"{p} is not prime")
+        n = self.group_order
+        if self.field_prime != self.cofactor * n - 1:
+            raise ParameterError("field prime must equal cofactor*N - 1")
+        if self.field_prime % 4 != 3:
+            raise ParameterError("field prime must be 3 (mod 4)")
+        if not is_prime(self.field_prime):
+            raise ParameterError("field prime is not prime")
+
+
+def generate_params(
+    subgroup_bits: tuple[int, int, int, int] = (16, 16, 16, 16),
+    rng: random.Random | None = None,
+    max_cofactor: int = 1 << 20,
+) -> PairingParams:
+    """Generate fresh Type-A1 parameters.
+
+    Args:
+        subgroup_bits: Bit lengths of the four subgroup primes, in SSW role
+            order (the payload prime ``p2`` is index 1).
+        rng: Optional random source for reproducibility.
+        max_cofactor: Give up (and resample the primes) once the cofactor
+            search exceeds this value.
+
+    Returns:
+        Validated :class:`PairingParams`.
+    """
+    rng = rng or random.Random()
+    while True:
+        primes: list[int] = []
+        for bits in subgroup_bits:
+            while True:
+                p = random_prime(bits, rng)
+                if p not in primes:
+                    primes.append(p)
+                    break
+        n = primes[0] * primes[1] * primes[2] * primes[3]
+        cofactor = 4
+        while cofactor <= max_cofactor:
+            q = cofactor * n - 1
+            if q % 4 == 3 and is_prime(q):
+                params = PairingParams(tuple(primes), cofactor, q)
+                params.validate()
+                return params
+            cofactor += 4
+
+
+def params_for_bound(
+    bound: int,
+    noise_bits: int = 24,
+    rng: random.Random | None = None,
+) -> PairingParams:
+    """Generate parameters whose payload prime exceeds *bound*.
+
+    Args:
+        bound: The largest honest inner-product magnitude the scheme will
+            produce; the payload prime ``p2`` is sized to strictly exceed it
+            (no false positives).
+        noise_bits: Bit length for the three non-payload primes.
+        rng: Optional random source.
+
+    Raises:
+        ParameterError: If *bound* is negative.
+    """
+    if bound < 0:
+        raise ParameterError("inner-product bound must be non-negative")
+    payload_bits = max(bound.bit_length() + 1, 3)
+    return generate_params(
+        (noise_bits, payload_bits, noise_bits, noise_bits), rng
+    )
+
+
+@lru_cache(maxsize=None)
+def toy_params(seed: int = 1) -> PairingParams:
+    """Small, deterministic parameters for tests (16-bit subgroup primes)."""
+    return generate_params(rng=random.Random(seed))
+
+
+@lru_cache(maxsize=None)
+def default_test_params(seed: int = 7) -> PairingParams:
+    """Deterministic parameters with a 40-bit payload prime.
+
+    Large enough for CRSE-II over data spaces with coordinates up to about
+    ``2^18`` (inner products stay below ``8·T²``), still fast in pure Python.
+    """
+    return generate_params((20, 40, 20, 20), rng=random.Random(seed))

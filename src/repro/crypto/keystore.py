@@ -1,0 +1,207 @@
+"""Key persistence: serialize scheme keys (and their groups) to bytes.
+
+The data owner "manages the secret keys" (paper Sec. III); a real owner
+must survive restarts, so keys need a storage format.  The format is a JSON
+header (backend kind, group parameters, scheme metadata) with hex-encoded
+group elements — deliberately transparent and debuggable rather than
+compact.  Both backends are reconstructible from their parameters alone:
+the pairing group derives its generator deterministically from the field
+prime, so elements deserialize into an interoperable group.
+
+Only CRSE secret keys live here.  Record-content keys
+(:mod:`repro.crypto.recordcipher`) are plain 32-byte strings and need no
+format.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.crse1 import CRSE1Key, CRSE1Scheme
+from repro.core.crse2 import CRSE2Key, CRSE2Scheme
+from repro.core.geometry import DataSpace
+from repro.crypto.groups.base import CompositeBilinearGroup
+from repro.crypto.groups.fastgroup import FastCompositeGroup
+from repro.crypto.groups.pairing import SupersingularPairingGroup
+from repro.crypto.groups.params import PairingParams
+from repro.crypto.ssw import SSWSecretKey
+from repro.errors import SerializationError
+
+__all__ = [
+    "save_crse1_key",
+    "load_crse1_key",
+    "save_crse2_key",
+    "load_crse2_key",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _group_header(group: CompositeBilinearGroup) -> dict:
+    if isinstance(group, FastCompositeGroup):
+        return {"backend": "fast", "primes": list(group.subgroup_primes)}
+    if isinstance(group, SupersingularPairingGroup):
+        return {
+            "backend": "pairing",
+            "primes": list(group.subgroup_primes),
+            "cofactor": group.params.cofactor,
+        }
+    raise SerializationError(
+        f"cannot serialize keys for group type {type(group).__name__}"
+    )
+
+
+def _restore_group(header: dict) -> CompositeBilinearGroup:
+    primes = tuple(header["primes"])
+    if header["backend"] == "fast":
+        return FastCompositeGroup(primes)
+    if header["backend"] == "pairing":
+        n = primes[0] * primes[1] * primes[2] * primes[3]
+        params = PairingParams(primes, header["cofactor"], header["cofactor"] * n - 1)
+        return SupersingularPairingGroup(params)
+    raise SerializationError(f"unknown backend {header['backend']!r}")
+
+
+def _ssw_to_json(group: CompositeBilinearGroup, ssw: SSWSecretKey) -> dict:
+    def encode(elements) -> list[str]:
+        return [group.serialize_element(e).hex() for e in elements]
+
+    return {
+        "n": ssw.n,
+        "h1": encode(ssw.h1),
+        "h2": encode(ssw.h2),
+        "u1": encode(ssw.u1),
+        "u2": encode(ssw.u2),
+    }
+
+
+def _ssw_from_json(group: CompositeBilinearGroup, blob: dict) -> SSWSecretKey:
+    def decode(values) -> tuple:
+        return tuple(group.deserialize_element(bytes.fromhex(v)) for v in values)
+
+    try:
+        key = SSWSecretKey(
+            group=group,
+            n=blob["n"],
+            h1=decode(blob["h1"]),
+            h2=decode(blob["h2"]),
+            u1=decode(blob["u1"]),
+            u2=decode(blob["u2"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed SSW key material: {exc}") from exc
+    if any(len(bases) != key.n for bases in (key.h1, key.h2, key.u1, key.u2)):
+        raise SerializationError("SSW key base counts do not match n")
+    return key
+
+
+def _dump(payload: dict) -> bytes:
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
+
+
+def _load(data: bytes, expected_scheme: str) -> dict:
+    try:
+        payload = json.loads(data.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"malformed key blob: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SerializationError("key blob must be a JSON object")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise SerializationError("unsupported key format version")
+    if payload.get("scheme") != expected_scheme:
+        raise SerializationError(
+            f"key blob is for scheme {payload.get('scheme')!r}, "
+            f"expected {expected_scheme!r}"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# CRSE-II
+# ----------------------------------------------------------------------
+def save_crse2_key(scheme: CRSE2Scheme, key: CRSE2Key) -> bytes:
+    """Serialize a CRSE-II key with everything needed to rebuild the scheme."""
+    return _dump(
+        {
+            "version": _FORMAT_VERSION,
+            "scheme": "crse2",
+            "group": _group_header(scheme.group),
+            "space": {"w": scheme.space.w, "t": scheme.space.t},
+            "ssw": _ssw_to_json(scheme.group, key.ssw),
+        }
+    )
+
+
+def load_crse2_key(data: bytes) -> tuple[CRSE2Scheme, CRSE2Key]:
+    """Rebuild the scheme and key saved by :func:`save_crse2_key`.
+
+    Raises:
+        SerializationError: On malformed or mismatched input.
+    """
+    payload = _load(data, "crse2")
+    try:
+        group = _restore_group(payload["group"])
+        space = DataSpace(payload["space"]["w"], payload["space"]["t"])
+        ssw_blob = payload["ssw"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"incomplete key blob: {exc}") from exc
+    scheme = CRSE2Scheme(space, group)
+    ssw = _ssw_from_json(group, ssw_blob)
+    if ssw.n != scheme.alpha:
+        raise SerializationError("key vector length does not fit the space")
+    return scheme, CRSE2Key(ssw=ssw, split=scheme._split, space=space)
+
+
+# ----------------------------------------------------------------------
+# CRSE-I
+# ----------------------------------------------------------------------
+def save_crse1_key(scheme: CRSE1Scheme, key: CRSE1Key) -> bytes:
+    """Serialize a CRSE-I key (includes the fixed radius and padding)."""
+    return _dump(
+        {
+            "version": _FORMAT_VERSION,
+            "scheme": "crse1",
+            "group": _group_header(scheme.group),
+            "space": {"w": scheme.space.w, "t": scheme.space.t},
+            "r_squared": key.r_squared,
+            "radii_squared": list(key.radii_squared),
+            "hide_to": key.m if key.m != scheme._m_real else None,
+            "optimized": key.split.alpha != (scheme.space.w + 2) ** key.m,
+            "ssw": _ssw_to_json(scheme.group, key.ssw),
+        }
+    )
+
+
+def load_crse1_key(data: bytes) -> tuple[CRSE1Scheme, CRSE1Key]:
+    """Rebuild the scheme and key saved by :func:`save_crse1_key`.
+
+    Raises:
+        SerializationError: On malformed or mismatched input.
+    """
+    payload = _load(data, "crse1")
+    try:
+        group = _restore_group(payload["group"])
+        space = DataSpace(payload["space"]["w"], payload["space"]["t"])
+        radii = tuple(payload["radii_squared"])
+        hide_to = payload["hide_to"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"incomplete key blob: {exc}") from exc
+    scheme = CRSE1Scheme(
+        space,
+        group,
+        r_squared=payload["r_squared"],
+        optimize_split=payload["optimized"],
+        hide_radius_to=hide_to,
+    )
+    if tuple(scheme._radii_squared) != radii:
+        raise SerializationError("stored radii do not match the rebuilt scheme")
+    ssw = _ssw_from_json(group, payload["ssw"])
+    if ssw.n != scheme.alpha:
+        raise SerializationError("key vector length does not fit the scheme")
+    return scheme, CRSE1Key(
+        ssw=ssw,
+        split=scheme._split,
+        space=space,
+        r_squared=payload["r_squared"],
+        radii_squared=radii,
+    )

@@ -1,0 +1,125 @@
+"""Paillier additively homomorphic encryption (paper ref. [28]).
+
+The paper's "straightforward design" discussion (Sec. III) considers
+computing distances under an Additively Homomorphic Encryption scheme and
+comparing under OPE — and rejects the approach because chaining the two
+needs heavy interaction or two non-colluding servers.  To *quantify* that
+rejection, the strawman baseline (:mod:`repro.baselines.strawman`)
+implements the two-server protocol, and this module supplies the AHE it
+runs on: textbook Paillier with the ``g = n + 1`` simplification.
+
+* ``Enc(m) = (n+1)^m · ρ^n mod n²`` for random ``ρ ∈ Z_n*``;
+* ``Enc(a)·Enc(b) = Enc(a+b)``; ``Enc(a)^k = Enc(k·a)``;
+* decryption via ``L(c^λ mod n²)·μ mod n`` with ``L(x) = (x-1)/n``.
+
+Signed values are encoded in ``[0, n)`` with the upper half negative,
+giving the comparison protocol its sign test.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+from repro.math.modular import modinv
+from repro.math.primes import random_prime
+
+__all__ = ["PaillierPublicKey", "PaillierSecretKey", "paillier_keygen"]
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """The public half: modulus ``n`` (and cached ``n²``)."""
+
+    n: int
+    n_squared: int
+
+    def encrypt(self, message: int, rng: random.Random) -> int:
+        """Encrypt a (signed) integer message.
+
+        Raises:
+            CryptoError: If the magnitude exceeds the plaintext space
+                (|message| must stay below ``n/2`` for signed decoding).
+        """
+        if abs(message) >= self.n // 2:
+            raise CryptoError("message magnitude exceeds plaintext space")
+        m = message % self.n
+        while True:
+            rho = rng.randrange(1, self.n)
+            if math.gcd(rho, self.n) == 1:
+                break
+        # (n+1)^m = 1 + m·n (mod n²) — the standard g = n+1 shortcut.
+        g_m = (1 + m * self.n) % self.n_squared
+        return g_m * pow(rho, self.n, self.n_squared) % self.n_squared
+
+    def add(self, a: int, b: int) -> int:
+        """Homomorphic addition: ``Enc(x) ⊕ Enc(y) = Enc(x+y)``."""
+        return a * b % self.n_squared
+
+    def scalar_mul(self, ciphertext: int, k: int) -> int:
+        """Homomorphic scalar multiplication: ``Enc(x)^k = Enc(kx)``."""
+        return pow(ciphertext, k % self.n, self.n_squared)
+
+    def encrypt_zero(self, rng: random.Random) -> int:
+        """A fresh encryption of zero (used for re-randomization)."""
+        return self.encrypt(0, rng)
+
+    def rerandomize(self, ciphertext: int, rng: random.Random) -> int:
+        """Refresh a ciphertext without changing its plaintext."""
+        return self.add(ciphertext, self.encrypt_zero(rng))
+
+
+@dataclass(frozen=True)
+class PaillierSecretKey:
+    """The secret half: ``λ = lcm(p-1, q-1)`` and ``μ = L(g^λ)^{-1}``."""
+
+    public: PaillierPublicKey
+    lam: int
+    mu: int
+
+    def decrypt(self, ciphertext: int) -> int:
+        """Decrypt to a signed integer in ``(-n/2, n/2]``.
+
+        Raises:
+            CryptoError: For a ciphertext outside ``Z_{n²}``.
+        """
+        n = self.public.n
+        if not 0 < ciphertext < self.public.n_squared:
+            raise CryptoError("ciphertext outside Z_{n^2}")
+        x = pow(ciphertext, self.lam, self.public.n_squared)
+        plain = (x - 1) // n * self.mu % n
+        return plain - n if plain > n // 2 else plain
+
+
+def paillier_keygen(
+    bits: int = 256, rng: random.Random | None = None
+) -> PaillierSecretKey:
+    """Generate a Paillier key pair with an *bits*-bit modulus.
+
+    Args:
+        bits: Modulus size; research-scale values (>= 64) accepted, real
+            deployments need 2048+.
+        rng: Randomness source.
+
+    Raises:
+        CryptoError: For a modulus too small to be meaningful (< 16 bits).
+    """
+    if bits < 16:
+        raise CryptoError("Paillier modulus below 16 bits is meaningless")
+    rng = rng or random.Random()
+    half = bits // 2
+    while True:
+        p = random_prime(half, rng)
+        q = random_prime(bits - half, rng)
+        if p != q:
+            break
+    n = p * q
+    n_squared = n * n
+    lam = math.lcm(p - 1, q - 1)
+    public = PaillierPublicKey(n=n, n_squared=n_squared)
+    # μ = L((n+1)^λ mod n²)^{-1} mod n, with L(x) = (x-1)/n.
+    g_lam = pow(1 + n, lam, n_squared)
+    mu = modinv((g_lam - 1) // n, n)
+    return PaillierSecretKey(public=public, lam=lam, mu=mu)

@@ -1,0 +1,109 @@
+"""Authenticated encryption for record *contents* (paper Sec. III).
+
+The searchable layer protects only the spatial coordinates; the paper notes
+that "the encryption and decryption of the content of each data record
+itself can always be independently performed with another layer of
+traditional encryption".  This module supplies that layer so the cloud
+model can store realistic records (names, payloads) next to the CRSE
+ciphertexts.
+
+Construction: encrypt-then-MAC over an HMAC-SHA256-based stream cipher —
+a standard-library-only stand-in for AES-GCM:
+
+* keystream block ``i`` = ``HMAC(K_enc, nonce ‖ counter_i)``;
+* tag = ``HMAC(K_mac, nonce ‖ ciphertext)``;
+* ``K_enc, K_mac`` derived from the master key by domain separation.
+
+This is a textbook-secure composition (PRF keystream + strong MAC), not a
+performance-tuned cipher; it exists so no plaintext ever reaches the
+simulated server, exactly as the paper's deployment assumes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+
+from repro.errors import CryptoError
+
+__all__ = ["RecordCipher"]
+
+_NONCE_BYTES = 16
+_TAG_BYTES = 32
+_BLOCK_BYTES = 32  # SHA-256 output
+
+
+class RecordCipher:
+    """Symmetric authenticated encryption for record payloads."""
+
+    def __init__(self, key: bytes):
+        """Derive the encryption and MAC subkeys from *key*.
+
+        Args:
+            key: Master key; must be at least 16 bytes.
+
+        Raises:
+            CryptoError: If the key is too short.
+        """
+        if len(key) < 16:
+            raise CryptoError("record cipher key must be at least 16 bytes")
+        self._enc_key = hashlib.sha256(b"repro-enc|" + key).digest()
+        self._mac_key = hashlib.sha256(b"repro-mac|" + key).digest()
+
+    @classmethod
+    def generate_key(cls) -> bytes:
+        """Return a fresh 32-byte random master key."""
+        return secrets.token_bytes(32)
+
+    # ------------------------------------------------------------------
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        blocks = []
+        for counter in range((length + _BLOCK_BYTES - 1) // _BLOCK_BYTES):
+            blocks.append(
+                hmac.new(
+                    self._enc_key,
+                    nonce + counter.to_bytes(8, "big"),
+                    hashlib.sha256,
+                ).digest()
+            )
+        return b"".join(blocks)[:length]
+
+    def _tag(self, nonce: bytes, body: bytes) -> bytes:
+        return hmac.new(self._mac_key, nonce + body, hashlib.sha256).digest()
+
+    # ------------------------------------------------------------------
+    def encrypt(self, plaintext: bytes, nonce: bytes | None = None) -> bytes:
+        """Encrypt and authenticate *plaintext*.
+
+        Returns:
+            ``nonce ‖ body ‖ tag``; decryptable only with the same key.
+
+        Raises:
+            CryptoError: If an explicit nonce has the wrong length.
+        """
+        if nonce is None:
+            nonce = secrets.token_bytes(_NONCE_BYTES)
+        elif len(nonce) != _NONCE_BYTES:
+            raise CryptoError(f"nonce must be {_NONCE_BYTES} bytes")
+        body = bytes(
+            a ^ b for a, b in zip(plaintext, self._keystream(nonce, len(plaintext)))
+        )
+        return nonce + body + self._tag(nonce, body)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Verify and decrypt.
+
+        Raises:
+            CryptoError: On truncation, tampering, or a wrong key.
+        """
+        if len(ciphertext) < _NONCE_BYTES + _TAG_BYTES:
+            raise CryptoError("record ciphertext is truncated")
+        nonce = ciphertext[:_NONCE_BYTES]
+        body = ciphertext[_NONCE_BYTES:-_TAG_BYTES]
+        tag = ciphertext[-_TAG_BYTES:]
+        if not hmac.compare_digest(tag, self._tag(nonce, body)):
+            raise CryptoError("record ciphertext failed authentication")
+        return bytes(
+            a ^ b for a, b in zip(body, self._keystream(nonce, len(body)))
+        )

@@ -1,0 +1,53 @@
+"""Workload generators: synthetic spatial data and Brightkite-style check-ins."""
+
+from repro.datasets.brightkite import (
+    CheckIn,
+    checkin_to_point,
+    data_space_for_digits,
+    generate_checkins,
+    haversine_m,
+    meters_per_unit,
+    radius_for_meters,
+    real_world_radius_m,
+    round_coordinate,
+)
+from repro.datasets.workload import (
+    DeleteOp,
+    Operation,
+    QueryOp,
+    ReplayReport,
+    UploadOp,
+    generate_trace,
+    replay,
+)
+from repro.datasets.synthetic import (
+    clustered_points,
+    points_on_boundary,
+    query_workload,
+    random_circle,
+    uniform_points,
+)
+
+__all__ = [
+    "CheckIn",
+    "DeleteOp",
+    "Operation",
+    "QueryOp",
+    "ReplayReport",
+    "UploadOp",
+    "checkin_to_point",
+    "clustered_points",
+    "data_space_for_digits",
+    "generate_checkins",
+    "haversine_m",
+    "meters_per_unit",
+    "points_on_boundary",
+    "query_workload",
+    "radius_for_meters",
+    "random_circle",
+    "real_world_radius_m",
+    "round_coordinate",
+    "uniform_points",
+    "generate_trace",
+    "replay",
+]

@@ -1,0 +1,115 @@
+"""Synthetic spatial workloads for tests and benchmarks.
+
+Generators for the point distributions the paper's experiments imply:
+uniform points over a data space (the EC2 microbenchmarks), clustered
+points (location data is heavily clustered), boundary-exact placements
+(points lying exactly on given concentric circles — the adversarial case
+for correctness testing), and query workloads (circles with controlled
+radii and hit counts).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.geometry import Circle, DataSpace
+from repro.errors import ParameterError
+from repro.math.sumsquares import lattice_points_on_sphere
+
+__all__ = [
+    "uniform_points",
+    "clustered_points",
+    "points_on_boundary",
+    "random_circle",
+    "query_workload",
+]
+
+
+def uniform_points(
+    space: DataSpace, n: int, rng: random.Random
+) -> list[tuple[int, ...]]:
+    """Sample *n* points uniformly from the space (with replacement)."""
+    return [
+        tuple(rng.randrange(space.t) for _ in range(space.w)) for _ in range(n)
+    ]
+
+
+def clustered_points(
+    space: DataSpace,
+    n: int,
+    rng: random.Random,
+    clusters: int = 5,
+    spread: float | None = None,
+) -> list[tuple[int, ...]]:
+    """Sample points from Gaussian clusters with uniform centers.
+
+    Args:
+        space: The data space.
+        n: Total number of points.
+        rng: Randomness source.
+        clusters: Number of cluster centers.
+        spread: Standard deviation of each cluster; defaults to ``T/20``.
+
+    Raises:
+        ParameterError: If *clusters* is not positive.
+    """
+    if clusters < 1:
+        raise ParameterError("need at least one cluster")
+    spread = spread if spread is not None else max(space.t / 20.0, 1.0)
+    centers = uniform_points(space, clusters, rng)
+    points = []
+    for _ in range(n):
+        center = centers[rng.randrange(clusters)]
+        point = tuple(
+            min(space.t - 1, max(0, round(rng.gauss(c, spread))))
+            for c in center
+        )
+        points.append(point)
+    return points
+
+
+def points_on_boundary(
+    circle: Circle, space: DataSpace, limit: int | None = None
+) -> list[tuple[int, ...]]:
+    """Space points lying *exactly* on the circle's boundary.
+
+    Useful to exercise the "inside includes the boundary" convention and
+    CRSE-II's per-concentric-circle matching.
+    """
+    on_sphere = lattice_points_on_sphere(circle.center, circle.r_squared)
+    inside = [p for p in on_sphere if space.contains_point(p)]
+    return inside[:limit] if limit is not None else inside
+
+
+def random_circle(
+    space: DataSpace, radius: int, rng: random.Random
+) -> Circle:
+    """A query circle of integer *radius* with a uniform in-space center."""
+    if radius < 0:
+        raise ParameterError("radius must be non-negative")
+    center = tuple(rng.randrange(space.t) for _ in range(space.w))
+    return Circle.from_radius(center, radius)
+
+
+def query_workload(
+    space: DataSpace,
+    radii: Sequence[int],
+    queries_per_radius: int,
+    rng: random.Random,
+) -> list[Circle]:
+    """A batch of query circles sweeping the given radii.
+
+    Centers are kept at least ``radius`` away from the space borders when
+    possible, so queries are not artificially clipped.
+    """
+    workload = []
+    for radius in radii:
+        for _ in range(queries_per_radius):
+            lo = min(radius, (space.t - 1) // 2)
+            hi = max(space.t - 1 - radius, lo)
+            center = tuple(
+                rng.randrange(lo, hi + 1) for _ in range(space.w)
+            )
+            workload.append(Circle.from_radius(center, radius))
+    return workload

@@ -1,0 +1,198 @@
+"""Trace-driven workloads: generate, replay, and verify mixed operations.
+
+A deployment is more than one upload and one query: users add records,
+search, and delete over time.  This module provides
+
+* an operation vocabulary (:class:`UploadOp`, :class:`QueryOp`,
+  :class:`DeleteOp`),
+* a generator producing randomized but reproducible mixed traces, and
+* :func:`replay` — drives a :class:`repro.cloud.CloudDeployment` through a
+  trace while maintaining a **plaintext shadow** of the server state and
+  checking every query's encrypted results against ground truth.
+
+Replay doubles as a randomized integration test (the trace explores
+interleavings no hand-written test does) and as the workload engine for
+throughput benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from repro.cloud.deployment import CloudDeployment
+from repro.core.geometry import Circle, point_in_circle
+from repro.datasets.synthetic import uniform_points
+from repro.errors import ParameterError
+
+__all__ = [
+    "UploadOp",
+    "QueryOp",
+    "DeleteOp",
+    "Operation",
+    "generate_trace",
+    "replay",
+    "ReplayReport",
+]
+
+
+@dataclass(frozen=True)
+class UploadOp:
+    """Add records (points plus optional payloads)."""
+
+    points: tuple[tuple[int, ...], ...]
+    contents: tuple[bytes, ...] | None = None
+
+
+@dataclass(frozen=True)
+class QueryOp:
+    """Run one circular range query (optionally radius-hidden)."""
+
+    circle: Circle
+    hide_radius_to: int | None = None
+
+
+@dataclass(frozen=True)
+class DeleteOp:
+    """Remove records by identifier index into the *live* id list.
+
+    Indices are resolved against the identifiers alive at replay time, so
+    generated traces stay valid regardless of interleaving.
+    """
+
+    live_indices: tuple[int, ...]
+
+
+Operation = Union[UploadOp, QueryOp, DeleteOp]
+
+
+@dataclass
+class ReplayReport:
+    """What a replay did and observed."""
+
+    uploads: int = 0
+    records_added: int = 0
+    queries: int = 0
+    deletes: int = 0
+    records_deleted: int = 0
+    total_matches: int = 0
+    verified_queries: int = 0
+    elapsed_s: float = 0.0
+    mismatches: list[str] = field(default_factory=list)
+
+
+def generate_trace(
+    space,
+    operations: int,
+    rng: random.Random,
+    max_radius: int = 4,
+    batch: int = 5,
+) -> list[Operation]:
+    """A reproducible mixed trace (≈50% queries, 30% uploads, 20% deletes).
+
+    The trace always starts with an upload so queries have something to
+    scan.
+
+    Raises:
+        ParameterError: On a non-positive operation count.
+    """
+    if operations < 1:
+        raise ParameterError("trace needs at least one operation")
+    trace: list[Operation] = [
+        UploadOp(points=tuple(uniform_points(space, batch, rng)))
+    ]
+    for _ in range(operations - 1):
+        roll = rng.random()
+        if roll < 0.5:
+            radius = rng.randint(0, max_radius)
+            lo = min(radius, space.t - 1 - radius)
+            center = tuple(
+                rng.randint(lo, max(space.t - 1 - radius, lo))
+                for _ in range(space.w)
+            )
+            trace.append(QueryOp(circle=Circle.from_radius(center, radius)))
+        elif roll < 0.8:
+            count = rng.randint(1, batch)
+            trace.append(
+                UploadOp(points=tuple(uniform_points(space, count, rng)))
+            )
+        else:
+            picks = tuple(
+                sorted({rng.randrange(100) for _ in range(rng.randint(1, 3))})
+            )
+            trace.append(DeleteOp(live_indices=picks))
+    return trace
+
+
+def replay(
+    deployment: CloudDeployment,
+    trace: Sequence[Operation],
+    verify: bool = True,
+) -> ReplayReport:
+    """Drive *deployment* through *trace*, verifying against a shadow.
+
+    Args:
+        deployment: A freshly created deployment (its server may already
+            hold records; the shadow starts from the owner's directory).
+        trace: The operations to apply, in order.
+        verify: Check every query's identifiers against the plaintext
+            shadow (mismatches are recorded, then raised at the end).
+
+    Raises:
+        AssertionError: If verification found any mismatch.
+    """
+    report = ReplayReport()
+    shadow: dict[int, tuple[int, ...]] = dict(deployment.owner.directory)
+    started = time.perf_counter()
+    for op in trace:
+        if isinstance(op, UploadOp):
+            before = set(deployment.owner.directory)
+            deployment.outsource(
+                op.points,
+                contents=list(op.contents) if op.contents else None,
+            )
+            for identifier in set(deployment.owner.directory) - before:
+                shadow[identifier] = deployment.owner.directory[identifier]
+            report.uploads += 1
+            report.records_added += len(op.points)
+        elif isinstance(op, QueryOp):
+            response = deployment.query(
+                op.circle, hide_radius_to=op.hide_radius_to
+            )
+            report.queries += 1
+            report.total_matches += len(response.identifiers)
+            if verify:
+                expected = sorted(
+                    identifier
+                    for identifier, point in shadow.items()
+                    if point_in_circle(point, op.circle)
+                )
+                got = sorted(response.identifiers)
+                if got != expected:
+                    report.mismatches.append(
+                        f"query {op.circle}: got {got}, expected {expected}"
+                    )
+                else:
+                    report.verified_queries += 1
+        elif isinstance(op, DeleteOp):
+            live = sorted(shadow)
+            chosen = [
+                live[index % len(live)] for index in op.live_indices if live
+            ]
+            chosen = sorted(set(chosen))
+            if chosen:
+                removed = deployment.delete(chosen)
+                for identifier in chosen:
+                    shadow.pop(identifier, None)
+                report.deletes += 1
+                report.records_deleted += removed
+        else:  # pragma: no cover - exhaustive union
+            raise ParameterError(f"unknown operation {op!r}")
+    report.elapsed_s = time.perf_counter() - started
+    if verify and report.mismatches:
+        raise AssertionError(
+            "replay verification failed:\n" + "\n".join(report.mismatches)
+        )
+    return report

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  Subclasses are grouped by the layer
+that raises them (parameters, crypto, scheme usage, cloud protocol).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParameterError(ReproError):
+    """A parameter is outside its documented domain.
+
+    Raised for malformed data spaces, out-of-range points or circles,
+    unsupported dimensions, or cryptographic parameters that cannot satisfy
+    the scheme's correctness bound.
+    """
+
+
+class CryptoError(ReproError):
+    """A cryptographic-layer failure (group, pairing, or SSW level)."""
+
+
+class SerializationError(ReproError):
+    """A ciphertext, token, or message failed to (de)serialize."""
+
+
+class SchemeError(ReproError):
+    """Misuse of a CRSE scheme's API.
+
+    Examples: searching with a token produced under a different key or a
+    different scheme; querying CRSE-I with a radius other than the one fixed
+    at key generation.
+    """
+
+
+class ProtocolError(ReproError):
+    """A cloud-protocol message was malformed or arrived out of order."""

@@ -1,0 +1,71 @@
+"""Number-theoretic and algebraic substrates.
+
+Everything the crypto and geometry layers need that a C library (GMP) would
+normally provide: primality and prime generation, modular arithmetic,
+integer factorization, the sums-of-squares theorems behind ``GenConCircle``,
+and sparse multivariate polynomials for the CRSE-I ``Split`` pipeline.
+"""
+
+from repro.math.factorint import divisors, factorint, squarefree_part
+from repro.math.modular import (
+    crt,
+    crt_pair,
+    egcd,
+    is_quadratic_residue,
+    jacobi,
+    modinv,
+    sqrt_mod,
+)
+from repro.math.polynomial import Polynomial
+from repro.math.primes import (
+    is_prime,
+    next_prime,
+    prev_prime,
+    primes_up_to,
+    random_prime,
+    small_primes,
+)
+from repro.math.sumsquares import (
+    all_two_square_representations,
+    count_lattice_points_in_circle,
+    is_sum_of_squares,
+    is_sum_of_three_squares,
+    is_sum_of_two_squares,
+    lattice_points_on_circle,
+    lattice_points_on_sphere,
+    representation_count,
+    sums_of_squares_up_to,
+    sums_of_two_squares_up_to,
+    two_square_representation,
+)
+
+__all__ = [
+    "Polynomial",
+    "all_two_square_representations",
+    "count_lattice_points_in_circle",
+    "crt",
+    "crt_pair",
+    "divisors",
+    "egcd",
+    "factorint",
+    "is_prime",
+    "is_quadratic_residue",
+    "is_sum_of_squares",
+    "is_sum_of_three_squares",
+    "is_sum_of_two_squares",
+    "jacobi",
+    "lattice_points_on_circle",
+    "lattice_points_on_sphere",
+    "modinv",
+    "next_prime",
+    "prev_prime",
+    "primes_up_to",
+    "random_prime",
+    "representation_count",
+    "small_primes",
+    "sqrt_mod",
+    "squarefree_part",
+    "sums_of_squares_up_to",
+    "sums_of_two_squares_up_to",
+    "two_square_representation",
+]

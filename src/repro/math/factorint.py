@@ -1,0 +1,108 @@
+"""Integer factorization.
+
+``GenConCircle`` (paper Sec. VI-A) decides which squared radii occur inside a
+query circle via the sum-of-two-squares theorem, which needs the prime
+factorization of every candidate ``r² ∈ [0, R²]``.  Radii are small (the
+paper evaluates up to ``R = 50``, i.e. ``R² = 2500``), but we implement a
+general-purpose factorizer — trial division by cached small primes followed
+by Brent's variant of Pollard's rho — so the library also handles the larger
+values that appear in parameter generation and tests.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.math.primes import is_prime, small_primes
+
+__all__ = ["factorint", "divisors", "squarefree_part"]
+
+_SMALL_PRIMES = small_primes()
+
+
+def _pollard_brent(n: int, rng: random.Random) -> int:
+    """Return a non-trivial factor of composite odd *n* (Brent's rho)."""
+    if n % 2 == 0:
+        return 2
+    while True:
+        y = rng.randrange(1, n)
+        c = rng.randrange(1, n)
+        m = 128
+        g = r = q = 1
+        x = ys = y
+        while g == 1:
+            x = y
+            for _ in range(r):
+                y = (y * y + c) % n
+            k = 0
+            while k < r and g == 1:
+                ys = y
+                for _ in range(min(m, r - k)):
+                    y = (y * y + c) % n
+                    q = q * abs(x - y) % n
+                g = math.gcd(q, n)
+                k += m
+            r *= 2
+        if g == n:
+            g = 1
+            while g == 1:
+                ys = (ys * ys + c) % n
+                g = math.gcd(abs(x - ys), n)
+        if g != n:
+            return g
+
+
+def factorint(n: int, rng: random.Random | None = None) -> dict[int, int]:
+    """Return the prime factorization of *n* as ``{prime: exponent}``.
+
+    Args:
+        n: A positive integer.  ``factorint(1) == {}``.
+        rng: Optional random source for Pollard rho (reproducibility).
+
+    Raises:
+        ValueError: If ``n < 1``.
+    """
+    if n < 1:
+        raise ValueError("factorint requires a positive integer")
+    rng = rng or random.Random(0xFAC7)
+    factors: dict[int, int] = {}
+    for p in _SMALL_PRIMES:
+        while n % p == 0:
+            factors[p] = factors.get(p, 0) + 1
+            n //= p
+        if n == 1:
+            return factors
+    # Remaining cofactor has no factor below 1000; split recursively.
+    stack = [n]
+    while stack:
+        m = stack.pop()
+        if m == 1:
+            continue
+        if is_prime(m):
+            factors[m] = factors.get(m, 0) + 1
+            continue
+        root = math.isqrt(m)
+        if root * root == m:
+            stack.extend((root, root))
+            continue
+        d = _pollard_brent(m, rng)
+        stack.extend((d, m // d))
+    return factors
+
+
+def divisors(n: int) -> list[int]:
+    """Return all positive divisors of *n* in ascending order."""
+    result = [1]
+    for p, e in factorint(n).items():
+        result = [d * p**k for d in result for k in range(e + 1)]
+    return sorted(result)
+
+
+def squarefree_part(n: int) -> int:
+    """Return the squarefree part of positive *n* (product of odd-power primes)."""
+    part = 1
+    for p, e in factorint(n).items():
+        if e % 2 == 1:
+            part *= p
+    return part

@@ -1,0 +1,141 @@
+"""Exact linear algebra over rationals (Gauss-Jordan on ``Fraction``).
+
+Substrate for the ASPE secure-kNN baseline
+(:mod:`repro.baselines.aspe_knn`), which needs an invertible secret matrix,
+its inverse, and exact matrix-vector products — floating point would make
+the known-plaintext recovery test flaky.  Matrices are plain list-of-list
+rows of :class:`fractions.Fraction`; dimensions are small (``d + 1``).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "identity_matrix",
+    "mat_mul",
+    "mat_vec",
+    "mat_inverse",
+    "random_invertible_matrix",
+    "solve_linear_system",
+]
+
+Matrix = list[list[Fraction]]
+Vector = list[Fraction]
+
+
+def identity_matrix(n: int) -> Matrix:
+    """The n×n identity."""
+    return [
+        [Fraction(1) if i == j else Fraction(0) for j in range(n)]
+        for i in range(n)
+    ]
+
+
+def _check_rect(matrix: Sequence[Sequence[object]]) -> tuple[int, int]:
+    rows = len(matrix)
+    if rows == 0:
+        raise ParameterError("matrix must be non-empty")
+    cols = len(matrix[0])
+    if any(len(row) != cols for row in matrix):
+        raise ParameterError("matrix rows must have equal length")
+    return rows, cols
+
+
+def mat_mul(a: Sequence[Sequence[Fraction]], b: Sequence[Sequence[Fraction]]) -> Matrix:
+    """Matrix product ``a @ b``.
+
+    Raises:
+        ParameterError: On dimension mismatch.
+    """
+    ra, ca = _check_rect(a)
+    rb, cb = _check_rect(b)
+    if ca != rb:
+        raise ParameterError(f"cannot multiply {ra}x{ca} by {rb}x{cb}")
+    return [
+        [
+            sum((a[i][k] * b[k][j] for k in range(ca)), Fraction(0))
+            for j in range(cb)
+        ]
+        for i in range(ra)
+    ]
+
+
+def mat_vec(matrix: Sequence[Sequence[Fraction]], vector: Sequence[Fraction]) -> Vector:
+    """Matrix-vector product."""
+    rows, cols = _check_rect(matrix)
+    if cols != len(vector):
+        raise ParameterError(f"cannot apply {rows}x{cols} to length-{len(vector)}")
+    return [
+        sum((matrix[i][k] * vector[k] for k in range(cols)), Fraction(0))
+        for i in range(rows)
+    ]
+
+
+def mat_inverse(matrix: Sequence[Sequence[Fraction]]) -> Matrix:
+    """Exact inverse by Gauss-Jordan elimination.
+
+    Raises:
+        ParameterError: If the matrix is singular or not square.
+    """
+    n, cols = _check_rect(matrix)
+    if n != cols:
+        raise ParameterError("only square matrices have inverses")
+    # Augment [A | I] and reduce.
+    aug = [
+        [Fraction(v) for v in row]
+        + [Fraction(1) if i == j else Fraction(0) for j in range(n)]
+        for i, row in enumerate(matrix)
+    ]
+    for col in range(n):
+        pivot_row = next(
+            (r for r in range(col, n) if aug[r][col] != 0), None
+        )
+        if pivot_row is None:
+            raise ParameterError("matrix is singular")
+        aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
+        pivot = aug[col][col]
+        aug[col] = [v / pivot for v in aug[col]]
+        for r in range(n):
+            if r != col and aug[r][col] != 0:
+                factor = aug[r][col]
+                aug[r] = [v - factor * p for v, p in zip(aug[r], aug[col])]
+    return [row[n:] for row in aug]
+
+
+def solve_linear_system(
+    matrix: Sequence[Sequence[Fraction]], rhs: Sequence[Fraction]
+) -> Vector:
+    """Solve ``A x = b`` exactly.
+
+    Raises:
+        ParameterError: If *matrix* is singular or shapes mismatch.
+    """
+    inverse = mat_inverse(matrix)
+    return mat_vec(inverse, rhs)
+
+
+def random_invertible_matrix(
+    n: int, rng: random.Random, magnitude: int = 10
+) -> Matrix:
+    """Sample a random invertible n×n integer matrix (as Fractions).
+
+    Rejection-samples until the determinant is non-zero (almost always the
+    first draw).
+    """
+    if n < 1:
+        raise ParameterError("matrix size must be positive")
+    while True:
+        candidate = [
+            [Fraction(rng.randint(-magnitude, magnitude)) for _ in range(n)]
+            for _ in range(n)
+        ]
+        try:
+            mat_inverse(candidate)
+        except ParameterError:
+            continue
+        return candidate

@@ -1,0 +1,243 @@
+"""Sparse multivariate polynomials over the integers.
+
+CRSE-I (paper Sec. VI-B) combines the ``m`` concentric-circle boundary
+polynomials into a single product ``P = P1 · P2 ⋯ Pm`` and then splits ``P``
+into an inner product of two vectors.  This module supplies the exact
+symbolic arithmetic for that pipeline: the ``Split`` implementation in
+:mod:`repro.core.split` manipulates polynomials in the *point* variables
+``x, y, …`` (one per dimension), and the test suite uses full evaluation to
+check that every split satisfies ``⟨f_u(D), f_v(Q)⟩ = P(D, Q)``.
+
+Representation: a mapping from exponent tuples to non-zero integer
+coefficients.  Polynomials are immutable and hashable, so they can serve as
+dictionary keys when the optimized split merges duplicate point-monomials.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["Polynomial"]
+
+
+class Polynomial:
+    """An immutable sparse polynomial in ``nvars`` variables over ℤ."""
+
+    __slots__ = ("_nvars", "_terms", "_hash")
+
+    def __init__(self, nvars: int, terms: Mapping[tuple[int, ...], int] | None = None):
+        """Build a polynomial from an exponent-tuple → coefficient mapping.
+
+        Args:
+            nvars: Number of variables; every exponent tuple must have this
+                length.
+            terms: Coefficients by exponent tuple; zero coefficients are
+                dropped.
+
+        Raises:
+            ValueError: If an exponent tuple has the wrong arity or a
+                negative exponent.
+        """
+        if nvars < 0:
+            raise ValueError("nvars must be non-negative")
+        clean: dict[tuple[int, ...], int] = {}
+        for expts, coeff in (terms or {}).items():
+            if len(expts) != nvars:
+                raise ValueError(
+                    f"exponent tuple {expts} has arity {len(expts)}, expected {nvars}"
+                )
+            if any(e < 0 for e in expts):
+                raise ValueError(f"negative exponent in {expts}")
+            if coeff:
+                clean[tuple(expts)] = clean.get(tuple(expts), 0) + coeff
+                if not clean[tuple(expts)]:
+                    del clean[tuple(expts)]
+        self._nvars = nvars
+        self._terms = clean
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, nvars: int, value: int) -> "Polynomial":
+        """Return the constant polynomial *value*."""
+        zero = (0,) * nvars
+        return cls(nvars, {zero: value} if value else {})
+
+    @classmethod
+    def variable(cls, nvars: int, index: int) -> "Polynomial":
+        """Return the polynomial ``x_index``."""
+        if not 0 <= index < nvars:
+            raise ValueError(f"variable index {index} out of range for {nvars} vars")
+        expts = tuple(1 if i == index else 0 for i in range(nvars))
+        return cls(nvars, {expts: 1})
+
+    @classmethod
+    def zero(cls, nvars: int) -> "Polynomial":
+        """Return the zero polynomial."""
+        return cls(nvars, {})
+
+    @classmethod
+    def one(cls, nvars: int) -> "Polynomial":
+        """Return the constant polynomial 1."""
+        return cls.constant(nvars, 1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nvars(self) -> int:
+        """Number of variables."""
+        return self._nvars
+
+    @property
+    def terms(self) -> dict[tuple[int, ...], int]:
+        """A copy of the exponent-tuple → coefficient mapping."""
+        return dict(self._terms)
+
+    def is_zero(self) -> bool:
+        """True if this is the zero polynomial."""
+        return not self._terms
+
+    def total_degree(self) -> int:
+        """Total degree (0 for constants, including zero)."""
+        if not self._terms:
+            return 0
+        return max(sum(expts) for expts in self._terms)
+
+    def num_terms(self) -> int:
+        """Number of monomials with non-zero coefficient."""
+        return len(self._terms)
+
+    def coefficient(self, expts: tuple[int, ...]) -> int:
+        """Return the coefficient of the given monomial (0 if absent)."""
+        return self._terms.get(tuple(expts), 0)
+
+    # ------------------------------------------------------------------
+    # Ring operations
+    # ------------------------------------------------------------------
+    def _coerce(self, other: "Polynomial | int") -> "Polynomial":
+        if isinstance(other, Polynomial):
+            if other._nvars != self._nvars:
+                raise ValueError("polynomial arity mismatch")
+            return other
+        if isinstance(other, int):
+            return Polynomial.constant(self._nvars, other)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: "Polynomial | int") -> "Polynomial":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        terms = dict(self._terms)
+        for expts, coeff in rhs._terms.items():
+            terms[expts] = terms.get(expts, 0) + coeff
+        return Polynomial(self._nvars, terms)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial(
+            self._nvars, {expts: -c for expts, c in self._terms.items()}
+        )
+
+    def __sub__(self, other: "Polynomial | int") -> "Polynomial":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self + (-rhs)
+
+    def __rsub__(self, other: int) -> "Polynomial":
+        return (-self) + other
+
+    def __mul__(self, other: "Polynomial | int") -> "Polynomial":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        terms: dict[tuple[int, ...], int] = {}
+        for e1, c1 in self._terms.items():
+            for e2, c2 in rhs._terms.items():
+                key = tuple(a + b for a, b in zip(e1, e2))
+                terms[key] = terms.get(key, 0) + c1 * c2
+        return Polynomial(self._nvars, terms)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if exponent < 0:
+            raise ValueError("negative powers are not polynomials")
+        result = Polynomial.one(self._nvars)
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result * base
+            base = base * base
+            e >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, values: Iterable[int]) -> int:
+        """Evaluate at an integer point.
+
+        Args:
+            values: One integer per variable, in variable order.
+
+        Raises:
+            ValueError: If the number of values does not match ``nvars``.
+        """
+        point = tuple(values)
+        if len(point) != self._nvars:
+            raise ValueError(
+                f"expected {self._nvars} values, got {len(point)}"
+            )
+        total = 0
+        for expts, coeff in self._terms.items():
+            term = coeff
+            for base, e in zip(point, expts):
+                if e:
+                    term *= base**e
+            total += term
+        return total
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            return self == Polynomial.constant(self._nvars, other)
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._nvars == other._nvars and self._terms == other._terms
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (self._nvars, frozenset(self._terms.items()))
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "Polynomial(0)"
+        parts = []
+        for expts in sorted(self._terms, key=lambda e: (-sum(e), e)):
+            coeff = self._terms[expts]
+            factors = [
+                f"x{i}" if e == 1 else f"x{i}^{e}"
+                for i, e in enumerate(expts)
+                if e
+            ]
+            body = "*".join(factors)
+            if not body:
+                parts.append(str(coeff))
+            elif coeff == 1:
+                parts.append(body)
+            elif coeff == -1:
+                parts.append(f"-{body}")
+            else:
+                parts.append(f"{coeff}*{body}")
+        return "Polynomial(" + " + ".join(parts).replace("+ -", "- ") + ")"

@@ -1,0 +1,165 @@
+"""Primality testing and prime generation.
+
+This module provides the prime machinery needed to build composite-order
+bilinear group parameters (:mod:`repro.crypto.groups.params`) and the
+number-theoretic predicates behind ``GenConCircle``
+(:mod:`repro.core.concircles`).
+
+The primality test is deterministic for 64-bit inputs (fixed Miller-Rabin
+bases) and probabilistic with a negligible error for larger inputs
+(random bases), matching standard practice in cryptographic libraries.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+__all__ = [
+    "is_prime",
+    "next_prime",
+    "prev_prime",
+    "random_prime",
+    "primes_up_to",
+    "small_primes",
+]
+
+# Primes below 1000, used for cheap trial division before Miller-Rabin.
+_SMALL_PRIME_LIMIT = 1000
+
+
+def _sieve(limit: int) -> list[int]:
+    """Return all primes strictly below *limit* via Eratosthenes."""
+    if limit <= 2:
+        return []
+    flags = bytearray([1]) * limit
+    flags[0] = flags[1] = 0
+    for p in range(2, int(limit**0.5) + 1):
+        if flags[p]:
+            flags[p * p :: p] = bytearray(len(flags[p * p :: p]))
+    return [i for i, flag in enumerate(flags) if flag]
+
+
+_SMALL_PRIMES: list[int] = _sieve(_SMALL_PRIME_LIMIT)
+
+# Deterministic Miller-Rabin bases: correct for all n < 3.3 * 10^24
+# (Sorenson & Webster), which covers every fixed-width integer we test
+# deterministically.
+_DETERMINISTIC_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+_DETERMINISTIC_LIMIT = 3_317_044_064_679_887_385_961_981
+
+
+def small_primes() -> list[int]:
+    """Return the cached list of primes below 1000 (a copy)."""
+    return list(_SMALL_PRIMES)
+
+
+def primes_up_to(limit: int) -> list[int]:
+    """Return all primes ``p <= limit`` (sieve of Eratosthenes)."""
+    if limit < 2:
+        return []
+    return _sieve(limit + 1)
+
+
+def _miller_rabin_witness(n: int, a: int, d: int, r: int) -> bool:
+    """Return True if *a* witnesses that *n* is composite."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return False
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def is_prime(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool:
+    """Test *n* for primality.
+
+    Deterministic for ``n < 3.3e24`` via fixed Miller-Rabin bases; otherwise
+    probabilistic with error at most ``4**-rounds``.
+
+    Args:
+        n: The integer to test.  Values below 2 are never prime.
+        rounds: Number of random bases for the probabilistic path.
+        rng: Optional random source for reproducible probabilistic testing.
+
+    Returns:
+        True if *n* is (almost certainly) prime.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n - 1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    if n < _DETERMINISTIC_LIMIT:
+        bases: Iterator[int] = iter(_DETERMINISTIC_BASES)
+        return not any(
+            _miller_rabin_witness(n, a % n, d, r) for a in bases if a % n
+        )
+    rng = rng or random
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        if _miller_rabin_witness(n, a, d, r):
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime strictly greater than *n*."""
+    candidate = max(n + 1, 2)
+    if candidate == 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def prev_prime(n: int) -> int:
+    """Return the largest prime strictly smaller than *n*.
+
+    Raises:
+        ValueError: If no prime below *n* exists (``n <= 2``).
+    """
+    if n <= 2:
+        raise ValueError(f"no prime below {n}")
+    candidate = n - 1
+    if candidate == 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate -= 1
+    while candidate >= 2 and not is_prime(candidate):
+        candidate -= 2
+    if candidate < 2:
+        raise ValueError(f"no prime below {n}")
+    return candidate
+
+
+def random_prime(bits: int, rng: random.Random | None = None) -> int:
+    """Return a uniformly sampled prime with exactly *bits* bits.
+
+    Args:
+        bits: Bit length of the prime; must be at least 2.
+        rng: Optional random source for reproducibility.
+
+    Raises:
+        ValueError: If *bits* < 2.
+    """
+    if bits < 2:
+        raise ValueError("a prime needs at least 2 bits")
+    rng = rng or random
+    while True:
+        # Force the top bit (exact bit length) and the low bit (odd).
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_prime(candidate, rng=rng):
+            return candidate

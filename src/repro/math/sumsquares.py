@@ -1,0 +1,299 @@
+"""Sums of squares: the number theory behind ``GenConCircle``.
+
+The paper's core covering argument (Sec. VI-A) is that the integer lattice
+points inside a circle of radius ``R`` lie on exactly the concentric circles
+whose squared radius is an integer in ``[0, R²]`` expressible as a sum of
+``w`` squares.  This module implements the classical theorems the paper
+cites:
+
+* **Fermat / sum-of-two-squares** (paper Theorem 1): ``n = a² + b²`` iff every
+  prime ``p ≡ 3 (mod 4)`` divides ``n`` to an even power.
+* **Legendre's three-square theorem**: ``n = a² + b² + c²`` iff
+  ``n ≠ 4^a (8b + 7)``.
+* **Lagrange's four-square theorem**: every non-negative integer is a sum of
+  four squares (so for ``w ≥ 4`` the circle count is exactly ``R² + 1``).
+
+It also constructs explicit representations (Cornacchia's algorithm plus
+Gaussian-integer composition) and enumerates lattice points on circle
+boundaries, which the test suite and workload generators use to place points
+exactly on concentric circles.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.math.factorint import divisors, factorint
+from repro.math.modular import sqrt_mod
+
+__all__ = [
+    "is_sum_of_two_squares",
+    "is_sum_of_three_squares",
+    "is_sum_of_squares",
+    "sums_of_two_squares_up_to",
+    "sums_of_squares_up_to",
+    "two_square_representation",
+    "all_two_square_representations",
+    "lattice_points_on_circle",
+    "lattice_points_on_sphere",
+    "count_lattice_points_in_circle",
+    "representation_count",
+]
+
+
+def is_sum_of_two_squares(n: int) -> bool:
+    """Return True if ``n = a² + b²`` for integers a, b (Fermat's theorem)."""
+    if n < 0:
+        return False
+    if n in (0, 1, 2):
+        return True
+    return all(
+        e % 2 == 0 for p, e in factorint(n).items() if p % 4 == 3
+    )
+
+
+def is_sum_of_three_squares(n: int) -> bool:
+    """Return True if ``n = a² + b² + c²`` (Legendre's theorem)."""
+    if n < 0:
+        return False
+    while n % 4 == 0 and n > 0:
+        n //= 4
+    return n % 8 != 7
+
+
+def is_sum_of_squares(n: int, w: int) -> bool:
+    """Return True if *n* is a sum of *w* integer squares.
+
+    Args:
+        n: The candidate value (a squared radius).
+        w: Number of squares, i.e. the spatial dimension; ``w >= 1``.
+
+    Raises:
+        ValueError: If ``w < 1``.
+    """
+    if w < 1:
+        raise ValueError("dimension w must be at least 1")
+    if n < 0:
+        return False
+    if w == 1:
+        root = math.isqrt(n)
+        return root * root == n
+    if w == 2:
+        return is_sum_of_two_squares(n)
+    if w == 3:
+        return is_sum_of_three_squares(n)
+    # Lagrange: every non-negative integer is a sum of four squares.
+    return True
+
+
+def sums_of_two_squares_up_to(limit: int) -> list[int]:
+    """Return all ``n ∈ [0, limit]`` expressible as a sum of two squares.
+
+    Uses an additive sieve (mark every ``a² + b²``), which is far cheaper
+    than factoring each candidate when enumerating the full range needed by
+    ``GenConCircle``.
+    """
+    if limit < 0:
+        return []
+    marked = bytearray(limit + 1)
+    a = 0
+    while a * a <= limit:
+        aa = a * a
+        b = a
+        while aa + b * b <= limit:
+            marked[aa + b * b] = 1
+            b += 1
+        a += 1
+    return [n for n in range(limit + 1) if marked[n]]
+
+
+def sums_of_squares_up_to(limit: int, w: int) -> list[int]:
+    """Return all ``n ∈ [0, limit]`` expressible as a sum of *w* squares.
+
+    For ``w = 3`` this applies Legendre's criterion directly; for ``w >= 4``
+    it is the full range (Lagrange).
+    """
+    if w < 1:
+        raise ValueError("dimension w must be at least 1")
+    if limit < 0:
+        return []
+    if w == 1:
+        return [k * k for k in range(math.isqrt(limit) + 1)]
+    if w == 2:
+        return sums_of_two_squares_up_to(limit)
+    if w == 3:
+        return [n for n in range(limit + 1) if is_sum_of_three_squares(n)]
+    return list(range(limit + 1))
+
+
+def _cornacchia_prime(p: int, rng: random.Random) -> tuple[int, int]:
+    """Return ``(a, b)`` with ``a² + b² == p`` for a prime ``p ≡ 1 (mod 4)``.
+
+    Cornacchia's algorithm: start from a root of ``x² ≡ -1 (mod p)`` and run
+    the Euclidean algorithm down past ``sqrt(p)``.
+    """
+    x = sqrt_mod(p - 1, p)
+    x = min(x, p - x)
+    # Descend: gcd chain p, x until below sqrt(p).
+    a, b = p, x
+    bound = math.isqrt(p)
+    while b > bound:
+        a, b = b, a % b
+    c_sq = p - b * b
+    c = math.isqrt(c_sq)
+    if c * c != c_sq:  # pragma: no cover - cannot happen for prime p ≡ 1 (4)
+        raise ArithmeticError(f"Cornacchia failed for prime {p}")
+    return b, c
+
+
+def _gaussian_mul(ab: tuple[int, int], cd: tuple[int, int]) -> tuple[int, int]:
+    """Compose two-square representations via (a+bi)(c+di)."""
+    a, b = ab
+    c, d = cd
+    return abs(a * c - b * d), abs(a * d + b * c)
+
+
+def two_square_representation(
+    n: int, rng: random.Random | None = None
+) -> tuple[int, int]:
+    """Return one ``(a, b)`` with ``a² + b² == n`` and ``0 <= a <= b``.
+
+    Constructive counterpart of :func:`is_sum_of_two_squares`: factor *n*,
+    represent each prime ``p ≡ 1 (mod 4)`` by Cornacchia, compose with
+    Gaussian-integer multiplication, and scale by the square part.
+
+    Raises:
+        ValueError: If *n* is not a sum of two squares.
+    """
+    if n < 0 or not is_sum_of_two_squares(n):
+        raise ValueError(f"{n} is not a sum of two squares")
+    if n == 0:
+        return (0, 0)
+    rng = rng or random.Random(0x5057)
+    rep = (1, 0)
+    scale = 1
+    for p, e in factorint(n).items():
+        if p % 4 == 3:
+            scale *= p ** (e // 2)
+            continue
+        if p == 2:
+            prime_rep = (1, 1)
+        else:
+            prime_rep = _cornacchia_prime(p, rng)
+        for _ in range(e):
+            rep = _gaussian_mul(rep, prime_rep)
+    a, b = abs(rep[0]) * scale, abs(rep[1]) * scale
+    return (min(a, b), max(a, b))
+
+
+def all_two_square_representations(n: int) -> list[tuple[int, int]]:
+    """Return every ``(a, b)`` with ``a² + b² == n`` and ``0 <= a <= b``.
+
+    Brute-force over ``a <= sqrt(n/2)``; used for boundary-point enumeration
+    where *n* is a squared radius (small in the paper's experiments).
+    """
+    if n < 0:
+        return []
+    reps = []
+    a = 0
+    while 2 * a * a <= n:
+        rest = n - a * a
+        b = math.isqrt(rest)
+        if b * b == rest:
+            reps.append((a, b))
+        a += 1
+    return reps
+
+
+def lattice_points_on_circle(
+    center: tuple[int, int], r_squared: int
+) -> list[tuple[int, int]]:
+    """Return all integer points on the circle with squared radius *r_squared*.
+
+    Args:
+        center: Integer circle center ``(xc, yc)``.
+        r_squared: Squared radius (must be a non-negative integer).
+
+    Returns:
+        All ``(x, y) ∈ Z²`` with ``(x-xc)² + (y-yc)² == r_squared``, sorted.
+    """
+    if r_squared < 0:
+        return []
+    xc, yc = center
+    points: set[tuple[int, int]] = set()
+    for a, b in all_two_square_representations(r_squared):
+        for da, db in ((a, b), (b, a)):
+            for sa in (da, -da):
+                for sb in (db, -db):
+                    points.add((xc + sa, yc + sb))
+    return sorted(points)
+
+
+def lattice_points_on_sphere(
+    center: tuple[int, ...], r_squared: int
+) -> list[tuple[int, ...]]:
+    """Return all integer points at squared distance *r_squared* from *center*.
+
+    Works in any dimension ``w = len(center)`` by recursive decomposition of
+    *r_squared* into *w* squares.  Exponential in *w*, intended for the small
+    radii used in tests and workload generation.
+    """
+    w = len(center)
+    if r_squared < 0:
+        return []
+
+    def rec(dims: int, remaining: int) -> list[tuple[int, ...]]:
+        if dims == 1:
+            root = math.isqrt(remaining)
+            if root * root != remaining:
+                return []
+            return [(root,)] if root == 0 else [(root,), (-root,)]
+        combos = []
+        v = 0
+        while v * v <= remaining:
+            for tail in rec(dims - 1, remaining - v * v):
+                combos.append((v,) + tail)
+                if v:
+                    combos.append((-v,) + tail)
+            v += 1
+        return combos
+
+    return sorted(
+        tuple(c + d for c, d in zip(center, delta))
+        for delta in rec(w, r_squared)
+    )
+
+
+def representation_count(n: int) -> int:
+    """Jacobi's ``r₂(n)``: signed lattice points with ``x² + y² = n``.
+
+    Classical identity: ``r₂(n) = 4·(d₁(n) - d₃(n))`` where ``d₁``/``d₃``
+    count divisors congruent to 1/3 mod 4; ``r₂(0) = 1`` (the origin).
+    This is how many records can sit on one concentric circle — the
+    granularity of CRSE-II's co-boundary leakage.
+    """
+    if n < 0:
+        return 0
+    if n == 0:
+        return 1
+    d1 = d3 = 0
+    for divisor in divisors(n):
+        residue = divisor % 4
+        if residue == 1:
+            d1 += 1
+        elif residue == 3:
+            d3 += 1
+    return 4 * (d1 - d3)
+
+
+def count_lattice_points_in_circle(r_squared: int) -> int:
+    """Count integer points ``(x, y)`` with ``x² + y² <= r_squared`` (Gauss circle)."""
+    if r_squared < 0:
+        return 0
+    r = math.isqrt(r_squared)
+    total = 0
+    for x in range(-r, r + 1):
+        rest = r_squared - x * x
+        total += 2 * math.isqrt(rest) + 1
+    return total

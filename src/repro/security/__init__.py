@@ -1,0 +1,59 @@
+"""Executable security definitions: leakage, SCPA games, concrete attacks."""
+
+from repro.security.attacks import (
+    CoBoundaryDataAdversary,
+    CoBoundaryQueryAdversary,
+    RandomGuessAdversary,
+)
+from repro.security.games import (
+    DataPrivacyGame,
+    DataPrivacyOracle,
+    GameViolation,
+    MatchObservation,
+    QueryPrivacyGame,
+    QueryPrivacyOracle,
+)
+from repro.security.patterns import (
+    PatternReport,
+    analyze_log,
+    co_retrieval_groups,
+    infer_radius_candidates,
+    infer_search_pattern,
+)
+from repro.security.reduction import (
+    CRSE1QueryAdversaryAsSSW,
+    SSWOracle,
+    SSWQueryPrivacyGame,
+)
+from repro.security.leakage import (
+    Leakage,
+    data_privacy_admissible,
+    leakage,
+    query_privacy_admissible,
+    same_concentric_circle,
+)
+
+__all__ = [
+    "CoBoundaryDataAdversary",
+    "CoBoundaryQueryAdversary",
+    "CRSE1QueryAdversaryAsSSW",
+    "DataPrivacyGame",
+    "DataPrivacyOracle",
+    "GameViolation",
+    "Leakage",
+    "MatchObservation",
+    "PatternReport",
+    "QueryPrivacyGame",
+    "QueryPrivacyOracle",
+    "RandomGuessAdversary",
+    "SSWOracle",
+    "SSWQueryPrivacyGame",
+    "analyze_log",
+    "co_retrieval_groups",
+    "data_privacy_admissible",
+    "infer_radius_candidates",
+    "infer_search_pattern",
+    "leakage",
+    "query_privacy_admissible",
+    "same_concentric_circle",
+]

@@ -1,0 +1,143 @@
+"""Concrete adversaries, including the paper's CRSE-II attack (Fig. 18/19).
+
+Three adversaries for the executable games:
+
+* :class:`RandomGuessAdversary` — the baseline; wins with probability 1/2
+  against any scheme (used to sanity-check the harness).
+* :class:`CoBoundaryDataAdversary` — the Appendix-C distinguishing attack
+  against CRSE-II's data privacy.  Pick ``D0, D1`` inside the same query
+  circle but on *different* concentric circles, and a helper ``D'`` sharing
+  ``D0``'s concentric circle.  The challenge ciphertext matches the same
+  sub-token as ``D'`` iff the bit is 0, so one token request plus two
+  observations wins with probability 1 — **unless** the strengthened game
+  rejects the helper request.
+* :class:`CoBoundaryQueryAdversary` — the dual attack on query privacy:
+  ``Q0, Q1`` share a center-distance structure that a co-boundary
+  observation separates.
+
+Against CRSE-I the co-boundary attack degrades to random guessing: a
+CRSE-I token is indivisible, so both challenge ciphertexts produce the same
+single Boolean observation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.geometry import Circle
+from repro.security.games import (
+    DataPrivacyOracle,
+    GameViolation,
+    QueryPrivacyOracle,
+)
+
+__all__ = [
+    "RandomGuessAdversary",
+    "CoBoundaryDataAdversary",
+    "CoBoundaryQueryAdversary",
+]
+
+
+@dataclass
+class RandomGuessAdversary:
+    """Flips a coin; the control arm of every advantage estimate."""
+
+    rng: random.Random
+    d0: tuple[int, ...] = (0, 0)
+    d1: tuple[int, ...] = (1, 0)
+    q0: Circle = Circle((4, 4), 4)
+    q1: Circle = Circle((5, 4), 4)
+
+    def choose_challenge(self):
+        """Return the configured challenge pair (records or circles)."""
+        return (self.d0, self.d1)
+
+    def attack(self, oracle, challenge) -> int:
+        """Ignore everything and guess."""
+        return self.rng.getrandbits(1)
+
+
+@dataclass
+class CoBoundaryDataAdversary:
+    """The Fig. 18/19 attack on CRSE-II data privacy.
+
+    Attributes:
+        circle: A query circle containing all three points below.
+        d0: Challenge record 0.
+        d1: Challenge record 1, inside *circle* but at a different squared
+            distance from its center than *d0*.
+        helper: A record sharing *d0*'s squared center distance (the
+            co-boundary witness ``D'_j``).
+    """
+
+    circle: Circle
+    d0: tuple[int, ...]
+    d1: tuple[int, ...]
+    helper: tuple[int, ...]
+    violated: bool = False
+
+    def choose_challenge(self):
+        """Init: submit ``(D0, D1)``."""
+        return (self.d0, self.d1)
+
+    def attack(self, oracle: DataPrivacyOracle, challenge) -> int:
+        """Request a token and a helper ciphertext; compare sub-token hits.
+
+        Sets :attr:`violated` (and falls back to guessing 0) if the
+        strengthened game rejects a request — that rejection *is* the
+        paper's fix working.
+        """
+        try:
+            token = oracle.request_token(self.circle)
+            helper_ct = oracle.request_ciphertext(self.helper)
+        except GameViolation:
+            self.violated = True
+            return 0
+        helper_obs = oracle.observe(token, helper_ct)
+        challenge_obs = oracle.observe(token, challenge)
+        if helper_obs.sub_token_index is None or challenge_obs.sub_token_index is None:
+            # No sub-token structure to exploit (e.g. CRSE-I): coin flip.
+            return 0
+        same = helper_obs.sub_token_index == challenge_obs.sub_token_index
+        return 0 if same else 1
+
+
+@dataclass
+class CoBoundaryQueryAdversary:
+    """The dual attack on CRSE-II query privacy.
+
+    Challenge circles ``Q0, Q1`` share a radius; the adversary picks a
+    record whose squared distance to ``Q0``'s center differs from its
+    squared distance to ``Q1``'s center (both inside, so the request is
+    admissible in the *original* game), plus a helper record co-boundary
+    with it under ``Q0`` only.  Matching sub-token indices then reveal the
+    challenge bit.
+    """
+
+    q0: Circle
+    q1: Circle
+    probe: tuple[int, ...]
+    helper: tuple[int, ...]
+    violated: bool = False
+
+    def choose_challenge(self):
+        """Init: submit ``(Q0, Q1)``."""
+        return (self.q0, self.q1)
+
+    def attack(self, oracle: QueryPrivacyOracle, challenge_token) -> int:
+        """Request probe/helper ciphertexts; compare sub-token hits."""
+        try:
+            probe_ct = oracle.request_ciphertext(self.probe)
+            helper_ct = oracle.request_ciphertext(self.helper)
+        except GameViolation:
+            self.violated = True
+            return 0
+        probe_obs = oracle.observe(challenge_token, probe_ct)
+        helper_obs = oracle.observe(challenge_token, helper_ct)
+        if probe_obs.sub_token_index is None or helper_obs.sub_token_index is None:
+            return 0
+        # Under Q0 probe and helper are co-boundary (same sub-token); under
+        # Q1 they are not.
+        same = probe_obs.sub_token_index == helper_obs.sub_token_index
+        return 0 if same else 1

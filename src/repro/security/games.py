@@ -1,0 +1,268 @@
+"""Executable SCPA security games (paper Def. 2 / Def. 3 and Appendix C).
+
+These harnesses run the selective chosen-plaintext games as real protocols
+against a live scheme instance: the challenger holds the key, the adversary
+interacts only through the restricted oracles, and ``run`` returns whether
+the adversary guessed the challenge bit.  Tests estimate adversarial
+advantage empirically: honest adversaries hover at 1/2; the Appendix's
+co-boundary adversary wins the *unrestricted* CRSE-II data-privacy game
+outright, and the strengthened restrictions reject its requests — a running
+demonstration of why the paper adds them.
+
+The games are information-theoretic on what the adversary may *observe*:
+for CRSE-II, the observation includes which sub-token of a requested token
+matches a ciphertext (the semi-honest server sees exactly this while
+executing ``Search``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.core.base import CRSEScheme
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, point_in_circle
+from repro.crypto.ssw import ssw_query
+from repro.errors import SchemeError
+from repro.security.leakage import (
+    data_privacy_admissible,
+    query_privacy_admissible,
+    same_concentric_circle,
+)
+
+__all__ = [
+    "GameViolation",
+    "MatchObservation",
+    "DataPrivacyOracle",
+    "DataPrivacyAdversary",
+    "DataPrivacyGame",
+    "QueryPrivacyOracle",
+    "QueryPrivacyAdversary",
+    "QueryPrivacyGame",
+]
+
+
+class GameViolation(SchemeError):
+    """An oracle request violated the game's admissibility restrictions."""
+
+
+def observe_match(scheme: CRSEScheme, token, ciphertext) -> "MatchObservation":
+    """What the semi-honest server learns from one (token, ciphertext) pair.
+
+    For CRSE-II this includes the index of the first matching sub-token
+    within the (permuted) token — the extra signal behind the Fig. 18/19
+    distinguishing attack.  For CRSE-I there is no finer structure than the
+    Boolean result.
+    """
+    if isinstance(scheme, CRSE2Scheme):
+        for index, sub in enumerate(token.sub_tokens):
+            if ssw_query(sub, ciphertext.ssw):
+                return MatchObservation(matched=True, sub_token_index=index)
+        return MatchObservation(matched=False, sub_token_index=None)
+    return MatchObservation(
+        matched=scheme.matches(token, ciphertext), sub_token_index=None
+    )
+
+
+@dataclass(frozen=True)
+class MatchObservation:
+    """Server-visible outcome of evaluating one token on one ciphertext."""
+
+    matched: bool
+    sub_token_index: int | None
+
+
+# ----------------------------------------------------------------------
+# Data privacy (Def. 3)
+# ----------------------------------------------------------------------
+@dataclass
+class DataPrivacyOracle:
+    """Phase oracle for the data-privacy game."""
+
+    game: "DataPrivacyGame"
+    ciphertexts: list = field(default_factory=list)
+    tokens: list = field(default_factory=list)
+
+    def request_ciphertext(self, point: Sequence[int]):
+        """Ciphertext request — unrestricted in Def. 3, but under the
+        strengthened CRSE-II game the new record must not collide with any
+        previously requested both-inside circle (Appendix C).
+
+        Raises:
+            GameViolation: If the request is inadmissible.
+        """
+        game = self.game
+        if game.strengthened:
+            for circle in game.requested_circles:
+                if point_in_circle(game.d0, circle) and point_in_circle(
+                    game.d1, circle
+                ):
+                    if point_in_circle(point, circle):
+                        raise GameViolation(
+                            "strengthened CRSE-II game: requested record may "
+                            "not fall inside a both-inside challenge circle"
+                        )
+        game.requested_points.append(tuple(point))
+        ciphertext = game.scheme.encrypt(game.key, point, game.rng)
+        self.ciphertexts.append(ciphertext)
+        return ciphertext
+
+    def request_token(self, circle: Circle):
+        """Token request, restricted by the leakage function.
+
+        Raises:
+            GameViolation: If the request is inadmissible.
+        """
+        game = self.game
+        if not data_privacy_admissible(game.d0, game.d1, circle):
+            raise GameViolation(
+                "token request must leak identically on both challenge records"
+            )
+        if game.strengthened and point_in_circle(game.d0, circle):
+            # Both challenge records are inside (admissibility guarantees
+            # it); no previously requested record may also be inside.
+            for prior in game.requested_points:
+                if point_in_circle(prior, circle):
+                    raise GameViolation(
+                        "strengthened CRSE-II game: both-inside circle may "
+                        "not contain a previously requested record"
+                    )
+        game.requested_circles.append(circle)
+        token = game.scheme.gen_token(game.key, circle, game.rng)
+        self.tokens.append(token)
+        return token
+
+    def observe(self, token, ciphertext) -> MatchObservation:
+        """Evaluate as the server would (sub-token indices visible)."""
+        return observe_match(self.game.scheme, token, ciphertext)
+
+
+class DataPrivacyAdversary(Protocol):
+    """The adversary side of the Def. 3 game."""
+
+    def choose_challenge(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Init: pick the two challenge records ``(D0, D1)``."""
+
+    def attack(self, oracle: DataPrivacyOracle, challenge) -> int:
+        """Phases 1/2 plus Guess: interact and return the guessed bit."""
+
+
+@dataclass
+class DataPrivacyGame:
+    """Challenger for the SCPA data-privacy game.
+
+    Attributes:
+        scheme: The scheme under attack.
+        rng: Challenger randomness (key, challenge bit, encryption coins).
+        strengthened: Apply the Appendix-C extra restrictions (required for
+            CRSE-II's security claim to hold).
+    """
+
+    scheme: CRSEScheme
+    rng: random.Random
+    strengthened: bool = False
+
+    def run(self, adversary: DataPrivacyAdversary) -> bool:
+        """Play one game; returns True iff the adversary guesses the bit."""
+        self.key = self.scheme.gen_key(self.rng)
+        self.requested_points: list[tuple[int, ...]] = []
+        self.requested_circles: list[Circle] = []
+        d0, d1 = adversary.choose_challenge()
+        self.d0, self.d1 = tuple(d0), tuple(d1)
+        oracle = DataPrivacyOracle(self)
+        bit = self.rng.randrange(2)
+        challenge = self.scheme.encrypt(
+            self.key, self.d1 if bit else self.d0, self.rng
+        )
+        guess = adversary.attack(oracle, challenge)
+        return guess == bit
+
+
+# ----------------------------------------------------------------------
+# Query privacy (Def. 2)
+# ----------------------------------------------------------------------
+@dataclass
+class QueryPrivacyOracle:
+    """Phase oracle for the query-privacy game."""
+
+    game: "QueryPrivacyGame"
+
+    def request_ciphertext(self, point: Sequence[int]):
+        """Ciphertext request, restricted by the leakage function.
+
+        Raises:
+            GameViolation: If the request is inadmissible.
+        """
+        game = self.game
+        if not query_privacy_admissible(point, game.q0, game.q1):
+            raise GameViolation(
+                "ciphertext request must leak identically under both "
+                "challenge queries"
+            )
+        if game.strengthened:
+            # Appendix C: the new record must not share a concentric circle
+            # with a previously requested record under either challenge.
+            for prior in game.requested_points:
+                for circle in (game.q0, game.q1):
+                    if same_concentric_circle(prior, point, circle):
+                        raise GameViolation(
+                            "strengthened CRSE-II game: records sharing a "
+                            "concentric circle with a prior request are "
+                            "inadmissible"
+                        )
+        game.requested_points.append(tuple(point))
+        return game.scheme.encrypt(game.key, point, game.rng)
+
+    def request_token(self, circle: Circle):
+        """Token request — unrestricted in Def. 2."""
+        return self.game.scheme.gen_token(self.game.key, circle, self.game.rng)
+
+    def observe(self, token, ciphertext) -> MatchObservation:
+        """Evaluate as the server would (sub-token indices visible)."""
+        return observe_match(self.game.scheme, token, ciphertext)
+
+
+class QueryPrivacyAdversary(Protocol):
+    """The adversary side of the Def. 2 game."""
+
+    def choose_challenge(self) -> tuple[Circle, Circle]:
+        """Init: pick two challenge circles with equal radius."""
+
+    def attack(self, oracle: QueryPrivacyOracle, challenge_token) -> int:
+        """Phases 1/2 plus Guess: interact and return the guessed bit."""
+
+
+@dataclass
+class QueryPrivacyGame:
+    """Challenger for the SCPA query-privacy game."""
+
+    scheme: CRSEScheme
+    rng: random.Random
+    strengthened: bool = False
+
+    def run(self, adversary: QueryPrivacyAdversary) -> bool:
+        """Play one game; returns True iff the adversary guesses the bit.
+
+        Raises:
+            GameViolation: If the challenge circles have unequal radii
+                (Def. 2 requires a common radius — the radius pattern is
+                conceded leakage).
+        """
+        self.key = self.scheme.gen_key(self.rng)
+        self.requested_points: list[tuple[int, ...]] = []
+        q0, q1 = adversary.choose_challenge()
+        if q0.r_squared != q1.r_squared:
+            raise GameViolation(
+                "challenge queries must share one radius (radius pattern is "
+                "conceded leakage)"
+            )
+        self.q0, self.q1 = q0, q1
+        oracle = QueryPrivacyOracle(self)
+        bit = self.rng.randrange(2)
+        challenge_token = self.scheme.gen_token(
+            self.key, self.q1 if bit else self.q0, self.rng
+        )
+        guess = adversary.attack(oracle, challenge_token)
+        return guess == bit

@@ -1,0 +1,82 @@
+"""The leakage function ``L`` and the SCPA game restrictions (Sec. IV).
+
+The paper's security games constrain the adversary's oracle requests by the
+leakage function: a request is admissible only if it cannot *trivially*
+separate the two challenge values.  Concretely:
+
+* **query privacy** (Def. 2): a requested data record ``D_j`` must satisfy
+  ``L(D_j, Q0) = L(D_j, Q1)`` and be inside both challenge circles or
+  outside both;
+* **data privacy** (Def. 3): a requested circle ``Q_j`` must satisfy
+  ``L(D0, Q_j) = L(D1, Q_j)`` and contain both challenge records or
+  neither.
+
+For CRSE-II the Appendix strengthens the games: because a sub-token match
+additionally reveals *which* concentric circle a record sits on, requests
+must also avoid co-boundary collisions with the challenge values (the
+Fig. 18/19 attack).  :func:`same_concentric_circle` is that predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.geometry import Circle, distance_squared, point_in_circle
+
+__all__ = [
+    "Leakage",
+    "leakage",
+    "same_concentric_circle",
+    "query_privacy_admissible",
+    "data_privacy_admissible",
+]
+
+
+@dataclass(frozen=True)
+class Leakage:
+    """``L(D, Q)``: what one (record, query) evaluation reveals.
+
+    Attributes:
+        inside: The Boolean search result (access pattern).
+        r_squared: The query's squared radius (radius pattern).
+    """
+
+    inside: bool
+    r_squared: int
+
+
+def leakage(point: Sequence[int], circle: Circle) -> Leakage:
+    """Evaluate the leakage function for one record and one query."""
+    return Leakage(
+        inside=point_in_circle(point, circle), r_squared=circle.r_squared
+    )
+
+
+def same_concentric_circle(
+    a: Sequence[int], b: Sequence[int], circle: Circle
+) -> bool:
+    """True if *a* and *b* lie on the same covering concentric circle of
+    *circle* — the extra relation CRSE-II leaks to the server."""
+    return (
+        point_in_circle(a, circle)
+        and point_in_circle(b, circle)
+        and distance_squared(a, circle.center)
+        == distance_squared(b, circle.center)
+    )
+
+
+def query_privacy_admissible(
+    point: Sequence[int], q0: Circle, q1: Circle
+) -> bool:
+    """Def. 2's Phase-1/2 restriction on ciphertext requests."""
+    l0, l1 = leakage(point, q0), leakage(point, q1)
+    return l0 == l1 and l0.inside == l1.inside
+
+
+def data_privacy_admissible(
+    d0: Sequence[int], d1: Sequence[int], circle: Circle
+) -> bool:
+    """Def. 3's Phase-1/2 restriction on token requests."""
+    l0, l1 = leakage(d0, circle), leakage(d1, circle)
+    return l0 == l1 and l0.inside == l1.inside

@@ -1,0 +1,121 @@
+"""Leakage-pattern analysis: what a curious server can mine from its log.
+
+The paper's leakage function (Sec. IV) names four patterns — size, access,
+search, and radius.  The simulated server records exactly these
+observables; this module implements the *adversary's* side: procedures a
+semi-honest server could actually run over its log to exploit each pattern.
+They power tests that demonstrate the leakage is real (and that the
+mitigations — dummy padding for the radius pattern — blunt it), turning the
+Sec. IV prose into executable claims.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.concircles import num_concentric_circles
+from repro.math.sumsquares import sums_of_two_squares_up_to
+
+__all__ = [
+    "PatternReport",
+    "analyze_log",
+    "infer_search_pattern",
+    "infer_radius_candidates",
+    "co_retrieval_groups",
+]
+
+
+@dataclass(frozen=True)
+class PatternReport:
+    """Everything the four leakage patterns yield on one server log."""
+
+    record_count: int
+    query_count: int
+    repeated_query_groups: tuple[tuple[int, ...], ...]
+    radius_candidates: tuple[tuple[int, ...], ...]
+    co_retrieved: tuple[tuple[int, ...], ...]
+
+
+def infer_search_pattern(
+    access_patterns: Sequence[tuple[int, ...]],
+) -> list[tuple[int, ...]]:
+    """Group query indices with identical result sets.
+
+    Tokens are randomized, so the server cannot match token bytes — but the
+    *access pattern* betrays repeats: two queries returning exactly the
+    same identifiers are (with high probability over non-trivial results)
+    the same query.  Returns groups of query indices of size >= 2.
+    """
+    by_result: dict[tuple[int, ...], list[int]] = {}
+    for index, identifiers in enumerate(access_patterns):
+        by_result.setdefault(tuple(sorted(identifiers)), []).append(index)
+    return [
+        tuple(group) for group in by_result.values() if len(group) >= 2
+    ]
+
+
+def infer_radius_candidates(
+    sub_token_counts: Sequence[int], max_radius: int = 200, w: int = 2
+) -> list[tuple[int, ...]]:
+    """Invert the radius pattern: which radii produce each sub-token count?
+
+    For an unpadded CRSE-II token the sub-token count *is* ``m(R)``, and
+    ``m`` is deterministic, so the server can enumerate the preimage.  For
+    ``w = 2`` distinct radii give distinct ``m`` (m is strictly increasing
+    in R), so the recovery is exact; a padded token's count ``K`` typically
+    matches no ``m`` at all, yielding an empty candidate set — the paper's
+    mitigation, visible in the output.
+    """
+    m_to_radii: dict[int, list[int]] = {}
+    for radius in range(max_radius + 1):
+        m = num_concentric_circles(radius * radius, w)
+        m_to_radii.setdefault(m, []).append(radius)
+    return [
+        tuple(m_to_radii.get(count, ())) for count in sub_token_counts
+    ]
+
+
+def co_retrieval_groups(
+    access_patterns: Sequence[tuple[int, ...]], min_support: int = 2
+) -> list[tuple[int, ...]]:
+    """Identifiers that always appear together across queries.
+
+    A mild access-pattern inference: records co-retrieved in at least
+    *min_support* queries are spatially close with growing confidence.
+    Returns the identifier groups (size >= 2) sorted by support.
+    """
+    support: Counter[tuple[int, ...]] = Counter()
+    for identifiers in access_patterns:
+        key = tuple(sorted(identifiers))
+        if len(key) >= 2:
+            support[key] += 1
+    frequent = [
+        (count, group)
+        for group, count in support.items()
+        if count >= min_support
+    ]
+    frequent.sort(reverse=True)
+    return [group for _, group in frequent]
+
+
+def analyze_log(log) -> PatternReport:
+    """Run every inference over a :class:`repro.cloud.server._ServerLog`."""
+    return PatternReport(
+        record_count=log.records_stored,
+        query_count=log.queries_served,
+        repeated_query_groups=tuple(infer_search_pattern(log.access_pattern)),
+        radius_candidates=tuple(
+            infer_radius_candidates(log.sub_token_counts)
+        ),
+        co_retrieved=tuple(co_retrieval_groups(log.access_pattern)),
+    )
+
+
+def _radius_count_is_injective(limit: int) -> bool:
+    """Internal check used by tests: m(R) is strictly increasing at w=2."""
+    counts = [
+        len(sums_of_two_squares_up_to(r * r)) for r in range(limit + 1)
+    ]
+    return all(a < b for a, b in zip(counts, counts[1:]))

@@ -1,0 +1,189 @@
+"""The Theorem-2 reduction, executable (paper Appendix A).
+
+The paper proves CRSE-I query-secure by *simulation*: any adversary against
+CRSE-I's SCPA query-privacy game can be turned into an adversary against
+SSW's game with the same advantage — the reduction maps challenge circles
+through ``f_v``, ciphertext requests through ``f_u``, and passes tokens
+straight through.  This module implements both sides so the proof's
+mechanics can be run and checked, not just read:
+
+* :class:`SSWQueryPrivacyGame` — SSW's own selective game over vectors;
+* :class:`CRSE1QueryAdversaryAsSSW` — the paper's simulator: wraps a
+  CRSE-I query-privacy adversary into an SSW adversary;
+* the test suite verifies the **advantage-preservation** property: an
+  adversary's win rate in the CRSE-I game equals its wrapped win rate in
+  the SSW game, coin flip for coin flip (same seeds, same transcript).
+
+This does not (and cannot) *prove* SSW secure — that is the paper's cited
+assumption — but it pins the reduction itself, which is the part the paper
+actually contributes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.core.concircles import gen_con_circle
+from repro.core.crse1 import CRSE1Scheme
+from repro.core.geometry import Circle
+from repro.crypto.ssw import (
+    ssw_encrypt,
+    ssw_gen_token,
+    ssw_setup,
+)
+from repro.security.games import GameViolation
+from repro.security.leakage import query_privacy_admissible
+
+__all__ = [
+    "SSWQueryPrivacyGame",
+    "SSWOracle",
+    "CRSE1QueryAdversaryAsSSW",
+]
+
+
+@dataclass
+class SSWOracle:
+    """Phase oracle of SSW's selective query-privacy game."""
+
+    game: "SSWQueryPrivacyGame"
+
+    def request_ciphertext(self, x: Sequence[int]):
+        """Encrypt *x*, admissible only if it matches both challenge
+        vectors identically (``x∘v0 = 0 ⇔ x∘v1 = 0``).
+
+        Raises:
+            GameViolation: On an inadmissible request.
+        """
+        game = self.game
+        order = game.key.group.order
+        ip0 = sum(a * b for a, b in zip(x, game.v0)) % order
+        ip1 = sum(a * b for a, b in zip(x, game.v1)) % order
+        if (ip0 == 0) != (ip1 == 0):
+            raise GameViolation(
+                "ciphertext request separates the challenge vectors"
+            )
+        return ssw_encrypt(game.key, list(x), game.rng)
+
+    def request_token(self, v: Sequence[int]):
+        """Token requests are unrestricted in SSW's query game."""
+        return ssw_gen_token(self.game.key, list(v), self.game.rng)
+
+
+class SSWAdversary(Protocol):
+    """The adversary side of SSW's selective query-privacy game."""
+
+    def choose_challenge(self) -> tuple[list[int], list[int]]:
+        """Init: pick the two challenge vectors (equal length)."""
+
+    def attack(self, oracle: SSWOracle, challenge_token) -> int:
+        """Phases + guess."""
+
+
+@dataclass
+class SSWQueryPrivacyGame:
+    """Challenger for SSW's selective query-privacy game."""
+
+    group: object
+    n: int
+    rng: random.Random
+
+    def run(self, adversary: SSWAdversary) -> bool:
+        """Play one game; True iff the adversary guesses the bit.
+
+        Raises:
+            GameViolation: If the challenge vectors mismatch in length.
+        """
+        self.key = ssw_setup(self.group, self.n, self.rng)
+        v0, v1 = adversary.choose_challenge()
+        if len(v0) != self.n or len(v1) != self.n:
+            raise GameViolation("challenge vectors must have length n")
+        self.v0, self.v1 = list(v0), list(v1)
+        oracle = SSWOracle(self)
+        bit = self.rng.randrange(2)
+        challenge = ssw_gen_token(
+            self.key, self.v1 if bit else self.v0, self.rng
+        )
+        return adversary.attack(oracle, challenge) == bit
+
+
+@dataclass
+class CRSE1QueryAdversaryAsSSW:
+    """The Appendix-A simulator: a CRSE-I adversary played against SSW.
+
+    The wrapped adversary speaks circles and points; this shim translates
+    its Init through ``f_v`` (with ``GenConCircle`` fixing the product
+    form), its ciphertext requests through ``f_u``, and forwards tokens —
+    exactly the proof's message flow.  The wrapped adversary's oracle
+    restrictions are *checked in circle space* first, mirroring the proof's
+    claim that admissibility transfers.
+    """
+
+    scheme: CRSE1Scheme
+    inner: object  # a CRSE-I query-privacy adversary (duck-typed)
+
+    def choose_challenge(self) -> tuple[list[int], list[int]]:
+        """Translate the circle challenge into SSW vectors via f_v."""
+        q0, q1 = self.inner.choose_challenge()
+        if q0.r_squared != q1.r_squared != self.scheme.r_squared:
+            raise GameViolation("challenge circles must use the fixed radius")
+        self.q0, self.q1 = q0, q1
+        split = self.scheme._split
+        radii = list(
+            gen_con_circle(self.scheme.r_squared, self.scheme.space.w)
+        )
+        return (
+            split.f_v(q0.center, radii),
+            split.f_v(q1.center, radii),
+        )
+
+    def attack(self, oracle: SSWOracle, challenge_token) -> int:
+        """Run the inner adversary with translated oracles."""
+        shim = _TranslatingOracle(self, oracle)
+        from repro.core.crse1 import CRSE1Token
+
+        return self.inner.attack(shim, CRSE1Token(ssw=challenge_token))
+
+
+@dataclass
+class _TranslatingOracle:
+    """Presents a CRSE-I-shaped oracle on top of the SSW oracle."""
+
+    outer: CRSE1QueryAdversaryAsSSW
+    ssw_oracle: SSWOracle
+
+    def request_ciphertext(self, point: Sequence[int]):
+        """Translate a point request through ``f_u`` (checked in circle space)."""
+        from repro.core.crse1 import CRSE1Ciphertext
+
+        if not query_privacy_admissible(
+            point, self.outer.q0, self.outer.q1
+        ):
+            raise GameViolation(
+                "ciphertext request must leak identically under both "
+                "challenge queries"
+            )
+        vector = self.outer.scheme._split.f_u(tuple(point))
+        return CRSE1Ciphertext(ssw=self.ssw_oracle.request_ciphertext(vector))
+
+    def request_token(self, circle: Circle):
+        """Translate a circle token request through ``f_v``."""
+        from repro.core.crse1 import CRSE1Token
+
+        if circle.r_squared != self.outer.scheme.r_squared:
+            raise GameViolation("CRSE-I tokens exist only at the fixed radius")
+        split = self.outer.scheme._split
+        radii = list(
+            gen_con_circle(
+                self.outer.scheme.r_squared, self.outer.scheme.space.w
+            )
+        )
+        vector = split.f_v(circle.center, radii)
+        return CRSE1Token(ssw=self.ssw_oracle.request_token(vector))
+
+    def observe(self, token, ciphertext):
+        """Boolean evaluation, as the server would do it."""
+        from repro.security.games import observe_match
+
+        return observe_match(self.outer.scheme, token, ciphertext)

@@ -1,0 +1,79 @@
+"""Shared fixtures: seeded randomness, cached groups, and small schemes.
+
+Group construction and key generation are cached at session scope so the
+suite stays fast; every test that needs fresh randomness derives its own
+seeded ``random.Random`` instead of mutating a shared one.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    CRSE1Scheme,
+    CRSE2Scheme,
+    DataSpace,
+    group_for_crse1,
+    group_for_crse2,
+)
+from repro.crypto.groups import (
+    FastCompositeGroup,
+    SupersingularPairingGroup,
+    toy_params,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A per-test deterministic randomness source."""
+    return random.Random(0xDECAF)
+
+
+@pytest.fixture(scope="session")
+def pairing_group() -> SupersingularPairingGroup:
+    """The real curve backend at toy (fast) parameters."""
+    return SupersingularPairingGroup(toy_params())
+
+
+@pytest.fixture(scope="session")
+def fast_group() -> FastCompositeGroup:
+    """The fast backend at the same toy parameters."""
+    return FastCompositeGroup(toy_params().subgroup_primes)
+
+
+@pytest.fixture(scope="session")
+def small_space() -> DataSpace:
+    """An 8×8 two-dimensional data space (exhaustively enumerable)."""
+    return DataSpace(w=2, t=8)
+
+
+@pytest.fixture(scope="session")
+def medium_space() -> DataSpace:
+    """A 64×64 space for workload-style tests."""
+    return DataSpace(w=2, t=64)
+
+
+@pytest.fixture(scope="session")
+def crse2_fast(medium_space) -> tuple[CRSE2Scheme, object]:
+    """A CRSE-II scheme on the fast backend, with a generated key."""
+    rng = random.Random(11)
+    scheme = CRSE2Scheme(
+        medium_space, group_for_crse2(medium_space, "fast", rng)
+    )
+    key = scheme.gen_key(rng)
+    return scheme, key
+
+
+@pytest.fixture(scope="session")
+def crse1_fast(small_space) -> tuple[CRSE1Scheme, object]:
+    """A CRSE-I scheme (R² = 4) on the fast backend, with a key."""
+    rng = random.Random(13)
+    scheme = CRSE1Scheme(
+        small_space,
+        group_for_crse1(small_space, 4, "fast", rng),
+        r_squared=4,
+    )
+    key = scheme.gen_key(rng)
+    return scheme, key

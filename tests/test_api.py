@@ -1,0 +1,62 @@
+"""Public-API surface tests: the README quickstart must keep working."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro
+from repro.errors import (
+    CryptoError,
+    ParameterError,
+    ProtocolError,
+    ReproError,
+    SchemeError,
+    SerializationError,
+)
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_base(self):
+        for exc in (
+            ParameterError,
+            CryptoError,
+            SerializationError,
+            SchemeError,
+            ProtocolError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_catching_base_class(self):
+        with pytest.raises(ReproError):
+            repro.DataSpace(0, 0)
+
+
+class TestQuickstart:
+    def test_readme_flow(self):
+        rng = random.Random(7)
+        space = repro.DataSpace(w=2, t=1024)
+        scheme = repro.CRSE2Scheme(
+            space, repro.group_for_crse2(space, backend="fast", rng=rng)
+        )
+        cloud = repro.CloudDeployment.create(scheme, rng=rng)
+        cloud.outsource([(100, 200), (105, 205), (900, 900)])
+        hits = cloud.query_points(repro.Circle.from_radius((101, 201), 10))
+        assert sorted(hits) == [(100, 200), (105, 205)]
+
+    def test_size_models_exported(self):
+        assert repro.ElementSizeModel.paper().element_bytes == 64
+        assert repro.PAPER_ELEMENT_BYTES == 64
+
+    def test_cost_model_exported(self):
+        assert repro.PAPER_EC2_MODEL.pairing_ms == 0.44

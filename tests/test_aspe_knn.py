@@ -1,0 +1,167 @@
+"""Tests for the ASPE secure-kNN baseline (Related Work, ref. [22])."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.aspe_knn import (
+    ASPEScheme,
+    recover_key_known_plaintext,
+)
+from repro.baselines.kdtree import KDTree
+from repro.core.geometry import distance_squared
+from repro.errors import CryptoError, ParameterError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = random.Random(0xA5BE)
+    scheme = ASPEScheme(dimension=2)
+    key = scheme.gen_key(rng)
+    return scheme, key, rng
+
+
+def _brute_knn(points, query, k):
+    return sorted(
+        range(len(points)), key=lambda i: distance_squared(points[i], query)
+    )[:k]
+
+
+class TestCorrectness:
+    def test_knn_matches_plaintext(self, setup):
+        scheme, key, rng = setup
+        points = [(rng.randrange(100), rng.randrange(100)) for _ in range(60)]
+        records = [
+            (i, scheme.encrypt_point(key, p)) for i, p in enumerate(points)
+        ]
+        for k in (1, 3, 7):
+            query = (rng.randrange(100), rng.randrange(100))
+            token = scheme.encrypt_query(key, query, rng)
+            got = set(scheme.knn(token, records, k))
+            got_dists = sorted(
+                distance_squared(points[i], query) for i in got
+            )
+            want_dists = sorted(
+                distance_squared(points[i], query)
+                for i in _brute_knn(points, query, k)
+            )
+            assert got_dists == want_dists
+
+    def test_score_order_preserved(self, setup):
+        scheme, key, rng = setup
+        near, far, query = (10, 10), (50, 50), (12, 11)
+        token = scheme.encrypt_query(key, query, rng)
+        score_near = scheme.score(scheme.encrypt_point(key, near), token)
+        score_far = scheme.score(scheme.encrypt_point(key, far), token)
+        assert score_near > score_far
+
+    def test_fresh_query_randomness_changes_token(self, setup):
+        scheme, key, rng = setup
+        t1 = scheme.encrypt_query(key, (5, 5), rng)
+        t2 = scheme.encrypt_query(key, (5, 5), rng)
+        assert t1 != t2  # the random scale r differs
+
+    def test_matches_kdtree_knn(self, setup):
+        scheme, key, rng = setup
+        points = [(rng.randrange(64), rng.randrange(64)) for _ in range(40)]
+        records = [
+            (i, scheme.encrypt_point(key, p)) for i, p in enumerate(points)
+        ]
+        tree = KDTree(points)
+        query = (30, 30)
+        token = scheme.encrypt_query(key, query, rng)
+        aspe_dists = sorted(
+            distance_squared(points[i], query)
+            for i in scheme.knn(token, records, 5)
+        )
+        tree_dists = sorted(
+            distance_squared(p, query) for p in tree.nearest(query, 5)
+        )
+        assert aspe_dists == tree_dists
+
+
+class TestSemantics:
+    def test_knn_vs_circular_range_are_different_queries(self, setup):
+        # The paper's Related Work point: kNN fixes the count, circular
+        # search fixes the radius.  k = 3 returns 3 results even when only
+        # 2 points are within the radius of interest.
+        scheme, key, rng = setup
+        points = [(0, 0), (1, 0), (40, 40), (41, 40)]
+        records = [
+            (i, scheme.encrypt_point(key, p)) for i, p in enumerate(points)
+        ]
+        token = scheme.encrypt_query(key, (0, 1), rng)
+        knn3 = scheme.knn(token, records, 3)
+        assert len(knn3) == 3
+        within_radius_2 = [
+            i for i, p in enumerate(points)
+            if distance_squared(p, (0, 1)) <= 4
+        ]
+        assert len(within_radius_2) == 2  # circular search answers 2
+
+
+class TestAttack:
+    def test_known_plaintext_recovers_key(self, setup):
+        """The CPA weakness the paper cites for [22]."""
+        scheme, key, rng = setup
+        known_points = [(1, 0), (0, 1), (3, 5)]  # lifted vectors independent
+        pairs = [
+            (p, scheme.encrypt_point(key, p)) for p in known_points
+        ]
+        recovered = recover_key_known_plaintext(scheme, pairs)
+        assert tuple(tuple(row) for row in recovered) == key.matrix_t
+        # The recovered key predicts the ciphertext of an unseen point:
+        # lifted (7, 9) → (7, 9, -(7² + 9²)/2) = (7, 9, -65).
+        lifted = [7, 9, -65]
+        predicted = tuple(
+            sum(recovered[i][j] * v for j, v in enumerate(lifted))
+            for i in range(3)
+        )
+        assert predicted == scheme.encrypt_point(key, (7, 9))
+
+    def test_attack_needs_enough_pairs(self, setup):
+        scheme, key, _ = setup
+        with pytest.raises(ParameterError):
+            recover_key_known_plaintext(
+                scheme, [((1, 0), scheme.encrypt_point(key, (1, 0)))]
+            )
+
+    def test_dependent_pairs_rejected(self, setup):
+        scheme, key, _ = setup
+        pairs = [
+            (p, scheme.encrypt_point(key, p))
+            for p in ((1, 1), (2, 2), (3, 3))  # lifted vectors dependent? no:
+        ]
+        # (1,1,-1), (2,2,-4), (3,3,-9) are actually independent; use truly
+        # dependent points instead: scalar multiples with matching norms
+        # cannot exist, so craft duplicates.
+        pairs = [pairs[0], pairs[0], pairs[1]]
+        with pytest.raises(ParameterError):
+            recover_key_known_plaintext(scheme, pairs)
+
+
+class TestValidation:
+    def test_dimension_checks(self, setup):
+        scheme, key, rng = setup
+        with pytest.raises(CryptoError):
+            scheme.encrypt_point(key, (1, 2, 3))
+        with pytest.raises(CryptoError):
+            scheme.encrypt_query(key, (1,), rng)
+
+    def test_cross_dimension_key(self, setup):
+        _, key, rng = setup
+        other = ASPEScheme(dimension=3)
+        with pytest.raises(CryptoError):
+            other.encrypt_point(key, (1, 2, 3))
+
+    def test_bad_k(self, setup):
+        scheme, key, rng = setup
+        token = scheme.encrypt_query(key, (0, 0), rng)
+        with pytest.raises(ParameterError):
+            scheme.knn(token, [], 0)
+
+    def test_bad_dimension_construction(self):
+        with pytest.raises(ParameterError):
+            ASPEScheme(dimension=0)

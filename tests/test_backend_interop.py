@@ -1,0 +1,96 @@
+"""Cross-backend integration: the schemes behave identically on the fast
+simulation and the real curve pairing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cpe import CirclePredicateEncryption
+from repro.core.crse1 import CRSE1Scheme
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import (
+    Circle,
+    DataSpace,
+    point_in_circle,
+    point_on_boundary,
+)
+from repro.core.provision import provision_group
+from repro.crypto.groups.fastgroup import FastCompositeGroup
+
+
+@pytest.fixture(scope="module")
+def space():
+    return DataSpace(2, 8)
+
+
+@pytest.fixture(scope="module", params=["fast", "pairing"])
+def backend_group(request, space):
+    rng = random.Random(51)
+    return provision_group(
+        space.boundary_value_bound(),
+        request.param,
+        rng,
+        noise_bits=16,
+        min_payload_bits=33,
+    )
+
+
+PROBE_POINTS = [(3, 2), (2, 2), (1, 3), (4, 4), (0, 0), (7, 7), (3, 4), (5, 2)]
+QUERY = Circle.from_radius((3, 2), 2)
+
+
+class TestCRSE2AcrossBackends:
+    def test_predicate_matches_plaintext(self, space, backend_group):
+        rng = random.Random(52)
+        scheme = CRSE2Scheme(space, backend_group)
+        key = scheme.gen_key(rng)
+        token = scheme.gen_token(key, QUERY, rng)
+        for point in PROBE_POINTS:
+            ct = scheme.encrypt(key, point, rng)
+            assert scheme.matches(token, ct) == point_in_circle(point, QUERY)
+
+
+class TestCPEAcrossBackends:
+    def test_boundary_predicate(self, space, backend_group):
+        rng = random.Random(53)
+        scheme = CirclePredicateEncryption(space, backend_group)
+        key = scheme.gen_key(rng)
+        q = Circle.from_radius((3, 2), 1)
+        token = scheme.gen_token(key, q, rng)
+        for point in PROBE_POINTS[:5]:
+            ct = scheme.encrypt(key, point, rng)
+            assert scheme.query(token, ct) == point_on_boundary(point, q)
+
+
+class TestCRSE1OnPairing:
+    def test_r1_on_real_curve(self, space):
+        rng = random.Random(54)
+        bound = CRSE1Scheme.required_inner_product_bound(space, 1)
+        group = provision_group(bound, "pairing", rng, noise_bits=16)
+        scheme = CRSE1Scheme(space, group, r_squared=1)
+        key = scheme.gen_key(rng)
+        token = scheme.gen_token(key, Circle.from_radius((3, 2), 1), rng)
+        assert scheme.matches(token, scheme.encrypt(key, (2, 2), rng))
+        assert not scheme.matches(token, scheme.encrypt(key, (1, 3), rng))
+
+
+class TestSerializedInterop:
+    def test_fast_group_objects_roundtrip_through_codec(self, space):
+        from repro.cloud.codec import (
+            decode_ciphertext,
+            decode_token,
+            encode_ciphertext,
+            encode_token,
+        )
+
+        rng = random.Random(55)
+        group = provision_group(space.boundary_value_bound(), "fast", rng)
+        scheme = CRSE2Scheme(space, group)
+        key = scheme.gen_key(rng)
+        ct = scheme.encrypt(key, (3, 2), rng)
+        token = scheme.gen_token(key, QUERY, rng)
+        ct2 = decode_ciphertext(scheme, encode_ciphertext(scheme, ct))
+        tok2 = decode_token(scheme, encode_token(scheme, token))
+        assert scheme.matches(tok2, ct2) == scheme.matches(token, ct) is True

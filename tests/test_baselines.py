@@ -1,0 +1,158 @@
+"""Tests for plaintext baselines: linear scan, grid, k-d tree, R-tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.kdtree import KDTree
+from repro.baselines.plaintext import GridIndex, linear_circular_search
+from repro.baselines.rtree import Rect, RTree
+from repro.core.geometry import Circle, distance_squared, point_in_circle
+from repro.errors import ParameterError
+
+
+def _random_points(n: int, t: int, seed: int) -> list[tuple[int, int]]:
+    rng = random.Random(seed)
+    return [(rng.randrange(t), rng.randrange(t)) for _ in range(n)]
+
+
+class TestLinearScan:
+    def test_matches_predicate(self):
+        points = _random_points(100, 50, 1)
+        q = Circle.from_radius((25, 25), 10)
+        result = linear_circular_search(points, q)
+        assert result == [p for p in points if point_in_circle(p, q)]
+
+
+class TestGridIndex:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 100),
+        cell=st.integers(1, 16),
+        radius=st.integers(0, 20),
+    )
+    def test_matches_linear(self, seed, cell, radius):
+        points = _random_points(80, 64, seed)
+        grid = GridIndex(points, cell_size=cell)
+        q = Circle.from_radius((32, 32), radius)
+        assert sorted(grid.query(q)) == sorted(linear_circular_search(points, q))
+
+    def test_len(self):
+        assert len(GridIndex(_random_points(17, 10, 2))) == 17
+
+    def test_bad_cell_size(self):
+        with pytest.raises(ParameterError):
+            GridIndex([], cell_size=0)
+
+
+class TestKDTree:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100), radius=st.integers(0, 20))
+    def test_range_matches_linear(self, seed, radius):
+        points = _random_points(60, 64, seed)
+        tree = KDTree(points)
+        q = Circle.from_radius((30, 30), radius)
+        assert sorted(tree.range_query(q)) == sorted(
+            linear_circular_search(points, q)
+        )
+
+    def test_empty_tree(self):
+        tree = KDTree([])
+        assert len(tree) == 0
+        assert tree.range_query(Circle.from_radius((0, 0), 5)) == []
+
+    @given(seed=st.integers(0, 50), k=st.integers(1, 10))
+    def test_knn_matches_brute_force(self, seed, k):
+        points = _random_points(40, 32, seed)
+        tree = KDTree(points)
+        query = (16, 16)
+        got = tree.nearest(query, k)
+        got_dists = sorted(distance_squared(p, query) for p in got)
+        brute = sorted(distance_squared(p, query) for p in points)[:k]
+        assert got_dists == brute
+
+    def test_knn_vs_circular_search_semantics(self):
+        # Related Work: kNN fixes the result count, circular search fixes
+        # the radius — different questions, different answers.
+        points = [(0, 0), (1, 0), (10, 10), (11, 10)]
+        tree = KDTree(points)
+        knn = tree.nearest((0, 1), k=3)
+        circ = tree.range_query(Circle.from_radius((0, 1), 2))
+        assert len(knn) == 3
+        assert sorted(circ) == [(0, 0), (1, 0)]  # only 2 within radius
+
+    def test_knn_validation(self):
+        tree = KDTree([(1, 2)])
+        with pytest.raises(ParameterError):
+            tree.nearest((0, 0), k=0)
+        with pytest.raises(ParameterError):
+            tree.nearest((0, 0, 0), k=1)
+
+    def test_dimension_mismatch_at_build(self):
+        with pytest.raises(ParameterError):
+            KDTree([(1, 2), (1, 2, 3)])
+
+
+class TestRect:
+    def test_union(self):
+        r = Rect.union([Rect.of_point((0, 5)), Rect.of_point((3, 1))])
+        assert r.mins == (0, 1) and r.maxs == (3, 5)
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            Rect((2, 2), (1, 3))
+        with pytest.raises(ParameterError):
+            Rect.union([])
+
+    def test_min_distance_squared(self):
+        r = Rect((0, 0), (10, 10))
+        assert r.min_distance_squared((5, 5)) == 0  # inside
+        assert r.min_distance_squared((13, 5)) == 9  # right of box
+        assert r.min_distance_squared((-3, -4)) == 25  # corner
+
+    def test_intersects_circle(self):
+        r = Rect((0, 0), (10, 10))
+        assert r.intersects_circle(Circle.from_radius((15, 5), 5))
+        assert not r.intersects_circle(Circle.from_radius((15, 5), 4))
+        assert r.intersects_circle(Circle.from_radius((5, 5), 0))
+
+    def test_contains_point(self):
+        r = Rect((0, 0), (2, 2))
+        assert r.contains_point((0, 2))
+        assert not r.contains_point((3, 0))
+
+
+class TestRTree:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 100),
+        radius=st.integers(0, 25),
+        capacity=st.integers(2, 20),
+    )
+    def test_matches_linear(self, seed, radius, capacity):
+        points = _random_points(90, 64, seed)
+        tree = RTree(points, leaf_capacity=capacity)
+        q = Circle.from_radius((30, 30), radius)
+        results, _ = tree.range_query(q)
+        assert sorted(results) == sorted(linear_circular_search(points, q))
+
+    def test_pruning_beats_linear_for_small_queries(self):
+        points = _random_points(2000, 512, 7)
+        tree = RTree(points, leaf_capacity=16)
+        q = Circle.from_radius((256, 256), 10)
+        _, stats = tree.range_query(q)
+        # The intersects-circle test must prune most of the dataset.
+        assert stats.points_tested < tree.linear_scan_cost() / 4
+
+    def test_empty(self):
+        tree = RTree([])
+        results, stats = tree.range_query(Circle.from_radius((0, 0), 3))
+        assert results == [] and stats.points_tested == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ParameterError):
+            RTree([], leaf_capacity=1)

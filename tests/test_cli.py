@@ -1,0 +1,134 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestWorkflow:
+    def test_full_keygen_encrypt_token_search(self, tmp_path):
+        key_file = tmp_path / "key.json"
+        points_file = tmp_path / "points.csv"
+        records_file = tmp_path / "records.txt"
+        token_file = tmp_path / "token.bin"
+
+        code, _ = run_cli(
+            "keygen", "--size", "64", "--seed", "1", "--out", str(key_file)
+        )
+        assert code == 0 and key_file.exists()
+
+        points_file.write_text("10,10\n50,50\n12,9\n")
+        code, _ = run_cli(
+            "encrypt",
+            "--key", str(key_file),
+            "--points", str(points_file),
+            "--seed", "2",
+            "--out", str(records_file),
+        )
+        assert code == 0
+        assert len(records_file.read_text().splitlines()) == 3
+
+        code, output = run_cli(
+            "token",
+            "--key", str(key_file),
+            "--center", "11,10",
+            "--radius", "3",
+            "--seed", "3",
+            "--out", str(token_file),
+        )
+        assert code == 0 and "7 sub-tokens" in output
+
+        code, output = run_cli(
+            "search",
+            "--key", str(key_file),
+            "--records", str(records_file),
+            "--token", str(token_file),
+        )
+        assert code == 0
+        assert "matches: [0, 2]" in output
+
+    def test_token_with_radius_hiding(self, tmp_path):
+        key_file = tmp_path / "key.json"
+        token_file = tmp_path / "token.bin"
+        run_cli("keygen", "--size", "64", "--seed", "1", "--out", str(key_file))
+        code, output = run_cli(
+            "token",
+            "--key", str(key_file),
+            "--center", "11,10",
+            "--radius", "1",
+            "--hide-to", "12",
+            "--seed", "3",
+            "--out", str(token_file),
+        )
+        assert code == 0 and "12 sub-tokens" in output
+
+
+class TestInformational:
+    def test_tables(self):
+        code, output = run_cli("tables")
+        assert code == 0
+        assert "m = 44" in output  # R = 10
+        assert "2097.28" in output  # Table II at R = 3
+        assert "640" in output  # Fig. 13 ciphertext
+        assert "28.16" in output  # Fig. 14 token
+
+    def test_demo(self):
+        code, output = run_cli("demo", "--seed", "7")
+        assert code == 0
+        assert "(50, 50)" in output and "(52, 51)" in output
+
+    def test_calibrate_fast(self):
+        code, output = run_cli("calibrate", "--backend", "fast")
+        assert code == 0
+        assert "FastCompositeGroup" in output
+        assert "0.44" in output  # paper reference line
+
+
+class TestErrors:
+    def test_missing_key_file(self, tmp_path):
+        code, _ = run_cli(
+            "token",
+            "--key", str(tmp_path / "nope.json"),
+            "--center", "1,1",
+            "--radius", "1",
+            "--out", str(tmp_path / "t.bin"),
+        )
+        assert code == 1
+
+    def test_malformed_key(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_bytes(b"not a key")
+        code, _ = run_cli(
+            "token",
+            "--key", str(bad),
+            "--center", "1,1",
+            "--radius", "1",
+            "--out", str(tmp_path / "t.bin"),
+        )
+        assert code == 1
+
+    def test_out_of_space_query(self, tmp_path):
+        key_file = tmp_path / "key.json"
+        run_cli("keygen", "--size", "16", "--seed", "1", "--out", str(key_file))
+        code, _ = run_cli(
+            "token",
+            "--key", str(key_file),
+            "--center", "99,99",
+            "--radius", "1",
+            "--out", str(tmp_path / "t.bin"),
+        )
+        assert code == 1
+
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

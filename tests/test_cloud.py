@@ -1,0 +1,199 @@
+"""Tests for the simulated cloud deployment (repro.cloud)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cloud.codec import (
+    decode_ciphertext,
+    decode_token,
+    encode_ciphertext,
+    encode_token,
+)
+from repro.cloud.deployment import CloudDeployment
+from repro.cloud.messages import (
+    QueryRequest,
+    SearchRequest,
+    UploadDataset,
+    UploadRecord,
+)
+from repro.cloud.network import Channel, LatencyModel
+from repro.cloud.server import CloudServer
+from repro.core.crse1 import CRSE1Scheme
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace, point_in_circle
+from repro.core.provision import group_for_crse1, group_for_crse2
+from repro.errors import ProtocolError, SerializationError
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    rng = random.Random(61)
+    space = DataSpace(2, 32)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    dep = CloudDeployment.create(scheme, rng=rng)
+    points = [(rng.randrange(32), rng.randrange(32)) for _ in range(30)]
+    dep.outsource(points)
+    return dep, points
+
+
+class TestEndToEnd:
+    def test_query_returns_exact_matches(self, deployment):
+        dep, points = deployment
+        q = Circle.from_radius((16, 16), 5)
+        result = dep.query_points(q)
+        expected = sorted(p for p in points if point_in_circle(p, q))
+        assert sorted(result) == expected
+
+    def test_one_round_per_query(self, deployment):
+        dep, _ = deployment
+        before = dep.server_channel.stats.messages
+        dep.query(Circle.from_radius((10, 10), 2))
+        after = dep.server_channel.stats.messages
+        assert after - before == 2  # one request + one response
+
+    def test_byte_accounting_grows_with_radius(self, deployment):
+        dep, _ = deployment
+        dep.server_channel.reset_stats()
+        dep.query(Circle.from_radius((16, 16), 1))
+        small = dep.server_channel.stats.bytes_sent
+        dep.server_channel.reset_stats()
+        dep.query(Circle.from_radius((16, 16), 5))
+        large = dep.server_channel.stats.bytes_sent
+        assert large > small  # token grows with m ~ R²
+
+    def test_server_leakage_log(self, deployment):
+        dep, _ = deployment
+        q = Circle.from_radius((16, 16), 2)
+        dep.query(q)
+        log = dep.server.log
+        assert log.records_stored == 30
+        assert log.queries_served >= 1
+        # Radius pattern: the sub-token count reveals m (here m(R=2) = 4).
+        assert log.sub_token_counts[-1] == 4
+
+    def test_radius_hiding_masks_sub_token_count(self, deployment):
+        dep, _ = deployment
+        dep.query(Circle.from_radius((16, 16), 1), hide_radius_to=15)
+        dep.query(Circle.from_radius((16, 16), 3), hide_radius_to=15)
+        assert dep.server.log.sub_token_counts[-2:] == [15, 15]
+
+    def test_search_stats_exposed(self, deployment):
+        dep, _ = deployment
+        dep.query(Circle.from_radius((16, 16), 2))
+        stats = dep.server.last_search_stats
+        assert stats.records_scanned == 30
+        assert stats.sub_token_evaluations >= 30  # at least one per record
+
+
+class TestParallelSearch:
+    def test_partitioned_results_match_serial(self, deployment):
+        dep, points = deployment
+        q = Circle.from_radius((16, 16), 5)
+        token_payload = dep.owner.handle_query(QueryRequest(circle=q)).payload
+        request = SearchRequest(payload=token_payload)
+        serial = dep.server.handle_search(request)
+        for instances in (1, 2, 4, 7):
+            parallel, elapsed = dep.server.parallel_search(request, instances)
+            assert sorted(parallel.identifiers) == sorted(serial.identifiers)
+            assert elapsed >= 0
+
+    def test_zero_instances_rejected(self, deployment):
+        dep, _ = deployment
+        with pytest.raises(ProtocolError):
+            dep.server.parallel_search(SearchRequest(payload=b""), 0)
+
+
+class TestServerValidation:
+    def test_duplicate_identifiers_rejected(self):
+        rng = random.Random(62)
+        space = DataSpace(2, 8)
+        scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+        key = scheme.gen_key(rng)
+        server = CloudServer(scheme)
+        payload = encode_ciphertext(scheme, scheme.encrypt(key, (1, 1), rng))
+        upload = UploadDataset(
+            records=(
+                UploadRecord(identifier=0, payload=payload),
+                UploadRecord(identifier=0, payload=payload),
+            )
+        )
+        with pytest.raises(ProtocolError):
+            server.handle_upload(upload)
+
+    def test_malformed_token_rejected(self, deployment):
+        dep, _ = deployment
+        with pytest.raises(SerializationError):
+            dep.server.handle_search(SearchRequest(payload=b"\x00\x01garbage"))
+
+
+class TestChannel:
+    def test_latency_model(self):
+        channel = Channel("test", LatencyModel(rtt_ms=10.0, bandwidth_mbps=8.0))
+        message = SearchRequest(payload=b"x" * 1000)
+        channel.deliver(message)
+        assert channel.stats.messages == 1
+        assert channel.stats.bytes_sent == 1000
+        # 10 ms RTT + 8000 bits / 8000 bits-per-ms = 11 ms.
+        assert channel.stats.simulated_ms == pytest.approx(11.0)
+
+    def test_reset(self):
+        channel = Channel("test")
+        channel.deliver(SearchRequest(payload=b"abc"))
+        channel.reset_stats()
+        assert channel.stats.messages == 0
+
+
+class TestCodec:
+    def test_crse1_roundtrip(self):
+        rng = random.Random(63)
+        space = DataSpace(2, 8)
+        scheme = CRSE1Scheme(
+            space, group_for_crse1(space, 1, "fast", rng), r_squared=1
+        )
+        key = scheme.gen_key(rng)
+        ct = scheme.encrypt(key, (3, 3), rng)
+        token = scheme.gen_token(key, Circle.from_radius((3, 3), 1), rng)
+        ct2 = decode_ciphertext(scheme, encode_ciphertext(scheme, ct))
+        tok2 = decode_token(scheme, encode_token(scheme, token))
+        assert scheme.matches(tok2, ct2)
+
+    def test_crse2_token_preserves_permuted_order(self, deployment):
+        dep, _ = deployment
+        scheme = dep.scheme
+        rng = random.Random(64)
+        key = dep.owner._key
+        token = scheme.gen_token(key, Circle.from_radius((16, 16), 2), rng)
+        restored = decode_token(scheme, encode_token(scheme, token))
+        assert [t.elements() for t in restored.sub_tokens] == [
+            t.elements() for t in token.sub_tokens
+        ]
+
+    def test_truncated_crse2_token(self, deployment):
+        dep, _ = deployment
+        with pytest.raises(SerializationError):
+            decode_token(dep.scheme, b"\x00")
+
+    def test_zero_count_token(self, deployment):
+        dep, _ = deployment
+        with pytest.raises(SerializationError):
+            decode_token(dep.scheme, b"\x00\x00")
+
+
+class TestOwner:
+    def test_crse1_rejects_per_query_hiding(self):
+        rng = random.Random(65)
+        space = DataSpace(2, 8)
+        scheme = CRSE1Scheme(
+            space, group_for_crse1(space, 1, "fast", rng), r_squared=1
+        )
+        dep = CloudDeployment.create(scheme, rng=rng)
+        dep.outsource([(1, 1)])
+        with pytest.raises(ProtocolError):
+            dep.query(Circle.from_radius((1, 1), 1), hide_radius_to=5)
+
+    def test_resolve(self, deployment):
+        dep, points = deployment
+        assert dep.owner.resolve([0, 2]) == [points[0], points[2]]

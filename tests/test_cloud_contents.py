@@ -1,0 +1,112 @@
+"""Tests for record contents, fetch, and dynamic updates in the cloud model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cloud.deployment import CloudDeployment
+from repro.cloud.messages import FetchRequest
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace, point_in_circle
+from repro.core.provision import group_for_crse2
+from repro.errors import CryptoError, ProtocolError
+
+
+@pytest.fixture()
+def deployment():
+    rng = random.Random(0xC0DE)
+    space = DataSpace(2, 32)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    return CloudDeployment.create(scheme, rng=rng)
+
+
+POINTS = [(10, 10), (11, 11), (25, 25), (30, 5)]
+CONTENTS = [b"alice", b"bob", b"carol", b"dave"]
+
+
+class TestContents:
+    def test_search_then_fetch_decrypts(self, deployment):
+        deployment.outsource(POINTS, contents=CONTENTS)
+        response = deployment.query(Circle.from_radius((10, 10), 2))
+        fetched = deployment.user.fetch_contents(response.identifiers)
+        assert fetched == {0: b"alice", 1: b"bob"}
+
+    def test_server_never_sees_plaintext(self, deployment):
+        deployment.outsource(POINTS, contents=CONTENTS)
+        stored = deployment.server._contents
+        for plaintext in CONTENTS:
+            assert all(plaintext not in blob for blob in stored.values())
+
+    def test_tampered_content_detected(self, deployment):
+        deployment.outsource(POINTS, contents=CONTENTS)
+        blob = bytearray(deployment.server._contents[0])
+        blob[20] ^= 1
+        deployment.server._contents[0] = bytes(blob)
+        with pytest.raises(CryptoError):
+            deployment.user.fetch_contents((0,))
+
+    def test_fetch_unknown_identifier(self, deployment):
+        deployment.outsource(POINTS, contents=CONTENTS)
+        with pytest.raises(ProtocolError):
+            deployment.server.handle_fetch(FetchRequest(identifiers=(99,)))
+
+    def test_contents_optional(self, deployment):
+        deployment.outsource(POINTS)  # no contents
+        response = deployment.query(Circle.from_radius((10, 10), 2))
+        assert len(response.identifiers) == 2
+
+    def test_content_length_mismatch(self, deployment):
+        with pytest.raises(ProtocolError):
+            deployment.outsource(POINTS, contents=[b"only-one"])
+
+
+class TestDynamicUpdates:
+    def test_incremental_additions(self, deployment):
+        deployment.outsource(POINTS[:2])
+        deployment.outsource(POINTS[2:])  # second upload, no re-index
+        assert deployment.server.record_count == 4
+        q = Circle.from_radius((25, 25), 1)
+        assert deployment.query_points(q) == [(25, 25)]
+
+    def test_delete_removes_from_results(self, deployment):
+        deployment.outsource(POINTS)
+        q = Circle.from_radius((10, 10), 3)
+        before = deployment.query(q).identifiers
+        assert set(before) == {0, 1}
+        removed = deployment.delete([1])
+        assert removed == 1
+        after = deployment.query(q).identifiers
+        assert set(after) == {0}
+        assert deployment.server.record_count == 3
+
+    def test_delete_unknown_is_noop(self, deployment):
+        deployment.outsource(POINTS)
+        assert deployment.delete([42]) == 0
+        assert deployment.server.record_count == 4
+
+    def test_delete_also_drops_content(self, deployment):
+        deployment.outsource(POINTS, contents=CONTENTS)
+        deployment.delete([2])
+        with pytest.raises(ProtocolError):
+            deployment.server.handle_fetch(FetchRequest(identifiers=(2,)))
+
+    def test_identifiers_stay_unique_across_uploads(self, deployment):
+        deployment.outsource(POINTS[:2])
+        deployment.outsource(POINTS[:2])  # same points again, new ids
+        ids = [r.identifier for r in deployment.server._records]
+        assert len(ids) == len(set(ids)) == 4
+
+    def test_mixed_lifecycle(self, deployment):
+        rng = random.Random(1)
+        deployment.outsource(POINTS, contents=CONTENTS)
+        deployment.delete([0, 3])
+        deployment.outsource([(12, 12)], contents=[b"erin"])
+        q = Circle.from_radius((11, 11), 2)
+        response = deployment.query(q)
+        resolved = deployment.owner.resolve(response.identifiers)
+        expected = [p for p in [(11, 11), (12, 12)] if point_in_circle(p, q)]
+        assert sorted(resolved) == sorted(expected)
+        fetched = deployment.user.fetch_contents(response.identifiers)
+        assert set(fetched.values()) == {b"bob", b"erin"}

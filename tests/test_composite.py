@@ -1,0 +1,131 @@
+"""Tests for composite radial queries (annulus, union of circles)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.composite import (
+    annulus_radii_squared,
+    gen_annulus_token,
+    gen_union_token,
+    point_in_annulus,
+)
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace, point_in_circle
+from repro.core.provision import group_for_crse2
+from repro.errors import ParameterError, SchemeError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = random.Random(0xA22)
+    space = DataSpace(2, 24)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    key = scheme.gen_key(rng)
+    return scheme, key, rng
+
+
+class TestAnnulusRadii:
+    def test_excludes_inner_disk(self):
+        # (4, 25]: sums of two squares in {5, 8, 9, 10, 13, 16, 17, 18, 20, 25}.
+        radii = annulus_radii_squared(4, 25)
+        assert radii[0] == 5 and radii[-1] == 25
+        assert 4 not in radii and 0 not in radii
+
+    def test_full_disk_when_inner_zero_minus_one(self):
+        # inner = -1 is invalid; inner = 0 drops only the center.
+        radii = annulus_radii_squared(0, 25)
+        assert 0 not in radii and 1 in radii
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            annulus_radii_squared(9, 4)
+        with pytest.raises(ParameterError):
+            annulus_radii_squared(-2, 4)
+
+
+class TestAnnulusToken:
+    def test_exhaustive(self, setup):
+        scheme, key, rng = setup
+        center, inner, outer = (12, 12), 4, 16
+        token = gen_annulus_token(scheme, key, center, inner, outer, rng)
+        for x in range(6, 19):
+            for y in range(6, 19):
+                got = scheme.matches(token, scheme.encrypt(key, (x, y), rng))
+                assert got == point_in_annulus((x, y), center, inner, outer), (
+                    x,
+                    y,
+                )
+
+    def test_inner_boundary_excluded(self, setup):
+        scheme, key, rng = setup
+        token = gen_annulus_token(scheme, key, (12, 12), 4, 16, rng)
+        # distance² = 4: exactly the inner bound — excluded (strict <).
+        assert not scheme.matches(token, scheme.encrypt(key, (14, 12), rng))
+        # distance² = 16: exactly the outer bound — included.
+        assert scheme.matches(token, scheme.encrypt(key, (16, 12), rng))
+
+    def test_count_hiding(self, setup):
+        scheme, key, rng = setup
+        token = gen_annulus_token(
+            scheme, key, (12, 12), 4, 9, rng, hide_count_to=20
+        )
+        assert token.num_sub_tokens == 20
+
+    def test_empty_annulus_rejected(self, setup):
+        scheme, key, rng = setup
+        # (2, 3]: 3 is not a sum of two squares → nothing to cover.
+        with pytest.raises(SchemeError):
+            gen_annulus_token(scheme, key, (12, 12), 2, 3, rng)
+
+    def test_center_validation(self, setup):
+        scheme, key, rng = setup
+        with pytest.raises(ParameterError):
+            gen_annulus_token(scheme, key, (99, 0), 0, 4, rng)
+
+
+class TestUnionToken:
+    def test_exhaustive_two_circles(self, setup):
+        scheme, key, rng = setup
+        circles = [
+            Circle.from_radius((6, 6), 2),
+            Circle.from_radius((16, 16), 3),
+        ]
+        token = gen_union_token(scheme, key, circles, rng)
+        for x in range(3, 22, 2):
+            for y in range(3, 22, 2):
+                got = scheme.matches(token, scheme.encrypt(key, (x, y), rng))
+                want = any(point_in_circle((x, y), c) for c in circles)
+                assert got == want, (x, y)
+
+    def test_overlapping_circles_deduplicate(self, setup):
+        scheme, key, rng = setup
+        same = Circle.from_radius((10, 10), 2)
+        token_single = gen_union_token(scheme, key, [same], rng)
+        token_double = gen_union_token(scheme, key, [same, same], rng)
+        assert token_double.num_sub_tokens == token_single.num_sub_tokens
+
+    def test_point_in_overlap_matches_once(self, setup):
+        scheme, key, rng = setup
+        circles = [
+            Circle.from_radius((10, 10), 3),
+            Circle.from_radius((12, 10), 3),
+        ]
+        token = gen_union_token(scheme, key, circles, rng)
+        # (11, 10) is inside both circles; must match (exactly once is an
+        # implementation detail — the Boolean is what matters).
+        assert scheme.matches(token, scheme.encrypt(key, (11, 10), rng))
+
+    def test_empty_union_rejected(self, setup):
+        scheme, key, rng = setup
+        with pytest.raises(SchemeError):
+            gen_union_token(scheme, key, [], rng)
+
+    def test_union_token_size_is_sum_of_coverings_minus_overlap(self, setup):
+        scheme, key, rng = setup
+        a = Circle.from_radius((6, 6), 2)  # m = 4
+        b = Circle.from_radius((16, 16), 2)  # m = 4, different center
+        token = gen_union_token(scheme, key, [a, b], rng)
+        assert token.num_sub_tokens == 8

@@ -1,0 +1,95 @@
+"""Tests for GenConCircle (repro.core.concircles)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.concircles import (
+    gen_con_circle,
+    gen_con_circles_for,
+    num_concentric_circles,
+)
+from repro.core.geometry import Circle, point_in_circle, point_on_boundary
+from repro.errors import ParameterError
+from repro.math.sumsquares import lattice_points_on_sphere
+
+
+class TestPaperValues:
+    def test_table1_m_values(self):
+        # Paper Table I: R = 1, 2, 3 → m = 2, 4, 7.
+        assert num_concentric_circles(1) == 2
+        assert num_concentric_circles(4) == 4
+        assert num_concentric_circles(9) == 7
+
+    def test_r10_gives_44(self):
+        # Implied by Fig. 14: 28.16 KB token = 44 sub-tokens × 640 B.
+        assert num_concentric_circles(100) == 44
+
+    def test_radius_zero(self):
+        # The center alone is one degenerate circle.
+        assert gen_con_circle(0) == [0]
+
+    def test_upper_bound_r2_plus_1(self):
+        # Sec. VI-A: at w = 2, m <= R² + 1.
+        for r_sq in (1, 4, 25, 100):
+            assert num_concentric_circles(r_sq) <= r_sq + 1
+
+    def test_exactly_r2_plus_1_for_w_at_least_4(self):
+        # Sec. VI-D: Lagrange's theorem makes m = R² + 1 for w >= 4.
+        for r_sq in (1, 9, 49):
+            assert num_concentric_circles(r_sq, w=4) == r_sq + 1
+            assert num_concentric_circles(r_sq, w=5) == r_sq + 1
+
+
+class TestCoveringProperty:
+    """The concentric circles cover exactly the inside lattice points."""
+
+    @given(st.integers(0, 60), st.integers(2, 4))
+    def test_every_inside_point_is_on_some_circle(self, r_sq, w):
+        radii = set(gen_con_circle(r_sq, w))
+        # Every lattice point inside the ball has squared distance in radii.
+        center = (0,) * w
+        for d in range(r_sq + 1):
+            on_sphere = lattice_points_on_sphere(center, d)
+            if on_sphere:
+                assert d in radii, (d, r_sq, w)
+            else:
+                assert d not in radii, (d, r_sq, w)
+
+    def test_no_circle_exceeds_query(self):
+        assert all(r <= 50 for r in gen_con_circle(50))
+
+    def test_sorted_and_unique(self):
+        radii = gen_con_circle(100)
+        assert radii == sorted(set(radii))
+        assert radii[0] == 0 and radii[-1] == 100
+
+
+class TestMaterialization:
+    def test_gen_con_circles_for(self):
+        q = Circle.from_radius((5, 5), 2)
+        circles = gen_con_circles_for(q)
+        assert [c.r_squared for c in circles] == [0, 1, 2, 4]
+        assert all(c.center == (5, 5) for c in circles)
+
+    def test_boundary_union_equals_interior(self):
+        # The geometric heart of both CRSE schemes (Eq. 7).
+        q = Circle.from_radius((8, 8), 3)
+        circles = gen_con_circles_for(q)
+        for x in range(0, 17):
+            for y in range(0, 17):
+                p = (x, y)
+                on_any = any(point_on_boundary(p, c) for c in circles)
+                assert on_any == point_in_circle(p, q), p
+
+
+class TestValidation:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ParameterError):
+            gen_con_circle(-1)
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(ParameterError):
+            gen_con_circle(4, w=0)

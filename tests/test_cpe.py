@@ -1,0 +1,104 @@
+"""Tests for Circle Predicate Encryption (paper Sec. V)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cpe import CirclePredicateEncryption
+from repro.core.geometry import Circle, DataSpace, point_on_boundary
+from repro.core.provision import provision_group
+from repro.errors import ParameterError, SchemeError
+
+
+@pytest.fixture(scope="module")
+def cpe_setup():
+    rng = random.Random(21)
+    space = DataSpace(2, 8)
+    group = provision_group(space.boundary_value_bound(), "fast", rng)
+    scheme = CirclePredicateEncryption(space, group)
+    key = scheme.gen_key(rng)
+    return scheme, key
+
+
+class TestPaperExample:
+    def test_fig5_boundary_and_off_boundary(self, cpe_setup, rng):
+        scheme, key = cpe_setup
+        q = Circle.from_radius((3, 2), 1)
+        token = scheme.gen_token(key, q, rng)
+        on = scheme.encrypt(key, (2, 2), rng)
+        off = scheme.encrypt(key, (1, 3), rng)
+        assert scheme.query(token, on) is True
+        assert scheme.query(token, off) is False
+
+    def test_inside_but_not_on_boundary_rejects(self, cpe_setup, rng):
+        # CPE is strictly a boundary test: the center is NOT on the boundary.
+        scheme, key = cpe_setup
+        q = Circle.from_radius((3, 2), 1)
+        token = scheme.gen_token(key, q, rng)
+        center_ct = scheme.encrypt(key, (3, 2), rng)
+        assert scheme.query(token, center_ct) is False
+
+
+class TestExhaustiveCorrectness:
+    def test_all_points_all_small_circles(self, cpe_setup, rng):
+        scheme, key = cpe_setup
+        space = scheme.space
+        for r_sq in (0, 1, 2, 4, 5):
+            q = Circle((3, 4), r_sq)
+            token = scheme.gen_token(key, q, rng)
+            for point in space.iter_points():
+                got = scheme.query(token, scheme.encrypt(key, point, rng))
+                assert got == point_on_boundary(point, q), (point, r_sq)
+
+    def test_irrational_radius_circle(self, cpe_setup, rng):
+        # r² = 2 has boundary points but no integer radius.
+        scheme, key = cpe_setup
+        q = Circle((4, 4), 2)
+        token = scheme.gen_token(key, q, rng)
+        assert scheme.query(token, scheme.encrypt(key, (5, 5), rng)) is True
+        assert scheme.query(token, scheme.encrypt(key, (4, 4), rng)) is False
+
+    def test_empty_boundary_circle(self, cpe_setup, rng):
+        # r² = 3 is not a sum of two squares: nothing can match.
+        scheme, key = cpe_setup
+        q = Circle((4, 4), 3)
+        token = scheme.gen_token(key, q, rng)
+        for point in ((4, 4), (5, 5), (4, 6), (2, 3)):
+            assert scheme.query(token, scheme.encrypt(key, point, rng)) is False
+
+
+class TestHigherDimensions:
+    def test_sphere_boundary_w3(self, rng):
+        space = DataSpace(3, 6)
+        group = provision_group(space.boundary_value_bound(), "fast", rng)
+        scheme = CirclePredicateEncryption(space, group)
+        key = scheme.gen_key(rng)
+        assert scheme.alpha == 5
+        q = Circle((2, 2, 2), 1)
+        token = scheme.gen_token(key, q, rng)
+        assert scheme.query(token, scheme.encrypt(key, (3, 2, 2), rng))
+        assert not scheme.query(token, scheme.encrypt(key, (3, 3, 2), rng))
+
+
+class TestValidation:
+    def test_point_outside_space_rejected(self, cpe_setup, rng):
+        scheme, key = cpe_setup
+        with pytest.raises(ParameterError):
+            scheme.encrypt(key, (9, 0), rng)
+
+    def test_circle_outside_space_rejected(self, cpe_setup, rng):
+        scheme, key = cpe_setup
+        with pytest.raises(ParameterError):
+            scheme.gen_token(key, Circle.from_radius((9, 0), 1), rng)
+
+    def test_undersized_group_rejected(self, rng):
+        space = DataSpace(2, 1 << 22)
+        group = provision_group(100, "fast", rng)  # way too small
+        with pytest.raises(SchemeError):
+            CirclePredicateEncryption(space, group)
+
+    def test_alpha_is_w_plus_2(self, cpe_setup):
+        scheme, _ = cpe_setup
+        assert scheme.alpha == 4

@@ -1,0 +1,176 @@
+"""Tests for CRSE-I (paper Sec. VI-B)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.crse1 import CRSE1Scheme
+from repro.core.geometry import Circle, DataSpace, point_in_circle
+from repro.core.provision import group_for_crse1
+from repro.errors import SchemeError
+
+
+@pytest.fixture(scope="module")
+def setup_r1():
+    """CRSE-I fixed to R = 1 on an 8×8 space."""
+    rng = random.Random(41)
+    space = DataSpace(2, 8)
+    scheme = CRSE1Scheme(
+        space, group_for_crse1(space, 1, "fast", rng), r_squared=1
+    )
+    return scheme, scheme.gen_key(rng)
+
+
+@pytest.fixture(scope="module")
+def setup_r2():
+    """CRSE-I fixed to R = 2 (m = 4, α = 35 optimized)."""
+    rng = random.Random(43)
+    space = DataSpace(2, 8)
+    scheme = CRSE1Scheme(
+        space, group_for_crse1(space, 4, "fast", rng), r_squared=4
+    )
+    return scheme, scheme.gen_key(rng)
+
+
+class TestPaperExample:
+    def test_fig5_example(self, setup_r1, rng):
+        scheme, key = setup_r1
+        assert scheme.m == 2  # Table I: R = 1 → m = 2
+        q = Circle.from_radius((3, 2), 1)
+        token = scheme.gen_token(key, q, rng)
+        assert scheme.matches(token, scheme.encrypt(key, (2, 2), rng))
+        assert not scheme.matches(token, scheme.encrypt(key, (1, 3), rng))
+
+    def test_alpha_values(self, setup_r1, setup_r2):
+        # Optimized α = C(m+3, 3): m=2 → 10, m=4 → 35.
+        assert setup_r1[0].alpha == 10
+        assert setup_r2[0].alpha == 35
+
+
+class TestExhaustiveCorrectness:
+    def test_all_points_r1(self, setup_r1, rng):
+        scheme, key = setup_r1
+        q = Circle.from_radius((4, 4), 1)
+        token = scheme.gen_token(key, q, rng)
+        for point in scheme.space.iter_points():
+            got = scheme.matches(token, scheme.encrypt(key, point, rng))
+            assert got == point_in_circle(point, q), point
+
+    def test_all_points_r2(self, setup_r2, rng):
+        scheme, key = setup_r2
+        q = Circle.from_radius((3, 5), 2)
+        token = scheme.gen_token(key, q, rng)
+        for point in scheme.space.iter_points():
+            got = scheme.matches(token, scheme.encrypt(key, point, rng))
+            assert got == point_in_circle(point, q), point
+
+    def test_naive_split_variant_agrees(self, rng):
+        space = DataSpace(2, 8)
+        scheme = CRSE1Scheme(
+            space,
+            group_for_crse1(space, 1, "fast", rng),
+            r_squared=1,
+            optimize_split=False,
+        )
+        assert scheme.alpha == 16
+        key = scheme.gen_key(rng)
+        q = Circle.from_radius((4, 4), 1)
+        token = scheme.gen_token(key, q, rng)
+        for point in ((4, 4), (4, 5), (5, 5), (6, 4)):
+            got = scheme.matches(token, scheme.encrypt(key, point, rng))
+            assert got == point_in_circle(point, q)
+
+
+class TestStaticRadiusLimitation:
+    def test_wrong_radius_token_rejected(self, setup_r1, rng):
+        scheme, key = setup_r1
+        with pytest.raises(SchemeError):
+            scheme.gen_token(key, Circle.from_radius((4, 4), 2), rng)
+
+    def test_same_key_multiple_centers(self, setup_r1, rng):
+        # The radius is fixed; the center is per-query.
+        scheme, key = setup_r1
+        for center in ((1, 1), (4, 6), (6, 2)):
+            token = scheme.gen_token(key, Circle.from_radius(center, 1), rng)
+            assert scheme.matches(token, scheme.encrypt(key, center, rng))
+
+    def test_cross_configuration_key_rejected(self, setup_r1, setup_r2, rng):
+        scheme_r1, _ = setup_r1
+        _, key_r2 = setup_r2
+        with pytest.raises(SchemeError):
+            scheme_r1.encrypt(key_r2, (1, 1), rng)
+
+    def test_cross_configuration_objects_rejected(self, setup_r1, setup_r2, rng):
+        scheme_r1, key_r1 = setup_r1
+        scheme_r2, key_r2 = setup_r2
+        token_r2 = scheme_r2.gen_token(
+            key_r2, Circle.from_radius((4, 4), 2), rng
+        )
+        ct_r1 = scheme_r1.encrypt(key_r1, (4, 4), rng)
+        with pytest.raises(SchemeError):
+            scheme_r1.matches(token_r2, ct_r1)
+
+
+class TestRadiusHiding:
+    def test_padded_product_still_correct(self, rng):
+        space = DataSpace(2, 8)
+        scheme = CRSE1Scheme(
+            space,
+            group_for_crse1(space, 1, "fast", rng, hide_radius_to=3),
+            r_squared=1,
+            hide_radius_to=3,
+        )
+        assert scheme.m == 3  # 2 real + 1 dummy factor
+        key = scheme.gen_key(rng)
+        q = Circle.from_radius((4, 4), 1)
+        token = scheme.gen_token(key, q, rng)
+        assert scheme.matches(token, scheme.encrypt(key, (4, 5), rng))
+        assert not scheme.matches(token, scheme.encrypt(key, (6, 6), rng))
+
+    def test_k_below_m_rejected(self, rng):
+        space = DataSpace(2, 8)
+        with pytest.raises(SchemeError):
+            CRSE1Scheme(
+                space,
+                group_for_crse1(space, 4, "fast", rng),
+                r_squared=4,
+                hide_radius_to=2,
+            )
+
+
+class TestBoundSizing:
+    def test_required_bound_grows_with_m(self):
+        space = DataSpace(2, 8)
+        b1 = CRSE1Scheme.required_inner_product_bound(space, 1)
+        b2 = CRSE1Scheme.required_inner_product_bound(space, 4)
+        assert b2 > b1
+        # Single-factor bound is max(w(T-1)², maxdist+1) = 99 here.
+        assert b1 == 99**2
+        assert b2 == 99**4
+
+    def test_scheme_checks_group_size(self, rng):
+        space = DataSpace(2, 8)
+        small_group = group_for_crse1(space, 1, "fast", rng)
+        # A group sized for m=2 cannot back an R=3 (m=7) scheme.
+        with pytest.raises(SchemeError):
+            CRSE1Scheme(space, small_group, r_squared=9)
+
+
+class TestHigherDimensions:
+    def test_crse1_three_dimensional_sphere(self, rng):
+        # Sec. VI-D: both schemes extend beyond the plane; CRSE-I's m then
+        # follows Legendre's three-square count.
+        space = DataSpace(3, 6)
+        scheme = CRSE1Scheme(
+            space, group_for_crse1(space, 1, "fast", rng), r_squared=1
+        )
+        assert scheme.m == 2  # {0, 1} are sums of three squares
+        assert scheme.alpha == 15  # C(2 + 4, 4)
+        key = scheme.gen_key(rng)
+        q = Circle.from_radius((3, 3, 3), 1)
+        token = scheme.gen_token(key, q, rng)
+        for point in ((3, 3, 3), (3, 3, 4), (4, 4, 3), (0, 0, 0)):
+            got = scheme.matches(token, scheme.encrypt(key, point, rng))
+            assert got == point_in_circle(point, q), point

@@ -1,0 +1,156 @@
+"""Tests for the workload generators (repro.datasets)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.geometry import Circle, DataSpace, point_on_boundary
+from repro.datasets.brightkite import (
+    checkin_to_point,
+    data_space_for_digits,
+    generate_checkins,
+    haversine_m,
+    meters_per_unit,
+    radius_for_meters,
+    real_world_radius_m,
+    round_coordinate,
+)
+from repro.datasets.synthetic import (
+    clustered_points,
+    points_on_boundary,
+    query_workload,
+    random_circle,
+    uniform_points,
+)
+from repro.errors import ParameterError
+
+
+class TestSynthetic:
+    def test_uniform_points_in_space(self, rng):
+        space = DataSpace(2, 32)
+        points = uniform_points(space, 200, rng)
+        assert len(points) == 200
+        assert all(space.contains_point(p) for p in points)
+
+    def test_clustered_points_in_space(self, rng):
+        space = DataSpace(2, 100)
+        points = clustered_points(space, 300, rng, clusters=4)
+        assert len(points) == 300
+        assert all(space.contains_point(p) for p in points)
+
+    def test_clustered_points_actually_cluster(self, rng):
+        space = DataSpace(2, 1000)
+        points = clustered_points(space, 400, rng, clusters=2, spread=5.0)
+        xs = sorted(p[0] for p in points)
+        # Two tight clusters: the middle half of sorted xs spans far less
+        # than uniform data would.
+        assert xs[300] - xs[100] < 500
+
+    def test_zero_clusters_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            clustered_points(DataSpace(2, 10), 5, rng, clusters=0)
+
+    def test_points_on_boundary(self):
+        space = DataSpace(2, 20)
+        circle = Circle.from_radius((10, 10), 5)
+        pts = points_on_boundary(circle, space)
+        assert pts  # 25 = 3²+4² = 0²+5² has lattice solutions
+        assert all(point_on_boundary(p, circle) for p in pts)
+        assert all(space.contains_point(p) for p in pts)
+
+    def test_points_on_boundary_limit(self):
+        space = DataSpace(2, 20)
+        pts = points_on_boundary(Circle.from_radius((10, 10), 5), space, limit=3)
+        assert len(pts) == 3
+
+    def test_random_circle(self, rng):
+        space = DataSpace(2, 50)
+        circle = random_circle(space, 7, rng)
+        assert circle.r_squared == 49
+        assert space.contains_point(circle.center)
+
+    def test_query_workload_margins(self, rng):
+        space = DataSpace(2, 100)
+        queries = query_workload(space, [5, 10], 20, rng)
+        assert len(queries) == 40
+        for q in queries:
+            radius = q.integer_radius()
+            assert all(radius <= c <= 99 - radius for c in q.center)
+
+
+class TestBrightkite:
+    def test_generation_shape(self, rng):
+        checkins = generate_checkins(100, rng)
+        assert len(checkins) == 100
+        for c in checkins:
+            assert -90 <= c.latitude <= 90
+            assert -180 <= c.longitude <= 180
+
+    def test_rounding(self):
+        assert round_coordinate(46.52262, 4) == 46.5226
+        assert round_coordinate(46.52262, 3) == 46.523
+        with pytest.raises(ParameterError):
+            round_coordinate(1.0, -1)
+
+    def test_paper_integer_format(self, rng):
+        # Paper: {46.5226, 14.8296} ↔ integers {465226, 148296} (we offset
+        # to keep coordinates non-negative, preserving all distances).
+        from repro.datasets.brightkite import CheckIn
+
+        checkin = CheckIn(0, 46.5226, 14.8296)
+        x, y = checkin_to_point(checkin, digits=4)
+        assert x == round((46.5226 + 90) * 10_000) == 1365226
+        assert y == round((14.8296 + 180) * 10_000) == 1948296
+
+    def test_points_fit_data_space(self, rng):
+        digits = 4
+        space = data_space_for_digits(digits)
+        for c in generate_checkins(50, rng):
+            assert space.contains_point(checkin_to_point(c, digits))
+
+    def test_rounding_shrinks_integers(self):
+        from repro.datasets.brightkite import CheckIn
+
+        checkin = CheckIn(0, 46.52262, 14.82961)
+        p5 = checkin_to_point(checkin, 5)
+        p4 = checkin_to_point(checkin, 4)
+        assert p5[0] // 10 == p4[0] or abs(p5[0] - p4[0] * 10) <= 5
+
+    def test_real_world_radius_paper_values(self):
+        # Paper Table III: R = 10 at 4 digits ≈ 100 m; R = 1 at 3 digits
+        # ≈ 100 m; R = 100 at 5 digits ≈ 100 m.
+        assert real_world_radius_m(10, 4) == pytest.approx(111.32, rel=0.01)
+        assert real_world_radius_m(1, 3) == pytest.approx(111.32, rel=0.01)
+        assert real_world_radius_m(100, 5) == pytest.approx(111.32, rel=0.01)
+
+    def test_radius_for_meters_inverts(self):
+        for digits in (3, 4, 5):
+            r = radius_for_meters(100.0, digits)
+            assert real_world_radius_m(r, digits) >= 100.0
+            assert real_world_radius_m(r - 1, digits) < 100.0 or r == 1
+
+    def test_meters_per_unit_scales_by_ten(self):
+        assert meters_per_unit(3) == pytest.approx(10 * meters_per_unit(4))
+
+    def test_haversine_known_distance(self):
+        # London → Paris ≈ 344 km.
+        d = haversine_m(51.5074, -0.1278, 48.8566, 2.3522)
+        assert d == pytest.approx(343_500, rel=0.02)
+
+    def test_haversine_zero(self):
+        assert haversine_m(10.0, 20.0, 10.0, 20.0) == 0.0
+
+    def test_haversine_close_to_grid_model(self):
+        # One grid unit of latitude at 4 digits ≈ meters_per_unit(4).
+        d = haversine_m(46.5226, 14.8296, 46.5227, 14.8296)
+        assert d == pytest.approx(meters_per_unit(4), rel=0.01)
+
+    def test_negative_inputs_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            generate_checkins(-1, rng)
+        with pytest.raises(ParameterError):
+            radius_for_meters(-5, 4)

@@ -1,0 +1,86 @@
+"""Meta-tests: documentation coverage and API hygiene across the package.
+
+A release-quality library documents every public item and keeps its
+``__all__`` lists honest; these tests make both properties regression-proof.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "module", ALL_MODULES, ids=lambda m: m.__name__
+    )
+    def test_module_documented(self, module):
+        assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+    @pytest.mark.parametrize(
+        "module", ALL_MODULES, ids=lambda m: m.__name__
+    )
+    def test_public_items_documented(self, module):
+        undocumented = []
+        for name in getattr(module, "__all__", []):
+            item = getattr(module, name)
+            if inspect.isfunction(item) or inspect.isclass(item):
+                if item.__module__ != module.__name__:
+                    continue  # re-export; documented at its home
+                if not inspect.getdoc(item):
+                    undocumented.append(name)
+                if inspect.isclass(item):
+                    for method_name, method in vars(item).items():
+                        if method_name.startswith("_"):
+                            continue
+                        # getattr on the class resolves inherited docs for
+                        # overrides of documented abstract methods.
+                        if inspect.isfunction(method) and not inspect.getdoc(
+                            getattr(item, method_name)
+                        ):
+                            undocumented.append(f"{name}.{method_name}")
+        assert not undocumented, f"{module.__name__}: {undocumented}"
+
+
+class TestAllLists:
+    @pytest.mark.parametrize(
+        "module", ALL_MODULES, ids=lambda m: m.__name__
+    )
+    def test_all_names_resolve(self, module):
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    @pytest.mark.parametrize(
+        "module",
+        [m for m in ALL_MODULES if hasattr(m, "__all__")],
+        ids=lambda m: m.__name__,
+    )
+    def test_all_sorted_no_duplicates(self, module):
+        names = list(module.__all__)
+        assert len(names) == len(set(names)), f"{module.__name__} duplicates"
+
+
+class TestPackageShape:
+    def test_py_typed_marker_present(self):
+        import pathlib
+
+        root = pathlib.Path(repro.__file__).parent
+        assert (root / "py.typed").exists()
+
+    def test_version_is_semver(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))

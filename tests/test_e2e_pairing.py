@@ -1,0 +1,64 @@
+"""End-to-end on the real curve backend at realistic payload size.
+
+Everything else in the suite runs either the fast backend or the toy
+pairing parameters; this file runs the full cloud protocol — upload, query,
+fetch, delete — on the supersingular-curve backend with a 40-bit payload
+prime (the size :func:`repro.crypto.groups.params.default_test_params`
+recommends), end to end.  Slowest test in the suite by design.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cloud.deployment import CloudDeployment
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace
+from repro.core.provision import provision_group
+from repro.crypto.groups.pairing import SupersingularPairingGroup
+
+
+@pytest.fixture(scope="module")
+def pairing_deployment():
+    rng = random.Random(0xE2E)
+    space = DataSpace(2, 64)
+    group = provision_group(
+        space.max_distance_squared() + 1,
+        "pairing",
+        rng,
+        noise_bits=16,
+    )
+    assert isinstance(group, SupersingularPairingGroup)
+    scheme = CRSE2Scheme(space, group)
+    deployment = CloudDeployment.create(scheme, rng=rng)
+    deployment.outsource(
+        [(30, 30), (31, 31), (50, 10)],
+        contents=[b"anna", b"bram", b"chloe"],
+    )
+    return deployment
+
+
+class TestFullProtocolOnCurve:
+    def test_query_and_fetch(self, pairing_deployment):
+        response = pairing_deployment.query(Circle.from_radius((30, 30), 2))
+        assert sorted(response.identifiers) == [0, 1]
+        contents = pairing_deployment.user.fetch_contents(response.identifiers)
+        assert set(contents.values()) == {b"anna", b"bram"}
+
+    def test_radius_hiding_on_curve(self, pairing_deployment):
+        response = pairing_deployment.query(
+            Circle.from_radius((30, 30), 1), hide_radius_to=6
+        )
+        assert sorted(response.identifiers) == [0]
+        assert pairing_deployment.server.log.sub_token_counts[-1] == 6
+
+    def test_delete_then_requery(self, pairing_deployment):
+        pairing_deployment.delete([1])
+        response = pairing_deployment.query(Circle.from_radius((30, 30), 2))
+        assert sorted(response.identifiers) == [0]
+
+    def test_payload_prime_size_is_realistic(self, pairing_deployment):
+        p2 = pairing_deployment.scheme.group.subgroup_primes[1]
+        assert p2.bit_length() >= 40

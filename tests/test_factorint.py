@@ -1,0 +1,81 @@
+"""Tests for repro.math.factorint."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.math.factorint import divisors, factorint, squarefree_part
+from repro.math.primes import is_prime
+
+
+def _reassemble(factors: dict[int, int]) -> int:
+    return math.prod(p**e for p, e in factors.items())
+
+
+class TestFactorint:
+    def test_one(self):
+        assert factorint(1) == {}
+
+    def test_rejects_nonpositive(self):
+        for n in (0, -4):
+            with pytest.raises(ValueError):
+                factorint(n)
+
+    def test_known_factorizations(self):
+        assert factorint(2**10) == {2: 10}
+        assert factorint(360) == {2: 3, 3: 2, 5: 1}
+        assert factorint(97) == {97: 1}
+
+    @given(st.integers(1, 200_000))
+    def test_roundtrip_and_primality(self, n):
+        factors = factorint(n)
+        assert _reassemble(factors) == n
+        assert all(is_prime(p) for p in factors)
+        assert all(e >= 1 for e in factors.values())
+
+    def test_large_semiprime_needs_rho(self):
+        # Both factors exceed the trial-division bound of 1000.
+        p, q = 1_000_003, 1_000_033
+        assert factorint(p * q) == {p: 1, q: 1}
+
+    def test_perfect_square_of_large_prime(self):
+        p = 1_000_003
+        assert factorint(p * p) == {p: 2}
+
+    def test_mixed_large(self):
+        n = 2**5 * 1_000_003 * 999_983
+        factors = factorint(n)
+        assert _reassemble(factors) == n
+        assert factors[2] == 5
+
+
+class TestDivisors:
+    def test_small(self):
+        assert divisors(1) == [1]
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(13) == [1, 13]
+
+    @given(st.integers(1, 2000))
+    def test_matches_naive(self, n):
+        naive = [d for d in range(1, n + 1) if n % d == 0]
+        assert divisors(n) == naive
+
+
+class TestSquarefreePart:
+    def test_examples(self):
+        assert squarefree_part(1) == 1
+        assert squarefree_part(12) == 3  # 12 = 2² · 3
+        assert squarefree_part(49) == 1
+        assert squarefree_part(30) == 30
+
+    @given(st.integers(1, 5000))
+    def test_definition(self, n):
+        s = squarefree_part(n)
+        assert n % s == 0
+        quotient = n // s
+        root = math.isqrt(quotient)
+        assert root * root == quotient

@@ -1,0 +1,110 @@
+"""Tests for the fast algebraic backend, including pairing-backend agreement."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.groups.fastgroup import FastCompositeGroup
+from repro.crypto.groups.params import toy_params
+from repro.errors import CryptoError, SerializationError
+
+PRIMES = (101, 103, 107, 109)
+
+
+@pytest.fixture(scope="module")
+def group() -> FastCompositeGroup:
+    return FastCompositeGroup(PRIMES)
+
+
+class TestConstruction:
+    def test_order(self, group):
+        assert group.order == 101 * 103 * 107 * 109
+
+    def test_duplicate_primes_rejected(self):
+        with pytest.raises(CryptoError):
+            FastCompositeGroup((101, 101, 103, 107))
+
+
+class TestAlgebra:
+    def test_bilinearity(self, group, rng):
+        g = group.generator()
+        base = group.pair(g, g)
+        for _ in range(5):
+            a = rng.randrange(group.order)
+            b = rng.randrange(group.order)
+            assert group.pair(g**a, g**b) == base ** (a * b)
+
+    def test_orthogonality(self, group):
+        for i in range(4):
+            for j in range(4):
+                e = group.pair(
+                    group.subgroup_generator(i), group.subgroup_generator(j)
+                )
+                assert e.is_identity() == (i != j)
+
+    def test_subgroup_orders(self, group):
+        for index, prime in enumerate(PRIMES):
+            assert (group.subgroup_generator(index) ** prime).is_identity()
+
+    def test_inverse(self, group, rng):
+        a = group.generator() ** rng.randrange(1, group.order)
+        assert (a * ~a).is_identity()
+
+    def test_gt_operations(self, group):
+        e = group.pair(group.generator(), group.generator())
+        assert (e**group.order).is_identity()
+        assert e * group.gt_identity() == e
+
+
+class TestSerialization:
+    def test_roundtrip(self, group, rng):
+        element = group.generator() ** rng.randrange(group.order)
+        data = group.serialize_element(element)
+        assert len(data) == group.element_byte_length
+        assert group.deserialize_element(data) == element
+
+    def test_bad_length(self, group):
+        with pytest.raises(SerializationError):
+            group.deserialize_element(b"\x00")
+
+    def test_out_of_range(self, group):
+        data = (group.order + 1).to_bytes(group.element_byte_length, "big")
+        with pytest.raises(SerializationError):
+            group.deserialize_element(data)
+
+    def test_foreign_element_rejected(self, group):
+        other = FastCompositeGroup((113, 127, 131, 137))
+        with pytest.raises(SerializationError):
+            group.serialize_element(other.generator())
+
+
+class TestBackendAgreement:
+    """The fast backend must be observationally identical to the curve."""
+
+    def test_pairing_identity_pattern_matches(self, pairing_group):
+        fast = FastCompositeGroup(toy_params().subgroup_primes)
+        rng = random.Random(2024)
+        g_fast = fast.generator()
+        g_real = pairing_group.generator()
+        for _ in range(6):
+            a = rng.randrange(fast.order)
+            b = rng.randrange(fast.order)
+            c = rng.randrange(fast.order)
+            # e(g^a, g^b) == e(g, g)^c  iff  ab ≡ c (mod N) on both backends.
+            fast_eq = fast.pair(g_fast**a, g_fast**b) == fast.pair(
+                g_fast, g_fast
+            ) ** c
+            real_eq = pairing_group.pair(
+                g_real**a, g_real**b
+            ) == pairing_group.pair(g_real, g_real) ** c
+            assert fast_eq == real_eq == ((a * b - c) % fast.order == 0)
+
+    def test_element_equality_pattern_matches(self, pairing_group):
+        fast = FastCompositeGroup(toy_params().subgroup_primes)
+        n = fast.order
+        for a, b in ((5, 5 + n), (7, 7), (3, 4)):
+            assert (fast.generator() ** a == fast.generator() ** b) == (
+                pairing_group.generator() ** a == pairing_group.generator() ** b
+            )

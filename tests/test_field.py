@@ -1,0 +1,95 @@
+"""Tests for repro.crypto.groups.field (F_q² arithmetic)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.groups.field import Fq2
+
+Q = 1000003  # prime, ≡ 3 (mod 4), so i² = -1 is a valid extension
+
+elements = st.builds(
+    lambda a, b: Fq2(Q, a, b), st.integers(0, Q - 1), st.integers(0, Q - 1)
+)
+nonzero = elements.filter(lambda e: not e.is_zero())
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(elements, elements, elements)
+    def test_multiplication_associates_and_distributes(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+        assert a * (b + c) == a * b + a * c
+
+    @given(elements)
+    def test_additive_inverse(self, a):
+        assert (a - a).is_zero()
+        assert (a + (-a)).is_zero()
+
+    @given(nonzero)
+    def test_multiplicative_inverse(self, a):
+        assert (a * a.inverse()).is_one()
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Fq2.zero(Q).inverse()
+
+    @given(elements)
+    def test_square_matches_mul(self, a):
+        assert a.square() == a * a
+
+
+class TestExtensionStructure:
+    def test_i_squared_is_minus_one(self):
+        i = Fq2(Q, 0, 1)
+        assert i * i == Fq2(Q, Q - 1, 0)
+
+    @given(elements)
+    def test_conjugate_is_frobenius(self, a):
+        # a^q = conjugate(a) in F_q² when q ≡ 3 (mod 4).
+        assert a**Q == a.conjugate()
+
+    @given(elements)
+    def test_norm_multiplicative(self, a):
+        b = Fq2(Q, 12345, 678)
+        assert (a * b).norm() == a.norm() * b.norm() % Q
+
+    @given(nonzero)
+    def test_fermat_in_extension(self, a):
+        assert (a ** (Q * Q - 1)).is_one()
+
+
+class TestPow:
+    @given(nonzero, st.integers(0, 50))
+    def test_matches_repeated_mul(self, a, e):
+        expected = Fq2.one(Q)
+        for _ in range(e):
+            expected = expected * a
+        assert a**e == expected
+
+    @given(nonzero, st.integers(1, 50))
+    def test_negative_exponent(self, a, e):
+        assert a**-e == (a**e).inverse()
+
+
+class TestHygiene:
+    def test_immutable(self):
+        a = Fq2(Q, 1, 2)
+        with pytest.raises(AttributeError):
+            a.real = 5
+
+    def test_field_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Fq2(Q, 1, 1) + Fq2(7, 1, 1)
+
+    def test_reduction_on_construction(self):
+        a = Fq2(Q, Q + 5, -1)
+        assert a.real == 5 and a.imag == Q - 1
+
+    def test_hash_consistency(self):
+        assert hash(Fq2(Q, 3, 4)) == hash(Fq2(Q, 3 + Q, 4 - Q))

@@ -1,0 +1,138 @@
+"""Tests for repro.core.geometry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.geometry import (
+    Circle,
+    DataSpace,
+    distance_squared,
+    point_in_circle,
+    point_on_boundary,
+)
+from repro.errors import ParameterError
+
+
+class TestCircle:
+    def test_from_radius(self):
+        c = Circle.from_radius((3, 2), 5)
+        assert c.r_squared == 25 and c.integer_radius() == 5
+
+    def test_irrational_radius_allowed(self):
+        # Paper Sec. VI: R = √2 is fine because only R² enters encryption.
+        c = Circle((0, 0), 2)
+        assert c.radius == pytest.approx(2**0.5)
+        with pytest.raises(ParameterError):
+            c.integer_radius()
+
+    def test_negative_r_squared_rejected(self):
+        with pytest.raises(ParameterError):
+            Circle((0, 0), -1)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ParameterError):
+            Circle.from_radius((0, 0), -2)
+
+    def test_empty_center_rejected(self):
+        with pytest.raises(ParameterError):
+            Circle((), 1)
+
+    def test_non_integer_center_rejected(self):
+        with pytest.raises(ParameterError):
+            Circle((1.5, 2), 1)
+
+    def test_dimension(self):
+        assert Circle((1, 2, 3), 4).w == 3
+
+
+class TestPredicates:
+    def test_inside_includes_boundary(self):
+        # Footnote 2: "inside" includes the boundary.
+        q = Circle.from_radius((3, 2), 1)
+        assert point_in_circle((2, 2), q)
+        assert point_on_boundary((2, 2), q)
+        assert point_in_circle((3, 2), q)
+        assert not point_on_boundary((3, 2), q)
+        assert not point_in_circle((1, 3), q)
+
+    @given(
+        st.tuples(st.integers(-20, 20), st.integers(-20, 20)),
+        st.tuples(st.integers(-20, 20), st.integers(-20, 20)),
+        st.integers(0, 100),
+    )
+    def test_consistency(self, p, c, r_sq):
+        q = Circle(c, r_sq)
+        d = distance_squared(p, c)
+        assert point_in_circle(p, q) == (d <= r_sq)
+        assert point_on_boundary(p, q) == (d == r_sq)
+
+    def test_distance_squared_mismatch(self):
+        with pytest.raises(ParameterError):
+            distance_squared((1, 2), (1, 2, 3))
+
+
+class TestDataSpace:
+    def test_validation(self):
+        space = DataSpace(2, 8)
+        assert space.contains_point((0, 7))
+        assert not space.contains_point((0, 8))
+        assert not space.contains_point((-1, 0))
+        assert not space.contains_point((1,))
+        assert not space.contains_point((1.0, 2))
+
+    def test_validate_point_raises(self):
+        with pytest.raises(ParameterError):
+            DataSpace(2, 8).validate_point((8, 0))
+
+    def test_bad_construction(self):
+        with pytest.raises(ParameterError):
+            DataSpace(0, 8)
+        with pytest.raises(ParameterError):
+            DataSpace(2, 0)
+
+    def test_max_distance_squared(self):
+        assert DataSpace(2, 8).max_distance_squared() == 2 * 49
+        assert DataSpace(3, 4).max_distance_squared() == 3 * 9
+
+    def test_validate_circle(self):
+        space = DataSpace(2, 8)
+        space.validate_circle(Circle.from_radius((3, 3), 2))
+        with pytest.raises(ParameterError):
+            space.validate_circle(Circle.from_radius((9, 3), 2))
+        with pytest.raises(ParameterError):
+            space.validate_circle(Circle((3, 3), 99))  # beyond diameter
+        with pytest.raises(ParameterError):
+            space.validate_circle(Circle((3, 3, 3), 4))  # wrong dimension
+
+    def test_iter_points_count(self):
+        assert len(list(DataSpace(2, 3).iter_points())) == 9
+        assert len(list(DataSpace(3, 2).iter_points())) == 8
+
+    def test_boundary_value_bound(self):
+        space = DataSpace(2, 8)
+        assert space.boundary_value_bound() == 98
+        assert space.boundary_value_bound(200) == 200
+
+
+class TestLatticeEnumeration:
+    @given(
+        st.integers(0, 7),
+        st.integers(0, 7),
+        st.integers(0, 3),
+    )
+    def test_matches_brute_force(self, xc, yc, radius):
+        space = DataSpace(2, 8)
+        circle = Circle.from_radius((xc, yc), radius)
+        expected = sorted(
+            p for p in space.iter_points() if point_in_circle(p, circle)
+        )
+        assert sorted(space.lattice_points_in_circle(circle)) == expected
+
+    def test_three_dimensions(self):
+        space = DataSpace(3, 5)
+        circle = Circle.from_radius((2, 2, 2), 1)
+        pts = space.lattice_points_in_circle(circle)
+        assert len(pts) == 7  # center + 6 axis neighbours

@@ -1,0 +1,151 @@
+"""Tests for interval/rectangle predicate encryption (repro.core.interval)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import DataSpace
+from repro.core.interval import (
+    IntervalScheme,
+    RectangleScheme,
+    interval_inner_product_bound,
+)
+from repro.core.provision import provision_group
+from repro.errors import ParameterError, SchemeError
+
+T = 32
+MAX_WIDTH = 5
+
+
+@pytest.fixture(scope="module")
+def interval():
+    rng = random.Random(0x1D7)
+    group = provision_group(
+        interval_inner_product_bound(T, MAX_WIDTH), "fast", rng
+    )
+    scheme = IntervalScheme(T, MAX_WIDTH, group)
+    key = scheme.gen_key(rng)
+    return scheme, key
+
+
+class TestIntervalCorrectness:
+    def test_exhaustive_small_interval(self, interval):
+        scheme, key = interval
+        rng = random.Random(1)
+        token = scheme.gen_token(key, 10, 13, rng)
+        for value in range(T):
+            got = scheme.matches(token, scheme.encrypt(key, value, rng))
+            assert got == (10 <= value <= 13), value
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        lo=st.integers(0, T - 1),
+        width=st.integers(1, MAX_WIDTH),
+        value=st.integers(0, T - 1),
+    )
+    def test_matches_plaintext_predicate(self, interval, lo, width, value):
+        scheme, key = interval
+        hi = min(lo + width - 1, T - 1)
+        rng = random.Random(hash((lo, width, value)) & 0xFFFF)
+        token = scheme.gen_token(key, lo, hi, rng)
+        ciphertext = scheme.encrypt(key, value, rng)
+        assert scheme.matches(token, ciphertext) == (lo <= value <= hi)
+
+    def test_single_point_interval(self, interval):
+        scheme, key = interval
+        rng = random.Random(2)
+        token = scheme.gen_token(key, 7, 7, rng)
+        assert scheme.matches(token, scheme.encrypt(key, 7, rng))
+        assert not scheme.matches(token, scheme.encrypt(key, 8, rng))
+
+    def test_narrow_and_wide_tokens_same_alpha(self, interval):
+        # Width hiding: the padded token has the same shape regardless of
+        # actual width.
+        scheme, key = interval
+        rng = random.Random(3)
+        narrow = scheme.gen_token(key, 5, 5, rng)
+        wide = scheme.gen_token(key, 5, 9, rng)
+        assert narrow.ssw.n == wide.ssw.n == MAX_WIDTH + 1
+
+
+class TestIntervalValidation:
+    def test_width_cap(self, interval):
+        scheme, key = interval
+        with pytest.raises(SchemeError):
+            scheme.gen_token(key, 0, MAX_WIDTH, random.Random(1))
+
+    def test_bad_bounds(self, interval):
+        scheme, key = interval
+        rng = random.Random(1)
+        with pytest.raises(ParameterError):
+            scheme.gen_token(key, 5, 3, rng)
+        with pytest.raises(ParameterError):
+            scheme.gen_token(key, -1, 2, rng)
+        with pytest.raises(ParameterError):
+            scheme.encrypt(key, T, rng)
+
+    def test_undersized_group(self):
+        rng = random.Random(4)
+        tiny = provision_group(100, "fast", rng, min_payload_bits=8)
+        with pytest.raises(SchemeError):
+            IntervalScheme(1 << 20, 6, tiny)
+
+    def test_bad_construction(self):
+        rng = random.Random(5)
+        group = provision_group(10**6, "fast", rng)
+        with pytest.raises(ParameterError):
+            IntervalScheme(0, 2, group)
+        with pytest.raises(ParameterError):
+            IntervalScheme(8, 0, group)
+
+
+@pytest.fixture(scope="module")
+def rectangle():
+    rng = random.Random(0x1D8)
+    space = DataSpace(2, T)
+    group = provision_group(
+        interval_inner_product_bound(T, MAX_WIDTH), "fast", rng
+    )
+    scheme = RectangleScheme(space, MAX_WIDTH, group)
+    keys = scheme.gen_key(rng)
+    return scheme, keys
+
+
+class TestRectangle:
+    def test_exhaustive_box(self, rectangle):
+        scheme, keys = rectangle
+        rng = random.Random(6)
+        tokens = scheme.gen_token(keys, (10, 4), (13, 8), rng)
+        for x in range(8, 16):
+            for y in range(2, 11):
+                cts = scheme.encrypt(keys, (x, y), rng)
+                got = scheme.matches(tokens, cts)
+                assert got == (10 <= x <= 13 and 4 <= y <= 8), (x, y)
+
+    def test_per_dimension_leakage_is_real(self, rectangle):
+        # The structured leakage: server learns WHICH dimension failed.
+        scheme, keys = rectangle
+        rng = random.Random(7)
+        tokens = scheme.gen_token(keys, (10, 10), (12, 12), rng)
+        cts = scheme.encrypt(keys, (11, 20), rng)  # x inside, y outside
+        matched, per_dim = scheme.matches_with_leakage(tokens, cts)
+        assert not matched
+        assert per_dim == [True, False]
+
+    def test_box_bound_arity(self, rectangle):
+        scheme, keys = rectangle
+        with pytest.raises(ParameterError):
+            scheme.gen_token(keys, (1,), (2, 3), random.Random(1))
+
+    def test_exact_rectangle_no_false_positives(self, rectangle):
+        # Contrast with the OPE baseline: corners outside the box never
+        # match, and no order information leaks — only Booleans.
+        scheme, keys = rectangle
+        rng = random.Random(8)
+        tokens = scheme.gen_token(keys, (5, 5), (9, 9), rng)
+        assert not scheme.matches(tokens, scheme.encrypt(keys, (10, 5), rng))
+        assert not scheme.matches(tokens, scheme.encrypt(keys, (4, 9), rng))

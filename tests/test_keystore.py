@@ -1,0 +1,132 @@
+"""Tests for key serialization (repro.crypto.keystore)."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.crse1 import CRSE1Scheme
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace
+from repro.core.provision import group_for_crse1, group_for_crse2, provision_group
+from repro.crypto.keystore import (
+    load_crse1_key,
+    load_crse2_key,
+    save_crse1_key,
+    save_crse2_key,
+)
+from repro.errors import SerializationError
+
+
+class TestCRSE2RoundTrip:
+    def test_fast_backend(self):
+        rng = random.Random(0x5E1)
+        space = DataSpace(2, 32)
+        scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+        key = scheme.gen_key(rng)
+        blob = save_crse2_key(scheme, key)
+        scheme2, key2 = load_crse2_key(blob)
+
+        # Tokens from the restored key must match ciphertexts from the
+        # original key, and vice versa.
+        q = Circle.from_radius((10, 10), 2)
+        ct_original = scheme.encrypt(key, (10, 11), rng)
+        token_restored = scheme2.gen_token(key2, q, rng)
+        assert scheme2.matches(token_restored, ct_original)
+
+        ct_restored = scheme2.encrypt(key2, (10, 11), rng)
+        token_original = scheme.gen_token(key, q, rng)
+        assert scheme.matches(token_original, ct_restored)
+
+    def test_pairing_backend(self):
+        rng = random.Random(0x5E2)
+        space = DataSpace(2, 8)
+        group = provision_group(
+            space.boundary_value_bound(), "pairing", rng,
+            noise_bits=16, min_payload_bits=33,
+        )
+        scheme = CRSE2Scheme(space, group)
+        key = scheme.gen_key(rng)
+        scheme2, key2 = load_crse2_key(save_crse2_key(scheme, key))
+        q = Circle.from_radius((3, 3), 1)
+        ct = scheme.encrypt(key, (3, 4), rng)
+        token = scheme2.gen_token(key2, q, rng)
+        assert scheme2.matches(token, ct)
+
+
+class TestCRSE1RoundTrip:
+    def test_plain(self):
+        rng = random.Random(0x5E3)
+        space = DataSpace(2, 8)
+        scheme = CRSE1Scheme(
+            space, group_for_crse1(space, 1, "fast", rng), r_squared=1
+        )
+        key = scheme.gen_key(rng)
+        scheme2, key2 = load_crse1_key(save_crse1_key(scheme, key))
+        assert scheme2.m == scheme.m and scheme2.alpha == scheme.alpha
+        token = scheme2.gen_token(key2, Circle.from_radius((4, 4), 1), rng)
+        assert scheme2.matches(token, scheme.encrypt(key, (4, 5), rng))
+
+    def test_with_radius_hiding(self):
+        rng = random.Random(0x5E4)
+        space = DataSpace(2, 8)
+        scheme = CRSE1Scheme(
+            space,
+            group_for_crse1(space, 1, "fast", rng, hide_radius_to=3),
+            r_squared=1,
+            hide_radius_to=3,
+        )
+        key = scheme.gen_key(rng)
+        scheme2, key2 = load_crse1_key(save_crse1_key(scheme, key))
+        assert scheme2.m == 3
+        token = scheme2.gen_token(key2, Circle.from_radius((4, 4), 1), rng)
+        assert scheme2.matches(token, scheme.encrypt(key, (4, 4), rng))
+
+    def test_irrational_radius_key(self):
+        # r² = 3: the query radius itself is not among the covering radii.
+        rng = random.Random(0x5E5)
+        space = DataSpace(2, 8)
+        scheme = CRSE1Scheme(
+            space, group_for_crse1(space, 3, "fast", rng), r_squared=3
+        )
+        key = scheme.gen_key(rng)
+        scheme2, key2 = load_crse1_key(save_crse1_key(scheme, key))
+        assert key2.radii_squared == key.radii_squared
+        token = scheme2.gen_token(key2, Circle((4, 4), 3), rng)
+        assert scheme2.matches(token, scheme.encrypt(key, (4, 5), rng))
+
+
+class TestValidation:
+    def _crse2_blob(self):
+        rng = random.Random(0x5E6)
+        space = DataSpace(2, 16)
+        scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+        key = scheme.gen_key(rng)
+        return save_crse2_key(scheme, key)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SerializationError):
+            load_crse2_key(b"\x00\x01\x02")
+
+    def test_wrong_scheme_rejected(self):
+        with pytest.raises(SerializationError):
+            load_crse1_key(self._crse2_blob())
+
+    def test_wrong_version_rejected(self):
+        payload = json.loads(self._crse2_blob())
+        payload["version"] = 99
+        with pytest.raises(SerializationError):
+            load_crse2_key(json.dumps(payload).encode())
+
+    def test_tampered_element_rejected(self):
+        payload = json.loads(self._crse2_blob())
+        payload["ssw"]["h1"][0] = "ff" * 200  # wrong length for the group
+        with pytest.raises(SerializationError):
+            load_crse2_key(json.dumps(payload).encode())
+
+    def test_blob_is_valid_json(self):
+        payload = json.loads(self._crse2_blob())
+        assert payload["scheme"] == "crse2"
+        assert payload["group"]["backend"] == "fast"

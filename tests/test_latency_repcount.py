@@ -1,0 +1,84 @@
+"""Tests for the query-latency estimator and Jacobi's r₂(n) formula."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cloud.costmodel import PAPER_EC2_MODEL, estimate_query_latency
+from repro.core.concircles import num_concentric_circles
+from repro.math.sumsquares import (
+    lattice_points_on_circle,
+    representation_count,
+)
+
+
+class TestRepresentationCount:
+    @given(st.integers(0, 2000))
+    def test_matches_enumeration(self, n):
+        assert representation_count(n) == len(
+            lattice_points_on_circle((0, 0), n)
+        )
+
+    def test_classical_values(self):
+        assert representation_count(0) == 1
+        assert representation_count(1) == 4
+        assert representation_count(2) == 4
+        assert representation_count(3) == 0
+        assert representation_count(5) == 8
+        assert representation_count(25) == 12
+
+    def test_negative(self):
+        assert representation_count(-4) == 0
+
+    def test_multiplicative_on_coprime_sums(self):
+        # r₂ is not multiplicative in general, but r₂(n)/4 is for coprime
+        # arguments — the classical identity behind the divisor formula.
+        for a, b in ((5, 13), (2, 25), (9, 10)):
+            lhs = representation_count(a * b) // 4
+            rhs = (representation_count(a) // 4) * (
+                representation_count(b) // 4
+            )
+            assert lhs == rhs, (a, b)
+
+
+class TestLatencyEstimate:
+    def test_reproduces_fig16_anchor(self):
+        # n = 1000 matching records at R = 10 (avg case) ≈ the paper's
+        # 98.65 s total search.
+        m = num_concentric_circles(100)
+        estimate = estimate_query_latency(
+            m=m, n_records=1000, model=PAPER_EC2_MODEL, expected_matches=1000
+        )
+        assert estimate.server_search_ms / 1000 == pytest.approx(97.2, rel=0.02)
+
+    def test_token_phase_matches_fig11(self):
+        m = num_concentric_circles(100)
+        estimate = estimate_query_latency(m=m, n_records=1, model=PAPER_EC2_MODEL)
+        assert estimate.token_generation_ms == pytest.approx(306, rel=0.1)
+
+    def test_network_terms(self):
+        m = 44
+        estimate = estimate_query_latency(
+            m=m,
+            n_records=10,
+            model=PAPER_EC2_MODEL,
+            expected_matches=2,
+            rtt_ms=20.0,
+            bandwidth_mbps=100.0,
+        )
+        # Token ≈ 28.16 KB → 20 ms RTT + ~2.25 ms on a 100 Mbps link.
+        assert estimate.token_transfer_ms == pytest.approx(22.25, rel=0.05)
+        assert estimate.response_transfer_ms >= 20.0
+        assert estimate.total_ms > estimate.server_search_ms
+
+    def test_misses_cost_more_than_hits(self):
+        m = 44
+        all_hits = estimate_query_latency(
+            m=m, n_records=100, model=PAPER_EC2_MODEL, expected_matches=100
+        )
+        all_misses = estimate_query_latency(
+            m=m, n_records=100, model=PAPER_EC2_MODEL, expected_matches=0
+        )
+        assert all_misses.server_search_ms > all_hits.server_search_ms

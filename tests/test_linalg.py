@@ -1,0 +1,115 @@
+"""Tests for the exact rational linear algebra substrate."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.math.linalg import (
+    identity_matrix,
+    mat_inverse,
+    mat_mul,
+    mat_vec,
+    random_invertible_matrix,
+    solve_linear_system,
+)
+
+
+def _frac_matrix(rows):
+    return [[Fraction(v) for v in row] for row in rows]
+
+
+small_matrices = st.integers(1, 4).flatmap(
+    lambda n: st.lists(
+        st.lists(st.integers(-9, 9), min_size=n, max_size=n),
+        min_size=n,
+        max_size=n,
+    )
+)
+
+
+class TestInverse:
+    def test_known_inverse(self):
+        m = _frac_matrix([[2, 0], [0, 4]])
+        inv = mat_inverse(m)
+        assert inv == _frac_matrix([[Fraction(1, 2), 0], [0, Fraction(1, 4)]])
+
+    @settings(max_examples=60)
+    @given(small_matrices)
+    def test_inverse_property(self, rows):
+        m = _frac_matrix(rows)
+        n = len(m)
+        try:
+            inv = mat_inverse(m)
+        except ParameterError:
+            return  # singular — acceptable draw
+        assert mat_mul(m, inv) == identity_matrix(n)
+        assert mat_mul(inv, m) == identity_matrix(n)
+
+    def test_singular_rejected(self):
+        with pytest.raises(ParameterError):
+            mat_inverse(_frac_matrix([[1, 2], [2, 4]]))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ParameterError):
+            mat_inverse(_frac_matrix([[1, 2, 3], [4, 5, 6]]))
+
+    def test_needs_row_swap(self):
+        # Zero pivot forces partial pivoting.
+        m = _frac_matrix([[0, 1], [1, 0]])
+        assert mat_inverse(m) == m
+
+
+class TestProducts:
+    def test_mat_vec(self):
+        m = _frac_matrix([[1, 2], [3, 4]])
+        assert mat_vec(m, [Fraction(5), Fraction(6)]) == [
+            Fraction(17),
+            Fraction(39),
+        ]
+
+    def test_dimension_checks(self):
+        m = _frac_matrix([[1, 2]])
+        with pytest.raises(ParameterError):
+            mat_vec(m, [Fraction(1)])
+        with pytest.raises(ParameterError):
+            mat_mul(m, m)
+        with pytest.raises(ParameterError):
+            mat_mul([], [])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ParameterError):
+            mat_vec([[Fraction(1)], [Fraction(1), Fraction(2)]], [Fraction(1)])
+
+
+class TestSolve:
+    @settings(max_examples=40)
+    @given(small_matrices, st.data())
+    def test_solution_satisfies_system(self, rows, data):
+        m = _frac_matrix(rows)
+        n = len(m)
+        rhs = [
+            Fraction(data.draw(st.integers(-9, 9))) for _ in range(n)
+        ]
+        try:
+            x = solve_linear_system(m, rhs)
+        except ParameterError:
+            return
+        assert mat_vec(m, x) == rhs
+
+
+class TestRandomInvertible:
+    def test_always_invertible(self):
+        rng = random.Random(1)
+        for n in (1, 2, 3, 5):
+            m = random_invertible_matrix(n, rng)
+            assert mat_mul(m, mat_inverse(m)) == identity_matrix(n)
+
+    def test_bad_size(self):
+        with pytest.raises(ParameterError):
+            random_invertible_matrix(0, random.Random(1))

@@ -1,0 +1,92 @@
+"""Unit tests for protocol message sizes and the CSV report exports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import Series, TextTable, series_to_csv
+from repro.cloud.messages import (
+    DeleteRequest,
+    FetchRequest,
+    FetchResponse,
+    QueryRequest,
+    SearchRequest,
+    SearchResponse,
+    TokenResponse,
+    UploadDataset,
+    UploadRecord,
+)
+from repro.core.geometry import Circle
+
+
+class TestMessageSizes:
+    def test_upload_record_counts_both_parts(self):
+        record = UploadRecord(identifier=1, payload=b"x" * 100, content=b"y" * 40)
+        assert record.size_bytes == 140
+
+    def test_upload_record_without_content(self):
+        assert UploadRecord(identifier=1, payload=b"x" * 7).size_bytes == 7
+
+    def test_upload_dataset_sums_records(self):
+        dataset = UploadDataset(
+            records=(
+                UploadRecord(0, b"a" * 10),
+                UploadRecord(1, b"b" * 20, b"c" * 5),
+            )
+        )
+        assert dataset.size_bytes == 35
+
+    def test_token_and_search_sizes_equal_payload(self):
+        assert TokenResponse(payload=b"t" * 64).size_bytes == 64
+        assert SearchRequest(payload=b"t" * 64).size_bytes == 64
+
+    def test_search_response_eight_bytes_per_id(self):
+        assert SearchResponse(identifiers=(1, 2, 3)).size_bytes == 24
+        assert SearchResponse().size_bytes == 0
+
+    def test_fetch_sizes(self):
+        assert FetchRequest(identifiers=(1, 2)).size_bytes == 16
+        response = FetchResponse(contents=((1, b"x" * 10), (2, b"y" * 20)))
+        assert response.size_bytes == 8 + 10 + 8 + 20
+
+    def test_delete_request_size(self):
+        assert DeleteRequest(identifiers=(5, 6, 7)).size_bytes == 24
+
+    def test_query_request_carries_circle(self):
+        request = QueryRequest(circle=Circle.from_radius((1, 2), 3))
+        assert request.circle.r_squared == 9
+        assert request.hide_radius_to is None
+
+
+class TestCsvExports:
+    def test_table_to_csv(self):
+        table = TextTable("t", ["R", "m"])
+        table.add_row(1, 2)
+        table.add_row(10, 44)
+        assert table.to_csv() == "R,m\n1,2\n10,44"
+
+    def test_series_to_csv_multi(self):
+        a = Series("measured")
+        b = Series("paper")
+        for x in (1, 2):
+            a.add(x, x * 10)
+            b.add(x, x * 20)
+        csv = series_to_csv([a, b])
+        assert csv.splitlines()[0] == "x,measured,paper"
+        assert csv.splitlines()[2] == "2,20,40"
+
+    def test_series_to_csv_empty(self):
+        assert series_to_csv([]) == ""
+
+    def test_csv_float_formatting_consistent_with_table(self):
+        table = TextTable("t", ["v"])
+        table.add_row(1234567.0)
+        assert "1.23e+06" in table.to_csv()
+
+    def test_ragged_series_padded_with_nan(self):
+        a = Series("a")
+        b = Series("b")
+        a.add(1, 10)
+        a.add(2, 20)
+        b.add(1, 5)
+        assert "nan" in series_to_csv([a, b])

@@ -1,0 +1,112 @@
+"""Tests for the OPE cipher and the rectangular-range baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ope import OPECipher
+from repro.baselines.rect_range import OPERectangularScheme
+from repro.core.geometry import Circle, DataSpace, point_in_circle
+from repro.errors import CryptoError, ParameterError
+
+
+class TestOPECipher:
+    def test_order_preserved(self):
+        cipher = OPECipher(key=7, domain_size=500)
+        previous = -1
+        for x in range(500):
+            ct = cipher.encrypt(x)
+            assert ct > previous
+            previous = ct
+
+    def test_roundtrip(self):
+        cipher = OPECipher(key=3, domain_size=200)
+        for x in (0, 1, 57, 199):
+            assert cipher.decrypt(cipher.encrypt(x)) == x
+
+    def test_deterministic_per_key(self):
+        a = OPECipher(key=9, domain_size=100)
+        b = OPECipher(key=9, domain_size=100)
+        c = OPECipher(key=10, domain_size=100)
+        assert all(a.encrypt(x) == b.encrypt(x) for x in range(100))
+        assert any(a.encrypt(x) != c.encrypt(x) for x in range(100))
+
+    def test_domain_validation(self):
+        cipher = OPECipher(key=1, domain_size=10)
+        with pytest.raises(CryptoError):
+            cipher.encrypt(10)
+        with pytest.raises(CryptoError):
+            cipher.encrypt(-1)
+        with pytest.raises(ParameterError):
+            OPECipher(key=1, domain_size=0)
+
+    def test_invalid_ciphertext_rejected(self):
+        cipher = OPECipher(key=1, domain_size=10)
+        with pytest.raises(CryptoError):
+            cipher.decrypt(cipher.encrypt(5) + 1)
+
+    @given(st.integers(0, 99), st.integers(0, 99))
+    def test_comparison_transfer(self, a, b):
+        cipher = OPECipher(key=4, domain_size=100)
+        assert (a < b) == (cipher.encrypt(a) < cipher.encrypt(b))
+
+
+class TestRectangularBaseline:
+    @pytest.fixture(scope="class")
+    def space(self):
+        return DataSpace(2, 64)
+
+    def test_no_false_negatives(self, space):
+        # The MBR covers the circle: every true match is a candidate.
+        rng = random.Random(71)
+        points = [(rng.randrange(64), rng.randrange(64)) for _ in range(150)]
+        scheme = OPERectangularScheme(space, key=1)
+        q = Circle.from_radius((32, 32), 9)
+        true_pos, _ = scheme.false_positives(points, q)
+        expected = [i for i, p in enumerate(points) if point_in_circle(p, q)]
+        assert sorted(true_pos) == expected
+
+    def test_false_positives_exist_and_are_corners(self, space):
+        # A dense grid guarantees corner points: in the box, not the circle.
+        points = [(x, y) for x in range(20, 45) for y in range(20, 45)]
+        scheme = OPERectangularScheme(space, key=2)
+        q = Circle.from_radius((32, 32), 10)
+        true_pos, false_pos = scheme.false_positives(points, q)
+        assert false_pos  # the paper's "many false positives"
+        for identifier in false_pos:
+            p = points[identifier]
+            assert not point_in_circle(p, q)
+            assert abs(p[0] - 32) <= 10 and abs(p[1] - 32) <= 10
+
+    def test_false_positive_fraction_near_theory(self, space):
+        # Uniform-density corners: 1 - π/4 ≈ 21.5% of the box area.
+        points = [(x, y) for x in range(64) for y in range(64)]
+        scheme = OPERectangularScheme(space, key=3)
+        q = Circle.from_radius((32, 32), 20)
+        true_pos, false_pos = scheme.false_positives(points, q)
+        fraction = len(false_pos) / (len(false_pos) + len(true_pos))
+        assert 0.15 < fraction < 0.27
+
+    def test_irrational_radius_mbr_ceils(self, space):
+        # r² = 2 → radius ⌈√2⌉ = 2 on each side.
+        scheme = OPERectangularScheme(space, key=4)
+        token = scheme.gen_token(Circle((32, 32), 2))
+        lows = [OPECipher(key=4000 + d, domain_size=64).decrypt(c) for d, c in enumerate(token.lows)]
+        assert lows == [30, 30]
+
+    def test_clamping_at_space_edges(self, space):
+        scheme = OPERectangularScheme(space, key=5)
+        token = scheme.gen_token(Circle.from_radius((1, 62), 5))
+        records = scheme.encrypt_dataset([(0, 63), (10, 63)])
+        hits = scheme.server_search(token, records)
+        assert hits == [0]
+
+    def test_empty_token_rejected(self):
+        from repro.baselines.rect_range import RectToken
+
+        with pytest.raises(ParameterError):
+            OPERectangularScheme.server_search(RectToken((), ()), [])

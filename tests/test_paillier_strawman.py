@@ -1,0 +1,154 @@
+"""Tests for Paillier AHE and the two-server compute-then-compare strawman."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.strawman import StrawmanSystem
+from repro.core.geometry import Circle, DataSpace, point_in_circle
+from repro.crypto.paillier import paillier_keygen
+from repro.errors import CryptoError, ParameterError
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return paillier_keygen(128, random.Random(0x9A1))
+
+
+class TestPaillier:
+    @settings(max_examples=25, deadline=None)
+    @given(m=st.integers(-10**9, 10**9))
+    def test_roundtrip(self, keys, m):
+        rng = random.Random(m & 0xFFFF)
+        assert keys.decrypt(keys.public.encrypt(m, rng)) == m
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=st.integers(-10**6, 10**6), b=st.integers(-10**6, 10**6))
+    def test_additive_homomorphism(self, keys, a, b):
+        rng = random.Random((a * 31 + b) & 0xFFFF)
+        ea = keys.public.encrypt(a, rng)
+        eb = keys.public.encrypt(b, rng)
+        assert keys.decrypt(keys.public.add(ea, eb)) == a + b
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=st.integers(-10**6, 10**6), k=st.integers(-1000, 1000))
+    def test_scalar_multiplication(self, keys, a, k):
+        rng = random.Random((a ^ k) & 0xFFFF)
+        ea = keys.public.encrypt(a, rng)
+        assert keys.decrypt(keys.public.scalar_mul(ea, k)) == a * k
+
+    def test_probabilistic_encryption(self, keys):
+        rng = random.Random(7)
+        assert keys.public.encrypt(5, rng) != keys.public.encrypt(5, rng)
+
+    def test_rerandomize_preserves_plaintext(self, keys):
+        rng = random.Random(8)
+        ct = keys.public.encrypt(42, rng)
+        ct2 = keys.public.rerandomize(ct, rng)
+        assert ct2 != ct and keys.decrypt(ct2) == 42
+
+    def test_message_bounds(self, keys):
+        rng = random.Random(9)
+        with pytest.raises(CryptoError):
+            keys.public.encrypt(keys.public.n, rng)
+
+    def test_ciphertext_bounds(self, keys):
+        with pytest.raises(CryptoError):
+            keys.decrypt(0)
+
+    def test_keygen_validation(self):
+        with pytest.raises(CryptoError):
+            paillier_keygen(8, random.Random(1))
+
+    def test_signed_decoding_extremes(self, keys):
+        rng = random.Random(10)
+        big = keys.public.n // 2 - 1
+        assert keys.decrypt(keys.public.encrypt(big, rng)) == big
+        assert keys.decrypt(keys.public.encrypt(-big, rng)) == -big
+
+
+@pytest.fixture(scope="module")
+def strawman():
+    rng = random.Random(0x9A2)
+    space = DataSpace(2, 32)
+    system = StrawmanSystem(space, rng, modulus_bits=128)
+    points = [(rng.randrange(32), rng.randrange(32)) for _ in range(15)]
+    system.outsource(points)
+    return system, points
+
+
+class TestStrawmanCorrectness:
+    def test_matches_plaintext_predicate(self, strawman):
+        system, points = strawman
+        for center, radius in (((16, 16), 5), ((0, 0), 10), ((31, 31), 3)):
+            circle = Circle.from_radius(center, radius)
+            got = system.circular_search(circle)
+            want = [
+                i for i, p in enumerate(points) if point_in_circle(p, circle)
+            ]
+            assert got == want, (center, radius)
+
+    def test_boundary_point_included(self, strawman):
+        system, points = strawman
+        rng = random.Random(3)
+        space = DataSpace(2, 16)
+        fresh = StrawmanSystem(space, rng, modulus_bits=128)
+        fresh.outsource([(5, 5), (5, 7), (9, 9)])
+        # (5,7) is exactly on the boundary of radius-2 circle at (5,5).
+        got = fresh.circular_search(Circle.from_radius((5, 5), 2))
+        assert got == [0, 1]
+
+    def test_empty_result(self, strawman):
+        system, points = strawman
+        circle = Circle((16, 16), 0)
+        got = system.circular_search(circle)
+        want = [i for i, p in enumerate(points) if p == (16, 16)]
+        assert got == want
+
+
+class TestStrawmanCost:
+    """The quantitative version of the paper's Sec. III rejection."""
+
+    def test_interactions_scale_per_record(self, strawman):
+        system, points = strawman
+        system.stats.interactions = 0
+        system.stats.secure_multiplications = 0
+        system.circular_search(Circle.from_radius((16, 16), 4))
+        # w = 2 secure multiplications per record, each one interaction.
+        assert system.stats.secure_multiplications == 2 * len(points)
+        # Plus at least one comparison interaction per record.
+        assert system.stats.interactions >= 3 * len(points)
+
+    def test_crse_needs_no_per_record_interaction(self):
+        # The contrast: a CRSE-II query is a single client→server message
+        # regardless of n (asserted throughout the cloud tests); here we
+        # assert the strawman's cost is Ω(n).
+        rng = random.Random(0x9A3)
+        space = DataSpace(2, 16)
+        small = StrawmanSystem(space, rng, modulus_bits=128)
+        small.outsource([(1, 1)] * 3)
+        small.circular_search(Circle.from_radius((1, 1), 1))
+        per_record = small.stats.interactions / 3
+        assert per_record >= 3
+
+    def test_two_servers_required(self, strawman):
+        # Structural: S1 holds no key material; only S2 can decrypt.
+        system, _ = strawman
+        assert not hasattr(system, "_lam")
+        assert system.s2._secret.public == system.public
+
+
+class TestStrawmanValidation:
+    def test_modulus_too_small_for_space(self):
+        rng = random.Random(1)
+        with pytest.raises(ParameterError):
+            StrawmanSystem(DataSpace(2, 1 << 40), rng, modulus_bits=64)
+
+    def test_circle_validation(self, strawman):
+        system, _ = strawman
+        with pytest.raises(ParameterError):
+            system.circular_search(Circle.from_radius((99, 0), 1))

@@ -1,0 +1,147 @@
+"""Tests for the Tate pairing and the real group backend."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.groups.base import (
+    SUBGROUP_P,
+    SUBGROUP_Q,
+    SUBGROUP_R,
+    SUBGROUP_S,
+)
+from repro.crypto.groups.pairing import SupersingularPairingGroup
+from repro.crypto.groups.params import toy_params
+from repro.errors import CryptoError, SerializationError
+
+
+@pytest.fixture(scope="module")
+def group() -> SupersingularPairingGroup:
+    return SupersingularPairingGroup(toy_params())
+
+
+@pytest.fixture(scope="module")
+def rng_mod() -> random.Random:
+    return random.Random(0xABCD)
+
+
+class TestBilinearity:
+    def test_bilinear_in_both_arguments(self, group, rng_mod):
+        g = group.generator()
+        base = group.pair(g, g)
+        for _ in range(3):
+            a = rng_mod.randrange(1, group.order)
+            b = rng_mod.randrange(1, group.order)
+            assert group.pair(g**a, g**b) == base ** (a * b)
+
+    def test_symmetry(self, group, rng_mod):
+        g = group.generator()
+        a = g ** rng_mod.randrange(1, group.order)
+        b = g ** rng_mod.randrange(1, group.order)
+        assert group.pair(a, b) == group.pair(b, a)
+
+    def test_multiplicativity(self, group, rng_mod):
+        g = group.generator()
+        a = g ** rng_mod.randrange(1, group.order)
+        b = g ** rng_mod.randrange(1, group.order)
+        c = g ** rng_mod.randrange(1, group.order)
+        assert group.pair(a * b, c) == group.pair(a, c) * group.pair(b, c)
+
+    def test_identity_pairs_to_one(self, group):
+        g = group.generator()
+        assert group.pair(group.identity(), g).is_identity()
+        assert group.pair(g, group.identity()).is_identity()
+
+
+class TestNonDegeneracy:
+    def test_generator_pairing_has_full_order(self, group):
+        e = group.pair(group.generator(), group.generator())
+        assert not e.is_identity()
+        for p in group.subgroup_primes:
+            assert not (e ** (group.order // p)).is_identity()
+
+    def test_pairing_order_divides_n(self, group):
+        e = group.pair(group.generator(), group.generator())
+        assert (e**group.order).is_identity()
+
+
+class TestSubgroups:
+    def test_orthogonality(self, group):
+        for i in range(4):
+            for j in range(4):
+                e = group.pair(
+                    group.subgroup_generator(i), group.subgroup_generator(j)
+                )
+                assert e.is_identity() == (i != j), (i, j)
+
+    def test_subgroup_generator_order(self, group):
+        for index, prime in enumerate(group.subgroup_primes):
+            g_i = group.subgroup_generator(index)
+            assert (g_i**prime).is_identity()
+            assert not g_i.is_identity()
+
+    def test_random_subgroup_element_stays_in_subgroup(self, group, rng_mod):
+        for index, prime in enumerate(group.subgroup_primes):
+            element = group.random_subgroup_element(index, rng_mod)
+            assert (element**prime).is_identity()
+
+    def test_bad_subgroup_index(self, group):
+        with pytest.raises(CryptoError):
+            group.subgroup_generator(4)
+
+
+class TestElements:
+    def test_inverse_and_identity(self, group, rng_mod):
+        g = group.generator()
+        a = g ** rng_mod.randrange(1, group.order)
+        assert (a * ~a).is_identity()
+        assert (a ** group.order).is_identity()
+
+    def test_cross_group_mix_rejected(self, group):
+        other = SupersingularPairingGroup(toy_params(seed=2))
+        with pytest.raises(CryptoError):
+            _ = group.generator() * other.generator()
+        with pytest.raises(CryptoError):
+            group.pair(group.generator(), other.generator())
+
+    def test_serialize_roundtrip(self, group, rng_mod):
+        g = group.generator()
+        for _ in range(4):
+            element = g ** rng_mod.randrange(group.order)
+            data = group.serialize_element(element)
+            assert len(data) == group.element_byte_length
+            assert group.deserialize_element(data) == element
+
+    def test_serialize_identity(self, group):
+        data = group.serialize_element(group.identity())
+        assert group.deserialize_element(data).is_identity()
+
+    def test_deserialize_garbage_rejected(self, group):
+        with pytest.raises(SerializationError):
+            group.deserialize_element(b"\xff" * group.element_byte_length)
+
+
+class TestTargetElements:
+    def test_pow_and_inverse(self, group, rng_mod):
+        e = group.pair(group.generator(), group.generator())
+        k = rng_mod.randrange(1, group.order)
+        assert (e**k) * (e**-k) == group.gt_identity()
+
+    def test_gt_identity(self, group):
+        one = group.gt_identity()
+        assert one.is_identity()
+        e = group.pair(group.generator(), group.generator())
+        assert e * one == e
+
+
+class TestInteroperability:
+    def test_same_params_same_generator(self):
+        # Two groups from equal params must agree on elements.
+        g1 = SupersingularPairingGroup(toy_params())
+        g2 = SupersingularPairingGroup(toy_params())
+        assert g1.generator().point == g2.generator().point
+
+    def test_roles_match_constants(self, group):
+        assert (SUBGROUP_P, SUBGROUP_Q, SUBGROUP_R, SUBGROUP_S) == (0, 1, 2, 3)

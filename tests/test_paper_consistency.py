@@ -1,0 +1,152 @@
+"""Cross-checks tying the implementation to the paper's reported numbers.
+
+These tests assert the *structural* facts that make our benchmarks
+comparable to the paper's Tables I-III and Figures 9-16: the concentric
+circle counts, the vector lengths, the element counts behind every size the
+paper reports, and the operation counts behind every time.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.opcount import (
+    crse1_search_record_ops,
+    crse2_search_record_ops,
+)
+from repro.cloud.costmodel import PAPER_EC2_MODEL
+from repro.core.concircles import num_concentric_circles
+from repro.core.crse1 import CRSE1Scheme
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace
+from repro.core.provision import group_for_crse1, group_for_crse2
+from repro.core.split import optimized_alpha
+from repro.crypto.serialize import ElementSizeModel
+
+
+class TestFig9:
+    """m vs R, bounded by R²."""
+
+    def test_m_grows_and_stays_under_square(self):
+        previous = 0
+        for radius in range(1, 51):
+            m = num_concentric_circles(radius * radius)
+            assert previous < m <= radius * radius + 1
+            previous = m
+
+    def test_known_anchors(self):
+        assert num_concentric_circles(1) == 2
+        assert num_concentric_circles(100) == 44
+        # R = 50: the sum-of-two-squares density (Landau-Ramanujan) puts m
+        # well below R² but in the high hundreds.
+        m50 = num_concentric_circles(2500)
+        assert 700 < m50 < 1100
+
+
+class TestTableI:
+    """CRSE-I growth: m = 2, 4, 7 and the α blow-up."""
+
+    def test_m_and_alpha(self):
+        for radius, m in ((1, 2), (2, 4), (3, 7)):
+            assert num_concentric_circles(radius * radius) == m
+            assert optimized_alpha(2, m) == {2: 10, 4: 35, 7: 120}[m]
+
+    def test_search_time_ratio_matches_paper_order(self):
+        # Paper Table I: Search grows 0.009 → 0.050 → 1.96 s.  The driver is
+        # α: 2α+2 pairings per record.
+        times = [
+            PAPER_EC2_MODEL.time_s(
+                crse1_search_record_ops(optimized_alpha(2, m))
+            )
+            for m in (2, 4, 7)
+        ]
+        assert times[0] < times[1] < times[2]
+        assert times[2] / times[0] > 10
+
+
+class TestTableII:
+    """CRSE-I ciphertext/token sizes: equal, and exploding with R."""
+
+    def test_ciphertext_equals_token_size(self):
+        model = ElementSizeModel.paper()
+        for m in (2, 4, 7):
+            alpha = optimized_alpha(2, m)
+            assert model.ssw_object_bytes(alpha) == model.ssw_object_bytes(alpha)
+
+    def test_growth_pattern(self):
+        model = ElementSizeModel.paper()
+        sizes = [model.ssw_object_bytes(optimized_alpha(2, m)) for m in (2, 4, 7)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+
+class TestFig13Fig14:
+    """CRSE-II sizes: flat ciphertext, quadratic token."""
+
+    def test_ciphertext_is_640_bytes_at_paper_field(self):
+        model = ElementSizeModel.paper()
+        assert model.crse2_ciphertext_bytes(w=2) == 640
+
+    def test_token_size_at_r10(self):
+        model = ElementSizeModel.paper()
+        m = num_concentric_circles(100)
+        assert model.crse2_token_bytes(m) == 28_160  # 28.16 KB (Fig. 14)
+
+    def test_ciphertext_independent_of_radius(self, rng):
+        space = DataSpace(2, 64)
+        scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+        key = scheme.gen_key(rng)
+        # Ciphertext structure never references any radius.
+        ct = scheme.encrypt(key, (10, 10), rng)
+        assert ct.alpha == 4
+
+
+class TestFig10ToFig12:
+    """CRSE-II times: flat encryption, quadratic token/search."""
+
+    def test_paper_scale_values(self):
+        from repro.analysis.opcount import crse2_encrypt_ops, crse2_gen_token_ops
+
+        enc_ms = PAPER_EC2_MODEL.time_ms(crse2_encrypt_ops(2))
+        assert enc_ms == pytest.approx(5.61, rel=0.2)
+        token_ms = PAPER_EC2_MODEL.time_ms(crse2_gen_token_ops(44, 2))
+        assert token_ms == pytest.approx(329.47, rel=0.2)
+        search_ms = PAPER_EC2_MODEL.time_ms(crse2_search_record_ops(22, 2))
+        assert search_ms == pytest.approx(98.65, rel=0.1)
+
+    def test_fig16_anchor_values(self):
+        # Fig. 16 at n = 1000: R = 10 → 98.65 s, R = 1 → 4.44 s total.
+        ms_r10 = 1000 * PAPER_EC2_MODEL.time_ms(crse2_search_record_ops(22, 2))
+        assert ms_r10 / 1000 == pytest.approx(98.65, rel=0.1)
+        # R = 1: m = 2; average evaluated ≈ 1 for hits, 2 for misses; the
+        # paper's 4.44 s/1000 records ≈ 4.4 ms ≈ one 10-pairing sub-token.
+        ms_r1 = 1000 * PAPER_EC2_MODEL.time_ms(crse2_search_record_ops(1, 2))
+        assert ms_r1 / 1000 == pytest.approx(4.44, rel=0.1)
+
+
+class TestSchemeComparison:
+    """CRSE-II is 'much efficient' vs CRSE-I (paper's O(α^m) vs O(αm))."""
+
+    def test_crse2_search_cheaper_than_crse1_at_same_radius(self):
+        for radius in (1, 2, 3):
+            m = num_concentric_circles(radius * radius)
+            crse1_ops = crse1_search_record_ops(optimized_alpha(2, m))
+            crse2_ops = crse2_search_record_ops(m, 2)  # even worst case
+            assert crse2_ops.pairings <= crse1_ops.pairings
+
+    def test_functional_equivalence_on_fast_backend(self):
+        rng = random.Random(91)
+        space = DataSpace(2, 8)
+        q = Circle.from_radius((4, 4), 2)
+        s1 = CRSE1Scheme(
+            space, group_for_crse1(space, 4, "fast", rng), r_squared=4
+        )
+        s2 = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+        k1, k2 = s1.gen_key(rng), s2.gen_key(rng)
+        t1 = s1.gen_token(k1, q, rng)
+        t2 = s2.gen_token(k2, q, rng)
+        for point in space.iter_points():
+            r1 = s1.matches(t1, s1.encrypt(k1, point, rng))
+            r2 = s2.matches(t2, s2.encrypt(k2, point, rng))
+            assert r1 == r2, point

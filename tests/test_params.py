@@ -1,0 +1,83 @@
+"""Tests for Type-A1 parameter generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.groups.params import (
+    PairingParams,
+    default_test_params,
+    generate_params,
+    params_for_bound,
+    toy_params,
+)
+from repro.errors import ParameterError
+from repro.math.primes import is_prime
+
+
+class TestGeneration:
+    def test_validates(self, rng):
+        params = generate_params(rng=rng)
+        params.validate()
+
+    def test_field_prime_relation(self, rng):
+        params = generate_params(rng=rng)
+        assert params.field_prime == params.cofactor * params.group_order - 1
+        assert params.field_prime % 4 == 3
+        assert is_prime(params.field_prime)
+
+    def test_requested_bit_lengths(self, rng):
+        params = generate_params((12, 20, 12, 12), rng=rng)
+        bits = [p.bit_length() for p in params.subgroup_primes]
+        assert bits == [12, 20, 12, 12]
+
+    def test_cofactor_divisible_by_four(self, rng):
+        # N is odd, so q ≡ 3 (mod 4) forces 4 | l.
+        params = generate_params(rng=rng)
+        assert params.cofactor % 4 == 0
+
+    def test_deterministic_under_seed(self):
+        a = generate_params(rng=random.Random(42))
+        b = generate_params(rng=random.Random(42))
+        assert a == b
+
+
+class TestParamsForBound:
+    def test_payload_exceeds_bound(self, rng):
+        for bound in (100, 10_000, 1 << 30):
+            params = params_for_bound(bound, rng=rng)
+            assert params.subgroup_primes[1] > bound
+
+    def test_negative_bound_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            params_for_bound(-1, rng=rng)
+
+
+class TestValidation:
+    def test_duplicate_primes_rejected(self):
+        with pytest.raises(ParameterError):
+            PairingParams((101, 101, 103, 107), 4, 4 * 101 * 101 * 103 * 107 - 1).validate()
+
+    def test_composite_subgroup_rejected(self):
+        with pytest.raises(ParameterError):
+            PairingParams((100, 103, 107, 109), 4, 1).validate()
+
+    def test_wrong_field_prime_rejected(self):
+        good = toy_params()
+        bad = PairingParams(
+            good.subgroup_primes, good.cofactor, good.field_prime + 4
+        )
+        with pytest.raises(ParameterError):
+            bad.validate()
+
+
+class TestPresets:
+    def test_toy_params_cached(self):
+        assert toy_params() is toy_params()
+
+    def test_default_test_params_payload_size(self):
+        params = default_test_params()
+        assert params.subgroup_primes[1].bit_length() == 40
+        params.validate()

@@ -1,0 +1,73 @@
+"""Tests for the Permute algorithm (repro.core.permute)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.permute import permutation_from_beta, permute, random_beta
+from repro.errors import ParameterError
+
+
+class TestPermutationFromBeta:
+    def test_enumerates_all_permutations(self):
+        n = 4
+        seen = {
+            tuple(permutation_from_beta(n, beta))
+            for beta in range(1, math.factorial(n) + 1)
+        }
+        assert len(seen) == math.factorial(n)
+
+    def test_identity_is_beta_one(self):
+        assert permutation_from_beta(5, 1) == [0, 1, 2, 3, 4]
+
+    def test_last_beta_is_reversal(self):
+        # The largest Lehmer code picks the largest remaining index each time.
+        assert permutation_from_beta(4, math.factorial(4)) == [3, 2, 1, 0]
+
+    @given(st.integers(0, 6), st.data())
+    def test_always_a_permutation(self, n, data):
+        beta = data.draw(st.integers(1, math.factorial(n)))
+        perm = permutation_from_beta(n, beta)
+        assert sorted(perm) == list(range(n))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            permutation_from_beta(3, 0)
+        with pytest.raises(ParameterError):
+            permutation_from_beta(3, 7)
+        with pytest.raises(ParameterError):
+            permutation_from_beta(-1, 1)
+
+
+class TestPermute:
+    @given(st.lists(st.integers(), max_size=6), st.data())
+    def test_is_rearrangement(self, items, data):
+        beta = data.draw(st.integers(1, math.factorial(len(items))))
+        assert sorted(permute(items, beta)) == sorted(items)
+
+    def test_concrete(self):
+        assert permute(["a", "b", "c"], 1) == ["a", "b", "c"]
+        results = {tuple(permute([1, 2, 3], b)) for b in range(1, 7)}
+        assert len(results) == 6
+
+
+class TestRandomBeta:
+    def test_range(self, rng):
+        for n in (1, 3, 6):
+            for _ in range(50):
+                beta = random_beta(n, rng)
+                assert 1 <= beta <= math.factorial(n)
+
+    def test_covers_space(self):
+        rng = random.Random(1)
+        seen = {random_beta(3, rng) for _ in range(200)}
+        assert seen == set(range(1, 7))
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            random_beta(-1, rng)

@@ -1,0 +1,131 @@
+"""Tests for repro.math.polynomial."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.math.polynomial import Polynomial
+
+
+def poly_strategy(nvars: int = 2, max_terms: int = 5):
+    """Random sparse polynomials with small exponents and coefficients."""
+    expts = st.tuples(*([st.integers(0, 3)] * nvars))
+    term = st.tuples(expts, st.integers(-9, 9))
+    return st.lists(term, max_size=max_terms).map(
+        lambda terms: Polynomial(nvars, dict(terms))
+    )
+
+
+points = st.tuples(st.integers(-5, 5), st.integers(-5, 5))
+
+
+class TestConstruction:
+    def test_zero_coefficients_dropped(self):
+        p = Polynomial(2, {(1, 0): 0, (0, 1): 3})
+        assert p.num_terms() == 1
+
+    def test_duplicate_keys_not_possible_but_bad_arity_raises(self):
+        with pytest.raises(ValueError):
+            Polynomial(2, {(1,): 1})
+
+    def test_negative_exponent_raises(self):
+        with pytest.raises(ValueError):
+            Polynomial(1, {(-1,): 1})
+
+    def test_constant_and_variable(self):
+        c = Polynomial.constant(2, 7)
+        assert c.evaluate((100, 200)) == 7
+        x1 = Polynomial.variable(2, 1)
+        assert x1.evaluate((3, 4)) == 4
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(ValueError):
+            Polynomial.variable(2, 2)
+
+
+class TestRingAxioms:
+    @given(poly_strategy(), poly_strategy(), points)
+    def test_addition_commutes(self, p, q, x):
+        assert (p + q).evaluate(x) == (q + p).evaluate(x)
+        assert p + q == q + p
+
+    @given(poly_strategy(), poly_strategy(), poly_strategy())
+    def test_multiplication_associates(self, p, q, r):
+        assert (p * q) * r == p * (q * r)
+
+    @given(poly_strategy(), poly_strategy(), poly_strategy(), points)
+    def test_distributivity(self, p, q, r, x):
+        left = p * (q + r)
+        right = p * q + p * r
+        assert left == right
+        assert left.evaluate(x) == right.evaluate(x)
+
+    @given(poly_strategy(), points)
+    def test_additive_inverse(self, p, x):
+        assert (p - p).is_zero()
+        assert (p + (-p)).evaluate(x) == 0
+
+    @given(poly_strategy())
+    def test_multiplicative_identity(self, p):
+        assert p * Polynomial.one(2) == p
+        assert p * Polynomial.zero(2) == Polynomial.zero(2)
+
+
+class TestEvaluation:
+    @given(poly_strategy(), poly_strategy(), points)
+    def test_evaluation_is_homomorphism(self, p, q, x):
+        assert (p * q).evaluate(x) == p.evaluate(x) * q.evaluate(x)
+        assert (p + q).evaluate(x) == p.evaluate(x) + q.evaluate(x)
+
+    def test_arity_check(self):
+        with pytest.raises(ValueError):
+            Polynomial.one(2).evaluate((1,))
+
+    def test_circle_polynomial(self):
+        # (x-3)² + (y-2)² - 1 at (2,2) should vanish (the paper's example).
+        x = Polynomial.variable(2, 0)
+        y = Polynomial.variable(2, 1)
+        p = (x - 3) ** 2 + (y - 2) ** 2 - 1
+        assert p.evaluate((2, 2)) == 0
+        assert p.evaluate((1, 3)) == 4
+
+
+class TestPower:
+    @given(poly_strategy(max_terms=3), st.integers(0, 4), points)
+    def test_pow_matches_repeated_mul(self, p, e, x):
+        expected = Polynomial.one(2)
+        for _ in range(e):
+            expected = expected * p
+        assert p**e == expected
+        assert (p**e).evaluate(x) == p.evaluate(x) ** e
+
+    def test_negative_power_raises(self):
+        with pytest.raises(ValueError):
+            Polynomial.one(1) ** -1
+
+
+class TestMisc:
+    def test_int_coercion(self):
+        p = Polynomial.variable(1, 0)
+        assert (p + 1).evaluate((4,)) == 5
+        assert (1 + p).evaluate((4,)) == 5
+        assert (2 * p).evaluate((4,)) == 8
+        assert (1 - p).evaluate((4,)) == -3
+
+    def test_hashable_and_dict_key(self):
+        p = Polynomial.variable(2, 0) * Polynomial.variable(2, 1)
+        q = Polynomial.variable(2, 1) * Polynomial.variable(2, 0)
+        assert hash(p) == hash(q) and {p: 1}[q] == 1
+
+    def test_total_degree(self):
+        x = Polynomial.variable(2, 0)
+        y = Polynomial.variable(2, 1)
+        assert (x**2 * y + y).total_degree() == 3
+        assert Polynomial.zero(2).total_degree() == 0
+
+    def test_repr_roundtrip_readability(self):
+        x = Polynomial.variable(2, 0)
+        text = repr(x**2 - 1)
+        assert "x0" in text

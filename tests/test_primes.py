@@ -1,0 +1,107 @@
+"""Tests for repro.math.primes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.math.primes import (
+    is_prime,
+    next_prime,
+    prev_prime,
+    primes_up_to,
+    random_prime,
+    small_primes,
+)
+
+
+def _naive_is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    return all(n % d for d in range(2, int(n**0.5) + 1))
+
+
+class TestIsPrime:
+    def test_small_values(self):
+        for n in range(-5, 500):
+            assert is_prime(n) == _naive_is_prime(n), n
+
+    def test_known_primes(self):
+        for p in (2, 3, 65537, 2**31 - 1, 2**61 - 1):
+            assert is_prime(p)
+
+    def test_known_composites(self):
+        # Carmichael numbers are the classic Fermat-test traps.
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911, 2**32 - 1):
+            assert not is_prime(n)
+
+    def test_large_prime(self):
+        # 2^127 - 1 is a Mersenne prime (beyond the deterministic range).
+        assert is_prime(2**127 - 1)
+
+    def test_large_composite(self):
+        assert not is_prime((2**127 - 1) * (2**89 - 1))
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    def test_matches_naive(self, n):
+        assert is_prime(n) == _naive_is_prime(n)
+
+
+class TestPrimesUpTo:
+    def test_matches_naive(self):
+        assert primes_up_to(100) == [n for n in range(101) if _naive_is_prime(n)]
+
+    def test_edge_cases(self):
+        assert primes_up_to(1) == []
+        assert primes_up_to(2) == [2]
+        assert primes_up_to(-5) == []
+
+    def test_small_primes_cache(self):
+        cached = small_primes()
+        assert cached == primes_up_to(999)
+        # The accessor must return a copy, not the module cache.
+        cached.append(-1)
+        assert small_primes()[-1] != -1
+
+
+class TestNextPrevPrime:
+    def test_next_prime(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 3
+        assert next_prime(14) == 17
+        assert next_prime(2**16) == 65537
+
+    def test_prev_prime(self):
+        assert prev_prime(3) == 2
+        assert prev_prime(100) == 97
+        assert prev_prime(65538) == 65537
+
+    def test_prev_prime_raises_below_two(self):
+        with pytest.raises(ValueError):
+            prev_prime(2)
+
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_next_prime_is_prime_and_minimal(self, n):
+        p = next_prime(n)
+        assert p > n and is_prime(p)
+        assert all(not _naive_is_prime(k) for k in range(n + 1, p))
+
+
+class TestRandomPrime:
+    def test_exact_bit_length(self, rng):
+        for bits in (2, 8, 16, 32, 64):
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_prime(p)
+
+    def test_rejects_tiny_request(self, rng):
+        with pytest.raises(ValueError):
+            random_prime(1, rng)
+
+    def test_deterministic_under_seed(self):
+        assert random_prime(24, random.Random(5)) == random_prime(
+            24, random.Random(5)
+        )

@@ -1,0 +1,81 @@
+"""Property tests across randomly sized data spaces.
+
+The rest of the suite pins a handful of fixed spaces; here hypothesis picks
+the space, the query, and the points, and the schemes must agree with the
+plaintext predicates every time.  Groups are provisioned per space size
+from a deterministic seed so example shrinking stays reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace, point_in_circle
+from repro.core.provision import group_for_crse2
+from repro.crypto.serialize import ElementSizeModel
+
+
+@lru_cache(maxsize=None)
+def _scheme_for(t: int, w: int):
+    rng = random.Random(t * 31 + w)
+    space = DataSpace(w, t)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    key = scheme.gen_key(rng)
+    return scheme, key
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    t=st.integers(4, 48),
+    data=st.data(),
+)
+def test_crse2_matches_predicate_on_random_2d_spaces(t, data):
+    scheme, key = _scheme_for(t, 2)
+    coord = st.integers(0, t - 1)
+    point = data.draw(st.tuples(coord, coord))
+    center = data.draw(st.tuples(coord, coord))
+    radius = data.draw(st.integers(0, max(1, t // 4)))
+    rng = random.Random(hash((t, point, center, radius)) & 0xFFFFF)
+    circle = Circle.from_radius(center, radius)
+    token = scheme.gen_token(key, circle, rng)
+    ciphertext = scheme.encrypt(key, point, rng)
+    assert scheme.matches(token, ciphertext) == point_in_circle(point, circle)
+
+
+@settings(max_examples=10, deadline=None)
+@given(t=st.integers(4, 12), data=st.data())
+def test_crse2_matches_predicate_on_random_3d_spaces(t, data):
+    scheme, key = _scheme_for(t, 3)
+    coord = st.integers(0, t - 1)
+    point = data.draw(st.tuples(coord, coord, coord))
+    center = data.draw(st.tuples(coord, coord, coord))
+    radius = data.draw(st.integers(0, 2))
+    rng = random.Random(hash((t, point, center, radius)) & 0xFFFFF)
+    circle = Circle.from_radius(center, radius)
+    token = scheme.gen_token(key, circle, rng)
+    ciphertext = scheme.encrypt(key, point, rng)
+    assert scheme.matches(token, ciphertext) == point_in_circle(point, circle)
+
+
+@settings(max_examples=15, deadline=None)
+@given(t=st.integers(4, 48), data=st.data())
+def test_token_sizes_follow_size_model_on_random_spaces(t, data):
+    from repro.cloud.codec import encode_token
+    from repro.core.concircles import num_concentric_circles
+
+    scheme, key = _scheme_for(t, 2)
+    coord = st.integers(0, t - 1)
+    center = data.draw(st.tuples(coord, coord))
+    radius = data.draw(st.integers(0, max(1, t // 4)))
+    rng = random.Random(hash((t, center, radius, "size")) & 0xFFFFF)
+    token = scheme.gen_token(key, Circle.from_radius(center, radius), rng)
+    m = num_concentric_circles(radius * radius)
+    model = ElementSizeModel.for_group(scheme.group)
+    # Wire layout: 2-byte sub-token count + m framed SSW objects.
+    expected = 2 + m * (model.ssw_object_bytes(4) + 2)
+    assert len(encode_token(scheme, token)) == expected

@@ -1,0 +1,70 @@
+"""Tests for group provisioning (repro.core.provision)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.geometry import DataSpace
+from repro.core.provision import group_for_crse1, group_for_crse2, provision_group
+from repro.crypto.groups.base import SUBGROUP_Q
+from repro.crypto.groups.fastgroup import FastCompositeGroup
+from repro.crypto.groups.pairing import SupersingularPairingGroup
+from repro.errors import ParameterError
+
+
+class TestProvisionGroup:
+    def test_fast_backend(self, rng):
+        group = provision_group(1000, "fast", rng)
+        assert isinstance(group, FastCompositeGroup)
+        assert group.exponent_bound_ok(1000)
+
+    def test_pairing_backend(self, rng):
+        group = provision_group(1000, "pairing", rng, noise_bits=16)
+        assert isinstance(group, SupersingularPairingGroup)
+        assert group.exponent_bound_ok(1000)
+
+    def test_payload_floor_applies(self, rng):
+        group = provision_group(10, "fast", rng)
+        # Even a tiny bound gets the 40-bit anti-collision floor.
+        assert group.subgroup_primes[SUBGROUP_Q].bit_length() >= 40
+
+    def test_large_bound(self, rng):
+        bound = 1 << 100
+        group = provision_group(bound, "fast", rng)
+        assert group.subgroup_primes[SUBGROUP_Q] > bound
+
+    def test_unknown_backend(self, rng):
+        with pytest.raises(ParameterError):
+            provision_group(100, "quantum", rng)
+
+
+class TestSchemeSizing:
+    def test_crse2_group_fits_space(self, rng):
+        space = DataSpace(2, 1 << 15)
+        group = group_for_crse2(space, "fast", rng)
+        assert group.exponent_bound_ok(space.max_distance_squared() + 1)
+
+    def test_crse1_group_scales_with_radius(self, rng):
+        space = DataSpace(2, 8)
+        g_r1 = group_for_crse1(space, 1, "fast", rng)
+        g_r3 = group_for_crse1(space, 9, "fast", rng)
+        assert (
+            g_r3.subgroup_primes[SUBGROUP_Q].bit_length()
+            > g_r1.subgroup_primes[SUBGROUP_Q].bit_length()
+        )
+
+    def test_crse1_hide_radius_bound(self, rng):
+        space = DataSpace(2, 8)
+        # K = 8 dummy-padded factors push the product bound past the 40-bit
+        # payload floor (99^8 ≈ 2^53), so the padded group must be larger.
+        padded = group_for_crse1(space, 1, "fast", rng, hide_radius_to=8)
+        plain = group_for_crse1(space, 1, "fast", rng)
+        assert (
+            padded.subgroup_primes[SUBGROUP_Q].bit_length()
+            > plain.subgroup_primes[SUBGROUP_Q].bit_length()
+        )
+
+    def test_crse1_hide_radius_too_small(self, rng):
+        space = DataSpace(2, 8)
+        with pytest.raises(ParameterError):
+            group_for_crse1(space, 4, "fast", rng, hide_radius_to=1)

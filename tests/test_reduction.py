@@ -1,0 +1,145 @@
+"""Tests for the executable Theorem-2 reduction (CRSE-I → SSW)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.crse1 import CRSE1Scheme
+from repro.core.geometry import Circle, DataSpace
+from repro.core.provision import group_for_crse1
+from repro.security.games import GameViolation, QueryPrivacyGame
+from repro.security.reduction import (
+    CRSE1QueryAdversaryAsSSW,
+    SSWQueryPrivacyGame,
+)
+
+TRIALS = 12
+
+
+@pytest.fixture(scope="module")
+def crse1():
+    rng = random.Random(0x4ED)
+    space = DataSpace(2, 16)
+    return CRSE1Scheme(
+        space, group_for_crse1(space, 4, "fast", rng), r_squared=4
+    )
+
+
+@dataclass
+class DistanceProbeAdversary:
+    """A legitimate CRSE-I query adversary: probes with admissible points
+    and guesses from the Boolean results.
+
+    Challenge circles share radius 2 but have different centers; the probe
+    point (6, 8) is inside Q0 (d²=4) and outside Q1 (d²=9) — an
+    *inadmissible* request the game must reject, after which the adversary
+    falls back to an admissible probe that cannot separate the circles, so
+    its advantage is nil (matching Theorem 2's claim).
+    """
+
+    q0: Circle
+    q1: Circle
+    tried_cheating: bool = False
+
+    def choose_challenge(self):
+        """Init: the two challenge circles."""
+        return (self.q0, self.q1)
+
+    def attack(self, oracle, challenge_token) -> int:
+        """Attempt the separating probe, then settle for an admissible one."""
+        try:
+            oracle.request_ciphertext((6, 8))
+        except GameViolation:
+            self.tried_cheating = True
+        # (9, 9): d² to (8,8) is 2, to (11,8) is 5 — inside both. Admissible.
+        probe = oracle.request_ciphertext((9, 9))
+        observation = oracle.observe(challenge_token, probe)
+        return 0 if observation.matched else 1
+
+
+def _adversary():
+    return DistanceProbeAdversary(
+        q0=Circle.from_radius((8, 8), 2), q1=Circle.from_radius((9, 8), 2)
+    )
+
+
+class TestReductionMechanics:
+    def test_wrapped_adversary_plays_ssw_game(self, crse1):
+        adversary = CRSE1QueryAdversaryAsSSW(scheme=crse1, inner=_adversary())
+        game = SSWQueryPrivacyGame(
+            group=crse1.group, n=crse1.alpha, rng=random.Random(1)
+        )
+        game.run(adversary)  # must complete without violations
+        assert adversary.inner.tried_cheating
+
+    def test_restrictions_transfer(self, crse1):
+        """The SSW oracle rejects exactly the requests the CRSE-I game
+        rejects (the proof's admissibility mapping)."""
+
+        @dataclass
+        class CheatingAdversary:
+            q0: Circle
+            q1: Circle
+
+            def choose_challenge(self):
+                return (self.q0, self.q1)
+
+            def attack(self, oracle, challenge_token) -> int:
+                oracle.request_ciphertext((6, 8))  # separating: must raise
+                return 0
+
+        wrapped = CRSE1QueryAdversaryAsSSW(
+            scheme=crse1,
+            inner=CheatingAdversary(
+                q0=Circle.from_radius((8, 8), 2),
+                q1=Circle.from_radius((11, 8), 2),
+            ),
+        )
+        game = SSWQueryPrivacyGame(
+            group=crse1.group, n=crse1.alpha, rng=random.Random(2)
+        )
+        with pytest.raises(GameViolation):
+            game.run(wrapped)
+
+    def test_advantage_preserved_across_reduction(self, crse1):
+        """Same adversary, same seeds: identical win transcript in the
+        native CRSE-I game and the SSW game via the reduction."""
+        native_wins = []
+        reduced_wins = []
+        for t in range(TRIALS):
+            seed = 0x9E3779B97F4A7C15 * t + 5
+            native = QueryPrivacyGame(
+                scheme=crse1, rng=random.Random(seed)
+            ).run(_adversary())
+            reduced = SSWQueryPrivacyGame(
+                group=crse1.group, n=crse1.alpha, rng=random.Random(seed)
+            ).run(CRSE1QueryAdversaryAsSSW(scheme=crse1, inner=_adversary()))
+            native_wins.append(native)
+            reduced_wins.append(reduced)
+        # Identical randomness stream → identical outcomes, game for game.
+        assert native_wins == reduced_wins
+
+    def test_admissible_adversary_has_no_advantage(self, crse1):
+        wins = sum(
+            SSWQueryPrivacyGame(
+                group=crse1.group,
+                n=crse1.alpha,
+                rng=random.Random(0xC2B2AE3D27D4EB4F * t + 3),
+            ).run(CRSE1QueryAdversaryAsSSW(scheme=crse1, inner=_adversary()))
+            for t in range(TRIALS)
+        )
+        assert 0.15 * TRIALS <= wins <= 0.85 * TRIALS
+
+    def test_wrong_radius_challenge_rejected(self, crse1):
+        bad = DistanceProbeAdversary(
+            q0=Circle.from_radius((8, 8), 1), q1=Circle.from_radius((9, 8), 1)
+        )
+        wrapped = CRSE1QueryAdversaryAsSSW(scheme=crse1, inner=bad)
+        game = SSWQueryPrivacyGame(
+            group=crse1.group, n=crse1.alpha, rng=random.Random(3)
+        )
+        with pytest.raises(GameViolation):
+            game.run(wrapped)

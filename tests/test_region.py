@@ -1,0 +1,114 @@
+"""Tests for general lattice-region queries (repro.core.region)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import DataSpace
+from repro.core.provision import group_for_crse2
+from repro.core.region import Rectangle, gen_region_token
+from repro.errors import ParameterError, SchemeError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = random.Random(0x4E6)
+    space = DataSpace(2, 24)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    key = scheme.gen_key(rng)
+    return scheme, key, rng
+
+
+class TestRectangle:
+    def test_contains(self):
+        box = Rectangle((2, 3), (5, 6))
+        assert box.contains((2, 3)) and box.contains((5, 6))
+        assert box.contains((4, 4))
+        assert not box.contains((1, 4))
+        assert not box.contains((4, 7))
+        assert not box.contains((4,))
+
+    def test_lattice_points(self):
+        box = Rectangle((0, 0), (2, 1))
+        assert len(box.lattice_points()) == box.point_count() == 6
+
+    def test_degenerate_box_is_a_point(self):
+        box = Rectangle((3, 3), (3, 3))
+        assert box.lattice_points() == [(3, 3)]
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            Rectangle((2, 2), (1, 3))
+        with pytest.raises(ParameterError):
+            Rectangle((1,), (1, 2))
+        with pytest.raises(ParameterError):
+            Rectangle((), ())
+
+    def test_3d(self):
+        box = Rectangle((0, 0, 0), (1, 1, 1))
+        assert box.point_count() == 8
+
+
+class TestRegionToken:
+    def test_exact_rectangle_query(self, setup):
+        scheme, key, rng = setup
+        box = Rectangle((4, 4), (7, 6))
+        token = gen_region_token(scheme, key, box.lattice_points(), rng)
+        for x in range(2, 10):
+            for y in range(2, 9):
+                got = scheme.matches(token, scheme.encrypt(key, (x, y), rng))
+                assert got == box.contains((x, y)), (x, y)
+
+    def test_exact_rectangular_search_has_no_false_positives(self, setup):
+        # Unlike the OPE/MBR baseline, the region token answers the box
+        # exactly — the "rectangular range search" of Related Work, done
+        # with the paper's own machinery.
+        scheme, key, rng = setup
+        box = Rectangle((10, 10), (12, 12))
+        token = gen_region_token(scheme, key, box.lattice_points(), rng)
+        corner_outside = (13, 13)
+        assert not scheme.matches(
+            token, scheme.encrypt(key, corner_outside, rng)
+        )
+
+    def test_arbitrary_disconnected_region(self, setup):
+        scheme, key, rng = setup
+        region = [(1, 1), (20, 20), (5, 17)]
+        token = gen_region_token(scheme, key, region, rng)
+        for point in region:
+            assert scheme.matches(token, scheme.encrypt(key, point, rng))
+        assert not scheme.matches(token, scheme.encrypt(key, (2, 1), rng))
+
+    def test_duplicates_deduplicated(self, setup):
+        scheme, key, rng = setup
+        token = gen_region_token(scheme, key, [(3, 3), (3, 3), (4, 4)], rng)
+        assert token.num_sub_tokens == 2
+
+    def test_count_hiding(self, setup):
+        scheme, key, rng = setup
+        token = gen_region_token(
+            scheme, key, [(3, 3), (4, 4)], rng, hide_count_to=9
+        )
+        assert token.num_sub_tokens == 9
+        assert scheme.matches(token, scheme.encrypt(key, (3, 3), rng))
+        assert not scheme.matches(token, scheme.encrypt(key, (9, 9), rng))
+
+    def test_empty_region_rejected(self, setup):
+        scheme, key, rng = setup
+        with pytest.raises(SchemeError):
+            gen_region_token(scheme, key, [], rng)
+
+    def test_out_of_space_rejected(self, setup):
+        scheme, key, rng = setup
+        with pytest.raises(ParameterError):
+            gen_region_token(scheme, key, [(30, 0)], rng)
+
+    def test_insufficient_padding_rejected(self, setup):
+        scheme, key, rng = setup
+        with pytest.raises(SchemeError):
+            gen_region_token(
+                scheme, key, [(1, 1), (2, 2)], rng, hide_count_to=1
+            )

@@ -1,0 +1,68 @@
+"""Tests for the reporting helpers (repro.analysis.report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import Series, TextTable, format_series_block
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable("Table I", ["R", "m", "Enc"])
+        table.add_row(1, 2, 0.015)
+        table.add_row(3, 7, 3.09)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Table I"
+        assert "R" in lines[1] and "Enc" in lines[1]
+        assert len(lines) == 5
+        # All data rows equal width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_arity_check(self):
+        table = TextTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_float_formatting(self):
+        table = TextTable("t", ["v"])
+        table.add_row(0.00012345)
+        table.add_row(1234567.0)
+        table.add_row(0.5)
+        table.add_row(0.0)
+        text = table.render()
+        assert "0.000123" in text
+        assert "1.23e+06" in text
+        assert "0.5" in text
+
+
+class TestSeries:
+    def test_add(self):
+        s = Series("m")
+        s.add(1, 2)
+        s.add(2, 4)
+        assert s.x == [1, 2] and s.y == [2, 4]
+
+    def test_format_block(self):
+        a = Series("m")
+        b = Series("R²")
+        for r in (1, 2, 3):
+            a.add(r, r + 1)
+            b.add(r, r * r)
+        text = format_series_block("Fig. 9", [a, b])
+        assert "Fig. 9" in text
+        assert "R²" in text
+        assert "9" in text
+
+    def test_empty(self):
+        assert format_series_block("empty", []) == "empty"
+
+    def test_ragged_series_padded(self):
+        a = Series("a")
+        b = Series("b")
+        a.add(1, 10)
+        a.add(2, 20)
+        b.add(1, 5)
+        text = format_series_block("fig", [a, b])
+        assert "nan" in text

@@ -1,0 +1,207 @@
+"""Tests for the executable SCPA security games and attacks (Sec. IV/VII)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.crse1 import CRSE1Scheme
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace
+from repro.core.provision import group_for_crse1, group_for_crse2
+from repro.security.attacks import (
+    CoBoundaryDataAdversary,
+    CoBoundaryQueryAdversary,
+    RandomGuessAdversary,
+)
+from repro.security.games import (
+    DataPrivacyGame,
+    GameViolation,
+    QueryPrivacyGame,
+)
+from repro.security.leakage import (
+    Leakage,
+    data_privacy_admissible,
+    leakage,
+    query_privacy_admissible,
+    same_concentric_circle,
+)
+
+TRIALS = 16
+
+
+@pytest.fixture(scope="module")
+def crse2():
+    rng = random.Random(81)
+    space = DataSpace(2, 16)
+    return CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+
+
+@pytest.fixture(scope="module")
+def crse1():
+    rng = random.Random(82)
+    space = DataSpace(2, 16)
+    return CRSE1Scheme(
+        space, group_for_crse1(space, 4, "fast", rng), r_squared=4
+    )
+
+
+CIRCLE = Circle.from_radius((8, 8), 2)
+
+
+def _data_adversary():
+    # d0 = (8,9): distance² 1; d1 = (9,9): distance² 2; helper (7,8): 1.
+    return CoBoundaryDataAdversary(
+        circle=CIRCLE, d0=(8, 9), d1=(9, 9), helper=(7, 8)
+    )
+
+
+def _query_adversary():
+    return CoBoundaryQueryAdversary(
+        q0=Circle.from_radius((8, 8), 2),
+        q1=Circle.from_radius((9, 8), 2),
+        probe=(8, 9),
+        helper=(7, 8),
+    )
+
+
+class TestLeakageFunction:
+    def test_leakage_fields(self):
+        l = leakage((8, 9), CIRCLE)
+        assert l == Leakage(inside=True, r_squared=4)
+
+    def test_admissibility_predicates(self):
+        # (8,9) is inside both circles of equal radius → admissible.
+        q0, q1 = Circle.from_radius((8, 8), 2), Circle.from_radius((9, 8), 2)
+        assert query_privacy_admissible((8, 9), q0, q1)
+        # (6,8) is inside q0 (d²=4) but outside q1 (d²=9) → not admissible.
+        assert not query_privacy_admissible((6, 8), q0, q1)
+        assert data_privacy_admissible((8, 9), (9, 9), q0)
+        assert not data_privacy_admissible((8, 9), (12, 8), q0)
+
+    def test_same_concentric_circle(self):
+        assert same_concentric_circle((8, 9), (7, 8), CIRCLE)
+        assert not same_concentric_circle((8, 9), (9, 9), CIRCLE)
+        assert not same_concentric_circle((8, 9), (12, 12), CIRCLE)
+
+
+class TestCRSE2Weakness:
+    """The paper's Fig. 18/19 analysis, executed."""
+
+    def test_coboundary_attack_wins_data_game(self, crse2):
+        wins = sum(
+            DataPrivacyGame(scheme=crse2, rng=random.Random(0x9E3779B97F4A7C15 * t + 1)).run(
+                _data_adversary()
+            )
+            for t in range(TRIALS)
+        )
+        assert wins == TRIALS  # advantage 1/2: distinguishes outright
+
+    def test_coboundary_attack_wins_query_game(self, crse2):
+        wins = sum(
+            QueryPrivacyGame(scheme=crse2, rng=random.Random(0x9E3779B97F4A7C15 * t + 2)).run(
+                _query_adversary()
+            )
+            for t in range(TRIALS)
+        )
+        assert wins == TRIALS
+
+    def test_strengthened_data_game_blocks_attack(self, crse2):
+        adversary = _data_adversary()
+        DataPrivacyGame(
+            scheme=crse2, rng=random.Random(1), strengthened=True
+        ).run(adversary)
+        assert adversary.violated
+
+    def test_strengthened_query_game_blocks_attack(self, crse2):
+        adversary = _query_adversary()
+        QueryPrivacyGame(
+            scheme=crse2, rng=random.Random(2), strengthened=True
+        ).run(adversary)
+        assert adversary.violated
+
+
+class TestCRSE1Strength:
+    def test_coboundary_attack_fails_against_crse1(self, crse1):
+        # CRSE-I tokens are indivisible: the attack collapses to a constant
+        # guess, winning about half the time.
+        wins = sum(
+            DataPrivacyGame(scheme=crse1, rng=random.Random(0x9E3779B97F4A7C15 * t + 3)).run(
+                _data_adversary()
+            )
+            for t in range(TRIALS)
+        )
+        assert 0.2 * TRIALS <= wins <= 0.8 * TRIALS
+
+
+class TestGameMechanics:
+    def test_random_guess_near_half(self, crse2):
+        # Seeds are hashed apart: Mersenne Twister streams from sequential
+        # integer seeds correlate at equal draw indices.
+        wins = sum(
+            DataPrivacyGame(
+                scheme=crse2, rng=random.Random(0x9E3779B97F4A7C15 * t + 11)
+            ).run(RandomGuessAdversary(rng=random.Random(0xC2B2AE3D27D4EB4F * t + 7)))
+            for t in range(TRIALS)
+        )
+        assert 0.2 * TRIALS <= wins <= 0.8 * TRIALS
+
+    def test_unequal_challenge_radii_rejected(self, crse2):
+        adversary = RandomGuessAdversary(
+            rng=random.Random(0),
+            q0=Circle.from_radius((8, 8), 1),
+            q1=Circle.from_radius((8, 8), 2),
+        )
+        game = QueryPrivacyGame(scheme=crse2, rng=random.Random(0))
+        # choose_challenge returns (d0, d1) for data games; build a query
+        # adversary shim returning circles of unequal radius.
+        adversary.d0, adversary.d1 = adversary.q0, adversary.q1  # type: ignore
+        with pytest.raises(GameViolation):
+            game.run(adversary)
+
+    def test_inadmissible_token_request_rejected(self, crse2):
+        class BadAdversary:
+            def choose_challenge(self):
+                return ((8, 9), (12, 8))  # inside vs far outside
+
+            def attack(self, oracle, challenge):
+                # (8,8)-radius-2 contains d0 but not d1: inadmissible.
+                oracle.request_token(CIRCLE)
+                return 0
+
+        game = DataPrivacyGame(scheme=crse2, rng=random.Random(5))
+        with pytest.raises(GameViolation):
+            game.run(BadAdversary())
+
+    def test_inadmissible_ciphertext_request_rejected(self, crse2):
+        class BadAdversary:
+            def choose_challenge(self):
+                return (
+                    Circle.from_radius((8, 8), 2),
+                    Circle.from_radius((11, 8), 2),
+                )
+
+            def attack(self, oracle, challenge):
+                # (8,8) is inside q0, outside q1: inadmissible request.
+                oracle.request_ciphertext((8, 8))
+                return 0
+
+        game = QueryPrivacyGame(scheme=crse2, rng=random.Random(6))
+        with pytest.raises(GameViolation):
+            game.run(BadAdversary())
+
+    def test_admissible_requests_pass(self, crse2):
+        class HonestAdversary:
+            def choose_challenge(self):
+                return ((8, 9), (9, 9))
+
+            def attack(self, oracle, challenge):
+                oracle.request_ciphertext((0, 0))  # unrestricted in Def. 3
+                # (8,8) radius 3 contains both challenge records.
+                token = oracle.request_token(Circle.from_radius((8, 8), 3))
+                assert oracle.observe(token, challenge).matched
+                return 0
+
+        game = DataPrivacyGame(scheme=crse2, rng=random.Random(7))
+        game.run(HonestAdversary())

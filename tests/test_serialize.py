@@ -1,0 +1,107 @@
+"""Tests for SSW serialization and the element size model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.groups.fastgroup import FastCompositeGroup
+from repro.crypto.groups.params import toy_params
+from repro.crypto.serialize import (
+    PAPER_ELEMENT_BYTES,
+    ElementSizeModel,
+    deserialize_ciphertext,
+    deserialize_token,
+    serialize_ciphertext,
+    serialize_token,
+)
+from repro.crypto.ssw import ssw_encrypt, ssw_gen_token, ssw_query, ssw_setup
+from repro.errors import SerializationError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    group = FastCompositeGroup(toy_params().subgroup_primes)
+    rng = random.Random(8)
+    key = ssw_setup(group, 4, rng)
+    return group, key
+
+
+class TestRoundTrip:
+    def test_ciphertext(self, setup, rng):
+        group, key = setup
+        ct = ssw_encrypt(key, (8, -4, -4, 1), rng)
+        restored = deserialize_ciphertext(group, serialize_ciphertext(group, ct))
+        assert restored.elements() == ct.elements()
+
+    def test_token(self, setup, rng):
+        group, key = setup
+        tk = ssw_gen_token(key, (1, 3, 2, 12), rng)
+        restored = deserialize_token(group, serialize_token(group, tk))
+        assert restored.elements() == tk.elements()
+
+    def test_restored_objects_still_work(self, setup, rng):
+        group, key = setup
+        ct = deserialize_ciphertext(
+            group, serialize_ciphertext(group, ssw_encrypt(key, (8, -4, -4, 1), rng))
+        )
+        tk = deserialize_token(
+            group, serialize_token(group, ssw_gen_token(key, (1, 3, 2, 12), rng))
+        )
+        assert ssw_query(tk, ct) is True
+
+    def test_roundtrip_on_pairing_backend(self, pairing_group):
+        rng = random.Random(9)
+        key = ssw_setup(pairing_group, 3, rng)
+        ct = ssw_encrypt(key, (1, -2, 1), rng)
+        data = serialize_ciphertext(pairing_group, ct)
+        assert deserialize_ciphertext(pairing_group, data).elements() == ct.elements()
+
+
+class TestMalformedInput:
+    def test_truncated(self, setup):
+        group, _ = setup
+        with pytest.raises(SerializationError):
+            deserialize_ciphertext(group, b"\x00")
+
+    def test_wrong_total_length(self, setup, rng):
+        group, key = setup
+        data = serialize_ciphertext(group, ssw_encrypt(key, (1, 2, 3, 4), rng))
+        with pytest.raises(SerializationError):
+            deserialize_ciphertext(group, data[:-1])
+
+    def test_odd_element_count(self, setup, rng):
+        group, key = setup
+        data = bytearray(
+            serialize_ciphertext(group, ssw_encrypt(key, (1, 2, 3, 4), rng))
+        )
+        # Claim 9 elements but supply 10 element bodies: length mismatch.
+        data[0:2] = (9).to_bytes(2, "big")
+        with pytest.raises(SerializationError):
+            deserialize_ciphertext(group, bytes(data))
+
+
+class TestSizeModel:
+    def test_paper_crse2_ciphertext_is_640_bytes(self):
+        # Fig. 13: ciphertext = (2α+2)·64 = 640 B at α = 4, 512-bit field.
+        model = ElementSizeModel.paper()
+        assert model.element_bytes == PAPER_ELEMENT_BYTES == 64
+        assert model.crse2_ciphertext_bytes(w=2) == 640
+
+    def test_paper_crse2_token_at_r10_is_28_16_kb(self):
+        # Fig. 14: m(R=10) = 44 sub-tokens → 44·640 B = 28.16 KB.
+        model = ElementSizeModel.paper()
+        assert model.crse2_token_bytes(m=44, w=2) == 28_160
+
+    def test_measured_model_matches_actual_encoding(self, setup, rng):
+        group, key = setup
+        model = ElementSizeModel.for_group(group)
+        ct_bytes = serialize_ciphertext(group, ssw_encrypt(key, (1, 2, 3, 4), rng))
+        # 2-byte count prefix on the wire; the model counts elements only.
+        assert len(ct_bytes) == model.ssw_object_bytes(4) + 2
+
+    def test_object_bytes_formula(self):
+        model = ElementSizeModel(10)
+        assert model.ssw_object_bytes(4) == 100
+        assert model.crse2_token_bytes(m=3, w=2) == 300

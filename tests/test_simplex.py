@@ -1,0 +1,125 @@
+"""Tests for the simplex range search extension (the paper's future work)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace
+from repro.core.provision import group_for_crse2
+from repro.core.simplex import Simplex, SimplexRangeScheme
+from repro.errors import ParameterError, SchemeError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = random.Random(0x51)
+    space = DataSpace(2, 32)
+    scheme = SimplexRangeScheme(space, group_for_crse2(space, "fast", rng))
+    key = scheme.gen_key(rng)
+    return scheme, key, rng
+
+
+class TestSimplexGeometry:
+    def test_triangle_contains(self):
+        tri = Simplex(((0, 0), (4, 0), (0, 4)))
+        assert tri.contains((1, 1))
+        assert tri.contains((0, 0))  # vertex
+        assert tri.contains((2, 2))  # on the hypotenuse
+        assert not tri.contains((3, 3))
+        assert not tri.contains((-1, 0))
+
+    def test_barycentric_sums_to_one(self):
+        tri = Simplex(((0, 0), (4, 0), (0, 4)))
+        coords = tri.barycentric((1, 1))
+        assert sum(coords) == Fraction(1)
+        assert all(c >= 0 for c in coords)
+
+    def test_degenerate_simplex_rejected_at_use(self):
+        flat = Simplex(((0, 0), (1, 1), (2, 2)))  # collinear
+        with pytest.raises(ParameterError):
+            flat.contains((1, 0))
+
+    def test_lattice_points_right_triangle(self):
+        tri = Simplex(((0, 0), (3, 0), (0, 3)))
+        pts = set(tri.lattice_points())
+        # Triangular number: 4+3+2+1 = 10 points including boundary.
+        assert len(pts) == 10
+        assert (0, 0) in pts and (3, 0) in pts and (1, 1) in pts
+        assert (2, 2) not in pts
+
+    def test_wrong_vertex_count(self):
+        with pytest.raises(ParameterError):
+            Simplex(((0, 0), (1, 0)))
+        with pytest.raises(ParameterError):
+            Simplex(((0, 0), (1, 0), (0, 1), (1, 1)))
+
+    def test_3d_tetrahedron(self):
+        tet = Simplex(((0, 0, 0), (2, 0, 0), (0, 2, 0), (0, 0, 2)))
+        assert tet.contains((0, 0, 0))
+        assert tet.contains((1, 0, 1))  # on a face
+        assert not tet.contains((1, 1, 1))
+        assert (0, 1, 0) in tet.lattice_points()
+
+
+class TestEncryptedSimplexSearch:
+    def test_exhaustive_triangle_query(self, setup):
+        scheme, key, rng = setup
+        tri = Simplex(((5, 5), (12, 6), (7, 13)))
+        token = scheme.gen_simplex_token(key, tri, rng)
+        for x in range(3, 16):
+            for y in range(3, 16):
+                got = scheme.matches(token, scheme.encrypt(key, (x, y), rng))
+                assert got == tri.contains((x, y)), (x, y)
+
+    def test_token_size_is_lattice_point_count(self, setup):
+        scheme, key, rng = setup
+        tri = Simplex(((0, 0), (3, 0), (0, 3)))
+        token = scheme.gen_simplex_token(key, tri, rng)
+        assert token.num_sub_tokens == 10
+
+    def test_same_key_serves_circles_and_simplices(self, setup):
+        # The headline interoperability property: one encrypted dataset,
+        # both query shapes.
+        scheme, key, rng = setup
+        record = scheme.encrypt(key, (6, 6), rng)
+        circle_token = scheme.gen_token(key, Circle.from_radius((6, 7), 2), rng)
+        simplex_token = scheme.gen_simplex_token(
+            key, Simplex(((5, 5), (8, 5), (5, 8))), rng
+        )
+        assert scheme.matches(circle_token, record)
+        assert scheme.matches(simplex_token, record)
+
+    def test_count_hiding(self, setup):
+        scheme, key, rng = setup
+        tri = Simplex(((0, 0), (3, 0), (0, 3)))  # 10 points
+        token = scheme.gen_simplex_token(key, tri, rng, hide_count_to=25)
+        assert token.num_sub_tokens == 25
+        assert scheme.matches(token, scheme.encrypt(key, (1, 1), rng))
+        assert not scheme.matches(token, scheme.encrypt(key, (9, 9), rng))
+
+    def test_count_hiding_too_small(self, setup):
+        scheme, key, rng = setup
+        tri = Simplex(((0, 0), (3, 0), (0, 3)))
+        with pytest.raises(SchemeError):
+            scheme.gen_simplex_token(key, tri, rng, hide_count_to=5)
+
+    def test_vertices_must_lie_in_space(self, setup):
+        scheme, key, rng = setup
+        with pytest.raises(ParameterError):
+            scheme.gen_simplex_token(
+                key, Simplex(((0, 0), (40, 0), (0, 4))), rng
+            )
+
+    def test_dimension_mismatch(self, setup):
+        scheme, key, rng = setup
+        tet = Simplex(((0, 0, 0), (1, 0, 0), (0, 1, 0), (0, 0, 1)))
+        with pytest.raises(ParameterError):
+            scheme.gen_simplex_token(key, tet, rng)
+
+    def test_is_still_a_crse2_scheme(self, setup):
+        scheme, _, _ = setup
+        assert isinstance(scheme, CRSE2Scheme)

@@ -1,0 +1,154 @@
+"""Tests for the Split algorithm (repro.core.split)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.split import (
+    naive_alpha,
+    optimized_alpha,
+    split_boundary,
+    split_product,
+)
+from repro.errors import ParameterError
+
+
+def _inner(u: list[int], v: list[int]) -> int:
+    return sum(a * b for a, b in zip(u, v))
+
+
+class TestBoundarySplit:
+    def test_paper_eq4_vectors(self):
+        # D = (2,2), Q = {(3,2),1}: u = (8,-4,-4,1), v = (1,3,2,12).
+        sf = split_boundary(2)
+        assert sf.alpha == 4
+        assert sf.f_u((2, 2)) == [8, -4, -4, 1]
+        assert sf.f_v((3, 2), [1]) == [1, 3, 2, 12]
+
+    def test_paper_cpe_example_products(self):
+        sf = split_boundary(2)
+        v = sf.f_v((3, 2), [1])
+        assert _inner(sf.f_u((2, 2)), v) == 0  # on boundary
+        assert _inner(sf.f_u((1, 3)), v) == 4  # paper: u'∘v = 4
+
+    def test_three_dimensions_eq_section5(self):
+        # f_u = (x²+y²+z², -2x, -2y, -2z, 1), f_v = (1, xc, yc, zc, Σc²-r²).
+        sf = split_boundary(3)
+        assert sf.alpha == 5
+        assert sf.f_u((1, 2, 3)) == [14, -2, -4, -6, 1]
+        assert sf.f_v((0, 0, 1), [4]) == [1, 0, 0, 1, -3]
+
+    @given(
+        st.tuples(st.integers(-10, 10), st.integers(-10, 10)),
+        st.tuples(st.integers(-10, 10), st.integers(-10, 10)),
+        st.integers(0, 50),
+    )
+    def test_inner_product_equals_polynomial(self, d, c, r_sq):
+        sf = split_boundary(2)
+        expected = sum((x - cc) ** 2 for x, cc in zip(d, c)) - r_sq
+        assert _inner(sf.f_u(d), sf.f_v(c, [r_sq])) == expected
+
+
+class TestProductSplit:
+    def test_paper_eq5_naive_alpha(self):
+        # Eq. 5: m = 2, w = 2 → 16 terms naive, 10 optimized.
+        assert naive_alpha(2, 2) == 16
+        assert optimized_alpha(2, 2) == 10
+        assert split_product(2, 2, optimize=False).alpha == 16
+        assert split_product(2, 2, optimize=True).alpha == 10
+
+    def test_paper_eq5_u_vector_multiset(self):
+        # The naive split's u-vector for D = (2,2) matches Eq. 5 as a
+        # multiset (the paper fixes one term order; any consistent order
+        # is a valid split).
+        sf = split_product(2, 2, optimize=False)
+        paper_u = [64, -32, -32, 8, -32, 16, 16, -4, -32, 16, 16, -4, 8, -4, -4, 1]
+        assert sorted(sf.f_u((2, 2))) == sorted(paper_u)
+
+    def test_paper_crse1_example(self):
+        # Q = {(3,2),1}: r² ∈ {0,1}.  D = (2,2) inside → 0; D' = (1,3) → 20.
+        sf = split_product(2, 2, optimize=False)
+        v = sf.f_v((3, 2), [0, 1])
+        assert _inner(sf.f_u((2, 2)), v) == 0
+        assert _inner(sf.f_u((1, 3)), v) == 20
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        m=st.integers(1, 4),
+        optimize=st.booleans(),
+        d=st.tuples(st.integers(-8, 8), st.integers(-8, 8)),
+        c=st.tuples(st.integers(0, 8), st.integers(0, 8)),
+        data=st.data(),
+    )
+    def test_split_correctness_property(self, m, optimize, d, c, data):
+        radii = data.draw(
+            st.lists(st.integers(0, 30), min_size=m, max_size=m)
+        )
+        sf = split_product(2, m, optimize=optimize)
+        got = _inner(sf.f_u(d), sf.f_v(c, radii))
+        assert got == sf.product_polynomial_value(d, c, radii)
+
+    def test_naive_and_optimized_agree(self):
+        for m in (1, 2, 3):
+            naive = split_product(2, m, optimize=False)
+            merged = split_product(2, m, optimize=True)
+            d, c = (3, -2), (1, 4)
+            radii = list(range(1, m + 1))
+            assert _inner(naive.f_u(d), naive.f_v(c, radii)) == _inner(
+                merged.f_u(d), merged.f_v(c, radii)
+            )
+
+    def test_higher_dimension_product(self):
+        sf = split_product(3, 2)
+        d, c, radii = (1, 2, 3), (2, 2, 2), [2, 5]
+        assert _inner(sf.f_u(d), sf.f_v(c, radii)) == sf.product_polynomial_value(
+            d, c, radii
+        )
+
+    def test_alpha_formulas(self):
+        for w in (2, 3):
+            for m in (1, 2, 3, 4):
+                assert split_product(w, m, optimize=False).alpha == naive_alpha(w, m)
+                assert split_product(w, m, optimize=True).alpha == optimized_alpha(
+                    w, m
+                )
+
+    def test_root_property(self):
+        # P vanishes iff the point is on one of the circles (Eq. 7).
+        sf = split_product(2, 3)
+        c = (5, 5)
+        radii = [0, 1, 4]
+        v = sf.f_v(c, radii)
+        assert _inner(sf.f_u((5, 6)), v) == 0  # on r²=1
+        assert _inner(sf.f_u((5, 7)), v) == 0  # on r²=4
+        assert _inner(sf.f_u((5, 5)), v) == 0  # the center, r²=0
+        assert _inner(sf.f_u((6, 6)), v) != 0  # dist² = 2 not covered
+
+
+class TestValidation:
+    def test_bad_dimensions(self):
+        with pytest.raises(ParameterError):
+            split_boundary(0)
+        with pytest.raises(ParameterError):
+            split_product(2, 0)
+
+    def test_expansion_limit(self):
+        with pytest.raises(ParameterError):
+            split_product(2, 12)  # 4^12 = 16.7M > limit
+
+    def test_arity_checks(self):
+        sf = split_product(2, 2)
+        with pytest.raises(ParameterError):
+            sf.f_u((1, 2, 3))
+        with pytest.raises(ParameterError):
+            sf.f_v((1, 2), [1])
+        with pytest.raises(ParameterError):
+            sf.f_v((1,), [1, 2])
+
+    def test_determinism(self):
+        # Split is a deterministic public algorithm (paper requirement).
+        a = split_product(2, 3)
+        b = split_product(2, 3)
+        assert a.u_polys == b.u_polys and a.assignments == b.assignments

@@ -1,0 +1,150 @@
+"""Tests for the SSW predicate encryption scheme."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.groups.fastgroup import FastCompositeGroup
+from repro.crypto.groups.params import default_test_params, toy_params
+from repro.crypto.ssw import (
+    ssw_encrypt,
+    ssw_gen_token,
+    ssw_query,
+    ssw_query_element_count,
+    ssw_query_pairing_count,
+    ssw_setup,
+)
+from repro.errors import CryptoError
+
+
+@pytest.fixture(scope="module")
+def fast_group_40() -> FastCompositeGroup:
+    """Fast backend with a 40-bit payload prime (negligible false matches)."""
+    return FastCompositeGroup(default_test_params().subgroup_primes)
+
+
+@pytest.fixture(scope="module")
+def key4(fast_group_40):
+    return ssw_setup(fast_group_40, 4, random.Random(1))
+
+
+class TestCorrectnessFast:
+    def test_zero_inner_product_matches(self, key4, rng):
+        ct = ssw_encrypt(key4, (8, -4, -4, 1), rng)
+        tk = ssw_gen_token(key4, (1, 3, 2, 12), rng)
+        assert ssw_query(tk, ct) is True
+
+    def test_nonzero_inner_product_rejects(self, key4, rng):
+        ct = ssw_encrypt(key4, (10, -2, -6, 1), rng)
+        tk = ssw_gen_token(key4, (1, 3, 2, 12), rng)
+        assert ssw_query(tk, ct) is False
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        x=st.lists(st.integers(-50, 50), min_size=4, max_size=4),
+        v=st.lists(st.integers(-50, 50), min_size=4, max_size=4),
+    )
+    def test_matches_inner_product(self, key4, x, v):
+        rng = random.Random(hash((tuple(x), tuple(v))) & 0xFFFF)
+        ct = ssw_encrypt(key4, x, rng)
+        tk = ssw_gen_token(key4, v, rng)
+        expected = sum(a * b for a, b in zip(x, v)) == 0
+        assert ssw_query(tk, ct) == expected
+
+    def test_orthogonal_basis_vectors(self, key4, rng):
+        ct = ssw_encrypt(key4, (1, 0, 0, 0), rng)
+        tk = ssw_gen_token(key4, (0, 1, 0, 0), rng)
+        assert ssw_query(tk, ct) is True
+
+    def test_zero_vector_matches_everything(self, key4, rng):
+        tk = ssw_gen_token(key4, (0, 0, 0, 0), rng)
+        for x in ((1, 2, 3, 4), (0, 0, 0, 0), (-5, 5, -5, 5)):
+            assert ssw_query(tk, ssw_encrypt(key4, x, rng))
+
+    def test_negative_entries_reduced_mod_order(self, key4, rng, fast_group_40):
+        n = fast_group_40.order
+        ct = ssw_encrypt(key4, (8 - n, -4 + n, -4, 1), rng)
+        tk = ssw_gen_token(key4, (1, 3 + n, 2, 12 - n), rng)
+        assert ssw_query(tk, ct) is True
+
+
+class TestCorrectnessPairing:
+    """The same behaviour on the real curve backend."""
+
+    def test_paper_worked_example(self, pairing_group):
+        rng = random.Random(3)
+        key = ssw_setup(pairing_group, 4, rng)
+        tk = ssw_gen_token(key, (1, 3, 2, 12), rng)
+        assert ssw_query(tk, ssw_encrypt(key, (8, -4, -4, 1), rng))
+        assert not ssw_query(tk, ssw_encrypt(key, (10, -2, -6, 1), rng))
+
+    def test_randomized_ciphertexts_differ(self, pairing_group):
+        rng = random.Random(4)
+        key = ssw_setup(pairing_group, 2, rng)
+        c1 = ssw_encrypt(key, (1, 2), rng)
+        c2 = ssw_encrypt(key, (1, 2), rng)
+        assert c1.elements() != c2.elements()
+        tk = ssw_gen_token(key, (2, -1), rng)
+        assert ssw_query(tk, c1) and ssw_query(tk, c2)
+
+
+class TestStructure:
+    def test_ciphertext_element_count(self, key4, rng):
+        ct = ssw_encrypt(key4, (1, 2, 3, 4), rng)
+        assert len(ct.elements()) == ssw_query_element_count(4) == 10
+        assert ct.n == 4
+
+    def test_token_element_count(self, key4, rng):
+        tk = ssw_gen_token(key4, (1, 2, 3, 4), rng)
+        assert len(tk.elements()) == 10
+        assert tk.n == 4
+
+    def test_pairing_count_formula(self):
+        assert ssw_query_pairing_count(4) == 10
+        assert ssw_query_pairing_count(10) == 22
+
+
+class TestMisuse:
+    def test_wrong_vector_length(self, key4, rng):
+        with pytest.raises(CryptoError):
+            ssw_encrypt(key4, (1, 2, 3), rng)
+        with pytest.raises(CryptoError):
+            ssw_gen_token(key4, (1, 2, 3, 4, 5), rng)
+
+    def test_length_mismatch_at_query(self, fast_group_40, rng):
+        k4 = ssw_setup(fast_group_40, 4, rng)
+        k3 = ssw_setup(fast_group_40, 3, rng)
+        ct = ssw_encrypt(k4, (1, 2, 3, 4), rng)
+        tk = ssw_gen_token(k3, (1, 2, 3), rng)
+        with pytest.raises(CryptoError):
+            ssw_query(tk, ct)
+
+    def test_zero_length_setup_rejected(self, fast_group_40, rng):
+        with pytest.raises(CryptoError):
+            ssw_setup(fast_group_40, 0, rng)
+
+    def test_wrong_key_rejects_match(self, fast_group_40, rng):
+        key_a = ssw_setup(fast_group_40, 4, random.Random(10))
+        key_b = ssw_setup(fast_group_40, 4, random.Random(20))
+        ct = ssw_encrypt(key_a, (8, -4, -4, 1), rng)
+        tk = ssw_gen_token(key_b, (1, 3, 2, 12), rng)
+        # Same inner product, but under a different key: no match.
+        assert ssw_query(tk, ct) is False
+
+
+class TestSecurityMechanics:
+    """Structural properties a curious server could otherwise exploit."""
+
+    def test_tokens_are_randomized(self, key4, rng):
+        t1 = ssw_gen_token(key4, (1, 3, 2, 12), rng)
+        t2 = ssw_gen_token(key4, (1, 3, 2, 12), rng)
+        assert t1.elements() != t2.elements()
+
+    def test_scaled_vectors_both_match(self, key4, rng):
+        # (x ∘ v) = 0 implies (x ∘ cv) = 0: predicate is projective.
+        ct = ssw_encrypt(key4, (8, -4, -4, 1), rng)
+        assert ssw_query(ssw_gen_token(key4, (2, 6, 4, 24), rng), ct)

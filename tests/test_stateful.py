@@ -1,0 +1,96 @@
+"""Hypothesis stateful testing: random interleavings of the full deployment.
+
+A rule-based state machine uploads, queries, deletes, and fetches in
+arbitrary orders while mirroring the expected plaintext state; the system
+must track it exactly.  This explores interleavings (delete-then-re-query,
+fetch-after-delete, repeated uploads) beyond what the hand-written traces
+cover.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.cloud.deployment import CloudDeployment
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace, point_in_circle
+from repro.core.provision import group_for_crse2
+
+_SPACE = DataSpace(2, 12)
+_GROUP = group_for_crse2(_SPACE, "fast", random.Random(0x57F))
+
+coords = st.integers(0, _SPACE.t - 1)
+points = st.tuples(coords, coords)
+
+
+class DeploymentMachine(RuleBasedStateMachine):
+    """Drives one deployment against a plaintext shadow."""
+
+    @initialize()
+    def setup(self):
+        rng = random.Random(0x57F1)
+        scheme = CRSE2Scheme(_SPACE, _GROUP)
+        self.deployment = CloudDeployment.create(scheme, rng=rng)
+        self.shadow: dict[int, tuple[int, int]] = {}
+        self.contents: dict[int, bytes] = {}
+
+    # ------------------------------------------------------------------
+    @rule(batch=st.lists(points, min_size=1, max_size=3))
+    def upload(self, batch):
+        before = set(self.deployment.owner.directory)
+        bodies = [f"rec-{p}".encode() for p in batch]
+        self.deployment.outsource(batch, contents=bodies)
+        new_ids = sorted(set(self.deployment.owner.directory) - before)
+        for identifier, point, body in zip(new_ids, batch, bodies):
+            self.shadow[identifier] = tuple(point)
+            self.contents[identifier] = body
+
+    @rule(center=points, radius=st.integers(0, 3))
+    def query(self, center, radius):
+        circle = Circle.from_radius(center, radius)
+        response = self.deployment.query(circle)
+        expected = sorted(
+            identifier
+            for identifier, point in self.shadow.items()
+            if point_in_circle(point, circle)
+        )
+        assert sorted(response.identifiers) == expected
+
+    @rule(pick=st.integers(0, 30))
+    def delete(self, pick):
+        if not self.shadow:
+            return
+        victim = sorted(self.shadow)[pick % len(self.shadow)]
+        removed = self.deployment.delete([victim])
+        assert removed == 1
+        del self.shadow[victim]
+        self.contents.pop(victim, None)
+
+    @rule(pick=st.integers(0, 30))
+    def fetch(self, pick):
+        if not self.shadow:
+            return
+        identifier = sorted(self.shadow)[pick % len(self.shadow)]
+        fetched = self.deployment.user.fetch_contents((identifier,))
+        assert fetched[identifier] == self.contents[identifier]
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def record_counts_agree(self):
+        if hasattr(self, "deployment"):
+            assert self.deployment.server.record_count == len(self.shadow)
+
+
+TestDeploymentStateMachine = DeploymentMachine.TestCase
+TestDeploymentStateMachine.settings = settings(
+    max_examples=12, stateful_step_count=12, deadline=None
+)

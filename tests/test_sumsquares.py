@@ -1,0 +1,188 @@
+"""Tests for repro.math.sumsquares — the GenConCircle number theory."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.math.sumsquares import (
+    all_two_square_representations,
+    count_lattice_points_in_circle,
+    is_sum_of_squares,
+    is_sum_of_three_squares,
+    is_sum_of_two_squares,
+    lattice_points_on_circle,
+    lattice_points_on_sphere,
+    sums_of_squares_up_to,
+    sums_of_two_squares_up_to,
+    two_square_representation,
+)
+
+
+def _brute_two_squares(n: int) -> bool:
+    a = 0
+    while a * a <= n:
+        b = math.isqrt(n - a * a)
+        if a * a + b * b == n:
+            return True
+        a += 1
+    return False
+
+
+def _brute_k_squares(n: int, k: int) -> bool:
+    if k == 1:
+        r = math.isqrt(n)
+        return r * r == n
+    a = 0
+    while a * a <= n:
+        if _brute_k_squares(n - a * a, k - 1):
+            return True
+        a += 1
+    return False
+
+
+class TestTwoSquares:
+    @given(st.integers(0, 3000))
+    def test_matches_brute_force(self, n):
+        assert is_sum_of_two_squares(n) == _brute_two_squares(n)
+
+    def test_negative(self):
+        assert not is_sum_of_two_squares(-1)
+
+    def test_fermat_criterion_examples(self):
+        assert is_sum_of_two_squares(2 * 5 * 13)  # all good primes
+        assert not is_sum_of_two_squares(3)  # 3 ≡ 3 (mod 4), odd power
+        assert is_sum_of_two_squares(9)  # 3², even power
+        assert not is_sum_of_two_squares(3 * 5)
+
+
+class TestThreeSquares:
+    @given(st.integers(0, 2000))
+    def test_matches_brute_force(self, n):
+        assert is_sum_of_three_squares(n) == _brute_k_squares(n, 3)
+
+    def test_legendre_forbidden_form(self):
+        # n = 4^a (8b + 7) are exactly the non-representables.
+        for a in range(3):
+            for b in range(5):
+                assert not is_sum_of_three_squares(4**a * (8 * b + 7))
+
+
+class TestIsSumOfSquares:
+    @given(st.integers(0, 500), st.integers(1, 5))
+    def test_matches_brute_force(self, n, w):
+        assert is_sum_of_squares(n, w) == _brute_k_squares(n, w)
+
+    def test_lagrange_everything_at_four(self):
+        assert all(is_sum_of_squares(n, 4) for n in range(200))
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            is_sum_of_squares(5, 0)
+
+
+class TestEnumeration:
+    @given(st.integers(-5, 2500))
+    def test_sieve_matches_predicate(self, limit):
+        listed = sums_of_two_squares_up_to(limit)
+        assert listed == [
+            n for n in range(max(limit, -1) + 1) if is_sum_of_two_squares(n)
+        ]
+
+    @given(st.integers(0, 300), st.integers(1, 5))
+    def test_general_dimension(self, limit, w):
+        listed = sums_of_squares_up_to(limit, w)
+        assert listed == [n for n in range(limit + 1) if _brute_k_squares(n, w)]
+
+    def test_paper_m_values(self):
+        # Table I: m = 2, 4, 7 for R = 1, 2, 3; token-size math gives m(10)=44.
+        assert len(sums_of_two_squares_up_to(1)) == 2
+        assert len(sums_of_two_squares_up_to(4)) == 4
+        assert len(sums_of_two_squares_up_to(9)) == 7
+        assert len(sums_of_two_squares_up_to(100)) == 44
+
+    def test_lagrange_count_is_r2_plus_1(self):
+        # Paper Sec. VI-D: for w >= 4, m is exactly R² + 1.
+        assert len(sums_of_squares_up_to(49, 4)) == 50
+        assert len(sums_of_squares_up_to(49, 6)) == 50
+
+
+class TestRepresentations:
+    @given(st.integers(0, 5000))
+    def test_constructive_when_representable(self, n):
+        if is_sum_of_two_squares(n):
+            a, b = two_square_representation(n)
+            assert a * a + b * b == n and 0 <= a <= b
+        else:
+            with pytest.raises(ValueError):
+                two_square_representation(n)
+
+    def test_large_prime_one_mod_four(self):
+        p = 1_000_033  # ≡ 1 (mod 4)
+        a, b = two_square_representation(p)
+        assert a * a + b * b == p
+
+    def test_large_composite(self):
+        n = 2**4 * 9 * 13 * 17 * 29
+        a, b = two_square_representation(n)
+        assert a * a + b * b == n
+
+    @given(st.integers(0, 1000))
+    def test_all_representations_complete(self, n):
+        reps = all_two_square_representations(n)
+        # Every listed pair works.
+        assert all(a * a + b * b == n and a <= b for a, b in reps)
+        # Completeness and non-emptiness match the predicate.
+        assert bool(reps) == is_sum_of_two_squares(n)
+        assert len(set(reps)) == len(reps)
+
+
+class TestLatticePoints:
+    def test_unit_circle(self):
+        pts = lattice_points_on_circle((0, 0), 1)
+        assert sorted(pts) == [(-1, 0), (0, -1), (0, 1), (1, 0)]
+
+    def test_r_squared_25_has_twelve_points(self):
+        # 25 = 0²+5² = 3²+4²: 4 + 8 signed variants.
+        assert len(lattice_points_on_circle((0, 0), 25)) == 12
+
+    def test_translation(self):
+        base = lattice_points_on_circle((0, 0), 5)
+        shifted = lattice_points_on_circle((10, -3), 5)
+        assert sorted((x + 10, y - 3) for x, y in base) == shifted
+
+    @given(st.integers(0, 400))
+    def test_membership_exact(self, r_sq):
+        pts = lattice_points_on_circle((0, 0), r_sq)
+        assert all(x * x + y * y == r_sq for x, y in pts)
+
+    def test_sphere_3d(self):
+        pts = lattice_points_on_sphere((0, 0, 0), 1)
+        assert len(pts) == 6
+        pts = lattice_points_on_sphere((0, 0, 0), 3)
+        assert len(pts) == 8  # (±1, ±1, ±1)
+
+    def test_sphere_matches_circle_in_2d(self):
+        assert lattice_points_on_sphere((2, 3), 25) == lattice_points_on_circle(
+            (2, 3), 25
+        )
+
+
+class TestGaussCircle:
+    @given(st.integers(0, 900))
+    def test_count_matches_enumeration(self, r_sq):
+        count = count_lattice_points_in_circle(r_sq)
+        r = math.isqrt(r_sq)
+        brute = sum(
+            1
+            for x in range(-r, r + 1)
+            for y in range(-r, r + 1)
+            if x * x + y * y <= r_sq
+        )
+        assert count == brute
+
+    def test_negative(self):
+        assert count_lattice_points_in_circle(-1) == 0

@@ -1,0 +1,135 @@
+"""Tests for trace replay and the regression-fit helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.fit import linear_fit, power_fit
+from repro.cloud.deployment import CloudDeployment
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace
+from repro.core.provision import group_for_crse2
+from repro.datasets.workload import (
+    DeleteOp,
+    QueryOp,
+    UploadOp,
+    generate_trace,
+    replay,
+)
+from repro.errors import ParameterError
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_line_r2(self):
+        rng = random.Random(1)
+        x = list(range(50))
+        y = [3 * v + 10 + rng.gauss(0, 1) for v in x]
+        fit = linear_fit(x, y)
+        assert fit.slope == pytest.approx(3.0, abs=0.1)
+        assert fit.r_squared > 0.99
+
+    def test_constant_y(self):
+        fit = linear_fit([1, 2, 3], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_degenerate_inputs(self):
+        with pytest.raises(ParameterError):
+            linear_fit([1], [2])
+        with pytest.raises(ParameterError):
+            linear_fit([2, 2], [1, 3])
+
+
+class TestPowerFit:
+    def test_exact_square_law(self):
+        x = [1, 2, 4, 8, 16]
+        y = [3 * v * v for v in x]
+        fit = power_fit(x, y)
+        assert fit.slope == pytest.approx(2.0)
+
+    def test_paper_growth_claims(self):
+        # m(R) grows like R²/√log — the fitted exponent sits just below 2.
+        from repro.core.concircles import num_concentric_circles
+
+        radii = list(range(5, 51, 5))
+        m = [num_concentric_circles(r * r) for r in radii]
+        fit = power_fit(radii, m)
+        assert 1.7 < fit.slope < 2.0
+        assert fit.r_squared > 0.999
+
+    def test_positivity(self):
+        with pytest.raises(ParameterError):
+            power_fit([0, 1], [1, 2])
+
+
+@pytest.fixture()
+def deployment():
+    rng = random.Random(0x4E9)
+    space = DataSpace(2, 24)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    return CloudDeployment.create(scheme, rng=rng)
+
+
+class TestReplay:
+    def test_generated_trace_verifies(self, deployment):
+        rng = random.Random(0x4EA)
+        trace = generate_trace(deployment.scheme.space, 25, rng, max_radius=3)
+        report = replay(deployment, trace)
+        assert report.queries == report.verified_queries
+        assert report.records_added >= 5
+        assert not report.mismatches
+
+    def test_handwritten_trace(self, deployment):
+        trace = [
+            UploadOp(points=((5, 5), (6, 6), (20, 20))),
+            QueryOp(circle=Circle.from_radius((5, 5), 2)),
+            DeleteOp(live_indices=(0,)),
+            QueryOp(circle=Circle.from_radius((5, 5), 2)),
+            UploadOp(points=((5, 6),), contents=(b"back",)),
+            QueryOp(circle=Circle.from_radius((5, 5), 2), hide_radius_to=9),
+        ]
+        report = replay(deployment, trace)
+        assert report.uploads == 2
+        assert report.deletes == 1
+        assert report.verified_queries == 3
+        # First query sees (5,5) and (6,6); second loses the deleted (5,5);
+        # third regains the re-uploaded (5,6).
+        assert report.total_matches == 2 + 1 + 2
+
+    def test_verification_catches_tampering(self, deployment):
+        replay(deployment, [UploadOp(points=((5, 5), (9, 9)))])
+        # Corrupt the server: drop a record behind the owner's back.
+        deployment.server._records.pop(0)
+        with pytest.raises(AssertionError):
+            replay(
+                deployment,
+                [QueryOp(circle=Circle.from_radius((5, 5), 1))],
+            )
+
+    def test_unverified_replay_reports_only(self, deployment):
+        replay(deployment, [UploadOp(points=((5, 5),))])
+        deployment.server._records.pop(0)
+        report = replay(
+            deployment,
+            [QueryOp(circle=Circle.from_radius((5, 5), 1))],
+            verify=False,
+        )
+        assert report.queries == 1 and not report.mismatches
+
+    def test_trace_generator_validation(self, deployment):
+        with pytest.raises(ParameterError):
+            generate_trace(deployment.scheme.space, 0, random.Random(1))
+
+    def test_trace_reproducible(self, deployment):
+        space = deployment.scheme.space
+        a = generate_trace(space, 10, random.Random(9))
+        b = generate_trace(space, 10, random.Random(9))
+        assert a == b
