@@ -1,4 +1,5 @@
-"""Analysis utilities: operation counting and paper-style reporting."""
+"""Analysis utilities: operation counting, paper-style reporting, and the
+``reprolint`` static analyzer (:mod:`repro.analysis.staticcheck`)."""
 
 from repro.analysis.fit import FitResult, linear_fit, power_fit
 from repro.analysis.growth import (
@@ -22,9 +23,11 @@ from repro.analysis.opcount import (
     ssw_setup_ops,
 )
 from repro.analysis.report import Series, TextTable, format_series_block
+from repro.analysis.staticcheck import Finding, lint_paths
 
 __all__ = [
     "LANDAU_RAMANUJAN",
+    "Finding",
     "FitResult",
     "OpCount",
     "Series",
@@ -40,6 +43,7 @@ __all__ = [
     "format_series_block",
     "landau_ramanujan_estimate",
     "linear_fit",
+    "lint_paths",
     "power_fit",
     "predicted_m",
     "ssw_encrypt_ops",

@@ -1,0 +1,37 @@
+"""``reprolint`` — crypto-aware static analysis for this codebase.
+
+An AST-based lint engine with a rule registry (CRS001-CRS006), inline
+``# reprolint: ignore[RULE]`` suppressions, a baseline file for accepted
+pre-existing findings, and a CLI (``python -m repro.analysis.staticcheck``
+or ``python -m repro lint``).  See :mod:`repro.analysis.staticcheck.rules`
+for what each rule catches and why it matters for the scheme, and
+``docs/SECURITY.md`` for the user-facing rule table.
+"""
+
+from repro.analysis.staticcheck.baseline import (
+    BASELINE_FILENAME,
+    load_baseline,
+    partition_findings,
+    write_baseline,
+)
+from repro.analysis.staticcheck.engine import (
+    REGISTRY,
+    Finding,
+    Rule,
+    active_rules,
+    lint_paths,
+)
+from repro.analysis.staticcheck.rules import SECRET_WORDS
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "Finding",
+    "REGISTRY",
+    "Rule",
+    "SECRET_WORDS",
+    "active_rules",
+    "lint_paths",
+    "load_baseline",
+    "partition_findings",
+    "write_baseline",
+]

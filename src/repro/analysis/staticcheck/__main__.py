@@ -1,0 +1,8 @@
+"""``python -m repro.analysis.staticcheck`` — run the linter."""
+
+import sys
+
+from repro.analysis.staticcheck.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Baseline files: accepted pre-existing findings that must not block.
+
+A baseline is a JSON document listing finding fingerprints (rule + path +
+snippet, see :meth:`Finding.fingerprint`).  Linting partitions findings into
+*new* (absent from the baseline — these fail the run) and *suppressed*
+(present — reported only in counts).  The shipped repository baseline is
+``.reprolint-baseline.json`` at the repo root; regenerate it with
+``python -m repro.analysis.staticcheck --write-baseline`` after deliberately
+accepting a finding.
+
+Entries carry the human-readable location and message alongside the
+fingerprint so the file reviews like a suppression list, not a hash dump.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.staticcheck.engine import Finding
+from repro.errors import StaticAnalysisError
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "load_baseline",
+    "write_baseline",
+    "partition_findings",
+]
+
+BASELINE_FILENAME = ".reprolint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def load_baseline(path: Path | None) -> frozenset[str]:
+    """Return the set of baselined fingerprints (empty for a missing file).
+
+    Raises:
+        StaticAnalysisError: If the file exists but is malformed.
+    """
+    if path is None or not path.exists():
+        return frozenset()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StaticAnalysisError(f"malformed baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        raise StaticAnalysisError(
+            f"baseline {path} has unsupported format "
+            f"(expected version {_FORMAT_VERSION})"
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise StaticAnalysisError(f"baseline {path} lacks a findings list")
+    fingerprints = set()
+    for entry in entries:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise StaticAnalysisError(
+                f"baseline {path} entry missing a fingerprint: {entry!r}"
+            )
+        fingerprints.add(str(entry["fingerprint"]))
+    return frozenset(fingerprints)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write *findings* as the new baseline at *path* (sorted, reviewable).
+
+    Raises:
+        StaticAnalysisError: If the file cannot be written.
+    """
+    entries = [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "line": f.line,
+            "message": f.message,
+            "snippet": f.snippet,
+            "fingerprint": f.fingerprint,
+        }
+        for f in sorted(findings, key=Finding.sort_key)
+    ]
+    payload = {"version": _FORMAT_VERSION, "findings": entries}
+    try:
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    except OSError as exc:
+        raise StaticAnalysisError(f"cannot write baseline {path}: {exc}") from exc
+
+
+def partition_findings(
+    findings: Sequence[Finding], baseline: frozenset[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into ``(new, suppressed)`` against *baseline*."""
+    new: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        (suppressed if finding.fingerprint in baseline else new).append(finding)
+    return new, suppressed

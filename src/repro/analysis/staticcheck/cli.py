@@ -1,0 +1,190 @@
+"""Command-line front end for ``reprolint``.
+
+Run as ``python -m repro.analysis.staticcheck [paths]`` or via the library
+CLI as ``python -m repro lint [paths]``.  Exit codes:
+
+* ``0`` — no new findings (clean, or everything suppressed/baselined);
+* ``1`` — at least one new finding;
+* ``2`` — the analyzer itself failed (bad path, malformed baseline,
+  unknown rule selection).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.analysis.staticcheck.baseline import (
+    BASELINE_FILENAME,
+    load_baseline,
+    partition_findings,
+    write_baseline,
+)
+from repro.analysis.staticcheck.engine import REGISTRY, lint_paths
+from repro.errors import StaticAnalysisError
+
+__all__ = ["build_parser", "run_lint", "main"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the standalone ``reprolint`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Crypto-aware static analysis for the repro codebase "
+        "(rules CRS001-CRS006).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/repro, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: ./{BASELINE_FILENAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="directory findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def _default_paths() -> list[Path]:
+    preferred = Path("src/repro")
+    return [preferred] if preferred.is_dir() else [Path(".")]
+
+
+def _resolve_baseline_path(
+    baseline: Path | None, no_baseline: bool, root: Path
+) -> Path | None:
+    if no_baseline:
+        return None
+    if baseline is not None:
+        return baseline
+    default = root / BASELINE_FILENAME
+    return default if default.exists() else None
+
+
+def _print_rule_table(out: TextIO) -> None:
+    # Importing the rule pack populates the registry.
+    from repro.analysis.staticcheck import rules as _rules  # noqa: F401
+
+    for rule_id in sorted(REGISTRY):
+        rule = REGISTRY[rule_id]
+        print(f"{rule_id}  {rule.title}", file=out)
+        print(f"        {rule.rationale}", file=out)
+
+
+def run_lint(
+    paths: Sequence[Path] | None = None,
+    *,
+    output_format: str = "human",
+    baseline: Path | None = None,
+    no_baseline: bool = False,
+    write_baseline_file: bool = False,
+    select: str | None = None,
+    root: Path | None = None,
+    out: TextIO | None = None,
+) -> int:
+    """Programmatic lint run shared by both CLI entry points.
+
+    Returns the process exit code (see module docstring).  Analyzer
+    failures are printed to stderr and reported as :data:`EXIT_ERROR`
+    rather than raised, so both CLIs behave identically.
+    """
+    out = out if out is not None else sys.stdout
+    root = root if root is not None else Path.cwd()
+    lint_targets = list(paths) if paths else _default_paths()
+    selected = select.split(",") if select else None
+    try:
+        findings = lint_paths(lint_targets, root=root, select=selected)
+        baseline_path = _resolve_baseline_path(baseline, no_baseline, root)
+        if write_baseline_file:
+            target = baseline_path or (root / BASELINE_FILENAME)
+            write_baseline(target, findings)
+            print(
+                f"wrote {len(findings)} finding(s) to baseline {target}",
+                file=out,
+            )
+            return EXIT_CLEAN
+        known = load_baseline(baseline_path)
+    except StaticAnalysisError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    new, suppressed = partition_findings(findings, known)
+
+    if output_format == "json":
+        payload = {
+            "findings": [f.to_dict() for f in new],
+            "suppressed": len(suppressed),
+            "baseline": str(baseline_path) if baseline_path else None,
+            "rules": sorted(REGISTRY),
+        }
+        print(json.dumps(payload, indent=2), file=out)
+    else:
+        for finding in new:
+            print(finding.render(), file=out)
+        summary = f"{len(new)} finding(s)"
+        if suppressed:
+            summary += f", {len(suppressed)} baselined"
+        print(summary, file=out)
+    return EXIT_FINDINGS if new else EXIT_CLEAN
+
+
+def main(argv: list[str] | None = None, out: TextIO | None = None) -> int:
+    """Entry point for ``python -m repro.analysis.staticcheck``."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        _print_rule_table(out)
+        return EXIT_CLEAN
+    return run_lint(
+        args.paths,
+        output_format=args.format,
+        baseline=args.baseline,
+        no_baseline=args.no_baseline,
+        write_baseline_file=args.write_baseline,
+        select=args.select,
+        root=args.root,
+        out=out,
+    )

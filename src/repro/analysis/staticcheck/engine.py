@@ -1,0 +1,365 @@
+"""Core of ``reprolint``: file contexts, findings, and the rule registry.
+
+The engine is deliberately small: it parses each Python file once into an
+:mod:`ast` tree, wraps it in a :class:`FileContext` (source lines, inline
+suppression comments, annotation tracking), and hands the context to every
+registered :class:`Rule`.  Rules yield :class:`Finding` objects; the engine
+filters inline-suppressed ones and sorts the rest.
+
+Two suppression layers exist (see :mod:`repro.analysis.staticcheck.baseline`
+for the second):
+
+* ``# reprolint: ignore[CRS001]`` on the offending line (or on a comment
+  line directly above it) silences named rules — ``ignore[*]`` silences all;
+* a baseline file records accepted pre-existing findings by fingerprint so
+  they never block, while *new* findings still do.
+
+Fingerprints hash the rule id, the file's path relative to the lint root,
+and the source snippet — not the line number — so unrelated edits that shift
+lines do not invalidate a baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import StaticAnalysisError
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "REGISTRY",
+    "register",
+    "active_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "PARSE_ERROR_RULE",
+]
+
+# Pseudo-rule id attached to findings for files that fail to parse.
+PARSE_ERROR_RULE = "CRS000"
+
+_IGNORE_RE = re.compile(r"#\s*reprolint:\s*ignore\[([A-Za-z0-9*,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding: a rule violated at a location.
+
+    Attributes:
+        rule: Rule identifier (``CRS001`` … ``CRS006``, or ``CRS000`` for
+            unparseable files).
+        path: File path relative to the lint root (POSIX separators).
+        line: 1-based line number.
+        col: 0-based column offset.
+        message: Human-readable description of the violation.
+        snippet: The stripped source line, used for display and for the
+            baseline fingerprint.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: rule + path + snippet.
+
+        Line numbers are excluded on purpose so that edits elsewhere in the
+        file do not invalidate baseline entries.
+        """
+        material = "\x1f".join((self.rule, self.path, self.snippet.strip()))
+        return hashlib.sha256(material.encode()).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (used by ``--format=json``)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    def sort_key(self) -> tuple:
+        """Stable ordering: by file, then position, then rule id."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        """One-line human-readable rendering."""
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+class FileContext:
+    """Everything a rule needs to inspect one parsed Python file."""
+
+    def __init__(self, path: Path, relpath: str, source: str):
+        """Parse *source* and precompute suppression and annotation maps.
+
+        Raises:
+            SyntaxError: If *source* is not valid Python (callers turn this
+                into a :data:`PARSE_ERROR_RULE` finding).
+        """
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self._ignores = self._collect_ignores(self.lines)
+        self._annotation_nodes = self._collect_annotation_nodes(self.tree)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _collect_ignores(lines: list[str]) -> dict[int, frozenset[str]]:
+        """Map line number -> rules silenced there by inline comments.
+
+        A comment applies to its own line; a line that is *only* a comment
+        also applies to the next line, so a suppression can sit above a long
+        statement.
+        """
+        ignores: dict[int, set[str]] = {}
+        for lineno, text in enumerate(lines, start=1):
+            match = _IGNORE_RE.search(text)
+            if not match:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            ignores.setdefault(lineno, set()).update(rules)
+            if text.lstrip().startswith("#"):
+                ignores.setdefault(lineno + 1, set()).update(rules)
+        return {line: frozenset(rules) for line, rules in ignores.items()}
+
+    @staticmethod
+    def _collect_annotation_nodes(tree: ast.AST) -> frozenset[int]:
+        """Ids of AST nodes that live inside type annotations.
+
+        Rules about *values* (e.g. CRS001) must not flag ``rng:
+        random.Random`` parameter annotations, which are types, not uses.
+        """
+        roots: list[ast.AST] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in (
+                    *args.posonlyargs,
+                    *args.args,
+                    *args.kwonlyargs,
+                    *filter(None, (args.vararg, args.kwarg)),
+                ):
+                    if arg.annotation is not None:
+                        roots.append(arg.annotation)
+                if node.returns is not None:
+                    roots.append(node.returns)
+            elif isinstance(node, ast.AnnAssign):
+                roots.append(node.annotation)
+        ids = set()
+        for root in roots:
+            for sub in ast.walk(root):
+                ids.add(id(sub))
+        return frozenset(ids)
+
+    # ------------------------------------------------------------------
+    def in_annotation(self, node: ast.AST) -> bool:
+        """True if *node* is part of a type annotation."""
+        return id(node) in self._annotation_nodes
+
+    def has_path_segment(self, *segments: str) -> bool:
+        """True if the file's relative path contains any of *segments*.
+
+        Path-based scoping: a rule about key-generation randomness applies
+        to files under ``crypto/`` or ``core/`` regardless of where the lint
+        root sits, including test fixtures that mirror the layout.
+        """
+        parts = set(Path(self.relpath).parts)
+        stems = {Path(part).stem for part in parts}
+        return any(seg in parts or seg in stems for seg in segments)
+
+    def line_text(self, lineno: int) -> str:
+        """The stripped source line at 1-based *lineno* ('' if out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at *node*."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=self.relpath,
+            line=line,
+            col=col,
+            message=message,
+            snippet=self.line_text(line),
+        )
+
+    def is_inline_suppressed(self, finding: Finding) -> bool:
+        """True if an inline ``reprolint: ignore`` comment covers *finding*."""
+        rules = self._ignores.get(finding.line)
+        if not rules:
+            return False
+        return "*" in rules or finding.rule in rules
+
+
+@dataclass
+class Rule:
+    """Base class for lint rules.  Subclasses set the class attributes below.
+
+    Attributes:
+        rule_id: Stable identifier (``CRSnnn``) used in output, inline
+            suppressions, and baselines.
+        title: Short name shown by ``--list-rules``.
+        rationale: Why violating the rule endangers the scheme.
+    """
+
+    rule_id: str = field(default="", init=False)
+    title: str = field(default="", init=False)
+    rationale: str = field(default="", init=False)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file.  Subclasses must override."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for type checkers
+
+
+#: All registered rules, keyed by rule id, in registration order.
+REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate and add a :class:`Rule` to the registry.
+
+    Raises:
+        StaticAnalysisError: On duplicate rule ids (a packaging bug).
+    """
+    instance = cls()
+    if not instance.rule_id:
+        raise StaticAnalysisError(f"rule {cls.__name__} has no rule_id")
+    if instance.rule_id in REGISTRY:
+        raise StaticAnalysisError(f"duplicate rule id {instance.rule_id}")
+    REGISTRY[instance.rule_id] = instance
+    return cls
+
+
+def active_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Resolve a ``--select`` list (or None for all rules) to rule objects.
+
+    Raises:
+        StaticAnalysisError: For unknown rule ids.
+    """
+    if select is None:
+        return list(REGISTRY.values())
+    chosen = []
+    for rule_id in select:
+        rule_id = rule_id.strip()
+        if not rule_id:
+            continue
+        if rule_id not in REGISTRY:
+            known = ", ".join(sorted(REGISTRY))
+            raise StaticAnalysisError(f"unknown rule {rule_id!r} (known: {known})")
+        chosen.append(REGISTRY[rule_id])
+    if not chosen:
+        raise StaticAnalysisError("rule selection is empty")
+    return chosen
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under *paths* (files pass through directly).
+
+    Hidden directories and ``__pycache__`` are skipped.
+
+    Raises:
+        StaticAnalysisError: For a path that does not exist.
+    """
+    seen: set[Path] = set()
+    for path in paths:
+        if not path.exists():
+            raise StaticAnalysisError(f"no such file or directory: {path}")
+        if path.is_file():
+            candidates: Iterable[Path] = [path]
+        else:
+            candidates = sorted(path.rglob("*.py"))
+        for candidate in candidates:
+            parts = candidate.parts
+            if any(p == "__pycache__" or p.startswith(".") for p in parts[1:]):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = path
+    return rel.as_posix()
+
+
+def lint_file(path: Path, root: Path, rules: Sequence[Rule]) -> list[Finding]:
+    """Lint one file; a syntax error yields a single CRS000 finding."""
+    relpath = _relpath(path, root)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise StaticAnalysisError(f"cannot read {path}: {exc}") from exc
+    try:
+        ctx = FileContext(path, relpath, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_ERROR_RULE,
+                path=relpath,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    findings = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if not ctx.is_inline_suppressed(finding):
+                findings.append(finding)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    root: Path | str | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint files/directories and return all findings, sorted by location.
+
+    Args:
+        paths: Files or directories to lint.
+        root: Directory findings' paths are reported relative to (defaults
+            to the current working directory).
+        select: Optional iterable of rule ids to run (default: all).
+
+    Raises:
+        StaticAnalysisError: For missing paths or unknown rule selections.
+    """
+    # Importing the rule pack registers the rules exactly once.
+    from repro.analysis.staticcheck import rules as _rules  # noqa: F401
+
+    root_path = Path(root) if root is not None else Path.cwd()
+    rule_objects = active_rules(select)
+    findings: list[Finding] = []
+    for path in iter_python_files([Path(p) for p in paths]):
+        findings.extend(lint_file(path, root_path, rule_objects))
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,471 @@
+"""The ``reprolint`` rule pack: crypto-aware checks for this codebase.
+
+Each rule encodes one implementation-level invariant the scheme's security
+rests on but the type system cannot see.  The rules are heuristic — they
+trade exhaustive dataflow analysis for predictable, reviewable behaviour —
+and every heuristic is documented on the rule class.  False positives are
+handled by inline ``# reprolint: ignore[...]`` comments (with a
+justification) or the baseline file, never by weakening the rule.
+
+| ID     | What it catches                                              |
+|--------|--------------------------------------------------------------|
+| CRS001 | non-CSPRNG ``random`` in key/token-generation paths          |
+| CRS002 | variable-time ``==``/``!=`` on secret-named values           |
+| CRS003 | pairing/deserialization without membership validation        |
+| CRS004 | security invariants guarded by bare ``assert``               |
+| CRS005 | unsafe deserialization primitives (pickle/eval/exec)         |
+| CRS006 | CRSE-II permutations derived from fixed seeds/β              |
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.staticcheck.engine import (
+    FileContext,
+    Finding,
+    Rule,
+    register,
+)
+
+__all__ = [
+    "InsecureRandomnessRule",
+    "VariableTimeComparisonRule",
+    "UnvalidatedGroupElementRule",
+    "BareAssertRule",
+    "UnsafeDeserializationRule",
+    "PermutationReuseRule",
+    "SECRET_WORDS",
+]
+
+# Directory names that hold key- and token-generation code in this repo.
+_KEY_PATH_SEGMENTS = ("crypto", "core", "math")
+
+# Identifier components that mark a binding as secret material.
+SECRET_WORDS = frozenset(
+    {
+        "key",
+        "token",
+        "subtoken",
+        "secret",
+        "mac",
+        "tag",
+        "digest",
+        "nonce",
+        "password",
+        "radii",
+        "sk",
+    }
+)
+
+_CAMEL_SPLIT = re.compile(r"[_\W]+|(?<=[a-z0-9])(?=[A-Z])")
+
+
+def _is_secret_name(name: str) -> bool:
+    """True if *name* looks like it binds secret material.
+
+    ALL_CAPS names are treated as public constants by convention (sizes,
+    format tags) and never match.
+    """
+    if not name or name.isupper():
+        return False
+    for part in _CAMEL_SPLIT.split(name):
+        part = part.lower()
+        if part in SECRET_WORDS or part.rstrip("s") in SECRET_WORDS:
+            return True
+    return False
+
+
+def _call_name(node: ast.Call) -> str:
+    """The called function's terminal name (``hmac.compare_digest`` -> that attr)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+@register
+class InsecureRandomnessRule(Rule):
+    """CRS001 — non-CSPRNG randomness in key/token-generation paths.
+
+    Flags, in files under ``crypto/``, ``core/``, or ``math/``:
+
+    * any value-position use of ``random.<attr>`` except
+      ``random.SystemRandom`` (so ``random.Random(...)``,
+      ``random.randrange``, … are findings);
+    * the bare ``random`` module used as an RNG value (the ``rng = rng or
+      random`` idiom).
+
+    Type annotations (``rng: random.Random``) are exempt — they are types,
+    not entropy sources.  Deterministic-by-design call sites (test parameter
+    helpers, interoperable generator derivation) carry inline suppressions
+    with a stated justification.
+    """
+
+    def __init__(self) -> None:
+        self.rule_id = "CRS001"
+        self.title = "insecure randomness"
+        self.rationale = (
+            "SSW/CRSE keys, token blinding, and Paillier primes drawn from "
+            "the Mersenne Twister are predictable; use secrets or "
+            "random.SystemRandom()."
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.has_path_segment(*_KEY_PATH_SEGMENTS):
+            return
+        # Names that are the base of a `random.X` attribute access are
+        # reported via the attribute, not double-reported as bare uses.
+        attribute_bases: set[int] = set()
+        attributes: list[ast.Attribute] = []
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "random"
+            ):
+                attribute_bases.add(id(node.value))
+                attributes.append(node)
+        for attr in attributes:
+            if ctx.in_annotation(attr):
+                continue
+            if attr.attr == "SystemRandom":
+                continue
+            yield ctx.finding(
+                self.rule_id,
+                attr,
+                f"`random.{attr.attr}` is not a CSPRNG; use `secrets` or "
+                "`random.SystemRandom()` for key/token material",
+            )
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Name)
+                and node.id == "random"
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in attribute_bases
+                and not ctx.in_annotation(node)
+            ):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    "the module-level `random` generator is not a CSPRNG; "
+                    "use `random.SystemRandom()` as the fallback source",
+                )
+
+
+@register
+class VariableTimeComparisonRule(Rule):
+    """CRS002 — variable-time equality on secret-named values.
+
+    Flags ``==``/``!=`` comparisons, in files under ``crypto/``, ``core/``,
+    or ``cloud/``, where an operand is a name or attribute whose identifier
+    contains a secret word (``key``, ``token``, ``tag``, ``digest``,
+    ``radii``, …).  Comparisons against literal constants and ALL_CAPS
+    constants are exempt; ``hmac.compare_digest`` is the required
+    replacement for the rest.  Identity tests (``is``/``in``) are out of
+    scope — they do not iterate secret bytes.
+    """
+
+    _SCOPE = ("crypto", "core", "cloud")
+
+    def __init__(self) -> None:
+        self.rule_id = "CRS002"
+        self.title = "variable-time comparison"
+        self.rationale = (
+            "`==` on keys/tokens/tags short-circuits at the first "
+            "mismatching byte, leaking secret prefixes through timing; "
+            "hmac.compare_digest is constant-time."
+        )
+
+    @staticmethod
+    def _operand_name(node: ast.expr) -> str:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.has_path_segment(*self._SCOPE):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not all(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(isinstance(operand, ast.Constant) for operand in operands):
+                continue
+            names = [self._operand_name(op) for op in operands]
+            if any(name.isupper() for name in names if name):
+                continue
+            secret = next((n for n in names if _is_secret_name(n)), None)
+            if secret is None:
+                continue
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                f"variable-time comparison of secret-named value "
+                f"`{secret}`; use hmac.compare_digest over a canonical "
+                "byte encoding",
+            )
+
+
+@register
+class UnvalidatedGroupElementRule(Rule):
+    """CRS003 — group backends must validate elements they pair/deserialize.
+
+    Group elements arriving from outside (deserialization) or crossing an
+    API boundary (pairing operands) must be checked for membership in the
+    order-``N`` subgroup of the composite group before use — otherwise a
+    malicious ciphertext can smuggle small-subgroup points past the scheme.
+
+    Heuristic, scoped to files under ``crypto/groups/``: a function named
+    ``pair`` must both type/membership-check its operands (an
+    ``isinstance(...)`` test or a call whose name contains ``member``,
+    ``validate``, or ``check``) and be able to reject them (a ``raise``);
+    a function named ``deserialize_element`` or ``decompress`` must contain
+    a ``raise`` (rejecting non-elements) to count as validating.
+    """
+
+    _VALIDATOR_HINT = re.compile(r"member|validate|check", re.IGNORECASE)
+
+    def __init__(self) -> None:
+        self.rule_id = "CRS003"
+        self.title = "unvalidated group element"
+        self.rationale = (
+            "pairing or deserializing unvalidated points enables "
+            "small-subgroup and invalid-encoding attacks on the "
+            "composite-order group N = p1*p2*p3*p4."
+        )
+
+    @staticmethod
+    def _is_abstract(func: ast.FunctionDef) -> bool:
+        """Abstract or bodyless declarations define no behaviour to check."""
+        for decorator in func.decorator_list:
+            name = (
+                decorator.attr
+                if isinstance(decorator, ast.Attribute)
+                else decorator.id if isinstance(decorator, ast.Name) else ""
+            )
+            if "abstract" in name:
+                return True
+        body = [
+            stmt
+            for stmt in func.body
+            if not (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+            )
+            and not isinstance(stmt, ast.Pass)
+        ]
+        return not body
+
+    def _has_raise(self, func: ast.FunctionDef) -> bool:
+        return any(isinstance(n, ast.Raise) for n in ast.walk(func))
+
+    def _has_membership_test(self, func: ast.FunctionDef) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name == "isinstance" or self._VALIDATOR_HINT.search(name):
+                    return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.has_path_segment("groups"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if self._is_abstract(node):
+                continue
+            if node.name == "pair":
+                if not (self._has_raise(node) and self._has_membership_test(node)):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        "`pair` uses its operands without validating group "
+                        "membership (isinstance/membership check + raise)",
+                    )
+            elif node.name in ("deserialize_element", "decompress"):
+                if not self._has_raise(node):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"`{node.name}` builds group elements from bytes "
+                        "without rejecting non-members (no raise path)",
+                    )
+
+
+@register
+class BareAssertRule(Rule):
+    """CRS004 — security invariants must not rely on bare ``assert``.
+
+    ``python -O`` strips every ``assert``, silently removing the guard.  In
+    files under ``crypto/`` or ``core/`` every ``assert`` is flagged;
+    invariants there must raise a typed :mod:`repro.errors` exception
+    instead.  (Tests and benchmarks are outside the lint scope and assert
+    freely.)
+    """
+
+    def __init__(self) -> None:
+        self.rule_id = "CRS004"
+        self.title = "bare assert guards invariant"
+        self.rationale = (
+            "asserts vanish under `python -O`, turning a rejected invalid "
+            "input into silent acceptance; raise CryptoError/ParameterError "
+            "instead."
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.has_path_segment("crypto", "core"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    "security invariant guarded by bare `assert` (stripped "
+                    "under python -O); raise a repro.errors exception",
+                )
+
+
+@register
+class UnsafeDeserializationRule(Rule):
+    """CRS005 — unsafe deserialization primitives are banned everywhere.
+
+    Flags imports of ``pickle``/``cPickle``/``marshal``/``shelve``/``dill``
+    and calls to the ``eval``/``exec`` builtins anywhere in the linted tree.
+    Ciphertexts, tokens, and keys cross trust boundaries as bytes; the only
+    acceptable codecs are the explicit ones in ``crypto/serialize.py`` and
+    ``cloud/codec.py`` (length-checked elements, JSON headers).
+    """
+
+    _BANNED_MODULES = frozenset({"pickle", "cPickle", "marshal", "shelve", "dill"})
+    _BANNED_BUILTINS = frozenset({"eval", "exec"})
+
+    def __init__(self) -> None:
+        self.rule_id = "CRS005"
+        self.title = "unsafe deserialization"
+        self.rationale = (
+            "pickle/eval/exec execute attacker-controlled input; a "
+            "malicious record or token blob would own the server process."
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self._BANNED_MODULES:
+                        yield ctx.finding(
+                            self.rule_id,
+                            node,
+                            f"import of unsafe deserialization module "
+                            f"`{alias.name}`",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in self._BANNED_MODULES:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"import from unsafe deserialization module "
+                        f"`{node.module}`",
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in self._BANNED_BUILTINS
+                ):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"call to `{func.id}` on dynamic input; parse "
+                        "explicitly instead",
+                    )
+
+
+@register
+class PermutationReuseRule(Rule):
+    """CRS006 — CRSE-II sub-token permutations need per-query randomness.
+
+    The paper permutes the ``m`` sub-tokens "with a fresh random β each
+    time"; a fixed β (or a β drawn from a fixed-seed RNG) makes the
+    permutation constant across queries, so the server can align sub-tokens
+    with concentric circles and recover the radius pattern the permutation
+    exists to hide.
+
+    Flags, in files under ``core/``:
+
+    * ``permute(seq, <literal>)`` / ``permutation_from_beta(n, <literal>)``
+      — a hard-coded β;
+    * ``random_beta(n, random.Random(<literal>))`` (or ``Random(<literal>)``)
+      — per-query β from a fixed seed.
+    """
+
+    def __init__(self) -> None:
+        self.rule_id = "CRS006"
+        self.title = "permutation reuse"
+        self.rationale = (
+            "a constant sub-token order lets the server correlate matches "
+            "to concentric circles, defeating Permute's radius-pattern "
+            "hiding (paper Sec. VI-C)."
+        )
+
+    @staticmethod
+    def _second_arg(node: ast.Call, keyword: str) -> ast.expr | None:
+        if len(node.args) >= 2:
+            return node.args[1]
+        for kw in node.keywords:
+            if kw.arg == keyword:
+                return kw.value
+        return None
+
+    @staticmethod
+    def _is_fixed_seed_rng(node: ast.expr | None) -> bool:
+        """True for ``random.Random(<constants>)`` / ``Random(<constants>)``."""
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if name != "Random":
+            return False
+        return bool(node.args) and all(
+            isinstance(arg, ast.Constant) for arg in node.args
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.has_path_segment("core"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in ("permute", "permutation_from_beta"):
+                beta = self._second_arg(node, "beta")
+                if isinstance(beta, ast.Constant):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"`{name}` called with a hard-coded β; β must be "
+                        "drawn fresh per query (random_beta with the "
+                        "query RNG)",
+                    )
+            elif name == "random_beta":
+                rng = self._second_arg(node, "rng")
+                if self._is_fixed_seed_rng(rng):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        "`random_beta` fed a fixed-seed RNG; the permutation "
+                        "repeats across queries and leaks the radius pattern",
+                    )

@@ -9,7 +9,9 @@ deployment for a user driving it from a shell:
 * ``search``   — the server side: scan a records file with a token;
 * ``tables``   — print the paper's deterministic anchors (m values, sizes);
 * ``calibrate``— time the group backends on this machine;
-* ``demo``     — a self-contained end-to-end run.
+* ``demo``     — a self-contained end-to-end run;
+* ``lint``     — run ``reprolint``, the crypto-aware static analyzer
+  (:mod:`repro.analysis.staticcheck`).
 
 Search only needs public parameters, but for CLI simplicity it reads the
 key file and uses the public part — a real server would receive the scheme
@@ -89,6 +91,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="self-contained end-to-end run")
     demo.add_argument("--seed", type=int, default=7)
+
+    lint = sub.add_parser(
+        "lint", help="run the reprolint crypto-aware static analyzer"
+    )
+    lint.add_argument(
+        "paths", nargs="*", type=Path, help="files/dirs (default: src/repro)"
+    )
+    lint.add_argument("--format", choices=("human", "json"), default="human")
+    lint.add_argument("--baseline", type=Path, default=None)
+    lint.add_argument("--no-baseline", action="store_true")
+    lint.add_argument("--write-baseline", action="store_true")
+    lint.add_argument("--select", default=None, metavar="RULES")
+    lint.add_argument("--list-rules", action="store_true")
     return parser
 
 
@@ -219,6 +234,23 @@ def _cmd_demo(args, out) -> int:
     return 0
 
 
+def _cmd_lint(args, out) -> int:
+    from repro.analysis.staticcheck.cli import _print_rule_table, run_lint
+
+    if args.list_rules:
+        _print_rule_table(out)
+        return 0
+    return run_lint(
+        args.paths,
+        output_format=args.format,
+        baseline=args.baseline,
+        no_baseline=args.no_baseline,
+        write_baseline_file=args.write_baseline,
+        select=args.select,
+        out=out,
+    )
+
+
 _COMMANDS = {
     "keygen": _cmd_keygen,
     "encrypt": _cmd_encrypt,
@@ -227,6 +259,7 @@ _COMMANDS = {
     "tables": _cmd_tables,
     "calibrate": _cmd_calibrate,
     "demo": _cmd_demo,
+    "lint": _cmd_lint,
 }
 
 

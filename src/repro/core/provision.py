@@ -56,7 +56,7 @@ def provision_group(
     Raises:
         ParameterError: For an unknown backend name.
     """
-    rng = rng or random.Random()
+    rng = rng or random.SystemRandom()
     payload_bits = max(bound.bit_length() + 1, min_payload_bits, 3)
     if backend == "pairing":
         params = params_for_bound(

@@ -52,7 +52,8 @@ class FastElement(GroupElement):
         return self._exponent
 
     def _mul(self, other: GroupElement) -> "FastElement":
-        assert isinstance(other, FastElement)
+        if not isinstance(other, FastElement):
+            raise CryptoError("cannot combine fast and non-fast elements")
         return FastElement(self._group, self._exponent + other._exponent)
 
     def _pow(self, exponent: int) -> "FastElement":
@@ -88,7 +89,8 @@ class FastTargetElement(TargetElement):
         return self._exponent
 
     def _mul(self, other: TargetElement) -> "FastTargetElement":
-        assert isinstance(other, FastTargetElement)
+        if not isinstance(other, FastTargetElement):
+            raise CryptoError("cannot combine fast and non-fast targets")
         if self._order != other._order:
             raise CryptoError("target elements from different groups")
         return FastTargetElement(self._order, self._exponent + other._exponent)

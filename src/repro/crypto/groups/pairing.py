@@ -133,7 +133,8 @@ class CurveElement(GroupElement):
         return self._point
 
     def _mul(self, other: GroupElement) -> "CurveElement":
-        assert isinstance(other, CurveElement)
+        if not isinstance(other, CurveElement):
+            raise CryptoError("cannot combine curve and non-curve elements")
         return CurveElement(
             self._group, self._group.curve.add(self._point, other._point)
         )
@@ -174,7 +175,8 @@ class PairingTargetElement(TargetElement):
         return self._value
 
     def _mul(self, other: TargetElement) -> "PairingTargetElement":
-        assert isinstance(other, PairingTargetElement)
+        if not isinstance(other, PairingTargetElement):
+            raise CryptoError("cannot combine pairing and non-pairing targets")
         if other._group != self._group:
             raise CryptoError("target elements from different groups")
         return PairingTargetElement(self._group, self._value * other._value)
@@ -227,6 +229,10 @@ class SupersingularPairingGroup(CompositeBilinearGroup):
 
     def _find_generator(self) -> Point:
         """Find a point of exact order ``N`` with a non-degenerate pairing."""
+        # The generator is *public* and must derive deterministically from
+        # the parameters so independently-built groups interoperate (see
+        # class docstring); this seeded RNG produces no secret material.
+        # reprolint: ignore[CRS001]
         rng = random.Random(self._params.field_prime ^ 0x9E3779B97F4A7C15)
         for _ in range(256):
             candidate = self.curve.multiply(
@@ -302,11 +308,25 @@ class SupersingularPairingGroup(CompositeBilinearGroup):
             raise SerializationError("element does not belong to this group")
         return self.curve.compress(element.point)
 
+    def is_member(self, point: Point) -> bool:
+        """True if *point* lies in the order-``N`` subgroup.
+
+        Decompression only proves the point is on the curve, which has
+        ``l·N`` points; a point of order dividing ``l`` but not ``N`` would
+        survive decoding and corrupt pairing results (a small-subgroup
+        confinement vector).  Membership is ``[N]P = O``.
+        """
+        return self.curve.multiply(point, self._order).infinite
+
     def deserialize_element(self, data: bytes) -> CurveElement:
         try:
             point = self.curve.decompress(data)
         except CryptoError as exc:
             raise SerializationError(str(exc)) from exc
+        if not self.is_member(point):
+            raise SerializationError(
+                "point is on the curve but outside the order-N subgroup"
+            )
         return CurveElement(self, point)
 
     def __repr__(self) -> str:

@@ -92,14 +92,15 @@ def generate_params(
     Args:
         subgroup_bits: Bit lengths of the four subgroup primes, in SSW role
             order (the payload prime ``p2`` is index 1).
-        rng: Optional random source for reproducibility.
+        rng: Optional random source for reproducibility; defaults to the
+            OS CSPRNG (the subgroup primes are secret key material).
         max_cofactor: Give up (and resample the primes) once the cofactor
             search exceeds this value.
 
     Returns:
         Validated :class:`PairingParams`.
     """
-    rng = rng or random.Random()
+    rng = rng or random.SystemRandom()
     while True:
         primes: list[int] = []
         for bits in subgroup_bits:
@@ -147,6 +148,8 @@ def params_for_bound(
 @lru_cache(maxsize=None)
 def toy_params(seed: int = 1) -> PairingParams:
     """Small, deterministic parameters for tests (16-bit subgroup primes)."""
+    # Deterministic by contract: test/benchmark parameters, never deployed.
+    # reprolint: ignore[CRS001]
     return generate_params(rng=random.Random(seed))
 
 
@@ -157,4 +160,6 @@ def default_test_params(seed: int = 7) -> PairingParams:
     Large enough for CRSE-II over data spaces with coordinates up to about
     ``2^18`` (inner products stay below ``8·T²``), still fast in pure Python.
     """
+    # Deterministic by contract: test/benchmark parameters, never deployed.
+    # reprolint: ignore[CRS001]
     return generate_params((20, 40, 20, 20), rng=random.Random(seed))

@@ -15,6 +15,7 @@ format.
 
 from __future__ import annotations
 
+import hmac
 import json
 
 from repro.core.crse1 import CRSE1Key, CRSE1Scheme
@@ -93,6 +94,16 @@ def _ssw_from_json(group: CompositeBilinearGroup, blob: dict) -> SSWSecretKey:
     if any(len(bases) != key.n for bases in (key.h1, key.h2, key.u1, key.u2)):
         raise SerializationError("SSW key base counts do not match n")
     return key
+
+
+def _radii_fingerprint(radii: tuple[int, ...]) -> bytes:
+    """Canonical byte encoding of a CRSE-I radius set for comparison.
+
+    The concentric radii are derived from the key's secret radius ``R``, so
+    checking a stored set against the rebuilt scheme must not short-circuit
+    on the first differing radius (``hmac.compare_digest`` below).
+    """
+    return ",".join(str(r) for r in radii).encode()
 
 
 def _dump(payload: dict) -> bytes:
@@ -193,7 +204,9 @@ def load_crse1_key(data: bytes) -> tuple[CRSE1Scheme, CRSE1Key]:
         optimize_split=payload["optimized"],
         hide_radius_to=hide_to,
     )
-    if tuple(scheme._radii_squared) != radii:
+    if not hmac.compare_digest(
+        _radii_fingerprint(tuple(scheme._radii_squared)), _radii_fingerprint(radii)
+    ):
         raise SerializationError("stored radii do not match the rebuilt scheme")
     ssw = _ssw_from_json(group, payload["ssw"])
     if ssw.n != scheme.alpha:

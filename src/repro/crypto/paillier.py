@@ -101,14 +101,16 @@ def paillier_keygen(
     Args:
         bits: Modulus size; research-scale values (>= 64) accepted, real
             deployments need 2048+.
-        rng: Randomness source.
+        rng: Randomness source; defaults to the OS CSPRNG.  Pass a seeded
+            ``random.Random`` only for reproducible tests/benchmarks —
+            the factors p, q are the secret key.
 
     Raises:
         CryptoError: For a modulus too small to be meaningful (< 16 bits).
     """
     if bits < 16:
         raise CryptoError("Paillier modulus below 16 bits is meaningless")
-    rng = rng or random.Random()
+    rng = rng or random.SystemRandom()
     half = bits // 2
     while True:
         p = random_prime(half, rng)

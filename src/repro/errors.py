@@ -40,3 +40,11 @@ class SchemeError(ReproError):
 
 class ProtocolError(ReproError):
     """A cloud-protocol message was malformed or arrived out of order."""
+
+
+class StaticAnalysisError(ReproError):
+    """The ``reprolint`` static analyzer could not complete a run.
+
+    Raised for unreadable inputs, malformed baseline files, or unknown rule
+    selections — *not* for lint findings, which are data, not errors.
+    """

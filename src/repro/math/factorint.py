@@ -58,14 +58,17 @@ def factorint(n: int, rng: random.Random | None = None) -> dict[int, int]:
 
     Args:
         n: A positive integer.  ``factorint(1) == {}``.
-        rng: Optional random source for Pollard rho (reproducibility).
+        rng: Optional random source for Pollard rho; defaults to the OS
+            CSPRNG (the factorization itself is independent of the rho
+            walk, so determinism is only needed for benchmark replay —
+            pass a seeded ``random.Random`` there).
 
     Raises:
         ValueError: If ``n < 1``.
     """
     if n < 1:
         raise ValueError("factorint requires a positive integer")
-    rng = rng or random.Random(0xFAC7)
+    rng = rng or random.SystemRandom()
     factors: dict[int, int] = {}
     for p in _SMALL_PRIMES:
         while n % p == 0:

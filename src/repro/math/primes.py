@@ -48,6 +48,12 @@ _SMALL_PRIMES: list[int] = _sieve(_SMALL_PRIME_LIMIT)
 _DETERMINISTIC_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
 _DETERMINISTIC_LIMIT = 3_317_044_064_679_887_385_961_981
 
+# Default randomness source: the OS CSPRNG.  Primes generated here become
+# Paillier moduli and pairing-group orders, so the *default* must be
+# cryptographically strong; callers needing reproducibility pass an explicit
+# seeded ``random.Random`` via ``rng=``.
+_SYSTEM_RANDOM = random.SystemRandom()
+
 
 def small_primes() -> list[int]:
     """Return the cached list of primes below 1000 (a copy)."""
@@ -82,7 +88,8 @@ def is_prime(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool
     Args:
         n: The integer to test.  Values below 2 are never prime.
         rounds: Number of random bases for the probabilistic path.
-        rng: Optional random source for reproducible probabilistic testing.
+        rng: Optional random source for reproducible probabilistic testing;
+            defaults to the OS CSPRNG.
 
     Returns:
         True if *n* is (almost certainly) prime.
@@ -105,7 +112,7 @@ def is_prime(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool
         return not any(
             _miller_rabin_witness(n, a % n, d, r) for a in bases if a % n
         )
-    rng = rng or random
+    rng = rng or _SYSTEM_RANDOM
     for _ in range(rounds):
         a = rng.randrange(2, n - 1)
         if _miller_rabin_witness(n, a, d, r):
@@ -150,14 +157,15 @@ def random_prime(bits: int, rng: random.Random | None = None) -> int:
 
     Args:
         bits: Bit length of the prime; must be at least 2.
-        rng: Optional random source for reproducibility.
+        rng: Optional random source for reproducibility; defaults to the
+            OS CSPRNG (pass a seeded ``random.Random`` only for tests).
 
     Raises:
         ValueError: If *bits* < 2.
     """
     if bits < 2:
         raise ValueError("a prime needs at least 2 bits")
-    rng = rng or random
+    rng = rng or _SYSTEM_RANDOM
     while True:
         # Force the top bit (exact bit length) and the low bit (odd).
         candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1

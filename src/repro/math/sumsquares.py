@@ -170,7 +170,7 @@ def two_square_representation(
         raise ValueError(f"{n} is not a sum of two squares")
     if n == 0:
         return (0, 0)
-    rng = rng or random.Random(0x5057)
+    rng = rng or random.SystemRandom()
     rep = (1, 0)
     scale = 1
     for p, e in factorint(n).items():
