@@ -53,7 +53,9 @@ def test_ablation_parallel(write_result):
     )
     measured = []
     for k in INSTANCES:
-        response, wall_ms = deployment.server.parallel_search(request, k)
+        response, stats = deployment.server.parallel_search(request, k)
+        wall_ms = stats.elapsed_ms
+        assert len(stats.partitions) == k
         assert sorted(response.identifiers) == sorted(baseline.identifiers)
         measured.append(wall_ms)
         # Paper-scale: ceil(n/k) records per instance, all worst case.

@@ -11,7 +11,11 @@ deployment for a user driving it from a shell:
 * ``calibrate``— time the group backends on this machine;
 * ``demo``     — a self-contained end-to-end run;
 * ``lint``     — run ``reprolint``, the crypto-aware static analyzer
-  (:mod:`repro.analysis.staticcheck`).
+  (:mod:`repro.analysis.staticcheck`);
+* ``serve``    — run the networked query service (:mod:`repro.service`)
+  over an encrypted records file;
+* ``query``    — tokenize a circle client-side and search a running
+  service over TCP.
 
 Search only needs public parameters, but for CLI simplicity it reads the
 key file and uses the public part — a real server would receive the scheme
@@ -104,6 +108,44 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--write-baseline", action="store_true")
     lint.add_argument("--select", default=None, metavar="RULES")
     lint.add_argument("--list-rules", action="store_true")
+
+    serve = sub.add_parser(
+        "serve", help="run the networked query service (TCP)"
+    )
+    serve.add_argument("--key", type=Path, required=True)
+    serve.add_argument(
+        "--records", type=Path, default=None,
+        help="records file from 'repro encrypt' to preload",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--port-file", type=Path, default=None,
+        help="write the bound port here once listening",
+    )
+    serve.add_argument("--workers", type=int, default=None,
+                       help="search worker processes (default: CPU count)")
+    serve.add_argument("--max-pending", type=int, default=32)
+    serve.add_argument("--default-deadline-ms", type=float, default=None)
+
+    query = sub.add_parser(
+        "query", help="search a running service over TCP"
+    )
+    query.add_argument("--key", type=Path, required=True)
+    query.add_argument("--center", required=True)
+    query.add_argument("--radius", type=int, required=True)
+    query.add_argument("--hide-to", type=int, default=None)
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, required=True)
+    query.add_argument("--deadline-ms", type=float, default=None)
+    query.add_argument("--timeout-s", type=float, default=30.0)
+    query.add_argument("--seed", type=int, default=None)
+    query.add_argument(
+        "--stats", action="store_true",
+        help="also print the server's metrics snapshot",
+    )
     return parser
 
 
@@ -234,6 +276,89 @@ def _cmd_demo(args, out) -> int:
     return 0
 
 
+def _read_records_file(path: Path) -> list[tuple[int, bytes]]:
+    """Parse the ``identifier:hex`` lines written by ``repro encrypt``."""
+    records = []
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        identifier, hex_blob = line.split(":", 1)
+        records.append((int(identifier), bytes.fromhex(hex_blob)))
+    return records
+
+
+def _cmd_serve(args, out) -> int:
+    import asyncio
+    import os
+
+    from repro.cloud.messages import UploadDataset, UploadRecord
+    from repro.service import ServiceConfig, ServiceServer
+
+    scheme, _key = load_crse2_key(args.key.read_bytes())
+    workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=workers,
+        max_pending=args.max_pending,
+        default_deadline_ms=args.default_deadline_ms,
+    )
+    server = ServiceServer(scheme, config)
+    if args.records is not None:
+        records = _read_records_file(args.records)
+        server.cloud.handle_upload(
+            UploadDataset(
+                records=tuple(
+                    UploadRecord(identifier=i, payload=blob)
+                    for i, blob in records
+                )
+            )
+        )
+        server.engine.load(records)
+        print(f"preloaded {len(records)} records", file=out)
+
+    async def main() -> None:
+        port = await server.start()
+        if args.port_file is not None:
+            args.port_file.write_text(str(port))
+        print(
+            f"serving on {args.host}:{port} (workers={workers}, "
+            f"max_pending={args.max_pending})",
+            file=out, flush=True,
+        )
+        await server.run()
+
+    asyncio.run(main())
+    print("drained, bye", file=out, flush=True)
+    return 0
+
+
+def _cmd_query(args, out) -> int:
+    from repro.service import ServiceClient
+
+    scheme, key = load_crse2_key(args.key.read_bytes())
+    rng = _rng(args.seed)
+    circle = Circle.from_radius(_parse_point(args.center), args.radius)
+    token = scheme.gen_token(key, circle, rng, hide_radius_to=args.hide_to)
+    client = ServiceClient(args.host, args.port, timeout_s=args.timeout_s)
+    response, stats = client.search(
+        encode_token(scheme, token), deadline_ms=args.deadline_ms
+    )
+    print(f"matches: {sorted(response.identifiers)}", file=out)
+    if stats:
+        print(
+            f"scanned {stats.get('records_scanned')} records in "
+            f"{stats.get('elapsed_ms')} ms across "
+            f"{len(stats.get('partitions', []))} partition(s)",
+            file=out,
+        )
+    if args.stats:
+        import json as _json
+
+        print(_json.dumps(client.stats(), indent=2), file=out)
+    return 0
+
+
 def _cmd_lint(args, out) -> int:
     from repro.analysis.staticcheck.cli import _print_rule_table, run_lint
 
@@ -260,6 +385,8 @@ _COMMANDS = {
     "calibrate": _cmd_calibrate,
     "demo": _cmd_demo,
     "lint": _cmd_lint,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
 }
 
 

@@ -5,6 +5,12 @@ the SSW wire format from :mod:`repro.crypto.serialize`.  A CRSE-II token is
 framed as a 2-byte sub-token count followed by the fixed-size SSW token
 blobs (sub-token order is exactly the permuted order — the wire must not
 re-sort what ``Permute`` shuffled).
+
+Decoding is the untrusted direction: the bytes arrive from the network, so
+every framing failure — truncation, an oversized or inconsistent frame,
+junk bytes — raises :class:`repro.errors.WireFormatError` (a subclass of
+both ``SerializationError`` and ``ProtocolError``) rather than leaking
+``ValueError``/``IndexError`` from the parsing internals.
 """
 
 from __future__ import annotations
@@ -18,16 +24,23 @@ from repro.crypto.serialize import (
     serialize_ciphertext,
     serialize_token,
 )
-from repro.errors import SerializationError
+from repro.errors import SerializationError, WireFormatError
 
 __all__ = [
     "encode_ciphertext",
     "decode_ciphertext",
     "encode_token",
     "decode_token",
+    "MAX_SUB_TOKENS",
 ]
 
 _COUNT_PREFIX = 2
+
+#: Upper bound on CRSE-II sub-tokens accepted off the wire.  The paper's
+#: largest sweep (R = 50, w = 2) needs m = 857 sub-tokens; 4096 leaves
+#: generous headroom for radius hiding while refusing frames whose declared
+#: count would drive a pathological decode loop.
+MAX_SUB_TOKENS = 4096
 
 
 def encode_ciphertext(scheme: CRSEScheme, ciphertext) -> bytes:
@@ -40,8 +53,17 @@ def encode_ciphertext(scheme: CRSEScheme, ciphertext) -> bytes:
 
 
 def decode_ciphertext(scheme: CRSEScheme, data: bytes):
-    """Deserialize an uploaded ciphertext for the scheme in use."""
-    ssw = deserialize_ciphertext(scheme.group, data)
+    """Deserialize an uploaded ciphertext for the scheme in use.
+
+    Raises:
+        WireFormatError: On malformed bytes.
+    """
+    try:
+        ssw = deserialize_ciphertext(scheme.group, data)
+    except WireFormatError:
+        raise
+    except SerializationError as exc:
+        raise WireFormatError(f"malformed ciphertext: {exc}") from exc
     if isinstance(scheme, CRSE1Scheme):
         return CRSE1Ciphertext(ssw=ssw)
     if isinstance(scheme, CRSE2Scheme):
@@ -68,25 +90,42 @@ def decode_token(scheme: CRSEScheme, data: bytes):
     """Deserialize a search token for the scheme in use.
 
     Raises:
-        SerializationError: On malformed framing.
+        WireFormatError: On malformed framing or junk bytes.
     """
     if isinstance(scheme, CRSE1Scheme):
-        return CRSE1Token(ssw=deserialize_token(scheme.group, data))
+        return CRSE1Token(ssw=_deserialize_sub_token(scheme, data))
     if isinstance(scheme, CRSE2Scheme):
         if len(data) < _COUNT_PREFIX:
-            raise SerializationError("truncated CRSE-II token")
+            raise WireFormatError("truncated CRSE-II token")
         count = int.from_bytes(data[:_COUNT_PREFIX], "big")
         body = data[_COUNT_PREFIX:]
         if count == 0:
-            raise SerializationError("CRSE-II token must have sub-tokens")
+            raise WireFormatError("CRSE-II token must have sub-tokens")
+        if count > MAX_SUB_TOKENS:
+            raise WireFormatError(
+                f"CRSE-II token declares {count} sub-tokens "
+                f"(limit {MAX_SUB_TOKENS})"
+            )
         if len(body) % count != 0:
-            raise SerializationError("CRSE-II token framing is inconsistent")
+            raise WireFormatError("CRSE-II token framing is inconsistent")
         chunk = len(body) // count
         subs = tuple(
-            deserialize_token(scheme.group, body[i * chunk : (i + 1) * chunk])
+            _deserialize_sub_token(
+                scheme, body[i * chunk : (i + 1) * chunk]
+            )
             for i in range(count)
         )
         return CRSE2Token(sub_tokens=subs)
     raise SerializationError(
         f"cannot decode tokens for scheme {type(scheme).__name__}"
     )
+
+
+def _deserialize_sub_token(scheme: CRSEScheme, data: bytes):
+    """Deserialize one SSW token blob, normalizing failures to wire errors."""
+    try:
+        return deserialize_token(scheme.group, data)
+    except WireFormatError:
+        raise
+    except SerializationError as exc:
+        raise WireFormatError(f"malformed token: {exc}") from exc

@@ -38,12 +38,20 @@ __all__ = ["SearchStats", "CloudServer"]
 
 @dataclass
 class SearchStats:
-    """Observable work done for one search request."""
+    """Observable work done for one search request.
+
+    ``partitions`` holds the per-partition scan times in milliseconds — one
+    entry per simulated instance for :meth:`CloudServer.parallel_search`
+    (so benchmarks can report load-balance skew), a single entry for the
+    serial path.  ``elapsed_ms`` is the wall-clock of the slowest partition,
+    since partitions run independently.
+    """
 
     records_scanned: int = 0
     matches: int = 0
     sub_token_evaluations: int = 0
     elapsed_ms: float = 0.0
+    partitions: tuple[float, ...] = ()
 
 
 @dataclass
@@ -134,18 +142,19 @@ class CloudServer:
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
-    def handle_search(self, message: SearchRequest) -> SearchResponse:
-        """Linear-scan search (messages 4 → 5)."""
-        token = decode_token(self.scheme, message.payload)
+    def _record_query_leakage(self, message: SearchRequest, token) -> None:
+        """Append the per-query leakage every search path must expose."""
         self.log.queries_served += 1
         self.log.token_sizes.append(message.size_bytes)
         if hasattr(token, "num_sub_tokens"):
             self.log.sub_token_counts.append(token.num_sub_tokens)
 
-        stats = SearchStats()
-        started = time.perf_counter()
+    def _scan(
+        self, token, records: list[EncryptedRecord], stats: SearchStats
+    ) -> list[int]:
+        """Linear-scan *records* with *token*, accumulating into *stats*."""
         identifiers = []
-        for record in self._records:
+        for record in records:
             stats.records_scanned += 1
             if isinstance(self.scheme, CRSE2Scheme):
                 matched, evaluated = self.scheme.matches_with_stats(
@@ -157,21 +166,39 @@ class CloudServer:
                 stats.sub_token_evaluations += 1
             if matched:
                 identifiers.append(record.identifier)
+        return identifiers
+
+    def handle_search(self, message: SearchRequest) -> SearchResponse:
+        """Linear-scan search (messages 4 → 5)."""
+        token = decode_token(self.scheme, message.payload)
+        self._record_query_leakage(message, token)
+
+        stats = SearchStats()
+        started = time.perf_counter()
+        identifiers = self._scan(token, self._records, stats)
         stats.matches = len(identifiers)
         stats.elapsed_ms = (time.perf_counter() - started) * 1000.0
+        stats.partitions = (stats.elapsed_ms,)
         self.last_search_stats = stats
         self.log.access_pattern.append(tuple(identifiers))
         return SearchResponse(identifiers=tuple(identifiers))
 
     def parallel_search(
         self, message: SearchRequest, instances: int
-    ) -> tuple[SearchResponse, float]:
+    ) -> tuple[SearchResponse, SearchStats]:
         """Search with the dataset partitioned over *instances* simulated VMs.
 
+        The recorded leakage (token size, sub-token count, access pattern)
+        is identical to :meth:`handle_search` — the partitioning is a
+        server-side implementation detail a curious server learns nothing
+        extra from.
+
         Returns:
-            The combined response and the simulated wall-clock (ms): the
-            maximum per-partition scan time, since partitions run
-            independently on separate instances.
+            The combined response and a :class:`SearchStats` whose
+            ``partitions`` field holds each partition's scan time (ms) and
+            whose ``elapsed_ms`` is the slowest partition — the simulated
+            wall-clock, since partitions run independently on separate
+            instances.
 
         Raises:
             ProtocolError: If *instances* is not positive.
@@ -179,19 +206,21 @@ class CloudServer:
         if instances < 1:
             raise ProtocolError("need at least one instance")
         token = decode_token(self.scheme, message.payload)
+        self._record_query_leakage(message, token)
         partitions: list[list[EncryptedRecord]] = [
             self._records[i::instances] for i in range(instances)
         ]
+        stats = SearchStats()
         identifiers: list[int] = []
-        slowest_ms = 0.0
+        partition_ms: list[float] = []
         for partition in partitions:
             started = time.perf_counter()
-            for record in partition:
-                if self.scheme.matches(token, record.ciphertext):
-                    identifiers.append(record.identifier)
-            slowest_ms = max(
-                slowest_ms, (time.perf_counter() - started) * 1000.0
-            )
-        self.log.queries_served += 1
+            identifiers.extend(self._scan(token, partition, stats))
+            partition_ms.append((time.perf_counter() - started) * 1000.0)
         identifiers.sort()
-        return SearchResponse(identifiers=tuple(identifiers)), slowest_ms
+        stats.matches = len(identifiers)
+        stats.partitions = tuple(partition_ms)
+        stats.elapsed_ms = max(partition_ms)
+        self.last_search_stats = stats
+        self.log.access_pattern.append(tuple(identifiers))
+        return SearchResponse(identifiers=tuple(identifiers)), stats

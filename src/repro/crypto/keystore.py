@@ -33,12 +33,19 @@ __all__ = [
     "load_crse1_key",
     "save_crse2_key",
     "load_crse2_key",
+    "group_header",
+    "restore_group",
 ]
 
 _FORMAT_VERSION = 1
 
 
-def _group_header(group: CompositeBilinearGroup) -> dict:
+def group_header(group: CompositeBilinearGroup) -> dict:
+    """Public (non-secret) parameters from which *group* can be rebuilt.
+
+    Used by the key format and by the service layer to ship scheme
+    parameters to search worker processes out of band.
+    """
     if isinstance(group, FastCompositeGroup):
         return {"backend": "fast", "primes": list(group.subgroup_primes)}
     if isinstance(group, SupersingularPairingGroup):
@@ -52,7 +59,12 @@ def _group_header(group: CompositeBilinearGroup) -> dict:
     )
 
 
-def _restore_group(header: dict) -> CompositeBilinearGroup:
+def restore_group(header: dict) -> CompositeBilinearGroup:
+    """Rebuild a group from :func:`group_header` output.
+
+    Raises:
+        SerializationError: For an unknown backend kind.
+    """
     primes = tuple(header["primes"])
     if header["backend"] == "fast":
         return FastCompositeGroup(primes)
@@ -136,7 +148,7 @@ def save_crse2_key(scheme: CRSE2Scheme, key: CRSE2Key) -> bytes:
         {
             "version": _FORMAT_VERSION,
             "scheme": "crse2",
-            "group": _group_header(scheme.group),
+            "group": group_header(scheme.group),
             "space": {"w": scheme.space.w, "t": scheme.space.t},
             "ssw": _ssw_to_json(scheme.group, key.ssw),
         }
@@ -151,7 +163,7 @@ def load_crse2_key(data: bytes) -> tuple[CRSE2Scheme, CRSE2Key]:
     """
     payload = _load(data, "crse2")
     try:
-        group = _restore_group(payload["group"])
+        group = restore_group(payload["group"])
         space = DataSpace(payload["space"]["w"], payload["space"]["t"])
         ssw_blob = payload["ssw"]
     except (KeyError, TypeError, ValueError) as exc:
@@ -172,7 +184,7 @@ def save_crse1_key(scheme: CRSE1Scheme, key: CRSE1Key) -> bytes:
         {
             "version": _FORMAT_VERSION,
             "scheme": "crse1",
-            "group": _group_header(scheme.group),
+            "group": group_header(scheme.group),
             "space": {"w": scheme.space.w, "t": scheme.space.t},
             "r_squared": key.r_squared,
             "radii_squared": list(key.radii_squared),
@@ -191,7 +203,7 @@ def load_crse1_key(data: bytes) -> tuple[CRSE1Scheme, CRSE1Key]:
     """
     payload = _load(data, "crse1")
     try:
-        group = _restore_group(payload["group"])
+        group = restore_group(payload["group"])
         space = DataSpace(payload["space"]["w"], payload["space"]["t"])
         radii = tuple(payload["radii_squared"])
         hide_to = payload["hide_to"]

@@ -42,6 +42,33 @@ class ProtocolError(ReproError):
     """A cloud-protocol message was malformed or arrived out of order."""
 
 
+class WireFormatError(SerializationError, ProtocolError):
+    """Bytes received over the wire do not decode into a valid message.
+
+    Raised for truncated payloads, oversized frames, and junk bytes at the
+    codec and framing layers.  Inherits from both
+    :class:`SerializationError` (it *is* a failed deserialization) and
+    :class:`ProtocolError` (it *is* a malformed protocol message), so either
+    handler catches it.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the networked query service."""
+
+
+class ServiceBusyError(ServiceError):
+    """The server's bounded request queue is full (retryable backpressure)."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request exceeded its server-enforced deadline (typed timeout)."""
+
+
+class ServiceConnectionError(ServiceError):
+    """The client could not reach the server, even after retries."""
+
+
 class StaticAnalysisError(ReproError):
     """The ``reprolint`` static analyzer could not complete a run.
 

@@ -1,0 +1,38 @@
+"""The networked CRSE query service.
+
+This package turns the in-process simulation of :mod:`repro.cloud` into a
+runnable client/server system:
+
+* :mod:`repro.service.protocol` — the length-prefixed framed wire protocol
+  (JSON envelopes carrying the :mod:`repro.cloud.messages` payloads encoded
+  by :mod:`repro.cloud.codec`);
+* :mod:`repro.service.engine` — a :class:`~repro.service.engine.SearchEngine`
+  that shards the encrypted dataset across single-worker process pools so
+  token evaluation genuinely uses multiple cores;
+* :mod:`repro.service.server` — the asyncio TCP server with a bounded
+  request queue (typed BUSY backpressure), server-enforced per-request
+  deadlines, per-verb metrics, and graceful drain on SIGTERM;
+* :mod:`repro.service.client` — a blocking client with configurable
+  timeouts and exponential-backoff-with-jitter retries that distinguishes
+  retryable (connect failures, BUSY) from non-retryable (protocol) errors;
+* :mod:`repro.service.metrics` — per-verb counters and latency histograms
+  exposed through the ``stats`` verb.
+
+Security model is unchanged from the paper: the server still holds only
+public scheme parameters, so everything the service can observe remains
+exactly the paper's leakage function (sizes, access pattern, sub-token
+counts).  The service adds *operational* observables (latency, queue depth)
+that are properties of the deployment, not of the ciphertexts.
+"""
+
+from repro.service.client import RetryPolicy, ServiceClient
+from repro.service.engine import SearchEngine
+from repro.service.server import ServiceConfig, ServiceServer
+
+__all__ = [
+    "RetryPolicy",
+    "ServiceClient",
+    "SearchEngine",
+    "ServiceConfig",
+    "ServiceServer",
+]

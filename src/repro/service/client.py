@@ -1,0 +1,277 @@
+"""Blocking client for the CRSE query service.
+
+One call, one connection: every request dials the server, sends one frame,
+reads one reply, and hangs up.  That keeps retry semantics trivial to
+reason about — a retried request can never collide with a half-read reply
+from an earlier attempt on a shared connection.
+
+Retry policy is exponential backoff with jitter, and it is deliberately
+narrow about what it retries:
+
+* **retryable** — connection failures (the server is not up yet, or its
+  listen queue overflowed) and typed ``BUSY`` rejections (the server's
+  bounded queue was full; it did *not* execute the request);
+* **not retryable** — ``PROTOCOL`` errors (retrying malformed bytes cannot
+  help), ``DEADLINE`` (the time budget is spent — the caller decides),
+  ``INTERNAL`` errors, and mid-request timeouts (the server may have
+  executed the request, so blind replay could double-apply an upload).
+"""
+
+from __future__ import annotations
+
+import base64
+import random
+import socket
+import time
+
+from repro.cloud.messages import (
+    DeleteRequest,
+    FetchRequest,
+    SearchRequest,
+    SearchResponse,
+    UploadDataset,
+)
+from repro.errors import (
+    DeadlineExceededError,
+    ProtocolError,
+    ServiceBusyError,
+    ServiceConnectionError,
+    ServiceError,
+    WireFormatError,
+)
+from repro.service import protocol
+
+__all__ = ["RetryPolicy", "ServiceClient"]
+
+
+class RetryPolicy:
+    """Exponential backoff with jitter for retryable failures."""
+
+    def __init__(
+        self,
+        attempts: int = 4,
+        base_delay_s: float = 0.05,
+        max_delay_s: float = 2.0,
+        multiplier: float = 2.0,
+        jitter: float = 0.5,
+    ):
+        """Configure the schedule.
+
+        Args:
+            attempts: Total tries (first attempt included); minimum 1.
+            base_delay_s: Delay before the first retry.
+            max_delay_s: Ceiling on any single delay.
+            multiplier: Growth factor per retry.
+            jitter: Fraction of each delay randomized away (0 disables;
+                0.5 means a delay lands uniformly in [0.5·d, d]), so
+                synchronized clients do not retry in lockstep.
+        """
+        if attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        self.attempts = attempts
+        self.base_delay_s = base_delay_s
+        self.max_delay_s = max_delay_s
+        self.multiplier = multiplier
+        self.jitter = jitter
+
+    def delay_s(self, retry_index: int, rng: random.Random) -> float:
+        """Jittered delay before retry number *retry_index* (0-based)."""
+        delay = min(
+            self.max_delay_s,
+            self.base_delay_s * self.multiplier**retry_index,
+        )
+        if self.jitter > 0:
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+
+class ServiceClient:
+    """Blocking, retrying client for one service endpoint."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        retry: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+    ):
+        """Point the client at ``host:port``.
+
+        Args:
+            host: Server host.
+            port: Server port.
+            timeout_s: Socket timeout for connect and for each reply.
+            retry: Backoff schedule; defaults to 4 attempts.
+            rng: Jitter randomness (not security-relevant; injectable for
+                deterministic tests).
+        """
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.retry = retry or RetryPolicy()
+        self._rng = rng or random.Random()
+        self._next_request_id = 1
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _roundtrip_once(self, body: bytes) -> protocol.Reply:
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+        except OSError as exc:
+            raise ServiceConnectionError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        try:
+            sock.settimeout(self.timeout_s)
+            protocol.send_frame(sock, body)
+            reply_body = protocol.recv_frame(sock)
+        except socket.timeout as exc:
+            raise ServiceError(
+                f"no reply within {self.timeout_s} s (request may still "
+                "have executed server-side; not retrying)"
+            ) from exc
+        except OSError as exc:
+            raise ServiceError(
+                f"connection to {self.host}:{self.port} failed "
+                f"mid-request: {exc}"
+            ) from exc
+        finally:
+            sock.close()
+        return protocol.decode_reply(reply_body)
+
+    def _request(
+        self,
+        verb: str,
+        fields: dict | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        body = protocol.encode_request(
+            verb, request_id, fields=fields, deadline_ms=deadline_ms
+        )
+        retries_left = self.retry.attempts - 1
+        retry_index = 0
+        while True:
+            try:
+                reply = self._roundtrip_once(body)
+            except ServiceConnectionError:
+                if retries_left <= 0:
+                    raise
+                retries_left -= 1
+                time.sleep(self.retry.delay_s(retry_index, self._rng))
+                retry_index += 1
+                continue
+            if reply.request_id not in (request_id, 0):
+                raise ProtocolError(
+                    f"reply for request {reply.request_id}, "
+                    f"expected {request_id}"
+                )
+            if reply.ok:
+                return reply.fields
+            if reply.error_code == protocol.ERR_BUSY:
+                if retries_left <= 0:
+                    raise ServiceBusyError(reply.error_message)
+                retries_left -= 1
+                time.sleep(self.retry.delay_s(retry_index, self._rng))
+                retry_index += 1
+                continue
+            if reply.error_code == protocol.ERR_DEADLINE:
+                raise DeadlineExceededError(reply.error_message)
+            if reply.error_code == protocol.ERR_PROTOCOL:
+                raise ProtocolError(reply.error_message)
+            raise ServiceError(
+                f"{reply.error_code}: {reply.error_message}"
+            )
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def upload(self, dataset: UploadDataset) -> int:
+        """Upload an encrypted dataset; returns the server's record count.
+
+        Raises:
+            ServiceConnectionError: If the server stays unreachable.
+            ServiceBusyError: If backpressure persists through all retries.
+            ProtocolError: On malformed payloads (non-retryable).
+        """
+        fields = self._request("upload", protocol.upload_fields(dataset))
+        stored = fields.get("stored")
+        if not isinstance(stored, int):
+            raise WireFormatError("upload reply missing 'stored' count")
+        return stored
+
+    def search(
+        self,
+        token_payload: bytes,
+        deadline_ms: float | None = None,
+    ) -> tuple[SearchResponse, dict]:
+        """Run one search; returns the response and the server's scan stats.
+
+        Args:
+            token_payload: The encoded search token (message 4).
+            deadline_ms: Server-enforced time budget for this query.
+
+        Raises:
+            DeadlineExceededError: If the server's deadline tripped.
+            ServiceBusyError: If backpressure persists through all retries.
+        """
+        fields = self._request(
+            "search",
+            protocol.search_fields(SearchRequest(payload=token_payload)),
+            deadline_ms=deadline_ms,
+        )
+        identifiers = fields.get("identifiers")
+        if not isinstance(identifiers, list) or not all(
+            isinstance(i, int) for i in identifiers
+        ):
+            raise WireFormatError("search reply missing identifier list")
+        stats = fields.get("stats")
+        return (
+            SearchResponse(identifiers=tuple(identifiers)),
+            stats if isinstance(stats, dict) else {},
+        )
+
+    def fetch(self, identifiers: tuple[int, ...]) -> dict[int, bytes]:
+        """Fetch encrypted record contents for *identifiers*."""
+        fields = self._request(
+            "fetch",
+            protocol.fetch_fields(FetchRequest(identifiers=identifiers)),
+        )
+        contents = fields.get("contents")
+        if not isinstance(contents, list):
+            raise WireFormatError("fetch reply missing contents")
+        out: dict[int, bytes] = {}
+        for entry in contents:
+            if (
+                not isinstance(entry, list)
+                or len(entry) != 2
+                or not isinstance(entry[0], int)
+                or not isinstance(entry[1], str)
+            ):
+                raise WireFormatError("malformed fetch reply entry")
+            out[entry[0]] = base64.b64decode(entry[1].encode("ascii"))
+        return out
+
+    def delete(self, identifiers: tuple[int, ...]) -> int:
+        """Delete records by identifier; returns how many were removed."""
+        fields = self._request(
+            "delete",
+            protocol.delete_fields(DeleteRequest(identifiers=identifiers)),
+        )
+        removed = fields.get("removed")
+        if not isinstance(removed, int):
+            raise WireFormatError("delete reply missing 'removed' count")
+        return removed
+
+    def health(self) -> dict:
+        """Liveness probe: status, record count, worker count."""
+        return self._request("health")
+
+    def stats(self) -> dict:
+        """The server's metrics snapshot (counters, latency histograms)."""
+        return self._request("stats")

@@ -1,0 +1,262 @@
+"""Multi-core search engine: the encrypted dataset sharded across processes.
+
+The paper closes by noting that each encrypted record "can be evaluated
+independently with a given search token, [so] performance can be further
+improved by using parallel computing with multiple instances of Amazon
+EC2".  :class:`repro.cloud.server.CloudServer.parallel_search` *models*
+that claim; this engine *implements* it on one host: the dataset is
+round-robin sharded across ``workers`` single-process pools, each worker
+holds its shard's decoded ciphertexts resident, and a search broadcasts the
+token to every shard and merges the matches.  Speedup is measured, not
+simulated — on a multi-core host the wall-clock is the slowest shard.
+
+Each shard is its own single-worker :class:`~concurrent.futures.\
+ProcessPoolExecutor` rather than one big pool, because shard residency
+matters: a pool routes tasks to any idle worker, but a record decoded into
+worker 3 is only searchable by worker 3.  Workers rebuild the scheme from
+its public header (:mod:`repro.service.schemeio`) — the secret key never
+crosses the process boundary, and everything a worker sees (ciphertext
+bytes, token bytes, match results) is already in the paper's leakage
+function.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.cloud.codec import decode_ciphertext, decode_token
+from repro.cloud.server import SearchStats
+from repro.core.base import CRSEScheme
+from repro.core.crse2 import CRSE2Scheme
+from repro.errors import ParameterError, ServiceError
+from repro.service.schemeio import restore_scheme, scheme_header
+
+__all__ = ["EngineSearchResult", "SearchEngine"]
+
+
+# Worker-process state: the rebuilt scheme and this shard's resident
+# records, populated by the pool initializer and the load task.
+_worker_scheme: CRSEScheme | None = None
+_worker_records: list = []
+
+
+def _worker_init(header_json: str) -> None:
+    global _worker_scheme, _worker_records
+    # A terminal ^C delivers SIGINT to the whole foreground process group;
+    # shard shutdown is the parent's job (close()), so workers must not
+    # die mid-drain with KeyboardInterrupt tracebacks of their own.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    _worker_scheme = restore_scheme(json.loads(header_json))
+    _worker_records = []
+
+
+def _require_worker_scheme() -> CRSEScheme:
+    if _worker_scheme is None:
+        raise ServiceError("worker process was not initialized")
+    return _worker_scheme
+
+
+def _worker_load(records: Sequence[tuple[int, bytes]]) -> int:
+    scheme = _require_worker_scheme()
+    for identifier, payload in records:
+        _worker_records.append(
+            (identifier, decode_ciphertext(scheme, payload))
+        )
+    return len(_worker_records)
+
+
+def _worker_delete(identifiers: frozenset) -> int:
+    global _worker_records
+    before = len(_worker_records)
+    _worker_records = [
+        entry for entry in _worker_records if entry[0] not in identifiers
+    ]
+    return before - len(_worker_records)
+
+
+def _worker_search(token_payload: bytes) -> tuple[list[int], int, int, float]:
+    started = time.perf_counter()
+    scheme = _require_worker_scheme()
+    token = decode_token(scheme, token_payload)
+    matches: list[int] = []
+    scanned = 0
+    evaluations = 0
+    for identifier, ciphertext in _worker_records:
+        scanned += 1
+        if isinstance(scheme, CRSE2Scheme):
+            matched, evaluated = scheme.matches_with_stats(token, ciphertext)
+            evaluations += evaluated
+        else:
+            matched = scheme.matches(token, ciphertext)
+            evaluations += 1
+        if matched:
+            matches.append(identifier)
+    elapsed_ms = (time.perf_counter() - started) * 1000.0
+    return matches, scanned, evaluations, elapsed_ms
+
+
+@dataclass(frozen=True)
+class EngineSearchResult:
+    """Merged outcome of one sharded search."""
+
+    identifiers: tuple[int, ...]
+    stats: SearchStats
+
+
+class SearchEngine:
+    """Shards the encrypted dataset across process workers and searches it."""
+
+    def __init__(self, scheme: CRSEScheme, workers: int = 1):
+        """Spin up *workers* shard processes for *scheme*.
+
+        Args:
+            scheme: The CRSE construction (public parameters only are
+                shipped to workers).
+            workers: Number of shard processes; each holds ``~n/workers``
+                records resident.
+
+        Raises:
+            ParameterError: If *workers* is not positive.
+        """
+        if workers < 1:
+            raise ParameterError("need at least one search worker")
+        header = json.dumps(scheme_header(scheme))
+        self._shards = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_worker_init,
+                initargs=(header,),
+            )
+            for _ in range(workers)
+        ]
+        self._next_shard = 0
+        self._record_count = 0
+        self._closed = False
+
+    @property
+    def workers(self) -> int:
+        """Number of shard processes."""
+        return len(self._shards)
+
+    @property
+    def record_count(self) -> int:
+        """Total records resident across all shards."""
+        return self._record_count
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServiceError("search engine is closed")
+
+    def load(self, records: Iterable[tuple[int, bytes]]) -> int:
+        """Decode *records* ``(identifier, payload)`` into the shards.
+
+        Records are dealt round-robin (continuing from previous loads), so
+        incremental uploads keep the shards balanced.
+
+        Returns:
+            The total record count after loading.
+        """
+        self._require_open()
+        per_shard: list[list[tuple[int, bytes]]] = [
+            [] for _ in self._shards
+        ]
+        for identifier, payload in records:
+            per_shard[self._next_shard].append((identifier, payload))
+            self._next_shard = (self._next_shard + 1) % len(self._shards)
+        futures = [
+            shard.submit(_worker_load, batch)
+            for shard, batch in zip(self._shards, per_shard)
+            if batch
+        ]
+        loaded = sum(len(batch) for batch in per_shard)
+        for future in futures:
+            future.result()
+        self._record_count += loaded
+        return self._record_count
+
+    def delete(self, identifiers: Iterable[int]) -> int:
+        """Remove records by identifier from every shard.
+
+        Returns:
+            How many records were actually removed.
+        """
+        self._require_open()
+        doomed = frozenset(identifiers)
+        if not doomed:
+            return 0
+        removed = sum(
+            future.result()
+            for future in [
+                shard.submit(_worker_delete, doomed)
+                for shard in self._shards
+            ]
+        )
+        self._record_count -= removed
+        return removed
+
+    def search(self, token_payload: bytes) -> EngineSearchResult:
+        """Broadcast *token_payload* to all shards and merge the matches.
+
+        Blocks until the slowest shard finishes.  Worker-side decode
+        failures (malformed token bytes) propagate as the codec's
+        :class:`~repro.errors.WireFormatError`.
+
+        Returns:
+            The merged identifiers (sorted) and a
+            :class:`~repro.cloud.server.SearchStats` whose ``partitions``
+            holds each shard's scan time.
+        """
+        self._require_open()
+        futures = [
+            shard.submit(_worker_search, token_payload)
+            for shard in self._shards
+        ]
+        identifiers: list[int] = []
+        stats = SearchStats()
+        partition_ms: list[float] = []
+        for future in futures:
+            matches, scanned, evaluations, elapsed_ms = future.result()
+            identifiers.extend(matches)
+            stats.records_scanned += scanned
+            stats.sub_token_evaluations += evaluations
+            partition_ms.append(elapsed_ms)
+        identifiers.sort()
+        stats.matches = len(identifiers)
+        stats.partitions = tuple(partition_ms)
+        stats.elapsed_ms = max(partition_ms)
+        return EngineSearchResult(
+            identifiers=tuple(identifiers), stats=stats
+        )
+
+    def warm_up(self) -> None:
+        """Force every worker process to start and build its scheme.
+
+        Useful before measuring throughput, so the first query does not pay
+        worker spawn + scheme construction.
+        """
+        self._require_open()
+        for future in [
+            shard.submit(_worker_load, []) for shard in self._shards
+        ]:
+            future.result()
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the shard processes down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.shutdown(wait=wait, cancel_futures=not wait)
+
+    def __enter__(self) -> "SearchEngine":
+        """Context-manager entry: the engine itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the shards."""
+        self.close()

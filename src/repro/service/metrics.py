@@ -1,0 +1,119 @@
+"""Per-verb counters and latency histograms for the query service.
+
+The ``stats`` verb exposes these so a load test (or the throughput
+benchmark) can read queries/sec and tail latency straight off the server
+instead of inferring them client-side.  Buckets are fixed upper bounds in
+milliseconds, Prometheus-style cumulative-free (each bucket counts only its
+own interval), chosen to straddle both the fast backend's sub-millisecond
+scans and paper-scale multi-second searches.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["LATENCY_BUCKETS_MS", "VerbMetrics", "ServiceMetrics"]
+
+#: Histogram bucket upper bounds, in milliseconds (last bucket is +inf).
+LATENCY_BUCKETS_MS = (
+    1.0,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+    2500.0,
+    5000.0,
+)
+
+
+@dataclass
+class VerbMetrics:
+    """Counters and a latency histogram for one verb."""
+
+    requests: int = 0
+    errors: int = 0
+    total_ms: float = 0.0
+    max_ms: float = 0.0
+    buckets: list[int] = field(
+        default_factory=lambda: [0] * (len(LATENCY_BUCKETS_MS) + 1)
+    )
+
+    def observe(self, elapsed_ms: float, ok: bool) -> None:
+        """Record one handled request."""
+        self.requests += 1
+        if not ok:
+            self.errors += 1
+        self.total_ms += elapsed_ms
+        self.max_ms = max(self.max_ms, elapsed_ms)
+        for index, bound in enumerate(LATENCY_BUCKETS_MS):
+            if elapsed_ms <= bound:
+                self.buckets[index] += 1
+                break
+        else:
+            self.buckets[-1] += 1
+
+    def snapshot(self) -> dict:
+        """JSON-serializable view (what the ``stats`` verb ships)."""
+        mean = self.total_ms / self.requests if self.requests else 0.0
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "mean_ms": round(mean, 3),
+            "max_ms": round(self.max_ms, 3),
+            "buckets_le_ms": [
+                [bound, count]
+                for bound, count in zip(LATENCY_BUCKETS_MS, self.buckets)
+            ]
+            + [["inf", self.buckets[-1]]],
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe registry of per-verb metrics plus queue gauges."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._verbs: dict[str, VerbMetrics] = {}
+        self.rejected_busy = 0
+        self.deadline_exceeded = 0
+        self.protocol_errors = 0
+
+    def observe(self, verb: str, elapsed_ms: float, ok: bool) -> None:
+        """Record one handled request for *verb*."""
+        with self._lock:
+            self._verbs.setdefault(verb, VerbMetrics()).observe(
+                elapsed_ms, ok
+            )
+
+    def count_busy(self) -> None:
+        """Record one request rejected by backpressure."""
+        with self._lock:
+            self.rejected_busy += 1
+
+    def count_deadline(self) -> None:
+        """Record one request that exceeded its deadline."""
+        with self._lock:
+            self.deadline_exceeded += 1
+
+    def count_protocol_error(self) -> None:
+        """Record one malformed frame or envelope."""
+        with self._lock:
+            self.protocol_errors += 1
+
+    def snapshot(self) -> dict:
+        """JSON-serializable view of everything the service counted."""
+        with self._lock:
+            return {
+                "verbs": {
+                    verb: metrics.snapshot()
+                    for verb, metrics in sorted(self._verbs.items())
+                },
+                "rejected_busy": self.rejected_busy,
+                "deadline_exceeded": self.deadline_exceeded,
+                "protocol_errors": self.protocol_errors,
+            }

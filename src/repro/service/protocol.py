@@ -1,0 +1,443 @@
+"""The framed wire protocol spoken between service client and server.
+
+Framing is deliberately minimal: every frame is a 4-byte big-endian body
+length followed by exactly that many bytes of UTF-8 JSON.  The JSON
+envelope names a verb (requests) or a status (replies); binary payloads —
+the ciphertexts and tokens produced by :mod:`repro.cloud.codec` — travel
+base64-encoded inside the envelope, so the crypto wire format is byte-for-
+byte the one the simulated :mod:`repro.cloud` stack already uses.
+
+Everything arriving off the wire is untrusted: oversized frames, truncated
+streams, junk bytes, and malformed envelopes all raise
+:class:`repro.errors.WireFormatError` (a ``ProtocolError``), never a bare
+``ValueError`` or a hang.  The frame-length prefix is checked *before* the
+body is read, so an attacker cannot make the server buffer an arbitrarily
+large frame.
+
+Request verbs map one-to-one onto the paper's message flows plus two
+operational verbs::
+
+    upload  — message 1, the encrypted dataset        (UploadDataset)
+    search  — messages 4 → 5, one range query          (SearchRequest)
+    fetch   — follow-up content retrieval              (FetchRequest)
+    delete  — dynamic record removal                   (DeleteRequest)
+    health  — liveness + record/worker counts          (operational)
+    stats   — per-verb counters + latency histograms   (operational)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import binascii
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cloud.messages import (
+    DeleteRequest,
+    FetchRequest,
+    FetchResponse,
+    SearchRequest,
+    UploadDataset,
+    UploadRecord,
+)
+from repro.errors import WireFormatError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "VERBS",
+    "ERR_BUSY",
+    "ERR_DEADLINE",
+    "ERR_PROTOCOL",
+    "ERR_INTERNAL",
+    "Request",
+    "Reply",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+    "recv_frame",
+    "send_frame",
+    "encode_request",
+    "decode_request",
+    "encode_ok",
+    "encode_error",
+    "decode_reply",
+    "upload_fields",
+    "upload_from_fields",
+    "search_fields",
+    "search_from_fields",
+    "fetch_fields",
+    "fetch_from_fields",
+    "fetch_response_fields",
+    "delete_fields",
+    "delete_from_fields",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame body.  Large enough for a multi-thousand-record
+#: upload at paper-scale element sizes, small enough that a hostile length
+#: prefix cannot exhaust server memory.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_LENGTH_PREFIX = 4
+
+VERBS = ("upload", "search", "fetch", "delete", "health", "stats")
+
+# Typed error codes carried in error replies.  BUSY is the only retryable
+# server-originated code: the bounded queue rejected the request.
+ERR_BUSY = "BUSY"
+ERR_DEADLINE = "DEADLINE"
+ERR_PROTOCOL = "PROTOCOL"
+ERR_INTERNAL = "INTERNAL"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded request envelope."""
+
+    verb: str
+    request_id: int
+    deadline_ms: float | None
+    fields: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Reply:
+    """One decoded reply envelope (success or typed error)."""
+
+    request_id: int
+    ok: bool
+    fields: dict = field(default_factory=dict)
+    error_code: str | None = None
+    error_message: str = ""
+    retryable: bool = False
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(body: bytes) -> bytes:
+    """Prefix *body* with its 4-byte big-endian length.
+
+    Raises:
+        WireFormatError: If *body* is empty or exceeds the frame ceiling.
+    """
+    if not body:
+        raise WireFormatError("refusing to send an empty frame")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"frame of {len(body)} bytes exceeds limit {MAX_FRAME_BYTES}"
+        )
+    return len(body).to_bytes(_LENGTH_PREFIX, "big") + body
+
+
+def _check_length(header: bytes) -> int:
+    length = int.from_bytes(header, "big")
+    if length == 0:
+        raise WireFormatError("zero-length frame")
+    if length > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"declared frame of {length} bytes exceeds limit {MAX_FRAME_BYTES}"
+        )
+    return length
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes | None:
+    """Read one frame body from *reader*.
+
+    Returns:
+        The frame body, or ``None`` on a clean EOF at a frame boundary
+        (the peer closed the connection between requests).
+
+    Raises:
+        WireFormatError: On a truncated frame or an oversized length prefix.
+    """
+    try:
+        header = await reader.readexactly(_LENGTH_PREFIX)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise WireFormatError("truncated frame header") from exc
+    length = _check_length(header)
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WireFormatError(
+            f"truncated frame: expected {length} bytes, got {len(exc.partial)}"
+        ) from exc
+
+
+async def write_frame(writer: asyncio.StreamWriter, body: bytes) -> None:
+    """Write one framed *body* to *writer* and drain."""
+    writer.write(encode_frame(body))
+    await writer.drain()
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    """Blocking counterpart of :func:`read_frame` for the client side.
+
+    Raises:
+        WireFormatError: On EOF mid-frame or an oversized length prefix.
+    """
+    header = _recv_exactly(sock, _LENGTH_PREFIX, "frame header")
+    length = _check_length(header)
+    return _recv_exactly(sock, length, "frame body")
+
+
+def _recv_exactly(sock: socket.socket, count: int, what: str) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise WireFormatError(
+                f"connection closed mid-{what} "
+                f"({count - remaining}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, body: bytes) -> None:
+    """Blocking counterpart of :func:`write_frame`."""
+    sock.sendall(encode_frame(body))
+
+
+# ----------------------------------------------------------------------
+# Envelopes
+# ----------------------------------------------------------------------
+def _decode_envelope(body: bytes) -> dict:
+    try:
+        envelope = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireFormatError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(envelope, dict):
+        raise WireFormatError("envelope must be a JSON object")
+    if envelope.get("v") != PROTOCOL_VERSION:
+        raise WireFormatError(
+            f"unsupported protocol version {envelope.get('v')!r}"
+        )
+    return envelope
+
+
+def encode_request(
+    verb: str,
+    request_id: int,
+    fields: dict | None = None,
+    deadline_ms: float | None = None,
+) -> bytes:
+    """Build a request frame body."""
+    envelope: dict[str, Any] = {
+        "v": PROTOCOL_VERSION,
+        "verb": verb,
+        "id": request_id,
+    }
+    if deadline_ms is not None:
+        envelope["deadline_ms"] = deadline_ms
+    if fields:
+        envelope.update(fields)
+    return json.dumps(envelope, separators=(",", ":")).encode()
+
+
+def decode_request(body: bytes) -> Request:
+    """Parse and validate a request frame body.
+
+    Raises:
+        WireFormatError: On junk bytes, an unknown verb, or malformed
+            envelope fields.
+    """
+    envelope = _decode_envelope(body)
+    verb = envelope.pop("verb", None)
+    if verb not in VERBS:
+        raise WireFormatError(f"unknown verb {verb!r}")
+    request_id = envelope.pop("id", None)
+    if not isinstance(request_id, int):
+        raise WireFormatError("request id must be an integer")
+    deadline = envelope.pop("deadline_ms", None)
+    if deadline is not None and (
+        not isinstance(deadline, (int, float)) or deadline <= 0
+    ):
+        raise WireFormatError("deadline_ms must be a positive number")
+    envelope.pop("v")
+    return Request(
+        verb=verb,
+        request_id=request_id,
+        deadline_ms=None if deadline is None else float(deadline),
+        fields=envelope,
+    )
+
+
+def encode_ok(request_id: int, fields: dict | None = None) -> bytes:
+    """Build a success reply frame body."""
+    envelope: dict[str, Any] = {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": True,
+    }
+    if fields:
+        envelope.update(fields)
+    return json.dumps(envelope, separators=(",", ":")).encode()
+
+
+def encode_error(
+    request_id: int, code: str, message: str, retryable: bool = False
+) -> bytes:
+    """Build a typed error reply frame body."""
+    return json.dumps(
+        {
+            "v": PROTOCOL_VERSION,
+            "id": request_id,
+            "ok": False,
+            "error": {
+                "code": code,
+                "message": message,
+                "retryable": retryable,
+            },
+        },
+        separators=(",", ":"),
+    ).encode()
+
+
+def decode_reply(body: bytes) -> Reply:
+    """Parse and validate a reply frame body.
+
+    Raises:
+        WireFormatError: On junk bytes or a malformed envelope.
+    """
+    envelope = _decode_envelope(body)
+    request_id = envelope.pop("id", None)
+    if not isinstance(request_id, int):
+        raise WireFormatError("reply id must be an integer")
+    ok = envelope.pop("ok", None)
+    if not isinstance(ok, bool):
+        raise WireFormatError("reply must carry a boolean 'ok'")
+    envelope.pop("v")
+    if ok:
+        return Reply(request_id=request_id, ok=True, fields=envelope)
+    error = envelope.get("error")
+    if not isinstance(error, dict) or not isinstance(error.get("code"), str):
+        raise WireFormatError("error reply must carry a typed error object")
+    return Reply(
+        request_id=request_id,
+        ok=False,
+        error_code=error["code"],
+        error_message=str(error.get("message", "")),
+        retryable=bool(error.get("retryable", False)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Payload field conversions (cloud.messages <-> envelope fields)
+# ----------------------------------------------------------------------
+def _b64(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def _unb64(value, what: str) -> bytes:
+    if not isinstance(value, str):
+        raise WireFormatError(f"{what} must be a base64 string")
+    try:
+        return base64.b64decode(value.encode("ascii"), validate=True)
+    except (binascii.Error, UnicodeEncodeError, ValueError) as exc:
+        raise WireFormatError(f"{what} is not valid base64: {exc}") from exc
+
+
+def _identifier_list(value, what: str) -> tuple[int, ...]:
+    if not isinstance(value, list) or not all(
+        isinstance(item, int) for item in value
+    ):
+        raise WireFormatError(f"{what} must be a list of integers")
+    return tuple(value)
+
+
+def upload_fields(message: UploadDataset) -> dict:
+    """Envelope fields for an ``upload`` request."""
+    return {
+        "records": [
+            {
+                "id": record.identifier,
+                "payload": _b64(record.payload),
+                "content": _b64(record.content),
+            }
+            for record in message.records
+        ]
+    }
+
+
+def upload_from_fields(fields: dict) -> UploadDataset:
+    """Rebuild the :class:`UploadDataset` from ``upload`` request fields.
+
+    Raises:
+        WireFormatError: On malformed record entries.
+    """
+    entries = fields.get("records")
+    if not isinstance(entries, list):
+        raise WireFormatError("upload must carry a list of records")
+    records = []
+    for entry in entries:
+        if not isinstance(entry, dict) or not isinstance(entry.get("id"), int):
+            raise WireFormatError("each record needs an integer id")
+        records.append(
+            UploadRecord(
+                identifier=entry["id"],
+                payload=_unb64(entry.get("payload"), "record payload"),
+                content=_unb64(entry.get("content", ""), "record content"),
+            )
+        )
+    return UploadDataset(records=tuple(records))
+
+
+def search_fields(message: SearchRequest) -> dict:
+    """Envelope fields for a ``search`` request."""
+    return {"token": _b64(message.payload)}
+
+
+def search_from_fields(fields: dict) -> SearchRequest:
+    """Rebuild the :class:`SearchRequest` from ``search`` request fields.
+
+    Raises:
+        WireFormatError: On a missing or malformed token field.
+    """
+    return SearchRequest(payload=_unb64(fields.get("token"), "search token"))
+
+
+def fetch_fields(message: FetchRequest) -> dict:
+    """Envelope fields for a ``fetch`` request."""
+    return {"ids": list(message.identifiers)}
+
+
+def fetch_from_fields(fields: dict) -> FetchRequest:
+    """Rebuild the :class:`FetchRequest` from ``fetch`` request fields.
+
+    Raises:
+        WireFormatError: On a malformed id list.
+    """
+    return FetchRequest(identifiers=_identifier_list(fields.get("ids"), "ids"))
+
+
+def fetch_response_fields(response: FetchResponse) -> dict:
+    """Envelope fields for a ``fetch`` success reply."""
+    return {
+        "contents": [
+            [identifier, _b64(body)] for identifier, body in response.contents
+        ]
+    }
+
+
+def delete_fields(message: DeleteRequest) -> dict:
+    """Envelope fields for a ``delete`` request."""
+    return {"ids": list(message.identifiers)}
+
+
+def delete_from_fields(fields: dict) -> DeleteRequest:
+    """Rebuild the :class:`DeleteRequest` from ``delete`` request fields.
+
+    Raises:
+        WireFormatError: On a malformed id list.
+    """
+    return DeleteRequest(identifiers=_identifier_list(fields.get("ids"), "ids"))

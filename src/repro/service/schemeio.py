@@ -1,0 +1,79 @@
+"""Shipping public scheme parameters to search worker processes.
+
+The search engine's worker processes must rebuild the scheme — data space,
+group backend, split form — from parameters alone, exactly the way a real
+cloud instance would receive them out of band.  Only **public** material
+crosses the process boundary: for CRSE-I the fixed squared radius is public
+by design (paper Sec. VI-B), and for CRSE-II the split form is a pure
+function of the dimension.  The secret SSW key never leaves the owner.
+
+The header is a plain JSON-able dict so it can also ride inside protocol
+envelopes if a future deployment provisions workers over the network.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import CRSEScheme
+from repro.core.crse1 import CRSE1Scheme
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import DataSpace
+from repro.crypto.keystore import group_header, restore_group
+from repro.errors import SerializationError
+
+__all__ = ["scheme_header", "restore_scheme"]
+
+
+def scheme_header(scheme: CRSEScheme) -> dict:
+    """Public parameters from which *scheme* can be rebuilt in a worker.
+
+    Raises:
+        SerializationError: For an unsupported scheme type.
+    """
+    header: dict = {
+        "group": group_header(scheme.group),
+        "space": {"w": scheme.space.w, "t": scheme.space.t},
+    }
+    if isinstance(scheme, CRSE2Scheme):
+        header["scheme"] = "crse2"
+        return header
+    if isinstance(scheme, CRSE1Scheme):
+        header["scheme"] = "crse1"
+        header["r_squared"] = scheme.r_squared
+        # Same derivations the key format uses (repro.crypto.keystore):
+        # whether the merged split is in play, and the public padding K.
+        header["optimized"] = scheme.alpha != (scheme.space.w + 2) ** scheme.m
+        header["hide_to"] = scheme.m if scheme.m != scheme._m_real else None
+        return header
+    raise SerializationError(
+        f"cannot describe scheme {type(scheme).__name__} for workers"
+    )
+
+
+def restore_scheme(header: dict) -> CRSEScheme:
+    """Rebuild the scheme described by :func:`scheme_header`.
+
+    Raises:
+        SerializationError: On a malformed or unknown header.
+    """
+    try:
+        group = restore_group(header["group"])
+        space = DataSpace(header["space"]["w"], header["space"]["t"])
+        kind = header["scheme"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed scheme header: {exc}") from exc
+    if kind == "crse2":
+        return CRSE2Scheme(space, group)
+    if kind == "crse1":
+        try:
+            return CRSE1Scheme(
+                space,
+                group,
+                r_squared=header["r_squared"],
+                optimize_split=header["optimized"],
+                hide_radius_to=header["hide_to"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise SerializationError(
+                f"malformed CRSE-I scheme header: {exc}"
+            ) from exc
+    raise SerializationError(f"unknown scheme kind {kind!r}")

@@ -1,0 +1,368 @@
+"""The asyncio TCP server fronting the CRSE cloud.
+
+One :class:`ServiceServer` owns three things: a
+:class:`~repro.cloud.server.CloudServer` (record/content store and the
+paper's leakage log), a :class:`~repro.service.engine.SearchEngine` (the
+multi-core scan), and a :class:`~repro.service.metrics.ServiceMetrics`
+registry.  Connections speak the framed protocol of
+:mod:`repro.service.protocol`; requests on one connection are handled in
+order, concurrency comes from concurrent connections.
+
+Robustness semantics:
+
+* **Backpressure** — at most ``max_pending`` requests may be in flight
+  across all connections; excess requests are rejected immediately with a
+  typed, retryable ``BUSY`` error instead of queueing unboundedly.
+* **Deadlines** — a request may carry ``deadline_ms`` (bounded by the
+  server's ``max_deadline_ms``); when it trips, the client gets a typed
+  ``DEADLINE`` error and the server moves on.  The abandoned computation
+  finishes (and is discarded) in its worker — a deliberate trade: portable
+  preemption of a running scan is not worth the complexity here.
+* **Graceful drain** — ``shutdown(drain=True)`` (wired to SIGTERM/SIGINT
+  by :meth:`ServiceServer.run`) stops accepting connections, lets in-flight
+  requests finish up to ``drain_timeout_s``, then closes the engine.
+* **Framing faults** — a malformed envelope gets a ``PROTOCOL`` error
+  reply and the connection lives on; a broken *frame* (truncated or
+  oversized) poisons the stream's alignment, so the connection is closed.
+  Either way the server keeps serving other connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.cloud.codec import decode_token
+from repro.cloud.server import CloudServer, SearchStats
+from repro.core.base import CRSEScheme
+from repro.errors import ProtocolError, ReproError, WireFormatError
+from repro.service import protocol
+from repro.service.engine import SearchEngine
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["ServiceConfig", "ServiceServer"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one service instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 1
+    max_pending: int = 32
+    default_deadline_ms: float | None = None
+    max_deadline_ms: float = 60_000.0
+    drain_timeout_s: float = 10.0
+
+
+def _stats_fields(stats: SearchStats) -> dict:
+    return {
+        "records_scanned": stats.records_scanned,
+        "matches": stats.matches,
+        "sub_token_evaluations": stats.sub_token_evaluations,
+        "elapsed_ms": round(stats.elapsed_ms, 3),
+        "partitions": [round(ms, 3) for ms in stats.partitions],
+    }
+
+
+class ServiceServer:
+    """A networked CRSE query service around one scheme instance."""
+
+    def __init__(
+        self,
+        scheme: CRSEScheme,
+        config: ServiceConfig | None = None,
+        engine: SearchEngine | None = None,
+    ):
+        """Assemble the service (does not bind the port yet — see start()).
+
+        Args:
+            scheme: Public scheme parameters (the server never sees keys).
+            config: Service tunables; defaults are test-friendly.
+            engine: An externally built engine (tests inject fakes here);
+                by default one is created with ``config.workers`` shards.
+        """
+        self.config = config or ServiceConfig()
+        self.cloud = CloudServer(scheme)
+        self.engine = (
+            engine
+            if engine is not None
+            else SearchEngine(scheme, workers=self.config.workers)
+        )
+        self.metrics = ServiceMetrics()
+        self.port: int | None = None
+        self._server: asyncio.Server | None = None
+        self._in_flight = 0
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> int:
+        """Bind and start accepting connections.
+
+        Returns:
+            The bound port (useful with ``port=0``).
+        """
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes."""
+        await self._stopped.wait()
+
+    async def run(self) -> None:
+        """Start, install SIGTERM/SIGINT graceful-drain handlers, serve.
+
+        This is the CLI entry point's body: returns only after a signal
+        (or external :meth:`shutdown`) has drained the server.  Calling
+        :meth:`start` first (e.g. to learn the bound port) is fine — the
+        port is only bound once.
+        """
+        import signal
+
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+
+        def _request_shutdown() -> None:
+            asyncio.ensure_future(self.shutdown(drain=True))
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, _request_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-Unix
+                pass
+        await self.serve_forever()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, optionally drain in-flight requests, close up."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            deadline = time.monotonic() + self.config.drain_timeout_s
+            while self._in_flight and time.monotonic() < deadline:
+                await asyncio.sleep(0.01)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self.engine.close(wait=drain)
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            await self._connection_loop(reader, writer)
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _connection_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                body = await protocol.read_frame(reader)
+            except WireFormatError as exc:
+                # Frame alignment is gone; answer once and hang up.
+                self.metrics.count_protocol_error()
+                await self._safe_reply(
+                    writer,
+                    protocol.encode_error(
+                        0, protocol.ERR_PROTOCOL, str(exc)
+                    ),
+                )
+                return
+            if body is None:
+                return
+            try:
+                request = protocol.decode_request(body)
+            except WireFormatError as exc:
+                # Bad envelope in a well-formed frame: recoverable.
+                self.metrics.count_protocol_error()
+                await self._safe_reply(
+                    writer,
+                    protocol.encode_error(
+                        0, protocol.ERR_PROTOCOL, str(exc)
+                    ),
+                )
+                continue
+            reply = await self._handle_request(request)
+            await self._safe_reply(writer, reply)
+
+    async def _safe_reply(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        try:
+            await protocol.write_frame(writer, body)
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    async def _handle_request(self, request: protocol.Request) -> bytes:
+        if self._draining:
+            self.metrics.count_busy()
+            return protocol.encode_error(
+                request.request_id,
+                protocol.ERR_BUSY,
+                "server is draining",
+                retryable=True,
+            )
+        if self._in_flight >= self.config.max_pending:
+            self.metrics.count_busy()
+            return protocol.encode_error(
+                request.request_id,
+                protocol.ERR_BUSY,
+                f"request queue full ({self.config.max_pending} in flight)",
+                retryable=True,
+            )
+        self._in_flight += 1
+        started = time.perf_counter()
+        ok = False
+        try:
+            fields = await self._dispatch(request)
+            ok = True
+            return protocol.encode_ok(request.request_id, fields)
+        except asyncio.TimeoutError:
+            self.metrics.count_deadline()
+            return protocol.encode_error(
+                request.request_id,
+                protocol.ERR_DEADLINE,
+                f"deadline of {self._effective_deadline(request)} ms exceeded",
+            )
+        except (WireFormatError, ProtocolError) as exc:
+            return protocol.encode_error(
+                request.request_id, protocol.ERR_PROTOCOL, str(exc)
+            )
+        except ReproError as exc:
+            return protocol.encode_error(
+                request.request_id, protocol.ERR_INTERNAL, str(exc)
+            )
+        finally:
+            self._in_flight -= 1
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            self.metrics.observe(request.verb, elapsed_ms, ok)
+
+    def _effective_deadline(self, request: protocol.Request) -> float | None:
+        deadline = request.deadline_ms
+        if deadline is None:
+            deadline = self.config.default_deadline_ms
+        if deadline is None:
+            return None
+        return min(deadline, self.config.max_deadline_ms)
+
+    async def _dispatch(self, request: protocol.Request) -> dict:
+        handler = {
+            "upload": self._do_upload,
+            "search": self._do_search,
+            "fetch": self._do_fetch,
+            "delete": self._do_delete,
+            "health": self._do_health,
+            "stats": self._do_stats,
+        }[request.verb]
+        deadline_ms = self._effective_deadline(request)
+        work = handler(request)
+        if deadline_ms is None:
+            return await work
+        return await asyncio.wait_for(work, timeout=deadline_ms / 1000.0)
+
+    @staticmethod
+    async def _offload(func, *args):
+        """Run CPU-bound *func* on the default executor, keeping the loop live."""
+        return await asyncio.get_running_loop().run_in_executor(
+            None, func, *args
+        )
+
+    async def _do_upload(self, request: protocol.Request) -> dict:
+        message = protocol.upload_from_fields(request.fields)
+
+        def work() -> int:
+            # The CloudServer validates (duplicate ids) and keeps the
+            # canonical store + leakage log; the engine mirrors the
+            # records for the parallel scan.
+            self.cloud.handle_upload(message)
+            self.engine.load(
+                (record.identifier, record.payload)
+                for record in message.records
+            )
+            return self.cloud.record_count
+
+        return {"stored": await self._offload(work)}
+
+    async def _do_search(self, request: protocol.Request) -> dict:
+        message = protocol.search_from_fields(request.fields)
+
+        def run_search():
+            # Decode in the parent first: a malformed token is rejected
+            # with PROTOCOL before any worker sees it, and the leakage
+            # log records exactly what handle_search would record.
+            token = decode_token(self.cloud.scheme, message.payload)
+            self.cloud._record_query_leakage(message, token)
+            result = self.engine.search(message.payload)
+            self.cloud.log.access_pattern.append(result.identifiers)
+            self.cloud.last_search_stats = result.stats
+            return result
+
+        result = await self._offload(run_search)
+        return {
+            "identifiers": list(result.identifiers),
+            "stats": _stats_fields(result.stats),
+        }
+
+    async def _do_fetch(self, request: protocol.Request) -> dict:
+        message = protocol.fetch_from_fields(request.fields)
+        response = await self._offload(self.cloud.handle_fetch, message)
+        return protocol.fetch_response_fields(response)
+
+    async def _do_delete(self, request: protocol.Request) -> dict:
+        message = protocol.delete_from_fields(request.fields)
+
+        def work() -> int:
+            removed = self.cloud.handle_delete(message)
+            self.engine.delete(message.identifiers)
+            return removed
+
+        return {"removed": await self._offload(work)}
+
+    async def _do_health(self, request: protocol.Request) -> dict:
+        return {
+            "status": "ok",
+            "records": self.cloud.record_count,
+            "workers": self.engine.workers,
+        }
+
+    async def _do_stats(self, request: protocol.Request) -> dict:
+        snapshot = self.metrics.snapshot()
+        snapshot["records"] = self.cloud.record_count
+        snapshot["queue"] = {
+            "in_flight": self._in_flight,
+            "limit": self.config.max_pending,
+        }
+        return snapshot

@@ -96,9 +96,40 @@ class TestParallelSearch:
         request = SearchRequest(payload=token_payload)
         serial = dep.server.handle_search(request)
         for instances in (1, 2, 4, 7):
-            parallel, elapsed = dep.server.parallel_search(request, instances)
+            parallel, stats = dep.server.parallel_search(request, instances)
             assert sorted(parallel.identifiers) == sorted(serial.identifiers)
-            assert elapsed >= 0
+            assert stats.elapsed_ms >= 0
+            assert len(stats.partitions) == instances
+            assert stats.elapsed_ms == max(stats.partitions)
+
+    def test_leakage_log_matches_serial_path(self, deployment):
+        dep, _ = deployment
+        q = Circle.from_radius((16, 16), 4)
+        token_payload = dep.owner.handle_query(QueryRequest(circle=q)).payload
+        request = SearchRequest(payload=token_payload)
+        dep.server.handle_search(request)
+        serial_stats = dep.server.last_search_stats
+        queries, sizes, subs, access = (
+            dep.server.log.queries_served,
+            list(dep.server.log.token_sizes),
+            list(dep.server.log.sub_token_counts),
+            list(dep.server.log.access_pattern),
+        )
+        _, parallel_stats = dep.server.parallel_search(request, 3)
+        # The recorded leakage function is identical on both paths.
+        assert dep.server.log.queries_served == queries + 1
+        assert dep.server.log.token_sizes == sizes + [request.size_bytes]
+        assert dep.server.log.sub_token_counts == subs + [subs[-1]]
+        assert dep.server.log.access_pattern[-1] == tuple(
+            sorted(access[-1])
+        )
+        # CRSE-II early-exit accounting is preserved when partitioned.
+        assert (
+            parallel_stats.sub_token_evaluations
+            == serial_stats.sub_token_evaluations
+        )
+        assert parallel_stats.records_scanned == serial_stats.records_scanned
+        assert parallel_stats.matches == serial_stats.matches
 
     def test_zero_instances_rejected(self, deployment):
         dep, _ = deployment

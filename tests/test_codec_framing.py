@@ -1,0 +1,140 @@
+"""Codec framing edge cases the wire protocol exposes to hostile bytes.
+
+``repro.cloud.codec`` decodes ciphertexts and tokens that, with the
+service layer, now genuinely arrive over a network.  Truncated payloads,
+oversized frames, and junk bytes must all surface as the typed
+:class:`~repro.errors.WireFormatError` — which is simultaneously a
+``ProtocolError`` (malformed protocol message) and a
+``SerializationError`` (failed deserialization, the pre-service contract)
+— and must never escape as ``ValueError``/``IndexError`` or loop
+unboundedly on attacker-controlled counts.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cloud.codec import (
+    MAX_SUB_TOKENS,
+    decode_ciphertext,
+    decode_token,
+    encode_token,
+)
+from repro.core.crse1 import CRSE1Scheme
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace
+from repro.core.provision import group_for_crse1, group_for_crse2
+from repro.errors import ProtocolError, SerializationError
+
+
+@pytest.fixture(scope="module")
+def crse2():
+    rng = random.Random(0x51E)
+    space = DataSpace(2, 16)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    return scheme, scheme.gen_key(rng), rng
+
+
+@pytest.fixture(scope="module")
+def crse1():
+    rng = random.Random(0x51F)
+    space = DataSpace(2, 8)
+    scheme = CRSE1Scheme(
+        space, group_for_crse1(space, 1, "fast", rng), r_squared=1
+    )
+    return scheme, scheme.gen_key(rng), rng
+
+
+class TestTruncation:
+    def test_truncated_count_prefix(self, crse2):
+        scheme, _, _ = crse2
+        with pytest.raises(ProtocolError):
+            decode_token(scheme, b"\x00")
+
+    def test_empty_token(self, crse2):
+        scheme, _, _ = crse2
+        with pytest.raises(ProtocolError):
+            decode_token(scheme, b"")
+
+    def test_truncated_sub_token_body(self, crse2):
+        scheme, key, rng = crse2
+        token = scheme.gen_token(key, Circle.from_radius((8, 8), 2), rng)
+        blob = encode_token(scheme, token)
+        # Chop mid-sub-token: framing stays divisible only by accident, and
+        # either way decode must fail typed, not crash.
+        with pytest.raises(ProtocolError):
+            decode_token(scheme, blob[: len(blob) - 3])
+
+    def test_truncated_ciphertext(self, crse2):
+        scheme, key, rng = crse2
+        from repro.cloud.codec import encode_ciphertext
+
+        blob = encode_ciphertext(scheme, scheme.encrypt(key, (3, 3), rng))
+        with pytest.raises(ProtocolError):
+            decode_ciphertext(scheme, blob[:7])
+
+
+class TestOversize:
+    def test_declared_count_above_limit(self, crse2):
+        scheme, _, _ = crse2
+        count = MAX_SUB_TOKENS + 1
+        blob = count.to_bytes(2, "big") + b"\x00" * count
+        with pytest.raises(ProtocolError):
+            decode_token(scheme, blob)
+
+    def test_max_u16_count_rejected_quickly(self, crse2):
+        scheme, _, _ = crse2
+        # 65535 declared sub-tokens with a matching body length must be
+        # refused by the count guard, not decoded one by one.
+        blob = b"\xff\xff" + b"\x00" * 65535
+        with pytest.raises(ProtocolError):
+            decode_token(scheme, blob)
+
+    def test_zero_count(self, crse2):
+        scheme, _, _ = crse2
+        with pytest.raises(ProtocolError):
+            decode_token(scheme, b"\x00\x00")
+
+
+class TestJunkBytes:
+    def test_crse2_junk_token(self, crse2):
+        scheme, _, _ = crse2
+        with pytest.raises(ProtocolError):
+            decode_token(scheme, b"\x00\x01" + b"\xde\xad\xbe\xef" * 5)
+
+    def test_crse1_junk_token(self, crse1):
+        scheme, _, _ = crse1
+        with pytest.raises(ProtocolError):
+            decode_token(scheme, b"\xde\xad\xbe\xef" * 7)
+
+    def test_junk_ciphertext(self, crse2):
+        scheme, _, _ = crse2
+        with pytest.raises(ProtocolError):
+            decode_ciphertext(scheme, b"not a ciphertext at all")
+
+    def test_fuzz_never_crashes(self, crse2):
+        """Random blobs only ever raise the typed wire error."""
+        scheme, _, _ = crse2
+        rng = random.Random(0xF022)
+        for _ in range(200):
+            blob = rng.randbytes(rng.randrange(0, 64))
+            try:
+                decode_token(scheme, blob)
+            except ProtocolError:
+                pass
+            try:
+                decode_ciphertext(scheme, blob)
+            except ProtocolError:
+                pass
+
+
+class TestBackCompat:
+    def test_wire_errors_are_still_serialization_errors(self, crse2):
+        """Pre-service callers catching SerializationError keep working."""
+        scheme, _, _ = crse2
+        with pytest.raises(SerializationError):
+            decode_token(scheme, b"\x00")
+        with pytest.raises(SerializationError):
+            decode_ciphertext(scheme, b"junk")

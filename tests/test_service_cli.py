@@ -1,0 +1,95 @@
+"""Subprocess smoke test for ``repro serve`` / ``repro query``.
+
+This is the one test that exercises the real deployment shape: a serve
+process on an ephemeral port, a query process dialing it over TCP, and a
+SIGTERM drain — the same round-trip the CI smoke job performs.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+
+def _repro(*argv: str, **kwargs) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """A tiny key + encrypted records built through the real CLI."""
+    root = tmp_path_factory.mktemp("service-cli")
+    key = root / "demo.key"
+    points = root / "points.csv"
+    records = root / "records.txt"
+    result = _repro(
+        "keygen", "--size", "16", "--dims", "2", "--backend", "fast",
+        "--seed", "11", "--out", str(key),
+    )
+    assert result.returncode == 0, result.stderr
+    points.write_text("3,3\n3,4\n12,12\n14,2\n")
+    result = _repro(
+        "encrypt", "--key", str(key), "--points", str(points),
+        "--seed", "12", "--out", str(records),
+    )
+    assert result.returncode == 0, result.stderr
+    return key, records, root
+
+
+def test_serve_query_sigterm_roundtrip(artifacts):
+    key, records, root = artifacts
+    port_file = root / "port"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    serve = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--key", str(key), "--records", str(records),
+            "--port", "0", "--port-file", str(port_file),
+            "--workers", "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        deadline = time.monotonic() + 60
+        while not port_file.exists() and time.monotonic() < deadline:
+            assert serve.poll() is None, serve.stdout.read()
+            time.sleep(0.1)
+        assert port_file.exists(), "serve never wrote its port file"
+        port = port_file.read_text().strip()
+
+        query = _repro(
+            "query", "--key", str(key), "--center", "3,3", "--radius", "1",
+            "--port", port, "--seed", "13", "--stats",
+        )
+        assert query.returncode == 0, query.stdout + query.stderr
+        assert "matches: [0, 1]" in query.stdout
+        assert "across 2 partition(s)" in query.stdout
+        assert '"search"' in query.stdout  # the --stats metrics snapshot
+
+        serve.send_signal(signal.SIGTERM)
+        stdout, _ = serve.communicate(timeout=60)
+    finally:
+        if serve.poll() is None:
+            serve.kill()
+            serve.communicate(timeout=30)
+    assert serve.returncode == 0, stdout
+    assert "preloaded 4 records" in stdout
+    assert "drained, bye" in stdout

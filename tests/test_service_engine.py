@@ -1,0 +1,176 @@
+"""The multi-core search engine against the single-process reference.
+
+Every test cross-checks :class:`repro.service.engine.SearchEngine` (real
+worker processes, records resident per shard) against
+:class:`repro.cloud.server.CloudServer.handle_search` on the same data —
+the sharding must change wall-clock, never results or accounting.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cloud.codec import encode_ciphertext, encode_token
+from repro.cloud.messages import SearchRequest, UploadDataset, UploadRecord
+from repro.cloud.server import CloudServer
+from repro.core.crse1 import CRSE1Scheme
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace
+from repro.core.provision import group_for_crse1, group_for_crse2
+from repro.errors import (
+    ParameterError,
+    ProtocolError,
+    SerializationError,
+    ServiceError,
+)
+from repro.service.engine import SearchEngine
+from repro.service.schemeio import restore_scheme, scheme_header
+
+
+@pytest.fixture(scope="module")
+def crse2_env():
+    rng = random.Random(0xE27)
+    space = DataSpace(2, 32)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    key = scheme.gen_key(rng)
+    # Cluster points near the query circle so matches are guaranteed.
+    points = [(16, 16), (17, 17), (15, 18), (30, 2), (2, 30), (10, 10),
+              (16, 19), (20, 16), (3, 3), (28, 28), (16, 13), (12, 16)]
+    records = [
+        (index, encode_ciphertext(scheme, scheme.encrypt(key, point, rng)))
+        for index, point in enumerate(points)
+    ]
+    token = encode_token(
+        scheme, scheme.gen_token(key, Circle.from_radius((16, 16), 3), rng)
+    )
+    return scheme, key, records, token
+
+
+def _reference_search(scheme, records, token):
+    server = CloudServer(scheme)
+    server.handle_upload(
+        UploadDataset(
+            records=tuple(
+                UploadRecord(identifier=i, payload=p) for i, p in records
+            )
+        )
+    )
+    response = server.handle_search(SearchRequest(payload=token))
+    return sorted(response.identifiers), server.last_search_stats
+
+
+class TestSchemeHeader:
+    def test_crse2_roundtrip(self, crse2_env):
+        scheme, _, _, _ = crse2_env
+        restored = restore_scheme(scheme_header(scheme))
+        assert isinstance(restored, CRSE2Scheme)
+        assert restored.space == scheme.space
+        assert restored.alpha == scheme.alpha
+        assert (
+            restored.group.subgroup_primes == scheme.group.subgroup_primes
+        )
+
+    def test_crse1_roundtrip(self):
+        rng = random.Random(0xE28)
+        space = DataSpace(2, 8)
+        scheme = CRSE1Scheme(
+            space, group_for_crse1(space, 1, "fast", rng), r_squared=1
+        )
+        restored = restore_scheme(scheme_header(scheme))
+        assert isinstance(restored, CRSE1Scheme)
+        assert restored.r_squared == scheme.r_squared
+        assert restored.m == scheme.m
+        assert restored.alpha == scheme.alpha
+
+    def test_unknown_kind_rejected(self, crse2_env):
+        scheme, _, _, _ = crse2_env
+        header = scheme_header(scheme)
+        header["scheme"] = "crse9"
+        with pytest.raises(SerializationError):
+            restore_scheme(header)
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(SerializationError):
+            restore_scheme({"scheme": "crse2"})
+
+
+class TestEngine:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_matches_reference(self, crse2_env, workers):
+        scheme, _, records, token = crse2_env
+        expected_ids, expected_stats = _reference_search(
+            scheme, records, token
+        )
+        assert expected_ids, "fixture must produce matches"
+        with SearchEngine(scheme, workers=workers) as engine:
+            engine.load(records)
+            assert engine.record_count == len(records)
+            result = engine.search(token)
+        assert list(result.identifiers) == expected_ids
+        assert result.stats.records_scanned == len(records)
+        assert result.stats.matches == len(expected_ids)
+        # Early-exit sub-token accounting is invariant under sharding.
+        assert (
+            result.stats.sub_token_evaluations
+            == expected_stats.sub_token_evaluations
+        )
+        assert len(result.stats.partitions) == workers
+        assert result.stats.elapsed_ms == max(result.stats.partitions)
+
+    def test_incremental_load_and_delete(self, crse2_env):
+        scheme, _, records, token = crse2_env
+        expected_ids, _ = _reference_search(scheme, records, token)
+        with SearchEngine(scheme, workers=2) as engine:
+            engine.load(records[:5])
+            engine.load(records[5:])
+            assert engine.record_count == len(records)
+            removed = engine.delete([expected_ids[0], 9999])
+            assert removed == 1
+            assert engine.record_count == len(records) - 1
+            result = engine.search(token)
+        assert list(result.identifiers) == expected_ids[1:]
+
+    def test_crse1_supported(self):
+        rng = random.Random(0xE29)
+        space = DataSpace(2, 8)
+        scheme = CRSE1Scheme(
+            space, group_for_crse1(space, 1, "fast", rng), r_squared=1
+        )
+        key = scheme.gen_key(rng)
+        records = [
+            (i, encode_ciphertext(scheme, scheme.encrypt(key, point, rng)))
+            for i, point in enumerate([(3, 3), (3, 4), (6, 6)])
+        ]
+        token = encode_token(
+            scheme, scheme.gen_token(key, Circle.from_radius((3, 3), 1), rng)
+        )
+        expected_ids, _ = _reference_search(scheme, records, token)
+        with SearchEngine(scheme, workers=2) as engine:
+            engine.load(records)
+            result = engine.search(token)
+        assert list(result.identifiers) == expected_ids
+
+    def test_malformed_token_raises_typed_error(self, crse2_env):
+        scheme, _, records, _ = crse2_env
+        with SearchEngine(scheme, workers=1) as engine:
+            engine.load(records[:2])
+            with pytest.raises(ProtocolError):
+                engine.search(b"\x00\x01junk-token-bytes")
+
+    def test_zero_workers_rejected(self, crse2_env):
+        scheme, _, _, _ = crse2_env
+        with pytest.raises(ParameterError):
+            SearchEngine(scheme, workers=0)
+
+    def test_closed_engine_refuses_work(self, crse2_env):
+        scheme, _, records, token = crse2_env
+        engine = SearchEngine(scheme, workers=1)
+        engine.warm_up()
+        engine.close()
+        engine.close()  # idempotent
+        with pytest.raises(ServiceError):
+            engine.search(token)
+        with pytest.raises(ServiceError):
+            engine.load(records[:1])

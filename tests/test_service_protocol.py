@@ -1,0 +1,216 @@
+"""Wire-protocol framing and envelope edge cases.
+
+The framing layer is the service's outermost trust boundary: every test
+here feeds it the kind of input a broken or hostile peer produces —
+truncated frames, hostile length prefixes, junk JSON — and asserts the
+typed :class:`~repro.errors.WireFormatError` (a ``ProtocolError``) comes
+back instead of a crash or a hang.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+
+import pytest
+
+from repro.cloud.messages import (
+    DeleteRequest,
+    FetchRequest,
+    FetchResponse,
+    SearchRequest,
+    UploadDataset,
+    UploadRecord,
+)
+from repro.errors import ProtocolError, WireFormatError
+from repro.service import protocol
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = protocol.encode_frame(b"hello")
+        assert frame == b"\x00\x00\x00\x05hello"
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(WireFormatError):
+            protocol.encode_frame(b"")
+
+    def test_oversized_frame_rejected_on_send(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_frame(b"x" * (protocol.MAX_FRAME_BYTES + 1))
+
+    def test_async_read_roundtrip(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(protocol.encode_frame(b"payload"))
+            reader.feed_eof()
+            body = await protocol.read_frame(reader)
+            assert body == b"payload"
+            assert await protocol.read_frame(reader) is None
+
+        asyncio.run(run())
+
+    def test_async_truncated_header(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00")  # half a length prefix
+            reader.feed_eof()
+            with pytest.raises(ProtocolError):
+                await protocol.read_frame(reader)
+
+        asyncio.run(run())
+
+    def test_async_truncated_body(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00\x00\x0aonly4")
+            reader.feed_eof()
+            with pytest.raises(ProtocolError):
+                await protocol.read_frame(reader)
+
+        asyncio.run(run())
+
+    def test_async_hostile_length_prefix(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            # Claims a 4 GiB frame; must be rejected before buffering it.
+            reader.feed_data(b"\xff\xff\xff\xff")
+            reader.feed_eof()
+            with pytest.raises(ProtocolError):
+                await protocol.read_frame(reader)
+
+        asyncio.run(run())
+
+    def test_blocking_recv_truncated(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"\x00\x00\x00\x0aonly4")
+            left.close()
+            with pytest.raises(ProtocolError):
+                protocol.recv_frame(right)
+        finally:
+            right.close()
+
+    def test_blocking_roundtrip(self):
+        left, right = socket.socketpair()
+        try:
+            body = protocol.encode_request("health", 1)
+            sender = threading.Thread(
+                target=protocol.send_frame, args=(left, body)
+            )
+            sender.start()
+            assert protocol.recv_frame(right) == body
+            sender.join()
+        finally:
+            left.close()
+            right.close()
+
+
+class TestEnvelopes:
+    def test_request_roundtrip(self):
+        body = protocol.encode_request(
+            "search", 42, fields={"token": "AAAA"}, deadline_ms=125.0
+        )
+        request = protocol.decode_request(body)
+        assert request.verb == "search"
+        assert request.request_id == 42
+        assert request.deadline_ms == 125.0
+        assert request.fields == {"token": "AAAA"}
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            b"junk not json",
+            b"\xff\xfe garbage bytes",
+            b"[1, 2, 3]",
+            b'{"v": 99, "verb": "health", "id": 1}',
+            b'{"v": 1, "verb": "explode", "id": 1}',
+            b'{"v": 1, "verb": "health", "id": "one"}',
+            b'{"v": 1, "verb": "health", "id": 1, "deadline_ms": -5}',
+        ],
+    )
+    def test_malformed_requests_rejected(self, body):
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(body)
+
+    def test_reply_roundtrip(self):
+        reply = protocol.decode_reply(
+            protocol.encode_ok(7, {"stored": 3})
+        )
+        assert reply.ok and reply.request_id == 7
+        assert reply.fields == {"stored": 3}
+
+    def test_error_reply_roundtrip(self):
+        reply = protocol.decode_reply(
+            protocol.encode_error(9, protocol.ERR_BUSY, "full", retryable=True)
+        )
+        assert not reply.ok
+        assert reply.error_code == protocol.ERR_BUSY
+        assert reply.retryable
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            b"not json either",
+            b'{"v": 1, "id": 1}',
+            b'{"v": 1, "id": 1, "ok": false}',
+            b'{"v": 1, "id": 1, "ok": false, "error": "oops"}',
+        ],
+    )
+    def test_malformed_replies_rejected(self, body):
+        with pytest.raises(ProtocolError):
+            protocol.decode_reply(body)
+
+
+class TestPayloadFields:
+    def test_upload_roundtrip(self):
+        dataset = UploadDataset(
+            records=(
+                UploadRecord(identifier=1, payload=b"\x00\x01", content=b"c"),
+                UploadRecord(identifier=2, payload=b"\xff"),
+            )
+        )
+        restored = protocol.upload_from_fields(protocol.upload_fields(dataset))
+        assert restored == dataset
+
+    def test_upload_bad_base64(self):
+        with pytest.raises(ProtocolError):
+            protocol.upload_from_fields(
+                {"records": [{"id": 1, "payload": "!!not-base64!!"}]}
+            )
+
+    def test_upload_bad_record_shape(self):
+        with pytest.raises(ProtocolError):
+            protocol.upload_from_fields({"records": [{"payload": "AAAA"}]})
+
+    def test_search_roundtrip(self):
+        message = SearchRequest(payload=b"\x01\x02\x03")
+        assert (
+            protocol.search_from_fields(protocol.search_fields(message))
+            == message
+        )
+
+    def test_search_missing_token(self):
+        with pytest.raises(ProtocolError):
+            protocol.search_from_fields({})
+
+    def test_fetch_and_delete_roundtrip(self):
+        fetch = FetchRequest(identifiers=(1, 2, 3))
+        assert (
+            protocol.fetch_from_fields(protocol.fetch_fields(fetch)) == fetch
+        )
+        delete = DeleteRequest(identifiers=(4, 5))
+        assert (
+            protocol.delete_from_fields(protocol.delete_fields(delete))
+            == delete
+        )
+
+    def test_identifier_list_type_checked(self):
+        with pytest.raises(ProtocolError):
+            protocol.fetch_from_fields({"ids": [1, "two"]})
+
+    def test_fetch_response_fields(self):
+        response = FetchResponse(contents=((5, b"body"),))
+        fields = protocol.fetch_response_fields(response)
+        assert fields == {"contents": [[5, "Ym9keQ=="]]}
