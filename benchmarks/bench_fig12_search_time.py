@@ -33,7 +33,7 @@ def _matching_points(scheme, circle, count, rng):
     return pts
 
 
-def test_fig12_series(crse2_env, write_result, write_csv):
+def test_fig12_series(crse2_env, write_result, write_csv, write_json):
     scheme, key, rng = crse2_env
     measured = Series("measured ms/record (fast)")
     paper = Series("paper-scale ms/record")
@@ -76,6 +76,16 @@ def test_fig12_series(crse2_env, write_result, write_csv):
         ),
     )
     write_csv("fig12_search_time", series_to_csv([measured, paper, avg_fraction]))
+    write_json(
+        "fig12_search_time",
+        {
+            "figure": "fig12",
+            "radii": list(RADII),
+            "measured_ms_per_record": measured.y,
+            "paper_scale_ms_per_record": paper.y,
+            "avg_evaluated_fraction": avg_fraction.y,
+        },
+    )
 
 
 def test_bench_crse2_search_record_r10(crse2_env, benchmark):

@@ -16,6 +16,7 @@ against the paper after a run (EXPERIMENTS.md summarizes the comparison).
 
 from __future__ import annotations
 
+import json
 import pathlib
 import random
 
@@ -50,6 +51,18 @@ def write_csv(results_dir):
 
     def writer(name: str, csv_text: str) -> None:
         (results_dir / f"{name}.csv").write_text(csv_text + "\n")
+
+    return writer
+
+
+@pytest.fixture(scope="session")
+def write_json(results_dir):
+    """Write a benchmark's structured results as pretty-printed JSON."""
+
+    def writer(name: str, payload: dict) -> None:
+        (results_dir / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
     return writer
 

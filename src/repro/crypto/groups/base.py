@@ -214,11 +214,71 @@ class CompositeBilinearGroup(abc.ABC):
         return rng.randrange(self.order)
 
     # ------------------------------------------------------------------
+    # Fixed-base precomputation
+    # ------------------------------------------------------------------
+    def precompute_base(self, element: GroupElement) -> bool:
+        """Build (and cache) fixed-base acceleration tables for *element*.
+
+        Backends where exponentiation has a fixed-base fast path (the curve
+        backend's windowing tables) override this; the default is a no-op.
+        Precomputation never changes results — only speed — so callers may
+        invoke it unconditionally.
+
+        Returns:
+            True if a table was built, False if cached already or the
+            backend has nothing to precompute.
+
+        Raises:
+            CryptoError: If *element* does not belong to this group.
+        """
+        if element.group != self:
+            raise CryptoError("cannot precompute a foreign group element")
+        return False
+
+    def precompute_generators(self) -> None:
+        """Precompute fixed-base tables for the full and subgroup generators.
+
+        These are the bases behind :meth:`random_subgroup_element` — the
+        masking-element sampling that dominates SSW ``Enc``/``GenToken``
+        outside the key bases themselves.
+        """
+        self.precompute_base(self.generator())
+        for index in range(NUM_SUBGROUPS):
+            self.precompute_base(self.subgroup_generator(index))
+
+    # ------------------------------------------------------------------
     # Pairing and serialization
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def pair(self, a: GroupElement, b: GroupElement) -> TargetElement:
         """Evaluate the symmetric bilinear pairing ``e(a, b)``."""
+
+    def multi_pair(
+        self, pairs: "list[tuple[GroupElement, GroupElement]]"
+    ) -> TargetElement:
+        """Evaluate the product of pairings ``∏ e(a_i, b_i)``.
+
+        This is SSW ``Query``'s shape: only the *product* is tested against
+        the identity, so backends may share work across the pairs — the
+        curve backend runs one Miller accumulator and a **single** final
+        exponentiation for the whole product.  This default evaluates the
+        pairs one by one, which every backend supports (and which the
+        ablation benchmark uses as the per-pair reference).
+
+        Raises:
+            CryptoError: If any element belongs to a different group (the
+                per-pair :meth:`pair` check, surfaced before any pairing
+                math runs).
+        """
+        for a, b in pairs:
+            if a.group != self or b.group != self:
+                raise CryptoError(
+                    "multi_pair elements from a different group"
+                )
+        result = self.gt_identity()
+        for a, b in pairs:
+            result = result * self.pair(a, b)
+        return result
 
     @abc.abstractmethod
     def serialize_element(self, element: GroupElement) -> bytes:

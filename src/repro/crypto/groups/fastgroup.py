@@ -169,6 +169,21 @@ class FastCompositeGroup(CompositeBilinearGroup):
             raise CryptoError("pairing elements from a different group")
         return FastTargetElement(self._order, a.exponent * b.exponent)
 
+    def multi_pair(
+        self, pairs: list[tuple[GroupElement, GroupElement]]
+    ) -> FastTargetElement:
+        """Product of pairings: a single exponent dot product mod ``N``."""
+        total = 0
+        for a, b in pairs:
+            if not isinstance(a, FastElement) or not isinstance(b, FastElement):
+                raise CryptoError(
+                    "multi_pair requires FastCompositeGroup elements"
+                )
+            if a.group != self or b.group != self:
+                raise CryptoError("multi_pair elements from a different group")
+            total += a.exponent * b.exponent
+        return FastTargetElement(self._order, total)
+
     def serialize_element(self, element: GroupElement) -> bytes:
         if not isinstance(element, FastElement) or element.group != self:
             raise SerializationError("element does not belong to this group")

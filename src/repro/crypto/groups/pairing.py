@@ -15,6 +15,24 @@ values.  The final exponentiation itself collapses to the cheap form
 This file also provides :class:`SupersingularPairingGroup`, the production
 backend implementing :class:`repro.crypto.groups.base.CompositeBilinearGroup`
 on the curve — the pure-Python stand-in for the paper's GMP+PBC stack.
+
+Two Miller-loop implementations coexist:
+
+* :func:`miller_loop` / :func:`reduced_tate_pairing` — the textbook affine
+  version (one modular inversion per point operation, one final
+  exponentiation per pairing).  Kept as the auditable reference and as the
+  "naive" arm of the ablation benchmark.
+* :func:`multi_miller_loop` / :func:`product_tate_pairing` — the hot path:
+  evaluates a whole *product* ``∏ ê(P_i, Q_i)`` with one shared accumulator.
+  Points advance in Jacobian coordinates and line values are scaled by
+  ``F_q*`` factors instead of inverted denominators (sound for the same
+  reason denominator elimination is: anything in ``F_q*`` dies under the
+  ``(q - 1)``-part of the final exponentiation), so the loop performs **no**
+  modular inversions; the accumulator squares once per bit regardless of
+  how many pairs ride along, and one single final exponentiation reduces
+  the whole product.  :meth:`SupersingularPairingGroup.multi_pair` exposes
+  this to SSW's ``Query``, collapsing its ``2n + 2`` final exponentiations
+  into one.
 """
 
 from __future__ import annotations
@@ -27,7 +45,12 @@ from repro.crypto.groups.base import (
     GroupElement,
     TargetElement,
 )
-from repro.crypto.groups.curve import INFINITY, Point, SupersingularCurve
+from repro.crypto.groups.curve import (
+    INFINITY,
+    FixedBaseTable,
+    Point,
+    SupersingularCurve,
+)
 from repro.crypto.groups.field import Fq2
 from repro.crypto.groups.params import PairingParams
 from repro.errors import CryptoError, SerializationError
@@ -35,7 +58,9 @@ from repro.math.modular import modinv
 
 __all__ = [
     "miller_loop",
+    "multi_miller_loop",
     "reduced_tate_pairing",
+    "product_tate_pairing",
     "SupersingularPairingGroup",
     "CurveElement",
     "PairingTargetElement",
@@ -114,6 +139,127 @@ def reduced_tate_pairing(
     return reduced**cofactor
 
 
+def multi_miller_loop(
+    curve: SupersingularCurve,
+    pairs: list[tuple[Point, Point]],
+    order: int,
+) -> Fq2:
+    """Compute ``∏ f_{order,P_i}(φ(Q_i))`` with one shared accumulator.
+
+    The loop over the bits of *order* is run once: each pair keeps its own
+    running point ``T_i`` (in Jacobian coordinates, so point updates need no
+    modular inversion) while a single ``F_q²`` accumulator absorbs every
+    pair's line value and is squared once per bit.  Line values are scaled
+    by per-step ``F_q*`` factors (the deferred Jacobian denominators); the
+    final exponentiation annihilates ``F_q*``, so the *reduced* product is
+    unchanged — the same argument that justifies denominator elimination.
+
+    Pairs with an infinite argument contribute the factor 1 and are skipped.
+
+    Returns:
+        The unreduced product in ``F_q²`` (equal to the product of the
+        per-pair Miller values up to a factor in ``F_q*``).
+    """
+    q = curve.q
+    # Per-pair state: [X, Y, Z, px, py, eval_x, eval_y] — the Jacobian
+    # running point T, the affine base P, and φ(Q)'s evaluation coords.
+    states = [
+        [p.x, p.y, 1, p.x, p.y, (-qp.x) % q, qp.y % q]
+        for p, qp in pairs
+        if not (p.infinite or qp.infinite)
+    ]
+    fr, fi = 1, 0  # the shared accumulator, as raw F_q² coefficients
+    for bit in bin(order)[3:]:  # skip the leading 1 bit
+        # f ← f²  (one squaring for the whole product)
+        fr, fi = (fr - fi) * (fr + fi) % q, 2 * fr * fi % q
+        for state in states:
+            x, y, z = state[0], state[1], state[2]
+            if z == 0:
+                continue  # T = O: stays O, vertical lines only
+            if y == 0:
+                state[2] = 0  # 2-torsion: vertical tangent, 2T = O
+                continue
+            # Tangent line at T evaluated at (eval_x, i·eval_y), scaled by
+            # 2YZ³ ∈ F_q*:  real = −2Y² − M(Z²·x_e − X),  imag = 2YZ³·y_e.
+            xx = x * x % q
+            yy = y * y % q
+            zz = z * z % q
+            m = (3 * xx + zz * zz) % q
+            lr = (-2 * yy - m * (zz * state[5] - x)) % q
+            li = 2 * y * z % q * zz % q * state[6] % q
+            fr, fi = (fr * lr - fi * li) % q, (fr * li + fi * lr) % q
+            # T ← 2T (Jacobian doubling, reusing the shared intermediates).
+            s = 4 * x * yy % q
+            x3 = (m * m - 2 * s) % q
+            state[0] = x3
+            state[1] = (m * (s - x3) - 8 * yy * yy) % q
+            state[2] = 2 * y * z % q
+        if bit == "1":
+            for state in states:
+                x, y, z, px, py = state[0], state[1], state[2], state[3], state[4]
+                if z == 0:
+                    # T = O: T + P = P, the line is vertical — no factor.
+                    state[0], state[1], state[2] = px, py, 1
+                    continue
+                zz = z * z % q
+                h = (px * zz - x) % q
+                r = (py * z % q * zz - y) % q
+                if h == 0:
+                    if r == 0:
+                        # T = P: chord degenerates to the tangent at T.
+                        xx = x * x % q
+                        yy = y * y % q
+                        m = (3 * xx + zz * zz) % q
+                        lr = (-2 * yy - m * (zz * state[5] - x)) % q
+                        li = 2 * y * z % q * zz % q * state[6] % q
+                        fr, fi = (
+                            (fr * lr - fi * li) % q,
+                            (fr * li + fi * lr) % q,
+                        )
+                        s = 4 * x * yy % q
+                        x3 = (m * m - 2 * s) % q
+                        state[0] = x3
+                        state[1] = (m * (s - x3) - 8 * yy * yy) % q
+                        state[2] = 2 * y * z % q
+                    else:
+                        state[2] = 0  # T = −P: vertical chord, T + P = O
+                    continue
+                # Chord through T and P at (eval_x, i·eval_y), scaled by
+                # ZH ∈ F_q*:  real = −ZH·y_P − R(x_e − x_P),  imag = ZH·y_e.
+                zh = z * h % q
+                lr = (-zh * py - r * (state[5] - px)) % q
+                li = zh * state[6] % q
+                fr, fi = (fr * lr - fi * li) % q, (fr * li + fi * lr) % q
+                # T ← T + P (mixed Jacobian addition, reusing H and R).
+                hh = h * h % q
+                hhh = h * hh % q
+                v = x * hh % q
+                x3 = (r * r - hhh - 2 * v) % q
+                state[0] = x3
+                state[1] = (r * (v - x3) - y * hhh) % q
+                state[2] = zh
+    return Fq2(q, fr, fi)
+
+
+def product_tate_pairing(
+    curve: SupersingularCurve,
+    pairs: list[tuple[Point, Point]],
+    order: int,
+    cofactor: int,
+) -> Fq2:
+    """Return the reduced product ``∏ ê(P_i, Q_i)``.
+
+    One shared Miller loop (:func:`multi_miller_loop`) and one single final
+    exponentiation ``f ↦ (conj(f)/f)^cofactor`` replace ``len(pairs)``
+    independent pairings.  Soundness: the final exponentiation is a group
+    homomorphism, so reducing the product equals the product of the
+    reductions — and SSW-style match tests only ever inspect the product.
+    """
+    f = multi_miller_loop(curve, pairs, order)
+    reduced = f.conjugate() * f.inverse()  # f^(q-1)
+    return reduced**cofactor
+
+
 class CurveElement(GroupElement):
     """A point of the order-``N`` subgroup, as an abstract group element."""
 
@@ -140,10 +286,12 @@ class CurveElement(GroupElement):
         )
 
     def _pow(self, exponent: int) -> "CurveElement":
-        scalar = exponent % self._group.order
-        return CurveElement(
-            self._group, self._group.curve.multiply(self._point, scalar)
-        )
+        group = self._group
+        scalar = exponent % group.order
+        table = group._fixed_tables.get(self._point)
+        if table is not None:
+            return CurveElement(group, table.multiply(scalar))
+        return CurveElement(group, group.curve.multiply(self._point, scalar))
 
     def is_identity(self) -> bool:
         return self._point.infinite
@@ -216,6 +364,9 @@ class SupersingularPairingGroup(CompositeBilinearGroup):
         self._params = params
         self.curve = SupersingularCurve(params.field_prime)
         self._order = params.group_order
+        # Fixed-base windowing tables, keyed by base point.  Consulted on
+        # every exponentiation; populated only via precompute_base().
+        self._fixed_tables: dict[Point, FixedBaseTable] = {}
         self._generator = self._find_generator()
         cofactors = [
             self._order // p for p in params.subgroup_primes
@@ -293,13 +444,63 @@ class SupersingularPairingGroup(CompositeBilinearGroup):
         self._check_subgroup_index(index)
         return self._subgroup_generators[index]
 
+    def precompute_base(self, element: GroupElement) -> bool:
+        """Build a fixed-base windowing table for *element* (idempotent).
+
+        Every subsequent ``element ** k`` resolves through the cached
+        :class:`~repro.crypto.groups.curve.FixedBaseTable` — one mixed
+        addition per exponent window instead of full double-and-add.
+
+        Raises:
+            CryptoError: If *element* is not a member of this group.
+        """
+        if not isinstance(element, CurveElement) or element.group != self:
+            raise CryptoError("cannot precompute a foreign group element")
+        point = element.point
+        if point.infinite or point in self._fixed_tables:
+            return False
+        self._fixed_tables[point] = FixedBaseTable(
+            self.curve, point, self._order.bit_length()
+        )
+        return True
+
+    @property
+    def precomputed_base_count(self) -> int:
+        """How many fixed-base tables are currently cached."""
+        return len(self._fixed_tables)
+
     def pair(self, a: GroupElement, b: GroupElement) -> PairingTargetElement:
         if not isinstance(a, CurveElement) or not isinstance(b, CurveElement):
             raise CryptoError("pairing requires curve elements")
         if a.group != self or b.group != self:
             raise CryptoError("pairing elements from a different group")
-        value = reduced_tate_pairing(
-            self.curve, a.point, b.point, self._order, self._params.cofactor
+        value = product_tate_pairing(
+            self.curve,
+            [(a.point, b.point)],
+            self._order,
+            self._params.cofactor,
+        )
+        return PairingTargetElement(self, value)
+
+    def multi_pair(
+        self, pairs: list[tuple[GroupElement, GroupElement]]
+    ) -> PairingTargetElement:
+        """Product of pairings with one Miller loop and one final exp.
+
+        Raises:
+            CryptoError: If any element is not a curve element of this
+                group (mismatched backends fail here with a typed error
+                instead of deep inside the pairing arithmetic).
+        """
+        points: list[tuple[Point, Point]] = []
+        for a, b in pairs:
+            if not isinstance(a, CurveElement) or not isinstance(b, CurveElement):
+                raise CryptoError("multi_pair requires curve elements")
+            if a.group != self or b.group != self:
+                raise CryptoError("multi_pair elements from a different group")
+            points.append((a.point, b.point))
+        value = product_tate_pairing(
+            self.curve, points, self._order, self._params.cofactor
         )
         return PairingTargetElement(self, value)
 

@@ -105,6 +105,10 @@ def _ssw_from_json(group: CompositeBilinearGroup, blob: dict) -> SSWSecretKey:
         raise SerializationError(f"malformed SSW key material: {exc}") from exc
     if any(len(bases) != key.n for bases in (key.h1, key.h2, key.u1, key.u2)):
         raise SerializationError("SSW key base counts do not match n")
+    # Fixed-base tables live on the group instance, and this key was just
+    # decoded into a fresh one — rebuild them so a restored owner encrypts
+    # and tokenizes as fast as the owner that generated the key.
+    key.precompute()
     return key
 
 

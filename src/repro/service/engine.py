@@ -52,6 +52,11 @@ def _worker_init(header_json: str) -> None:
     # die mid-drain with KeyboardInterrupt tracebacks of their own.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     _worker_scheme = restore_scheme(json.loads(header_json))
+    # Fixed-base tables are per-group (hence per-process) state: pay the
+    # generator table build once at shard startup, so every generator
+    # exponentiation over the worker's lifetime hits the cache and the
+    # first search is not slower than steady state.
+    _worker_scheme.group.precompute_generators()
     _worker_records = []
 
 

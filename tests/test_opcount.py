@@ -38,6 +38,7 @@ class _Counts:
     pairings: int = 0
     exponentiations: int = 0
     multiplications: int = 0
+    final_exps: int = 0
 
 
 @pytest.fixture
@@ -46,12 +47,21 @@ def counted(monkeypatch):
     group = FastCompositeGroup(default_test_params().subgroup_primes)
     counts = _Counts()
     original_pair = FastCompositeGroup.pair
+    original_multi_pair = FastCompositeGroup.multi_pair
     original_pow = FastElement._pow
     original_mul = FastElement._mul
 
     def counting_pair(self, a, b):
         counts.pairings += 1
         return original_pair(self, a, b)
+
+    def counting_multi_pair(self, pairs):
+        # One Miller loop per pair, one shared final exponentiation —
+        # mirrors the op classes ssw_query_ops accounts for.
+        pairs = list(pairs)
+        counts.pairings += len(pairs)
+        counts.final_exps += 1
+        return original_multi_pair(self, pairs)
 
     def counting_pow(self, exponent):
         counts.exponentiations += 1
@@ -62,6 +72,7 @@ def counted(monkeypatch):
         return original_mul(self, other)
 
     monkeypatch.setattr(FastCompositeGroup, "pair", counting_pair)
+    monkeypatch.setattr(FastCompositeGroup, "multi_pair", counting_multi_pair)
     monkeypatch.setattr(FastElement, "_pow", counting_pow)
     monkeypatch.setattr(FastElement, "_mul", counting_mul)
     return group, counts
@@ -100,17 +111,25 @@ class TestDynamicVerification:
         key = ssw_setup(group, n, random.Random(1))
         ct = ssw_encrypt(key, list(range(n)), random.Random(2))
         tk = ssw_gen_token(key, [0] * n, random.Random(3))
-        counts.pairings = 0
+        counts.pairings = counts.final_exps = 0
         ssw_query(tk, ct)
-        assert counts.pairings == ssw_query_ops(n).pairings
+        expected = ssw_query_ops(n)
+        assert counts.pairings == expected.pairings
+        assert counts.final_exps == expected.final_exps == 1
 
 
 class TestOpCountAlgebra:
     def test_add_and_scale(self):
-        a = OpCount(1, 2, 3)
-        b = OpCount(10, 20, 30)
-        assert a + b == OpCount(11, 22, 33)
-        assert 3 * a == OpCount(3, 6, 9) == a * 3
+        a = OpCount(1, 2, 3, 4)
+        b = OpCount(10, 20, 30, 40)
+        assert a + b == OpCount(11, 22, 33, 44)
+        assert 3 * a == OpCount(3, 6, 9, 12) == a * 3
+
+    def test_query_shares_one_final_exponentiation(self):
+        # 2n + 2 Miller loops, but the product-of-pairings evaluation pays
+        # a single final exponentiation regardless of the vector length.
+        assert ssw_query_ops(4).final_exps == 1
+        assert crse2_search_record_ops(3, 2).final_exps == 3
 
     def test_crse2_composition(self):
         assert crse2_encrypt_ops(2) == ssw_encrypt_ops(4)
@@ -139,6 +158,13 @@ class TestCostModel:
     def test_time_units(self):
         model = CostModel(1.0, 1.0, 1.0)
         assert model.time_s(OpCount(1000, 0, 0)) == pytest.approx(1.0)
+
+    def test_final_exp_priced_separately(self):
+        model = CostModel(1.0, 0.0, 0.0, final_exp_ms=5.0)
+        assert model.time_ms(OpCount(pairings=10, final_exps=1)) == 15.0
+        # The paper model prices complete pairings, so the shared final
+        # exponentiation must not be double-charged there.
+        assert PAPER_EC2_MODEL.final_exp_ms == 0.0
 
     def test_measure_calibration_runs(self):
         group = FastCompositeGroup(default_test_params().subgroup_primes)

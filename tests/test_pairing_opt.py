@@ -1,0 +1,243 @@
+"""Tests for the pairing hot-path optimizations.
+
+Every optimized path is pinned to its naive reference implementation:
+wNAF/Jacobian scalar multiplication against double-and-add, fixed-base
+tables against plain multiplication, and the shared-final-exponentiation
+product of pairings against the per-pair product.  A full SSW differential
+run checks that the two group backends still agree on match decisions with
+all optimizations enabled.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.groups.base import CompositeBilinearGroup
+from repro.crypto.groups.curve import (
+    INFINITY,
+    FixedBaseTable,
+    Point,
+)
+from repro.crypto.groups.fastgroup import FastCompositeGroup
+from repro.crypto.groups.pairing import (
+    SupersingularPairingGroup,
+    product_tate_pairing,
+    reduced_tate_pairing,
+)
+from repro.crypto.groups.params import toy_params
+from repro.crypto.ssw import (
+    ssw_encrypt,
+    ssw_gen_token,
+    ssw_query,
+    ssw_setup,
+)
+from repro.errors import CryptoError
+
+
+@pytest.fixture(scope="module")
+def group() -> SupersingularPairingGroup:
+    return SupersingularPairingGroup(toy_params())
+
+
+@pytest.fixture(scope="module")
+def fast() -> FastCompositeGroup:
+    return FastCompositeGroup(toy_params().subgroup_primes)
+
+
+class TestScalarMultiplication:
+    def test_random_scalars_match_naive(self, group, rng):
+        curve = group.curve
+        order = curve.order
+        point = group.generator().point
+        for _ in range(50):
+            k = rng.randrange(0, 2 * order)
+            assert curve.multiply(point, k) == curve.multiply_naive(point, k)
+
+    def test_edge_scalars(self, group):
+        curve = group.curve
+        order = curve.order
+        point = group.generator().point
+        for k in (0, 1, 2, 3, order - 1, order, order + 1, -1, -17, -order):
+            assert curve.multiply(point, k) == curve.multiply_naive(point, k)
+
+    def test_infinity_input(self, group, rng):
+        curve = group.curve
+        assert curve.multiply(INFINITY, rng.randrange(1, curve.order)) == INFINITY
+
+    def test_two_torsion_point(self, group):
+        # (0, 0) lies on y² = x³ + x and is its own negative: 2·P = ∞.
+        curve = group.curve
+        torsion = Point(0, 0)
+        assert curve.contains(torsion)
+        for k in range(5):
+            assert curve.multiply(torsion, k) == curve.multiply_naive(torsion, k)
+
+    def test_random_points(self, group, rng):
+        curve = group.curve
+        for _ in range(10):
+            point = curve.random_point(rng)
+            k = rng.randrange(0, curve.order)
+            assert curve.multiply(point, k) == curve.multiply_naive(point, k)
+
+
+class TestFixedBaseTable:
+    def test_matches_naive(self, group, rng):
+        curve = group.curve
+        point = group.generator().point
+        bits = group.order.bit_length()
+        table = FixedBaseTable(curve, point, bits)
+        for _ in range(50):
+            k = rng.randrange(0, group.order)
+            assert table.multiply(k) == curve.multiply_naive(point, k)
+
+    def test_edge_scalars(self, group):
+        curve = group.curve
+        point = group.generator().point
+        bits = group.order.bit_length()
+        table = FixedBaseTable(curve, point, bits)
+        for k in (0, 1, 2, group.order - 1, (1 << bits) - 1):
+            assert table.multiply(k) == curve.multiply_naive(point, k)
+
+    def test_rejects_out_of_range_scalars(self, group):
+        table = FixedBaseTable(
+            group.curve, group.generator().point, group.order.bit_length()
+        )
+        with pytest.raises(CryptoError):
+            table.multiply(-1)
+        with pytest.raises(CryptoError):
+            table.multiply(1 << (group.order.bit_length() + 1))
+
+    def test_precompute_base_feeds_pow(self, group, rng):
+        # After precompute_base, __pow__ must route through the table and
+        # keep producing exactly the same elements.
+        element = group.generator() ** 7
+        before = [element ** k for k in (0, 1, 5, group.order - 1)]
+        assert group.precompute_base(element) is True
+        assert group.precompute_base(element) is False  # cached
+        after = [element ** k for k in (0, 1, 5, group.order - 1)]
+        assert before == after
+        for _ in range(20):
+            k = rng.randrange(0, group.order)
+            assert (element ** k).point == group.curve.multiply_naive(
+                element.point, k
+            )
+
+    def test_precompute_base_rejects_foreign_element(self, group, fast):
+        with pytest.raises(CryptoError):
+            group.precompute_base(fast.generator())
+
+    def test_fast_backend_has_no_tables(self, fast):
+        assert fast.precompute_base(fast.generator()) is False
+
+
+class TestProductOfPairings:
+    def _sample_pairs(self, group, rng, count):
+        g = group.generator()
+        return [
+            (g ** rng.randrange(1, group.order), g ** rng.randrange(1, group.order))
+            for _ in range(count)
+        ]
+
+    @pytest.mark.parametrize("backend", ["fast", "group"])
+    @pytest.mark.parametrize("count", [1, 2, 5])
+    def test_matches_per_pair_product(self, backend, count, rng, request):
+        grp = request.getfixturevalue(backend)
+        pairs = self._sample_pairs(grp, rng, count)
+        product = grp.gt_identity()
+        for a, b in pairs:
+            product = product * grp.pair(a, b)
+        assert grp.multi_pair(pairs) == product
+
+    @pytest.mark.parametrize("backend", ["fast", "group"])
+    def test_empty_product_is_identity(self, backend, request):
+        grp = request.getfixturevalue(backend)
+        assert grp.multi_pair([]).is_identity()
+
+    def test_identity_arguments(self, group, rng):
+        g = group.generator()
+        pairs = [(group.identity(), g), (g, group.identity())]
+        assert group.multi_pair(pairs).is_identity()
+        mixed = pairs + self._sample_pairs(group, rng, 2)
+        expected = group.pair(*mixed[2]) * group.pair(*mixed[3])
+        assert group.multi_pair(mixed) == expected
+
+    def test_base_class_default_agrees(self, group, rng):
+        # The unbound base-class implementation (per-pair reduction) is the
+        # ablation reference — it must compute the same product.
+        pairs = self._sample_pairs(group, rng, 3)
+        assert CompositeBilinearGroup.multi_pair(group, pairs) == group.multi_pair(
+            pairs
+        )
+
+    def test_product_tate_matches_reduced_tate(self, group, rng):
+        curve, params = group.curve, group.params
+        order = params.group_order
+        pairs = [
+            (a.point, b.point) for a, b in self._sample_pairs(group, rng, 4)
+        ]
+        expected = reduced_tate_pairing(
+            curve, pairs[0][0], pairs[0][1], order, params.cofactor
+        )
+        for a, b in pairs[1:]:
+            expected = expected * reduced_tate_pairing(
+                curve, a, b, order, params.cofactor
+            )
+        assert (
+            product_tate_pairing(curve, pairs, order, params.cofactor) == expected
+        )
+
+    @pytest.mark.parametrize("backend", ["fast", "group"])
+    def test_rejects_foreign_elements(self, backend, request):
+        grp = request.getfixturevalue(backend)
+        if isinstance(grp, FastCompositeGroup):
+            other = FastCompositeGroup(toy_params(seed=2).subgroup_primes)
+        else:
+            other = SupersingularPairingGroup(toy_params(seed=2))
+        good = (grp.generator(), grp.generator())
+        bad = (grp.generator(), other.generator())
+        with pytest.raises(CryptoError):
+            grp.multi_pair([good, bad])
+
+    def test_rejects_non_elements(self, group):
+        with pytest.raises(CryptoError):
+            group.multi_pair([(group.generator(), object())])
+
+
+class TestSSWCrossGroupRejection:
+    @pytest.mark.parametrize("backend", ["fast", "pairing"])
+    def test_token_and_ciphertext_from_different_groups(self, backend):
+        if backend == "fast":
+            g1 = FastCompositeGroup(toy_params().subgroup_primes)
+            g2 = FastCompositeGroup(toy_params(seed=2).subgroup_primes)
+        else:
+            g1 = SupersingularPairingGroup(toy_params())
+            g2 = SupersingularPairingGroup(toy_params(seed=2))
+        key1 = ssw_setup(g1, 2, random.Random(1))
+        key2 = ssw_setup(g2, 2, random.Random(1))
+        ct = ssw_encrypt(key1, [1, 2], random.Random(2))
+        tk = ssw_gen_token(key2, [2, -1], random.Random(3))
+        with pytest.raises(CryptoError, match="different groups"):
+            ssw_query(tk, ct)
+
+
+class TestBackendDifferential:
+    def test_ssw_match_decisions_agree(self, group, fast):
+        """Full SSW runs on both backends must yield identical decisions."""
+        n = 3
+        cases = [
+            ([1, 2, 3], [3, 0, -1], True),  # ⟨x, v⟩ = 0
+            ([1, 2, 3], [1, 1, 1], False),
+            ([5, 0, 2], [2, 7, -5], True),
+            ([0, 0, 0], [4, 5, 6], True),
+            ([1, 1, 1], [1, -1, 1], False),
+        ]
+        for seed, (x, v, expected) in enumerate(cases):
+            decisions = []
+            for backend in (group, fast):
+                key = ssw_setup(backend, n, random.Random(100 + seed))
+                ct = ssw_encrypt(key, x, random.Random(200 + seed))
+                tk = ssw_gen_token(key, v, random.Random(300 + seed))
+                decisions.append(ssw_query(tk, ct))
+            assert decisions[0] == decisions[1] == expected, (x, v)
