@@ -1,6 +1,6 @@
 """``reprolint`` — crypto-aware static analysis for this codebase.
 
-An AST-based lint engine with a rule registry (CRS001-CRS006), inline
+An AST-based lint engine with a rule registry (CRS001-CRS007), inline
 ``# reprolint: ignore[RULE]`` suppressions, a baseline file for accepted
 pre-existing findings, and a CLI (``python -m repro.analysis.staticcheck``
 or ``python -m repro lint``).  See :mod:`repro.analysis.staticcheck.rules`

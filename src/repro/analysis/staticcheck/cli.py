@@ -38,7 +38,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="reprolint",
         description="Crypto-aware static analysis for the repro codebase "
-        "(rules CRS001-CRS006).",
+        "(rules CRS001-CRS007).",
     )
     parser.add_argument(
         "paths",

@@ -15,6 +15,7 @@ justification) or the baseline file, never by weakening the rule.
 | CRS004 | security invariants guarded by bare ``assert``               |
 | CRS005 | unsafe deserialization primitives (pickle/eval/exec)         |
 | CRS006 | CRSE-II permutations derived from fixed seeds/β              |
+| CRS007 | non-atomic persistence writes (no fsync/os.replace)          |
 """
 
 from __future__ import annotations
@@ -37,6 +38,7 @@ __all__ = [
     "BareAssertRule",
     "UnsafeDeserializationRule",
     "PermutationReuseRule",
+    "NonAtomicPersistenceRule",
     "SECRET_WORDS",
 ]
 
@@ -468,4 +470,142 @@ class PermutationReuseRule(Rule):
                         node,
                         "`random_beta` fed a fixed-seed RNG; the permutation "
                         "repeats across queries and leaks the radius pattern",
+                    )
+
+
+@register
+class NonAtomicPersistenceRule(Rule):
+    """CRS007 — persistence writes must be atomic or explicitly synced.
+
+    The durability contract of :mod:`repro.storage` rests on two disk
+    idioms: *replace* (write a temp file, fsync, ``os.replace`` over the
+    target — the manifest pattern) and *append-and-sync* (append frames,
+    then fsync before acking — the segment pattern).  A plain
+    ``open(path, "w")`` + ``write`` with neither leaves a torn file after
+    a crash that the recovery path cannot distinguish from corruption.
+
+    Heuristic, scoped to files under ``storage/`` or ``service/``, judged
+    one function at a time.  A function shows *evidence* of crash-safety
+    if it calls anything whose name contains ``replace``, ``rename``, or
+    ``fsync``.  Without evidence, it is flagged for:
+
+    * ``open(path, <mode with w/a/x/+>)`` (builtin or ``.open`` method)
+      in a function that also calls ``.write``/``.writelines``;
+    * ``os.open(..., O_WRONLY/O_RDWR/...)`` in a function that also calls
+      ``os.write``;
+    * any ``.write_text`` / ``.write_bytes`` call (these always replace
+      the whole file content, non-atomically).
+
+    Read-only opens and functions that merely *return* an open handle
+    (the caller owns the sync) are not flagged.
+    """
+
+    _EVIDENCE = re.compile(r"replace|rename|fsync", re.IGNORECASE)
+    _WRITE_FLAG = re.compile(r"O_WRONLY|O_RDWR|O_APPEND|O_CREAT|O_TRUNC")
+
+    def __init__(self) -> None:
+        self.rule_id = "CRS007"
+        self.title = "non-atomic persistence write"
+        self.rationale = (
+            "a crash mid-write leaves a torn file; durable state needs "
+            "the tmp+fsync+os.replace idiom or append+fsync before ack."
+        )
+
+    @staticmethod
+    def _mode_of(node: ast.Call) -> str | None:
+        """The mode string of an ``open``-style call, if statically known."""
+        mode_arg: ast.expr | None = None
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            if len(node.args) >= 2:
+                mode_arg = node.args[1]
+        elif isinstance(node.func, ast.Attribute) and node.func.attr == "open":
+            if node.args:
+                mode_arg = node.args[0]
+        if mode_arg is None:
+            for kw in node.keywords:
+                if kw.arg == "mode":
+                    mode_arg = kw.value
+        if isinstance(mode_arg, ast.Constant) and isinstance(
+            mode_arg.value, str
+        ):
+            return mode_arg.value
+        return None
+
+    @classmethod
+    def _is_write_os_open(cls, node: ast.Call) -> bool:
+        if not (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "open"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "os"
+        ):
+            return False
+        flags = ast.unparse(node.args[1]) if len(node.args) >= 2 else ""
+        return bool(cls._WRITE_FLAG.search(flags))
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.has_path_segment("storage", "service"):
+            return
+        for func in ast.walk(ctx.tree):
+            if not isinstance(
+                func, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            evidence = False
+            write_opens: list[ast.Call] = []
+            os_opens: list[ast.Call] = []
+            whole_file_writes: list[ast.Call] = []
+            has_write_call = False
+            has_os_write = False
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _call_name(node)
+                if self._EVIDENCE.search(name):
+                    evidence = True
+                if name in ("write", "writelines"):
+                    has_write_call = True
+                    if (
+                        isinstance(node.func, ast.Attribute)
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id == "os"
+                    ):
+                        has_os_write = True
+                if name in ("write_text", "write_bytes"):
+                    whole_file_writes.append(node)
+                if self._is_write_os_open(node):
+                    os_opens.append(node)
+                else:
+                    mode = self._mode_of(node)
+                    if mode is not None and any(
+                        c in mode for c in "wax+"
+                    ):
+                        write_opens.append(node)
+            if evidence:
+                continue
+            for call in whole_file_writes:
+                yield ctx.finding(
+                    self.rule_id,
+                    call,
+                    f"`{_call_name(call)}` replaces file content without "
+                    "the tmp+fsync+os.replace idiom; a crash mid-write "
+                    "tears the file",
+                )
+            if has_write_call:
+                for call in write_opens:
+                    yield ctx.finding(
+                        self.rule_id,
+                        call,
+                        "file opened for writing and written without "
+                        "fsync or os.replace in the same function; the "
+                        "write is not crash-safe",
+                    )
+            if has_os_write:
+                for call in os_opens:
+                    yield ctx.finding(
+                        self.rule_id,
+                        call,
+                        "os.open'd file written without fsync or "
+                        "os.replace in the same function; the write is "
+                        "not crash-safe",
                     )

@@ -13,9 +13,12 @@ deployment for a user driving it from a shell:
 * ``lint``     — run ``reprolint``, the crypto-aware static analyzer
   (:mod:`repro.analysis.staticcheck`);
 * ``serve``    — run the networked query service (:mod:`repro.service`)
-  over an encrypted records file;
+  over an encrypted records file, optionally durable via ``--data-dir``;
 * ``query``    — tokenize a circle client-side and search a running
-  service over TCP.
+  service over TCP (and/or upload a records file with ``--upload``);
+* ``store``    — offline operations on a ``--data-dir`` record store:
+  ``verify`` (read-only integrity check), ``compact`` (drop tombstoned
+  records), ``stats`` (snapshot counters).
 
 Search only needs public parameters, but for CLI simplicity it reads the
 key file and uses the public part — a real server would receive the scheme
@@ -129,13 +132,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="search worker processes (default: CPU count)")
     serve.add_argument("--max-pending", type=int, default=32)
     serve.add_argument("--default-deadline-ms", type=float, default=None)
+    serve.add_argument(
+        "--data-dir", type=Path, default=None,
+        help="durable record store directory (created if absent); uploads "
+        "and deletes are logged here and replayed on restart",
+    )
 
     query = sub.add_parser(
         "query", help="search a running service over TCP"
     )
     query.add_argument("--key", type=Path, required=True)
-    query.add_argument("--center", required=True)
-    query.add_argument("--radius", type=int, required=True)
+    query.add_argument("--center", default=None,
+                       help="query center, e.g. '100,200'")
+    query.add_argument("--radius", type=int, default=None)
+    query.add_argument(
+        "--upload", type=Path, default=None,
+        help="records file from 'repro encrypt' to upload before querying",
+    )
     query.add_argument("--hide-to", type=int, default=None)
     query.add_argument("--host", default="127.0.0.1")
     query.add_argument("--port", type=int, required=True)
@@ -146,6 +159,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="also print the server's metrics snapshot",
     )
+
+    store = sub.add_parser(
+        "store", help="offline operations on a durable record store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_verify = store_sub.add_parser(
+        "verify", help="read-only integrity check of a store directory"
+    )
+    store_verify.add_argument("--data-dir", type=Path, required=True)
+    store_verify.add_argument(
+        "--format", choices=("human", "json"), default="human"
+    )
+    store_compact = store_sub.add_parser(
+        "compact", help="rewrite live records, dropping tombstoned ones"
+    )
+    store_compact.add_argument("--data-dir", type=Path, required=True)
+    store_stats = store_sub.add_parser(
+        "stats", help="print a store's snapshot counters as JSON"
+    )
+    store_stats.add_argument("--data-dir", type=Path, required=True)
     return parser
 
 
@@ -293,6 +326,7 @@ def _cmd_serve(args, out) -> int:
 
     from repro.cloud.messages import UploadDataset, UploadRecord
     from repro.service import ServiceConfig, ServiceServer
+    from repro.service.schemeio import scheme_header
 
     scheme, _key = load_crse2_key(args.key.read_bytes())
     workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
@@ -303,19 +337,39 @@ def _cmd_serve(args, out) -> int:
         max_pending=args.max_pending,
         default_deadline_ms=args.default_deadline_ms,
     )
-    server = ServiceServer(scheme, config)
+    store = None
+    if args.data_dir is not None:
+        from repro.storage import RecordStore
+
+        store = RecordStore.open_or_create(
+            args.data_dir, scheme_header(scheme)
+        )
+    server = ServiceServer(scheme, config, store=store)
+    if store is not None:
+        print(
+            f"replayed {store.record_count} records from {args.data_dir}",
+            file=out,
+        )
     if args.records is not None:
-        records = _read_records_file(args.records)
-        server.cloud.handle_upload(
-            UploadDataset(
-                records=tuple(
-                    UploadRecord(identifier=i, payload=blob)
-                    for i, blob in records
+        if store is not None and store.record_count > 0:
+            # The store is authoritative once populated: silently merging
+            # a records file into replayed state invites duplicate-id
+            # surprises, so seed only an empty store.
+            print(
+                f"store is non-empty; ignoring --records {args.records}",
+                file=out,
+            )
+        else:
+            records = _read_records_file(args.records)
+            server.ingest(
+                UploadDataset(
+                    records=tuple(
+                        UploadRecord(identifier=i, payload=blob)
+                        for i, blob in records
+                    )
                 )
             )
-        )
-        server.engine.load(records)
-        print(f"preloaded {len(records)} records", file=out)
+            print(f"preloaded {len(records)} records", file=out)
 
     async def main() -> None:
         port = await server.start()
@@ -334,28 +388,101 @@ def _cmd_serve(args, out) -> int:
 
 
 def _cmd_query(args, out) -> int:
+    from repro.errors import ParameterError
     from repro.service import ServiceClient
+
+    wants_search = args.center is not None or args.radius is not None
+    if wants_search and (args.center is None or args.radius is None):
+        raise ParameterError("--center and --radius go together")
+    if not wants_search and args.upload is None:
+        raise ParameterError(
+            "nothing to do: give --center/--radius, --upload, or both"
+        )
 
     scheme, key = load_crse2_key(args.key.read_bytes())
     rng = _rng(args.seed)
-    circle = Circle.from_radius(_parse_point(args.center), args.radius)
-    token = scheme.gen_token(key, circle, rng, hide_radius_to=args.hide_to)
     client = ServiceClient(args.host, args.port, timeout_s=args.timeout_s)
-    response, stats = client.search(
-        encode_token(scheme, token), deadline_ms=args.deadline_ms
-    )
-    print(f"matches: {sorted(response.identifiers)}", file=out)
-    if stats:
+    if args.upload is not None:
+        from repro.cloud.messages import UploadDataset, UploadRecord
+
+        records = _read_records_file(args.upload)
+        stored = client.upload(
+            UploadDataset(
+                records=tuple(
+                    UploadRecord(identifier=i, payload=blob)
+                    for i, blob in records
+                )
+            )
+        )
         print(
-            f"scanned {stats.get('records_scanned')} records in "
-            f"{stats.get('elapsed_ms')} ms across "
-            f"{len(stats.get('partitions', []))} partition(s)",
+            f"uploaded {len(records)} records ({stored} now stored)",
             file=out,
         )
+    if wants_search:
+        circle = Circle.from_radius(_parse_point(args.center), args.radius)
+        token = scheme.gen_token(
+            key, circle, rng, hide_radius_to=args.hide_to
+        )
+        response, stats = client.search(
+            encode_token(scheme, token), deadline_ms=args.deadline_ms
+        )
+        print(f"matches: {sorted(response.identifiers)}", file=out)
+        if stats:
+            print(
+                f"scanned {stats.get('records_scanned')} records in "
+                f"{stats.get('elapsed_ms')} ms across "
+                f"{len(stats.get('partitions', []))} partition(s)",
+                file=out,
+            )
     if args.stats:
         import json as _json
 
         print(_json.dumps(client.stats(), indent=2), file=out)
+    return 0
+
+
+def _cmd_store(args, out) -> int:
+    import json as _json
+
+    from repro.storage import RecordStore, verify_store
+
+    if args.store_command == "verify":
+        report = verify_store(args.data_dir)
+        if args.format == "json":
+            print(_json.dumps(report, indent=2), file=out)
+        else:
+            for seg in report["segments"]:
+                line = (
+                    f"  {seg['name']}: {seg['status']} "
+                    f"({seg['frames']} frames, {seg['bytes']} bytes)"
+                )
+                if seg["detail"]:
+                    line += f" — {seg['detail']}"
+                print(line, file=out)
+            for warning in report["warnings"]:
+                print(f"warning: {warning}", file=out)
+            for error in report["errors"]:
+                print(f"error: {error}", file=out)
+            verdict = "clean" if report["clean"] else (
+                "damaged" if report["errors"] else "recoverable"
+            )
+            print(f"store at {report['directory']}: {verdict}", file=out)
+        return 1 if report["errors"] else 0
+    if args.store_command == "compact":
+        with RecordStore.open(args.data_dir) as store:
+            before = store.snapshot()
+            after = store.compact()
+        print(
+            f"compacted {args.data_dir}: {before.log_bytes} → "
+            f"{after.log_bytes} bytes, dropped {before.dead_records} dead "
+            f"record(s), {after.live_records} live",
+            file=out,
+        )
+        return 0
+    # stats: opening the store runs recovery and one full replay, which
+    # is exactly what the counters describe.
+    with RecordStore.open(args.data_dir) as store:
+        print(_json.dumps(store.snapshot().to_dict(), indent=2), file=out)
     return 0
 
 
@@ -387,6 +514,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "serve": _cmd_serve,
     "query": _cmd_query,
+    "store": _cmd_store,
 }
 
 

@@ -33,7 +33,21 @@ from repro.core.base import CRSEScheme, EncryptedRecord
 from repro.core.crse2 import CRSE2Scheme
 from repro.errors import ProtocolError
 
-__all__ = ["SearchStats", "CloudServer"]
+__all__ = ["SearchStats", "CloudServer", "PreparedUpload"]
+
+
+@dataclass(frozen=True)
+class PreparedUpload:
+    """A validated, decoded upload batch awaiting commit.
+
+    Produced by :meth:`CloudServer.prepare_upload`; holding one of these
+    means every record decoded and no identifier collides, so
+    :meth:`CloudServer.commit_upload` cannot fail.  The durable server
+    persists the original message bytes between the two steps.
+    """
+
+    message: UploadDataset
+    decoded: tuple[tuple[EncryptedRecord, bytes], ...]
 
 
 @dataclass
@@ -85,13 +99,22 @@ class CloudServer:
         """Number of stored encrypted records (the size pattern)."""
         return len(self._records)
 
-    def handle_upload(self, message: UploadDataset) -> None:
-        """Store an encrypted dataset (message 1).
+    def prepare_upload(self, message: UploadDataset) -> PreparedUpload:
+        """Validate and decode an upload without mutating any state.
+
+        Splitting validation from mutation lets a durable server order the
+        steps safely: validate, *then* log to disk, *then*
+        :meth:`commit_upload` — so a batch that would be rejected never
+        reaches the log, and a batch that reached the log is guaranteed to
+        commit.
 
         Raises:
-            ProtocolError: On duplicate identifiers.
+            ProtocolError: On duplicate identifiers (within the batch or
+                against stored records).
+            WireFormatError: If a payload does not decode.
         """
         seen = {record.identifier for record in self._records}
+        decoded: list[tuple[EncryptedRecord, bytes]] = []
         for upload in message.records:
             if upload.identifier in seen:
                 raise ProtocolError(
@@ -99,13 +122,27 @@ class CloudServer:
                 )
             seen.add(upload.identifier)
             ciphertext = decode_ciphertext(self.scheme, upload.payload)
-            self._records.append(
-                EncryptedRecord(upload.identifier, ciphertext)
+            decoded.append(
+                (EncryptedRecord(upload.identifier, ciphertext), upload.content)
             )
-            if upload.content:
-                self._contents[upload.identifier] = upload.content
+        return PreparedUpload(message=message, decoded=tuple(decoded))
+
+    def commit_upload(self, prepared: PreparedUpload) -> None:
+        """Apply a validated upload batch to the in-memory state."""
+        for record, content in prepared.decoded:
+            self._records.append(record)
+            if content:
+                self._contents[record.identifier] = content
         self.log.uploads += 1
         self.log.records_stored = len(self._records)
+
+    def handle_upload(self, message: UploadDataset) -> None:
+        """Store an encrypted dataset (message 1).
+
+        Raises:
+            ProtocolError: On duplicate identifiers.
+        """
+        self.commit_upload(self.prepare_upload(message))
 
     def handle_fetch(self, message: FetchRequest) -> FetchResponse:
         """Return the encrypted contents of previously matched records.

@@ -69,6 +69,26 @@ class ServiceConnectionError(ServiceError):
     """The client could not reach the server, even after retries."""
 
 
+class StorageError(ReproError):
+    """Base class for errors raised by the durable record store.
+
+    Raised for misuse (appending a duplicate identifier, opening a store
+    created for a different scheme) and for operational failures that are
+    not corruption (missing directory, manifest absent).
+    """
+
+
+class StorageCorruptionError(StorageError):
+    """The on-disk log is damaged beyond automatic recovery.
+
+    Raised for CRC mismatches on fully-present frames, segments the
+    manifest names that do not exist, damage inside a *sealed* segment,
+    and structurally impossible frame sequences.  A torn tail write in the
+    **active** segment is *not* corruption — it is the expected crash
+    artifact and is repaired by truncation on open.
+    """
+
+
 class StaticAnalysisError(ReproError):
     """The ``reprolint`` static analyzer could not complete a run.
 

@@ -18,6 +18,13 @@ runnable client/server system:
 * :mod:`repro.service.metrics` — per-verb counters and latency histograms
   exposed through the ``stats`` verb.
 
+Durability is optional: hand :class:`ServiceServer` an open
+:class:`~repro.storage.RecordStore` and every upload/delete is logged to
+disk *before* the client is acked, while construction replays the store's
+live records into the cloud state and engine shards — a server restarted
+on the same data directory resumes with the dataset (and upload/delete
+leakage counters) it had when it died.
+
 Security model is unchanged from the paper: the server still holds only
 public scheme parameters, so everything the service can observe remains
 exactly the paper's leakage function (sizes, access pattern, sub-token

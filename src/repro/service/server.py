@@ -34,12 +34,15 @@ import time
 from dataclasses import dataclass
 
 from repro.cloud.codec import decode_token
+from repro.cloud.messages import UploadDataset, UploadRecord
 from repro.cloud.server import CloudServer, SearchStats
 from repro.core.base import CRSEScheme
-from repro.errors import ProtocolError, ReproError, WireFormatError
+from repro.errors import ProtocolError, ReproError, StorageError, WireFormatError
 from repro.service import protocol
 from repro.service.engine import SearchEngine
 from repro.service.metrics import ServiceMetrics
+from repro.service.schemeio import scheme_header
+from repro.storage import RecordStore
 
 __all__ = ["ServiceConfig", "ServiceServer"]
 
@@ -75,6 +78,7 @@ class ServiceServer:
         scheme: CRSEScheme,
         config: ServiceConfig | None = None,
         engine: SearchEngine | None = None,
+        store: RecordStore | None = None,
     ):
         """Assemble the service (does not bind the port yet — see start()).
 
@@ -83,6 +87,17 @@ class ServiceServer:
             config: Service tunables; defaults are test-friendly.
             engine: An externally built engine (tests inject fakes here);
                 by default one is created with ``config.workers`` shards.
+            store: An open :class:`~repro.storage.RecordStore`.  When
+                given, every upload/delete is durably logged *before* the
+                client is acked, and the store's live records are replayed
+                into the cloud state and engine shards right here — so a
+                server restarted on the same data directory comes back
+                with the dataset (and upload/delete leakage counters) it
+                had when it died.
+
+        Raises:
+            StorageError: If *store* was created for a different scheme
+                than the one this server is being built around.
         """
         self.config = config or ServiceConfig()
         self.cloud = CloudServer(scheme)
@@ -91,6 +106,7 @@ class ServiceServer:
             if engine is not None
             else SearchEngine(scheme, workers=self.config.workers)
         )
+        self.store = store
         self.metrics = ServiceMetrics()
         self.port: int | None = None
         self._server: asyncio.Server | None = None
@@ -98,6 +114,57 @@ class ServiceServer:
         self._draining = False
         self._stopped = asyncio.Event()
         self._conn_tasks: set[asyncio.Task] = set()
+        if store is not None:
+            self._replay_store(store)
+
+    def _replay_store(self, store: RecordStore) -> None:
+        """Load the store's live records into the cloud state and engine.
+
+        After replay the leakage log's ``uploads`` counter is reset to the
+        store's *logical* upload count: the replay itself arrives as one
+        big batch, but the history a curious server observed was N client
+        uploads, and that history — not the restart artifact — is what the
+        log must preserve.
+        """
+        ours = scheme_header(self.cloud.scheme)
+        if store.scheme_header != ours:
+            raise StorageError(
+                "store was created for a different scheme than this server "
+                "(public header mismatch)"
+            )
+        records = tuple(
+            UploadRecord(identifier=identifier, payload=payload, content=content)
+            for identifier, payload, content in store.scan()
+        )
+        if records:
+            self.cloud.handle_upload(UploadDataset(records=records))
+            self.engine.load(
+                (record.identifier, record.payload) for record in records
+            )
+        self.cloud.log.uploads = store.uploads
+
+    def ingest(self, message: UploadDataset) -> int:
+        """Validate, durably log (if durable), and apply one upload batch.
+
+        The ordering is the durability contract: the batch reaches the
+        disk log *before* any in-memory state changes, so an ack implies
+        the records survive a crash, and a crash before the ack leaves no
+        partial state (recovery truncates the uncommitted batch).
+
+        Returns:
+            Total records stored after the batch.
+        """
+        prepared = self.cloud.prepare_upload(message)
+        if self.store is not None:
+            self.store.append(
+                (record.identifier, record.payload, record.content)
+                for record in message.records
+            )
+        self.cloud.commit_upload(prepared)
+        self.engine.load(
+            (record.identifier, record.payload) for record in message.records
+        )
+        return self.cloud.record_count
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -159,6 +226,8 @@ class ServiceServer:
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self.engine.close(wait=drain)
+        if self.store is not None:
+            self.store.close()
         self._stopped.set()
 
     # ------------------------------------------------------------------
@@ -302,19 +371,9 @@ class ServiceServer:
 
     async def _do_upload(self, request: protocol.Request) -> dict:
         message = protocol.upload_from_fields(request.fields)
-
-        def work() -> int:
-            # The CloudServer validates (duplicate ids) and keeps the
-            # canonical store + leakage log; the engine mirrors the
-            # records for the parallel scan.
-            self.cloud.handle_upload(message)
-            self.engine.load(
-                (record.identifier, record.payload)
-                for record in message.records
-            )
-            return self.cloud.record_count
-
-        return {"stored": await self._offload(work)}
+        # ingest() orders validate → disk log → commit, so the ack below
+        # is a durability promise when a store is attached.
+        return {"stored": await self._offload(self.ingest, message)}
 
     async def _do_search(self, request: protocol.Request) -> dict:
         message = protocol.search_from_fields(request.fields)
@@ -345,6 +404,11 @@ class ServiceServer:
         message = protocol.delete_from_fields(request.fields)
 
         def work() -> int:
+            # Tombstone first: if we crash after the disk write the
+            # replayed state matches what the client was (about to be)
+            # told; crashing before it just loses an unacked request.
+            if self.store is not None:
+                self.store.delete(message.identifiers)
             removed = self.cloud.handle_delete(message)
             self.engine.delete(message.identifiers)
             return removed
@@ -356,6 +420,7 @@ class ServiceServer:
             "status": "ok",
             "records": self.cloud.record_count,
             "workers": self.engine.workers,
+            "durable": self.store is not None,
         }
 
     async def _do_stats(self, request: protocol.Request) -> dict:
@@ -365,4 +430,10 @@ class ServiceServer:
             "in_flight": self._in_flight,
             "limit": self.config.max_pending,
         }
+        snapshot["engine"] = {
+            "record_count": self.engine.record_count,
+            "workers": self.engine.workers,
+        }
+        if self.store is not None:
+            snapshot["store"] = self.store.snapshot().to_dict()
         return snapshot

@@ -1,0 +1,43 @@
+"""Durable storage for encrypted records (``repro.storage``).
+
+An append-only segment log of CRC32-checked frames holding the same
+codec ciphertext bytes that travel on the wire, plus tombstone frames
+for deletes; an atomic-rename manifest tracks segment order and the
+public scheme header.  :class:`RecordStore` is the facade the service
+layer uses; :func:`verify_store` is the offline read-only checker.
+
+The secret key never touches this package: records enter and leave as
+opaque codec bytes, and the only scheme information on disk is the
+public header — the exact trust boundary of the wire protocol.
+"""
+
+from repro.storage.format import (
+    MAX_FRAME_BYTES,
+    SEGMENT_MAGIC,
+    CommitFrame,
+    RecordFrame,
+    SegmentScan,
+    TombstoneFrame,
+    scan_segment,
+)
+from repro.storage.log import DEFAULT_MAX_SEGMENT_BYTES, SegmentLog
+from repro.storage.manifest import MANIFEST_NAME, Manifest, SegmentEntry
+from repro.storage.store import RecordStore, StoreSnapshot, verify_store
+
+__all__ = [
+    "RecordStore",
+    "StoreSnapshot",
+    "verify_store",
+    "SegmentLog",
+    "Manifest",
+    "SegmentEntry",
+    "SegmentScan",
+    "RecordFrame",
+    "TombstoneFrame",
+    "CommitFrame",
+    "scan_segment",
+    "SEGMENT_MAGIC",
+    "MANIFEST_NAME",
+    "MAX_FRAME_BYTES",
+    "DEFAULT_MAX_SEGMENT_BYTES",
+]

@@ -1,0 +1,148 @@
+"""Compaction: rewrite live records, drop tombstoned history.
+
+An append-only log only grows; deleting a record adds bytes.  Compaction
+reclaims the space by writing the current live set into fresh sealed
+segments and atomically swapping the manifest over to them.
+
+Crash-safety hinges on one fact: **the manifest replace is the commit
+point**.  The order is
+
+1. write the replacement segments (records + a compaction-flagged
+   commit frame each, fsynced, plus a fresh empty active segment),
+2. ``os.replace`` the manifest to name only the new segments, with the
+   logical upload/delete counters checkpointed (compaction must not
+   rewrite leakage-log history),
+3. delete the old segment files.
+
+A crash before step 2 leaves unreferenced new files; after step 2,
+unreferenced old files.  Either way the next :meth:`SegmentLog.open`
+deletes whatever the surviving manifest does not name, and the store
+state is exactly one of before/after — never a blend.
+
+The compaction commit frames carry a flag so replay does not count them
+as logical uploads: ``store.uploads`` after compaction equals the value
+before, which keeps the replayed leakage log identical to the in-memory
+server's.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from repro.storage.format import (
+    SEGMENT_MAGIC,
+    encode_commit_frame,
+    encode_record_frame,
+)
+from repro.storage.log import SegmentLog, _segment_index, _segment_name
+from repro.storage.manifest import Manifest, SegmentEntry, fsync_directory
+
+if TYPE_CHECKING:
+    from repro.storage.store import RecordStore
+
+__all__ = ["compact_store"]
+
+
+def compact_store(store: "RecordStore") -> int:
+    """Rewrite *store* down to its live records; returns bytes reclaimed.
+
+    Safe to call on a quiescent store only (the service layer serialises
+    mutations through its executor, and the CLI operates offline).
+    """
+    log = store._log
+    directory = log.directory
+    old_manifest = log.manifest
+    old_names = old_manifest.segment_names()
+    old_bytes = sum(log.segment_sizes().values())
+
+    next_index = max(_segment_index(name) for name in old_names) + 1
+    new_entries: list[SegmentEntry] = []
+
+    # Step 1: write the replacement segments.  Live records stream out of
+    # the old segments in log order; each new segment gets one batch plus
+    # one compaction-flagged commit frame and is fsynced before sealing.
+    writer = _SegmentWriter(log, next_index)
+    for identifier, payload, content in store.scan():
+        writer.add(encode_record_frame(identifier, payload, content))
+    new_entries.extend(writer.finish())
+    next_index += len(new_entries)
+
+    # A fresh, empty active segment — compacted segments are born sealed.
+    active_entry = SegmentEntry(name=_segment_name(next_index))
+    _write_segment_file(log, active_entry.name, [])
+    new_entries.append(active_entry)
+
+    # Step 2: the commit point.  Counters checkpoint the logical totals
+    # so the frames we just dropped keep counting.
+    new_manifest = Manifest(
+        scheme=old_manifest.scheme,
+        segments=new_entries,
+        uploads=store.uploads,
+        deletes=store.deletes,
+        compactions=old_manifest.compactions + 1,
+    )
+    log.close()
+    new_manifest.write(directory)
+    log.manifest = new_manifest
+    log._closed = False
+
+    # Step 3: the old segments are now unreachable garbage.
+    for name in old_names:
+        (directory / name).unlink()
+    fsync_directory(directory)
+
+    log._open_active()
+    store._replay_state()
+    return old_bytes - sum(log.segment_sizes().values())
+
+
+class _SegmentWriter:
+    """Accumulates record frames into size-bounded sealed segments."""
+
+    def __init__(self, log: SegmentLog, first_index: int) -> None:
+        self._log = log
+        self._index = first_index
+        self._frames: list[bytes] = []
+        self._size = len(SEGMENT_MAGIC)
+        self._entries: list[SegmentEntry] = []
+
+    def add(self, frame: bytes) -> None:
+        if (
+            self._frames
+            and self._size + len(frame) > self._log.max_segment_bytes
+        ):
+            self._flush()
+        self._frames.append(frame)
+        self._size += len(frame)
+
+    def finish(self) -> list[SegmentEntry]:
+        if self._frames:
+            self._flush()
+        return self._entries
+
+    def _flush(self) -> None:
+        name = _segment_name(self._index)
+        frames = [*self._frames, encode_commit_frame(
+            len(self._frames), compaction=True
+        )]
+        _write_segment_file(self._log, name, frames)
+        self._entries.append(
+            SegmentEntry(name=name, sealed=True, compacted=True)
+        )
+        self._index += 1
+        self._frames = []
+        self._size = len(SEGMENT_MAGIC)
+
+
+def _write_segment_file(
+    log: SegmentLog, name: str, frames: list[bytes]
+) -> None:
+    path = log.directory / name
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+    try:
+        os.write(fd, SEGMENT_MAGIC + b"".join(frames))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    fsync_directory(log.directory)

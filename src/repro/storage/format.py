@@ -1,0 +1,345 @@
+"""The on-disk frame format of the append-only record log.
+
+A segment file is a fixed 8-byte magic (``CRSESEG1``) followed by frames.
+Every frame is self-checking and length-prefixed::
+
+    ┌──────────────┬──────────────┬──────────────────────────┐
+    │ length  (4B) │ crc32   (4B) │ body  (``length`` bytes) │
+    └──────────────┴──────────────┴──────────────────────────┘
+
+``length`` counts the body only; ``crc32`` (:func:`zlib.crc32`) covers the
+body only, so a frame can be validated without trusting anything outside
+it.  ``body[0]`` is the frame type:
+
+* **record** (``0x01``) — one encrypted record exactly as it travels on
+  the wire: ``id (8B) | payload len (4B) | payload | content len (4B) |
+  content``.  ``payload`` is the :mod:`repro.cloud.codec` ciphertext
+  bytes, ``content`` the AEAD-encrypted body — the store holds only what
+  the untrusted server already sees.
+* **tombstone** (``0x02``) — one delete request: ``count (4B) | count ×
+  id (8B)``.  Tombstones are atomic on their own (a single frame).
+* **commit** (``0x03``) — closes one upload batch: ``flags (1B) |
+  record count (4B)``.  Record frames only take effect once a commit
+  frame follows them, which makes a multi-record upload atomic: a crash
+  between the records and the commit leaves an uncommitted batch that
+  recovery discards — exactly the writes the client was never acked for.
+  Flag bit 0 marks a compaction batch, which does not count as a logical
+  upload (compaction rewrites history, it does not add to it).
+
+All integers are big-endian and unsigned.  :func:`scan_segment` parses a
+whole segment defensively and never raises on damaged bytes — it reports
+*how* the data is damaged (``torn`` for a truncated tail, ``corrupt`` for
+everything else) so the caller can decide whether truncation is a legal
+recovery (active segment) or evidence of real corruption (sealed
+segment).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.errors import StorageError
+
+__all__ = [
+    "SEGMENT_MAGIC",
+    "FRAME_RECORD",
+    "FRAME_TOMBSTONE",
+    "FRAME_COMMIT",
+    "MAX_FRAME_BYTES",
+    "FRAME_HEADER_BYTES",
+    "RecordFrame",
+    "TombstoneFrame",
+    "CommitFrame",
+    "Frame",
+    "encode_record_frame",
+    "encode_tombstone_frame",
+    "encode_commit_frame",
+    "encode_frame",
+    "scan_segment",
+    "SegmentScan",
+]
+
+SEGMENT_MAGIC = b"CRSESEG1"
+
+FRAME_RECORD = 0x01
+FRAME_TOMBSTONE = 0x02
+FRAME_COMMIT = 0x03
+
+_COMMIT_FLAG_COMPACTION = 0x01
+
+#: Hard ceiling on one frame body — same bound as the wire protocol's
+#: frame ceiling, for the same reason: a damaged length prefix must not
+#: drive an attempt to buffer an absurd allocation.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: Bytes of length prefix + CRC preceding every frame body.
+FRAME_HEADER_BYTES = 8
+
+_LEN_BYTES = 4
+_CRC_BYTES = 4
+_ID_BYTES = 8
+_COUNT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class RecordFrame:
+    """One encrypted record as logged (codec bytes, never plaintext)."""
+
+    identifier: int
+    payload: bytes
+    content: bytes = b""
+
+
+@dataclass(frozen=True)
+class TombstoneFrame:
+    """One delete request: the identifiers it asked to remove."""
+
+    identifiers: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CommitFrame:
+    """Closes a batch of record frames, making them durable as a unit."""
+
+    record_count: int
+    compaction: bool = False
+
+
+Frame = Union[RecordFrame, TombstoneFrame, CommitFrame]
+
+
+def _u32(value: int) -> bytes:
+    return value.to_bytes(_COUNT_BYTES, "big")
+
+
+def _u64(value: int) -> bytes:
+    return value.to_bytes(_ID_BYTES, "big")
+
+
+def encode_frame(body: bytes) -> bytes:
+    """Wrap a frame *body* in the length + CRC32 header.
+
+    Raises:
+        StorageError: If the body is empty or exceeds the frame ceiling.
+    """
+    if not body:
+        raise StorageError("refusing to encode an empty frame")
+    if len(body) > MAX_FRAME_BYTES:
+        raise StorageError(
+            f"frame of {len(body)} bytes exceeds limit {MAX_FRAME_BYTES}"
+        )
+    return _u32(len(body)) + _u32(zlib.crc32(body)) + body
+
+
+def encode_record_frame(
+    identifier: int, payload: bytes, content: bytes = b""
+) -> bytes:
+    """Encode one record frame.
+
+    Raises:
+        StorageError: For a negative or oversized identifier, or a
+            payload/content pair that exceeds the frame ceiling.
+    """
+    if identifier < 0 or identifier >= 1 << 64:
+        raise StorageError(f"record identifier {identifier} out of range")
+    body = b"".join(
+        (
+            bytes([FRAME_RECORD]),
+            _u64(identifier),
+            _u32(len(payload)),
+            payload,
+            _u32(len(content)),
+            content,
+        )
+    )
+    return encode_frame(body)
+
+
+def encode_tombstone_frame(identifiers: tuple[int, ...]) -> bytes:
+    """Encode one tombstone frame covering *identifiers*.
+
+    Raises:
+        StorageError: For an empty id list or an out-of-range identifier.
+    """
+    if not identifiers:
+        raise StorageError("tombstone frame needs at least one identifier")
+    for identifier in identifiers:
+        if identifier < 0 or identifier >= 1 << 64:
+            raise StorageError(
+                f"record identifier {identifier} out of range"
+            )
+    body = b"".join(
+        (
+            bytes([FRAME_TOMBSTONE]),
+            _u32(len(identifiers)),
+            *(_u64(identifier) for identifier in identifiers),
+        )
+    )
+    return encode_frame(body)
+
+
+def encode_commit_frame(record_count: int, compaction: bool = False) -> bytes:
+    """Encode the commit frame closing a batch of *record_count* records."""
+    if record_count < 0:
+        raise StorageError("commit frame cannot cover a negative batch")
+    flags = _COMMIT_FLAG_COMPACTION if compaction else 0
+    body = bytes([FRAME_COMMIT, flags]) + _u32(record_count)
+    return encode_frame(body)
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+class _Malformed(Exception):
+    """Internal: a fully-present frame body does not decode."""
+
+
+def _decode_body(body: bytes) -> Frame:
+    kind = body[0]
+    if kind == FRAME_RECORD:
+        offset = 1
+        if len(body) < offset + _ID_BYTES + _COUNT_BYTES:
+            raise _Malformed("record frame too short")
+        identifier = int.from_bytes(body[offset : offset + _ID_BYTES], "big")
+        offset += _ID_BYTES
+        payload_len = int.from_bytes(
+            body[offset : offset + _COUNT_BYTES], "big"
+        )
+        offset += _COUNT_BYTES
+        if len(body) < offset + payload_len + _COUNT_BYTES:
+            raise _Malformed("record payload overruns its frame")
+        payload = body[offset : offset + payload_len]
+        offset += payload_len
+        content_len = int.from_bytes(
+            body[offset : offset + _COUNT_BYTES], "big"
+        )
+        offset += _COUNT_BYTES
+        if len(body) != offset + content_len:
+            raise _Malformed("record content length disagrees with frame")
+        return RecordFrame(
+            identifier=identifier,
+            payload=payload,
+            content=body[offset : offset + content_len],
+        )
+    if kind == FRAME_TOMBSTONE:
+        if len(body) < 1 + _COUNT_BYTES:
+            raise _Malformed("tombstone frame too short")
+        count = int.from_bytes(body[1 : 1 + _COUNT_BYTES], "big")
+        expected = 1 + _COUNT_BYTES + count * _ID_BYTES
+        if count == 0 or len(body) != expected:
+            raise _Malformed("tombstone id list disagrees with frame")
+        identifiers = tuple(
+            int.from_bytes(
+                body[
+                    1 + _COUNT_BYTES + i * _ID_BYTES :
+                    1 + _COUNT_BYTES + (i + 1) * _ID_BYTES
+                ],
+                "big",
+            )
+            for i in range(count)
+        )
+        return TombstoneFrame(identifiers=identifiers)
+    if kind == FRAME_COMMIT:
+        if len(body) != 2 + _COUNT_BYTES:
+            raise _Malformed("commit frame has the wrong size")
+        return CommitFrame(
+            record_count=int.from_bytes(body[2:], "big"),
+            compaction=bool(body[1] & _COMMIT_FLAG_COMPACTION),
+        )
+    raise _Malformed(f"unknown frame type 0x{kind:02x}")
+
+
+@dataclass
+class SegmentScan:
+    """Outcome of defensively parsing one segment's bytes.
+
+    Attributes:
+        frames: ``(offset, frame)`` pairs for every valid frame, in file
+            order.  ``offset`` is the byte position of the frame's length
+            prefix.
+        consumed: Length of the valid prefix — everything before this
+            offset parsed cleanly.  On a torn tail this is the truncation
+            point that recovers the segment.
+        damage: ``None`` when the whole segment parsed, ``"torn"`` when
+            the file ends mid-frame (the append-only crash artifact), or
+            ``"corrupt"`` for anything else (CRC mismatch on a full
+            frame, bad magic, impossible lengths, unknown types).
+        detail: Human-readable description of the damage.
+    """
+
+    frames: list[tuple[int, Frame]] = field(default_factory=list)
+    consumed: int = 0
+    damage: str | None = None
+    detail: str = ""
+
+
+def scan_segment(data: bytes) -> SegmentScan:
+    """Parse one segment's bytes into frames, classifying any damage.
+
+    Never raises on bad bytes: the caller interprets ``damage`` according
+    to whether the segment is sealed (any damage is corruption) or active
+    (a torn tail is recoverable by truncating to ``consumed``).
+    """
+    scan = SegmentScan()
+    magic_len = len(SEGMENT_MAGIC)
+    if len(data) < magic_len:
+        if data == SEGMENT_MAGIC[: len(data)]:
+            # A crash during segment creation: the magic itself is torn.
+            scan.damage = "torn"
+            scan.detail = "segment header is incomplete"
+            return scan
+        scan.damage = "corrupt"
+        scan.detail = "segment does not start with the CRSESEG1 magic"
+        return scan
+    if data[:magic_len] != SEGMENT_MAGIC:
+        scan.damage = "corrupt"
+        scan.detail = "segment does not start with the CRSESEG1 magic"
+        return scan
+    offset = magic_len
+    scan.consumed = offset
+    while True:
+        remaining = len(data) - offset
+        if remaining == 0:
+            return scan
+        if remaining < FRAME_HEADER_BYTES:
+            scan.damage = "torn"
+            scan.detail = (
+                f"frame header torn at offset {offset} "
+                f"({remaining} of {FRAME_HEADER_BYTES} bytes)"
+            )
+            return scan
+        length = int.from_bytes(data[offset : offset + _LEN_BYTES], "big")
+        if length == 0 or length > MAX_FRAME_BYTES:
+            scan.damage = "corrupt"
+            scan.detail = (
+                f"implausible frame length {length} at offset {offset}"
+            )
+            return scan
+        if remaining - FRAME_HEADER_BYTES < length:
+            scan.damage = "torn"
+            scan.detail = (
+                f"frame body torn at offset {offset} "
+                f"({remaining - FRAME_HEADER_BYTES} of {length} bytes)"
+            )
+            return scan
+        stored_crc = int.from_bytes(
+            data[offset + _LEN_BYTES : offset + FRAME_HEADER_BYTES], "big"
+        )
+        body = data[
+            offset + FRAME_HEADER_BYTES : offset + FRAME_HEADER_BYTES + length
+        ]
+        if zlib.crc32(body) != stored_crc:
+            scan.damage = "corrupt"
+            scan.detail = f"CRC mismatch at offset {offset}"
+            return scan
+        try:
+            frame = _decode_body(body)
+        except _Malformed as exc:
+            scan.damage = "corrupt"
+            scan.detail = f"malformed frame at offset {offset}: {exc}"
+            return scan
+        scan.frames.append((offset, frame))
+        offset += FRAME_HEADER_BYTES + length
+        scan.consumed = offset

@@ -1,0 +1,394 @@
+"""Segment files: creation, recovery, rotation, and strict replay.
+
+A :class:`SegmentLog` owns a data directory: the manifest, a list of
+sealed (immutable) segments, and one active segment appended to in
+append mode.  Durability contract: :meth:`append_frames` only returns
+after the bytes are fsynced, so a caller may ack a client the moment it
+returns.
+
+Crash recovery happens in :meth:`open`:
+
+* Segment files on disk that the manifest does not name are deleted —
+  they are artifacts of a compaction that crashed before its atomic
+  manifest replace (the replace is compaction's commit point).
+* A segment the manifest names but the directory lacks is corruption.
+* The *active* segment's tail is repaired: a torn final frame is
+  truncated away, and so is any trailing record batch that never got its
+  commit frame — those writes were never acked, so dropping them is the
+  correct (and only safe) recovery.
+* Any damage inside a *sealed* segment is corruption: sealed segments
+  were fsynced before sealing, so nothing short of external interference
+  explains a bad byte there.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.errors import StorageCorruptionError, StorageError
+from repro.storage.format import (
+    SEGMENT_MAGIC,
+    CommitFrame,
+    Frame,
+    RecordFrame,
+    SegmentScan,
+    TombstoneFrame,
+    scan_segment,
+)
+from repro.storage.manifest import (
+    MANIFEST_NAME,
+    Manifest,
+    SegmentEntry,
+    fsync_directory,
+)
+
+__all__ = [
+    "SegmentLog",
+    "DEFAULT_MAX_SEGMENT_BYTES",
+    "committed_frames",
+    "has_open_batch",
+]
+
+#: Rotate the active segment once it grows past this many bytes.  Small
+#: enough that compaction touches bounded chunks, large enough that a
+#: realistic dataset stays in a handful of segments.
+DEFAULT_MAX_SEGMENT_BYTES = 64 * 1024 * 1024
+
+_SEGMENT_PREFIX = "seg-"
+_SEGMENT_SUFFIX = ".log"
+
+
+def _segment_name(index: int) -> str:
+    return f"{_SEGMENT_PREFIX}{index:08d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_index(name: str) -> int:
+    stem = name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+    try:
+        return int(stem)
+    except ValueError:
+        raise StorageCorruptionError(
+            f"segment name {name!r} does not follow seg-NNNNNNNN.log"
+        ) from None
+
+
+def committed_frames(
+    scan: SegmentScan, *, where: str
+) -> list[tuple[int, Frame]]:
+    """Filter one segment's scan down to the frames that took effect.
+
+    Record frames count only once a commit frame follows them; the
+    trailing uncommitted batch (if any) is excluded.  Tombstones and
+    commits always count.
+
+    Raises:
+        StorageCorruptionError: For structurally impossible sequences — a
+            tombstone interleaved into an open record batch, or a commit
+            whose record count disagrees with the frames before it.
+            Neither can result from a torn tail of our own writer (each
+            batch lands in one contiguous write), so both mean the bytes
+            were altered.
+    """
+    applied: list[tuple[int, Frame]] = []
+    pending: list[tuple[int, Frame]] = []
+    for offset, frame in scan.frames:
+        if isinstance(frame, RecordFrame):
+            pending.append((offset, frame))
+        elif isinstance(frame, TombstoneFrame):
+            if pending:
+                raise StorageCorruptionError(
+                    f"{where}: tombstone at offset {offset} interrupts an "
+                    f"open record batch of {len(pending)}"
+                )
+            applied.append((offset, frame))
+        else:  # CommitFrame
+            if frame.record_count != len(pending):
+                raise StorageCorruptionError(
+                    f"{where}: commit at offset {offset} claims "
+                    f"{frame.record_count} records but {len(pending)} "
+                    "precede it"
+                )
+            applied.extend(pending)
+            applied.append((offset, frame))
+            pending.clear()
+    return applied
+
+
+def _stable_end(scan: SegmentScan) -> int:
+    """Byte offset just past the last committed frame (truncation point)."""
+    stable = len(SEGMENT_MAGIC)
+    for index, (_, frame) in enumerate(scan.frames):
+        if isinstance(frame, (CommitFrame, TombstoneFrame)):
+            if index + 1 < len(scan.frames):
+                stable = scan.frames[index + 1][0]
+            else:
+                stable = scan.consumed
+    return stable
+
+
+def has_open_batch(scan: SegmentScan) -> bool:
+    """True when the parsed frames end inside an uncommitted batch."""
+    open_records = 0
+    for _, frame in scan.frames:
+        if isinstance(frame, RecordFrame):
+            open_records += 1
+        elif isinstance(frame, CommitFrame):
+            open_records = 0
+    return open_records > 0
+
+
+class SegmentLog:
+    """The append-only multi-segment log behind :class:`RecordStore`."""
+
+    def __init__(
+        self,
+        directory: Path,
+        manifest: Manifest,
+        *,
+        max_segment_bytes: int = DEFAULT_MAX_SEGMENT_BYTES,
+    ) -> None:
+        self.directory = directory
+        self.manifest = manifest
+        self.max_segment_bytes = max_segment_bytes
+        self._active_handle: IO[bytes] | None = None
+        self._active_size = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: Path,
+        scheme: dict,
+        *,
+        max_segment_bytes: int = DEFAULT_MAX_SEGMENT_BYTES,
+    ) -> SegmentLog:
+        """Initialise a fresh store directory (which must be empty)."""
+        directory.mkdir(parents=True, exist_ok=True)
+        leftovers = sorted(p.name for p in directory.iterdir())
+        if MANIFEST_NAME in leftovers:
+            raise StorageError(f"{directory} already contains a record store")
+        if leftovers:
+            raise StorageError(
+                f"refusing to create a store in non-empty {directory} "
+                f"(found {leftovers[:3]})"
+            )
+        manifest = Manifest(
+            scheme=scheme,
+            segments=[SegmentEntry(name=_segment_name(1))],
+        )
+        log = cls(directory, manifest, max_segment_bytes=max_segment_bytes)
+        log._create_segment_file(manifest.active.name)
+        manifest.write(directory)
+        log._open_active()
+        return log
+
+    @classmethod
+    def open(
+        cls,
+        directory: Path,
+        *,
+        max_segment_bytes: int = DEFAULT_MAX_SEGMENT_BYTES,
+    ) -> SegmentLog:
+        """Open an existing store, running crash recovery on its tail."""
+        manifest = Manifest.load(directory)
+        log = cls(directory, manifest, max_segment_bytes=max_segment_bytes)
+        log._remove_orphans()
+        for entry in manifest.segments:
+            if not (directory / entry.name).exists():
+                raise StorageCorruptionError(
+                    f"manifest names segment {entry.name} "
+                    "but the file is missing"
+                )
+        log._recover()
+        log._open_active()
+        return log
+
+    def close(self) -> None:
+        """Fsync and close the active segment handle (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._active_handle is not None:
+            self._active_handle.flush()
+            os.fsync(self._active_handle.fileno())
+            self._active_handle.close()
+            self._active_handle = None
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append_frames(self, encoded: list[bytes]) -> list[tuple[str, int]]:
+        """Append pre-encoded frames and fsync; returns each frame's home.
+
+        The whole list lands in one segment (rotation only happens at
+        batch boundaries), so a commit frame can never end up in a
+        different file from the record frames it covers.
+        """
+        if self._closed or self._active_handle is None:
+            raise StorageError("segment log is closed")
+        if not encoded:
+            return []
+        if self._active_size >= self.max_segment_bytes:
+            self.rotate()
+        assert self._active_handle is not None
+        name = self.manifest.active.name
+        positions: list[tuple[str, int]] = []
+        offset = self._active_size
+        for frame_bytes in encoded:
+            positions.append((name, offset))
+            offset += len(frame_bytes)
+        self._active_handle.write(b"".join(encoded))
+        self._active_handle.flush()
+        os.fsync(self._active_handle.fileno())
+        self._active_size = offset
+        return positions
+
+    def rotate(self) -> None:
+        """Seal the active segment and start a new one."""
+        if self._closed or self._active_handle is None:
+            raise StorageError("segment log is closed")
+        self._active_handle.flush()
+        os.fsync(self._active_handle.fileno())
+        self._active_handle.close()
+        self._active_handle = None
+        self.manifest.active.sealed = True
+        next_index = (
+            max(_segment_index(e.name) for e in self.manifest.segments) + 1
+        )
+        new_entry = SegmentEntry(name=_segment_name(next_index))
+        self._create_segment_file(new_entry.name)
+        self.manifest.segments.append(new_entry)
+        self.manifest.write(self.directory)
+        self._open_active()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def replay(self) -> Iterator[tuple[str, int, Frame]]:
+        """Yield every *committed* frame across all segments, in log order.
+
+        Strict: raises :exc:`StorageCorruptionError` on any damage or any
+        uncommitted trailing batch.  The active tail is repaired at
+        :meth:`open` time, so a freshly-opened log replays cleanly.
+        """
+        for entry in self.manifest.segments:
+            data = (self.directory / entry.name).read_bytes()
+            scan = scan_segment(data)
+            if scan.damage is not None:
+                raise StorageCorruptionError(
+                    f"segment {entry.name}: {scan.detail}"
+                )
+            if has_open_batch(scan):
+                raise StorageCorruptionError(
+                    f"segment {entry.name}: trailing uncommitted batch "
+                    "(reopen the store to run recovery)"
+                )
+            for offset, frame in committed_frames(
+                scan, where=f"segment {entry.name}"
+            ):
+                yield entry.name, offset, frame
+
+    def segment_sizes(self) -> dict[str, int]:
+        """On-disk byte size of every manifest-listed segment."""
+        return {
+            entry.name: (self.directory / entry.name).stat().st_size
+            for entry in self.manifest.segments
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _create_segment_file(self, name: str) -> None:
+        path = self.directory / name
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        try:
+            os.write(fd, SEGMENT_MAGIC)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        fsync_directory(self.directory)
+
+    def _open_active(self) -> None:
+        path = self.directory / self.manifest.active.name
+        self._active_handle = open(path, "ab")
+        self._active_size = path.stat().st_size
+
+    def _remove_orphans(self) -> None:
+        """Delete files a crashed compaction left behind.
+
+        Compaction writes its replacement segments, then atomically
+        replaces the manifest, then deletes the old files.  A crash
+        before the replace strands the new files; a crash after strands
+        the old ones.  Either way, anything the manifest does not name is
+        dead weight with no committed state.
+        """
+        listed = set(self.manifest.segment_names())
+        removed = False
+        for path in self.directory.iterdir():
+            name = path.name
+            if name == MANIFEST_NAME or name in listed:
+                continue
+            is_segment = name.startswith(_SEGMENT_PREFIX) and name.endswith(
+                _SEGMENT_SUFFIX
+            )
+            if is_segment or name.endswith(".tmp"):
+                path.unlink()
+                removed = True
+        if removed:
+            fsync_directory(self.directory)
+
+    def _recover(self) -> None:
+        """Verify sealed segments and repair the active segment's tail."""
+        for entry in self.manifest.segments[:-1]:
+            data = (self.directory / entry.name).read_bytes()
+            scan = scan_segment(data)
+            if scan.damage is not None:
+                raise StorageCorruptionError(
+                    f"sealed segment {entry.name}: {scan.detail}"
+                )
+            committed_frames(scan, where=f"sealed segment {entry.name}")
+            if has_open_batch(scan):
+                raise StorageCorruptionError(
+                    f"sealed segment {entry.name} ends in an "
+                    "uncommitted record batch"
+                )
+
+        entry = self.manifest.active
+        path = self.directory / entry.name
+        data = path.read_bytes()
+        scan = scan_segment(data)
+        if scan.damage == "corrupt":
+            raise StorageCorruptionError(
+                f"active segment {entry.name}: {scan.detail}"
+            )
+        if scan.damage == "torn" and scan.consumed < len(SEGMENT_MAGIC):
+            # The segment header itself is torn (crash during creation):
+            # rewrite the magic rather than leave a headerless file.
+            self._rewrite_empty(path)
+            return
+        committed_frames(scan, where=f"active segment {entry.name}")
+        # A torn frame truncates to the end of the valid prefix; an
+        # uncommitted batch truncates further, to the last commit point.
+        target = _stable_end(scan) if has_open_batch(scan) else scan.consumed
+        if target < len(data):
+            os.truncate(path, target)
+            fd = os.open(path, os.O_WRONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+
+    @staticmethod
+    def _rewrite_empty(path: Path) -> None:
+        os.truncate(path, 0)
+        fd = os.open(path, os.O_WRONLY | os.O_APPEND)
+        try:
+            os.write(fd, SEGMENT_MAGIC)
+            os.fsync(fd)
+        finally:
+            os.close(fd)

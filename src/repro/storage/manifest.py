@@ -1,0 +1,201 @@
+"""The store manifest: segment order, scheme header, and counters.
+
+``MANIFEST.json`` is the root of trust for a data directory.  It names
+the segments in replay order, records which are sealed, carries the
+*public* scheme header (so a store cannot silently be replayed into a
+server built for a different scheme), and checkpoints the logical
+upload/delete counters folded away by compaction.
+
+The manifest is always replaced atomically — written to a temp file,
+fsynced, ``os.replace``d over the old one, then the directory entry is
+fsynced.  A crash at any point leaves either the old manifest or the new
+one, never a torn hybrid; this replace is also the commit point of
+compaction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import StorageCorruptionError, StorageError
+
+__all__ = ["MANIFEST_NAME", "SegmentEntry", "Manifest", "fsync_directory"]
+
+MANIFEST_NAME = "MANIFEST.json"
+_MANIFEST_VERSION = 1
+
+
+def fsync_directory(directory: Path) -> None:
+    """Flush a directory entry so renames/creates inside it are durable."""
+    fd = os.open(directory, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+@dataclass
+class SegmentEntry:
+    """One segment file as the manifest sees it."""
+
+    name: str
+    sealed: bool = False
+    compacted: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form for the manifest's ``segments`` list."""
+        return {
+            "name": self.name,
+            "sealed": self.sealed,
+            "compacted": self.compacted,
+        }
+
+
+@dataclass
+class Manifest:
+    """In-memory image of ``MANIFEST.json``.
+
+    Attributes:
+        scheme: Public scheme header (:func:`repro.service.schemeio
+            .scheme_header` output) the store was created for.
+        segments: Segment files in replay order; the last one is the
+            active segment and must not be sealed.
+        uploads: Checkpoint of logical uploads whose frames were folded
+            into compacted segments (compaction rewrites records but must
+            not erase leakage-log history).
+        deletes: Same checkpoint for logical delete requests.
+        compactions: How many compactions this store has survived.
+    """
+
+    scheme: dict[str, Any]
+    segments: list[SegmentEntry] = field(default_factory=list)
+    uploads: int = 0
+    deletes: int = 0
+    compactions: int = 0
+
+    @property
+    def active(self) -> SegmentEntry:
+        if not self.segments:
+            raise StorageError("manifest lists no segments")
+        return self.segments[-1]
+
+    def segment_names(self) -> list[str]:
+        """Segment file names in replay order."""
+        return [entry.name for entry in self.segments]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form of the whole manifest (versioned)."""
+        return {
+            "version": _MANIFEST_VERSION,
+            "scheme": self.scheme,
+            "segments": [entry.to_dict() for entry in self.segments],
+            "counters": {"uploads": self.uploads, "deletes": self.deletes},
+            "compactions": self.compactions,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Any) -> Manifest:
+        if not isinstance(raw, dict):
+            raise StorageCorruptionError("manifest is not a JSON object")
+        if raw.get("version") != _MANIFEST_VERSION:
+            raise StorageCorruptionError(
+                f"unsupported manifest version {raw.get('version')!r}"
+            )
+        scheme = raw.get("scheme")
+        if not isinstance(scheme, dict):
+            raise StorageCorruptionError("manifest has no scheme header")
+        segments_raw = raw.get("segments")
+        if not isinstance(segments_raw, list) or not segments_raw:
+            raise StorageCorruptionError("manifest lists no segments")
+        segments: list[SegmentEntry] = []
+        seen: set[str] = set()
+        for item in segments_raw:
+            if not isinstance(item, dict) or not isinstance(
+                item.get("name"), str
+            ):
+                raise StorageCorruptionError("malformed segment entry")
+            name = item["name"]
+            if name in seen or os.sep in name or name.startswith("."):
+                raise StorageCorruptionError(
+                    f"implausible segment name {name!r}"
+                )
+            seen.add(name)
+            segments.append(
+                SegmentEntry(
+                    name=name,
+                    sealed=bool(item.get("sealed", False)),
+                    compacted=bool(item.get("compacted", False)),
+                )
+            )
+        if segments[-1].sealed:
+            raise StorageCorruptionError(
+                "manifest's active (last) segment is marked sealed"
+            )
+        counters = raw.get("counters", {})
+        if not isinstance(counters, dict):
+            raise StorageCorruptionError("manifest counters are malformed")
+        uploads = counters.get("uploads", 0)
+        deletes = counters.get("deletes", 0)
+        compactions = raw.get("compactions", 0)
+        for label, value in (
+            ("uploads", uploads),
+            ("deletes", deletes),
+            ("compactions", compactions),
+        ):
+            if not isinstance(value, int) or value < 0:
+                raise StorageCorruptionError(
+                    f"manifest counter {label!r} is not a non-negative int"
+                )
+        return cls(
+            scheme=scheme,
+            segments=segments,
+            uploads=uploads,
+            deletes=deletes,
+            compactions=compactions,
+        )
+
+    # ------------------------------------------------------------------
+    # Disk I/O
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, directory: Path) -> Manifest:
+        """Read and validate the manifest in *directory*.
+
+        Raises:
+            StorageError: If no manifest exists (the directory is not a
+                store).
+            StorageCorruptionError: If the manifest exists but does not
+                parse or validate.
+        """
+        path = directory / MANIFEST_NAME
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise StorageError(
+                f"no record store at {directory} (missing {MANIFEST_NAME})"
+            ) from None
+        try:
+            raw = json.loads(text)
+        except ValueError as exc:
+            raise StorageCorruptionError(
+                f"manifest at {path} is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(raw)
+
+    def write(self, directory: Path) -> None:
+        """Atomically replace the manifest in *directory* with this one."""
+        path = directory / MANIFEST_NAME
+        tmp = directory / (MANIFEST_NAME + ".tmp")
+        payload = json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, payload.encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+        fsync_directory(directory)

@@ -1,0 +1,409 @@
+"""The :class:`RecordStore` facade over the segment log.
+
+A ``RecordStore`` is what the service layer talks to: ``append`` a batch
+of encrypted records (durable before it returns), ``delete`` by
+identifier (a tombstone frame), ``scan`` the live records back for
+replay into a search engine, ``snapshot`` operational counters for the
+stats verb, and ``compact`` to reclaim tombstoned space.
+
+Trust boundary: the store holds exactly what the untrusted cloud server
+already holds — codec ciphertext bytes, AEAD content blobs, and the
+*public* scheme header.  The secret key never has a path into this
+module, by construction: nothing here accepts a key type.
+
+:func:`verify_store` is the offline, strictly read-only checker behind
+``repro store verify``: it opens nothing for writing, repairs nothing,
+and reports damage instead of raising, so an operator can inspect a
+suspect directory without mutating the evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.errors import StorageCorruptionError, StorageError
+from repro.storage.format import (
+    CommitFrame,
+    RecordFrame,
+    TombstoneFrame,
+    encode_commit_frame,
+    encode_record_frame,
+    encode_tombstone_frame,
+    scan_segment,
+)
+from repro.storage.log import (
+    DEFAULT_MAX_SEGMENT_BYTES,
+    SegmentLog,
+    committed_frames,
+    has_open_batch,
+)
+from repro.storage.manifest import Manifest
+
+__all__ = ["RecordStore", "StoreSnapshot", "verify_store"]
+
+
+@dataclass(frozen=True)
+class StoreSnapshot:
+    """Operational counters for the stats verb and the CLI.
+
+    ``uploads``/``deletes`` are *logical* request counts and survive
+    compaction (the manifest checkpoints them) — they feed the leakage
+    log, whose history must not be rewritten by maintenance.
+    ``dead_records`` is the compaction opportunity: committed record
+    frames whose identifier was later tombstoned or superseded.
+    """
+
+    segments: int
+    sealed_segments: int
+    live_records: int
+    records_logged: int
+    dead_records: int
+    uploads: int
+    deletes: int
+    compactions: int
+    log_bytes: int
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON-ready counters for the ``stats`` verb and the CLI."""
+        return {
+            "segments": self.segments,
+            "sealed_segments": self.sealed_segments,
+            "live_records": self.live_records,
+            "records_logged": self.records_logged,
+            "dead_records": self.dead_records,
+            "uploads": self.uploads,
+            "deletes": self.deletes,
+            "compactions": self.compactions,
+            "log_bytes": self.log_bytes,
+        }
+
+
+class RecordStore:
+    """Durable, append-only store of encrypted records."""
+
+    def __init__(self, log: SegmentLog) -> None:
+        self._log = log
+        self._live: dict[int, tuple[str, int]] = {}
+        self._records_logged = 0
+        self._uploads = log.manifest.uploads
+        self._deletes = log.manifest.deletes
+        self._replay_state()
+
+    # ------------------------------------------------------------------
+    # Opening
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: str | Path,
+        scheme_header: dict[str, Any],
+        *,
+        max_segment_bytes: int = DEFAULT_MAX_SEGMENT_BYTES,
+    ) -> RecordStore:
+        """Initialise a brand-new store for the given public header."""
+        return cls(
+            SegmentLog.create(
+                Path(directory),
+                dict(scheme_header),
+                max_segment_bytes=max_segment_bytes,
+            )
+        )
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        *,
+        scheme_header: dict[str, Any] | None = None,
+        max_segment_bytes: int = DEFAULT_MAX_SEGMENT_BYTES,
+    ) -> RecordStore:
+        """Open an existing store, running crash recovery.
+
+        Raises:
+            StorageError: If *scheme_header* is given and does not equal
+                the header the store was created for — replaying records
+                into a server built for a different scheme would fail in
+                confusing ways far from the actual mistake.
+        """
+        log = SegmentLog.open(
+            Path(directory), max_segment_bytes=max_segment_bytes
+        )
+        if scheme_header is not None and dict(scheme_header) != log.manifest.scheme:
+            log.close()
+            raise StorageError(
+                f"store at {directory} was created for a different scheme "
+                "(public header mismatch)"
+            )
+        return cls(log)
+
+    @classmethod
+    def open_or_create(
+        cls,
+        directory: str | Path,
+        scheme_header: dict[str, Any],
+        *,
+        max_segment_bytes: int = DEFAULT_MAX_SEGMENT_BYTES,
+    ) -> RecordStore:
+        """Open the store at *directory*, creating it if absent."""
+        path = Path(directory)
+        try:
+            return cls.open(
+                path,
+                scheme_header=scheme_header,
+                max_segment_bytes=max_segment_bytes,
+            )
+        except StorageError as exc:
+            if isinstance(exc, StorageCorruptionError):
+                raise
+            if path.exists() and any(path.iterdir()):
+                # Non-empty but unopenable for a non-corruption reason
+                # (e.g. scheme mismatch): surface that, don't clobber.
+                raise
+            return cls.create(
+                path, scheme_header, max_segment_bytes=max_segment_bytes
+            )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(
+        self, records: Iterable[tuple[int, bytes, bytes]]
+    ) -> int:
+        """Durably log one upload batch; returns the number of records.
+
+        The batch is atomic: all records plus a commit frame land in one
+        fsynced write, so a crash either keeps the whole batch or (after
+        recovery) none of it.
+
+        Raises:
+            StorageError: For an empty batch, a duplicate identifier
+                within the batch, or an identifier that is already live.
+        """
+        batch = list(records)
+        if not batch:
+            raise StorageError("refusing to log an empty upload batch")
+        seen: set[int] = set()
+        for identifier, _, _ in batch:
+            if identifier in seen:
+                raise StorageError(
+                    f"duplicate identifier {identifier} in upload batch"
+                )
+            if identifier in self._live:
+                raise StorageError(
+                    f"record {identifier} already exists in the store"
+                )
+            seen.add(identifier)
+        frames = [
+            encode_record_frame(identifier, payload, content)
+            for identifier, payload, content in batch
+        ]
+        frames.append(encode_commit_frame(len(batch)))
+        positions = self._log.append_frames(frames)
+        for (identifier, _, _), position in zip(batch, positions):
+            self._live[identifier] = position
+        self._records_logged += len(batch)
+        self._uploads += 1
+        return len(batch)
+
+    def delete(self, identifiers: Iterable[int]) -> int:
+        """Durably log one delete request; returns how many were live.
+
+        The tombstone names every requested identifier (present or not)
+        so a replay reproduces the server's leakage log exactly — the
+        in-memory server counts a delete request even when it removes
+        nothing.
+        """
+        ids = tuple(dict.fromkeys(identifiers))
+        if not ids:
+            return 0
+        self._log.append_frames([encode_tombstone_frame(ids)])
+        removed = 0
+        for identifier in ids:
+            if self._live.pop(identifier, None) is not None:
+                removed += 1
+        self._deletes += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def scan(self) -> Iterator[tuple[int, bytes, bytes]]:
+        """Yield every live record as ``(identifier, payload, content)``.
+
+        Streams segment by segment in log order; a record frame is
+        yielded only if it is the winning (live) frame for its
+        identifier.
+        """
+        for name, offset, frame in self._log.replay():
+            if isinstance(frame, RecordFrame) and self._live.get(
+                frame.identifier
+            ) == (name, offset):
+                yield frame.identifier, frame.payload, frame.content
+
+    def snapshot(self) -> StoreSnapshot:
+        """Point-in-time counters (record, segment, and byte totals)."""
+        sizes = self._log.segment_sizes()
+        return StoreSnapshot(
+            segments=len(self._log.manifest.segments),
+            sealed_segments=sum(
+                1 for e in self._log.manifest.segments if e.sealed
+            ),
+            live_records=len(self._live),
+            records_logged=self._records_logged,
+            dead_records=self._records_logged - len(self._live),
+            uploads=self._uploads,
+            deletes=self._deletes,
+            compactions=self._log.manifest.compactions,
+            log_bytes=sum(sizes.values()),
+        )
+
+    @property
+    def scheme_header(self) -> dict[str, Any]:
+        return dict(self._log.manifest.scheme)
+
+    @property
+    def record_count(self) -> int:
+        return len(self._live)
+
+    @property
+    def uploads(self) -> int:
+        """Logical upload batches logged, surviving compaction."""
+        return self._uploads
+
+    @property
+    def deletes(self) -> int:
+        """Logical delete requests logged, surviving compaction."""
+        return self._deletes
+
+    @property
+    def directory(self) -> Path:
+        return self._log.directory
+
+    def compact(self) -> StoreSnapshot:
+        """Drop dead records by rewriting live ones; see compact.py."""
+        from repro.storage.compact import compact_store
+
+        compact_store(self)
+        return self.snapshot()
+
+    def close(self) -> None:
+        """Fsync and close the underlying log (idempotent)."""
+        self._log.close()
+
+    def __enter__(self) -> RecordStore:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _replay_state(self) -> None:
+        """Rebuild live-record and counter state with one strict replay."""
+        self._live.clear()
+        self._records_logged = 0
+        self._uploads = self._log.manifest.uploads
+        self._deletes = self._log.manifest.deletes
+        for name, offset, frame in self._log.replay():
+            if isinstance(frame, RecordFrame):
+                self._live[frame.identifier] = (name, offset)
+                self._records_logged += 1
+            elif isinstance(frame, TombstoneFrame):
+                for identifier in frame.identifiers:
+                    self._live.pop(identifier, None)
+                self._deletes += 1
+            elif isinstance(frame, CommitFrame) and not frame.compaction:
+                self._uploads += 1
+
+
+def verify_store(directory: str | Path) -> dict[str, Any]:
+    """Check a store directory without writing a single byte to it.
+
+    Returns a report dict::
+
+        {"clean": bool, "directory": str,
+         "segments": [{"name", "sealed", "bytes", "frames", "status",
+                       "detail"}, ...],
+         "errors": [...], "warnings": [...]}
+
+    ``errors`` (corruption, missing files) make the store unopenable;
+    ``warnings`` (torn tail, uncommitted trailing batch in the active
+    segment, orphan files) are repaired automatically on the next open.
+    ``clean`` is true only when both lists are empty.
+    """
+    path = Path(directory)
+    report: dict[str, Any] = {
+        "clean": False,
+        "directory": str(path),
+        "segments": [],
+        "errors": [],
+        "warnings": [],
+    }
+    try:
+        manifest = Manifest.load(path)
+    except StorageError as exc:
+        report["errors"].append(str(exc))
+        return report
+
+    listed = set(manifest.segment_names())
+    for entry_path in sorted(path.iterdir()):
+        name = entry_path.name
+        if name not in listed and name != "MANIFEST.json":
+            report["warnings"].append(
+                f"orphan file {name} (removed on next open)"
+            )
+
+    for index, entry in enumerate(manifest.segments):
+        is_active = index == len(manifest.segments) - 1
+        seg_report: dict[str, Any] = {
+            "name": entry.name,
+            "sealed": entry.sealed,
+            "bytes": 0,
+            "frames": 0,
+            "status": "ok",
+            "detail": "",
+        }
+        report["segments"].append(seg_report)
+        seg_path = path / entry.name
+        try:
+            data = seg_path.read_bytes()
+        except FileNotFoundError:
+            seg_report["status"] = "missing"
+            report["errors"].append(
+                f"manifest names segment {entry.name} but the file is missing"
+            )
+            continue
+        seg_report["bytes"] = len(data)
+        scan = scan_segment(data)
+        seg_report["frames"] = len(scan.frames)
+        structural: str | None = None
+        try:
+            committed_frames(scan, where=f"segment {entry.name}")
+        except StorageCorruptionError as exc:
+            structural = str(exc)
+        open_batch = has_open_batch(scan)
+        if scan.damage == "corrupt" or structural is not None:
+            detail = scan.detail if scan.damage == "corrupt" else structural
+            seg_report["status"] = "corrupt"
+            seg_report["detail"] = detail
+            report["errors"].append(f"segment {entry.name}: {detail}")
+        elif scan.damage == "torn" or open_batch:
+            detail = scan.detail or "trailing uncommitted record batch"
+            seg_report["detail"] = detail
+            if is_active:
+                seg_report["status"] = "torn tail"
+                report["warnings"].append(
+                    f"active segment {entry.name}: {detail} "
+                    "(truncated on next open)"
+                )
+            else:
+                seg_report["status"] = "corrupt"
+                report["errors"].append(
+                    f"sealed segment {entry.name}: {detail}"
+                )
+
+    report["clean"] = not report["errors"] and not report["warnings"]
+    return report

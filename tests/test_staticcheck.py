@@ -30,7 +30,15 @@ from repro.errors import StaticAnalysisError
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-ALL_RULES = ("CRS001", "CRS002", "CRS003", "CRS004", "CRS005", "CRS006")
+ALL_RULES = (
+    "CRS001",
+    "CRS002",
+    "CRS003",
+    "CRS004",
+    "CRS005",
+    "CRS006",
+    "CRS007",
+)
 
 
 def lint_snippet(tmp_path: Path, relpath: str, source: str) -> list:
@@ -49,7 +57,7 @@ def rule_ids(findings) -> set[str]:
 # Registry
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_rules_registered(self):
         lint_paths([], root=REPO_ROOT)  # force rule-pack import
         for rule_id in ALL_RULES:
             assert rule_id in REGISTRY
@@ -397,6 +405,118 @@ class TestCRS006:
             """,
         )
         assert "CRS006" not in rule_ids(findings)
+
+
+# ----------------------------------------------------------------------
+# CRS007 — non-atomic persistence writes
+# ----------------------------------------------------------------------
+class TestCRS007:
+    def test_flags_plain_open_write(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "storage/state.py",
+            """
+            def save_state(path, blob):
+                with open(path, "wb") as sink:
+                    sink.write(blob)
+            """,
+        )
+        assert "CRS007" in rule_ids(findings)
+
+    def test_flags_write_text(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "service/portfile.py",
+            """
+            def record_port(path, port):
+                path.write_text(str(port))
+            """,
+        )
+        assert "CRS007" in rule_ids(findings)
+
+    def test_flags_os_open_os_write(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "storage/raw.py",
+            """
+            import os
+
+            def save_raw(path, blob):
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT)
+                os.write(fd, blob)
+                os.close(fd)
+            """,
+        )
+        assert "CRS007" in rule_ids(findings)
+
+    def test_atomic_replace_idiom_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "storage/manifest.py",
+            """
+            import os
+
+            def save_state(path, blob):
+                tmp = str(path) + ".tmp"
+                with open(tmp, "wb") as sink:
+                    sink.write(blob)
+                    os.fsync(sink.fileno())
+                os.replace(tmp, path)
+            """,
+        )
+        assert "CRS007" not in rule_ids(findings)
+
+    def test_append_fsync_idiom_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "storage/log.py",
+            """
+            import os
+
+            def append_frames(handle, frames):
+                handle.write(b"".join(frames))
+                handle.flush()
+                os.fsync(handle.fileno())
+            """,
+        )
+        assert "CRS007" not in rule_ids(findings)
+
+    def test_handle_returning_open_is_clean(self, tmp_path):
+        # The function only opens; the caller owns the write+sync, so
+        # there is no un-synced write *here* to flag.
+        findings = lint_snippet(
+            tmp_path,
+            "storage/log.py",
+            """
+            def open_active(path):
+                return open(path, "ab")
+            """,
+        )
+        assert "CRS007" not in rule_ids(findings)
+
+    def test_read_only_open_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "storage/reader.py",
+            """
+            def load(path):
+                with open(path, "rb") as source:
+                    return source.read()
+            """,
+        )
+        assert "CRS007" not in rule_ids(findings)
+
+    def test_out_of_scope_path_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "analysis/report.py",
+            """
+            def save_report(path, text):
+                with open(path, "w") as sink:
+                    sink.write(text)
+            """,
+        )
+        assert "CRS007" not in rule_ids(findings)
 
 
 # ----------------------------------------------------------------------

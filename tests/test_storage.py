@@ -1,0 +1,315 @@
+"""Tests for :mod:`repro.storage` — frames, recovery, compaction.
+
+These tests feed the store arbitrary bytes as payloads: the store treats
+ciphertext as opaque codec output, so nothing here needs real crypto and
+the crash-recovery matrix (torn tails, CRC damage, missing segments,
+uncommitted batches) stays fast.  The service-level replay equivalence
+tests with real ciphertexts live in ``test_service_store.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import StorageCorruptionError, StorageError
+from repro.storage import (
+    MANIFEST_NAME,
+    RecordStore,
+    SEGMENT_MAGIC,
+    scan_segment,
+    verify_store,
+)
+from repro.storage.format import (
+    CommitFrame,
+    RecordFrame,
+    TombstoneFrame,
+    encode_commit_frame,
+    encode_record_frame,
+    encode_tombstone_frame,
+)
+
+HEADER = {"group": "fast", "scheme": "crse2", "space": {"w": 2, "t": 32}}
+
+
+def payload(i: int, size: int = 24) -> bytes:
+    return bytes((i * 7 + j) % 256 for j in range(size))
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with RecordStore.create(tmp_path / "store", HEADER) as s:
+        yield s
+
+
+def seed(s: RecordStore, n: int = 6) -> None:
+    s.append((i, payload(i), b"content-%d" % i) for i in range(n))
+
+
+# ----------------------------------------------------------------------
+# Frame format
+# ----------------------------------------------------------------------
+class TestFrameFormat:
+    def test_record_frame_roundtrip(self):
+        frame_bytes = encode_record_frame(42, b"pay", b"load")
+        scan = scan_segment(SEGMENT_MAGIC + frame_bytes)
+        assert scan.damage is None
+        [(offset, frame)] = scan.frames
+        assert offset == len(SEGMENT_MAGIC)
+        assert frame == RecordFrame(identifier=42, payload=b"pay", content=b"load")
+
+    def test_tombstone_and_commit_roundtrip(self):
+        data = (
+            SEGMENT_MAGIC
+            + encode_tombstone_frame((3, 1, 4))
+            + encode_commit_frame(0, compaction=True)
+        )
+        scan = scan_segment(data)
+        assert scan.damage is None
+        assert scan.frames[0][1] == TombstoneFrame(identifiers=(3, 1, 4))
+        assert scan.frames[1][1] == CommitFrame(record_count=0, compaction=True)
+
+    def test_torn_tail_classified_and_prefix_kept(self):
+        good = encode_record_frame(1, b"x" * 10, b"")
+        data = SEGMENT_MAGIC + good + good[: len(good) - 4]
+        scan = scan_segment(data)
+        assert scan.damage == "torn"
+        assert scan.consumed == len(SEGMENT_MAGIC) + len(good)
+        assert len(scan.frames) == 1
+
+    def test_crc_flip_is_corrupt_not_torn(self):
+        good = encode_record_frame(1, b"x" * 10, b"")
+        mangled = bytearray(SEGMENT_MAGIC + good)
+        mangled[-3] ^= 0xFF
+        scan = scan_segment(bytes(mangled))
+        assert scan.damage == "corrupt"
+        assert "CRC" in scan.detail
+
+    def test_bad_magic_is_corrupt(self):
+        assert scan_segment(b"NOTMAGIC" + b"junk").damage == "corrupt"
+
+    def test_unknown_frame_type_is_corrupt(self):
+        from repro.storage.format import encode_frame
+
+        scan = scan_segment(SEGMENT_MAGIC + encode_frame(b"\x7fwhat"))
+        assert scan.damage == "corrupt"
+        assert "unknown frame type" in scan.detail
+
+    def test_out_of_range_identifier_rejected(self):
+        with pytest.raises(StorageError):
+            encode_record_frame(-1, b"", b"")
+        with pytest.raises(StorageError):
+            encode_record_frame(1 << 64, b"", b"")
+
+
+# ----------------------------------------------------------------------
+# Store basics
+# ----------------------------------------------------------------------
+class TestRecordStore:
+    def test_append_scan_roundtrip(self, store):
+        seed(store)
+        rows = sorted(store.scan())
+        assert [r[0] for r in rows] == list(range(6))
+        assert rows[3] == (3, payload(3), b"content-3")
+
+    def test_duplicate_identifier_rejected(self, store):
+        seed(store)
+        with pytest.raises(StorageError):
+            store.append([(2, b"again", b"")])
+        with pytest.raises(StorageError):
+            store.append([(7, b"a", b""), (7, b"b", b"")])
+
+    def test_delete_returns_live_count_only(self, store):
+        seed(store)
+        assert store.delete([1, 3, 99]) == 2
+        assert store.record_count == 4
+        assert store.delete([]) == 0
+        assert store.deletes == 1  # the empty request wrote nothing
+
+    def test_reopen_replays_state_and_counters(self, store, tmp_path):
+        seed(store)
+        store.append([(10, payload(10), b"")])
+        store.delete([0, 10])
+        store.close()
+        with RecordStore.open(tmp_path / "store", scheme_header=HEADER) as s:
+            assert sorted(i for i, _, _ in s.scan()) == [1, 2, 3, 4, 5]
+            assert s.uploads == 2 and s.deletes == 1
+            assert s.snapshot().dead_records == 2
+
+    def test_scheme_header_mismatch_refused(self, store, tmp_path):
+        store.close()
+        with pytest.raises(StorageError, match="different scheme"):
+            RecordStore.open(
+                tmp_path / "store",
+                scheme_header={**HEADER, "scheme": "crse1"},
+            )
+
+    def test_create_refuses_nonempty_directory(self, tmp_path):
+        target = tmp_path / "occupied"
+        target.mkdir()
+        (target / "junk.txt").write_text("hi")
+        with pytest.raises(StorageError):
+            RecordStore.create(target, HEADER)
+
+    def test_open_or_create_roundtrip(self, tmp_path):
+        with RecordStore.open_or_create(tmp_path / "oc", HEADER) as s:
+            s.append([(1, b"a", b"")])
+        with RecordStore.open_or_create(tmp_path / "oc", HEADER) as s:
+            assert s.record_count == 1
+
+    def test_rotation_spreads_segments(self, tmp_path):
+        with RecordStore.create(
+            tmp_path / "rot", HEADER, max_segment_bytes=256
+        ) as s:
+            for i in range(12):
+                s.append([(i, payload(i, 64), b"")])
+            snap = s.snapshot()
+            assert snap.segments > 2
+            assert snap.sealed_segments == snap.segments - 1
+        with RecordStore.open(tmp_path / "rot") as s:
+            assert s.record_count == 12
+
+
+# ----------------------------------------------------------------------
+# Crash recovery
+# ----------------------------------------------------------------------
+class TestCrashRecovery:
+    def test_truncated_tail_frame_recovered(self, store, tmp_path):
+        seed(store)
+        store.close()
+        seg = tmp_path / "store" / "seg-00000001.log"
+        intact = seg.stat().st_size
+        with open(seg, "ab") as handle:
+            handle.write(b"\x00\x00\x00\x40\xab\xcd")  # torn mid-header
+        report = verify_store(tmp_path / "store")
+        assert not report["clean"] and not report["errors"]
+        assert report["segments"][0]["status"] == "torn tail"
+        with RecordStore.open(tmp_path / "store") as s:
+            assert s.record_count == 6
+        assert seg.stat().st_size == intact
+        assert verify_store(tmp_path / "store")["clean"]
+
+    def test_uncommitted_batch_dropped_on_reopen(self, store, tmp_path):
+        seed(store)
+        store.close()
+        seg = tmp_path / "store" / "seg-00000001.log"
+        intact = seg.stat().st_size
+        with open(seg, "ab") as handle:
+            # Two record frames with no commit: the crash window between
+            # the disk write and the ack.
+            handle.write(encode_record_frame(50, b"zzz", b""))
+            handle.write(encode_record_frame(51, b"yyy", b""))
+        with RecordStore.open(tmp_path / "store") as s:
+            assert s.record_count == 6
+            assert 50 not in {i for i, _, _ in s.scan()}
+        assert seg.stat().st_size == intact
+
+    def test_corrupted_crc_mid_log_raises(self, store, tmp_path):
+        seed(store)
+        store.close()
+        seg = tmp_path / "store" / "seg-00000001.log"
+        data = bytearray(seg.read_bytes())
+        data[len(SEGMENT_MAGIC) + 12] ^= 0xFF  # inside the first frame body
+        seg.write_bytes(bytes(data))
+        report = verify_store(tmp_path / "store")
+        assert report["errors"] and report["segments"][0]["status"] == "corrupt"
+        with pytest.raises(StorageCorruptionError, match="CRC"):
+            RecordStore.open(tmp_path / "store")
+
+    def test_manifest_names_missing_segment(self, store, tmp_path):
+        seed(store)
+        store.close()
+        (tmp_path / "store" / "seg-00000001.log").unlink()
+        report = verify_store(tmp_path / "store")
+        assert any("missing" in err for err in report["errors"])
+        with pytest.raises(StorageCorruptionError, match="missing"):
+            RecordStore.open(tmp_path / "store")
+
+    def test_damage_in_sealed_segment_is_corruption(self, tmp_path):
+        with RecordStore.create(
+            tmp_path / "sealed", HEADER, max_segment_bytes=128
+        ) as s:
+            for i in range(6):
+                s.append([(i, payload(i, 64), b"")])
+            sealed_names = [
+                e.name for e in s._log.manifest.segments if e.sealed
+            ]
+        assert sealed_names
+        seg = tmp_path / "sealed" / sealed_names[0]
+        os.truncate(seg, seg.stat().st_size - 3)  # torn — but sealed
+        report = verify_store(tmp_path / "sealed")
+        assert report["errors"]
+        with pytest.raises(StorageCorruptionError, match="sealed"):
+            RecordStore.open(tmp_path / "sealed")
+
+    def test_orphan_segment_removed_on_open(self, store, tmp_path):
+        seed(store)
+        store.close()
+        orphan = tmp_path / "store" / "seg-00000099.log"
+        orphan.write_bytes(SEGMENT_MAGIC)
+        report = verify_store(tmp_path / "store")
+        assert any("orphan" in w for w in report["warnings"])
+        with RecordStore.open(tmp_path / "store") as s:
+            assert s.record_count == 6
+        assert not orphan.exists()
+
+    def test_missing_manifest_is_not_a_store(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(StorageError, match=MANIFEST_NAME):
+            RecordStore.open(tmp_path / "empty")
+
+    def test_garbage_manifest_is_corruption(self, store, tmp_path):
+        store.close()
+        (tmp_path / "store" / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(StorageCorruptionError):
+            RecordStore.open(tmp_path / "store")
+
+
+# ----------------------------------------------------------------------
+# Compaction
+# ----------------------------------------------------------------------
+class TestCompaction:
+    def test_compaction_preserves_state_and_counters(self, store, tmp_path):
+        seed(store, 8)
+        store.delete([0, 2, 4])
+        before = store.snapshot()
+        assert before.dead_records == 3
+        live_before = sorted(store.scan())
+
+        after = store.compact()
+        assert after.dead_records == 0
+        assert after.live_records == 5
+        assert after.uploads == before.uploads
+        assert after.deletes == before.deletes
+        assert after.compactions == before.compactions + 1
+        assert sorted(store.scan()) == live_before
+
+        # ...and all of it survives a reopen (checkpointed counters).
+        store.close()
+        with RecordStore.open(tmp_path / "store") as s:
+            assert sorted(s.scan()) == live_before
+            assert s.uploads == before.uploads
+            assert s.deletes == before.deletes
+
+    def test_compaction_reclaims_bytes(self, store):
+        seed(store, 10)
+        store.delete(list(range(9)))
+        before = store.snapshot().log_bytes
+        store.compact()
+        assert store.snapshot().log_bytes < before
+
+    def test_store_still_writable_after_compaction(self, store):
+        seed(store, 4)
+        store.delete([1])
+        store.compact()
+        store.append([(99, payload(99), b"")])
+        assert 99 in {i for i, _, _ in store.scan()}
+        # A tombstoned id may be reused after its tombstone is compacted.
+        store.append([(1, b"reborn", b"")])
+        assert dict((i, p) for i, p, _ in store.scan())[1] == b"reborn"
+
+    def test_compact_empty_store(self, store):
+        store.compact()
+        assert store.record_count == 0
+        assert store.snapshot().compactions == 1

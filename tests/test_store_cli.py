@@ -1,0 +1,157 @@
+"""Subprocess kill -9 round-trip for ``repro serve --data-dir``.
+
+The one test that exercises durability the way an operator hits it: a
+serve process writing to a data directory, an upload + search over TCP,
+an abrupt SIGKILL (no drain, no atexit), a restart over the same
+directory, and the same query returning the same matches.  Also covers
+``repro store verify`` on both a healthy and a deliberately damaged
+store.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+
+def _repro(*argv: str, **kwargs) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+        **kwargs,
+    )
+
+
+def _serve(key, data_dir, port_file) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--key", str(key), "--data-dir", str(data_dir),
+            "--port", "0", "--port-file", str(port_file),
+            "--workers", "1",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        start_new_session=True,  # so SIGKILL can take the shard workers too
+    )
+
+
+def _wait_for_port(serve: subprocess.Popen, port_file) -> str:
+    deadline = time.monotonic() + 60
+    while not port_file.exists() and time.monotonic() < deadline:
+        assert serve.poll() is None, serve.stdout.read()
+        time.sleep(0.1)
+    assert port_file.exists(), "serve never wrote its port file"
+    return port_file.read_text().strip()
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """A tiny key + encrypted records built through the real CLI."""
+    root = tmp_path_factory.mktemp("store-cli")
+    key = root / "demo.key"
+    points = root / "points.csv"
+    records = root / "records.txt"
+    result = _repro(
+        "keygen", "--size", "16", "--dims", "2", "--backend", "fast",
+        "--seed", "11", "--out", str(key),
+    )
+    assert result.returncode == 0, result.stderr
+    points.write_text("3,3\n3,4\n12,12\n14,2\n")
+    result = _repro(
+        "encrypt", "--key", str(key), "--points", str(points),
+        "--seed", "12", "--out", str(records),
+    )
+    assert result.returncode == 0, result.stderr
+    return key, records, root
+
+
+def test_sigkill_restart_same_matches(artifacts):
+    key, records, root = artifacts
+    data_dir = root / "data"
+
+    # First life: empty store, upload over the wire, search.
+    port_file = root / "port1"
+    serve = _serve(key, data_dir, port_file)
+    try:
+        port = _wait_for_port(serve, port_file)
+        upload = _repro(
+            "query", "--key", str(key), "--upload", str(records),
+            "--port", port, "--seed", "13",
+        )
+        assert upload.returncode == 0, upload.stdout + upload.stderr
+        assert "uploaded 4 records (4 now stored)" in upload.stdout
+        first = _repro(
+            "query", "--key", str(key), "--center", "3,3", "--radius", "1",
+            "--port", port, "--seed", "13",
+        )
+        assert first.returncode == 0, first.stdout + first.stderr
+        assert "matches: [0, 1]" in first.stdout
+
+        # The crash: no SIGTERM, no drain — the store's fsync-before-ack
+        # discipline is the only thing standing between us and data loss.
+        # Kill the whole process group so the shard workers die with the
+        # server, like a machine losing power.
+        os.killpg(serve.pid, signal.SIGKILL)
+        serve.wait(timeout=60)
+    finally:
+        if serve.poll() is None:
+            os.killpg(serve.pid, signal.SIGKILL)
+            serve.wait(timeout=30)
+        serve.stdout.close()
+
+    # Second life: same directory, no --records, replay from disk.
+    port_file = root / "port2"
+    serve = _serve(key, data_dir, port_file)
+    try:
+        port = _wait_for_port(serve, port_file)
+        second = _repro(
+            "query", "--key", str(key), "--center", "3,3", "--radius", "1",
+            "--port", port, "--seed", "13", "--stats",
+        )
+        assert second.returncode == 0, second.stdout + second.stderr
+        assert "matches: [0, 1]" in second.stdout
+        assert '"store"' in second.stdout  # --stats shows the store section
+
+        serve.send_signal(signal.SIGTERM)
+        stdout, _ = serve.communicate(timeout=60)
+    finally:
+        if serve.poll() is None:
+            os.killpg(serve.pid, signal.SIGKILL)
+            serve.wait(timeout=30)
+            serve.stdout.close()
+    assert serve.returncode == 0, stdout
+    assert "replayed 4 records" in stdout
+    assert "drained, bye" in stdout
+
+    # The surviving store passes verification...
+    verify = _repro("store", "verify", "--data-dir", str(data_dir))
+    assert verify.returncode == 0, verify.stdout + verify.stderr
+    assert ": clean" in verify.stdout
+
+    # ...and a damaged copy does not.
+    damaged = root / "damaged"
+    damaged.mkdir()
+    for name in os.listdir(data_dir):
+        (damaged / name).write_bytes((data_dir / name).read_bytes())
+    segs = sorted(p for p in damaged.iterdir() if p.suffix == ".log")
+    blob = bytearray(segs[0].read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    segs[0].write_bytes(bytes(blob))
+    verify = _repro("store", "verify", "--data-dir", str(damaged))
+    assert verify.returncode == 1, verify.stdout + verify.stderr
+    assert "damaged" in verify.stdout
