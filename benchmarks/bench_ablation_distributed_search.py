@@ -1,0 +1,146 @@
+"""Ablation — distributed search speedup versus shard count.
+
+The paper closes by noting that search "can be further improved by using
+parallel computing with multiple instances of Amazon EC2".  The
+``bench_ablation_service_throughput`` ablation measures that claim with
+worker *processes* inside one server; this one measures it across
+*servers*: the dataset is partitioned over N in-process
+:class:`~repro.service.server.ServiceServer` backends (one single-worker
+engine each) and queried through the
+:class:`~repro.service.coordinator.Coordinator`, so each timed query pays
+the full distributed path — coordinator fan-out over real sockets, N
+concurrent shard scans, merge.
+
+The baseline is the same topology at one shard, which isolates the
+coordinator's routing overhead from the fan-out win.  As with the
+service-throughput ablation, the >= 1.5x assertion at 2 shards only holds
+where cores do, so it is gated on the host exposing >= 4 usable CPUs; on
+smaller hosts the table still reports the measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.analysis.report import TextTable
+from repro.cloud.codec import encode_ciphertext, encode_token
+from repro.cloud.messages import UploadDataset, UploadRecord
+from repro.core.geometry import Circle, point_in_circle
+from repro.datasets.synthetic import uniform_points
+from repro.service import (
+    Coordinator,
+    CoordinatorConfig,
+    ServerThread,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+)
+
+N_RECORDS = 200
+RADIUS = 3
+SHARD_COUNTS = (1, 2, 4)
+QUERIES_PER_CONFIG = 5
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _run_cluster(scheme, records, token, shard_count):
+    """Time queries through a coordinator over *shard_count* backends."""
+    backends = [
+        ServerThread(
+            ServiceServer(scheme, config=ServiceConfig(workers=1))
+        )
+        for _ in range(shard_count)
+    ]
+    ports = [backend.start() for backend in backends]
+    coordinator = ServerThread(
+        Coordinator(
+            [f"127.0.0.1:{port}" for port in ports], CoordinatorConfig()
+        )
+    )
+    try:
+        coord_port = coordinator.start()
+        client = ServiceClient("127.0.0.1", coord_port)
+        client.upload(
+            UploadDataset(
+                records=tuple(
+                    UploadRecord(identifier=i, payload=payload)
+                    for i, payload in records
+                )
+            )
+        )
+        for engine_owner in backends:  # prime every shard's workers
+            engine_owner.server.engine.warm_up()
+        response, _ = client.search(token)  # first query primes caches
+        started = time.perf_counter()
+        for _ in range(QUERIES_PER_CONFIG):
+            response, stats = client.search(token)
+        wall_ms = (
+            (time.perf_counter() - started) * 1000.0 / QUERIES_PER_CONFIG
+        )
+        return tuple(response.identifiers), stats, wall_ms
+    finally:
+        coordinator.stop()
+        for backend in backends:
+            backend.stop()
+
+
+def test_ablation_distributed_search(crse2_env, write_result):
+    scheme, key, rng = crse2_env
+    points = uniform_points(scheme.space, N_RECORDS, rng)
+    records = [
+        (i, encode_ciphertext(scheme, scheme.encrypt(key, point, rng)))
+        for i, point in enumerate(points)
+    ]
+    circle = Circle.from_radius((256, 256), RADIUS)
+    token = encode_token(scheme, scheme.gen_token(key, circle, rng))
+    expected = sorted(
+        i for i, point in enumerate(points) if point_in_circle(point, circle)
+    )
+
+    cpus = _usable_cpus()
+    table = TextTable(
+        f"Ablation — distributed search, n = {N_RECORDS}, R = {RADIUS}, "
+        f"host CPUs = {cpus}",
+        ["shards", "ms/query", "qps", "speedup", "records/shard"],
+    )
+    baseline_ms = None
+    speedups = {}
+    for shard_count in SHARD_COUNTS:
+        identifiers, stats, wall_ms = _run_cluster(
+            scheme, records, token, shard_count
+        )
+        assert list(identifiers) == expected
+        assert stats["records_scanned"] == N_RECORDS
+        assert len(stats["partitions"]) == shard_count
+        if baseline_ms is None:
+            baseline_ms = wall_ms
+        speedups[shard_count] = baseline_ms / wall_ms
+        table.add_row(
+            shard_count,
+            round(wall_ms, 2),
+            round(1000.0 / wall_ms, 1),
+            round(speedups[shard_count], 2),
+            N_RECORDS // shard_count,
+        )
+
+    if cpus >= 4:
+        assert speedups[2] >= 1.5, (
+            f"expected >= 1.5x at 2 shards on a {cpus}-CPU host, "
+            f"got {speedups[2]:.2f}x"
+        )
+        note = f"speedup gate: PASSED (>= 1.5x at 2 shards on {cpus} CPUs)"
+    else:
+        note = (
+            f"speedup gate: SKIPPED — host exposes only {cpus} usable "
+            f"CPU(s); shard parallelism cannot beat one shard here"
+        )
+    write_result(
+        "ablation_distributed_search", table.render() + "\n" + note
+    )

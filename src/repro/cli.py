@@ -14,8 +14,13 @@ deployment for a user driving it from a shell:
   (:mod:`repro.analysis.staticcheck`);
 * ``serve``    — run the networked query service (:mod:`repro.service`)
   over an encrypted records file, optionally durable via ``--data-dir``;
+* ``coordinate`` — run the distributed front-end
+  (:mod:`repro.service.coordinator`) over ``--shard host:port`` backends;
+  it holds no key material, only the partition map;
 * ``query``    — tokenize a circle client-side and search a running
   service over TCP (and/or upload a records file with ``--upload``);
+  ``--via-coordinator`` first verifies the endpoint really is a
+  coordinator and reports per-shard health;
 * ``store``    — offline operations on a ``--data-dir`` record store:
   ``verify`` (read-only integrity check), ``compact`` (drop tombstoned
   records), ``stats`` (snapshot counters).
@@ -138,6 +143,39 @@ def build_parser() -> argparse.ArgumentParser:
         "and deletes are logged here and replayed on restart",
     )
 
+    coordinate = sub.add_parser(
+        "coordinate",
+        help="run the distributed front-end over backend shards",
+    )
+    coordinate.add_argument(
+        "--shard", action="append", required=True, metavar="HOST:PORT",
+        help="backend shard address (repeat for each shard)",
+    )
+    coordinate.add_argument("--host", default="127.0.0.1")
+    coordinate.add_argument(
+        "--port", type=int, default=0, help="0 picks an ephemeral port"
+    )
+    coordinate.add_argument(
+        "--port-file", type=Path, default=None,
+        help="write the bound port here once listening",
+    )
+    coordinate.add_argument("--max-pending", type=int, default=32)
+    coordinate.add_argument("--default-deadline-ms", type=float, default=None)
+    coordinate.add_argument(
+        "--shard-timeout-s", type=float, default=30.0,
+        help="socket timeout for each backend call",
+    )
+    coordinate.add_argument(
+        "--data-dir", type=Path, default=None,
+        help="directory for the persisted partition map (created if "
+        "absent); a restarted coordinator reloads it and migrates records "
+        "off shards that left the configured set",
+    )
+    coordinate.add_argument(
+        "--rebalance", action="store_true",
+        help="even out per-shard record counts before serving",
+    )
+
     query = sub.add_parser(
         "query", help="search a running service over TCP"
     )
@@ -158,6 +196,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--stats", action="store_true",
         help="also print the server's metrics snapshot",
+    )
+    query.add_argument(
+        "--via-coordinator", action="store_true",
+        help="require the endpoint to be a coordinator and report "
+        "per-shard health before querying",
     )
 
     store = sub.add_parser(
@@ -387,8 +430,49 @@ def _cmd_serve(args, out) -> int:
     return 0
 
 
+def _cmd_coordinate(args, out) -> int:
+    import asyncio
+
+    from repro.service import Coordinator, CoordinatorConfig
+
+    config = CoordinatorConfig(
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        default_deadline_ms=args.default_deadline_ms,
+        shard_timeout_s=args.shard_timeout_s,
+    )
+    coordinator = Coordinator(args.shard, config, data_dir=args.data_dir)
+    if coordinator.needs_reconcile:
+        moved = coordinator.reconcile_membership()
+        print(
+            f"migrated {sum(moved.values())} record(s) off departed "
+            f"shard(s): {', '.join(sorted(moved))}",
+            file=out,
+        )
+    if args.rebalance:
+        moved = coordinator.rebalance()
+        print(f"rebalanced {moved} record(s)", file=out)
+
+    async def main() -> None:
+        port = await coordinator.start()
+        if args.port_file is not None:
+            args.port_file.write_text(str(port))
+        print(
+            f"coordinating {len(coordinator.shards)} shard(s) on "
+            f"{args.host}:{port} "
+            f"({coordinator.partition_map.record_count} records mapped)",
+            file=out, flush=True,
+        )
+        await coordinator.run()
+
+    asyncio.run(main())
+    print("drained, bye", file=out, flush=True)
+    return 0
+
+
 def _cmd_query(args, out) -> int:
-    from repro.errors import ParameterError
+    from repro.errors import ParameterError, ShardUnavailableError
     from repro.service import ServiceClient
 
     wants_search = args.center is not None or args.radius is not None
@@ -402,6 +486,19 @@ def _cmd_query(args, out) -> int:
     scheme, key = load_crse2_key(args.key.read_bytes())
     rng = _rng(args.seed)
     client = ServiceClient(args.host, args.port, timeout_s=args.timeout_s)
+    if args.via_coordinator:
+        health = client.health()
+        if not health.get("coordinator"):
+            raise ParameterError(
+                f"{args.host}:{args.port} is not a coordinator "
+                "(plain servers do not advertise the shards capability)"
+            )
+        print(
+            f"coordinator {health.get('status')}: "
+            f"{health.get('shards_healthy')}/{health.get('shards_total')} "
+            f"shard(s) healthy, {health.get('records')} records",
+            file=out,
+        )
     if args.upload is not None:
         from repro.cloud.messages import UploadDataset, UploadRecord
 
@@ -423,9 +520,20 @@ def _cmd_query(args, out) -> int:
         token = scheme.gen_token(
             key, circle, rng, hide_radius_to=args.hide_to
         )
-        response, stats = client.search(
-            encode_token(scheme, token), deadline_ms=args.deadline_ms
-        )
+        try:
+            response, stats = client.search(
+                encode_token(scheme, token), deadline_ms=args.deadline_ms
+            )
+        except ShardUnavailableError as exc:
+            # Degraded, not silent: show what the reachable shards could
+            # attest to, then fail with the typed error.
+            print(
+                f"partial matches: {sorted(exc.partial_identifiers)} "
+                f"(from {sum(1 for r in exc.shards if r.get('ok'))} of "
+                f"{len(exc.shards)} shards)",
+                file=out, flush=True,
+            )
+            raise
         print(f"matches: {sorted(response.identifiers)}", file=out)
         if stats:
             print(
@@ -513,6 +621,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "lint": _cmd_lint,
     "serve": _cmd_serve,
+    "coordinate": _cmd_coordinate,
     "query": _cmd_query,
     "store": _cmd_store,
 }

@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.cloud.codec import decode_ciphertext, decode_token
+from repro.cloud.codec import decode_ciphertext, decode_token, encode_ciphertext
 from repro.cloud.messages import (
     DeleteRequest,
     FetchRequest,
@@ -158,6 +158,36 @@ class CloudServer:
                 )
             contents.append((identifier, self._contents[identifier]))
         return FetchResponse(contents=tuple(contents))
+
+    def export_records(
+        self, identifiers: tuple[int, ...]
+    ) -> tuple[tuple[int, bytes, bytes], ...]:
+        """Re-encode stored records for migration to another shard.
+
+        Returns ``(identifier, payload_bytes, content_bytes)`` rows — the
+        codec ciphertext plus the (possibly empty) encrypted content.
+        Nothing beyond the paper's leakage is revealed: both byte strings
+        are exactly what this honest-but-curious server already holds.
+
+        Raises:
+            ProtocolError: For an unknown identifier.
+        """
+        by_id = {record.identifier: record for record in self._records}
+        rows = []
+        for identifier in identifiers:
+            record = by_id.get(identifier)
+            if record is None:
+                raise ProtocolError(
+                    f"no stored record for identifier {identifier}"
+                )
+            rows.append(
+                (
+                    identifier,
+                    encode_ciphertext(self.scheme, record.ciphertext),
+                    self._contents.get(identifier, b""),
+                )
+            )
+        return tuple(rows)
 
     def handle_delete(self, message: DeleteRequest) -> int:
         """Remove records (the trivially-dynamic upside of linear search).

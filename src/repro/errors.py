@@ -69,6 +69,28 @@ class ServiceConnectionError(ServiceError):
     """The client could not reach the server, even after retries."""
 
 
+class ShardUnavailableError(ServiceError):
+    """A backend shard failed mid-fan-out at the distributed coordinator.
+
+    The coordinator answers with everything the *reachable* shards could
+    attest to: ``partial_identifiers`` holds the merged matches from shards
+    that did answer, and ``shards`` holds one report dict per shard
+    (``addr``, ``ok``, plus per-shard detail) so the caller can see exactly
+    which partition of the dataset the partial answer covers.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        partial_identifiers: tuple[int, ...] = (),
+        shards: tuple[dict, ...] = (),
+    ):
+        """Wrap *message* with the partial evidence gathered before failure."""
+        super().__init__(message)
+        self.partial_identifiers = tuple(partial_identifiers)
+        self.shards = tuple(shards)
+
+
 class StorageError(ReproError):
     """Base class for errors raised by the durable record store.
 

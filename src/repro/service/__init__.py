@@ -16,7 +16,15 @@ runnable client/server system:
   timeouts and exponential-backoff-with-jitter retries that distinguishes
   retryable (connect failures, BUSY) from non-retryable (protocol) errors;
 * :mod:`repro.service.metrics` — per-verb counters and latency histograms
-  exposed through the ``stats`` verb.
+  exposed through the ``stats`` verb;
+* :mod:`repro.service.coordinator` — a distributed front-end that owns a
+  persisted partition map, fans searches out to N backend servers
+  concurrently, merges matches and per-shard stats, and degrades to a
+  typed ``SHARD_UNAVAILABLE`` error carrying partial results when a
+  backend dies mid-fan-out;
+* :mod:`repro.service.harness` — :class:`~repro.service.harness.ServerThread`,
+  which runs any of these servers on a private event loop in a daemon
+  thread so tests and benchmarks can stand up whole clusters in-process.
 
 Durability is optional: hand :class:`ServiceServer` an open
 :class:`~repro.storage.RecordStore` and every upload/delete is logged to
@@ -33,13 +41,26 @@ that are properties of the deployment, not of the ciphertexts.
 """
 
 from repro.service.client import RetryPolicy, ServiceClient
+from repro.service.coordinator import (
+    Coordinator,
+    CoordinatorConfig,
+    PartitionMap,
+    ShardSpec,
+)
 from repro.service.engine import SearchEngine
-from repro.service.server import ServiceConfig, ServiceServer
+from repro.service.harness import ServerThread
+from repro.service.server import FramedServer, ServiceConfig, ServiceServer
 
 __all__ = [
+    "Coordinator",
+    "CoordinatorConfig",
+    "FramedServer",
+    "PartitionMap",
     "RetryPolicy",
+    "ServerThread",
     "ServiceClient",
     "SearchEngine",
     "ServiceConfig",
     "ServiceServer",
+    "ShardSpec",
 ]

@@ -37,11 +37,28 @@ from repro.errors import (
     ServiceBusyError,
     ServiceConnectionError,
     ServiceError,
+    ShardUnavailableError,
     WireFormatError,
 )
 from repro.service import protocol
 
 __all__ = ["RetryPolicy", "ServiceClient"]
+
+
+def _partial_identifiers(fields: dict) -> tuple[int, ...]:
+    """Partial match ids riding on a SHARD_UNAVAILABLE error reply.
+
+    Raises:
+        WireFormatError: If the field is present but malformed.
+    """
+    identifiers = fields.get("identifiers")
+    if identifiers is None:
+        return ()
+    if not isinstance(identifiers, list) or not all(
+        isinstance(i, int) for i in identifiers
+    ):
+        raise WireFormatError("partial identifiers must be a list of ints")
+    return tuple(identifiers)
 
 
 class RetryPolicy:
@@ -166,7 +183,14 @@ class ServiceClient:
                 time.sleep(self.retry.delay_s(retry_index, self._rng))
                 retry_index += 1
                 continue
-            if reply.request_id not in (request_id, 0):
+            # Id 0 is the server's "I could not even parse your request
+            # id" placeholder — legitimate only on *error* replies (the
+            # framing/envelope failed before the id was read).  A success
+            # reply must always echo our id; accepting 0 there would let
+            # a confused server hand us another request's answer.
+            if reply.request_id != request_id and not (
+                reply.request_id == 0 and not reply.ok
+            ):
                 raise ProtocolError(
                     f"reply for request {reply.request_id}, "
                     f"expected {request_id}"
@@ -184,6 +208,12 @@ class ServiceClient:
                 raise DeadlineExceededError(reply.error_message)
             if reply.error_code == protocol.ERR_PROTOCOL:
                 raise ProtocolError(reply.error_message)
+            if reply.error_code == protocol.ERR_SHARD_UNAVAILABLE:
+                raise ShardUnavailableError(
+                    reply.error_message,
+                    partial_identifiers=_partial_identifiers(reply.fields),
+                    shards=protocol.shard_reports_from_fields(reply.fields),
+                )
             raise ServiceError(
                 f"{reply.error_code}: {reply.error_message}"
             )
@@ -256,6 +286,24 @@ class ServiceClient:
                 raise WireFormatError("malformed fetch reply entry")
             out[entry[0]] = base64.b64decode(entry[1].encode("ascii"))
         return out
+
+    def export(
+        self, identifiers: tuple[int, ...]
+    ) -> tuple[tuple[int, bytes, bytes], ...]:
+        """Fetch records *with* their searchable payload bytes.
+
+        Used by the coordinator to migrate records between shards on a
+        membership change: the returned ``(identifier, payload, content)``
+        rows are exactly what an upload to another shard needs.
+        """
+        fields = self._request(
+            "fetch",
+            {
+                **protocol.fetch_fields(FetchRequest(identifiers=identifiers)),
+                "payloads": True,
+            },
+        )
+        return protocol.export_rows_from_fields(fields)
 
     def delete(self, identifiers: tuple[int, ...]) -> int:
         """Delete records by identifier; returns how many were removed."""

@@ -1,0 +1,790 @@
+"""Distributed search: a coordinator fanning out to backend shards.
+
+The :class:`Coordinator` is a front-end speaking the same framed wire
+protocol as :class:`~repro.service.server.ServiceServer` — clients cannot
+tell the difference on the happy path — but it stores no records itself.
+It owns only the :class:`PartitionMap` (which record identifier lives on
+which backend) and routes every verb:
+
+* **upload** — new records are assigned to the least-loaded shard and the
+  per-shard sub-batches are uploaded concurrently; the partition map is
+  persisted (atomic tmp+rename, same discipline as the storage manifest)
+  recording exactly the assignments the shards acked.
+* **search** — the token is fanned out to *every* shard concurrently (the
+  dataset is partitioned, so each shard scans only its slice), matched
+  identifiers are merged, and the per-shard
+  :class:`~repro.cloud.server.SearchStats` are aggregated: scan counts
+  sum, wall-clock is the slowest shard — the paper's multi-instance
+  parallel-search model, now over real processes.
+* **fetch / delete** — routed to the owning shard(s) via the map.
+
+Failure semantics are explicit rather than optimistic.  A dead shard
+turns the reply into a typed ``SHARD_UNAVAILABLE`` error that still
+carries the partial results the reachable shards attested to, plus one
+report per shard saying who answered.  A ``BUSY`` shard is retried by
+that shard's own client (independent backoff) without re-querying shards
+that already answered.  Deadlines propagate: each shard receives the
+budget that remains after coordinator-side elapsed time.
+
+The coordinator never holds key material and never decodes tokens or
+ciphertexts — it routes opaque bytes.  Its view (which shard stores how
+many records, which shards matched per query) is a subset of what the
+shards themselves already observe, so the paper's leakage function is
+unchanged; only its bookkeeping is now split across machines.
+
+Membership changes are handled offline (before serving) by
+:meth:`Coordinator.reconcile_membership` and :meth:`Coordinator.rebalance`:
+records are migrated shard-to-shard via payload-bearing fetches (the
+``shards`` capability of :mod:`repro.service.protocol`) and the map is
+rewritten only after the receiving shard acked.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cloud.messages import FetchResponse, UploadDataset, UploadRecord
+from repro.errors import (
+    ParameterError,
+    ProtocolError,
+    ReproError,
+    ShardUnavailableError,
+    StorageError,
+)
+from repro.service import protocol
+from repro.service.client import ServiceClient
+from repro.service.server import FramedServer
+from repro.storage.manifest import fsync_directory
+
+__all__ = [
+    "PARTITION_FILENAME",
+    "ShardSpec",
+    "PartitionMap",
+    "CoordinatorConfig",
+    "Coordinator",
+]
+
+#: On-disk name of the persisted partition map inside the coordinator's
+#: data directory.
+PARTITION_FILENAME = "PARTITION.json"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Network address of one backend shard."""
+
+    host: str
+    port: int
+
+    @property
+    def addr(self) -> str:
+        """The canonical ``host:port`` string used in maps and reports."""
+        return f"{self.host}:{self.port}"
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse a ``host:port`` string (as given to ``--shard``).
+
+        Raises:
+            ParameterError: If *text* is not ``host:port`` with a valid
+                port number.
+        """
+        host, sep, port_text = text.rpartition(":")
+        if not sep or not host:
+            raise ParameterError(f"shard address {text!r} is not host:port")
+        try:
+            port = int(port_text)
+        except ValueError as exc:
+            raise ParameterError(
+                f"shard address {text!r} has a non-numeric port"
+            ) from exc
+        if not 0 < port < 65536:
+            raise ParameterError(f"shard port {port} out of range")
+        return cls(host=host, port=port)
+
+
+class PartitionMap:
+    """Which record identifier lives on which shard.
+
+    This is the only state the coordinator owns.  It is deliberately tiny
+    (ints and address strings — no ciphertext bytes) and is persisted with
+    the same atomic tmp+rename+fsync discipline as the storage layer's
+    manifest, so a crashed coordinator restarts with a map describing a
+    set of assignments every involved shard actually acked.
+    """
+
+    VERSION = 1
+
+    def __init__(self, shards=(), assignments=None):
+        """Create a map over *shards* (addr strings) with *assignments*."""
+        self.shards: list[str] = list(shards)
+        self.assignments: dict[int, str] = dict(assignments or {})
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def owner(self, identifier: int) -> str | None:
+        """The addr storing *identifier*, or ``None`` if unknown."""
+        return self.assignments.get(identifier)
+
+    def ids_on(self, addr: str) -> tuple[int, ...]:
+        """All identifiers assigned to *addr*, sorted."""
+        return tuple(
+            sorted(i for i, a in self.assignments.items() if a == addr)
+        )
+
+    def counts(self) -> dict[str, int]:
+        """Record count per shard addr (zero entries included)."""
+        counts = {addr: 0 for addr in self.shards}
+        for addr in self.assignments.values():
+            counts[addr] = counts.get(addr, 0) + 1
+        return counts
+
+    @property
+    def record_count(self) -> int:
+        """Total records assigned across all shards."""
+        return len(self.assignments)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready form (sorted for deterministic bytes)."""
+        return {
+            "version": self.VERSION,
+            "shards": list(self.shards),
+            "assignments": [
+                [identifier, addr]
+                for identifier, addr in sorted(self.assignments.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, raw) -> "PartitionMap":
+        """Rebuild a map from :meth:`to_dict` output.
+
+        Raises:
+            StorageError: On a malformed or wrong-version document.
+        """
+        if not isinstance(raw, dict) or raw.get("version") != cls.VERSION:
+            raise StorageError("partition map: unsupported document")
+        shards = raw.get("shards")
+        if not isinstance(shards, list) or not all(
+            isinstance(a, str) for a in shards
+        ):
+            raise StorageError("partition map: shards must be addr strings")
+        entries = raw.get("assignments")
+        if not isinstance(entries, list):
+            raise StorageError("partition map: assignments must be a list")
+        assignments = {}
+        for entry in entries:
+            if (
+                not isinstance(entry, list)
+                or len(entry) != 2
+                or not isinstance(entry[0], int)
+                or isinstance(entry[0], bool)
+                or not isinstance(entry[1], str)
+            ):
+                raise StorageError(
+                    "partition map: each assignment must be [id, addr]"
+                )
+            if entry[0] in assignments:
+                raise StorageError(
+                    f"partition map: identifier {entry[0]} assigned twice"
+                )
+            assignments[entry[0]] = entry[1]
+        return cls(shards=shards, assignments=assignments)
+
+    @classmethod
+    def load(cls, directory: Path) -> "PartitionMap | None":
+        """Load the persisted map from *directory*, or ``None`` if absent.
+
+        Raises:
+            StorageError: If the file exists but is malformed.
+        """
+        path = Path(directory) / PARTITION_FILENAME
+        if not path.exists():
+            return None
+        try:
+            raw = json.loads(path.read_text("utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StorageError(f"partition map unreadable: {exc}") from exc
+        return cls.from_dict(raw)
+
+    def save(self, directory: Path) -> None:
+        """Atomically persist the map into *directory*.
+
+        Same crash discipline as the storage manifest: write a temp file,
+        fsync it, rename over the target, fsync the directory — a crash
+        at any point leaves either the old map or the new one, never a
+        torn file.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        target = directory / PARTITION_FILENAME
+        tmp = directory / (PARTITION_FILENAME + ".tmp")
+        data = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(target)
+        fsync_directory(directory)
+
+
+@dataclass(frozen=True)
+class CoordinatorConfig:
+    """Tunables for one coordinator instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_pending: int = 32
+    default_deadline_ms: float | None = None
+    max_deadline_ms: float = 60_000.0
+    drain_timeout_s: float = 10.0
+    #: Socket timeout for each backend call (connect + reply).
+    shard_timeout_s: float = 30.0
+
+
+def _default_client_factory(spec: ShardSpec, timeout_s: float) -> ServiceClient:
+    return ServiceClient(spec.host, spec.port, timeout_s=timeout_s)
+
+
+class Coordinator(FramedServer):
+    """Front-end server that routes every verb across backend shards."""
+
+    def __init__(
+        self,
+        shards,
+        config: CoordinatorConfig | None = None,
+        data_dir: Path | str | None = None,
+        client_factory=None,
+    ):
+        """Assemble the coordinator (does not bind the port yet).
+
+        Args:
+            shards: The configured backend :class:`ShardSpec` list (or
+                ``host:port`` strings); must be non-empty and unique.
+            config: Coordinator tunables.
+            data_dir: Directory for the persisted partition map.  When
+                given, an existing map is loaded (so a restarted
+                coordinator knows where every record lives) and every
+                successful mutation rewrites it atomically.  ``None``
+                keeps the map in memory only — fine for tests.
+            client_factory: ``(ShardSpec, timeout_s) -> ServiceClient``
+                hook for tests that need to interpose on shard traffic.
+
+        A persisted map that assigns records to shards no longer in the
+        configured set is loaded as-is, but the coordinator refuses to
+        *serve* until :meth:`reconcile_membership` has migrated those
+        records — silently orphaning data is not an option.
+
+        Raises:
+            ParameterError: On an empty or duplicated shard list.
+        """
+        super().__init__(config or CoordinatorConfig())
+        specs = [
+            s if isinstance(s, ShardSpec) else ShardSpec.parse(s)
+            for s in shards
+        ]
+        if not specs:
+            raise ParameterError("coordinator needs at least one shard")
+        if len({s.addr for s in specs}) != len(specs):
+            raise ParameterError("duplicate shard addresses")
+        self.shards: tuple[ShardSpec, ...] = tuple(specs)
+        self._by_addr = {s.addr: s for s in self.shards}
+        self.data_dir = None if data_dir is None else Path(data_dir)
+        self._client_factory = client_factory or _default_client_factory
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(4, 2 * len(self.shards)),
+            thread_name_prefix="coord",
+        )
+        loaded = (
+            PartitionMap.load(self.data_dir)
+            if self.data_dir is not None
+            else None
+        )
+        if loaded is None:
+            self.partition_map = PartitionMap(
+                shards=[s.addr for s in self.shards]
+            )
+        else:
+            loaded.shards = [s.addr for s in self.shards]
+            self.partition_map = loaded
+        self._persist_map()
+
+    @property
+    def needs_reconcile(self) -> bool:
+        """Whether the map assigns records to unconfigured shards."""
+        configured = {s.addr for s in self.shards}
+        return any(
+            addr not in configured
+            for addr in self.partition_map.assignments.values()
+        )
+
+    async def start(self) -> int:
+        """Bind and start accepting connections (see ``FramedServer``).
+
+        Raises:
+            StorageError: If the partition map still assigns records to
+                shards outside the configured set — run
+                :meth:`reconcile_membership` first.
+        """
+        if self.needs_reconcile:
+            raise StorageError(
+                "partition map assigns records to unconfigured shards; "
+                "run membership reconciliation before serving"
+            )
+        return await super().start()
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _persist_map(self) -> None:
+        if self.data_dir is not None:
+            self.partition_map.save(self.data_dir)
+
+    def _client(self, spec: ShardSpec) -> ServiceClient:
+        return self._client_factory(spec, self.config.shard_timeout_s)
+
+    def _close_resources(self, drain: bool) -> None:
+        self._pool.shutdown(wait=drain)
+
+    async def _fan_out(self, specs, call):
+        """Run blocking *call(spec)* for every shard concurrently.
+
+        Returns ``[(spec, outcome), ...]`` in *specs* order, where each
+        outcome is either the call's return value or the exception it
+        raised (shard failures must not cancel sibling calls — partial
+        results are the whole point).
+        """
+        loop = asyncio.get_running_loop()
+        futures = [
+            loop.run_in_executor(self._pool, call, spec) for spec in specs
+        ]
+        outcomes = await asyncio.gather(*futures, return_exceptions=True)
+        return list(zip(specs, outcomes))
+
+    def _remaining_ms(
+        self, request: protocol.Request, started: float
+    ) -> float | None:
+        """The deadline budget left for backend calls, if any."""
+        deadline = self._effective_deadline(request)
+        if deadline is None:
+            return None
+        elapsed = (time.perf_counter() - started) * 1000.0
+        # Never send a non-positive deadline: the coordinator's own
+        # wait_for is about to fire anyway; 1 ms keeps the wire valid.
+        return max(deadline - elapsed, 1.0)
+
+    @staticmethod
+    def _group_by_owner(identifiers, partition_map) -> dict[str, list[int]]:
+        grouped: dict[str, list[int]] = {}
+        for identifier in identifiers:
+            addr = partition_map.owner(identifier)
+            if addr is None:
+                continue
+            grouped.setdefault(addr, []).append(identifier)
+        return grouped
+
+    # ------------------------------------------------------------------
+    # Verb handlers
+    # ------------------------------------------------------------------
+    def _handlers(self) -> dict:
+        return {
+            "upload": self._do_upload,
+            "search": self._do_search,
+            "fetch": self._do_fetch,
+            "delete": self._do_delete,
+            "health": self._do_health,
+            "stats": self._do_stats,
+        }
+
+    async def _do_search(self, request: protocol.Request) -> dict:
+        message = protocol.search_from_fields(request.fields)
+        started = time.perf_counter()
+        budget = self._remaining_ms(request, started)
+
+        def ask(spec: ShardSpec):
+            return self._client(spec).search(
+                message.payload, deadline_ms=budget
+            )
+
+        outcomes = await self._fan_out(self.shards, ask)
+        merged: set[int] = set()
+        reports: list[dict] = []
+        failures: list[str] = []
+        records_scanned = 0
+        sub_token_evaluations = 0
+        elapsed_ms = 0.0
+        partitions: list[float] = []
+        for spec, outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                reports.append(
+                    {"addr": spec.addr, "ok": False, "error": str(outcome)}
+                )
+                failures.append(spec.addr)
+                continue
+            response, stats = outcome
+            merged.update(response.identifiers)
+            reports.append(
+                {
+                    "addr": spec.addr,
+                    "ok": True,
+                    "records": len(response.identifiers),
+                    "stats": stats,
+                }
+            )
+            records_scanned += int(stats.get("records_scanned", 0))
+            sub_token_evaluations += int(
+                stats.get("sub_token_evaluations", 0)
+            )
+            elapsed_ms = max(elapsed_ms, float(stats.get("elapsed_ms", 0.0)))
+            shard_partitions = stats.get("partitions")
+            if isinstance(shard_partitions, list):
+                partitions.extend(float(ms) for ms in shard_partitions)
+        identifiers = sorted(merged)
+        if failures:
+            raise ShardUnavailableError(
+                f"search lost shard(s) {', '.join(failures)}; partial "
+                f"results cover {len(self.shards) - len(failures)} of "
+                f"{len(self.shards)} shards",
+                partial_identifiers=tuple(identifiers),
+                shards=tuple(reports),
+            )
+        return {
+            "identifiers": identifiers,
+            "stats": {
+                "records_scanned": records_scanned,
+                "matches": len(identifiers),
+                "sub_token_evaluations": sub_token_evaluations,
+                "elapsed_ms": elapsed_ms,
+                "partitions": partitions,
+            },
+            **protocol.shard_reports_fields(reports),
+        }
+
+    async def _do_upload(self, request: protocol.Request) -> dict:
+        message = protocol.upload_from_fields(request.fields)
+        # Duplicate checks mirror the single server: within the batch and
+        # against everything already assigned anywhere in the cluster.
+        seen = set(self.partition_map.assignments)
+        for record in message.records:
+            if record.identifier in seen:
+                raise ProtocolError(
+                    f"duplicate record identifier {record.identifier}"
+                )
+            seen.add(record.identifier)
+        # Assign each record to the currently least-loaded shard, counting
+        # this batch's own assignments so one big upload spreads evenly.
+        counts = self.partition_map.counts()
+        per_shard: dict[str, list[UploadRecord]] = {}
+        for record in message.records:
+            addr = min(
+                (s.addr for s in self.shards), key=lambda a: (counts[a], a)
+            )
+            counts[addr] += 1
+            per_shard.setdefault(addr, []).append(record)
+
+        def push(spec: ShardSpec):
+            batch = per_shard.get(spec.addr)
+            if not batch:
+                return None
+            return self._client(spec).upload(
+                UploadDataset(records=tuple(batch))
+            )
+
+        targets = [s for s in self.shards if per_shard.get(s.addr)]
+        outcomes = await self._fan_out(targets, push)
+        reports: list[dict] = []
+        failures: list[str] = []
+        stored_ids: list[int] = []
+        for spec, outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                reports.append(
+                    {"addr": spec.addr, "ok": False, "error": str(outcome)}
+                )
+                failures.append(spec.addr)
+                continue
+            acked = per_shard[spec.addr]
+            for record in acked:
+                self.partition_map.assignments[record.identifier] = spec.addr
+                stored_ids.append(record.identifier)
+            reports.append(
+                {"addr": spec.addr, "ok": True, "stored": len(acked)}
+            )
+        # Persist exactly what was acked — a crash right here leaves a map
+        # describing records the shards really hold, nothing more.
+        self._persist_map()
+        if failures:
+            raise ShardUnavailableError(
+                f"upload lost shard(s) {', '.join(failures)}; "
+                f"{len(stored_ids)} of {len(message.records)} records "
+                "were stored",
+                partial_identifiers=tuple(sorted(stored_ids)),
+                shards=tuple(reports),
+            )
+        return {
+            "stored": self.partition_map.record_count,
+            **protocol.shard_reports_fields(reports),
+        }
+
+    async def _do_delete(self, request: protocol.Request) -> dict:
+        message = protocol.delete_from_fields(request.fields)
+        grouped = self._group_by_owner(message.identifiers, self.partition_map)
+        specs = [self._by_addr[addr] for addr in sorted(grouped)]
+
+        def drop(spec: ShardSpec):
+            return self._client(spec).delete(tuple(grouped[spec.addr]))
+
+        outcomes = await self._fan_out(specs, drop)
+        reports: list[dict] = []
+        failures: list[str] = []
+        removed = 0
+        for spec, outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                reports.append(
+                    {"addr": spec.addr, "ok": False, "error": str(outcome)}
+                )
+                failures.append(spec.addr)
+                continue
+            for identifier in grouped[spec.addr]:
+                self.partition_map.assignments.pop(identifier, None)
+            removed += outcome
+            reports.append(
+                {"addr": spec.addr, "ok": True, "removed": outcome}
+            )
+        self._persist_map()
+        if failures:
+            raise ShardUnavailableError(
+                f"delete lost shard(s) {', '.join(failures)}",
+                shards=tuple(reports),
+            )
+        return {
+            "removed": removed,
+            **protocol.shard_reports_fields(reports),
+        }
+
+    async def _do_fetch(self, request: protocol.Request) -> dict:
+        message = protocol.fetch_from_fields(request.fields)
+        wants_payloads = protocol.fetch_wants_payloads(request.fields)
+        for identifier in message.identifiers:
+            if self.partition_map.owner(identifier) is None:
+                raise ProtocolError(
+                    f"no stored content for identifier {identifier}"
+                )
+        grouped = self._group_by_owner(message.identifiers, self.partition_map)
+        specs = [self._by_addr[addr] for addr in sorted(grouped)]
+
+        def pull(spec: ShardSpec):
+            client = self._client(spec)
+            wanted = tuple(grouped[spec.addr])
+            if wants_payloads:
+                return client.export(wanted)
+            return client.fetch(wanted)
+
+        outcomes = await self._fan_out(specs, pull)
+        failures = [
+            spec.addr
+            for spec, outcome in outcomes
+            if isinstance(outcome, BaseException)
+        ]
+        if failures:
+            raise ShardUnavailableError(
+                f"fetch lost shard(s) {', '.join(failures)}",
+                shards=tuple(
+                    {
+                        "addr": spec.addr,
+                        "ok": not isinstance(outcome, BaseException),
+                    }
+                    for spec, outcome in outcomes
+                ),
+            )
+        if wants_payloads:
+            by_id = {
+                row[0]: row
+                for _, outcome in outcomes
+                for row in outcome
+            }
+            return protocol.export_rows_fields(
+                [by_id[i] for i in message.identifiers]
+            )
+        contents: dict[int, bytes] = {}
+        for _, outcome in outcomes:
+            contents.update(outcome)
+        return protocol.fetch_response_fields(
+            FetchResponse(
+                contents=tuple(
+                    (i, contents[i]) for i in message.identifiers
+                )
+            )
+        )
+
+    async def _do_health(self, request: protocol.Request) -> dict:
+        def probe(spec: ShardSpec):
+            return self._client(spec).health()
+
+        outcomes = await self._fan_out(self.shards, probe)
+        reports: list[dict] = []
+        healthy = 0
+        for spec, outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                reports.append(
+                    {"addr": spec.addr, "ok": False, "error": str(outcome)}
+                )
+                continue
+            healthy += 1
+            reports.append(
+                {
+                    "addr": spec.addr,
+                    "ok": True,
+                    "status": str(outcome.get("status", "")),
+                    "records": int(outcome.get("records", 0)),
+                }
+            )
+        return {
+            "status": "ok" if healthy == len(self.shards) else "degraded",
+            "coordinator": True,
+            "records": self.partition_map.record_count,
+            "shards_healthy": healthy,
+            "shards_total": len(self.shards),
+            **protocol.shard_reports_fields(reports),
+        }
+
+    async def _do_stats(self, request: protocol.Request) -> dict:
+        def probe(spec: ShardSpec):
+            return self._client(spec).stats()
+
+        outcomes = await self._fan_out(self.shards, probe)
+        reports = []
+        for spec, outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                reports.append(
+                    {"addr": spec.addr, "ok": False, "error": str(outcome)}
+                )
+            else:
+                reports.append(
+                    {"addr": spec.addr, "ok": True, "stats": outcome}
+                )
+        snapshot = self.metrics.snapshot()
+        snapshot["records"] = self.partition_map.record_count
+        snapshot["queue"] = {
+            "in_flight": self._in_flight,
+            "limit": self.config.max_pending,
+        }
+        snapshot["partition"] = {
+            "counts": self.partition_map.counts(),
+        }
+        snapshot.update(protocol.shard_reports_fields(reports))
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Membership (offline — run before serving)
+    # ------------------------------------------------------------------
+    def reconcile_membership(self) -> dict[str, int]:
+        """Migrate records off shards that left the configured set.
+
+        Called offline (the CLI runs it before binding the listen port)
+        when the persisted map names shards the operator no longer
+        configured.  Every record on a departed-but-reachable shard is
+        exported (payload-bearing fetch), re-uploaded to the least-loaded
+        surviving shard, deleted from the donor, and the map is persisted
+        after each batch — so a crash mid-migration loses nothing: the
+        record is either still on the donor (map unchanged) or acked by
+        the receiver (map updated).
+
+        Returns:
+            ``{donor_addr: records_moved}`` for each departed shard.
+
+        Raises:
+            ShardUnavailableError: If a departed shard is unreachable (its
+                records cannot be recovered by the coordinator alone).
+        """
+        configured = {s.addr for s in self.shards}
+        departed = sorted(
+            {
+                addr
+                for addr in self.partition_map.assignments.values()
+                if addr not in configured
+            }
+        )
+        moved: dict[str, int] = {}
+        for donor_addr in departed:
+            donor = ShardSpec.parse(donor_addr)
+            doomed = self.partition_map.ids_on(donor_addr)
+            try:
+                rows = self._client(donor).export(doomed)
+            except ReproError as exc:
+                raise ShardUnavailableError(
+                    f"departed shard {donor_addr} is unreachable; "
+                    f"{len(doomed)} records cannot be migrated: {exc}"
+                ) from exc
+            self._migrate_rows(rows, from_addr=donor_addr)
+            try:
+                self._client(donor).delete(doomed)
+            except ReproError:
+                # The receivers acked and the map is persisted; a stale
+                # copy on a shard that is leaving the cluster is garbage,
+                # not a correctness problem.
+                pass
+            moved[donor_addr] = len(doomed)
+        return moved
+
+    def rebalance(self, batch_size: int = 64) -> int:
+        """Even out record counts after shards were added.
+
+        Moves records from the most- to the least-loaded shard in batches
+        (export → upload → delete → persist map) until no shard is more
+        than one record above the mean.  Each batch is crash-safe in the
+        same way as :meth:`reconcile_membership`.
+
+        Returns:
+            Total records moved.
+        """
+        moved = 0
+        while True:
+            counts = self.partition_map.counts()
+            donor_addr = max(counts, key=lambda a: (counts[a], a))
+            receiver_addr = min(counts, key=lambda a: (counts[a], a))
+            if counts[donor_addr] - counts[receiver_addr] <= 1:
+                return moved
+            surplus = counts[donor_addr] - (
+                self.partition_map.record_count // len(self.shards)
+            )
+            chunk = self.partition_map.ids_on(donor_addr)[
+                : max(1, min(batch_size, surplus))
+            ]
+            rows = self._client(self._by_addr[donor_addr]).export(chunk)
+            self._migrate_rows(
+                rows, from_addr=donor_addr, to_addr=receiver_addr
+            )
+            self._client(self._by_addr[donor_addr]).delete(chunk)
+            moved += len(chunk)
+
+    def _migrate_rows(self, rows, from_addr: str, to_addr=None) -> None:
+        """Upload exported *rows* to surviving shards and persist the map."""
+        counts = self.partition_map.counts()
+        per_shard: dict[str, list[UploadRecord]] = {}
+        for identifier, payload, content in rows:
+            addr = to_addr or min(
+                (s.addr for s in self.shards), key=lambda a: (counts[a], a)
+            )
+            counts[addr] += 1
+            per_shard.setdefault(addr, []).append(
+                UploadRecord(
+                    identifier=identifier, payload=payload, content=content
+                )
+            )
+        for addr, batch in per_shard.items():
+            self._client(self._by_addr[addr]).upload(
+                UploadDataset(records=tuple(batch))
+            )
+            for record in batch:
+                self.partition_map.assignments[record.identifier] = addr
+        self._persist_map()

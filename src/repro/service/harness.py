@@ -1,0 +1,87 @@
+"""Run a framed-protocol server on a background thread.
+
+Both the single-host :class:`~repro.service.server.ServiceServer` and the
+distributed :class:`~repro.service.coordinator.Coordinator` are asyncio
+servers; tests and benchmarks usually want them *alongside* blocking
+client code in the same process.  :class:`ServerThread` owns a private
+event loop on a daemon thread, starts the server there, and exposes the
+bound port — so a test can stand up a whole multi-shard cluster (several
+``ServiceServer`` threads plus a ``Coordinator`` thread) in-process,
+where every shard's leakage log remains directly inspectable.
+
+This is deliberately a library module, not test scaffolding: the
+distributed benchmark and the parity/fault suites all build clusters from
+it, and keeping one implementation avoids three slightly-different
+copies of the start/stop dance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+__all__ = ["ServerThread"]
+
+
+class ServerThread:
+    """Run any ``FramedServer`` on its own event loop in a daemon thread."""
+
+    def __init__(self, server):
+        """Wrap *server* (not yet started; call :meth:`start`)."""
+        self.server = server
+        self.port: int | None = None
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        finally:
+            self._loop.close()
+
+    async def _main(self) -> None:
+        try:
+            self.port = await self.server.start()
+        except BaseException as exc:  # startup failures surface in start()
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.server.serve_forever()
+
+    def start(self, timeout_s: float = 10.0) -> int:
+        """Start the thread; block until the port is bound; return it.
+
+        Raises:
+            TimeoutError: If the server fails to come up in time.
+            Exception: Whatever ``server.start()`` raised on its loop.
+        """
+        self._thread.start()
+        if not self._ready.wait(timeout_s):
+            raise TimeoutError("server did not start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.port is not None
+        return self.port
+
+    def stop(self, drain: bool = True, timeout_s: float = 15.0) -> None:
+        """Shut the server down and join the thread."""
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(drain=drain), self._loop
+        )
+        future.result(timeout=timeout_s)
+        self._thread.join(timeout=timeout_s)
+
+    def __enter__(self) -> "ServerThread":
+        """Context-manager entry: start and return self."""
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: stop with drain."""
+        self.stop()

@@ -23,6 +23,16 @@ operational verbs::
     delete  — dynamic record removal                   (DeleteRequest)
     health  — liveness + record/worker counts          (operational)
     stats   — per-verb counters + latency histograms   (operational)
+
+The **shards capability** extends the same envelopes for distributed
+search: coordinator replies may carry a ``shards`` list (one validated
+report per backend, see :func:`shard_reports_fields`), error replies may
+carry partial-result fields beside the typed error object (how
+``SHARD_UNAVAILABLE`` ships the matches reachable shards attested to),
+and a ``fetch`` request may set ``"payloads": true`` to retrieve codec
+ciphertext bytes for shard-to-shard record migration.  A plain server
+never emits these fields, so old clients and new servers interoperate
+unchanged.
 """
 
 from __future__ import annotations
@@ -53,6 +63,7 @@ __all__ = [
     "ERR_DEADLINE",
     "ERR_PROTOCOL",
     "ERR_INTERNAL",
+    "ERR_SHARD_UNAVAILABLE",
     "Request",
     "Reply",
     "encode_frame",
@@ -72,6 +83,11 @@ __all__ = [
     "fetch_fields",
     "fetch_from_fields",
     "fetch_response_fields",
+    "fetch_wants_payloads",
+    "export_rows_fields",
+    "export_rows_from_fields",
+    "shard_reports_fields",
+    "shard_reports_from_fields",
     "delete_fields",
     "delete_from_fields",
 ]
@@ -89,10 +105,14 @@ VERBS = ("upload", "search", "fetch", "delete", "health", "stats")
 
 # Typed error codes carried in error replies.  BUSY is the only retryable
 # server-originated code: the bounded queue rejected the request.
+# SHARD_UNAVAILABLE is coordinator-originated: a backend shard died
+# mid-fan-out, and the error envelope carries the partial results the
+# reachable shards attested to.
 ERR_BUSY = "BUSY"
 ERR_DEADLINE = "DEADLINE"
 ERR_PROTOCOL = "PROTOCOL"
 ERR_INTERNAL = "INTERNAL"
+ERR_SHARD_UNAVAILABLE = "SHARD_UNAVAILABLE"
 
 
 @dataclass(frozen=True)
@@ -285,22 +305,40 @@ def encode_ok(request_id: int, fields: dict | None = None) -> bytes:
 
 
 def encode_error(
-    request_id: int, code: str, message: str, retryable: bool = False
+    request_id: int,
+    code: str,
+    message: str,
+    retryable: bool = False,
+    fields: dict | None = None,
 ) -> bytes:
-    """Build a typed error reply frame body."""
-    return json.dumps(
-        {
-            "v": PROTOCOL_VERSION,
-            "id": request_id,
-            "ok": False,
-            "error": {
-                "code": code,
-                "message": message,
-                "retryable": retryable,
-            },
+    """Build a typed error reply frame body.
+
+    Args:
+        request_id: The request being answered (0 when the id was not
+            parseable from the request).
+        code: One of the ``ERR_*`` codes.
+        message: Human-readable detail.
+        retryable: Whether a blind client retry can help.
+        fields: Extra envelope fields carried *beside* the error object —
+            the coordinator uses this to attach partial results (the
+            ``identifiers``/``shards`` a ``SHARD_UNAVAILABLE`` reply can
+            still attest to).
+    """
+    envelope: dict[str, Any] = {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "code": code,
+            "message": message,
+            "retryable": retryable,
         },
-        separators=(",", ":"),
-    ).encode()
+    }
+    if fields:
+        for key, value in fields.items():
+            if key not in envelope:
+                envelope[key] = value
+    return json.dumps(envelope, separators=(",", ":")).encode()
 
 
 def decode_reply(body: bytes) -> Reply:
@@ -319,12 +357,13 @@ def decode_reply(body: bytes) -> Reply:
     envelope.pop("v")
     if ok:
         return Reply(request_id=request_id, ok=True, fields=envelope)
-    error = envelope.get("error")
+    error = envelope.pop("error", None)
     if not isinstance(error, dict) or not isinstance(error.get("code"), str):
         raise WireFormatError("error reply must carry a typed error object")
     return Reply(
         request_id=request_id,
         ok=False,
+        fields=envelope,
         error_code=error["code"],
         error_message=str(error.get("message", "")),
         retryable=bool(error.get("retryable", False)),
@@ -427,6 +466,125 @@ def fetch_response_fields(response: FetchResponse) -> dict:
             [identifier, _b64(body)] for identifier, body in response.contents
         ]
     }
+
+
+def fetch_wants_payloads(fields: dict) -> bool:
+    """Whether a ``fetch`` request asks for searchable payload bytes too.
+
+    A plain fetch returns only record *contents* (the traditionally
+    encrypted bodies).  A fetch with ``"payloads": true`` additionally
+    returns the codec ciphertext bytes — the coordinator uses this to
+    migrate records between shards during a rebalance.  Nothing new is
+    exposed: both byte strings are exactly what the honest-but-curious
+    server already stores.
+
+    Raises:
+        WireFormatError: If the flag is present but not a boolean.
+    """
+    flag = fields.get("payloads", False)
+    if not isinstance(flag, bool):
+        raise WireFormatError("'payloads' must be a boolean")
+    return flag
+
+
+def export_rows_fields(rows) -> dict:
+    """Envelope fields for a payload-bearing ``fetch`` success reply.
+
+    Each row is ``(identifier, payload_bytes, content_bytes)``.
+    """
+    return {
+        "records": [
+            [identifier, _b64(payload), _b64(content)]
+            for identifier, payload, content in rows
+        ]
+    }
+
+
+def export_rows_from_fields(fields: dict) -> tuple[tuple[int, bytes, bytes], ...]:
+    """Rebuild ``(identifier, payload, content)`` rows from an export reply.
+
+    Raises:
+        WireFormatError: On malformed row entries.
+    """
+    entries = fields.get("records")
+    if not isinstance(entries, list):
+        raise WireFormatError("export reply must carry a list of records")
+    rows = []
+    for entry in entries:
+        if (
+            not isinstance(entry, list)
+            or len(entry) != 3
+            or not isinstance(entry[0], int)
+        ):
+            raise WireFormatError(
+                "each export row must be [id, payload, content]"
+            )
+        rows.append(
+            (
+                entry[0],
+                _unb64(entry[1], "export payload"),
+                _unb64(entry[2], "export content"),
+            )
+        )
+    return tuple(rows)
+
+
+#: Keys a shard report may carry beyond the required ``addr``/``ok`` pair.
+_SHARD_REPORT_OPTIONAL = {
+    "records": int,
+    "stored": int,
+    "removed": int,
+    "error": str,
+    "status": str,
+    "stats": dict,
+}
+
+
+def shard_reports_fields(reports) -> dict:
+    """Envelope ``shards`` field for a coordinator reply.
+
+    Each report is a dict with at least ``addr`` (``host:port``) and
+    ``ok``; optional detail keys (``records``, ``stored``, ``removed``,
+    ``error``, ``status``, ``stats``) describe what that shard answered.
+    """
+    return {"shards": [dict(report) for report in reports]}
+
+
+def shard_reports_from_fields(fields: dict) -> tuple[dict, ...]:
+    """Validate and return the ``shards`` reports of a coordinator reply.
+
+    Returns an empty tuple when the field is absent (the reply came from a
+    plain single server, which never emits it).
+
+    Raises:
+        WireFormatError: On a malformed ``shards`` field.
+    """
+    entries = fields.get("shards")
+    if entries is None:
+        return ()
+    if not isinstance(entries, list):
+        raise WireFormatError("'shards' must be a list of shard reports")
+    reports = []
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise WireFormatError("each shard report must be an object")
+        if not isinstance(entry.get("addr"), str):
+            raise WireFormatError("shard report needs a string 'addr'")
+        if not isinstance(entry.get("ok"), bool):
+            raise WireFormatError("shard report needs a boolean 'ok'")
+        for key, expected in _SHARD_REPORT_OPTIONAL.items():
+            if key not in entry:
+                continue
+            value = entry[key]
+            if not isinstance(value, expected) or (
+                expected is int and isinstance(value, bool)
+            ):
+                raise WireFormatError(
+                    f"shard report field {key!r} must be "
+                    f"{expected.__name__}"
+                )
+        reports.append(dict(entry))
+    return tuple(reports)
 
 
 def delete_fields(message: DeleteRequest) -> dict:

@@ -1,12 +1,19 @@
-"""The asyncio TCP server fronting the CRSE cloud.
+"""The asyncio TCP servers fronting the CRSE cloud.
+
+Two servers speak the framed protocol of :mod:`repro.service.protocol`:
+the single-host :class:`ServiceServer` defined here, and the distributed
+:class:`~repro.service.coordinator.Coordinator` that fans out to several
+of them.  Everything they share — accepting connections, framing, the
+bounded request queue, deadline enforcement, graceful drain, per-verb
+metrics — lives in :class:`FramedServer`; subclasses contribute only
+their verb handlers and the resources to close on shutdown.
 
 One :class:`ServiceServer` owns three things: a
 :class:`~repro.cloud.server.CloudServer` (record/content store and the
 paper's leakage log), a :class:`~repro.service.engine.SearchEngine` (the
 multi-core scan), and a :class:`~repro.service.metrics.ServiceMetrics`
-registry.  Connections speak the framed protocol of
-:mod:`repro.service.protocol`; requests on one connection are handled in
-order, concurrency comes from concurrent connections.
+registry.  Requests on one connection are handled in order, concurrency
+comes from concurrent connections.
 
 Robustness semantics:
 
@@ -19,7 +26,7 @@ Robustness semantics:
   finishes (and is discarded) in its worker — a deliberate trade: portable
   preemption of a running scan is not worth the complexity here.
 * **Graceful drain** — ``shutdown(drain=True)`` (wired to SIGTERM/SIGINT
-  by :meth:`ServiceServer.run`) stops accepting connections, lets in-flight
+  by :meth:`FramedServer.run`) stops accepting connections, lets in-flight
   requests finish up to ``drain_timeout_s``, then closes the engine.
 * **Framing faults** — a malformed envelope gets a ``PROTOCOL`` error
   reply and the connection lives on; a broken *frame* (truncated or
@@ -37,14 +44,20 @@ from repro.cloud.codec import decode_token
 from repro.cloud.messages import UploadDataset, UploadRecord
 from repro.cloud.server import CloudServer, SearchStats
 from repro.core.base import CRSEScheme
-from repro.errors import ProtocolError, ReproError, StorageError, WireFormatError
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    ShardUnavailableError,
+    StorageError,
+    WireFormatError,
+)
 from repro.service import protocol
 from repro.service.engine import SearchEngine
 from repro.service.metrics import ServiceMetrics
 from repro.service.schemeio import scheme_header
 from repro.storage import RecordStore
 
-__all__ = ["ServiceConfig", "ServiceServer"]
+__all__ = ["FramedServer", "ServiceConfig", "ServiceServer"]
 
 
 @dataclass(frozen=True)
@@ -70,43 +83,24 @@ def _stats_fields(stats: SearchStats) -> dict:
     }
 
 
-class ServiceServer:
-    """A networked CRSE query service around one scheme instance."""
+class FramedServer:
+    """Shared machinery for servers speaking the framed wire protocol.
 
-    def __init__(
-        self,
-        scheme: CRSEScheme,
-        config: ServiceConfig | None = None,
-        engine: SearchEngine | None = None,
-        store: RecordStore | None = None,
-    ):
-        """Assemble the service (does not bind the port yet — see start()).
+    Owns the listener lifecycle (bind, serve, signal-driven drain), the
+    per-connection read/decode/dispatch/reply loop, the bounded in-flight
+    queue with typed ``BUSY`` rejections, deadline enforcement, and the
+    translation of library exceptions into typed error replies.
 
-        Args:
-            scheme: Public scheme parameters (the server never sees keys).
-            config: Service tunables; defaults are test-friendly.
-            engine: An externally built engine (tests inject fakes here);
-                by default one is created with ``config.workers`` shards.
-            store: An open :class:`~repro.storage.RecordStore`.  When
-                given, every upload/delete is durably logged *before* the
-                client is acked, and the store's live records are replayed
-                into the cloud state and engine shards right here — so a
-                server restarted on the same data directory comes back
-                with the dataset (and upload/delete leakage counters) it
-                had when it died.
+    Subclasses implement :meth:`_handlers` (verb → async handler) and may
+    override :meth:`_close_resources` to release what they own on
+    shutdown.  The ``config`` object must carry ``host``, ``port``,
+    ``max_pending``, ``default_deadline_ms``, ``max_deadline_ms``, and
+    ``drain_timeout_s``.
+    """
 
-        Raises:
-            StorageError: If *store* was created for a different scheme
-                than the one this server is being built around.
-        """
-        self.config = config or ServiceConfig()
-        self.cloud = CloudServer(scheme)
-        self.engine = (
-            engine
-            if engine is not None
-            else SearchEngine(scheme, workers=self.config.workers)
-        )
-        self.store = store
+    def __init__(self, config):
+        """Wire up lifecycle state (the port is bound later, in start())."""
+        self.config = config
         self.metrics = ServiceMetrics()
         self.port: int | None = None
         self._server: asyncio.Server | None = None
@@ -114,57 +108,25 @@ class ServiceServer:
         self._draining = False
         self._stopped = asyncio.Event()
         self._conn_tasks: set[asyncio.Task] = set()
-        if store is not None:
-            self._replay_store(store)
 
-    def _replay_store(self, store: RecordStore) -> None:
-        """Load the store's live records into the cloud state and engine.
+    # ------------------------------------------------------------------
+    # Subclass surface
+    # ------------------------------------------------------------------
+    def _handlers(self) -> dict:
+        """Verb → async handler map; subclasses must provide it."""
+        raise NotImplementedError
 
-        After replay the leakage log's ``uploads`` counter is reset to the
-        store's *logical* upload count: the replay itself arrives as one
-        big batch, but the history a curious server observed was N client
-        uploads, and that history — not the restart artifact — is what the
-        log must preserve.
+    def _close_resources(self, drain: bool) -> None:
+        """Release subclass-owned resources during shutdown (hook)."""
+
+    async def _prepare(self) -> None:
+        """Allocate subclass resources before the listener binds (hook).
+
+        Anything that forks worker processes must happen here: a child
+        forked after the listening socket exists inherits it, and an
+        orphaned child then holds the port open after a SIGKILL of the
+        server — connects hang instead of being refused.
         """
-        ours = scheme_header(self.cloud.scheme)
-        if store.scheme_header != ours:
-            raise StorageError(
-                "store was created for a different scheme than this server "
-                "(public header mismatch)"
-            )
-        records = tuple(
-            UploadRecord(identifier=identifier, payload=payload, content=content)
-            for identifier, payload, content in store.scan()
-        )
-        if records:
-            self.cloud.handle_upload(UploadDataset(records=records))
-            self.engine.load(
-                (record.identifier, record.payload) for record in records
-            )
-        self.cloud.log.uploads = store.uploads
-
-    def ingest(self, message: UploadDataset) -> int:
-        """Validate, durably log (if durable), and apply one upload batch.
-
-        The ordering is the durability contract: the batch reaches the
-        disk log *before* any in-memory state changes, so an ack implies
-        the records survive a crash, and a crash before the ack leaves no
-        partial state (recovery truncates the uncommitted batch).
-
-        Returns:
-            Total records stored after the batch.
-        """
-        prepared = self.cloud.prepare_upload(message)
-        if self.store is not None:
-            self.store.append(
-                (record.identifier, record.payload, record.content)
-                for record in message.records
-            )
-        self.cloud.commit_upload(prepared)
-        self.engine.load(
-            (record.identifier, record.payload) for record in message.records
-        )
-        return self.cloud.record_count
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -175,6 +137,7 @@ class ServiceServer:
         Returns:
             The bound port (useful with ``port=0``).
         """
+        await self._prepare()
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port
         )
@@ -225,9 +188,7 @@ class ServiceServer:
             task.cancel()
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
-        self.engine.close(wait=drain)
-        if self.store is not None:
-            self.store.close()
+        self._close_resources(drain)
         self._stopped.set()
 
     # ------------------------------------------------------------------
@@ -326,6 +287,18 @@ class ServiceServer:
                 protocol.ERR_DEADLINE,
                 f"deadline of {self._effective_deadline(request)} ms exceeded",
             )
+        except ShardUnavailableError as exc:
+            # A coordinator fan-out lost a shard: the typed error carries
+            # the partial results the reachable shards attested to.
+            return protocol.encode_error(
+                request.request_id,
+                protocol.ERR_SHARD_UNAVAILABLE,
+                str(exc),
+                fields={
+                    "identifiers": list(exc.partial_identifiers),
+                    **protocol.shard_reports_fields(exc.shards),
+                },
+            )
         except (WireFormatError, ProtocolError) as exc:
             return protocol.encode_error(
                 request.request_id, protocol.ERR_PROTOCOL, str(exc)
@@ -348,14 +321,7 @@ class ServiceServer:
         return min(deadline, self.config.max_deadline_ms)
 
     async def _dispatch(self, request: protocol.Request) -> dict:
-        handler = {
-            "upload": self._do_upload,
-            "search": self._do_search,
-            "fetch": self._do_fetch,
-            "delete": self._do_delete,
-            "health": self._do_health,
-            "stats": self._do_stats,
-        }[request.verb]
+        handler = self._handlers()[request.verb]
         deadline_ms = self._effective_deadline(request)
         work = handler(request)
         if deadline_ms is None:
@@ -368,6 +334,124 @@ class ServiceServer:
         return await asyncio.get_running_loop().run_in_executor(
             None, func, *args
         )
+
+
+class ServiceServer(FramedServer):
+    """A networked CRSE query service around one scheme instance."""
+
+    def __init__(
+        self,
+        scheme: CRSEScheme,
+        config: ServiceConfig | None = None,
+        engine: SearchEngine | None = None,
+        store: RecordStore | None = None,
+    ):
+        """Assemble the service (does not bind the port yet — see start()).
+
+        Args:
+            scheme: Public scheme parameters (the server never sees keys).
+            config: Service tunables; defaults are test-friendly.
+            engine: An externally built engine (tests inject fakes here);
+                by default one is created with ``config.workers`` shards.
+            store: An open :class:`~repro.storage.RecordStore`.  When
+                given, every upload/delete is durably logged *before* the
+                client is acked, and the store's live records are replayed
+                into the cloud state and engine shards right here — so a
+                server restarted on the same data directory comes back
+                with the dataset (and upload/delete leakage counters) it
+                had when it died.
+
+        Raises:
+            StorageError: If *store* was created for a different scheme
+                than the one this server is being built around.
+        """
+        super().__init__(config or ServiceConfig())
+        self.cloud = CloudServer(scheme)
+        self.engine = (
+            engine
+            if engine is not None
+            else SearchEngine(scheme, workers=self.config.workers)
+        )
+        self.store = store
+        if store is not None:
+            self._replay_store(store)
+
+    def _replay_store(self, store: RecordStore) -> None:
+        """Load the store's live records into the cloud state and engine.
+
+        After replay the leakage log's ``uploads`` counter is reset to the
+        store's *logical* upload count: the replay itself arrives as one
+        big batch, but the history a curious server observed was N client
+        uploads, and that history — not the restart artifact — is what the
+        log must preserve.
+        """
+        ours = scheme_header(self.cloud.scheme)
+        if store.scheme_header != ours:
+            raise StorageError(
+                "store was created for a different scheme than this server "
+                "(public header mismatch)"
+            )
+        records = tuple(
+            UploadRecord(identifier=identifier, payload=payload, content=content)
+            for identifier, payload, content in store.scan()
+        )
+        if records:
+            self.cloud.handle_upload(UploadDataset(records=records))
+            self.engine.load(
+                (record.identifier, record.payload) for record in records
+            )
+        self.cloud.log.uploads = store.uploads
+
+    async def _prepare(self) -> None:
+        """Fork every engine worker before the listening socket exists.
+
+        Workers forked lazily (on the first upload) would inherit the
+        bound listener; after a SIGKILL of this process the orphaned
+        workers would then keep the port accepting-but-unserved, turning
+        a fast connection-refused into a full client timeout.
+        """
+        await self._offload(self.engine.warm_up)
+
+    def ingest(self, message: UploadDataset) -> int:
+        """Validate, durably log (if durable), and apply one upload batch.
+
+        The ordering is the durability contract: the batch reaches the
+        disk log *before* any in-memory state changes, so an ack implies
+        the records survive a crash, and a crash before the ack leaves no
+        partial state (recovery truncates the uncommitted batch).
+
+        Returns:
+            Total records stored after the batch.
+        """
+        prepared = self.cloud.prepare_upload(message)
+        if self.store is not None:
+            self.store.append(
+                (record.identifier, record.payload, record.content)
+                for record in message.records
+            )
+        self.cloud.commit_upload(prepared)
+        self.engine.load(
+            (record.identifier, record.payload) for record in message.records
+        )
+        return self.cloud.record_count
+
+    def _close_resources(self, drain: bool) -> None:
+        self.engine.close(wait=drain)
+        if self.store is not None:
+            self.store.close()
+
+    # ------------------------------------------------------------------
+    # Verb handlers
+    # ------------------------------------------------------------------
+    def _handlers(self) -> dict:
+        return {
+            "upload": self._do_upload,
+            "search": self._do_search,
+            "fetch": self._do_fetch,
+            "delete": self._do_delete,
+            "health": self._do_health,
+            "stats": self._do_stats,
+        }
 
     async def _do_upload(self, request: protocol.Request) -> dict:
         message = protocol.upload_from_fields(request.fields)
@@ -397,6 +481,11 @@ class ServiceServer:
 
     async def _do_fetch(self, request: protocol.Request) -> dict:
         message = protocol.fetch_from_fields(request.fields)
+        if protocol.fetch_wants_payloads(request.fields):
+            rows = await self._offload(
+                self.cloud.export_records, message.identifiers
+            )
+            return protocol.export_rows_fields(rows)
         response = await self._offload(self.cloud.handle_fetch, message)
         return protocol.fetch_response_fields(response)
 

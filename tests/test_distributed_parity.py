@@ -1,0 +1,217 @@
+"""Correctness parity: distributed search ≡ single server ≡ plaintext.
+
+The coordinator must be an invisible optimization.  For a seeded dataset
+and a battery of queries, these tests pin three-way equality of results:
+
+* the coordinator's merged matches,
+* a single ``ServiceServer`` holding the whole dataset,
+* the plaintext circle filter (ground truth).
+
+And — the paper's security story — leakage parity: partitioning the
+dataset across shards must not change what the (collective) servers
+observe.  The union of the per-shard leakage logs has to equal the
+single server's log, query by query: same token sizes, same sub-token
+counts, and access patterns that union to the same identifier sets.
+Every server here runs in-process so each shard's
+:class:`~repro.cloud.server._ServerLog` is directly inspectable.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.plaintext import linear_circular_search
+from repro.cloud.codec import encode_ciphertext, encode_token
+from repro.cloud.messages import UploadDataset, UploadRecord
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace, point_in_circle
+from repro.core.provision import group_for_crse2
+from repro.service import (
+    Coordinator,
+    CoordinatorConfig,
+    ServerThread,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+)
+
+N_RECORDS = 24
+N_SHARDS = 3
+QUERIES = (
+    ((8, 8), 3),
+    ((8, 8), 3),  # repeated query: search-pattern parity
+    ((20, 20), 4),
+    ((1, 1), 2),
+    ((16, 5), 0),
+)
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(0xD157)
+    space = DataSpace(2, 32)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    key = scheme.gen_key(rng)
+    points = [
+        (rng.randrange(space.t), rng.randrange(space.t))
+        for _ in range(N_RECORDS)
+    ]
+    dataset = UploadDataset(
+        records=tuple(
+            UploadRecord(
+                identifier=i,
+                payload=encode_ciphertext(scheme, scheme.encrypt(key, p, rng)),
+                content=f"record-{i}".encode(),
+            )
+            for i, p in enumerate(points)
+        )
+    )
+    tokens = tuple(
+        encode_token(
+            scheme,
+            scheme.gen_token(key, Circle.from_radius(center, radius), rng),
+        )
+        for center, radius in QUERIES
+    )
+    return scheme, points, dataset, tokens
+
+
+@pytest.fixture(scope="module")
+def cluster(env):
+    """One single server and a 3-shard coordinator cluster, both queried."""
+    scheme, points, dataset, tokens = env
+    single = ServerThread(ServiceServer(scheme, config=ServiceConfig()))
+    backends = [
+        ServerThread(ServiceServer(scheme, config=ServiceConfig()))
+        for _ in range(N_SHARDS)
+    ]
+    single_port = single.start()
+    ports = [backend.start() for backend in backends]
+    coordinator = ServerThread(
+        Coordinator(
+            [f"127.0.0.1:{port}" for port in ports], CoordinatorConfig()
+        )
+    )
+    coord_port = coordinator.start()
+    try:
+        single_client = ServiceClient("127.0.0.1", single_port)
+        coord_client = ServiceClient("127.0.0.1", coord_port)
+        single_client.upload(dataset)
+        coord_client.upload(dataset)
+        single_results = [single_client.search(t) for t in tokens]
+        coord_results = [coord_client.search(t) for t in tokens]
+        yield {
+            "single_server": single.server,
+            "shard_servers": [backend.server for backend in backends],
+            "coordinator": coordinator.server,
+            "single_results": single_results,
+            "coord_results": coord_results,
+        }
+    finally:
+        coordinator.stop()
+        for backend in backends:
+            backend.stop()
+        single.stop()
+
+
+class TestResultParity:
+    def test_coordinator_matches_single_server(self, cluster):
+        for (single_resp, _), (coord_resp, _) in zip(
+            cluster["single_results"], cluster["coord_results"]
+        ):
+            assert sorted(coord_resp.identifiers) == sorted(
+                single_resp.identifiers
+            )
+
+    def test_matches_equal_plaintext_filter(self, env, cluster):
+        _, points, _, _ = env
+        for (center, radius), (coord_resp, _) in zip(
+            QUERIES, cluster["coord_results"]
+        ):
+            circle = Circle.from_radius(center, radius)
+            expected_ids = sorted(
+                i
+                for i, point in enumerate(points)
+                if point_in_circle(point, circle)
+            )
+            assert sorted(coord_resp.identifiers) == expected_ids
+            # The matched points are exactly the plaintext baseline's.
+            assert sorted(
+                points[i] for i in coord_resp.identifiers
+            ) == sorted(linear_circular_search(points, circle))
+
+    def test_every_record_scanned_exactly_once(self, cluster):
+        for _, stats in cluster["coord_results"]:
+            assert stats["records_scanned"] == N_RECORDS
+            assert len(stats["partitions"]) == N_SHARDS
+
+    def test_aggregate_scan_work_matches_single_server(self, cluster):
+        for (_, single_stats), (_, coord_stats) in zip(
+            cluster["single_results"], cluster["coord_results"]
+        ):
+            assert (
+                coord_stats["sub_token_evaluations"]
+                == single_stats["sub_token_evaluations"]
+            )
+
+
+class TestLeakageParity:
+    """Union of per-shard logs == the single server's log."""
+
+    def test_size_pattern(self, cluster):
+        shard_logs = [s.cloud.log for s in cluster["shard_servers"]]
+        single_log = cluster["single_server"].cloud.log
+        assert (
+            sum(log.records_stored for log in shard_logs)
+            == single_log.records_stored
+            == N_RECORDS
+        )
+        # Every shard received exactly one upload batch, like the single
+        # server did: the coordinator splits bytes, not history.
+        assert [log.uploads for log in shard_logs] == [1] * N_SHARDS
+
+    def test_query_count(self, cluster):
+        single_log = cluster["single_server"].cloud.log
+        assert single_log.queries_served == len(QUERIES)
+        for server in cluster["shard_servers"]:
+            assert server.cloud.log.queries_served == len(QUERIES)
+
+    def test_token_size_pattern_identical_per_shard(self, cluster):
+        # The coordinator forwards the token verbatim, so every shard
+        # sees byte-identical tokens — including the repeated query,
+        # which repeats on every shard (search-pattern parity).
+        single_sizes = cluster["single_server"].cloud.log.token_sizes
+        for server in cluster["shard_servers"]:
+            assert server.cloud.log.token_sizes == single_sizes
+
+    def test_radius_pattern_identical_per_shard(self, cluster):
+        single_counts = cluster["single_server"].cloud.log.sub_token_counts
+        for server in cluster["shard_servers"]:
+            assert server.cloud.log.sub_token_counts == single_counts
+
+    def test_access_pattern_unions_to_single_server(self, cluster):
+        single_log = cluster["single_server"].cloud.log
+        shard_logs = [s.cloud.log for s in cluster["shard_servers"]]
+        for query_index in range(len(QUERIES)):
+            union = set()
+            for log in shard_logs:
+                hits = set(log.access_pattern[query_index])
+                assert not (union & hits), "records stored on two shards"
+                union |= hits
+            assert union == set(single_log.access_pattern[query_index])
+
+    def test_shards_partition_the_dataset(self, cluster):
+        counts = [
+            s.cloud.record_count for s in cluster["shard_servers"]
+        ]
+        assert sum(counts) == N_RECORDS
+        # Least-loaded assignment keeps the partition balanced.
+        assert max(counts) - min(counts) <= 1
+
+    def test_coordinator_reports_cover_all_shards(self, cluster):
+        coordinator = cluster["coordinator"]
+        addrs = {spec.addr for spec in coordinator.shards}
+        assert set(coordinator.partition_map.counts()) == addrs
+        assert coordinator.partition_map.record_count == N_RECORDS

@@ -214,3 +214,215 @@ class TestPayloadFields:
         response = FetchResponse(contents=((5, b"body"),))
         fields = protocol.fetch_response_fields(response)
         assert fields == {"contents": [[5, "Ym9keQ=="]]}
+
+
+class TestShardsCapability:
+    """The envelope extensions carrying distributed-search data."""
+
+    def test_error_reply_carries_partial_fields(self):
+        body = protocol.encode_error(
+            7,
+            protocol.ERR_SHARD_UNAVAILABLE,
+            "shard down",
+            fields={
+                "identifiers": [1, 2],
+                "shards": [{"addr": "h:1", "ok": False}],
+            },
+        )
+        reply = protocol.decode_reply(body)
+        assert not reply.ok
+        assert reply.error_code == protocol.ERR_SHARD_UNAVAILABLE
+        assert reply.fields["identifiers"] == [1, 2]
+        reports = protocol.shard_reports_from_fields(reply.fields)
+        assert reports == ({"addr": "h:1", "ok": False},)
+
+    def test_error_fields_cannot_shadow_reserved_keys(self):
+        body = protocol.encode_error(
+            7, protocol.ERR_INTERNAL, "x",
+            fields={"ok": True, "error": "gone", "id": 99, "extra": 1},
+        )
+        reply = protocol.decode_reply(body)
+        assert not reply.ok and reply.request_id == 7
+        assert reply.fields == {"extra": 1}
+
+    def test_shard_reports_roundtrip(self):
+        reports = (
+            {"addr": "a:1", "ok": True, "records": 3, "stats": {"x": 1}},
+            {"addr": "b:2", "ok": False, "error": "boom"},
+        )
+        fields = protocol.shard_reports_fields(reports)
+        assert protocol.shard_reports_from_fields(fields) == reports
+
+    def test_shard_reports_absent_is_empty(self):
+        assert protocol.shard_reports_from_fields({}) == ()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"shards": "nope"},
+            {"shards": [42]},
+            {"shards": [{"ok": True}]},
+            {"shards": [{"addr": "a:1"}]},
+            {"shards": [{"addr": "a:1", "ok": "yes"}]},
+            {"shards": [{"addr": "a:1", "ok": True, "records": "3"}]},
+            {"shards": [{"addr": "a:1", "ok": True, "records": True}]},
+            {"shards": [{"addr": "a:1", "ok": True, "stats": [1]}]},
+        ],
+    )
+    def test_malformed_shard_reports_rejected(self, bad):
+        with pytest.raises(WireFormatError):
+            protocol.shard_reports_from_fields(bad)
+
+    def test_fetch_wants_payloads_flag(self):
+        assert protocol.fetch_wants_payloads({}) is False
+        assert protocol.fetch_wants_payloads({"payloads": True}) is True
+        with pytest.raises(WireFormatError):
+            protocol.fetch_wants_payloads({"payloads": 1})
+
+    def test_export_rows_roundtrip(self):
+        rows = ((1, b"\x00pay", b"body"), (2, b"", b""))
+        fields = protocol.export_rows_fields(rows)
+        assert protocol.export_rows_from_fields(fields) == rows
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {},
+            {"records": 3},
+            {"records": [[1, "AA=="]]},
+            {"records": [["1", "AA==", "AA=="]]},
+            {"records": [[1, "not base64!!", "AA=="]]},
+        ],
+    )
+    def test_malformed_export_rows_rejected(self, bad):
+        with pytest.raises(WireFormatError):
+            protocol.export_rows_from_fields(bad)
+
+
+class TestProtocolFuzz:
+    """Seed-fixed fuzzing: random bytes and mutated envelopes must decode
+    cleanly or raise a *typed* error — never ``KeyError``/``TypeError``/
+    a hang.  The corpora are deterministic (fixed seeds) so a failure
+    reproduces."""
+
+    TYPED = (WireFormatError, ProtocolError)
+
+    def test_random_bytes_never_raise_untyped(self):
+        rng = __import__("random").Random(0xF022)
+        for _ in range(300):
+            blob = rng.randbytes(rng.randrange(0, 200))
+            for decoder in (protocol.decode_request, protocol.decode_reply):
+                try:
+                    decoder(blob)
+                except self.TYPED:
+                    pass
+
+    def test_mutated_json_envelopes_typed_or_valid(self):
+        import json as _json
+        import random as _random
+
+        rng = _random.Random(0xF0E2)
+        base_request = {
+            "v": 1, "verb": "search", "id": 3, "token": "AA==",
+            "deadline_ms": 50,
+        }
+        base_reply = {
+            "v": 1, "id": 3, "ok": False,
+            "error": {"code": "BUSY", "message": "m", "retryable": True},
+            "identifiers": [1],
+            "shards": [{"addr": "a:1", "ok": True, "records": 2}],
+        }
+        junk_values = (
+            None, True, False, 0, -1, 1.5, "", "x", [], [None], {}, {"a": 1},
+            "AAA", 2**40,
+        )
+        for base, decoder in (
+            (base_request, protocol.decode_request),
+            (base_reply, protocol.decode_reply),
+        ):
+            for _ in range(400):
+                envelope = _json.loads(_json.dumps(base))
+                for _ in range(rng.randrange(1, 3)):
+                    action = rng.randrange(3)
+                    key = rng.choice(sorted(envelope))
+                    if action == 0:
+                        envelope[key] = rng.choice(junk_values)
+                    elif action == 1:
+                        envelope.pop(key)
+                    else:
+                        envelope[f"junk_{rng.randrange(5)}"] = rng.choice(
+                            junk_values
+                        )
+                blob = _json.dumps(envelope).encode()
+                try:
+                    decoder(blob)
+                except self.TYPED:
+                    pass
+
+    def test_mutated_shards_fields_typed_or_valid(self):
+        import json as _json
+        import random as _random
+
+        rng = _random.Random(0x5A4D)
+        base = {
+            "identifiers": [1, 2],
+            "shards": [
+                {"addr": "a:1", "ok": True, "records": 2, "stats": {}},
+                {"addr": "b:2", "ok": False, "error": "x"},
+            ],
+            "records": [[1, "AA==", ""], [2, "", ""]],
+            "payloads": True,
+        }
+        junk = (None, True, 1, "s", [], [1], {}, {"addr": 3}, [["a"]])
+        validators = (
+            protocol.shard_reports_from_fields,
+            protocol.export_rows_from_fields,
+            protocol.fetch_wants_payloads,
+        )
+        for _ in range(500):
+            fields = _json.loads(_json.dumps(base))
+            target = rng.choice(sorted(fields))
+            if rng.random() < 0.5 and isinstance(fields[target], list):
+                if fields[target] and rng.random() < 0.5:
+                    victim = fields[target][rng.randrange(len(fields[target]))]
+                    if isinstance(victim, dict):
+                        victim[rng.choice(sorted(victim))] = rng.choice(junk)
+                    else:
+                        fields[target][
+                            rng.randrange(len(fields[target]))
+                        ] = rng.choice(junk)
+                else:
+                    fields[target].append(rng.choice(junk))
+            else:
+                fields[target] = rng.choice(junk)
+            for validator in validators:
+                try:
+                    validator(fields)
+                except self.TYPED:
+                    pass
+
+    def test_fuzzed_frames_on_live_connection(self):
+        """Random frames against a real reader: typed error or clean cut."""
+        import random as _random
+
+        rng = _random.Random(0xFEED)
+
+        async def feed(blob: bytes):
+            reader = asyncio.StreamReader()
+            reader.feed_data(blob)
+            reader.feed_eof()
+            frames = []
+            while True:
+                frame = await protocol.read_frame(reader)
+                if frame is None:
+                    return frames
+                frames.append(frame)
+
+        for _ in range(200):
+            blob = rng.randbytes(rng.randrange(0, 64))
+            if rng.random() < 0.3:  # sometimes a valid prefix, then junk
+                blob = protocol.encode_frame(b"{}") + blob
+            try:
+                asyncio.run(feed(blob))
+            except self.TYPED:
+                pass

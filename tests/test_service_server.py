@@ -367,3 +367,74 @@ class TestShutdown:
         # After drain the listener is gone.
         with pytest.raises(OSError):
             socket.create_connection(("127.0.0.1", port), timeout=0.5)
+
+
+class TestRequestIdCheck:
+    """Regression: a success reply must echo the request id.
+
+    The id-0 placeholder exists for servers that could not even parse the
+    request id out of a malformed frame — which can only ever be an
+    *error* reply.  A success reply carrying id 0 (or any other mismatch)
+    means the client would be accepting some other request's answer, so
+    it must be rejected as a protocol violation.
+    """
+
+    @staticmethod
+    def _one_shot_server(reply_builder):
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+
+        def serve() -> None:
+            conn, _ = listener.accept()
+            with conn:
+                body = protocol.recv_frame(conn)
+                request = protocol.decode_request(body)
+                protocol.send_frame(conn, reply_builder(request))
+            listener.close()
+
+        threading.Thread(target=serve, daemon=True).start()
+        return port
+
+    def _client(self, port) -> ServiceClient:
+        return ServiceClient(
+            "127.0.0.1", port, timeout_s=10.0,
+            retry=RetryPolicy(attempts=1),
+        )
+
+    def test_success_reply_with_zero_id_rejected(self):
+        port = self._one_shot_server(
+            lambda request: protocol.encode_ok(0, {"status": "ok"})
+        )
+        with pytest.raises(ProtocolError, match="reply for request 0"):
+            self._client(port).health()
+
+    def test_success_reply_with_wrong_id_rejected(self):
+        port = self._one_shot_server(
+            lambda request: protocol.encode_ok(
+                request.request_id + 1, {"status": "ok"}
+            )
+        )
+        with pytest.raises(ProtocolError, match="expected"):
+            self._client(port).health()
+
+    def test_error_reply_with_zero_id_accepted_as_typed_error(self):
+        port = self._one_shot_server(
+            lambda request: protocol.encode_error(
+                0, protocol.ERR_PROTOCOL, "could not parse your id"
+            )
+        )
+        with pytest.raises(ProtocolError, match="could not parse your id"):
+            self._client(port).health()
+
+    def test_error_reply_with_wrong_nonzero_id_rejected(self):
+        port = self._one_shot_server(
+            lambda request: protocol.encode_error(
+                request.request_id + 7, protocol.ERR_INTERNAL, "boom"
+            )
+        )
+        with pytest.raises(ProtocolError, match="reply for request"):
+            self._client(port).health()
+
+    def test_matching_id_still_accepted(self, live_server):
+        health = ServiceClient("127.0.0.1", live_server.port).health()
+        assert health["status"] == "ok"
