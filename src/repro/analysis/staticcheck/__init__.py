@@ -1,10 +1,20 @@
 """``reprolint`` — crypto-aware static analysis for this codebase.
 
-An AST-based lint engine with a rule registry (CRS001-CRS007), inline
-``# reprolint: ignore[RULE]`` suppressions, a baseline file for accepted
-pre-existing findings, and a CLI (``python -m repro.analysis.staticcheck``
-or ``python -m repro lint``).  See :mod:`repro.analysis.staticcheck.rules`
-for what each rule catches and why it matters for the scheme, and
+Two tiers:
+
+* A per-file AST lint engine with a rule registry (CRS001-CRS007),
+  inline ``# reprolint: ignore[RULE]`` suppressions, and a baseline file
+  for accepted pre-existing findings.
+* A project-wide (interprocedural) taint/concurrency tier
+  (:mod:`repro.analysis.staticcheck.flow`, CRS008-CRS011) enabled with
+  ``--flow``: it builds an import/call graph, computes per-function taint
+  summaries, and checks that secrets only cross trust boundaries through
+  approved sanitizers, plus async-hygiene rules for the service layer.
+
+CLI: ``python -m repro.analysis.staticcheck`` or ``python -m repro lint``
+(``--flow``, ``--strict``, ``--format sarif``).  See
+:mod:`repro.analysis.staticcheck.rules` for the per-file rules,
+:mod:`repro.analysis.staticcheck.flow.model` for the taint model, and
 ``docs/SECURITY.md`` for the user-facing rule table.
 """
 
@@ -21,17 +31,22 @@ from repro.analysis.staticcheck.engine import (
     active_rules,
     lint_paths,
 )
+from repro.analysis.staticcheck.flow import FLOW_RULES, analyze_flow
 from repro.analysis.staticcheck.rules import SECRET_WORDS
+from repro.analysis.staticcheck.sarif import to_sarif
 
 __all__ = [
     "BASELINE_FILENAME",
+    "FLOW_RULES",
     "Finding",
     "REGISTRY",
     "Rule",
     "SECRET_WORDS",
     "active_rules",
+    "analyze_flow",
     "lint_paths",
     "load_baseline",
     "partition_findings",
     "write_baseline",
+    "to_sarif",
 ]

@@ -30,11 +30,18 @@ __all__ = [
 
 BASELINE_FILENAME = ".reprolint-baseline.json"
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def load_baseline(path: Path | None) -> frozenset[str]:
     """Return the set of baselined fingerprints (empty for a missing file).
+
+    Version-1 files (whose fingerprints hashed the raw stripped snippet)
+    are accepted transparently: each entry's fingerprint is recomputed
+    from its stored ``rule``/``path``/``snippet`` fields under the
+    current normalized scheme, so old baselines keep suppressing the same
+    findings until rewritten with ``--write-baseline``.
 
     Raises:
         StaticAnalysisError: If the file exists but is malformed.
@@ -45,11 +52,15 @@ def load_baseline(path: Path | None) -> frozenset[str]:
         payload = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise StaticAnalysisError(f"malformed baseline {path}: {exc}") from exc
-    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") not in _SUPPORTED_VERSIONS
+    ):
         raise StaticAnalysisError(
             f"baseline {path} has unsupported format "
-            f"(expected version {_FORMAT_VERSION})"
+            f"(expected version in {_SUPPORTED_VERSIONS})"
         )
+    version = payload["version"]
     entries = payload.get("findings")
     if not isinstance(entries, list):
         raise StaticAnalysisError(f"baseline {path} lacks a findings list")
@@ -59,8 +70,23 @@ def load_baseline(path: Path | None) -> frozenset[str]:
             raise StaticAnalysisError(
                 f"baseline {path} entry missing a fingerprint: {entry!r}"
             )
-        fingerprints.add(str(entry["fingerprint"]))
+        if version < 2 and {"rule", "path", "snippet"} <= entry.keys():
+            fingerprints.add(_migrated_fingerprint(entry))
+        else:
+            fingerprints.add(str(entry["fingerprint"]))
     return frozenset(fingerprints)
+
+
+def _migrated_fingerprint(entry: dict) -> str:
+    """Recompute a v1 entry's fingerprint under the current scheme."""
+    return Finding(
+        rule=str(entry["rule"]),
+        path=str(entry["path"]),
+        line=int(entry.get("line", 1)),
+        col=0,
+        message=str(entry.get("message", "")),
+        snippet=str(entry["snippet"]),
+    ).fingerprint
 
 
 def write_baseline(path: Path, findings: Sequence[Finding]) -> None:

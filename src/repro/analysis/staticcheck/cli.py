@@ -4,9 +4,14 @@ Run as ``python -m repro.analysis.staticcheck [paths]`` or via the library
 CLI as ``python -m repro lint [paths]``.  Exit codes:
 
 * ``0`` — no new findings (clean, or everything suppressed/baselined);
-* ``1`` — at least one new finding;
+* ``1`` — at least one new finding (or, under ``--strict``, a stale
+  baseline entry);
 * ``2`` — the analyzer itself failed (bad path, malformed baseline,
   unknown rule selection).
+
+``--flow`` adds the project-wide taint/concurrency tier (CRS008–CRS011,
+see :mod:`repro.analysis.staticcheck.flow`); ``--format sarif`` emits a
+SARIF 2.1.0 log for CI code-scanning annotations.
 """
 
 from __future__ import annotations
@@ -23,7 +28,8 @@ from repro.analysis.staticcheck.baseline import (
     partition_findings,
     write_baseline,
 )
-from repro.analysis.staticcheck.engine import REGISTRY, lint_paths
+from repro.analysis.staticcheck.engine import REGISTRY, Finding, lint_paths
+from repro.analysis.staticcheck.flow.model import FLOW_RULE_INFO, FLOW_RULES
 from repro.errors import StaticAnalysisError
 
 __all__ = ["build_parser", "run_lint", "main"]
@@ -38,7 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="reprolint",
         description="Crypto-aware static analysis for the repro codebase "
-        "(rules CRS001-CRS007).",
+        "(per-file rules CRS001-CRS007; --flow adds the project-wide "
+        "taint/concurrency rules CRS008-CRS011).",
     )
     parser.add_argument(
         "paths",
@@ -48,9 +55,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
-        help="output format",
+        help="output format (sarif: SARIF 2.1.0 for CI annotations)",
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the project-wide taint/concurrency tier "
+        "(CRS008-CRS011)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="additionally fail when the baseline contains stale entries "
+        "(fingerprints matching no current finding)",
     )
     parser.add_argument(
         "--baseline",
@@ -112,6 +131,27 @@ def _print_rule_table(out: TextIO) -> None:
         rule = REGISTRY[rule_id]
         print(f"{rule_id}  {rule.title}", file=out)
         print(f"        {rule.rationale}", file=out)
+    for rule_id in sorted(FLOW_RULE_INFO):
+        title, rationale = FLOW_RULE_INFO[rule_id]
+        print(f"{rule_id}  {title} [--flow]", file=out)
+        print(f"        {rationale}", file=out)
+
+
+def _split_select(
+    select: str | None,
+) -> tuple[list[str] | None, list[str] | None, bool]:
+    """Split ``--select`` into (per-file ids, flow ids, any_flow).
+
+    Unknown-id validation for the per-file part stays with
+    :func:`active_rules`; flow ids are validated here since the flow tier
+    has no registry.
+    """
+    if not select:
+        return None, None, True
+    ids = [part.strip() for part in select.split(",") if part.strip()]
+    syntactic = [i for i in ids if i not in FLOW_RULES]
+    flow = [i for i in ids if i in FLOW_RULES]
+    return syntactic, flow, bool(flow)
 
 
 def run_lint(
@@ -123,6 +163,8 @@ def run_lint(
     write_baseline_file: bool = False,
     select: str | None = None,
     root: Path | None = None,
+    flow: bool = False,
+    strict: bool = False,
     out: TextIO | None = None,
 ) -> int:
     """Programmatic lint run shared by both CLI entry points.
@@ -134,9 +176,21 @@ def run_lint(
     out = out if out is not None else sys.stdout
     root = root if root is not None else Path.cwd()
     lint_targets = list(paths) if paths else _default_paths()
-    selected = select.split(",") if select else None
+    syntactic_select, flow_select, flow_wanted = _split_select(select)
     try:
-        findings = lint_paths(lint_targets, root=root, select=selected)
+        if syntactic_select == []:
+            findings = []  # --select named only flow rules
+        else:
+            findings = lint_paths(
+                lint_targets, root=root, select=syntactic_select
+            )
+        if flow and flow_wanted:
+            from repro.analysis.staticcheck.flow import analyze_flow
+
+            findings = sorted(
+                [*findings, *analyze_flow(lint_targets, root, flow_select)],
+                key=Finding.sort_key,
+            )
         baseline_path = _resolve_baseline_path(baseline, no_baseline, root)
         if write_baseline_file:
             target = baseline_path or (root / BASELINE_FILENAME)
@@ -151,13 +205,22 @@ def run_lint(
         print(f"reprolint: error: {exc}", file=sys.stderr)
         return EXIT_ERROR
     new, suppressed = partition_findings(findings, known)
+    stale: list[str] = []
+    if strict:
+        current = {f.fingerprint for f in findings}
+        stale = sorted(known - current)
 
-    if output_format == "json":
+    if output_format == "sarif":
+        from repro.analysis.staticcheck.sarif import to_sarif
+
+        print(json.dumps(to_sarif(new), indent=2), file=out)
+    elif output_format == "json":
         payload = {
             "findings": [f.to_dict() for f in new],
             "suppressed": len(suppressed),
+            "stale_baseline": stale,
             "baseline": str(baseline_path) if baseline_path else None,
-            "rules": sorted(REGISTRY),
+            "rules": sorted({*REGISTRY, *FLOW_RULES}),
         }
         print(json.dumps(payload, indent=2), file=out)
     else:
@@ -166,8 +229,14 @@ def run_lint(
         summary = f"{len(new)} finding(s)"
         if suppressed:
             summary += f", {len(suppressed)} baselined"
+        if stale:
+            summary += (
+                f", {len(stale)} stale baseline entr"
+                f"{'y' if len(stale) == 1 else 'ies'} (--strict: "
+                "regenerate with --write-baseline)"
+            )
         print(summary, file=out)
-    return EXIT_FINDINGS if new else EXIT_CLEAN
+    return EXIT_FINDINGS if (new or stale) else EXIT_CLEAN
 
 
 def main(argv: list[str] | None = None, out: TextIO | None = None) -> int:
@@ -186,5 +255,7 @@ def main(argv: list[str] | None = None, out: TextIO | None = None) -> int:
         write_baseline_file=args.write_baseline,
         select=args.select,
         root=args.root,
+        flow=args.flow,
+        strict=args.strict,
         out=out,
     )

@@ -73,12 +73,15 @@ class Finding:
 
     @property
     def fingerprint(self) -> str:
-        """Stable identity for baselining: rule + path + snippet.
+        """Stable identity for baselining: rule + path + normalized snippet.
 
         Line numbers are excluded on purpose so that edits elsewhere in the
-        file do not invalidate baseline entries.
+        file do not invalidate baseline entries, and the snippet is
+        whitespace-normalized so re-indenting (wrapping the line in an
+        ``if``, a formatter pass) does not resurrect a baselined finding.
         """
-        material = "\x1f".join((self.rule, self.path, self.snippet.strip()))
+        normalized = " ".join(self.snippet.split())
+        material = "\x1f".join((self.rule, self.path, normalized))
         return hashlib.sha256(material.encode()).hexdigest()[:16]
 
     def to_dict(self) -> dict:

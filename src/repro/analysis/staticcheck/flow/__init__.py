@@ -1,0 +1,49 @@
+"""Project-wide (interprocedural) analysis tier for reprolint.
+
+The per-file tier (``staticcheck.rules``, CRS001–CRS007) sees one AST at
+a time.  This subpackage sees the whole package: :mod:`.project` builds
+an import/call graph and light attribute-type index, :mod:`.model`
+declares the taint model (sources / sinks / sanitizers and the blocking
+primitives), and :mod:`.engine` runs taint summaries to fixpoint and
+checks the async rules.  Entry point: :func:`analyze_flow`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.staticcheck.engine import Finding
+from repro.analysis.staticcheck.flow.engine import FlowAnalyzer
+from repro.analysis.staticcheck.flow.model import FLOW_RULES
+from repro.analysis.staticcheck.flow.project import Project
+
+__all__ = ["FLOW_RULES", "FlowAnalyzer", "Project", "analyze_flow"]
+
+
+def analyze_flow(
+    paths: Sequence[Path | str],
+    root: Path | str | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run the flow rules (CRS008–CRS011) over *paths*.
+
+    Mirrors :func:`staticcheck.engine.lint_paths`: *root* anchors relative
+    paths in findings, *select* restricts rule ids (non-flow ids are
+    ignored).  Inline ``# reprolint: ignore[...]`` comments suppress flow
+    findings exactly like per-file ones.
+    """
+    resolved_root = Path(root).resolve() if root is not None else Path.cwd()
+    project = Project.load([Path(p) for p in paths], resolved_root)
+    flow_select = (
+        [r for r in select if r in FLOW_RULES] if select is not None else None
+    )
+    findings = FlowAnalyzer(project).run(select=flow_select)
+    by_path = {m.ctx.relpath: m.ctx for m in project.modules.values()}
+    kept = []
+    for finding in findings:
+        ctx = by_path.get(finding.path)
+        if ctx is not None and ctx.is_inline_suppressed(finding):
+            continue
+        kept.append(finding)
+    return kept

@@ -1,0 +1,871 @@
+"""Interprocedural taint engine behind rules CRS008–CRS011.
+
+The analysis runs in two tiers over a :class:`~.project.Project`:
+
+**Taint tier (CRS008/CRS009).**  Every function gets a *summary* computed
+to fixpoint over the call graph:
+
+* which of its parameters flow to its return value,
+* whether its return value is secret regardless of arguments (it calls a
+  source), and
+* which parameters reach a sink somewhere below it (directly or through
+  further calls — the ``via`` chain in the finding message).
+
+Real taint enters at declared sources (key-generation calls, parameters
+whose annotation or scoped name marks them secret — see ``flow.model``)
+and propagates through assignments, containers, f-strings, attribute
+loads, and calls.  Attribute stores (``self._sk = key``) taint the
+attribute *class-wide*, which is what carries secrets between methods.
+A **sanitizer** call (encrypt/tokenize/codec/hash/len) stops the flow.
+When taint reaches a sink — a logging call or exception message for
+CRS008, a wire frame, persistence write, or metrics observation for
+CRS009 — a finding is emitted at the sink, naming the source and the
+call chain.
+
+**Concurrency tier (CRS010/CRS011).**  Scope-aware but not taint-based:
+CRS010 computes a transitive *blocks-the-thread* predicate over the same
+call graph (fsync/socket/pairing primitives at the leaves) and flags
+direct calls to blocking functions inside ``async def`` bodies — passing
+the function *reference* to ``run_in_executor``/``to_thread`` is the
+approved pattern and is structurally exempt.  CRS011 checks that
+coordinator-style fan-out handlers (``async def _do_*`` on a class with
+``_fan_out``) forward a ``deadline_ms`` budget on every backend client
+call.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.staticcheck.engine import Finding
+from repro.analysis.staticcheck.flow import model
+from repro.analysis.staticcheck.flow.project import (
+    ClassInfo,
+    FunctionInfo,
+    Project,
+)
+
+__all__ = ["FlowAnalyzer", "PUBLIC_ATTRS"]
+
+#: Attribute loads that project only public structure off a secret value
+#: (dimensions, sizes, group parameters) — reading them is the
+#: recommended redaction, so they clear taint.
+PUBLIC_ATTRS = frozenset(
+    {"w", "t", "n", "dims", "num_sub_tokens", "group", "space", "shape"}
+)
+
+_MAX_PASSES = 8
+_MAX_VIA = 4
+
+_Label = object  # int (conditional on param i) | str (real secret)
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """One sink location a tainted value can reach."""
+
+    rule: str
+    kind: str
+    path: str
+    line: int
+    col: int
+    snippet: str
+    via: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Fixpoint facts about one function."""
+
+    returns: frozenset = frozenset()
+    sinks: tuple = ()  # tuple[(param_index, frozenset[SinkHit])]
+
+    def sink_map(self) -> dict[int, frozenset]:
+        return dict(self.sinks)
+
+
+def _label_is_real(label) -> bool:
+    return isinstance(label, str)
+
+
+def _describe(labels: Iterable[str]) -> str:
+    names = sorted(str(label) for label in labels)
+    return names[0] if names else "secret value"
+
+
+class FlowAnalyzer:
+    """Runs the taint and concurrency tiers over one project."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.summaries: dict[str, Summary] = {
+            q: Summary() for q in project.functions
+        }
+        #: class qualname -> attr -> frozenset of real labels.
+        self.attr_taint: dict[str, dict[str, frozenset]] = {}
+        self._findings: dict[tuple, Finding] = {}
+
+    # ------------------------------------------------------------------
+    def run(self, select: Iterable[str] | None = None) -> list[Finding]:
+        """All flow findings, optionally restricted to *select* rule ids."""
+        wanted = set(select) if select is not None else set(model.FLOW_RULES)
+        if wanted & {"CRS008", "CRS009"}:
+            self._taint_fixpoint()
+            if "CRS008" in wanted:
+                self._check_secret_dataclass_reprs()
+        if "CRS010" in wanted:
+            self._check_blocking_in_async()
+        if "CRS011" in wanted:
+            self._check_deadline_propagation()
+        findings = [
+            f for f in self._findings.values() if f.rule in wanted
+        ]
+        return sorted(findings, key=Finding.sort_key)
+
+    # ------------------------------------------------------------------
+    # Taint tier
+    # ------------------------------------------------------------------
+    def _taint_fixpoint(self) -> None:
+        for _ in range(_MAX_PASSES):
+            self._findings = {
+                k: f
+                for k, f in self._findings.items()
+                if f.rule not in ("CRS008", "CRS009")
+            }
+            changed = False
+            for info in self.project.functions.values():
+                analyzer = _BodyAnalyzer(self, info)
+                summary = analyzer.analyze()
+                if summary != self.summaries[info.qualname]:
+                    self.summaries[info.qualname] = summary
+                    changed = True
+                changed = analyzer.attr_changed or changed
+            if not changed:
+                break
+
+    def record_attr_taint(self, klass: ClassInfo, attr: str, labels) -> bool:
+        """Taint *attr* class-wide; return True if the set grew."""
+        real = frozenset(l for l in labels if _label_is_real(l))
+        if not real:
+            return False
+        per_class = self.attr_taint.setdefault(klass.qualname, {})
+        merged = per_class.get(attr, frozenset()) | real
+        if merged != per_class.get(attr, frozenset()):
+            per_class[attr] = merged
+            return True
+        return False
+
+    def attr_taint_of(self, klass: ClassInfo, attr: str) -> frozenset:
+        """Labels stored on *attr*, unioned over the class's base chain."""
+        labels: frozenset = frozenset()
+        cursor: ClassInfo | None = klass
+        seen: set[str] = set()
+        while cursor is not None and cursor.qualname not in seen:
+            seen.add(cursor.qualname)
+            labels |= self.attr_taint.get(cursor.qualname, {}).get(
+                attr, frozenset()
+            )
+            cursor = next(
+                (
+                    self.project.classes[b]
+                    for b in cursor.bases
+                    if b in self.project.classes
+                ),
+                None,
+            )
+        return labels
+
+    def emit(self, hit: SinkHit, labels: Iterable[str]) -> None:
+        """Report real taint reaching *hit* (deduplicated per location)."""
+        key = (hit.rule, hit.path, hit.line, hit.col)
+        source = _describe(labels)
+        chain = " → ".join(hit.via)
+        message = f"{source} reaches {hit.kind}"
+        if chain:
+            message += f" (via {chain})"
+        message += "; redact to structure (type/length/id) or use an approved codec"
+        existing = self._findings.get(key)
+        if existing is None or message < existing.message:
+            self._findings[key] = Finding(
+                rule=hit.rule,
+                path=hit.path,
+                line=hit.line,
+                col=hit.col,
+                message=message,
+                snippet=hit.snippet,
+            )
+
+    # ------------------------------------------------------------------
+    # CRS008 sub-check: secret dataclasses with auto-generated repr
+    # ------------------------------------------------------------------
+    def _check_secret_dataclass_reprs(self) -> None:
+        for klass in self.project.classes.values():
+            if not any(
+                klass.name.endswith(suffix)
+                for suffix in model.SECRET_TYPE_SUFFIXES
+            ):
+                continue
+            if "__repr__" in klass.methods:
+                continue
+            decorator = self._dataclass_decorator(klass)
+            if decorator is None:
+                continue
+            if isinstance(decorator, ast.Call) and any(
+                kw.arg == "repr"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+                for kw in decorator.keywords
+            ):
+                continue
+            ctx = klass.module.ctx
+            finding = ctx.finding(
+                "CRS008",
+                klass.node,
+                f"secret key class `{klass.name}` keeps the dataclass "
+                "auto-generated repr, which prints every secret field; "
+                "set repr=False and provide a redacted __repr__",
+            )
+            self._findings[
+                ("CRS008", finding.path, finding.line, finding.col)
+            ] = finding
+
+    def _dataclass_decorator(self, klass: ClassInfo):
+        for decorator in klass.node.decorator_list:
+            target = (
+                decorator.func
+                if isinstance(decorator, ast.Call)
+                else decorator
+            )
+            resolved = self.project.resolve_dotted(klass.module, target) or ""
+            if resolved == "dataclass" or resolved.endswith(".dataclass"):
+                return decorator
+        return None
+
+    # ------------------------------------------------------------------
+    # CRS010 — blocking calls on the event loop
+    # ------------------------------------------------------------------
+    def _call_is_blocking_primitive(self, resolved, attr) -> str | None:
+        if resolved in model.BLOCKING_QUALNAMES:
+            return resolved
+        if resolved:
+            for suffix in model.BLOCKING_SUFFIXES:
+                if resolved == suffix or resolved.endswith("." + suffix):
+                    return resolved
+        if attr and attr in model.BLOCKING_ATTRS:
+            return attr
+        return None
+
+    def _blocking_closure(self) -> dict[str, bool]:
+        primitive: dict[str, bool] = {}
+        edges: dict[str, set[str]] = {}
+        for info in self.project.functions.values():
+            blocked = False
+            callees: set[str] = set()
+            for call in self._direct_calls(info.node):
+                resolved, callee = self.project.resolve_call(info, call)
+                attr = (
+                    call.func.attr
+                    if isinstance(call.func, ast.Attribute)
+                    else None
+                )
+                if self._call_is_blocking_primitive(resolved, attr):
+                    blocked = True
+                if callee is not None and not callee.is_async:
+                    callees.add(callee.qualname)
+            primitive[info.qualname] = blocked
+            edges[info.qualname] = callees
+        blocking = dict(primitive)
+        changed = True
+        while changed:
+            changed = False
+            for qual, callees in edges.items():
+                if not blocking[qual] and any(
+                    blocking.get(c, False) for c in callees
+                ):
+                    blocking[qual] = True
+                    changed = True
+        return blocking
+
+    @staticmethod
+    def _direct_calls(func_node) -> list[ast.Call]:
+        """Call nodes in *func_node*'s own body, not in nested functions."""
+        calls: list[ast.Call] = []
+        stack: list[ast.AST] = list(ast.iter_child_nodes(func_node))
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(node, ast.Call):
+                calls.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return calls
+
+    def _check_blocking_in_async(self) -> None:
+        blocking = self._blocking_closure()
+        for module in self.project.modules.values():
+            enclosing_class: dict[int, ClassInfo] = {}
+            for klass in self.project.classes.values():
+                if klass.module is not module:
+                    continue
+                for item in klass.node.body:
+                    enclosing_class[id(item)] = klass
+            for node in ast.walk(module.ctx.tree):
+                if not isinstance(node, ast.AsyncFunctionDef):
+                    continue
+                info = self.project.functions.get(
+                    self._async_qualname(module, node, enclosing_class)
+                ) or FunctionInfo(
+                    f"{module.name}.{node.name}",
+                    node,
+                    module,
+                    klass=enclosing_class.get(id(node)),
+                )
+                for call in self._direct_calls(node):
+                    resolved, callee = self.project.resolve_call(info, call)
+                    if callee is not None and callee.is_async:
+                        continue
+                    attr = (
+                        call.func.attr
+                        if isinstance(call.func, ast.Attribute)
+                        else None
+                    )
+                    culprit = self._call_is_blocking_primitive(resolved, attr)
+                    if culprit is None and not (
+                        callee is not None
+                        and blocking.get(callee.qualname, False)
+                    ):
+                        continue
+                    name = culprit or (callee.qualname if callee else "call")
+                    ctx = module.ctx
+                    finding = ctx.finding(
+                        "CRS010",
+                        call,
+                        f"blocking call `{name}` inside `async def "
+                        f"{node.name}` stalls the event loop; run it via "
+                        "loop.run_in_executor or asyncio.to_thread",
+                    )
+                    self._findings[
+                        ("CRS010", finding.path, finding.line, finding.col)
+                    ] = finding
+
+    @staticmethod
+    def _async_qualname(module, node, enclosing_class) -> str:
+        klass = enclosing_class.get(id(node))
+        if klass is not None:
+            return f"{klass.qualname}.{node.name}"
+        return f"{module.name}.{node.name}"
+
+    # ------------------------------------------------------------------
+    # CRS011 — deadline propagation at fan-out sites
+    # ------------------------------------------------------------------
+    def _check_deadline_propagation(self) -> None:
+        for klass in self.project.classes.values():
+            if self.project.lookup_method(klass, "_fan_out") is None:
+                continue
+            for name, method in klass.methods.items():
+                if not name.startswith("_do_") or not method.is_async:
+                    continue
+                for call in [
+                    n
+                    for n in ast.walk(method.node)
+                    if isinstance(n, ast.Call)
+                ]:
+                    func = call.func
+                    if not (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in model.CLIENT_VERBS
+                    ):
+                        continue
+                    receiver = ast.unparse(func.value)
+                    if "client" not in receiver.lower():
+                        continue
+                    if any(kw.arg == "deadline_ms" for kw in call.keywords):
+                        continue
+                    ctx = klass.module.ctx
+                    finding = ctx.finding(
+                        "CRS011",
+                        call,
+                        f"fan-out call `{receiver}.{func.attr}` in "
+                        f"`{klass.name}.{name}` does not forward the "
+                        "remaining deadline budget; pass "
+                        "deadline_ms=self._remaining_ms(...)",
+                    )
+                    self._findings[
+                        ("CRS011", finding.path, finding.line, finding.col)
+                    ] = finding
+
+
+class _BodyAnalyzer:
+    """Abstract interpretation of one function body for taint."""
+
+    def __init__(self, flow: FlowAnalyzer, info: FunctionInfo):
+        self.flow = flow
+        self.project = flow.project
+        self.info = info
+        self.ctx = info.module.ctx
+        self.taint: dict[str, frozenset] = {}
+        self.local_types: dict[str, str] = {}
+        self.returns: set = set()
+        self.cond_sinks: dict[int, set] = {}
+        self.attr_changed = False
+        self._scoped_names = info.module.ctx.has_path_segment(
+            *model.SECRET_PARAM_PATH_SEGMENTS
+        )
+
+    # ------------------------------------------------------------------
+    def analyze(self) -> Summary:
+        self._seed_params()
+        previous: dict[str, frozenset] | None = None
+        for _ in range(3):
+            self._walk(self.info.node.body)
+            if self.taint == previous:
+                break
+            previous = dict(self.taint)
+        return Summary(
+            returns=frozenset(self.returns),
+            sinks=tuple(
+                sorted(
+                    (
+                        (index, frozenset(hits))
+                        for index, hits in self.cond_sinks.items()
+                    ),
+                    key=lambda item: item[0],
+                )
+            ),
+        )
+
+    def _seed_params(self) -> None:
+        klass = self.info.klass
+        for index, arg in enumerate(self.info.params):
+            label = self._param_source_label(arg, index, klass)
+            self.taint[arg.arg] = frozenset(
+                {label if label is not None else index}
+            )
+
+    def _param_source_label(self, arg, index, klass) -> str | None:
+        annotation = None
+        if arg.annotation is not None:
+            annotation = self._annotation_name(arg.annotation)
+        if model.is_secret_type(annotation):
+            return (
+                f"secret-typed parameter `{arg.arg}` "
+                f"of {self.info.qualname}"
+            )
+        if index == 0 and arg.arg in ("self", "cls") and klass is not None:
+            if any(
+                klass.name.endswith(suffix)
+                for suffix in model.SECRET_TYPE_SUFFIXES
+            ):
+                return f"secret key instance `{klass.name}`"
+            return None
+        if self._scoped_names and arg.arg in model.SECRET_PARAM_NAMES:
+            return (
+                f"secret parameter `{arg.arg}` of {self.info.qualname}"
+            )
+        return None
+
+    def _annotation_name(self, node) -> str | None:
+        if isinstance(node, ast.BinOp):
+            return self._annotation_name(node.left) or self._annotation_name(
+                node.right
+            )
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        return self.project.resolve_dotted(self.info.module, node)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _walk(self, stmts) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, node) -> None:
+        if isinstance(node, ast.Assign):
+            self._assign(node)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None and isinstance(node.target, ast.Name):
+                self._bind(node.target, self._eval(node.value), node.value)
+            elif node.value is not None:
+                self._bind_target(node.target, self._eval(node.value))
+        elif isinstance(node, ast.AugAssign):
+            labels = self._eval(node.value)
+            if isinstance(node.target, ast.Name):
+                labels |= self.taint.get(node.target.id, frozenset())
+            self._bind_target(node.target, labels)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self.returns |= self._eval(node.value)
+        elif isinstance(node, ast.Raise):
+            self._raise(node)
+        elif isinstance(node, ast.Expr):
+            self._eval(node.value)
+        elif isinstance(node, (ast.If, ast.While)):
+            self._eval(node.test)
+            self._walk(node.body)
+            self._walk(node.orelse)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            labels = self._eval(node.iter)
+            self._bind_target(node.target, labels)
+            self._walk(node.body)
+            self._walk(node.orelse)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                labels = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, labels)
+            self._walk(node.body)
+        elif isinstance(node, ast.Try):
+            self._walk(node.body)
+            for handler in node.handlers:
+                # Caught exception objects are not tainted: only direct
+                # interpolation of secret *values* counts (see SECURITY.md).
+                if handler.name:
+                    self.taint[handler.name] = frozenset()
+                self._walk(handler.body)
+            self._walk(node.orelse)
+            self._walk(node.finalbody)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: analyze its body with the closure taint so
+            # flows through local helpers (offloaded closures) are seen.
+            self._walk(node.body)
+        elif isinstance(node, ast.ClassDef):
+            self._walk(node.body)
+        else:
+            for value in ast.iter_child_nodes(node):
+                if isinstance(value, ast.expr):
+                    self._eval(value)
+
+    def _assign(self, node: ast.Assign) -> None:
+        # Tuple-unpacking a masked source: only secret slots taint.
+        if (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Tuple)
+            and isinstance(node.value, ast.Call)
+        ):
+            resolved, _ = self.project.resolve_call(
+                self.info, node.value, self.local_types
+            )
+            source = model.is_source_call(resolved)
+            if source is not None and source[1] is not None:
+                desc, mask = source
+                for element, secret in zip(node.targets[0].elts, mask):
+                    labels = frozenset({desc}) if secret else frozenset()
+                    self._bind_target(element, labels)
+                for arg in node.value.args:
+                    self._eval(arg)
+                return
+        labels = self._eval(node.value)
+        for target in node.targets:
+            self._bind(target, labels, node.value)
+
+    def _bind(self, target, labels, value) -> None:
+        self._bind_target(target, labels)
+        if isinstance(target, ast.Name):
+            inferred = self._instance_class(value)
+            if inferred is not None:
+                self.local_types[target.id] = inferred
+
+    def _instance_class(self, value) -> str | None:
+        if isinstance(value, ast.Call):
+            resolved, _ = self.project.resolve_call(
+                self.info, value, self.local_types
+            )
+            if resolved in self.project.classes:
+                return resolved
+            if resolved and "." in resolved:
+                owner = resolved.rsplit(".", 1)[0]
+                if owner in self.project.classes:
+                    return owner
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+            and self.info.klass is not None
+        ):
+            owner = self.project.attr_type_of(self.info.klass, value.attr)
+            if owner is not None:
+                return owner.qualname
+        return None
+
+    def _bind_target(self, target, labels) -> None:
+        if isinstance(target, ast.Name):
+            self.taint[target.id] = frozenset(labels)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, labels)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, labels)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and self.info.klass is not None
+        ):
+            if self.flow.record_attr_taint(
+                self.info.klass, target.attr, labels
+            ):
+                self.attr_changed = True
+
+    def _raise(self, node: ast.Raise) -> None:
+        if not isinstance(node.exc, ast.Call):
+            return
+        hit = SinkHit(
+            rule="CRS008",
+            kind="an exception message",
+            path=self.ctx.relpath,
+            line=node.exc.lineno,
+            col=node.exc.col_offset,
+            snippet=self.ctx.line_text(node.exc.lineno),
+        )
+        for arg in [*node.exc.args, *(kw.value for kw in node.exc.keywords)]:
+            self._sink(hit, self._eval(arg))
+        for arg in node.exc.args:
+            self._eval(arg)
+
+    def _sink(self, hit: SinkHit, labels) -> None:
+        real = {l for l in labels if _label_is_real(l)}
+        if real:
+            self.flow.emit(hit, real)
+        for label in labels:
+            if isinstance(label, int):
+                self.cond_sinks.setdefault(label, set()).add(hit)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _eval(self, node) -> frozenset:
+        if node is None or isinstance(node, ast.Constant):
+            return frozenset()
+        if isinstance(node, ast.Name):
+            return self.taint.get(node.id, frozenset())
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Await):
+            return self._eval(node.value)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            labels = self._eval(node.value) if node.value else frozenset()
+            self.returns |= labels
+            return labels
+        if isinstance(node, ast.JoinedStr):
+            labels: frozenset = frozenset()
+            for part in node.values:
+                labels |= self._eval(part)
+            return labels
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value)
+        if isinstance(node, (ast.BinOp,)):
+            return self._eval(node.left) | self._eval(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.BoolOp):
+            labels = frozenset()
+            for value in node.values:
+                labels |= self._eval(value)
+            return labels
+        if isinstance(node, ast.Compare):
+            labels = self._eval(node.left)
+            for comparator in node.comparators:
+                labels |= self._eval(comparator)
+            return labels
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            return self._eval(node.body) | self._eval(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            labels = frozenset()
+            for element in node.elts:
+                labels |= self._eval(element)
+            return labels
+        if isinstance(node, ast.Dict):
+            labels = frozenset()
+            for key in node.keys:
+                if key is not None:
+                    labels |= self._eval(key)
+            for value in node.values:
+                labels |= self._eval(value)
+            return labels
+        if isinstance(node, ast.Subscript):
+            self._eval(node.slice)
+            return self._eval(node.value)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            return self._eval_comprehension(node)
+        if isinstance(node, ast.Lambda):
+            return frozenset()
+        if isinstance(node, ast.NamedExpr):
+            labels = self._eval(node.value)
+            self._bind_target(node.target, labels)
+            return labels
+        labels = frozenset()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                labels |= self._eval(child)
+        return labels
+
+    def _eval_attribute(self, node: ast.Attribute) -> frozenset:
+        base = self._eval(node.value)
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self.info.klass is not None
+        ):
+            base |= self.flow.attr_taint_of(self.info.klass, node.attr)
+        if node.attr in PUBLIC_ATTRS:
+            return frozenset()
+        return base
+
+    def _eval_comprehension(self, node) -> frozenset:
+        saved = dict(self.taint)
+        for generator in node.generators:
+            labels = self._eval(generator.iter)
+            self._bind_target(generator.target, labels)
+            for condition in generator.ifs:
+                self._eval(condition)
+        if isinstance(node, ast.DictComp):
+            labels = self._eval(node.key) | self._eval(node.value)
+        else:
+            labels = self._eval(node.elt)
+        self.taint = saved
+        return labels
+
+    # ------------------------------------------------------------------
+    def _eval_call(self, node: ast.Call) -> frozenset:
+        resolved, callee = self.project.resolve_call(
+            self.info, node, self.local_types
+        )
+        attr = (
+            node.func.attr if isinstance(node.func, ast.Attribute) else None
+        )
+        arg_labels = [self._eval(arg) for arg in node.args]
+        kw_labels = {
+            kw.arg: self._eval(kw.value) for kw in node.keywords
+        }
+        receiver_labels = (
+            self._eval(node.func.value)
+            if isinstance(node.func, ast.Attribute)
+            else frozenset()
+        )
+        all_labels: frozenset = receiver_labels
+        for labels in arg_labels:
+            all_labels |= labels
+        for labels in kw_labels.values():
+            all_labels |= labels
+
+        if model.is_sanitizer(resolved, attr):
+            return frozenset()
+
+        sink = self._sink_for_call(node, resolved, attr)
+        if sink is not None:
+            for labels in [*arg_labels, *kw_labels.values()]:
+                self._sink(sink, labels)
+            return frozenset()
+
+        source = model.is_source_call(resolved)
+        if source is not None:
+            desc, _mask = source
+            return frozenset({desc})
+
+        if callee is not None:
+            return self._apply_summary(node, callee, arg_labels, kw_labels)
+        return all_labels
+
+    def _sink_for_call(self, node, resolved, attr) -> SinkHit | None:
+        make = lambda rule, kind: SinkHit(  # noqa: E731 - local factory
+            rule=rule,
+            kind=kind,
+            path=self.ctx.relpath,
+            line=node.lineno,
+            col=node.col_offset,
+            snippet=self.ctx.line_text(node.lineno),
+        )
+        receiver_text = ""
+        if isinstance(node.func, ast.Attribute):
+            try:
+                receiver_text = ast.unparse(node.func.value)
+            except Exception:  # pragma: no cover - unparse is total on 3.9+
+                receiver_text = ""
+        if (resolved or "").startswith("logging.") and attr in model.LOG_METHODS:
+            return make("CRS008", "a log record")
+        if attr in model.LOG_METHODS and model.LOG_RECEIVER_RE.search(
+            receiver_text
+        ):
+            return make("CRS008", "a log record")
+        if resolved in ("warnings.warn", "warn"):
+            return make("CRS008", "a warning message")
+        if resolved and any(
+            resolved == s or resolved.endswith("." + s)
+            for s in model.WIRE_SINK_SUFFIXES
+        ):
+            return make("CRS009", "a wire frame")
+        if attr in model.WIRE_SINK_ATTRS:
+            return make("CRS009", "a socket/file write")
+        if attr in model.METRIC_SINK_ATTRS and "metric" in receiver_text.lower():
+            return make("CRS009", "a metrics observation")
+        return None
+
+    def _apply_summary(
+        self, node, callee: FunctionInfo, arg_labels, kw_labels
+    ) -> frozenset:
+        summary = self.flow.summaries.get(callee.qualname, Summary())
+        bound = self._is_bound_call(node, callee)
+        offset = 1 if bound else 0
+        per_param: dict[int, frozenset] = {}
+        if bound and isinstance(node.func, ast.Attribute):
+            per_param[0] = self._eval(node.func.value)
+        for position, labels in enumerate(arg_labels):
+            per_param[position + offset] = labels
+        for name, labels in kw_labels.items():
+            if name in callee.param_names:
+                per_param[callee.param_names.index(name)] = labels
+
+        # Conditional sinks in the callee fire (or propagate) per arg.
+        for index, hits in summary.sink_map().items():
+            labels = per_param.get(index, frozenset())
+            if not labels:
+                continue
+            for hit in hits:
+                if len(hit.via) >= _MAX_VIA:
+                    continue
+                extended = SinkHit(
+                    rule=hit.rule,
+                    kind=hit.kind,
+                    path=hit.path,
+                    line=hit.line,
+                    col=hit.col,
+                    snippet=hit.snippet,
+                    via=(self.info.qualname, *hit.via)
+                    if self.info.qualname not in hit.via
+                    else hit.via,
+                )
+                self._sink(extended, labels)
+
+        result: frozenset = frozenset()
+        for label in summary.returns:
+            if _label_is_real(label):
+                result |= frozenset({label})
+            elif isinstance(label, int):
+                result |= per_param.get(label, frozenset())
+        return result
+
+    def _is_bound_call(self, node, callee: FunctionInfo) -> bool:
+        if not isinstance(node.func, ast.Attribute):
+            return False
+        if callee.klass is None or not callee.param_names:
+            return False
+        if callee.param_names[0] not in ("self", "cls"):
+            return False
+        base_resolved = self.project.resolve_dotted(
+            self.info.module, node.func.value
+        )
+        if base_resolved in self.project.classes:
+            return False
+        return True

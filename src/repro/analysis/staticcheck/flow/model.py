@@ -1,0 +1,339 @@
+"""The taint model: what is secret, where it may not go, what cleans it.
+
+The flow analyzer (:mod:`repro.analysis.staticcheck.flow.engine`) is
+generic; this module is the part that knows the codebase.  Three kinds of
+facts are declared here:
+
+* **Sources** introduce taint: values that the paper's threat model says
+  must never leave the data owner in the clear — SSW/CRSE master keys,
+  Paillier secret keys, plaintext coordinates and radii, the per-query
+  permutation secret β.
+* **Sinks** are where tainted values become observable to the server, the
+  network, or an operator reading logs: logging calls, exception messages,
+  wire encoding, persistence writes, metrics labels.
+* **Sanitizers** are the approved ways secret values cross a boundary:
+  encryption/tokenization, the explicit codecs, hashing, and
+  structure-only projections (lengths, types, bit sizes).
+
+Matching is deliberately name-based (resolved dotted names where the
+project index can resolve them, terminal attribute names otherwise): the
+analyzer runs on a codebase with no type checker in the loop, so specs
+must degrade gracefully on dynamic receivers.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "FLOW_RULES",
+    "SECRET_TYPE_SUFFIXES",
+    "SECRET_PARAM_NAMES",
+    "SECRET_PARAM_PATH_SEGMENTS",
+    "SOURCE_CALLS",
+    "SOURCE_CALL_MASKS",
+    "SANITIZER_SUFFIXES",
+    "SANITIZER_ATTRS",
+    "CLEAN_BUILTINS",
+    "LOG_RECEIVER_RE",
+    "LOG_METHODS",
+    "WIRE_SINK_SUFFIXES",
+    "WIRE_SINK_ATTRS",
+    "METRIC_SINK_ATTRS",
+    "BLOCKING_QUALNAMES",
+    "BLOCKING_ATTRS",
+    "BLOCKING_SUFFIXES",
+    "EXECUTOR_SUFFIXES",
+    "CLIENT_VERBS",
+    "is_secret_type",
+    "is_source_call",
+    "is_sanitizer",
+]
+
+#: Rule ids implemented by the flow analyzer (project-wide tier).
+FLOW_RULES = ("CRS008", "CRS009", "CRS010", "CRS011")
+
+#: Title and rationale per flow rule (mirrors ``Rule.title``/``rationale``
+#: on the per-file tier; used by ``--list-rules`` and SARIF metadata).
+FLOW_RULE_INFO = {
+    "CRS008": (
+        "secret value flows into a log, exception message, or repr",
+        "Key material, plaintext coordinates, and radii must never appear "
+        "in operator-visible text; report structure (type, bit-length, "
+        "record id) instead.",
+    ),
+    "CRS009": (
+        "secret value reaches the wire or persistence without a codec",
+        "Only ciphertexts and tokens produced by the approved "
+        "encrypt/tokenize/codec path may be framed, written, or recorded "
+        "as metrics.",
+    ),
+    "CRS010": (
+        "blocking call inside async def without an executor",
+        "fsync, socket IO, and pairing-heavy functions stall the event "
+        "loop; schedule them via run_in_executor or asyncio.to_thread.",
+    ),
+    "CRS011": (
+        "coordinator fan-out call without deadline propagation",
+        "Backend client calls inside _do_* handlers must forward the "
+        "remaining request budget (deadline_ms) or slow shards hold the "
+        "whole query hostage.",
+    ),
+}
+
+# ----------------------------------------------------------------------
+# Sources
+# ----------------------------------------------------------------------
+#: A parameter or attribute whose resolved annotation ends with one of
+#: these is secret wherever it appears (any module).  ``SecretKey`` is
+#: the generic convention; the named classes are this repo's key types.
+SECRET_TYPE_SUFFIXES = (
+    "SecretKey",  # SSWSecretKey, PaillierSecretKey, fixture OwnerSecretKey
+    "CRSE1Key",
+    "CRSE2Key",
+)
+
+#: Parameter names treated as taint sources, but only in modules whose
+#: path contains one of :data:`SECRET_PARAM_PATH_SEGMENTS` — a parameter
+#: called ``key`` in ``crypto/`` is the scheme key; one in a generic
+#: utility is probably a dict key.
+SECRET_PARAM_NAMES = frozenset(
+    {
+        "key",
+        "sk",
+        "secret",
+        "secret_key",
+        "beta",
+        "point",
+        "points",
+        "center",
+        "radius",
+        "r_squared",
+        "circle",
+        "plaintext",
+    }
+)
+
+SECRET_PARAM_PATH_SEGMENTS = ("crypto", "core")
+
+#: Calls whose *return value* is secret, matched by resolved-name suffix.
+SOURCE_CALLS = {
+    "ssw_setup": "SSW master key",
+    "paillier_keygen": "Paillier secret key",
+    "gen_key": "CRSE scheme key",
+}
+
+#: Source calls that return a tuple where only some slots are secret:
+#: ``scheme, key = load_crse2_key(blob)`` taints ``key`` but not the
+#: public ``scheme``.  The mask lists per-slot secrecy for a direct
+#: tuple-unpack; an un-unpacked result is tainted wholesale.
+SOURCE_CALL_MASKS = {
+    "load_crse1_key": (False, True),
+    "load_crse2_key": (False, True),
+}
+
+# ----------------------------------------------------------------------
+# Sanitizers
+# ----------------------------------------------------------------------
+#: Resolved-name suffixes whose return value is clean even when fed
+#: secrets: encryption, tokenization, the explicit codecs, key
+#: persistence (the owner's approved keystore path), public headers.
+SANITIZER_SUFFIXES = (
+    "ssw_encrypt",
+    "ssw_gen_token",
+    "encode_ciphertext",
+    "encode_token",
+    "save_crse1_key",
+    "save_crse2_key",
+    "scheme_header",
+    "group_header",
+    "num_sub_tokens",
+)
+
+#: Terminal attribute names that clean their receiver/arguments:
+#: hashing/MACs and crypto-layer transforms.
+SANITIZER_ATTRS = frozenset(
+    {
+        "encrypt",
+        "encrypt_point",
+        "gen_token",
+        "seal",
+        "digest",
+        "hexdigest",
+        "compare_digest",
+        "matches",
+    }
+)
+
+#: Builtins (and stdlib constructors) whose result reveals only structure,
+#: never value: using them on a secret is the *recommended* redaction.
+CLEAN_BUILTINS = frozenset(
+    {
+        "len",
+        "type",
+        "isinstance",
+        "issubclass",
+        "hasattr",
+        "callable",
+        "id",
+        "bool",
+        "enumerate",  # enumerate indexes, values handled separately
+        "range",
+        "bit_length",
+        "sha256",
+        "sha384",
+        "sha512",
+        "sha3_256",
+        "blake2b",
+        "blake2s",
+        "new",  # hmac.new / hashlib.new
+    }
+)
+
+# ----------------------------------------------------------------------
+# CRS008 sinks — logs, exception messages, repr
+# ----------------------------------------------------------------------
+LOG_RECEIVER_RE = re.compile(r"log", re.IGNORECASE)
+LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "warn", "error", "exception", "critical", "log"}
+)
+
+# ----------------------------------------------------------------------
+# CRS009 sinks — wire frames and persistence
+# ----------------------------------------------------------------------
+#: Resolved-name suffixes that put bytes on the wire or into reply frames.
+WIRE_SINK_SUFFIXES = (
+    "write_frame",
+    "send_frame",
+    "encode_ok",
+    "encode_error",
+    "encode_request",
+)
+
+#: Terminal attribute names that write to sockets or files.
+WIRE_SINK_ATTRS = frozenset(
+    {
+        "sendall",
+        "write",
+        "writelines",
+        "write_text",
+        "write_bytes",
+    }
+)
+
+#: Metrics entry points: a secret in a label or observation leaks it to
+#: whoever scrapes the metrics endpoint.
+METRIC_SINK_ATTRS = frozenset({"observe", "set_label", "inc", "count"})
+
+# ----------------------------------------------------------------------
+# CRS010 — blocking work on the event loop
+# ----------------------------------------------------------------------
+#: Fully-resolved names that block the calling thread.
+BLOCKING_QUALNAMES = frozenset(
+    {
+        "os.fsync",
+        "os.fdatasync",
+        "time.sleep",
+        "socket.create_connection",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_output",
+        "select.select",
+        "open",
+    }
+)
+
+#: Terminal attribute names that block regardless of receiver: file
+#: sync/IO convenience methods and raw socket operations.
+BLOCKING_ATTRS = frozenset(
+    {
+        "fsync",
+        "fdatasync",
+        "read_text",
+        "write_text",
+        "read_bytes",
+        "write_bytes",
+        "sendall",
+        "recv",
+        "accept",
+        "connect",
+    }
+)
+
+#: Project functions that are blocking by declaration (CPU-heavy pairing
+#: work or fsync-backed storage), matched by resolved-name suffix.  The
+#: call-graph closure extends this set transitively, so most storage
+#: entry points are *derived*, not listed.
+BLOCKING_SUFFIXES = (
+    "ssw_query",
+    "product_tate_pairing",
+    "multi_miller_loop",
+    "RecordStore.append",
+    "RecordStore.delete",
+    "RecordStore.compact",
+    "PartitionMap.save",
+    "SegmentLog.append_frames",
+)
+
+#: Call names that *schedule* a callable elsewhere: a blocking function
+#: passed (not called) into one of these is the approved pattern.
+EXECUTOR_SUFFIXES = (
+    "run_in_executor",
+    "to_thread",
+    "_offload",
+    "_fan_out",
+)
+
+# ----------------------------------------------------------------------
+# CRS011 — deadline propagation at coordinator fan-out sites
+# ----------------------------------------------------------------------
+#: ServiceClient verbs a coordinator handler may invoke; each accepts a
+#: ``deadline_ms`` keyword that must carry the remaining budget.
+CLIENT_VERBS = frozenset(
+    {"search", "upload", "delete", "fetch", "export", "health", "stats"}
+)
+
+
+def is_secret_type(resolved: str | None) -> bool:
+    """True if a resolved annotation names a secret key type."""
+    if not resolved:
+        return False
+    return any(
+        resolved == suffix or resolved.endswith("." + suffix) or resolved.endswith(suffix)
+        for suffix in SECRET_TYPE_SUFFIXES
+    )
+
+
+def _suffix_match(resolved: str, suffixes) -> str | None:
+    for suffix in suffixes:
+        if resolved == suffix or resolved.endswith("." + suffix):
+            return suffix
+    return None
+
+
+def is_source_call(resolved: str | None):
+    """``(description, mask)`` if *resolved* is a source call, else None.
+
+    ``mask`` is the per-slot secrecy tuple for tuple-returning sources,
+    or ``None`` when the whole return value is secret.
+    """
+    if not resolved:
+        return None
+    name = _suffix_match(resolved, SOURCE_CALLS)
+    if name is not None:
+        return SOURCE_CALLS[name], None
+    name = _suffix_match(resolved, SOURCE_CALL_MASKS)
+    if name is not None:
+        return f"secret from {name}", SOURCE_CALL_MASKS[name]
+    return None
+
+
+def is_sanitizer(resolved: str | None, attr: str | None) -> bool:
+    """True if a call to *resolved* (terminal *attr*) cleans its result."""
+    if resolved and _suffix_match(resolved, SANITIZER_SUFFIXES):
+        return True
+    if resolved in CLEAN_BUILTINS:
+        return True
+    if attr and (attr in SANITIZER_ATTRS or attr in CLEAN_BUILTINS):
+        return True
+    return False

@@ -1,0 +1,398 @@
+"""Project index for the flow analyzer: modules, functions, resolution.
+
+The per-file tier (:mod:`repro.analysis.staticcheck.rules`) sees one AST
+at a time; the flow tier needs to answer questions *across* files: which
+function does ``self._persist_map()`` land in, what type is
+``self.store``, does ``repro.storage.store.RecordStore.append``
+transitively fsync.  This module builds that index:
+
+* every linted file becomes a :class:`ModuleInfo` with a dotted module
+  name derived from its path (``src/repro/crypto/ssw.py`` →
+  ``repro.crypto.ssw``; fixture trees resolve the same way relative to
+  the lint root);
+* every module-level function and class method becomes a
+  :class:`FunctionInfo` keyed by qualified name;
+* imports are resolved into a per-module environment so a call's dotted
+  name can be reconstructed (``from repro.service import protocol`` +
+  ``protocol.encode_ok`` → ``repro.service.protocol.encode_ok``);
+* classes carry light attribute typing: ``self.x = SomeClass(...)`` or a
+  parameter assignment whose annotation resolves to a known class lets
+  ``self.x.method()`` resolve to that class's method.
+
+Resolution is best-effort by design.  Python's dynamism means some call
+sites stay anonymous; the analyzer's specs fall back to terminal
+attribute names for those (see ``flow.model``).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.analysis.staticcheck.engine import (
+    FileContext,
+    Finding,
+    PARSE_ERROR_RULE,
+    iter_python_files,
+)
+
+__all__ = ["FunctionInfo", "ClassInfo", "ModuleInfo", "Project"]
+
+
+def _module_name(relpath: str) -> str:
+    """Dotted module name for a lint-root-relative POSIX path."""
+    parts = list(Path(relpath).with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else relpath
+
+
+class FunctionInfo:
+    """One function or method, with enough context to analyze its body."""
+
+    def __init__(self, qualname: str, node, module: "ModuleInfo", klass=None):
+        self.qualname = qualname
+        self.node = node
+        self.module = module
+        self.klass: ClassInfo | None = klass
+        self.is_async = isinstance(node, ast.AsyncFunctionDef)
+        args = node.args
+        self.params: list[ast.arg] = [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        ]
+        self.param_names = [a.arg for a in self.params]
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+class ClassInfo:
+    """One class: methods, resolved base names, inferred attribute types."""
+
+    def __init__(self, qualname: str, node: ast.ClassDef, module: "ModuleInfo"):
+        self.qualname = qualname
+        self.node = node
+        self.module = module
+        self.methods: dict[str, FunctionInfo] = {}
+        self.bases: list[str] = []
+        #: attribute name -> qualname of the class it is an instance of.
+        self.attr_types: dict[str, str] = {}
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+class ModuleInfo:
+    """One parsed file plus its import environment."""
+
+    def __init__(self, name: str, ctx: FileContext):
+        self.name = name
+        self.ctx = ctx
+        #: local binding -> dotted name it refers to.
+        self.env: dict[str, str] = {}
+
+
+class Project:
+    """The cross-module index the flow rules run against."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: CRS000 findings for files that failed to parse.
+        self.parse_failures: list[Finding] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, paths: Sequence[Path], root: Path) -> "Project":
+        """Index every Python file under *paths* relative to *root*."""
+        project = cls()
+        for path in iter_python_files(list(paths)):
+            try:
+                rel = path.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = path.as_posix()
+            try:
+                source = path.read_text(encoding="utf-8")
+                ctx = FileContext(path, rel, source)
+            except (OSError, UnicodeDecodeError):
+                continue
+            except SyntaxError as exc:
+                project.parse_failures.append(
+                    Finding(
+                        rule=PARSE_ERROR_RULE,
+                        path=rel,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+                continue
+            project._index_module(_module_name(rel), ctx)
+        project._infer_attr_types()
+        return project
+
+    def _index_module(self, name: str, ctx: FileContext) -> None:
+        module = ModuleInfo(name, ctx)
+        self.modules[name] = module
+        package = name.rsplit(".", 1)[0] if "." in name else ""
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    module.env[bound] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    prefix_parts = name.split(".")
+                    # level 1 = current package, 2 = parent, ...
+                    keep = len(prefix_parts) - node.level
+                    prefix = ".".join(prefix_parts[:keep]) if keep > 0 else ""
+                    if package and keep == len(prefix_parts) - 1:
+                        prefix = package
+                    base = f"{prefix}.{base}" if base and prefix else (prefix or base)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    module.env[bound] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{name}.{node.name}"
+                module.env[node.name] = qual
+                self.functions[qual] = FunctionInfo(qual, node, module)
+            elif isinstance(node, ast.ClassDef):
+                qual = f"{name}.{node.name}"
+                module.env[node.name] = qual
+                klass = ClassInfo(qual, node, module)
+                self.classes[qual] = klass
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        mqual = f"{qual}.{item.name}"
+                        info = FunctionInfo(mqual, item, module, klass=klass)
+                        klass.methods[item.name] = info
+                        self.functions[mqual] = info
+        # Base names need the full env, so resolve them in a second sweep.
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                klass = self.classes[f"{name}.{node.name}"]
+                for base in node.bases:
+                    resolved = self.resolve_dotted(module, base)
+                    if resolved:
+                        klass.bases.append(resolved)
+
+    # ------------------------------------------------------------------
+    # Attribute typing
+    # ------------------------------------------------------------------
+    def _infer_attr_types(self) -> None:
+        """Infer ``self.attr`` instance types from assignments.
+
+        Two patterns are recognized, both common in this codebase:
+        ``self.x = KnownClass(...)`` (or ``KnownClass.open(...)`` — a
+        classmethod constructor) and ``self.x = param`` where the
+        parameter's annotation resolves to a known class.
+        """
+        for klass in self.classes.values():
+            for method in klass.methods.values():
+                ann_types: dict[str, str] = {}
+                for arg in method.params:
+                    if arg.annotation is None:
+                        continue
+                    resolved = self._annotation_class(
+                        method.module, arg.annotation
+                    )
+                    if resolved:
+                        ann_types[arg.arg] = resolved
+                for node in ast.walk(method.node):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    for target in node.targets:
+                        if not (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            continue
+                        inferred = self._value_class(
+                            method.module, node.value, ann_types
+                        )
+                        if inferred and target.attr not in klass.attr_types:
+                            klass.attr_types[target.attr] = inferred
+
+    def _annotation_class(self, module: ModuleInfo, node) -> str | None:
+        """The known class an annotation names, unwrapping ``X | None``."""
+        if isinstance(node, ast.BinOp):
+            return self._annotation_class(
+                module, node.left
+            ) or self._annotation_class(module, node.right)
+        if isinstance(node, ast.Subscript):  # Optional[X] / list[X]: skip list
+            return None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # String annotation: match by bare class name.
+            cand = node.value.strip().strip('"')
+            resolved = module.env.get(cand)
+            return resolved if resolved in self.classes else None
+        resolved = self.resolve_dotted(module, node)
+        return resolved if resolved in self.classes else None
+
+    def _value_class(self, module, value, ann_types: dict[str, str]) -> str | None:
+        if isinstance(value, ast.Name):
+            return ann_types.get(value.id)
+        if isinstance(value, ast.Call):
+            resolved = self.resolve_dotted(module, value.func)
+            if resolved in self.classes:
+                return resolved
+            # Classmethod constructors: KnownClass.open(...).
+            if resolved and "." in resolved:
+                owner = resolved.rsplit(".", 1)[0]
+                if owner in self.classes:
+                    return owner
+        return None
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve_dotted(self, module: ModuleInfo, node) -> str | None:
+        """Resolve a Name/Attribute chain to a dotted name, or ``None``.
+
+        Bare names that are neither imported nor defined in the module
+        resolve to themselves (builtins like ``open`` match specs that
+        way); anything rooted in a call or subscript stays unresolved.
+        """
+        if isinstance(node, ast.Name):
+            return module.env.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve_dotted(module, node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    def class_info(self, qualname: str | None) -> ClassInfo | None:
+        """The :class:`ClassInfo` for a dotted qualname, if indexed."""
+        if qualname is None:
+            return None
+        return self.classes.get(qualname)
+
+    def lookup_method(self, klass: ClassInfo, name: str) -> FunctionInfo | None:
+        """Find *name* on *klass* or (depth-first) its known bases."""
+        seen: set[str] = set()
+
+        def walk(k: ClassInfo) -> FunctionInfo | None:
+            if k.qualname in seen:
+                return None
+            seen.add(k.qualname)
+            if name in k.methods:
+                return k.methods[name]
+            for base in k.bases:
+                base_info = self.classes.get(base)
+                if base_info is not None:
+                    found = walk(base_info)
+                    if found is not None:
+                        return found
+            return None
+
+        return walk(klass)
+
+    def attr_type_of(self, klass: ClassInfo, attr: str) -> ClassInfo | None:
+        """The class of ``self.<attr>``, searching known bases too."""
+        cursor: ClassInfo | None = klass
+        seen: set[str] = set()
+        while cursor is not None and cursor.qualname not in seen:
+            seen.add(cursor.qualname)
+            if attr in cursor.attr_types:
+                return self.classes.get(cursor.attr_types[attr])
+            cursor = next(
+                (
+                    self.classes[b]
+                    for b in cursor.bases
+                    if b in self.classes
+                ),
+                None,
+            )
+        return None
+
+    def resolve_call(
+        self,
+        func_info: FunctionInfo,
+        call: ast.Call,
+        local_types: dict[str, str] | None = None,
+    ) -> tuple[str | None, FunctionInfo | None]:
+        """Resolve a call site to ``(dotted_name, FunctionInfo | None)``.
+
+        Handles plain names, dotted module functions, ``self.method()``
+        (including inherited methods), ``self.attr.method()`` via
+        inferred attribute types, ``local.method()`` via *local_types*
+        (variable name -> class qualname), and ``Class.method(...)``.
+        """
+        module = func_info.module
+        func = call.func
+        local_types = local_types or {}
+        if isinstance(func, ast.Name):
+            resolved = module.env.get(func.id, func.id)
+            return resolved, self.functions.get(resolved)
+        if not isinstance(func, ast.Attribute):
+            return None, None
+        base = func.value
+        # self.method() / cls.method()
+        if (
+            isinstance(base, ast.Name)
+            and base.id in ("self", "cls")
+            and func_info.klass is not None
+        ):
+            method = self.lookup_method(func_info.klass, func.attr)
+            if method is not None:
+                return method.qualname, method
+            return f"{func_info.klass.qualname}.{func.attr}", None
+        # self.attr.method() via inferred attribute types
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+            and func_info.klass is not None
+        ):
+            owner = self.attr_type_of(func_info.klass, base.attr)
+            if owner is not None:
+                method = self.lookup_method(owner, func.attr)
+                if method is not None:
+                    return method.qualname, method
+                return f"{owner.qualname}.{func.attr}", None
+        # local.method() via local instance tracking
+        if isinstance(base, ast.Name) and base.id in local_types:
+            owner = self.classes.get(local_types[base.id])
+            if owner is not None:
+                method = self.lookup_method(owner, func.attr)
+                if method is not None:
+                    return method.qualname, method
+                return f"{owner.qualname}.{func.attr}", None
+        # module.function() / Class.method() via the import env
+        resolved = self.resolve_dotted(module, func)
+        if resolved is None:
+            return None, None
+        info = self.functions.get(resolved)
+        if info is None and "." in resolved:
+            # Class.method where Class resolves but the dotted join does
+            # not (e.g. imported class): try the class registry.
+            owner_name = resolved.rsplit(".", 1)[0]
+            owner = self.classes.get(owner_name)
+            if owner is not None:
+                info = self.lookup_method(owner, func.attr)
+                if info is not None:
+                    resolved = info.qualname
+        return resolved, info
+
+    # ------------------------------------------------------------------
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        """Every indexed function and method, in definition order."""
+        yield from self.functions.values()

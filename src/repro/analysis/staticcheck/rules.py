@@ -16,6 +16,10 @@ justification) or the baseline file, never by weakening the rule.
 | CRS005 | unsafe deserialization primitives (pickle/eval/exec)         |
 | CRS006 | CRSE-II permutations derived from fixed seeds/β              |
 | CRS007 | non-atomic persistence writes (no fsync/os.replace)          |
+
+Rules CRS008–CRS011 (secret taint flows, blocking calls in ``async def``,
+deadline propagation) are project-wide and live in the ``flow``
+subpackage; enable them with ``--flow``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,97 @@
+"""SARIF 2.1.0 serialization of lint findings.
+
+Minimal but valid: one run, one tool, rule metadata for both tiers
+(per-file CRS001–CRS007 from the registry, flow CRS008–CRS011 from the
+flow model), and one result per finding with a physical location.  CI
+uploads the file so findings render as code-scanning annotations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.staticcheck.engine import REGISTRY, Finding
+from repro.analysis.staticcheck.flow.model import FLOW_RULE_INFO
+
+__all__ = ["to_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptors() -> list[dict]:
+    # Importing the rule pack populates the per-file registry.
+    from repro.analysis.staticcheck import rules as _rules  # noqa: F401
+
+    descriptors = []
+    for rule_id in sorted(REGISTRY):
+        rule = REGISTRY[rule_id]
+        descriptors.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": rule.title},
+                "fullDescription": {"text": rule.rationale},
+            }
+        )
+    for rule_id in sorted(FLOW_RULE_INFO):
+        title, rationale = FLOW_RULE_INFO[rule_id]
+        descriptors.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": title},
+                "fullDescription": {"text": rationale},
+            }
+        )
+    return descriptors
+
+
+def to_sarif(findings: Sequence[Finding]) -> dict:
+    """Render *findings* as a SARIF 2.1.0 log (JSON-ready dict)."""
+    results = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "level": "error",
+                "message": {"text": finding.message},
+                "partialFingerprints": {
+                    "reprolint/v2": finding.fingerprint,
+                },
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col + 1,
+                                "snippet": {"text": finding.snippet},
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": _rule_descriptors(),
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "results": results,
+            }
+        ],
+    }

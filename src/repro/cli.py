@@ -110,12 +110,24 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "paths", nargs="*", type=Path, help="files/dirs (default: src/repro)"
     )
-    lint.add_argument("--format", choices=("human", "json"), default="human")
+    lint.add_argument(
+        "--format", choices=("human", "json", "sarif"), default="human"
+    )
     lint.add_argument("--baseline", type=Path, default=None)
     lint.add_argument("--no-baseline", action="store_true")
     lint.add_argument("--write-baseline", action="store_true")
     lint.add_argument("--select", default=None, metavar="RULES")
+    lint.add_argument("--root", type=Path, default=None)
     lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument(
+        "--flow", action="store_true",
+        help="also run the project-wide taint/concurrency tier "
+        "(CRS008-CRS011)",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="also fail on stale baseline entries",
+    )
 
     serve = sub.add_parser(
         "serve", help="run the networked query service (TCP)"
@@ -417,7 +429,9 @@ def _cmd_serve(args, out) -> int:
     async def main() -> None:
         port = await server.start()
         if args.port_file is not None:
-            args.port_file.write_text(str(port))
+            # Keep file IO off the loop even here: the server is already
+            # accepting connections by the time the port file appears.
+            await asyncio.to_thread(args.port_file.write_text, str(port))
         print(
             f"serving on {args.host}:{port} (workers={workers}, "
             f"max_pending={args.max_pending})",
@@ -457,7 +471,7 @@ def _cmd_coordinate(args, out) -> int:
     async def main() -> None:
         port = await coordinator.start()
         if args.port_file is not None:
-            args.port_file.write_text(str(port))
+            await asyncio.to_thread(args.port_file.write_text, str(port))
         print(
             f"coordinating {len(coordinator.shards)} shard(s) on "
             f"{args.host}:{port} "
@@ -607,6 +621,9 @@ def _cmd_lint(args, out) -> int:
         no_baseline=args.no_baseline,
         write_baseline_file=args.write_baseline,
         select=args.select,
+        root=args.root,
+        flow=args.flow,
+        strict=args.strict,
         out=out,
     )
 

@@ -64,6 +64,9 @@ class CRSE1Key:
     r_squared: int
     radii_squared: tuple[int, ...]
 
+    def __repr__(self) -> str:  # redacted: wraps the SSW master key
+        return f"CRSE1Key(alpha={self.alpha}, m={self.m}, space={self.space!r})"
+
     @property
     def m(self) -> int:
         """Number of polynomial factors (including dummy padding)."""
@@ -215,9 +218,11 @@ class CRSE1Scheme(CRSEScheme[CRSE1Key, CRSE1Ciphertext, CRSE1Token]):
         self._check_key(key)
         self.space.validate_circle(circle)
         if circle.r_squared != key.r_squared:
+            # Both radii are secrets (the key's fixed radius and the
+            # query's); say that they differ, not what they are.
             raise SchemeError(
-                f"CRSE-I key is fixed to R²={key.r_squared}; cannot issue a "
-                f"token for R²={circle.r_squared}"
+                "CRSE-I keys fix the query radius at KeyGen; this circle's "
+                "radius differs from the key's"
             )
         vector = key.split.f_v(circle.center, list(key.radii_squared))
         return CRSE1Token(ssw=ssw_gen_token(key.ssw, vector, rng))

@@ -43,13 +43,16 @@ from repro.errors import SchemeError
 __all__ = ["CRSE2Key", "CRSE2Ciphertext", "CRSE2Token", "CRSE2Scheme", "dummy_circle"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class CRSE2Key:
     """CRSE-II secret key (identical in shape to a CPE key)."""
 
     ssw: SSWSecretKey
     split: SplitForm
     space: DataSpace
+
+    def __repr__(self) -> str:  # redacted: wraps the SSW master key
+        return f"CRSE2Key(alpha={self.ssw.n}, space={self.space!r})"
 
 
 @dataclass(frozen=True)

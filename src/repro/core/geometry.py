@@ -135,7 +135,12 @@ class DataSpace:
             ParameterError: If the point lies outside the space.
         """
         if not self.contains_point(point):
-            raise ParameterError(f"point {tuple(point)} is not in Δ^{self.w}_{self.t}")
+            # Coordinates are plaintext record data — name the space, not
+            # the point.
+            raise ParameterError(
+                f"{len(tuple(point))}-dimensional point is not in "
+                f"Δ^{self.w}_{self.t}"
+            )
         return tuple(point)
 
     def validate_circle(self, circle: Circle) -> Circle:
@@ -155,7 +160,9 @@ class DataSpace:
                 f"circle dimension {circle.w} does not match space dimension {self.w}"
             )
         if not self.contains_point(circle.center):
-            raise ParameterError(f"circle center {circle.center} is outside the space")
+            raise ParameterError(
+                "query circle center is outside the data space"
+            )
         if circle.r_squared > self.max_distance_squared():
             raise ParameterError(
                 "squared radius exceeds the data-space diameter; "

@@ -34,7 +34,9 @@ def permutation_from_beta(n: int, beta: int) -> list[int]:
         raise ParameterError("sequence length must be non-negative")
     total = math.factorial(n)
     if not 1 <= beta <= total:
-        raise ParameterError(f"beta must be in [1, {total}], got {beta}")
+        # β is the radius-hiding permutation secret — report only the
+        # valid range, never the value itself.
+        raise ParameterError(f"beta must be in [1, {total}]")
     index = beta - 1
     digits = []
     for base in range(1, n + 1):

@@ -97,7 +97,11 @@ def group_for_crse1(
     m = num_concentric_circles(r_squared, space.w)
     if hide_radius_to is not None:
         if hide_radius_to < m:
-            raise ParameterError(f"cannot hide m={m} factors inside K={hide_radius_to}")
+            # m is derived from the key's secret radius; keep it out of
+            # the message (K alone is fine — the owner chose it).
+            raise ParameterError(
+                f"radius needs more factors than hide_radius_to K={hide_radius_to} allows"
+            )
         m = hide_radius_to
     bound = CRSE1Scheme.required_inner_product_bound(space, r_squared, m)
     return provision_group(bound, backend, rng)

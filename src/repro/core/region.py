@@ -108,7 +108,7 @@ def gen_region_token(
         raise SchemeError("region query needs at least one point")
     for point in unique:
         if not scheme.space.contains_point(point):
-            raise ParameterError(f"region point {point} is outside the space")
+            raise ParameterError("a region query point is outside the space")
     circles = [Circle(point, 0) for point in unique]
     if hide_count_to is not None:
         if hide_count_to < len(circles):

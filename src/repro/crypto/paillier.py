@@ -71,13 +71,16 @@ class PaillierPublicKey:
         return self.add(ciphertext, self.encrypt_zero(rng))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class PaillierSecretKey:
     """The secret half: ``λ = lcm(p-1, q-1)`` and ``μ = L(g^λ)^{-1}``."""
 
     public: PaillierPublicKey
     lam: int
     mu: int
+
+    def __repr__(self) -> str:  # redacted: λ/μ factor the modulus
+        return f"PaillierSecretKey(n_bits={self.public.n.bit_length()})"
 
     def decrypt(self, ciphertext: int) -> int:
         """Decrypt to a signed integer in ``(-n/2, n/2]``.

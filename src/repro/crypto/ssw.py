@@ -68,7 +68,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class SSWSecretKey:
     """The SSW master secret key.
 
@@ -84,6 +84,12 @@ class SSWSecretKey:
     h2: tuple[GroupElement, ...]
     u1: tuple[GroupElement, ...]
     u2: tuple[GroupElement, ...]
+
+    def __repr__(self) -> str:  # redacted: bases are the master secret
+        return (
+            f"SSWSecretKey(n={self.n}, "
+            f"group_bits={self.group.order.bit_length()})"
+        )
 
     def precompute(self) -> int:
         """Build fixed-base tables for every base this key exponentiates.

@@ -189,7 +189,8 @@ def replay(
                 report.deletes += 1
                 report.records_deleted += removed
         else:  # pragma: no cover - exhaustive union
-            raise ParameterError(f"unknown operation {op!r}")
+            # An op embeds plaintext query circles — name its type only.
+            raise ParameterError(f"unknown operation type {type(op).__name__}")
     report.elapsed_s = time.perf_counter() - started
     if verify and report.mismatches:
         raise AssertionError(

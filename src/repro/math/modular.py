@@ -42,7 +42,13 @@ def modinv(a: int, n: int) -> int:
     """
     g, x, _ = egcd(a % n, n)
     if g != 1:
-        raise ValueError(f"{a} is not invertible modulo {n} (gcd={g})")
+        # Never echo the operand: in a composite-order group a
+        # non-invertible value shares a factor with n, so printing it (or
+        # the gcd) would hand out part of the secret factorization.
+        raise ValueError(
+            f"value is not invertible modulo the {n.bit_length()}-bit "
+            f"modulus (gcd is {g.bit_length()} bits)"
+        )
     return x % n
 
 

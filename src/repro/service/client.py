@@ -221,7 +221,9 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Verbs
     # ------------------------------------------------------------------
-    def upload(self, dataset: UploadDataset) -> int:
+    def upload(
+        self, dataset: UploadDataset, deadline_ms: float | None = None
+    ) -> int:
         """Upload an encrypted dataset; returns the server's record count.
 
         Raises:
@@ -229,7 +231,9 @@ class ServiceClient:
             ServiceBusyError: If backpressure persists through all retries.
             ProtocolError: On malformed payloads (non-retryable).
         """
-        fields = self._request("upload", protocol.upload_fields(dataset))
+        fields = self._request(
+            "upload", protocol.upload_fields(dataset), deadline_ms=deadline_ms
+        )
         stored = fields.get("stored")
         if not isinstance(stored, int):
             raise WireFormatError("upload reply missing 'stored' count")
@@ -266,11 +270,16 @@ class ServiceClient:
             stats if isinstance(stats, dict) else {},
         )
 
-    def fetch(self, identifiers: tuple[int, ...]) -> dict[int, bytes]:
+    def fetch(
+        self,
+        identifiers: tuple[int, ...],
+        deadline_ms: float | None = None,
+    ) -> dict[int, bytes]:
         """Fetch encrypted record contents for *identifiers*."""
         fields = self._request(
             "fetch",
             protocol.fetch_fields(FetchRequest(identifiers=identifiers)),
+            deadline_ms=deadline_ms,
         )
         contents = fields.get("contents")
         if not isinstance(contents, list):
@@ -288,7 +297,9 @@ class ServiceClient:
         return out
 
     def export(
-        self, identifiers: tuple[int, ...]
+        self,
+        identifiers: tuple[int, ...],
+        deadline_ms: float | None = None,
     ) -> tuple[tuple[int, bytes, bytes], ...]:
         """Fetch records *with* their searchable payload bytes.
 
@@ -302,24 +313,30 @@ class ServiceClient:
                 **protocol.fetch_fields(FetchRequest(identifiers=identifiers)),
                 "payloads": True,
             },
+            deadline_ms=deadline_ms,
         )
         return protocol.export_rows_from_fields(fields)
 
-    def delete(self, identifiers: tuple[int, ...]) -> int:
+    def delete(
+        self,
+        identifiers: tuple[int, ...],
+        deadline_ms: float | None = None,
+    ) -> int:
         """Delete records by identifier; returns how many were removed."""
         fields = self._request(
             "delete",
             protocol.delete_fields(DeleteRequest(identifiers=identifiers)),
+            deadline_ms=deadline_ms,
         )
         removed = fields.get("removed")
         if not isinstance(removed, int):
             raise WireFormatError("delete reply missing 'removed' count")
         return removed
 
-    def health(self) -> dict:
+    def health(self, deadline_ms: float | None = None) -> dict:
         """Liveness probe: status, record count, worker count."""
-        return self._request("health")
+        return self._request("health", deadline_ms=deadline_ms)
 
-    def stats(self) -> dict:
+    def stats(self, deadline_ms: float | None = None) -> dict:
         """The server's metrics snapshot (counters, latency histograms)."""
-        return self._request("stats")
+        return self._request("stats", deadline_ms=deadline_ms)

@@ -472,6 +472,7 @@ class Coordinator(FramedServer):
 
     async def _do_upload(self, request: protocol.Request) -> dict:
         message = protocol.upload_from_fields(request.fields)
+        budget = self._remaining_ms(request, time.perf_counter())
         # Duplicate checks mirror the single server: within the batch and
         # against everything already assigned anywhere in the cluster.
         seen = set(self.partition_map.assignments)
@@ -497,7 +498,7 @@ class Coordinator(FramedServer):
             if not batch:
                 return None
             return self._client(spec).upload(
-                UploadDataset(records=tuple(batch))
+                UploadDataset(records=tuple(batch)), deadline_ms=budget
             )
 
         targets = [s for s in self.shards if per_shard.get(s.addr)]
@@ -520,8 +521,9 @@ class Coordinator(FramedServer):
                 {"addr": spec.addr, "ok": True, "stored": len(acked)}
             )
         # Persist exactly what was acked — a crash right here leaves a map
-        # describing records the shards really hold, nothing more.
-        self._persist_map()
+        # describing records the shards really hold, nothing more.  The
+        # fsync must not stall concurrent searches, so it runs off-loop.
+        await self._offload(self._persist_map)
         if failures:
             raise ShardUnavailableError(
                 f"upload lost shard(s) {', '.join(failures)}; "
@@ -537,11 +539,14 @@ class Coordinator(FramedServer):
 
     async def _do_delete(self, request: protocol.Request) -> dict:
         message = protocol.delete_from_fields(request.fields)
+        budget = self._remaining_ms(request, time.perf_counter())
         grouped = self._group_by_owner(message.identifiers, self.partition_map)
         specs = [self._by_addr[addr] for addr in sorted(grouped)]
 
         def drop(spec: ShardSpec):
-            return self._client(spec).delete(tuple(grouped[spec.addr]))
+            return self._client(spec).delete(
+                tuple(grouped[spec.addr]), deadline_ms=budget
+            )
 
         outcomes = await self._fan_out(specs, drop)
         reports: list[dict] = []
@@ -560,7 +565,7 @@ class Coordinator(FramedServer):
             reports.append(
                 {"addr": spec.addr, "ok": True, "removed": outcome}
             )
-        self._persist_map()
+        await self._offload(self._persist_map)
         if failures:
             raise ShardUnavailableError(
                 f"delete lost shard(s) {', '.join(failures)}",
@@ -573,6 +578,7 @@ class Coordinator(FramedServer):
 
     async def _do_fetch(self, request: protocol.Request) -> dict:
         message = protocol.fetch_from_fields(request.fields)
+        budget = self._remaining_ms(request, time.perf_counter())
         wants_payloads = protocol.fetch_wants_payloads(request.fields)
         for identifier in message.identifiers:
             if self.partition_map.owner(identifier) is None:
@@ -586,8 +592,8 @@ class Coordinator(FramedServer):
             client = self._client(spec)
             wanted = tuple(grouped[spec.addr])
             if wants_payloads:
-                return client.export(wanted)
-            return client.fetch(wanted)
+                return client.export(wanted, deadline_ms=budget)
+            return client.fetch(wanted, deadline_ms=budget)
 
         outcomes = await self._fan_out(specs, pull)
         failures = [
@@ -627,8 +633,10 @@ class Coordinator(FramedServer):
         )
 
     async def _do_health(self, request: protocol.Request) -> dict:
+        budget = self._remaining_ms(request, time.perf_counter())
+
         def probe(spec: ShardSpec):
-            return self._client(spec).health()
+            return self._client(spec).health(deadline_ms=budget)
 
         outcomes = await self._fan_out(self.shards, probe)
         reports: list[dict] = []
@@ -658,8 +666,10 @@ class Coordinator(FramedServer):
         }
 
     async def _do_stats(self, request: protocol.Request) -> dict:
+        budget = self._remaining_ms(request, time.perf_counter())
+
         def probe(spec: ShardSpec):
-            return self._client(spec).stats()
+            return self._client(spec).stats(deadline_ms=budget)
 
         outcomes = await self._fan_out(self.shards, probe)
         reports = []

@@ -1,0 +1,131 @@
+"""Event-loop hygiene regression tests (CRS010's runtime counterpart).
+
+The flow analyzer statically forbids blocking calls in ``async def``
+bodies; this suite pins the behavior those findings were about: a large
+batch commit (partition-map fsync) must not stall the coordinator's
+event loop, because a stalled loop freezes *every* in-flight request,
+not just the mutating one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.cloud.messages import UploadDataset, UploadRecord
+from repro.service import CoordinatorConfig, protocol
+from repro.service.coordinator import Coordinator, PartitionMap
+
+SLOW_COMMIT_S = 0.30
+#: Loosely half the commit time: an on-loop commit would produce a gap of
+#: at least SLOW_COMMIT_S between ticks; an off-loop one stays near the
+#: tick interval.  The margin absorbs CI scheduler noise.
+MAX_TOLERATED_GAP_S = 0.15
+
+
+class _StubShardClient:
+    """In-process stand-in for a backend shard's ServiceClient."""
+
+    def upload(self, dataset, deadline_ms=None):
+        return len(dataset.records)
+
+    def delete(self, identifiers, deadline_ms=None):
+        return len(identifiers)
+
+
+def _upload_request(n_records: int) -> protocol.Request:
+    dataset = UploadDataset(
+        records=tuple(
+            UploadRecord(
+                identifier=i, payload=b"payload-%d" % i, content=b""
+            )
+            for i in range(n_records)
+        )
+    )
+    return protocol.Request(
+        verb="upload",
+        request_id=1,
+        deadline_ms=None,
+        fields=protocol.upload_fields(dataset),
+    )
+
+
+async def _max_tick_gap(work) -> float:
+    """Run *work* while sampling loop latency; return the worst gap."""
+    gaps: list[float] = []
+
+    async def ticker():
+        last = time.perf_counter()
+        while True:
+            await asyncio.sleep(0.01)
+            now = time.perf_counter()
+            gaps.append(now - last)
+            last = now
+
+    probe = asyncio.ensure_future(ticker())
+    try:
+        await work
+    finally:
+        probe.cancel()
+    return max(gaps) if gaps else 0.0
+
+
+class TestBatchCommitResponsiveness:
+    def test_loop_stays_responsive_during_slow_persist(
+        self, tmp_path, monkeypatch
+    ):
+        real_save = PartitionMap.save
+
+        def slow_save(self, directory):
+            time.sleep(SLOW_COMMIT_S)  # simulated huge fsync
+            real_save(self, directory)
+
+        coordinator = Coordinator(
+            ["127.0.0.1:9"],
+            CoordinatorConfig(),
+            data_dir=tmp_path,
+            client_factory=lambda spec, timeout_s: _StubShardClient(),
+        )
+        monkeypatch.setattr(PartitionMap, "save", slow_save)
+        request = _upload_request(64)
+
+        async def scenario() -> float:
+            return await _max_tick_gap(coordinator._do_upload(request))
+
+        worst_gap = asyncio.run(scenario())
+        assert worst_gap < MAX_TOLERATED_GAP_S, (
+            f"event loop stalled for {worst_gap * 1000:.0f} ms during a "
+            "batch commit — the partition-map fsync is back on the loop"
+        )
+        # The upload itself really happened and really persisted.
+        assert coordinator.partition_map.record_count == 64
+        assert PartitionMap.load(tmp_path) is not None
+
+    def test_delete_commit_also_off_loop(self, tmp_path, monkeypatch):
+        real_save = PartitionMap.save
+
+        def slow_save(self, directory):
+            time.sleep(SLOW_COMMIT_S)
+            real_save(self, directory)
+
+        coordinator = Coordinator(
+            ["127.0.0.1:9"],
+            CoordinatorConfig(),
+            data_dir=tmp_path,
+            client_factory=lambda spec, timeout_s: _StubShardClient(),
+        )
+        asyncio.run(coordinator._do_upload(_upload_request(8)))
+        monkeypatch.setattr(PartitionMap, "save", slow_save)
+        delete_request = protocol.Request(
+            verb="delete",
+            request_id=2,
+            deadline_ms=None,
+            fields={"ids": list(range(8))},
+        )
+
+        async def scenario() -> float:
+            return await _max_tick_gap(coordinator._do_delete(delete_request))
+
+        worst_gap = asyncio.run(scenario())
+        assert worst_gap < MAX_TOLERATED_GAP_S
+        assert coordinator.partition_map.record_count == 0

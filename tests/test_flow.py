@@ -1,0 +1,504 @@
+"""Tests for the project-wide flow tier (CRS008–CRS011).
+
+Fixture mini-packages are written under ``tmp_path`` with ``crypto/`` /
+``core/`` path segments so the scoped parameter-name sources apply, then
+analyzed with :func:`analyze_flow`.  The suite covers the flow shapes the
+issue calls out — direct, one-hop interprocedural, attribute-carried, and
+sanitized-negative — plus the async rules, inline suppression, baselines,
+and the no-false-positives check on the real tree.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.staticcheck import (
+    load_baseline,
+    partition_findings,
+    write_baseline,
+)
+from repro.analysis.staticcheck.cli import run_lint
+from repro.analysis.staticcheck.flow import analyze_flow
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def write_pkg(tmp_path: Path, files: dict[str, str]) -> Path:
+    """Materialize a fixture package and return its root."""
+    root = tmp_path / "proj"
+    for relpath, source in files.items():
+        target = root / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    for directory in {p.parent for p in root.rglob("*.py")}:
+        init = directory / "__init__.py"
+        if not init.exists():
+            init.write_text("", encoding="utf-8")
+    return root
+
+
+def flow_findings(root: Path, select=None):
+    return analyze_flow([root], root=root, select=select)
+
+
+def rules_at(findings, path_fragment: str) -> list[str]:
+    return [f.rule for f in findings if path_fragment in f.path]
+
+
+class TestCRS008Direct:
+    def test_secret_param_into_exception(self, tmp_path):
+        root = write_pkg(
+            tmp_path,
+            {
+                "crypto/keys.py": """
+                def check(key):
+                    if key > 10:
+                        raise ValueError(f"bad key {key}")
+                """
+            },
+        )
+        findings = flow_findings(root)
+        assert [f.rule for f in findings] == ["CRS008"]
+        assert "keys.py" in findings[0].path
+        assert "key" in findings[0].message
+
+    def test_secret_param_into_log(self, tmp_path):
+        root = write_pkg(
+            tmp_path,
+            {
+                "crypto/keys.py": """
+                import logging
+
+                logger = logging.getLogger(__name__)
+
+                def note(secret_key):
+                    logger.info("loaded %s", secret_key)
+                """
+            },
+        )
+        findings = flow_findings(root)
+        assert [f.rule for f in findings] == ["CRS008"]
+        assert "log record" in findings[0].message
+
+    def test_clean_function_no_findings(self, tmp_path):
+        root = write_pkg(
+            tmp_path,
+            {
+                "crypto/keys.py": """
+                def check(key):
+                    if key > 10:
+                        raise ValueError("key out of range")
+                    return key * 2
+                """
+            },
+        )
+        assert flow_findings(root) == []
+
+    def test_secret_type_annotation_outside_scoped_paths(self, tmp_path):
+        # Annotation-based sources work anywhere, not just crypto/core.
+        root = write_pkg(
+            tmp_path,
+            {
+                "util/fmt.py": """
+                class OwnerSecretKey:
+                    pass
+
+                def show(material: OwnerSecretKey):
+                    raise RuntimeError(f"cannot format {material}")
+                """
+            },
+        )
+        findings = flow_findings(root)
+        assert [f.rule for f in findings] == ["CRS008"]
+
+
+class TestCRS008Interprocedural:
+    def test_one_hop_call_flow(self, tmp_path):
+        # The sink lives in a helper module; taint enters one call away.
+        root = write_pkg(
+            tmp_path,
+            {
+                "crypto/report.py": """
+                def fail_with(value):
+                    raise ValueError(f"value was {value}")
+                """,
+                "crypto/scheme.py": """
+                from crypto.report import fail_with
+
+                def validate(key):
+                    if key < 0:
+                        fail_with(key)
+                """,
+            },
+        )
+        findings = flow_findings(root)
+        assert [f.rule for f in findings] == ["CRS008"]
+        # The finding anchors at the sink (the raise in report.py) and
+        # names the caller chain.
+        assert "report.py" in findings[0].path
+        assert "via" in findings[0].message
+
+    def test_attribute_carried_flow(self, tmp_path):
+        # __init__ stores the secret on self; another method leaks it.
+        root = write_pkg(
+            tmp_path,
+            {
+                "crypto/holder.py": """
+                class Holder:
+                    def __init__(self, key):
+                        self._sk = key
+
+                    def describe(self):
+                        raise RuntimeError(f"holder of {self._sk}")
+                """
+            },
+        )
+        findings = flow_findings(root)
+        assert [f.rule for f in findings] == ["CRS008"]
+        assert "describe" in findings[0].snippet or "holder of" in str(
+            findings[0].snippet
+        )
+
+    def test_sanitized_flow_is_negative(self, tmp_path):
+        # Hashing and len() are approved projections — no finding.
+        root = write_pkg(
+            tmp_path,
+            {
+                "crypto/clean.py": """
+                import hashlib
+
+                def fingerprint(key):
+                    digest = hashlib.sha256(bytes(key)).hexdigest()
+                    raise ValueError(f"rejected key {digest} ({len(bytes(key))} bytes)")
+                """
+            },
+        )
+        assert flow_findings(root) == []
+
+    def test_source_call_taints_return(self, tmp_path):
+        root = write_pkg(
+            tmp_path,
+            {
+                "crypto/gen.py": """
+                def ssw_setup(n):
+                    return object()
+
+                def boom():
+                    master = ssw_setup(4)
+                    raise RuntimeError(f"made {master}")
+                """
+            },
+        )
+        findings = flow_findings(root)
+        assert [f.rule for f in findings] == ["CRS008"]
+        assert "SSW master key" in findings[0].message
+
+    def test_masked_tuple_unpack_only_taints_secret_slot(self, tmp_path):
+        root = write_pkg(
+            tmp_path,
+            {
+                "crypto/ks.py": """
+                def load_crse2_key(blob):
+                    return object(), object()
+
+                def describe_scheme(blob):
+                    scheme, key = load_crse2_key(blob)
+                    raise ValueError(f"scheme {scheme}")
+
+                def describe_key(blob):
+                    scheme, key = load_crse2_key(blob)
+                    raise ValueError(f"key {key}")
+                """
+            },
+        )
+        findings = flow_findings(root)
+        assert [f.rule for f in findings] == ["CRS008"]
+        assert "describe_key" not in findings[0].message  # anchored at raise
+        assert findings[0].snippet == 'raise ValueError(f"key {key}")'
+
+
+class TestCRS009:
+    def test_secret_to_wire_frame(self, tmp_path):
+        root = write_pkg(
+            tmp_path,
+            {
+                "crypto/wire.py": """
+                def write_frame(sock, body):
+                    pass
+
+                def send_key(sock, key):
+                    write_frame(sock, key)
+                """
+            },
+        )
+        findings = flow_findings(root)
+        assert "CRS009" in [f.rule for f in findings]
+
+    def test_secret_to_socket_write(self, tmp_path):
+        root = write_pkg(
+            tmp_path,
+            {
+                "crypto/push.py": """
+                def leak(sock, secret_key):
+                    sock.sendall(secret_key)
+                """
+            },
+        )
+        findings = flow_findings(root)
+        assert [f.rule for f in findings] == ["CRS009"]
+
+    def test_encrypted_payload_is_clean(self, tmp_path):
+        root = write_pkg(
+            tmp_path,
+            {
+                "crypto/push.py": """
+                def ssw_encrypt(key, x, rng):
+                    return b"ciphertext"
+
+                def send(sock, key, x, rng):
+                    sock.sendall(ssw_encrypt(key, x, rng))
+                """
+            },
+        )
+        assert flow_findings(root) == []
+
+
+class TestCRS010:
+    def test_direct_blocking_call_in_async(self, tmp_path):
+        root = write_pkg(
+            tmp_path,
+            {
+                "svc/server.py": """
+                import os
+                import time
+
+                async def handler(fd):
+                    time.sleep(0.1)
+                    os.fsync(fd)
+                """
+            },
+        )
+        findings = flow_findings(root)
+        assert [f.rule for f in findings] == ["CRS010", "CRS010"]
+
+    def test_transitive_blocking_through_helper(self, tmp_path):
+        root = write_pkg(
+            tmp_path,
+            {
+                "svc/store.py": """
+                import os
+
+                def persist(fd):
+                    os.fsync(fd)
+
+                async def commit(fd):
+                    persist(fd)
+                """
+            },
+        )
+        findings = flow_findings(root)
+        assert [f.rule for f in findings] == ["CRS010"]
+        assert "persist" in findings[0].message
+
+    def test_executor_reference_is_exempt(self, tmp_path):
+        root = write_pkg(
+            tmp_path,
+            {
+                "svc/store.py": """
+                import asyncio
+                import os
+
+                def persist(fd):
+                    os.fsync(fd)
+
+                async def commit(fd):
+                    await asyncio.to_thread(persist, fd)
+
+                async def commit2(loop, fd):
+                    await loop.run_in_executor(None, persist, fd)
+                """
+            },
+        )
+        assert flow_findings(root) == []
+
+    def test_sync_caller_is_exempt(self, tmp_path):
+        root = write_pkg(
+            tmp_path,
+            {
+                "svc/store.py": """
+                import os
+
+                def persist(fd):
+                    os.fsync(fd)
+
+                def commit(fd):
+                    persist(fd)
+                """
+            },
+        )
+        assert flow_findings(root) == []
+
+
+class TestCRS011:
+    FIXTURE = {
+        "svc/coord.py": """
+        class Coordinator:
+            def __init__(self, client):
+                self._client = client
+
+            async def _fan_out(self, specs, call):
+                return [call(spec) for spec in specs]
+
+            def _remaining_ms(self, request, started):
+                return 50.0
+
+            async def _do_search(self, request):
+                def ask(spec):
+                    return self._client(spec).search(request)
+
+                return await self._fan_out([1], ask)
+        """
+    }
+
+    def test_missing_deadline_flagged(self, tmp_path):
+        findings = flow_findings(write_pkg(tmp_path, dict(self.FIXTURE)))
+        assert [f.rule for f in findings] == ["CRS011"]
+        assert "deadline" in findings[0].message
+
+    def test_forwarded_deadline_is_clean(self, tmp_path):
+        fixed = {
+            "svc/coord.py": self.FIXTURE["svc/coord.py"].replace(
+                ".search(request)",
+                ".search(request, deadline_ms=self._remaining_ms(request, 0))",
+            )
+        }
+        assert flow_findings(write_pkg(tmp_path, fixed)) == []
+
+    def test_class_without_fan_out_is_exempt(self, tmp_path):
+        fixture = {
+            "svc/plain.py": """
+            class Plain:
+                async def _do_search(self, request):
+                    return self.client.search(request)
+            """
+        }
+        assert flow_findings(write_pkg(tmp_path, fixture)) == []
+
+
+class TestSuppressionAndBaseline:
+    LEAKY = {
+        "crypto/keys.py": """
+        def check(key):
+            raise ValueError(f"bad key {key}")
+        """
+    }
+
+    def test_inline_ignore_suppresses_flow_finding(self, tmp_path):
+        suppressed = {
+            "crypto/keys.py": """
+            def check(key):
+                raise ValueError(f"bad key {key}")  # reprolint: ignore[CRS008]
+            """
+        }
+        assert flow_findings(write_pkg(tmp_path, suppressed)) == []
+
+    def test_inline_ignore_other_rule_does_not_suppress(self, tmp_path):
+        wrong_rule = {
+            "crypto/keys.py": """
+            def check(key):
+                raise ValueError(f"bad key {key}")  # reprolint: ignore[CRS002]
+            """
+        }
+        findings = flow_findings(write_pkg(tmp_path, wrong_rule))
+        assert [f.rule for f in findings] == ["CRS008"]
+
+    def test_baseline_round_trip_for_flow_findings(self, tmp_path):
+        root = write_pkg(tmp_path, dict(self.LEAKY))
+        findings = flow_findings(root)
+        assert findings
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, findings)
+        known = load_baseline(baseline_file)
+        new, suppressed = partition_findings(flow_findings(root), known)
+        assert new == []
+        assert len(suppressed) == len(findings)
+
+    def test_select_restricts_rules(self, tmp_path):
+        both = {
+            "crypto/mix.py": """
+            import os
+            import time
+
+            def check(key):
+                raise ValueError(f"bad key {key}")
+
+            async def commit(fd):
+                os.fsync(fd)
+            """
+        }
+        root = write_pkg(tmp_path, both)
+        assert {f.rule for f in flow_findings(root)} == {"CRS008", "CRS010"}
+        assert {f.rule for f in flow_findings(root, ["CRS010"])} == {"CRS010"}
+
+
+class TestCliIntegration:
+    def test_run_lint_flow_strict_on_fixture(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, dict(TestSuppressionAndBaseline.LEAKY))
+        code = run_lint(
+            [root], root=root, flow=True, strict=True, no_baseline=True
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "CRS008" in out
+
+    def test_strict_fails_on_stale_baseline(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, dict(TestSuppressionAndBaseline.LEAKY))
+        baseline_file = root / ".reprolint-baseline.json"
+        code = run_lint(
+            [root], root=root, flow=True, write_baseline_file=True
+        )
+        assert code == 0
+        # Fix the leak; the baseline entry is now stale.
+        (root / "crypto" / "keys.py").write_text(
+            "def check(key):\n    raise ValueError('bad key')\n",
+            encoding="utf-8",
+        )
+        relaxed = run_lint(
+            [root], root=root, flow=True, baseline=baseline_file
+        )
+        strict = run_lint(
+            [root], root=root, flow=True, strict=True, baseline=baseline_file
+        )
+        out = capsys.readouterr().out
+        assert relaxed == 0
+        assert strict == 1
+        assert "stale" in out
+
+    def test_sarif_output_shape(self, tmp_path, capsys):
+        import json
+
+        root = write_pkg(tmp_path, dict(TestSuppressionAndBaseline.LEAKY))
+        code = run_lint(
+            [root],
+            root=root,
+            flow=True,
+            no_baseline=True,
+            output_format="sarif",
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["version"] == "2.1.0"
+        results = payload["runs"][0]["results"]
+        assert results and results[0]["ruleId"] == "CRS008"
+        rule_ids = {
+            r["id"] for r in payload["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert {"CRS001", "CRS008", "CRS011"} <= rule_ids
+
+
+class TestRealTreeIsClean:
+    def test_no_flow_findings_on_src_repro(self):
+        findings = analyze_flow([SRC_ROOT], root=REPO_ROOT)
+        assert findings == [], "\n".join(f.render() for f in findings)
