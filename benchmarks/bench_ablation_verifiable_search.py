@@ -1,0 +1,148 @@
+"""Ablation — what result verification costs, and what it does not.
+
+The verifiable-search subsystem (``repro.integrity``) adds two kinds of
+overhead on top of the paper's CRSE-II deployment:
+
+* **per-record, at upload** — two 32-byte HMAC tags per ciphertext,
+  constant regardless of dataset size;
+* **per-query, at search** — the integrity section of the reply: one
+  ``[identifier, digest, tag]`` entry per *match* plus one
+  **constant-size** completeness proof per shard.
+
+The table sweeps the match count by widening the query radius and
+reports the verified-search overhead end to end (a real server behind a
+real socket, client-side verification included).  The assertion that
+matters for the design is pinned at the bottom: the serialized
+completeness proof does **not** grow with the result-set size — only the
+per-match tag list does, and that is information the client asked for.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.analysis.report import TextTable
+from repro.cloud.codec import encode_ciphertext, encode_token
+from repro.cloud.messages import UploadDataset, UploadRecord
+from repro.core.geometry import Circle
+from repro.integrity import (
+    IntegrityState,
+    ResultVerifier,
+    TagKeys,
+    membership_tag,
+    record_tag,
+)
+from repro.service import (
+    ServerThread,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+)
+
+N_RECORDS = 120
+RADII = (2, 6, 12, 24)
+CENTER = (256, 256)
+
+
+def _proof_bytes(section: dict) -> int:
+    """Serialized size of the completeness proofs alone (no match list)."""
+    return len(json.dumps(section["shards"]))
+
+
+def test_ablation_verifiable_search(crse2_env, write_result):
+    scheme, key, rng = crse2_env
+    keys = TagKeys.derive(scheme, key)
+    # Cluster the records around the query center so the radius sweep
+    # actually sweeps the match count (uniform points over a 512² space
+    # would leave every radius nearly empty).
+    points = [
+        (
+            CENTER[0] + rng.randrange(-24, 25),
+            CENTER[1] + rng.randrange(-24, 25),
+        )
+        for _ in range(N_RECORDS)
+    ]
+
+    # Upload-side overhead: tag minting time and bytes per record.
+    started = time.perf_counter()
+    records = []
+    for identifier, point in enumerate(points):
+        payload = encode_ciphertext(scheme, scheme.encrypt(key, point, rng))
+        records.append(
+            UploadRecord(
+                identifier=identifier,
+                payload=payload,
+                tag=record_tag(keys, identifier, payload),
+                mtag=membership_tag(keys, identifier),
+            )
+        )
+    encrypt_and_tag_s = time.perf_counter() - started
+    tag_bytes = len(records[0].tag) + len(records[0].mtag)
+    payload_bytes = len(records[0].payload)
+
+    state = IntegrityState()
+    state.note_upload(keys, range(N_RECORDS))
+    verifier = ResultVerifier(keys)
+
+    thread = ServerThread(ServiceServer(scheme, config=ServiceConfig()))
+    port = thread.start()
+    table = TextTable(
+        f"Ablation — verifiable search, n = {N_RECORDS}, "
+        f"tags add {tag_bytes} B to a {payload_bytes} B ciphertext",
+        ["radius", "matches", "plain ms", "verified ms", "proof B", "tags B"],
+    )
+    proof_sizes = []
+    try:
+        client = ServiceClient("127.0.0.1", port)
+        client.upload(UploadDataset(records=tuple(records)))
+        thread.server.engine.warm_up()
+        for radius in RADII:
+            token = encode_token(
+                scheme,
+                scheme.gen_token(
+                    key, Circle.from_radius(CENTER, radius), rng
+                ),
+            )
+            started = time.perf_counter()
+            plain_resp, _ = client.search(token)
+            plain_ms = (time.perf_counter() - started) * 1000.0
+
+            started = time.perf_counter()
+            resp, _, section = client.search_verified(token)
+            report = verifier.verify(
+                token, resp.identifiers, section, state
+            )
+            verified_ms = (time.perf_counter() - started) * 1000.0
+
+            assert sorted(resp.identifiers) == sorted(plain_resp.identifiers)
+            assert report.records == len(resp.identifiers)
+            proof_sizes.append((len(resp.identifiers), _proof_bytes(section)))
+            table.add_row(
+                radius,
+                len(resp.identifiers),
+                f"{plain_ms:.2f}",
+                f"{verified_ms:.2f}",
+                _proof_bytes(section),
+                len(json.dumps(section["matches"])),
+            )
+    finally:
+        thread.stop()
+
+    # The design's load-bearing claim: proof size is independent of the
+    # result-set size.  (The match-tag list may grow; the proof may not.)
+    assert len({size for _, size in proof_sizes}) == 1, proof_sizes
+    match_counts = [count for count, _ in proof_sizes]
+    assert max(match_counts) > min(match_counts), (
+        "radius sweep must vary the match count for the claim to bite"
+    )
+
+    note = (
+        f"encrypt+tag for {N_RECORDS} records: {encrypt_and_tag_s:.2f} s; "
+        "completeness proof size is constant across the sweep "
+        f"({proof_sizes[0][1]} B) while matches vary "
+        f"{min(match_counts)}..{max(match_counts)}."
+    )
+    write_result(
+        "bench_ablation_verifiable_search", table.render() + "\n" + note
+    )

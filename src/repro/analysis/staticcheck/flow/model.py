@@ -91,6 +91,7 @@ SECRET_TYPE_SUFFIXES = (
     "SecretKey",  # SSWSecretKey, PaillierSecretKey, fixture OwnerSecretKey
     "CRSE1Key",
     "CRSE2Key",
+    "TagKeys",  # integrity tag keys — derived from the CRSE key
 )
 
 #: Parameter names treated as taint sources, but only in modules whose
@@ -114,13 +115,16 @@ SECRET_PARAM_NAMES = frozenset(
     }
 )
 
-SECRET_PARAM_PATH_SEGMENTS = ("crypto", "core")
+SECRET_PARAM_PATH_SEGMENTS = ("crypto", "core", "integrity")
 
 #: Calls whose *return value* is secret, matched by resolved-name suffix.
 SOURCE_CALLS = {
     "ssw_setup": "SSW master key",
     "paillier_keygen": "Paillier secret key",
     "gen_key": "CRSE scheme key",
+    "derive_integrity_secret": "integrity tag-key secret",
+    "TagKeys.derive": "integrity tag keys",
+    "TagKeys.from_secret": "integrity tag keys",
 }
 
 #: Source calls that return a tuple where only some slots are secret:
@@ -148,6 +152,11 @@ SANITIZER_SUFFIXES = (
     "scheme_header",
     "group_header",
     "num_sub_tokens",
+    # Integrity tags are HMAC outputs — publishing a MAC of a secret is
+    # the subsystem's whole point, so minting one cleans the flow.
+    "record_tag",
+    "membership_tag",
+    "header_fingerprint",
 )
 
 #: Terminal attribute names that clean their receiver/arguments:
@@ -271,6 +280,7 @@ BLOCKING_SUFFIXES = (
     "RecordStore.append",
     "RecordStore.delete",
     "RecordStore.compact",
+    "RecordStore.checkpoint_integrity",
     "PartitionMap.save",
     "SegmentLog.append_frames",
 )

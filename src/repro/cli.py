@@ -23,7 +23,11 @@ deployment for a user driving it from a shell:
   coordinator and reports per-shard health;
 * ``store``    — offline operations on a ``--data-dir`` record store:
   ``verify`` (read-only integrity check), ``compact`` (drop tombstoned
-  records), ``stats`` (snapshot counters).
+  records), ``stats`` (snapshot counters);
+* ``integrity`` — verifiable-search operations: ``audit`` re-verifies a
+  durable store's record tags against the owner's key and checks the
+  manifest's accumulator checkpoint (``repro query --verify`` is the
+  online counterpart).
 
 Search only needs public parameters, but for CLI simplicity it reads the
 key file and uses the public part — a real server would receive the scheme
@@ -214,6 +218,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="require the endpoint to be a coordinator and report "
         "per-shard health before querying",
     )
+    query.add_argument(
+        "--verify", action="store_true",
+        help="demand per-record tags and a completeness proof with the "
+        "reply and verify them client-side; any tamper exits non-zero",
+    )
+    query.add_argument(
+        "--integrity-state", type=Path, default=None, metavar="PATH",
+        help="JSON file tracking the client's expected accumulator state "
+        "across invocations; updated on upload, checked on --verify",
+    )
+
+    integrity = sub.add_parser(
+        "integrity", help="verifiable-search operations"
+    )
+    integrity_sub = integrity.add_subparsers(
+        dest="integrity_command", required=True
+    )
+    integrity_audit = integrity_sub.add_parser(
+        "audit",
+        help="offline re-verification of a durable store's record tags "
+        "and accumulator checkpoint",
+    )
+    integrity_audit.add_argument("--key", type=Path, required=True)
+    integrity_audit.add_argument("--data-dir", type=Path, required=True)
+    integrity_audit.add_argument(
+        "--format", choices=("human", "json"), default="human"
+    )
 
     store = sub.add_parser(
         "store", help="offline operations on a durable record store"
@@ -380,10 +411,11 @@ def _cmd_serve(args, out) -> int:
     import os
 
     from repro.cloud.messages import UploadDataset, UploadRecord
+    from repro.integrity import TagKeys, membership_tag, record_tag
     from repro.service import ServiceConfig, ServiceServer
     from repro.service.schemeio import scheme_header
 
-    scheme, _key = load_crse2_key(args.key.read_bytes())
+    scheme, key = load_crse2_key(args.key.read_bytes())
     workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
     config = ServiceConfig(
         host=args.host,
@@ -415,11 +447,20 @@ def _cmd_serve(args, out) -> int:
                 file=out,
             )
         else:
+            # The serve CLI already holds the owner's key file, so the
+            # preload path mints the same integrity tags an owner upload
+            # would — keeping --verify queries answerable.
+            tag_keys = TagKeys.derive(scheme, key)
             records = _read_records_file(args.records)
             server.ingest(
                 UploadDataset(
                     records=tuple(
-                        UploadRecord(identifier=i, payload=blob)
+                        UploadRecord(
+                            identifier=i,
+                            payload=blob,
+                            tag=record_tag(tag_keys, i, blob),
+                            mtag=membership_tag(tag_keys, i),
+                        )
                         for i, blob in records
                     )
                 )
@@ -486,7 +527,16 @@ def _cmd_coordinate(args, out) -> int:
 
 
 def _cmd_query(args, out) -> int:
+    import json as _json
+
     from repro.errors import ParameterError, ShardUnavailableError
+    from repro.integrity import (
+        IntegrityState,
+        ResultVerifier,
+        TagKeys,
+        membership_tag,
+        record_tag,
+    )
     from repro.service import ServiceClient
 
     wants_search = args.center is not None or args.radius is not None
@@ -496,8 +546,16 @@ def _cmd_query(args, out) -> int:
         raise ParameterError(
             "nothing to do: give --center/--radius, --upload, or both"
         )
+    if args.verify and not wants_search:
+        raise ParameterError("--verify needs --center/--radius")
 
     scheme, key = load_crse2_key(args.key.read_bytes())
+    tag_keys = TagKeys.derive(scheme, key)
+    state = None
+    if args.integrity_state is not None and args.integrity_state.exists():
+        state = IntegrityState.from_dict(
+            _json.loads(args.integrity_state.read_text("utf-8"))
+        )
     rng = _rng(args.seed)
     client = ServiceClient(args.host, args.port, timeout_s=args.timeout_s)
     if args.via_coordinator:
@@ -520,7 +578,12 @@ def _cmd_query(args, out) -> int:
         stored = client.upload(
             UploadDataset(
                 records=tuple(
-                    UploadRecord(identifier=i, payload=blob)
+                    UploadRecord(
+                        identifier=i,
+                        payload=blob,
+                        tag=record_tag(tag_keys, i, blob),
+                        mtag=membership_tag(tag_keys, i),
+                    )
                     for i, blob in records
                 )
             )
@@ -529,15 +592,28 @@ def _cmd_query(args, out) -> int:
             f"uploaded {len(records)} records ({stored} now stored)",
             file=out,
         )
+        if args.integrity_state is not None:
+            if state is None:
+                state = IntegrityState()
+            state.note_upload(tag_keys, (i for i, _ in records))
+            args.integrity_state.write_text(
+                _json.dumps(state.to_dict()), "utf-8"
+            )
     if wants_search:
         circle = Circle.from_radius(_parse_point(args.center), args.radius)
         token = scheme.gen_token(
             key, circle, rng, hide_radius_to=args.hide_to
         )
+        token_payload = encode_token(scheme, token)
         try:
-            response, stats = client.search(
-                encode_token(scheme, token), deadline_ms=args.deadline_ms
-            )
+            if args.verify:
+                response, stats, section = client.search_verified(
+                    token_payload, deadline_ms=args.deadline_ms
+                )
+            else:
+                response, stats = client.search(
+                    token_payload, deadline_ms=args.deadline_ms
+                )
         except ShardUnavailableError as exc:
             # Degraded, not silent: show what the reachable shards could
             # attest to, then fail with the typed error.
@@ -549,6 +625,17 @@ def _cmd_query(args, out) -> int:
             )
             raise
         print(f"matches: {sorted(response.identifiers)}", file=out)
+        if args.verify:
+            report = ResultVerifier(tag_keys).verify(
+                token_payload, response.identifiers, section, state=state
+            )
+            line = (
+                f"verified: {report.records} match(es) attested across "
+                f"{report.shards} shard proof(s)"
+            )
+            if report.state_checked:
+                line += "; aggregate state checked"
+            print(line, file=out)
         if stats:
             print(
                 f"scanned {stats.get('records_scanned')} records in "
@@ -557,8 +644,6 @@ def _cmd_query(args, out) -> int:
                 file=out,
             )
     if args.stats:
-        import json as _json
-
         print(_json.dumps(client.stats(), indent=2), file=out)
     return 0
 
@@ -608,6 +693,91 @@ def _cmd_store(args, out) -> int:
     return 0
 
 
+def _cmd_integrity(args, out) -> int:
+    import hmac as _hmac
+    import json as _json
+
+    from repro.integrity import (
+        EMPTY_ROOT,
+        TagKeys,
+        membership_tag,
+        payload_digest,
+        verify_record_tag,
+        xor_fold,
+    )
+    from repro.storage import RecordStore
+
+    scheme, key = load_crse2_key(args.key.read_bytes())
+    tag_keys = TagKeys.derive(scheme, key)
+    with RecordStore.open(args.data_dir) as store:
+        checkpoint = store.integrity_checkpoint
+        rows = list(store.scan_tagged())
+
+    untagged: list[int] = []
+    bad: list[int] = []
+    root = EMPTY_ROOT
+    for identifier, payload, _content, tag, mtag in rows:
+        if not tag or not mtag:
+            untagged.append(identifier)
+            continue
+        ok = verify_record_tag(
+            tag_keys, identifier, payload_digest(payload), tag
+        ) and _hmac.compare_digest(mtag, membership_tag(tag_keys, identifier))
+        if not ok:
+            bad.append(identifier)
+            continue
+        root = xor_fold((root, mtag))
+
+    checkpoint_match = None
+    if checkpoint is not None:
+        checkpoint_match = (
+            not untagged
+            and not bad
+            and checkpoint.get("root") == root.hex()
+            and checkpoint.get("count") == len(rows)
+        )
+    report = {
+        "directory": str(args.data_dir),
+        "records": len(rows),
+        "tagged": len(rows) - len(untagged),
+        "untagged": sorted(untagged),
+        "bad": sorted(bad),
+        "root": root.hex(),
+        "checkpoint": checkpoint,
+        "checkpoint_match": checkpoint_match,
+        "clean": not untagged and not bad and checkpoint_match is not False,
+    }
+    if args.format == "json":
+        print(_json.dumps(report, indent=2), file=out)
+    else:
+        print(
+            f"audited {report['records']} record(s): "
+            f"{report['tagged']} tagged, {len(bad)} bad tag(s), "
+            f"{len(untagged)} untagged",
+            file=out,
+        )
+        for identifier in report["bad"]:
+            print(
+                f"error: record {identifier} fails tag verification "
+                "(altered ciphertext or forged tag)",
+                file=out,
+            )
+        if checkpoint is None:
+            print("no accumulator checkpoint in the manifest", file=out)
+        else:
+            verdict = "matches" if checkpoint_match else "DOES NOT match"
+            print(
+                f"accumulator checkpoint {verdict} the recomputed root",
+                file=out,
+            )
+        print(
+            f"store at {args.data_dir}: "
+            f"{'clean' if report['clean'] else 'tampered'}",
+            file=out,
+        )
+    return 0 if report["clean"] else 1
+
+
 def _cmd_lint(args, out) -> int:
     from repro.analysis.staticcheck.cli import _print_rule_table, run_lint
 
@@ -641,6 +811,7 @@ _COMMANDS = {
     "coordinate": _cmd_coordinate,
     "query": _cmd_query,
     "store": _cmd_store,
+    "integrity": _cmd_integrity,
 }
 
 

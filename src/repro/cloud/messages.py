@@ -36,12 +36,17 @@ class UploadRecord:
     ``payload`` is the searchable CRSE ciphertext of the coordinates;
     ``content`` is the record's body under the independent traditional
     encryption layer the paper assumes (Sec. III) — opaque bytes to the
-    server, fetched back by identifier after a search.
+    server, fetched back by identifier after a search.  ``tag`` and
+    ``mtag`` are the result-integrity layer's authenticity and
+    membership MACs (:mod:`repro.integrity`) — opaque to the server,
+    empty when the owner predates the integrity layer.
     """
 
     identifier: int
     payload: bytes
     content: bytes = b""
+    tag: bytes = b""
+    mtag: bytes = b""
 
     @property
     def size_bytes(self) -> int:

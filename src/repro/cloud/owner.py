@@ -22,6 +22,7 @@ from repro.core.base import CRSEScheme
 from repro.core.crse2 import CRSE2Scheme
 from repro.crypto.recordcipher import RecordCipher
 from repro.errors import ProtocolError
+from repro.integrity import TagKeys, membership_tag, record_tag
 
 __all__ = ["DataOwner"]
 
@@ -50,8 +51,20 @@ class DataOwner:
             record_key if record_key is not None else RecordCipher.generate_key()
         )
         self._next_identifier = 0
+        self._tag_keys: TagKeys | None = None
         # identifier → plaintext point, so the owner can interpret results.
         self.directory: dict[int, tuple[int, ...]] = {}
+
+    @property
+    def tag_keys(self) -> TagKeys:
+        """The result-integrity tag keys, derived once from the secret key.
+
+        Derivation canonicalizes the whole SSW key, so the value is
+        cached; the same owner key always yields the same tag keys.
+        """
+        if self._tag_keys is None:
+            self._tag_keys = TagKeys.derive(self.scheme, self._key)
+        return self._tag_keys
 
     # ------------------------------------------------------------------
     def encrypt_dataset(
@@ -71,6 +84,7 @@ class DataOwner:
         """
         if contents is not None and len(contents) != len(points):
             raise ProtocolError("one content body per point required")
+        keys = self.tag_keys
         records = []
         for index, point in enumerate(points):
             identifier = self._next_identifier
@@ -80,11 +94,14 @@ class DataOwner:
             body = b""
             if contents is not None:
                 body = self.record_cipher.encrypt(contents[index])
+            payload = encode_ciphertext(self.scheme, ciphertext)
             records.append(
                 UploadRecord(
                     identifier=identifier,
-                    payload=encode_ciphertext(self.scheme, ciphertext),
+                    payload=payload,
                     content=body,
+                    tag=record_tag(keys, identifier, payload),
+                    mtag=membership_tag(keys, identifier),
                 )
             )
         return UploadDataset(records=tuple(records))

@@ -15,6 +15,7 @@ format.
 
 from __future__ import annotations
 
+import hashlib
 import hmac
 import json
 
@@ -33,11 +34,14 @@ __all__ = [
     "load_crse1_key",
     "save_crse2_key",
     "load_crse2_key",
+    "derive_integrity_secret",
     "group_header",
     "restore_group",
 ]
 
 _FORMAT_VERSION = 1
+
+_INTEGRITY_DOMAIN = b"repro-integrity-v1|"
 
 
 def group_header(group: CompositeBilinearGroup) -> dict:
@@ -141,6 +145,31 @@ def _load(data: bytes, expected_scheme: str) -> dict:
             f"expected {expected_scheme!r}"
         )
     return payload
+
+
+def derive_integrity_secret(scheme, key) -> bytes:
+    """Derive the result-integrity master secret from a CRSE scheme key.
+
+    The integrity layer (:mod:`repro.integrity`) needs HMAC keys that only
+    the data owner can compute.  Rather than widening the key file format,
+    the secret is *derived*: a domain-separated SHA-256 over the canonical
+    serialization of the SSW key material, so the same saved key blob
+    yields the same tag keys after every restart, on either backend.  The
+    derivation is one-way — the 32-byte secret reveals nothing about the
+    SSW bases — and the domain prefix keeps it disjoint from every other
+    hash in the library.
+
+    Raises:
+        SerializationError: If *key* carries no SSW material (unsupported
+            key type).
+    """
+    ssw = getattr(key, "ssw", None)
+    if ssw is None:
+        raise SerializationError(
+            f"cannot derive integrity secret from {type(key).__name__}"
+        )
+    canonical = _dump(_ssw_to_json(scheme.group, ssw))
+    return hashlib.sha256(_INTEGRITY_DOMAIN + canonical).digest()
 
 
 # ----------------------------------------------------------------------

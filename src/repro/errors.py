@@ -91,6 +91,19 @@ class ShardUnavailableError(ServiceError):
         self.shards = tuple(shards)
 
 
+class IntegrityError(ReproError):
+    """A search result failed client-side verification.
+
+    Raised by the result-integrity layer (:mod:`repro.integrity`) when a
+    per-record authenticity tag does not verify, a shard's completeness
+    proof does not balance against its accumulator root, the merged
+    aggregate disagrees with the client's expected state, or a reply that
+    should carry a proof arrives without one.  Each of these is evidence
+    of a lazy, tampering, or truncating server — never a recoverable
+    condition, so the error is terminal and must not be retried.
+    """
+
+
 class StorageError(ReproError):
     """Base class for errors raised by the durable record store.
 

@@ -1,0 +1,57 @@
+"""Result integrity: verifiable search over the untrusted cloud.
+
+The paper's server is semi-honest — trusted to evaluate the SSW test
+over *every* stored ciphertext and return *every* match.  This subsystem
+removes that trust for results: a lazy, tampering, or truncating server
+is *detected* client-side, turning the deployment into verifiable
+outsourcing.
+
+Pieces, by module:
+
+* :mod:`~repro.integrity.tags` — owner-derived HMAC keys, the per-record
+  authenticity tag, and the identifier-only membership tag;
+* :mod:`~repro.integrity.accumulator` — the XOR set-accumulator each
+  shard maintains over its membership tags;
+* :mod:`~repro.integrity.shard` — the keyless server-side registry that
+  answers searches with per-match tags and a constant-size completeness
+  proof;
+* :mod:`~repro.integrity.verify` — the client-side
+  :class:`~repro.integrity.verify.ResultVerifier` and the persistent
+  expected-state commitment.
+
+Every detected tamper raises :class:`repro.errors.IntegrityError`.
+"""
+
+from repro.integrity.accumulator import EMPTY_ROOT, SetAccumulator, xor_fold
+from repro.integrity.shard import ShardIntegrity
+from repro.integrity.tags import (
+    TAG_BYTES,
+    TagKeys,
+    header_fingerprint,
+    membership_tag,
+    payload_digest,
+    record_tag,
+    verify_record_tag,
+)
+from repro.integrity.verify import (
+    IntegrityState,
+    ResultVerifier,
+    VerificationReport,
+)
+
+__all__ = [
+    "TAG_BYTES",
+    "EMPTY_ROOT",
+    "TagKeys",
+    "header_fingerprint",
+    "payload_digest",
+    "record_tag",
+    "membership_tag",
+    "verify_record_tag",
+    "SetAccumulator",
+    "xor_fold",
+    "ShardIntegrity",
+    "IntegrityState",
+    "ResultVerifier",
+    "VerificationReport",
+]

@@ -1,0 +1,104 @@
+"""An XOR set-accumulator over membership tags.
+
+Each shard commits to its stored identifier set with three numbers: the
+XOR of all membership tags (the *root*), how many records are stored
+(the *count*), and a monotonic *version* bumped on every mutation.  XOR
+is the right fold here because it is an involution — adding and removing
+a record are the same operation — which makes the accumulator update
+O(1) on upload, delete, and compaction alike, and makes the completeness
+*complement* (the fold of every tag **not** returned by a search)
+computable without touching the matched records.
+
+Security rests on the tags, not the fold: membership tags are HMACs
+under a key the server never holds, so the server can only XOR tags the
+owner actually minted.  Dropping a matching record unbalances
+``complement ⊕ fold(matched) = root``; replaying a pre-delete root
+disagrees with the client's expected state.  A zero root with a zero
+count is the well-defined empty commitment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import IntegrityError
+from repro.integrity.tags import TAG_BYTES
+
+__all__ = ["SetAccumulator", "xor_fold", "EMPTY_ROOT"]
+
+#: The commitment to the empty set.
+EMPTY_ROOT = bytes(TAG_BYTES)
+
+
+def xor_fold(tags: Iterable[bytes]) -> bytes:
+    """XOR a sequence of 32-byte tags into one 32-byte value.
+
+    Raises:
+        IntegrityError: If any tag has the wrong length — folding a
+            short tag would silently weaken the commitment.
+    """
+    acc = bytearray(EMPTY_ROOT)
+    for tag in tags:
+        if len(tag) != TAG_BYTES:
+            raise IntegrityError(
+                f"cannot fold a {len(tag)}-byte tag into the accumulator"
+            )
+        for i, b in enumerate(tag):
+            acc[i] ^= b
+    return bytes(acc)
+
+
+@dataclass
+class SetAccumulator:
+    """Root, count, and version of one shard's stored-identifier set."""
+
+    root: bytes = EMPTY_ROOT
+    count: int = 0
+    version: int = 0
+
+    def add(self, mtag: bytes) -> None:
+        """Fold one membership tag in (a record was stored)."""
+        self.root = xor_fold((self.root, mtag))
+        self.count += 1
+        self.version += 1
+
+    def remove(self, mtag: bytes) -> None:
+        """Fold one membership tag out (a record was deleted).
+
+        Raises:
+            IntegrityError: If the accumulator is already empty — the
+                caller tried to remove a record that was never added.
+        """
+        if self.count == 0:
+            raise IntegrityError("cannot remove from an empty accumulator")
+        self.root = xor_fold((self.root, mtag))
+        self.count -= 1
+        self.version += 1
+
+    def to_dict(self) -> dict:
+        """JSON-ready checkpoint form (hex root, plain ints)."""
+        return {
+            "root": self.root.hex(),
+            "count": self.count,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SetAccumulator":
+        """Rebuild an accumulator from :meth:`to_dict` output.
+
+        Raises:
+            IntegrityError: On a malformed checkpoint.
+        """
+        try:
+            root = bytes.fromhex(raw["root"])
+            count = int(raw["count"])
+            version = int(raw["version"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IntegrityError(
+                f"malformed accumulator checkpoint: {exc}"
+            ) from exc
+        if len(root) != TAG_BYTES or count < 0 or version < 0:
+            raise IntegrityError("implausible accumulator checkpoint")
+        return cls(root=root, count=count, version=version)

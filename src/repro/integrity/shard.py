@@ -1,0 +1,188 @@
+"""The server-side (keyless) integrity registry of one shard.
+
+A :class:`ShardIntegrity` holds, per stored identifier, the three opaque
+byte strings the data owner shipped with the record — the payload digest
+computed at ingest, the record tag, and the membership tag — plus the
+:class:`~repro.integrity.accumulator.SetAccumulator` folding the
+membership tags together.  Holding *no key material* is the point: the
+registry can only replay tags the owner actually minted, so everything
+it emits is checkable client-side and nothing it could fabricate would
+verify.
+
+It produces the two halves of a verifiable search reply:
+
+* :meth:`matches_section` — per-match ``[identifier, digest, tag]``
+  triples the client checks against its record-tag key;
+* :meth:`proof_for` — the constant-size completeness proof: the shard's
+  accumulator root/count/version, a digest of the token it evaluated,
+  and the *complement* (XOR of the membership tags of every stored
+  record **not** in the match set).  The client refolds the matched
+  identifiers' membership tags into the complement and demands the
+  shard root back; a dropped match leaves the fold unbalanced.  The
+  proof's size is independent of both the dataset and the match count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+from repro.errors import IntegrityError
+from repro.integrity.accumulator import SetAccumulator, xor_fold
+from repro.integrity.tags import TAG_BYTES, payload_digest
+
+__all__ = ["ShardIntegrity"]
+
+
+class ShardIntegrity:
+    """Per-shard registry of record tags and the membership accumulator."""
+
+    def __init__(self) -> None:
+        # identifier → (payload digest, record tag, membership tag)
+        self._records: dict[int, tuple[bytes, bytes, bytes]] = {}
+        self._acc = SetAccumulator()
+
+    # ------------------------------------------------------------------
+    # Mutation — mirrors the shard's upload / delete / replay paths.
+    # ------------------------------------------------------------------
+    def add(self, identifier: int, payload: bytes, tag: bytes, mtag: bytes) -> None:
+        """Register one stored record's tags; folds into the accumulator.
+
+        The payload digest is computed *here*, from the bytes actually
+        stored — so a ciphertext corrupted before ingest fails the
+        client's tag check, and one corrupted after ingest is caught by
+        the offline audit (``repro integrity audit``) comparing stored
+        payloads against these digests.
+
+        Records uploaded without tags (a pre-integrity client) are
+        registered with empty tags and simply make the shard
+        unverifiable — :attr:`complete` turns false.
+
+        Raises:
+            IntegrityError: On a duplicate identifier or a tag of the
+                wrong length.
+        """
+        if identifier in self._records:
+            raise IntegrityError(
+                f"record {identifier} is already registered for integrity"
+            )
+        if (tag or mtag) and (
+            len(tag) != TAG_BYTES or len(mtag) != TAG_BYTES
+        ):
+            raise IntegrityError(
+                f"record {identifier} carries malformed integrity tags"
+            )
+        self._records[identifier] = (payload_digest(payload), tag, mtag)
+        if mtag:
+            self._acc.add(mtag)
+
+    def remove(self, identifier: int) -> bool:
+        """Unregister a deleted record; folds its tag back out.
+
+        Returns whether the identifier was registered (deletes of absent
+        identifiers are a no-op, matching the store's semantics).
+        """
+        entry = self._records.pop(identifier, None)
+        if entry is None:
+            return False
+        if entry[2]:
+            self._acc.remove(entry[2])
+        return True
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """How many records are registered."""
+        return len(self._records)
+
+    @property
+    def root(self) -> bytes:
+        """The accumulator root over all registered membership tags."""
+        return self._acc.root
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter of the accumulator."""
+        return self._acc.version
+
+    @property
+    def complete(self) -> bool:
+        """True when every registered record carries both tags."""
+        return all(tag and mtag for _, tag, mtag in self._records.values())
+
+    def entries(self) -> Iterable[tuple[int, bytes, bytes, bytes]]:
+        """Yield ``(identifier, digest, tag, mtag)`` for every record."""
+        for identifier, (digest, tag, mtag) in sorted(self._records.items()):
+            yield identifier, digest, tag, mtag
+
+    def tags_for(self, identifier: int) -> tuple[bytes, bytes]:
+        """The stored ``(tag, mtag)`` pair for one identifier.
+
+        Raises:
+            IntegrityError: If the identifier is not registered.
+        """
+        entry = self._records.get(identifier)
+        if entry is None:
+            raise IntegrityError(
+                f"record {identifier} has no registered integrity tags"
+            )
+        return entry[1], entry[2]
+
+    def checkpoint(self) -> dict:
+        """Accumulator state in manifest-checkpoint form."""
+        return self._acc.to_dict()
+
+    # ------------------------------------------------------------------
+    # Reply construction
+    # ------------------------------------------------------------------
+    def matches_section(self, identifiers: Sequence[int]) -> list[list]:
+        """Per-match ``[identifier, digest_hex, tag_hex]`` entries.
+
+        Raises:
+            IntegrityError: If a matched identifier is unregistered or
+                stored without a record tag — the shard cannot attest to
+                what it never received.
+        """
+        out: list[list] = []
+        for identifier in identifiers:
+            entry = self._records.get(identifier)
+            if entry is None or not entry[1]:
+                raise IntegrityError(
+                    f"matched record {identifier} has no authenticity tag"
+                )
+            out.append([identifier, entry[0].hex(), entry[1].hex()])
+        return out
+
+    def proof_for(self, identifiers: Sequence[int], token: bytes) -> dict:
+        """The constant-size completeness proof for one search.
+
+        Raises:
+            IntegrityError: If a matched identifier is unregistered, or
+                any stored record lacks a membership tag (the complement
+                would be meaningless).
+        """
+        if not self.complete:
+            raise IntegrityError(
+                "shard stores records without integrity tags; "
+                "completeness cannot be proven"
+            )
+        matched = set(identifiers)
+        unknown = matched.difference(self._records)
+        if unknown:
+            raise IntegrityError(
+                f"match set names unregistered records {sorted(unknown)}"
+            )
+        complement = xor_fold(
+            mtag
+            for identifier, (_, _, mtag) in self._records.items()
+            if identifier not in matched
+        )
+        return {
+            "root": self._acc.root.hex(),
+            "count": self._acc.count,
+            "version": self._acc.version,
+            "token_digest": hashlib.sha256(token).hexdigest(),
+            "complement": complement.hex(),
+        }

@@ -1,0 +1,157 @@
+"""Per-record authenticity tags and membership tags.
+
+The data owner derives two HMAC keys from the CRSE secret key
+(:func:`repro.crypto.keystore.derive_integrity_secret`) and attaches two
+MACs to every uploaded record:
+
+* the **record tag** binds the record identifier, the SHA-256 digest of
+  its searchable ciphertext payload, and the public scheme header — a
+  server cannot forge a match for a record the owner never uploaded, nor
+  pass off a bit-flipped ciphertext as genuine;
+* the **membership tag** binds only the identifier and the header.  It is
+  deliberately payload-independent so the *client* can recompute it from
+  an identifier alone — that is what lets a verifier fold returned
+  matches into a shard's accumulator root without holding any payloads
+  (:mod:`repro.integrity.verify`).
+
+Both keys are domain-separated hashes of one 32-byte master secret, so
+nothing about the SSW key material leaks into the tags, and the same
+saved key blob reproduces the same tags after every restart.
+
+Tag *verification* uses :func:`hmac.compare_digest` throughout — the tags
+are not secret, but the comparison discipline is uniform across the
+library's crypto surfaces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+from dataclasses import dataclass
+
+__all__ = [
+    "TAG_BYTES",
+    "TagKeys",
+    "header_fingerprint",
+    "payload_digest",
+    "record_tag",
+    "membership_tag",
+    "verify_record_tag",
+]
+
+#: Every tag, digest, and accumulator root in this subsystem is a full
+#: SHA-256 output.
+TAG_BYTES = 32
+
+_RECORD_KEY_DOMAIN = b"repro-tag-rec|"
+_MEMBERSHIP_KEY_DOMAIN = b"repro-tag-mem|"
+_RECORD_TAG_PREFIX = b"rec"
+_MEMBERSHIP_TAG_PREFIX = b"mem"
+
+
+def header_fingerprint(scheme) -> bytes:
+    """SHA-256 over the canonical public scheme header of *scheme*.
+
+    Binding tags to the header (backend, space, scheme kind) means a tag
+    minted under one deployment cannot be replayed against another that
+    happens to reuse identifiers.  The header is public, so the
+    fingerprint is too.
+    """
+    # Imported lazily: the service layer imports the cloud layer, which
+    # imports this module — a module-level import here would be a cycle.
+    from repro.service.schemeio import scheme_header
+
+    canonical = json.dumps(
+        scheme_header(scheme), separators=(",", ":"), sort_keys=True
+    ).encode()
+    return hashlib.sha256(canonical).digest()
+
+
+def payload_digest(payload: bytes) -> bytes:
+    """SHA-256 of a record's searchable ciphertext payload.
+
+    The record tag covers this digest rather than the raw payload so a
+    verifier needs only 32 bytes per match, not the full ciphertext.
+    """
+    return hashlib.sha256(payload).digest()
+
+
+@dataclass(frozen=True)
+class TagKeys:
+    """The owner-held key material of the result-integrity layer.
+
+    Derived (never stored) from the CRSE secret key; the server and the
+    coordinator never see these bytes — they handle only the opaque tags
+    the keys produce.
+    """
+
+    record_key: bytes
+    membership_key: bytes
+    header_fp: bytes
+
+    def __repr__(self) -> str:
+        """Redacted: key bytes must never reach logs or tracebacks."""
+        return "TagKeys(<redacted>)"
+
+    @classmethod
+    def from_secret(cls, secret: bytes, header_fp: bytes) -> "TagKeys":
+        """Expand the 32-byte integrity master secret into both tag keys."""
+        return cls(
+            record_key=hashlib.sha256(_RECORD_KEY_DOMAIN + secret).digest(),
+            membership_key=hashlib.sha256(
+                _MEMBERSHIP_KEY_DOMAIN + secret
+            ).digest(),
+            header_fp=header_fp,
+        )
+
+    @classmethod
+    def derive(cls, scheme, key) -> "TagKeys":
+        """Derive tag keys directly from a CRSE scheme and its secret key.
+
+        Raises:
+            SerializationError: If *key* carries no SSW material.
+        """
+        from repro.crypto.keystore import derive_integrity_secret
+
+        return cls.from_secret(
+            derive_integrity_secret(scheme, key), header_fingerprint(scheme)
+        )
+
+
+def _u64(value: int) -> bytes:
+    return value.to_bytes(8, "big")
+
+
+def record_tag(keys: TagKeys, identifier: int, payload: bytes) -> bytes:
+    """MAC authenticating one record: ``HMAC(K_rec, "rec"‖id‖H(payload)‖fp)``."""
+    message = (
+        _RECORD_TAG_PREFIX
+        + _u64(identifier)
+        + payload_digest(payload)
+        + keys.header_fp
+    )
+    return hmac.new(keys.record_key, message, hashlib.sha256).digest()
+
+
+def membership_tag(keys: TagKeys, identifier: int) -> bytes:
+    """MAC attesting one identifier's membership: ``HMAC(K_mem, "mem"‖id‖fp)``.
+
+    Payload-independent by design — see the module docstring.
+    """
+    message = _MEMBERSHIP_TAG_PREFIX + _u64(identifier) + keys.header_fp
+    return hmac.new(keys.membership_key, message, hashlib.sha256).digest()
+
+
+def verify_record_tag(
+    keys: TagKeys, identifier: int, digest: bytes, tag: bytes
+) -> bool:
+    """Check a record tag against an identifier and payload digest.
+
+    *digest* is the server-reported :func:`payload_digest`; the tag is
+    valid only if the owner minted it for exactly this identifier and
+    exactly this ciphertext under exactly this scheme header.
+    """
+    message = _RECORD_TAG_PREFIX + _u64(identifier) + digest + keys.header_fp
+    expected = hmac.new(keys.record_key, message, hashlib.sha256).digest()
+    return hmac.compare_digest(expected, tag)

@@ -1,0 +1,274 @@
+"""Client-side verification of search results and completeness proofs.
+
+:class:`ResultVerifier` is the trust anchor of the subsystem: it holds
+the owner-derived :class:`~repro.integrity.tags.TagKeys` and checks a
+search reply's integrity section — whether it came from one shard or
+from the coordinator's merge of many — against what the keys alone can
+recompute.  Five independent checks must all pass:
+
+1. every matched record's authenticity tag verifies against its
+   identifier and reported payload digest (no forged or flipped
+   ciphertexts);
+2. every per-shard proof digests the exact token the client sent (no
+   answering a cheaper query);
+3. every shard's ``complement ⊕ fold(matched membership tags)`` equals
+   its accumulator root (no silently dropped matches);
+4. the match list and the identifier list agree exactly, and no
+   identifier is claimed by two shards (no padding or double-counting);
+5. against an optional :class:`IntegrityState`, the XOR of shard roots
+   and the sum of shard counts equal the client's expected totals (no
+   omitted shard, no stale pre-delete replay).
+
+Any failure raises :class:`repro.errors.IntegrityError` naming the check
+that failed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import IntegrityError
+from repro.integrity.accumulator import EMPTY_ROOT, xor_fold
+from repro.integrity.tags import (
+    TAG_BYTES,
+    TagKeys,
+    membership_tag,
+    verify_record_tag,
+)
+
+__all__ = ["IntegrityState", "ResultVerifier", "VerificationReport"]
+
+
+@dataclass
+class IntegrityState:
+    """The client's own commitment to what the deployment stores.
+
+    Maintained owner/client-side across uploads and deletes, so a
+    verification can detect a *globally* consistent but stale answer — a
+    replayed pre-delete accumulator, or a whole shard omitted from the
+    coordinator's merge.  Serializable so the CLI can persist it between
+    invocations.
+    """
+
+    root: bytes = EMPTY_ROOT
+    count: int = 0
+
+    def note_upload(self, keys: TagKeys, identifiers: Iterable[int]) -> None:
+        """Fold freshly uploaded identifiers into the expected state."""
+        for identifier in identifiers:
+            self.root = xor_fold((self.root, membership_tag(keys, identifier)))
+            self.count += 1
+
+    def note_delete(self, keys: TagKeys, identifiers: Iterable[int]) -> None:
+        """Fold deleted identifiers out of the expected state.
+
+        Raises:
+            IntegrityError: If more identifiers are removed than were
+                ever added.
+        """
+        for identifier in identifiers:
+            if self.count == 0:
+                raise IntegrityError(
+                    "integrity state underflow: delete of a record that "
+                    "was never noted as uploaded"
+                )
+            self.root = xor_fold((self.root, membership_tag(keys, identifier)))
+            self.count -= 1
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for CLI persistence."""
+        return {"root": self.root.hex(), "count": self.count}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "IntegrityState":
+        """Rebuild a state from :meth:`to_dict` output.
+
+        Raises:
+            IntegrityError: On a malformed state blob.
+        """
+        try:
+            root = bytes.fromhex(raw["root"])
+            count = int(raw["count"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IntegrityError(f"malformed integrity state: {exc}") from exc
+        if len(root) != TAG_BYTES or count < 0:
+            raise IntegrityError("implausible integrity state")
+        return cls(root=root, count=count)
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """What a successful verification established."""
+
+    #: How many matched records had their authenticity tag checked.
+    records: int
+    #: How many per-shard completeness proofs balanced.
+    shards: int
+    #: Whether the aggregate was also checked against an
+    #: :class:`IntegrityState` (root and count).
+    state_checked: bool
+
+
+class ResultVerifier:
+    """Checks search replies with the owner-derived tag keys."""
+
+    def __init__(self, keys: TagKeys) -> None:
+        self._keys = keys
+
+    def verify(
+        self,
+        token: bytes,
+        identifiers: Sequence[int],
+        section: dict,
+        state: IntegrityState | None = None,
+    ) -> VerificationReport:
+        """Run every check against one reply's integrity *section*.
+
+        Accepts both reply shapes: a single server's section (3-element
+        match entries, one proof) and the coordinator's merge (4-element
+        entries carrying a shard index, one proof per shard).
+
+        Raises:
+            IntegrityError: Naming the first check that failed.
+        """
+        matches, proofs = _parse_section(section)
+        by_shard = _group_matches(matches, len(proofs), set(identifiers))
+
+        for shard_matches in by_shard:
+            for identifier, digest, tag in shard_matches:
+                if not verify_record_tag(self._keys, identifier, digest, tag):
+                    raise IntegrityError(
+                        f"record {identifier}: authenticity tag does not "
+                        "verify (forged tag or altered ciphertext)"
+                    )
+
+        token_digest = hashlib.sha256(token).hexdigest()
+        for index, (proof, shard_matches) in enumerate(zip(proofs, by_shard)):
+            if not hmac.compare_digest(proof["token_digest"], token_digest):
+                raise IntegrityError(
+                    f"shard {index}: proof answers a different token than "
+                    "the one sent"
+                )
+            folded = xor_fold(
+                (
+                    proof["complement"],
+                    *(
+                        membership_tag(self._keys, identifier)
+                        for identifier, _, _ in shard_matches
+                    ),
+                )
+            )
+            if not hmac.compare_digest(folded, proof["root"]):
+                raise IntegrityError(
+                    f"shard {index}: completeness proof does not balance "
+                    "(a matching record was dropped or a match was forged)"
+                )
+
+        if state is not None:
+            merged_root = xor_fold(proof["root"] for proof in proofs)
+            merged_count = sum(proof["count"] for proof in proofs)
+            if not hmac.compare_digest(merged_root, state.root):
+                raise IntegrityError(
+                    "aggregate accumulator root disagrees with the "
+                    "client's expected state (shard omitted from merge "
+                    "or stale proof replayed)"
+                )
+            if merged_count != state.count:
+                raise IntegrityError(
+                    f"servers attest to {merged_count} stored records, "
+                    f"client expects {state.count}"
+                )
+
+        return VerificationReport(
+            records=len(matches),
+            shards=len(proofs),
+            state_checked=state is not None,
+        )
+
+
+# ----------------------------------------------------------------------
+# Section parsing — defensive even though the protocol layer validates,
+# because tampering with the section *is* the attack surface here.
+# ----------------------------------------------------------------------
+def _parse_section(
+    section: dict,
+) -> tuple[list[tuple[int, bytes, bytes, int]], list[dict]]:
+    if not isinstance(section, dict):
+        raise IntegrityError("integrity section is not an object")
+    raw_matches = section.get("matches")
+    raw_shards = section.get("shards")
+    if not isinstance(raw_matches, list) or not isinstance(raw_shards, list):
+        raise IntegrityError("integrity section is incomplete")
+    if not raw_shards:
+        raise IntegrityError("integrity section carries no shard proofs")
+
+    proofs: list[dict] = []
+    for raw in raw_shards:
+        try:
+            proof = {
+                "root": bytes.fromhex(raw["root"]),
+                "count": int(raw["count"]),
+                "version": int(raw["version"]),
+                "token_digest": str(raw["token_digest"]),
+                "complement": bytes.fromhex(raw["complement"]),
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IntegrityError(f"malformed shard proof: {exc}") from exc
+        if (
+            len(proof["root"]) != TAG_BYTES
+            or len(proof["complement"]) != TAG_BYTES
+            or proof["count"] < 0
+        ):
+            raise IntegrityError("implausible shard proof")
+        proofs.append(proof)
+
+    matches: list[tuple[int, bytes, bytes, int]] = []
+    for entry in raw_matches:
+        if not isinstance(entry, list) or len(entry) not in (3, 4):
+            raise IntegrityError("malformed integrity match entry")
+        try:
+            identifier = int(entry[0])
+            digest = bytes.fromhex(entry[1])
+            tag = bytes.fromhex(entry[2])
+            shard = int(entry[3]) if len(entry) == 4 else 0
+        except (TypeError, ValueError) as exc:
+            raise IntegrityError(
+                f"malformed integrity match entry: {exc}"
+            ) from exc
+        if len(digest) != TAG_BYTES or len(tag) != TAG_BYTES:
+            raise IntegrityError("malformed integrity match entry")
+        matches.append((identifier, digest, tag, shard))
+    return matches, proofs
+
+
+def _group_matches(
+    matches: list[tuple[int, bytes, bytes, int]],
+    shard_count: int,
+    identifiers: set[int],
+) -> list[list[tuple[int, bytes, bytes]]]:
+    by_shard: list[list[tuple[int, bytes, bytes]]] = [
+        [] for _ in range(shard_count)
+    ]
+    seen: set[int] = set()
+    for identifier, digest, tag, shard in matches:
+        if shard < 0 or shard >= shard_count:
+            raise IntegrityError(
+                f"match entry names shard {shard} of {shard_count}"
+            )
+        if identifier in seen:
+            raise IntegrityError(
+                f"record {identifier} is attested by more than one entry"
+            )
+        seen.add(identifier)
+        by_shard[shard].append((identifier, digest, tag))
+    if seen != identifiers:
+        missing = sorted(identifiers - seen)
+        extra = sorted(seen - identifiers)
+        raise IntegrityError(
+            "integrity section disagrees with the identifier list "
+            f"(unattested: {missing}, unreturned: {extra})"
+        )
+    return by_shard

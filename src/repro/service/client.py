@@ -33,6 +33,7 @@ from repro.cloud.messages import (
 )
 from repro.errors import (
     DeadlineExceededError,
+    IntegrityError,
     ProtocolError,
     ServiceBusyError,
     ServiceConnectionError,
@@ -259,6 +260,51 @@ class ServiceClient:
             protocol.search_fields(SearchRequest(payload=token_payload)),
             deadline_ms=deadline_ms,
         )
+        response, stats = self._parse_search_reply(fields)
+        return response, stats
+
+    def search_verified(
+        self,
+        token_payload: bytes,
+        deadline_ms: float | None = None,
+    ) -> tuple[SearchResponse, dict, dict]:
+        """Run one search with a completeness proof attached.
+
+        Like :meth:`search`, but the request asks the server to attest
+        its answer: the reply must carry an integrity section (per-match
+        tags plus a per-shard completeness proof) that the caller feeds
+        to :class:`repro.integrity.ResultVerifier`.
+
+        Returns:
+            ``(response, stats, section)`` where *section* is the raw
+            integrity section dict from the wire.
+
+        Raises:
+            IntegrityError: If the server answered without the requested
+                integrity section (a proof-stripping server is treated
+                exactly like a tampering one).
+            ProtocolError: If the server cannot build a proof (e.g. it
+                holds untagged records).
+        """
+        fields = self._request(
+            "search",
+            protocol.search_fields(
+                SearchRequest(payload=token_payload), verify=True
+            ),
+            deadline_ms=deadline_ms,
+        )
+        response, stats = self._parse_search_reply(fields)
+        section = protocol.integrity_section_from_fields(fields)
+        if section is None:
+            raise IntegrityError(
+                "verification requested but the reply carries no "
+                "integrity section"
+            )
+        return response, stats, section
+
+    def _parse_search_reply(
+        self, fields: dict
+    ) -> tuple[SearchResponse, dict]:
         identifiers = fields.get("identifiers")
         if not isinstance(identifiers, list) or not all(
             isinstance(i, int) for i in identifiers
@@ -300,12 +346,14 @@ class ServiceClient:
         self,
         identifiers: tuple[int, ...],
         deadline_ms: float | None = None,
-    ) -> tuple[tuple[int, bytes, bytes], ...]:
+    ) -> tuple[tuple[int, bytes, bytes, bytes, bytes], ...]:
         """Fetch records *with* their searchable payload bytes.
 
         Used by the coordinator to migrate records between shards on a
-        membership change: the returned ``(identifier, payload, content)``
-        rows are exactly what an upload to another shard needs.
+        membership change: the returned ``(identifier, payload, content,
+        tag, mtag)`` rows are exactly what an upload to another shard
+        needs.  The tag fields are empty for records stored before the
+        integrity subsystem existed.
         """
         fields = self._request(
             "fetch",

@@ -57,6 +57,7 @@ from repro.errors import (
     ShardUnavailableError,
     StorageError,
 )
+from repro.integrity import EMPTY_ROOT, xor_fold
 from repro.service import protocol
 from repro.service.client import ServiceClient
 from repro.service.server import FramedServer
@@ -408,13 +409,17 @@ class Coordinator(FramedServer):
 
     async def _do_search(self, request: protocol.Request) -> dict:
         message = protocol.search_from_fields(request.fields)
+        verify = protocol.search_wants_verify(request.fields)
         started = time.perf_counter()
         budget = self._remaining_ms(request, started)
 
         def ask(spec: ShardSpec):
-            return self._client(spec).search(
-                message.payload, deadline_ms=budget
-            )
+            client = self._client(spec)
+            if verify:
+                return client.search_verified(
+                    message.payload, deadline_ms=budget
+                )
+            return client.search(message.payload, deadline_ms=budget)
 
         outcomes = await self._fan_out(self.shards, ask)
         merged: set[int] = set()
@@ -424,6 +429,8 @@ class Coordinator(FramedServer):
         sub_token_evaluations = 0
         elapsed_ms = 0.0
         partitions: list[float] = []
+        integrity_matches: list[list] = []
+        integrity_shards: list[dict] = []
         for spec, outcome in outcomes:
             if isinstance(outcome, BaseException):
                 reports.append(
@@ -431,7 +438,19 @@ class Coordinator(FramedServer):
                 )
                 failures.append(spec.addr)
                 continue
-            response, stats = outcome
+            if verify:
+                response, stats, section = outcome
+                # Matches gain a fourth element — an index into the
+                # merged shard-proof list — so the verifier can pair
+                # each match with the shard that attested it.
+                index = len(integrity_shards)
+                for entry in section["matches"]:
+                    integrity_matches.append([*entry[:3], index])
+                proof = dict(section["shards"][0])
+                proof["addr"] = spec.addr
+                integrity_shards.append(proof)
+            else:
+                response, stats = outcome
             merged.update(response.identifiers)
             reports.append(
                 {
@@ -458,7 +477,7 @@ class Coordinator(FramedServer):
                 partial_identifiers=tuple(identifiers),
                 shards=tuple(reports),
             )
-        return {
+        fields = {
             "identifiers": identifiers,
             "stats": {
                 "records_scanned": records_scanned,
@@ -469,6 +488,13 @@ class Coordinator(FramedServer):
             },
             **protocol.shard_reports_fields(reports),
         }
+        if verify:
+            fields.update(
+                protocol.integrity_section_fields(
+                    integrity_matches, integrity_shards
+                )
+            )
+        return fields
 
     async def _do_upload(self, request: protocol.Request) -> dict:
         message = protocol.upload_from_fields(request.fields)
@@ -691,8 +717,61 @@ class Coordinator(FramedServer):
         snapshot["partition"] = {
             "counts": self.partition_map.counts(),
         }
+        integrity = self._aggregate_integrity(reports)
+        if integrity is not None:
+            snapshot["integrity"] = integrity
         snapshot.update(protocol.shard_reports_fields(reports))
         return snapshot
+
+    @staticmethod
+    def _aggregate_integrity(reports) -> dict | None:
+        """Fold per-shard integrity stats into one cluster-wide view.
+
+        Tag and record counts sum, accumulator roots XOR together (the
+        same aggregation the client's verifier applies to per-shard
+        proofs), and the cluster is *complete* only if every shard is.
+        Returns ``None`` when no reachable shard reported integrity
+        state (pre-integrity shards, or every probe failed).
+        """
+        sections = [
+            report["stats"]["integrity"]
+            for report in reports
+            if report.get("ok")
+            and isinstance(report.get("stats"), dict)
+            and isinstance(report["stats"].get("integrity"), dict)
+        ]
+        if not sections:
+            return None
+        root = EMPTY_ROOT
+        for section in sections:
+            try:
+                shard_root = bytes.fromhex(str(section.get("root", "")))
+            except ValueError:
+                shard_root = b""
+            if len(shard_root) == len(EMPTY_ROOT):
+                root = xor_fold([root, shard_root])
+        proofs = [str(section.get("last_proof", "never")) for section in sections]
+        if "failed" in proofs:
+            last_proof = "failed"
+        elif "served" in proofs:
+            last_proof = "served"
+        else:
+            last_proof = "never"
+        return {
+            "tags": sum(int(section.get("tags", 0)) for section in sections),
+            "records": sum(
+                int(section.get("records", 0)) for section in sections
+            ),
+            "complete": all(
+                bool(section.get("complete")) for section in sections
+            ),
+            "root": root.hex(),
+            "version": sum(
+                int(section.get("version", 0)) for section in sections
+            ),
+            "last_proof": last_proof,
+            "shards_reporting": len(sections),
+        }
 
     # ------------------------------------------------------------------
     # Membership (offline — run before serving)
@@ -781,14 +860,21 @@ class Coordinator(FramedServer):
         """Upload exported *rows* to surviving shards and persist the map."""
         counts = self.partition_map.counts()
         per_shard: dict[str, list[UploadRecord]] = {}
-        for identifier, payload, content in rows:
+        for row in rows:
+            identifier, payload, content = row[0], row[1], row[2]
+            tag = row[3] if len(row) > 3 else b""
+            mtag = row[4] if len(row) > 4 else b""
             addr = to_addr or min(
                 (s.addr for s in self.shards), key=lambda a: (counts[a], a)
             )
             counts[addr] += 1
             per_shard.setdefault(addr, []).append(
                 UploadRecord(
-                    identifier=identifier, payload=payload, content=content
+                    identifier=identifier,
+                    payload=payload,
+                    content=content,
+                    tag=tag,
+                    mtag=mtag,
                 )
             )
         for addr, batch in per_shard.items():

@@ -80,6 +80,9 @@ __all__ = [
     "upload_from_fields",
     "search_fields",
     "search_from_fields",
+    "search_wants_verify",
+    "integrity_section_fields",
+    "integrity_section_from_fields",
     "fetch_fields",
     "fetch_from_fields",
     "fetch_response_fields",
@@ -395,17 +398,25 @@ def _identifier_list(value, what: str) -> tuple[int, ...]:
 
 
 def upload_fields(message: UploadDataset) -> dict:
-    """Envelope fields for an ``upload`` request."""
-    return {
-        "records": [
-            {
-                "id": record.identifier,
-                "payload": _b64(record.payload),
-                "content": _b64(record.content),
-            }
-            for record in message.records
-        ]
-    }
+    """Envelope fields for an ``upload`` request.
+
+    Integrity tags travel as optional per-record keys, emitted only when
+    present — an upload from a pre-integrity owner encodes byte-for-byte
+    as before.
+    """
+    entries = []
+    for record in message.records:
+        entry = {
+            "id": record.identifier,
+            "payload": _b64(record.payload),
+            "content": _b64(record.content),
+        }
+        if record.tag:
+            entry["tag"] = _b64(record.tag)
+        if record.mtag:
+            entry["mtag"] = _b64(record.mtag)
+        entries.append(entry)
+    return {"records": entries}
 
 
 def upload_from_fields(fields: dict) -> UploadDataset:
@@ -426,14 +437,25 @@ def upload_from_fields(fields: dict) -> UploadDataset:
                 identifier=entry["id"],
                 payload=_unb64(entry.get("payload"), "record payload"),
                 content=_unb64(entry.get("content", ""), "record content"),
+                tag=_unb64(entry.get("tag", ""), "record tag"),
+                mtag=_unb64(entry.get("mtag", ""), "record mtag"),
             )
         )
     return UploadDataset(records=tuple(records))
 
 
-def search_fields(message: SearchRequest) -> dict:
-    """Envelope fields for a ``search`` request."""
-    return {"token": _b64(message.payload)}
+def search_fields(message: SearchRequest, verify: bool = False) -> dict:
+    """Envelope fields for a ``search`` request.
+
+    With *verify* set, the request asks the server to attach per-match
+    authenticity tags and a completeness proof to the reply
+    (:mod:`repro.integrity`).  The flag is omitted when false, so
+    unverified searches encode exactly as before.
+    """
+    fields: dict[str, Any] = {"token": _b64(message.payload)}
+    if verify:
+        fields["verify"] = True
+    return fields
 
 
 def search_from_fields(fields: dict) -> SearchRequest:
@@ -443,6 +465,61 @@ def search_from_fields(fields: dict) -> SearchRequest:
         WireFormatError: On a missing or malformed token field.
     """
     return SearchRequest(payload=_unb64(fields.get("token"), "search token"))
+
+
+def search_wants_verify(fields: dict) -> bool:
+    """Whether a ``search`` request asks for an integrity section.
+
+    Raises:
+        WireFormatError: If the flag is present but not a boolean.
+    """
+    flag = fields.get("verify", False)
+    if not isinstance(flag, bool):
+        raise WireFormatError("'verify' must be a boolean")
+    return flag
+
+
+def integrity_section_fields(matches, shards) -> dict:
+    """Envelope ``integrity`` field for a verifiable search reply.
+
+    *matches* is a list of ``[identifier, digest_hex, tag_hex]`` entries
+    (a coordinator appends a fourth element, the shard index); *shards*
+    is a list of completeness-proof dicts
+    (:meth:`repro.integrity.ShardIntegrity.proof_for` output, to which a
+    coordinator adds the shard's ``addr``).
+    """
+    return {
+        "integrity": {
+            "matches": [list(entry) for entry in matches],
+            "shards": [dict(proof) for proof in shards],
+        }
+    }
+
+
+def integrity_section_from_fields(fields: dict) -> dict | None:
+    """Extract and shape-check a reply's ``integrity`` section.
+
+    Returns ``None`` when the reply carries no section (the search did
+    not ask for verification).  Only the envelope *shape* is checked
+    here — the cryptographic checks belong to
+    :class:`repro.integrity.ResultVerifier`, which re-validates every
+    byte anyway because the section itself is the attack surface.
+
+    Raises:
+        WireFormatError: On a structurally malformed section.
+    """
+    section = fields.get("integrity")
+    if section is None:
+        return None
+    if (
+        not isinstance(section, dict)
+        or not isinstance(section.get("matches"), list)
+        or not isinstance(section.get("shards"), list)
+    ):
+        raise WireFormatError(
+            "'integrity' must carry 'matches' and 'shards' lists"
+        )
+    return section
 
 
 def fetch_fields(message: FetchRequest) -> dict:
@@ -490,18 +567,26 @@ def fetch_wants_payloads(fields: dict) -> bool:
 def export_rows_fields(rows) -> dict:
     """Envelope fields for a payload-bearing ``fetch`` success reply.
 
-    Each row is ``(identifier, payload_bytes, content_bytes)``.
+    Each row is ``(identifier, payload_bytes, content_bytes)`` or the
+    tag-bearing ``(identifier, payload, content, tag, mtag)`` — tags ride
+    along so record migration between shards preserves verifiability.
     """
-    return {
-        "records": [
-            [identifier, _b64(payload), _b64(content)]
-            for identifier, payload, content in rows
-        ]
-    }
+    encoded = []
+    for row in rows:
+        entry = [row[0], _b64(row[1]), _b64(row[2])]
+        if len(row) >= 5 and (row[3] or row[4]):
+            entry.extend((_b64(row[3]), _b64(row[4])))
+        encoded.append(entry)
+    return {"records": encoded}
 
 
-def export_rows_from_fields(fields: dict) -> tuple[tuple[int, bytes, bytes], ...]:
-    """Rebuild ``(identifier, payload, content)`` rows from an export reply.
+def export_rows_from_fields(
+    fields: dict,
+) -> tuple[tuple[int, bytes, bytes, bytes, bytes], ...]:
+    """Rebuild ``(identifier, payload, content, tag, mtag)`` export rows.
+
+    Rows from a pre-integrity server have three elements; their tags
+    come back empty.
 
     Raises:
         WireFormatError: On malformed row entries.
@@ -513,17 +598,22 @@ def export_rows_from_fields(fields: dict) -> tuple[tuple[int, bytes, bytes], ...
     for entry in entries:
         if (
             not isinstance(entry, list)
-            or len(entry) != 3
+            or len(entry) not in (3, 5)
             or not isinstance(entry[0], int)
         ):
             raise WireFormatError(
-                "each export row must be [id, payload, content]"
+                "each export row must be [id, payload, content] or "
+                "[id, payload, content, tag, mtag]"
             )
+        tag = _unb64(entry[3], "export tag") if len(entry) == 5 else b""
+        mtag = _unb64(entry[4], "export mtag") if len(entry) == 5 else b""
         rows.append(
             (
                 entry[0],
                 _unb64(entry[1], "export payload"),
                 _unb64(entry[2], "export content"),
+                tag,
+                mtag,
             )
         )
     return tuple(rows)
@@ -537,6 +627,7 @@ _SHARD_REPORT_OPTIONAL = {
     "error": str,
     "status": str,
     "stats": dict,
+    "integrity": dict,
 }
 
 

@@ -45,12 +45,14 @@ from repro.cloud.messages import UploadDataset, UploadRecord
 from repro.cloud.server import CloudServer, SearchStats
 from repro.core.base import CRSEScheme
 from repro.errors import (
+    IntegrityError,
     ProtocolError,
     ReproError,
     ShardUnavailableError,
     StorageError,
     WireFormatError,
 )
+from repro.integrity import ShardIntegrity
 from repro.service import protocol
 from repro.service.engine import SearchEngine
 from repro.service.metrics import ServiceMetrics
@@ -373,6 +375,10 @@ class ServiceServer(FramedServer):
             else SearchEngine(scheme, workers=self.config.workers)
         )
         self.store = store
+        # Keyless per-shard integrity registry: opaque owner-minted tags
+        # plus the membership accumulator (see repro.integrity.shard).
+        self.integrity = ShardIntegrity()
+        self._last_proof = "never"
         if store is not None:
             self._replay_store(store)
 
@@ -392,14 +398,24 @@ class ServiceServer(FramedServer):
                 "(public header mismatch)"
             )
         records = tuple(
-            UploadRecord(identifier=identifier, payload=payload, content=content)
-            for identifier, payload, content in store.scan()
+            UploadRecord(
+                identifier=identifier,
+                payload=payload,
+                content=content,
+                tag=tag,
+                mtag=mtag,
+            )
+            for identifier, payload, content, tag, mtag in store.scan_tagged()
         )
         if records:
             self.cloud.handle_upload(UploadDataset(records=records))
             self.engine.load(
                 (record.identifier, record.payload) for record in records
             )
+            for record in records:
+                self.integrity.add(
+                    record.identifier, record.payload, record.tag, record.mtag
+                )
         self.cloud.log.uploads = store.uploads
 
     async def _prepare(self) -> None:
@@ -426,14 +442,34 @@ class ServiceServer(FramedServer):
         prepared = self.cloud.prepare_upload(message)
         if self.store is not None:
             self.store.append(
-                (record.identifier, record.payload, record.content)
+                (
+                    record.identifier,
+                    record.payload,
+                    record.content,
+                    record.tag,
+                    record.mtag,
+                )
                 for record in message.records
             )
         self.cloud.commit_upload(prepared)
         self.engine.load(
             (record.identifier, record.payload) for record in message.records
         )
+        for record in message.records:
+            self.integrity.add(
+                record.identifier, record.payload, record.tag, record.mtag
+            )
+        self._checkpoint_integrity()
         return self.cloud.record_count
+
+    def _checkpoint_integrity(self) -> None:
+        """Checkpoint the accumulator into the manifest (durable stores).
+
+        Runs on the caller's (executor) thread — both mutation paths are
+        already off the event loop when they land here.
+        """
+        if self.store is not None:
+            self.store.checkpoint_integrity(self.integrity.checkpoint())
 
     def _close_resources(self, drain: bool) -> None:
         self.engine.close(wait=drain)
@@ -461,6 +497,7 @@ class ServiceServer(FramedServer):
 
     async def _do_search(self, request: protocol.Request) -> dict:
         message = protocol.search_from_fields(request.fields)
+        verify = protocol.search_wants_verify(request.fields)
 
         def run_search():
             # Decode in the parent first: a malformed token is rejected
@@ -471,23 +508,57 @@ class ServiceServer(FramedServer):
             result = self.engine.search(message.payload)
             self.cloud.log.access_pattern.append(result.identifiers)
             self.cloud.last_search_stats = result.stats
-            return result
+            fields = {
+                "identifiers": list(result.identifiers),
+                "stats": _stats_fields(result.stats),
+            }
+            if verify:
+                # Attach per-match tags and the completeness proof.  A
+                # shard holding untagged records cannot attest, which is
+                # the requester's problem statement — a PROTOCOL error,
+                # not an internal one.
+                try:
+                    fields.update(
+                        protocol.integrity_section_fields(
+                            self.integrity.matches_section(result.identifiers),
+                            [
+                                self.integrity.proof_for(
+                                    result.identifiers, message.payload
+                                )
+                            ],
+                        )
+                    )
+                except IntegrityError as exc:
+                    self._last_proof = "failed"
+                    raise ProtocolError(
+                        f"verification unavailable: {exc}"
+                    ) from exc
+                self._last_proof = "served"
+            return fields
 
-        result = await self._offload(run_search)
-        return {
-            "identifiers": list(result.identifiers),
-            "stats": _stats_fields(result.stats),
-        }
+        return await self._offload(run_search)
 
     async def _do_fetch(self, request: protocol.Request) -> dict:
         message = protocol.fetch_from_fields(request.fields)
         if protocol.fetch_wants_payloads(request.fields):
-            rows = await self._offload(
-                self.cloud.export_records, message.identifiers
-            )
+            rows = await self._offload(self._export_rows, message.identifiers)
             return protocol.export_rows_fields(rows)
         response = await self._offload(self.cloud.handle_fetch, message)
         return protocol.fetch_response_fields(response)
+
+    def _export_rows(self, identifiers) -> list[tuple]:
+        """Export rows with their integrity tags merged back in.
+
+        Tags ride along on migration so a record moved to another shard
+        stays verifiable there.
+        """
+        rows = []
+        for identifier, payload, content in self.cloud.export_records(
+            identifiers
+        ):
+            tag, mtag = self.integrity.tags_for(identifier)
+            rows.append((identifier, payload, content, tag, mtag))
+        return rows
 
     async def _do_delete(self, request: protocol.Request) -> dict:
         message = protocol.delete_from_fields(request.fields)
@@ -500,6 +571,9 @@ class ServiceServer(FramedServer):
                 self.store.delete(message.identifiers)
             removed = self.cloud.handle_delete(message)
             self.engine.delete(message.identifiers)
+            for identifier in message.identifiers:
+                self.integrity.remove(identifier)
+            self._checkpoint_integrity()
             return removed
 
         return {"removed": await self._offload(work)}
@@ -523,6 +597,26 @@ class ServiceServer(FramedServer):
             "record_count": self.engine.record_count,
             "workers": self.engine.workers,
         }
+        snapshot["integrity"] = self.integrity_stats()
         if self.store is not None:
             snapshot["store"] = self.store.snapshot().to_dict()
         return snapshot
+
+    def integrity_stats(self) -> dict:
+        """The ``integrity`` section of the ``stats`` reply.
+
+        ``tags`` counts records carrying integrity tags (``complete``
+        is true when that covers every record), ``root``/``version``
+        checkpoint the accumulator, and ``last_proof`` reports the
+        outcome of the most recent verified search (``never``/``served``/
+        ``failed``).
+        """
+        tagged = sum(1 for _, _, tag, mtag in self.integrity.entries() if tag and mtag)
+        return {
+            "tags": tagged,
+            "records": self.integrity.count,
+            "complete": self.integrity.complete,
+            "root": self.integrity.root.hex(),
+            "version": self.integrity.version,
+            "last_proof": self._last_proof,
+        }

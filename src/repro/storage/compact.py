@@ -63,8 +63,8 @@ def compact_store(store: "RecordStore") -> int:
     # the old segments in log order; each new segment gets one batch plus
     # one compaction-flagged commit frame and is fsynced before sealing.
     writer = _SegmentWriter(log, next_index)
-    for identifier, payload, content in store.scan():
-        writer.add(encode_record_frame(identifier, payload, content))
+    for identifier, payload, content, tag, mtag in store.scan_tagged():
+        writer.add(encode_record_frame(identifier, payload, content, tag, mtag))
     new_entries.extend(writer.finish())
     next_index += len(new_entries)
 
@@ -81,6 +81,7 @@ def compact_store(store: "RecordStore") -> int:
         uploads=store.uploads,
         deletes=store.deletes,
         compactions=old_manifest.compactions + 1,
+        integrity=old_manifest.integrity,
     )
     log.close()
     new_manifest.write(directory)

@@ -13,9 +13,13 @@ it.  ``body[0]`` is the frame type:
 
 * **record** (``0x01``) — one encrypted record exactly as it travels on
   the wire: ``id (8B) | payload len (4B) | payload | content len (4B) |
-  content``.  ``payload`` is the :mod:`repro.cloud.codec` ciphertext
-  bytes, ``content`` the AEAD-encrypted body — the store holds only what
-  the untrusted server already sees.
+  content``, optionally followed by ``tag len (4B) | tag | mtag len
+  (4B) | mtag`` when the record carries result-integrity tags
+  (:mod:`repro.integrity`).  ``payload`` is the
+  :mod:`repro.cloud.codec` ciphertext bytes, ``content`` the
+  AEAD-encrypted body, the tags opaque owner-minted MACs — the store
+  holds only what the untrusted server already sees.  A frame may end
+  at either boundary, so pre-integrity segments replay unchanged.
 * **tombstone** (``0x02``) — one delete request: ``count (4B) | count ×
   id (8B)``.  Tombstones are atomic on their own (a single frame).
 * **commit** (``0x03``) — closes one upload batch: ``flags (1B) |
@@ -85,11 +89,17 @@ _COUNT_BYTES = 4
 
 @dataclass(frozen=True)
 class RecordFrame:
-    """One encrypted record as logged (codec bytes, never plaintext)."""
+    """One encrypted record as logged (codec bytes, never plaintext).
+
+    ``tag``/``mtag`` are the optional result-integrity MACs; both are
+    empty for records logged before the integrity layer existed.
+    """
 
     identifier: int
     payload: bytes
     content: bytes = b""
+    tag: bytes = b""
+    mtag: bytes = b""
 
 
 @dataclass(frozen=True)
@@ -134,9 +144,16 @@ def encode_frame(body: bytes) -> bytes:
 
 
 def encode_record_frame(
-    identifier: int, payload: bytes, content: bytes = b""
+    identifier: int,
+    payload: bytes,
+    content: bytes = b"",
+    tag: bytes = b"",
+    mtag: bytes = b"",
 ) -> bytes:
     """Encode one record frame.
+
+    The tag trailer is written only when a tag is present, so untagged
+    records encode byte-for-byte as they did before the integrity layer.
 
     Raises:
         StorageError: For a negative or oversized identifier, or a
@@ -144,17 +161,17 @@ def encode_record_frame(
     """
     if identifier < 0 or identifier >= 1 << 64:
         raise StorageError(f"record identifier {identifier} out of range")
-    body = b"".join(
-        (
-            bytes([FRAME_RECORD]),
-            _u64(identifier),
-            _u32(len(payload)),
-            payload,
-            _u32(len(content)),
-            content,
-        )
-    )
-    return encode_frame(body)
+    parts = [
+        bytes([FRAME_RECORD]),
+        _u64(identifier),
+        _u32(len(payload)),
+        payload,
+        _u32(len(content)),
+        content,
+    ]
+    if tag or mtag:
+        parts.extend((_u32(len(tag)), tag, _u32(len(mtag)), mtag))
+    return encode_frame(b"".join(parts))
 
 
 def encode_tombstone_frame(identifiers: tuple[int, ...]) -> bytes:
@@ -216,12 +233,33 @@ def _decode_body(body: bytes) -> Frame:
             body[offset : offset + _COUNT_BYTES], "big"
         )
         offset += _COUNT_BYTES
-        if len(body) != offset + content_len:
+        if len(body) < offset + content_len:
             raise _Malformed("record content length disagrees with frame")
+        content = body[offset : offset + content_len]
+        offset += content_len
+        if len(body) == offset:
+            return RecordFrame(
+                identifier=identifier, payload=payload, content=content
+            )
+        # Tag trailer: tag len | tag | mtag len | mtag, ending the frame.
+        if len(body) < offset + _COUNT_BYTES:
+            raise _Malformed("record tag trailer is truncated")
+        tag_len = int.from_bytes(body[offset : offset + _COUNT_BYTES], "big")
+        offset += _COUNT_BYTES
+        if len(body) < offset + tag_len + _COUNT_BYTES:
+            raise _Malformed("record tag overruns its frame")
+        tag = body[offset : offset + tag_len]
+        offset += tag_len
+        mtag_len = int.from_bytes(body[offset : offset + _COUNT_BYTES], "big")
+        offset += _COUNT_BYTES
+        if len(body) != offset + mtag_len:
+            raise _Malformed("record mtag length disagrees with frame")
         return RecordFrame(
             identifier=identifier,
             payload=payload,
-            content=body[offset : offset + content_len],
+            content=content,
+            tag=tag,
+            mtag=body[offset : offset + mtag_len],
         )
     if kind == FRAME_TOMBSTONE:
         if len(body) < 1 + _COUNT_BYTES:

@@ -69,6 +69,12 @@ class Manifest:
             not erase leakage-log history).
         deletes: Same checkpoint for logical delete requests.
         compactions: How many compactions this store has survived.
+        integrity: Optional checkpoint of the shard's integrity
+            accumulator (``root`` hex, ``count``, ``version`` — see
+            :class:`repro.integrity.SetAccumulator`), written whenever
+            the stored set changes.  Purely advisory state for the
+            ``stats`` verb and the offline audit; searches always prove
+            against the registry rebuilt from the log itself.
     """
 
     scheme: dict[str, Any]
@@ -76,6 +82,7 @@ class Manifest:
     uploads: int = 0
     deletes: int = 0
     compactions: int = 0
+    integrity: dict[str, Any] | None = None
 
     @property
     def active(self) -> SegmentEntry:
@@ -89,13 +96,16 @@ class Manifest:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready form of the whole manifest (versioned)."""
-        return {
+        out: dict[str, Any] = {
             "version": _MANIFEST_VERSION,
             "scheme": self.scheme,
             "segments": [entry.to_dict() for entry in self.segments],
             "counters": {"uploads": self.uploads, "deletes": self.deletes},
             "compactions": self.compactions,
         }
+        if self.integrity is not None:
+            out["integrity"] = self.integrity
+        return out
 
     @classmethod
     def from_dict(cls, raw: Any) -> Manifest:
@@ -150,12 +160,31 @@ class Manifest:
                 raise StorageCorruptionError(
                     f"manifest counter {label!r} is not a non-negative int"
                 )
+        integrity = raw.get("integrity")
+        if integrity is not None:
+            if (
+                not isinstance(integrity, dict)
+                or not isinstance(integrity.get("root"), str)
+                or not isinstance(integrity.get("count"), int)
+                or not isinstance(integrity.get("version"), int)
+                or integrity["count"] < 0
+                or integrity["version"] < 0
+            ):
+                raise StorageCorruptionError(
+                    "manifest integrity checkpoint is malformed"
+                )
+            integrity = {
+                "root": integrity["root"],
+                "count": integrity["count"],
+                "version": integrity["version"],
+            }
         return cls(
             scheme=scheme,
             segments=segments,
             uploads=uploads,
             deletes=deletes,
             compactions=compactions,
+            integrity=integrity,
         )
 
     # ------------------------------------------------------------------

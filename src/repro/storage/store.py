@@ -168,10 +168,13 @@ class RecordStore:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def append(
-        self, records: Iterable[tuple[int, bytes, bytes]]
-    ) -> int:
+    def append(self, records: Iterable[tuple]) -> int:
         """Durably log one upload batch; returns the number of records.
+
+        Each row is ``(identifier, payload, content)`` or the tag-bearing
+        ``(identifier, payload, content, tag, mtag)`` — integrity tags
+        are logged in the record frame so a replayed shard can rebuild
+        its accumulator without re-contacting the owner.
 
         The batch is atomic: all records plus a commit frame land in one
         fsynced write, so a crash either keeps the whole batch or (after
@@ -181,11 +184,12 @@ class RecordStore:
             StorageError: For an empty batch, a duplicate identifier
                 within the batch, or an identifier that is already live.
         """
-        batch = list(records)
+        batch = [(row[0], row[1], row[2], *row[3:5]) for row in records]
         if not batch:
             raise StorageError("refusing to log an empty upload batch")
         seen: set[int] = set()
-        for identifier, _, _ in batch:
+        for row in batch:
+            identifier = row[0]
             if identifier in seen:
                 raise StorageError(
                     f"duplicate identifier {identifier} in upload batch"
@@ -195,14 +199,11 @@ class RecordStore:
                     f"record {identifier} already exists in the store"
                 )
             seen.add(identifier)
-        frames = [
-            encode_record_frame(identifier, payload, content)
-            for identifier, payload, content in batch
-        ]
+        frames = [encode_record_frame(*row) for row in batch]
         frames.append(encode_commit_frame(len(batch)))
         positions = self._log.append_frames(frames)
-        for (identifier, _, _), position in zip(batch, positions):
-            self._live[identifier] = position
+        for row, position in zip(batch, positions):
+            self._live[row[0]] = position
         self._records_logged += len(batch)
         self._uploads += 1
         return len(batch)
@@ -236,11 +237,29 @@ class RecordStore:
         yielded only if it is the winning (live) frame for its
         identifier.
         """
+        for identifier, payload, content, _, _ in self.scan_tagged():
+            yield identifier, payload, content
+
+    def scan_tagged(
+        self,
+    ) -> Iterator[tuple[int, bytes, bytes, bytes, bytes]]:
+        """Yield live records with their integrity tags.
+
+        Like :meth:`scan` but each row is ``(identifier, payload,
+        content, tag, mtag)``; the tags are empty for records logged
+        before the integrity layer.
+        """
         for name, offset, frame in self._log.replay():
             if isinstance(frame, RecordFrame) and self._live.get(
                 frame.identifier
             ) == (name, offset):
-                yield frame.identifier, frame.payload, frame.content
+                yield (
+                    frame.identifier,
+                    frame.payload,
+                    frame.content,
+                    frame.tag,
+                    frame.mtag,
+                )
 
     def snapshot(self) -> StoreSnapshot:
         """Point-in-time counters (record, segment, and byte totals)."""
@@ -280,6 +299,22 @@ class RecordStore:
     @property
     def directory(self) -> Path:
         return self._log.directory
+
+    def checkpoint_integrity(self, checkpoint: dict[str, Any]) -> None:
+        """Persist the shard's integrity-accumulator state in the manifest.
+
+        Atomically rewrites ``MANIFEST.json`` with the given
+        ``root``/``count``/``version`` dict so the accumulator survives
+        restarts as advisory state for ``stats`` and the offline audit.
+        """
+        self._log.manifest.integrity = dict(checkpoint)
+        self._log.manifest.write(self._log.directory)
+
+    @property
+    def integrity_checkpoint(self) -> dict[str, Any] | None:
+        """The last checkpointed accumulator state, if any."""
+        checkpoint = self._log.manifest.integrity
+        return None if checkpoint is None else dict(checkpoint)
 
     def compact(self) -> StoreSnapshot:
         """Drop dead records by rewriting live ones; see compact.py."""

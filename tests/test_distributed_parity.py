@@ -28,6 +28,14 @@ from repro.cloud.messages import UploadDataset, UploadRecord
 from repro.core.crse2 import CRSE2Scheme
 from repro.core.geometry import Circle, DataSpace, point_in_circle
 from repro.core.provision import group_for_crse2
+from repro.errors import IntegrityError
+from repro.integrity import (
+    IntegrityState,
+    ResultVerifier,
+    TagKeys,
+    membership_tag,
+    record_tag,
+)
 from repro.service import (
     Coordinator,
     CoordinatorConfig,
@@ -215,3 +223,142 @@ class TestLeakageParity:
         addrs = {spec.addr for spec in coordinator.shards}
         assert set(coordinator.partition_map.counts()) == addrs
         assert coordinator.partition_map.record_count == N_RECORDS
+
+
+@pytest.fixture(scope="module")
+def verified_cluster():
+    """A tagged dataset on a 3-shard coordinator plus a single-server twin."""
+    rng = random.Random(0x7AC5)
+    space = DataSpace(2, 32)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    key = scheme.gen_key(rng)
+    keys = TagKeys.derive(scheme, key)
+    points = [
+        (rng.randrange(space.t), rng.randrange(space.t)) for _ in range(12)
+    ]
+    records = []
+    for identifier, point in enumerate(points):
+        payload = encode_ciphertext(scheme, scheme.encrypt(key, point, rng))
+        records.append(
+            UploadRecord(
+                identifier=identifier,
+                payload=payload,
+                tag=record_tag(keys, identifier, payload),
+                mtag=membership_tag(keys, identifier),
+            )
+        )
+    dataset = UploadDataset(records=tuple(records))
+    token = encode_token(
+        scheme,
+        scheme.gen_token(key, Circle.from_radius((16, 16), 12), rng),
+    )
+    single = ServerThread(ServiceServer(scheme, config=ServiceConfig()))
+    backends = [
+        ServerThread(ServiceServer(scheme, config=ServiceConfig()))
+        for _ in range(N_SHARDS)
+    ]
+    single_port = single.start()
+    ports = [backend.start() for backend in backends]
+    coordinator = ServerThread(
+        Coordinator(
+            [f"127.0.0.1:{port}" for port in ports], CoordinatorConfig()
+        )
+    )
+    coord_port = coordinator.start()
+    try:
+        single_client = ServiceClient("127.0.0.1", single_port)
+        coord_client = ServiceClient("127.0.0.1", coord_port)
+        single_client.upload(dataset)
+        coord_client.upload(dataset)
+        state = IntegrityState()
+        state.note_upload(keys, (r.identifier for r in records))
+        yield {
+            "keys": keys,
+            "token": token,
+            "state": state,
+            "single_client": single_client,
+            "coord_client": coord_client,
+        }
+    finally:
+        coordinator.stop()
+        for backend in backends:
+            backend.stop()
+        single.stop()
+
+
+class TestVerifiedDistributedSearch:
+    """Verified queries through the coordinator: parity plus tampers."""
+
+    def test_honest_parity_with_verification_on(self, verified_cluster):
+        vc = verified_cluster
+        verifier = ResultVerifier(vc["keys"])
+        single_resp, _, single_section = vc["single_client"].search_verified(
+            vc["token"]
+        )
+        coord_resp, _, coord_section = vc["coord_client"].search_verified(
+            vc["token"]
+        )
+        assert sorted(coord_resp.identifiers) == sorted(
+            single_resp.identifiers
+        )
+        single_report = verifier.verify(
+            vc["token"], single_resp.identifiers, single_section, vc["state"]
+        )
+        coord_report = verifier.verify(
+            vc["token"], coord_resp.identifiers, coord_section, vc["state"]
+        )
+        assert single_report.shards == 1
+        assert coord_report.shards == N_SHARDS
+        assert coord_report.records == single_report.records
+
+    def test_merged_section_carries_shard_indices(self, verified_cluster):
+        vc = verified_cluster
+        _, _, section = vc["coord_client"].search_verified(vc["token"])
+        assert len(section["shards"]) == N_SHARDS
+        assert all(len(entry) == 4 for entry in section["matches"])
+        addrs = {proof["addr"] for proof in section["shards"]}
+        assert len(addrs) == N_SHARDS
+
+    def test_shard_omitted_from_merge_detected(self, verified_cluster):
+        vc = verified_cluster
+        resp, _, section = vc["coord_client"].search_verified(vc["token"])
+        omitted = len(section["shards"]) - 1
+        pruned = {
+            "matches": [
+                entry
+                for entry in section["matches"]
+                if entry[3] != omitted
+            ],
+            "shards": section["shards"][:omitted],
+        }
+        surviving = [
+            identifier
+            for identifier in resp.identifiers
+            if identifier in {entry[0] for entry in pruned["matches"]}
+        ]
+        with pytest.raises(IntegrityError, match="shard omitted|expected state"):
+            ResultVerifier(vc["keys"]).verify(
+                vc["token"], surviving, pruned, vc["state"]
+            )
+
+    def test_double_attestation_detected(self, verified_cluster):
+        vc = verified_cluster
+        resp, _, section = vc["coord_client"].search_verified(vc["token"])
+        doubled = {
+            "matches": [*section["matches"], list(section["matches"][0])],
+            "shards": section["shards"],
+        }
+        with pytest.raises(IntegrityError, match="more than one entry"):
+            ResultVerifier(vc["keys"]).verify(
+                vc["token"], resp.identifiers, doubled, vc["state"]
+            )
+
+    def test_aggregate_integrity_in_coordinator_stats(self, verified_cluster):
+        vc = verified_cluster
+        snapshot = vc["coord_client"].stats()
+        section = snapshot["integrity"]
+        assert section["records"] == 12
+        assert section["tags"] == 12
+        assert section["complete"] is True
+        assert section["shards_reporting"] == N_SHARDS
+        assert section["root"] == vc["state"].root.hex()

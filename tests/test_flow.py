@@ -498,6 +498,78 @@ class TestCliIntegration:
         assert {"CRS001", "CRS008", "CRS011"} <= rule_ids
 
 
+class TestIntegrityTaintModel:
+    """The integrity subsystem's key material is covered by the model."""
+
+    def test_derive_integrity_secret_is_source(self, tmp_path):
+        root = write_pkg(
+            tmp_path,
+            {
+                "integrity/ks.py": """
+                def derive_integrity_secret(a, b):
+                    return b"s"
+
+                def boom(a, b):
+                    s = derive_integrity_secret(a, b)
+                    raise RuntimeError(f"derived {s}")
+                """
+            },
+        )
+        findings = flow_findings(root)
+        assert [f.rule for f in findings] == ["CRS008"]
+        assert "integrity tag-key secret" in findings[0].message
+
+    def test_secret_param_in_integrity_path(self, tmp_path):
+        # "integrity" is a scoped path segment: a parameter named
+        # ``secret`` there is key material, same as in crypto/.
+        root = write_pkg(
+            tmp_path,
+            {
+                "integrity/tags.py": """
+                def mint(secret):
+                    raise ValueError(f"cannot mint with {secret}")
+                """
+            },
+        )
+        findings = flow_findings(root)
+        assert [f.rule for f in findings] == ["CRS008"]
+
+    def test_tagkeys_annotation_to_wire_is_flagged(self, tmp_path):
+        # TagKeys is a secret annotation type everywhere, not just under
+        # the scoped paths.
+        root = write_pkg(
+            tmp_path,
+            {
+                "util/push.py": """
+                class TagKeys:
+                    pass
+
+                def leak(sock, keys: TagKeys):
+                    sock.sendall(keys)
+                """
+            },
+        )
+        findings = flow_findings(root)
+        assert [f.rule for f in findings] == ["CRS009"]
+
+    def test_minted_tag_is_clean_on_the_wire(self, tmp_path):
+        # An HMAC tag minted from the keys is the approved projection —
+        # shipping it is the subsystem's whole point.
+        root = write_pkg(
+            tmp_path,
+            {
+                "integrity/tags.py": """
+                def record_tag(keys, identifier, payload):
+                    return b"mac"
+
+                def ship(sock, secret, identifier, payload):
+                    sock.sendall(record_tag(secret, identifier, payload))
+                """
+            },
+        )
+        assert flow_findings(root) == []
+
+
 class TestRealTreeIsClean:
     def test_no_flow_findings_on_src_repro(self):
         findings = analyze_flow([SRC_ROOT], root=REPO_ROOT)

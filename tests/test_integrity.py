@@ -1,0 +1,502 @@
+"""The verifiable-search subsystem: tags, proofs, and the tamper matrix.
+
+Unit tests pin the primitives (tag derivation, the XOR accumulator, the
+shard registry, the client verifier), then an end-to-end battery drives
+a real server — in-process via the dispatcher and over TCP through
+:class:`ServiceClient` — and checks that every tamper class the threat
+model names is detected *client-side* as a typed
+:class:`~repro.errors.IntegrityError`:
+
+* a forged authenticity tag,
+* a bit-flipped ciphertext payload,
+* a matching record silently dropped from the reply,
+* a stale accumulator proof replayed after a delete (and after
+  compaction rewrote the log),
+* the integrity section stripped from the reply entirely.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.cloud.codec import encode_ciphertext, encode_token
+from repro.cloud.messages import UploadDataset, UploadRecord
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace
+from repro.core.provision import group_for_crse2
+from repro.errors import IntegrityError, ProtocolError
+from repro.integrity import (
+    EMPTY_ROOT,
+    TAG_BYTES,
+    IntegrityState,
+    ResultVerifier,
+    SetAccumulator,
+    ShardIntegrity,
+    TagKeys,
+    header_fingerprint,
+    membership_tag,
+    payload_digest,
+    record_tag,
+    verify_record_tag,
+    xor_fold,
+)
+from repro.service import ServerThread, ServiceClient, protocol
+from repro.service.engine import SearchEngine
+from repro.service.schemeio import scheme_header
+from repro.service.server import ServiceConfig, ServiceServer
+from repro.storage import RecordStore
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(0x7A65)
+    space = DataSpace(2, 32)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    key = scheme.gen_key(rng)
+    points = [(16, 16), (17, 17), (30, 2), (2, 30), (10, 10), (16, 18)]
+    keys = TagKeys.derive(scheme, key)
+    records = []
+    for identifier, point in enumerate(points):
+        payload = encode_ciphertext(scheme, scheme.encrypt(key, point, rng))
+        records.append(
+            UploadRecord(
+                identifier=identifier,
+                payload=payload,
+                content=f"record-{identifier}".encode(),
+                tag=record_tag(keys, identifier, payload),
+                mtag=membership_tag(keys, identifier),
+            )
+        )
+    dataset = UploadDataset(records=tuple(records))
+    token = encode_token(
+        scheme, scheme.gen_token(key, Circle.from_radius((16, 16), 3), rng)
+    )
+    return scheme, key, points, dataset, token, keys
+
+
+def flip_hex(text: str) -> str:
+    """Flip one bit of a hex string (tamper helper)."""
+    raw = bytearray(bytes.fromhex(text))
+    raw[0] ^= 0x01
+    return bytes(raw).hex()
+
+
+def dispatch(server: ServiceServer, verb: str, fields: dict) -> dict:
+    request = protocol.Request(
+        verb=verb, request_id=1, deadline_ms=None, fields=fields
+    )
+    return asyncio.run(server._dispatch(request))
+
+
+def make_server(scheme, store=None) -> ServiceServer:
+    return ServiceServer(
+        scheme,
+        config=ServiceConfig(workers=1),
+        engine=SearchEngine(scheme, workers=1),
+        store=store,
+    )
+
+
+def stop(server: ServiceServer) -> None:
+    server.engine.close(wait=True)
+    if server.store is not None:
+        server.store.close()
+
+
+def verified_search(server: ServiceServer, token: bytes) -> dict:
+    from repro.cloud.messages import SearchRequest
+
+    return dispatch(
+        server,
+        "search",
+        protocol.search_fields(SearchRequest(payload=token), verify=True),
+    )
+
+
+class TestTagPrimitives:
+    def test_tags_are_deterministic_and_sized(self, env):
+        scheme, key, _, dataset, _, keys = env
+        record = dataset.records[0]
+        assert record.tag == record_tag(keys, 0, record.payload)
+        assert record.mtag == membership_tag(keys, 0)
+        assert len(record.tag) == len(record.mtag) == TAG_BYTES
+
+    def test_keys_bound_to_scheme_header(self, env):
+        scheme, key, _, _, _, keys = env
+        assert keys.header_fp == header_fingerprint(scheme)
+        other = TagKeys.from_secret(b"x" * 32, b"other-header")
+        assert other.record_key != keys.record_key
+
+    def test_repr_is_redacted(self, env):
+        _, _, _, _, _, keys = env
+        assert repr(keys) == "TagKeys(<redacted>)"
+        assert keys.record_key.hex() not in repr(keys)
+
+    def test_verify_record_tag_rejects_forgery(self, env):
+        _, _, _, dataset, _, keys = env
+        record = dataset.records[0]
+        digest = payload_digest(record.payload)
+        assert verify_record_tag(keys, 0, digest, record.tag)
+        assert not verify_record_tag(keys, 1, digest, record.tag)
+        assert not verify_record_tag(
+            keys, 0, payload_digest(b"flipped"), record.tag
+        )
+
+
+class TestAccumulator:
+    def test_add_remove_roundtrip(self):
+        acc = SetAccumulator()
+        tags = [bytes([i]) * TAG_BYTES for i in range(1, 4)]
+        for tag in tags:
+            acc.add(tag)
+        assert acc.count == 3
+        assert acc.root == xor_fold(tags)
+        for tag in tags:
+            acc.remove(tag)
+        assert acc.root == EMPTY_ROOT
+        assert acc.count == 0
+        assert acc.version == 6
+
+    def test_remove_on_empty_raises(self):
+        with pytest.raises(IntegrityError):
+            SetAccumulator().remove(b"\x01" * TAG_BYTES)
+
+    def test_fold_rejects_wrong_length(self):
+        with pytest.raises(IntegrityError):
+            xor_fold([b"short"])
+
+
+class TestShardIntegrity:
+    def test_duplicate_identifier_rejected(self, env):
+        _, _, _, dataset, _, _ = env
+        shard = ShardIntegrity()
+        record = dataset.records[0]
+        shard.add(0, record.payload, record.tag, record.mtag)
+        with pytest.raises(IntegrityError):
+            shard.add(0, record.payload, record.tag, record.mtag)
+
+    def test_untagged_record_makes_shard_incomplete(self, env):
+        _, _, _, dataset, token, _ = env
+        shard = ShardIntegrity()
+        shard.add(0, dataset.records[0].payload, b"", b"")
+        assert not shard.complete
+        with pytest.raises(IntegrityError):
+            shard.proof_for([], token)
+
+    def test_proof_size_independent_of_matches(self, env):
+        _, _, _, dataset, token, _ = env
+        shard = ShardIntegrity()
+        for record in dataset.records:
+            shard.add(record.identifier, record.payload, record.tag, record.mtag)
+        none = shard.proof_for([], token)
+        all_ids = [r.identifier for r in dataset.records]
+        everything = shard.proof_for(all_ids, token)
+        assert set(none) == set(everything)
+        assert len(none["complement"]) == len(everything["complement"])
+
+
+class TestVerifierUnit:
+    """The verifier against a locally assembled (honest) shard."""
+
+    @pytest.fixture()
+    def shard_reply(self, env):
+        _, _, _, dataset, token, _ = env
+        shard = ShardIntegrity()
+        for record in dataset.records:
+            shard.add(record.identifier, record.payload, record.tag, record.mtag)
+        matched = [0, 1, 5]
+        section = {
+            "matches": shard.matches_section(matched),
+            "shards": [shard.proof_for(matched, token)],
+        }
+        return matched, section
+
+    def test_honest_reply_verifies(self, env, shard_reply):
+        _, _, _, dataset, token, keys = env
+        matched, section = shard_reply
+        state = IntegrityState()
+        state.note_upload(keys, (r.identifier for r in dataset.records))
+        report = ResultVerifier(keys).verify(token, matched, section, state)
+        assert report.records == len(matched)
+        assert report.shards == 1
+        assert report.state_checked
+
+    def test_wrong_token_detected(self, env, shard_reply):
+        _, _, _, _, token, keys = env
+        matched, section = shard_reply
+        with pytest.raises(IntegrityError, match="different token"):
+            ResultVerifier(keys).verify(b"other-token", matched, section)
+
+    def test_extra_claimed_match_detected(self, env, shard_reply):
+        _, _, _, _, token, keys = env
+        matched, section = shard_reply
+        with pytest.raises(IntegrityError, match="disagrees"):
+            ResultVerifier(keys).verify(token, [*matched, 2], section)
+
+
+def tamper_none(fields: dict) -> None:
+    """Identity tamper: the honest control."""
+
+
+def tamper_forge_tag(fields: dict) -> None:
+    entry = fields["integrity"]["matches"][0]
+    entry[2] = flip_hex(entry[2])
+
+
+def tamper_flip_payload(fields: dict) -> None:
+    entry = fields["integrity"]["matches"][0]
+    entry[1] = flip_hex(entry[1])
+
+
+def tamper_drop_match(fields: dict) -> None:
+    dropped = fields["integrity"]["matches"].pop(0)
+    fields["identifiers"] = [
+        i for i in fields["identifiers"] if i != dropped[0]
+    ]
+
+
+def tamper_strip_section(fields: dict) -> None:
+    fields.pop("integrity")
+
+
+TAMPERS = {
+    "forged tag": (tamper_forge_tag, "authenticity tag"),
+    "flipped payload": (tamper_flip_payload, "authenticity tag"),
+    "dropped match": (tamper_drop_match, "does not balance"),
+}
+
+
+class TestEndToEndTamperMatrix:
+    """Dispatcher-level end-to-end: real engine, tampered reply fields."""
+
+    @pytest.fixture(scope="class")
+    def served(self, env):
+        scheme, _, _, dataset, token, _ = env
+        server = make_server(scheme)
+        server.ingest(dataset)
+        fields = verified_search(server, token)
+        yield fields, token
+        stop(server)
+
+    def test_honest_reply_verifies(self, env, served):
+        _, _, _, dataset, _, keys = env
+        fields, token = served
+        state = IntegrityState()
+        state.note_upload(keys, (r.identifier for r in dataset.records))
+        section = protocol.integrity_section_from_fields(fields)
+        report = ResultVerifier(keys).verify(
+            token, fields["identifiers"], section, state
+        )
+        assert report.records == len(fields["identifiers"]) > 0
+
+    @pytest.mark.parametrize("name", sorted(TAMPERS))
+    def test_tamper_detected(self, env, served, name):
+        import copy
+
+        _, _, _, dataset, _, keys = env
+        fields, token = served
+        tamper, expected = TAMPERS[name]
+        tampered = copy.deepcopy(fields)
+        tamper(tampered)
+        state = IntegrityState()
+        state.note_upload(keys, (r.identifier for r in dataset.records))
+        section = protocol.integrity_section_from_fields(tampered)
+        with pytest.raises(IntegrityError, match=expected):
+            ResultVerifier(keys).verify(
+                token, tampered["identifiers"], section, state
+            )
+
+    def test_untagged_upload_makes_verify_unavailable(self, env):
+        scheme, _, _, dataset, token, _ = env
+        server = make_server(scheme)
+        server.ingest(
+            UploadDataset(
+                records=tuple(
+                    UploadRecord(identifier=r.identifier, payload=r.payload)
+                    for r in dataset.records
+                )
+            )
+        )
+        try:
+            with pytest.raises(ProtocolError, match="verification unavailable"):
+                verified_search(server, token)
+        finally:
+            stop(server)
+
+
+class TestReplayAfterDeleteAndCompaction:
+    """A pre-delete proof must not verify against the client's state."""
+
+    def test_stale_proof_rejected_fresh_proof_accepted(self, env, tmp_path):
+        scheme, _, _, dataset, token, keys = env
+        store = RecordStore.open_or_create(tmp_path, scheme_header(scheme))
+        server = make_server(scheme, store=store)
+        server.ingest(dataset)
+        state = IntegrityState()
+        state.note_upload(keys, (r.identifier for r in dataset.records))
+
+        stale = verified_search(server, token)
+        stale_section = protocol.integrity_section_from_fields(stale)
+        matched = list(stale["identifiers"])
+        assert matched, "fixture query must match something"
+
+        # Delete one matching record; the client notes it.
+        victim = matched[0]
+        dispatch(
+            server,
+            "delete",
+            protocol.delete_fields(_delete_req((victim,))),
+        )
+        state.note_delete(keys, (victim,))
+
+        # The replayed pre-delete reply is globally consistent with
+        # itself — only the client's own state exposes it.
+        with pytest.raises(IntegrityError, match="expected state|attest"):
+            ResultVerifier(keys).verify(
+                token, matched, stale_section, state
+            )
+
+        # A fresh proof over the post-delete dataset verifies.
+        fresh = verified_search(server, token)
+        report = ResultVerifier(keys).verify(
+            token,
+            fresh["identifiers"],
+            protocol.integrity_section_from_fields(fresh),
+            state,
+        )
+        assert victim not in fresh["identifiers"]
+        assert report.state_checked
+        stop(server)
+
+        # Compaction rewrites the log; a rebuilt server still proves the
+        # same accumulator state, and the stale proof still fails.
+        with RecordStore.open(tmp_path) as reopened:
+            reopened.compact()
+        revived = make_server(
+            scheme, store=RecordStore.open(tmp_path)
+        )
+        try:
+            after = verified_search(revived, token)
+            ResultVerifier(keys).verify(
+                token,
+                after["identifiers"],
+                protocol.integrity_section_from_fields(after),
+                state,
+            )
+            with pytest.raises(IntegrityError):
+                ResultVerifier(keys).verify(
+                    token, matched, stale_section, state
+                )
+        finally:
+            stop(revived)
+
+
+def _delete_req(identifiers):
+    from repro.cloud.messages import DeleteRequest
+
+    return DeleteRequest(identifiers=tuple(identifiers))
+
+
+class StrippingServer(ServiceServer):
+    """A malicious server that answers but drops the integrity section."""
+
+    async def _do_search(self, request: protocol.Request) -> dict:
+        fields = await super()._do_search(request)
+        fields.pop("integrity", None)
+        return fields
+
+
+class ForgingServer(ServiceServer):
+    """A malicious server that flips a tag bit in every verified reply."""
+
+    async def _do_search(self, request: protocol.Request) -> dict:
+        fields = await super()._do_search(request)
+        section = fields.get("integrity")
+        if section and section["matches"]:
+            section["matches"][0][2] = flip_hex(section["matches"][0][2])
+        return fields
+
+
+class TestOverTheWire:
+    """The same detections hold across real TCP via ServiceClient."""
+
+    def run_server(self, env, cls):
+        scheme, _, _, dataset, _, _ = env
+        server = cls(scheme, config=ServiceConfig(workers=1))
+        server.ingest(dataset)
+        return ServerThread(server)
+
+    def test_honest_search_verified(self, env):
+        scheme, _, _, dataset, token, keys = env
+        thread = self.run_server(env, ServiceServer)
+        port = thread.start()
+        try:
+            client = ServiceClient("127.0.0.1", port)
+            response, stats, section = client.search_verified(token)
+            state = IntegrityState()
+            state.note_upload(keys, (r.identifier for r in dataset.records))
+            report = ResultVerifier(keys).verify(
+                token, response.identifiers, section, state
+            )
+            assert report.shards == 1
+            assert stats["matches"] == len(response.identifiers)
+        finally:
+            thread.stop()
+
+    def test_proof_stripping_detected(self, env):
+        _, _, _, _, token, _ = env
+        thread = self.run_server(env, StrippingServer)
+        port = thread.start()
+        try:
+            client = ServiceClient("127.0.0.1", port)
+            with pytest.raises(IntegrityError, match="no integrity section"):
+                client.search_verified(token)
+        finally:
+            thread.stop()
+
+    def test_wire_level_forgery_detected(self, env):
+        _, _, _, _, token, keys = env
+        thread = self.run_server(env, ForgingServer)
+        port = thread.start()
+        try:
+            client = ServiceClient("127.0.0.1", port)
+            response, _, section = client.search_verified(token)
+            with pytest.raises(IntegrityError, match="authenticity tag"):
+                ResultVerifier(keys).verify(
+                    token, response.identifiers, section
+                )
+        finally:
+            thread.stop()
+
+    def test_plain_search_has_no_integrity_section(self, env):
+        _, _, _, _, token, _ = env
+        thread = self.run_server(env, ServiceServer)
+        port = thread.start()
+        try:
+            client = ServiceClient("127.0.0.1", port)
+            response, stats = client.search(token)
+            assert response.identifiers
+        finally:
+            thread.stop()
+
+
+class TestStatsSurface:
+    def test_integrity_stats_reported(self, env):
+        scheme, _, _, dataset, token, _ = env
+        server = make_server(scheme)
+        server.ingest(dataset)
+        try:
+            snapshot = dispatch(server, "stats", {})
+            section = snapshot["integrity"]
+            assert section["records"] == len(dataset.records)
+            assert section["tags"] == len(dataset.records)
+            assert section["complete"] is True
+            assert section["last_proof"] == "never"
+            verified_search(server, token)
+            snapshot = dispatch(server, "stats", {})
+            assert snapshot["integrity"]["last_proof"] == "served"
+        finally:
+            stop(server)

@@ -2,12 +2,16 @@
 
 This is the one test that exercises the real deployment shape: a serve
 process on an ephemeral port, a query process dialing it over TCP, and a
-SIGTERM drain — the same round-trip the CI smoke job performs.
+SIGTERM drain — the same round-trip the CI smoke job performs.  The
+coordinator battery additionally pins the degraded-mode contract (a
+killed shard means exit 1 plus the partial-results banner) and the
+``--verify`` round trip.
 """
 
 from __future__ import annotations
 
 import os
+import re
 import signal
 import subprocess
 import sys
@@ -93,3 +97,101 @@ def test_serve_query_sigterm_roundtrip(artifacts):
     assert serve.returncode == 0, stdout
     assert "preloaded 4 records" in stdout
     assert "drained, bye" in stdout
+
+
+def _spawn(argv: list[str]) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+
+def _await_port(proc: subprocess.Popen, port_file, what: str) -> str:
+    deadline = time.monotonic() + 60
+    while not port_file.exists() and time.monotonic() < deadline:
+        assert proc.poll() is None, f"{what} died: {proc.stdout.read()}"
+        time.sleep(0.1)
+    assert port_file.exists(), f"{what} never wrote its port file"
+    return port_file.read_text().strip()
+
+
+def _reap(proc: subprocess.Popen) -> None:
+    # wait(), not communicate(): a SIGKILLed serve can leave worker
+    # children holding the stdout pipe open, and draining it would hang.
+    if proc.poll() is None:
+        proc.kill()
+    proc.wait(timeout=30)
+    if proc.stdout is not None:
+        proc.stdout.close()
+
+
+def test_coordinator_verify_and_partial_results(artifacts):
+    """Verified queries work through the coordinator; a killed shard
+    degrades to exit 1 with the partial-results banner."""
+    key, records, root = artifacts
+    shards = []
+    coordinator = None
+    try:
+        ports = []
+        for index in range(2):
+            port_file = root / f"shard{index}.port"
+            proc = _spawn(
+                [
+                    "serve", "--key", str(key), "--port", "0",
+                    "--port-file", str(port_file), "--workers", "1",
+                ]
+            )
+            shards.append(proc)
+            ports.append(_await_port(proc, port_file, f"shard {index}"))
+        coord_port_file = root / "coord.port"
+        coordinator = _spawn(
+            [
+                "coordinate",
+                "--shard", f"127.0.0.1:{ports[0]}",
+                "--shard", f"127.0.0.1:{ports[1]}",
+                "--port", "0", "--port-file", str(coord_port_file),
+            ]
+        )
+        coord_port = _await_port(coordinator, coord_port_file, "coordinator")
+
+        upload = _repro(
+            "query", "--key", str(key), "--upload", str(records),
+            "--port", coord_port, "--via-coordinator",
+        )
+        assert upload.returncode == 0, upload.stdout + upload.stderr
+        assert "uploaded 4 records" in upload.stdout
+
+        verified = _repro(
+            "query", "--key", str(key), "--center", "3,3", "--radius", "1",
+            "--port", coord_port, "--seed", "13", "--verify",
+        )
+        assert verified.returncode == 0, verified.stdout + verified.stderr
+        assert "matches: [0, 1]" in verified.stdout
+        assert re.search(
+            r"verified: 2 match\(es\) attested across 2 shard proof\(s\)",
+            verified.stdout,
+        ), verified.stdout
+
+        # SIGKILL one shard: no drain, no goodbye — the coordinator must
+        # degrade loudly, not lie by omission.
+        shards[0].kill()
+        shards[0].wait(timeout=30)
+        partial = _repro(
+            "query", "--key", str(key), "--center", "3,3", "--radius", "1",
+            "--port", coord_port, "--seed", "13", "--via-coordinator",
+        )
+        assert partial.returncode == 1, partial.stdout + partial.stderr
+        assert re.search(
+            r"partial matches: .*\(from 1 of 2 shards\)", partial.stdout
+        ), partial.stdout
+        assert "error: search lost shard(s)" in partial.stderr, partial.stderr
+    finally:
+        if coordinator is not None:
+            _reap(coordinator)
+        for proc in shards:
+            _reap(proc)

@@ -282,7 +282,21 @@ class TestShardsCapability:
     def test_export_rows_roundtrip(self):
         rows = ((1, b"\x00pay", b"body"), (2, b"", b""))
         fields = protocol.export_rows_fields(rows)
+        # Untagged rows come back padded with empty tag columns.
+        assert protocol.export_rows_from_fields(fields) == tuple(
+            (*row, b"", b"") for row in rows
+        )
+
+    def test_export_rows_roundtrip_with_tags(self):
+        rows = (
+            (1, b"\x00pay", b"body", b"T" * 32, b"M" * 32),
+            (2, b"", b"", b"", b""),
+        )
+        fields = protocol.export_rows_fields(rows)
         assert protocol.export_rows_from_fields(fields) == rows
+        # The untagged row encodes in the legacy 3-element shape.
+        assert len(fields["records"][0]) == 5
+        assert len(fields["records"][1]) == 3
 
     @pytest.mark.parametrize(
         "bad",
@@ -292,6 +306,8 @@ class TestShardsCapability:
             {"records": [[1, "AA=="]]},
             {"records": [["1", "AA==", "AA=="]]},
             {"records": [[1, "not base64!!", "AA=="]]},
+            {"records": [[1, "AA==", "AA==", "AA=="]]},
+            {"records": [[1, "AA==", "AA==", "AA==", 7]]},
         ],
     )
     def test_malformed_export_rows_rejected(self, bad):
