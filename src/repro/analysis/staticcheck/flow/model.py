@@ -300,7 +300,16 @@ EXECUTOR_SUFFIXES = (
 #: ServiceClient verbs a coordinator handler may invoke; each accepts a
 #: ``deadline_ms`` keyword that must carry the remaining budget.
 CLIENT_VERBS = frozenset(
-    {"search", "upload", "delete", "fetch", "export", "health", "stats"}
+    {
+        "search",
+        "search_batch",
+        "upload",
+        "delete",
+        "fetch",
+        "export",
+        "health",
+        "stats",
+    }
 )
 
 

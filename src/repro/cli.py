@@ -229,6 +229,54 @@ def build_parser() -> argparse.ArgumentParser:
         "across invocations; updated on upload, checked on --verify",
     )
 
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="replay a generated query stream against a running service "
+        "and report sustained QPS and latency percentiles",
+    )
+    loadtest.add_argument("--key", type=Path, required=True)
+    loadtest.add_argument("--host", default="127.0.0.1")
+    loadtest.add_argument("--port", type=int, required=True)
+    loadtest.add_argument(
+        "--queries", type=int, default=100,
+        help="number of queries in the generated stream (default 100)",
+    )
+    loadtest.add_argument(
+        "--mode", choices=("closed", "open", "sweep"), default="closed",
+        help="closed: fixed concurrency; open: fixed arrival rate; "
+        "sweep: closed loop at increasing concurrency levels",
+    )
+    loadtest.add_argument(
+        "--concurrency", type=int, default=8,
+        help="closed-loop worker count (default 8)",
+    )
+    loadtest.add_argument(
+        "--rate", type=float, default=100.0,
+        help="open-loop arrival rate in queries/s (default 100)",
+    )
+    loadtest.add_argument(
+        "--batch", type=int, default=1,
+        help="queries per search_batch round trip in closed mode "
+        "(default 1: plain multiplexed searches)",
+    )
+    loadtest.add_argument(
+        "--levels", default="1,2,4,8,16",
+        help="comma-separated concurrency levels for --mode sweep",
+    )
+    loadtest.add_argument(
+        "--upload", type=Path, default=None,
+        help="records file from 'repro encrypt' to upload before the run",
+    )
+    loadtest.add_argument("--max-radius", type=int, default=4)
+    loadtest.add_argument("--hide-to", type=int, default=None)
+    loadtest.add_argument("--deadline-ms", type=float, default=None)
+    loadtest.add_argument(
+        "--max-in-flight", type=int, default=64,
+        help="client-side cap on outstanding requests (default 64)",
+    )
+    loadtest.add_argument("--timeout-s", type=float, default=30.0)
+    loadtest.add_argument("--seed", type=int, default=None)
+
     integrity = sub.add_parser(
         "integrity", help="verifiable-search operations"
     )
@@ -798,6 +846,97 @@ def _cmd_lint(args, out) -> int:
     )
 
 
+def _cmd_loadtest(args, out) -> int:
+    import asyncio
+
+    from repro.datasets.workload import generate_query_stream
+    from repro.errors import ParameterError
+    from repro.loadgen import (
+        render_report,
+        render_sweep,
+        run_closed_loop,
+        run_open_loop,
+        saturation_sweep,
+        tokens_for_queries,
+    )
+    from repro.service import AsyncServiceClient, ServiceClient
+
+    if args.queries < 1:
+        raise ParameterError("--queries must be at least 1")
+    scheme, key = load_crse2_key(args.key.read_bytes())
+    rng = _rng(args.seed)
+    queries = generate_query_stream(
+        scheme.space, args.queries, rng, max_radius=args.max_radius
+    )
+    payloads = tokens_for_queries(
+        scheme, key, queries, rng, hide_radius_to=args.hide_to
+    )
+    if args.upload is not None:
+        from repro.cloud.messages import UploadDataset, UploadRecord
+
+        records = _read_records_file(args.upload)
+        with ServiceClient(
+            args.host, args.port, timeout_s=args.timeout_s
+        ) as uploader:
+            stored = uploader.upload(
+                UploadDataset(
+                    records=tuple(
+                        UploadRecord(identifier=i, payload=blob)
+                        for i, blob in records
+                    )
+                )
+            )
+        print(
+            f"uploaded {len(records)} records ({stored} now stored)",
+            file=out,
+        )
+    print(
+        f"loadtest: {len(payloads)} queries against "
+        f"{args.host}:{args.port} (mode={args.mode})",
+        file=out,
+    )
+
+    async def main():
+        async with AsyncServiceClient(
+            args.host,
+            args.port,
+            timeout_s=args.timeout_s,
+            max_in_flight=args.max_in_flight,
+        ) as client:
+            if args.mode == "sweep":
+                levels = [
+                    int(level) for level in args.levels.split(",") if level
+                ]
+                return await saturation_sweep(
+                    client,
+                    payloads,
+                    concurrency_levels=levels,
+                    deadline_ms=args.deadline_ms,
+                    batch=args.batch,
+                )
+            if args.mode == "open":
+                return await run_open_loop(
+                    client,
+                    payloads,
+                    rate_qps=args.rate,
+                    deadline_ms=args.deadline_ms,
+                )
+            return await run_closed_loop(
+                client,
+                payloads,
+                concurrency=args.concurrency,
+                deadline_ms=args.deadline_ms,
+                batch=args.batch,
+            )
+
+    outcome = asyncio.run(main())
+    if args.mode == "sweep":
+        print(render_sweep(outcome), file=out)
+        return 0 if all(r.ok == r.requested for r in outcome) else 1
+    print(render_report(outcome), file=out)
+    return 0 if outcome.ok == outcome.requested else 1
+
+
 _COMMANDS = {
     "keygen": _cmd_keygen,
     "encrypt": _cmd_encrypt,
@@ -810,6 +949,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "coordinate": _cmd_coordinate,
     "query": _cmd_query,
+    "loadtest": _cmd_loadtest,
     "store": _cmd_store,
     "integrity": _cmd_integrity,
 }

@@ -33,6 +33,7 @@ __all__ = [
     "DeleteOp",
     "Operation",
     "generate_trace",
+    "generate_query_stream",
     "replay",
     "ReplayReport",
 ]
@@ -83,6 +84,37 @@ class ReplayReport:
     mismatches: list[str] = field(default_factory=list)
 
 
+def _random_query(space, rng: random.Random, max_radius: int) -> QueryOp:
+    """One random in-bounds query (circle fully inside the data space)."""
+    radius = rng.randint(0, max_radius)
+    lo = min(radius, space.t - 1 - radius)
+    center = tuple(
+        rng.randint(lo, max(space.t - 1 - radius, lo))
+        for _ in range(space.w)
+    )
+    return QueryOp(circle=Circle.from_radius(center, radius))
+
+
+def generate_query_stream(
+    space,
+    queries: int,
+    rng: random.Random,
+    max_radius: int = 4,
+) -> list[QueryOp]:
+    """A reproducible pure-query stream for load generation.
+
+    Same circle distribution as :func:`generate_trace`'s query branch,
+    without the interleaved uploads and deletes — the load harness
+    uploads once up front and then measures sustained query traffic.
+
+    Raises:
+        ParameterError: On a non-positive query count.
+    """
+    if queries < 1:
+        raise ParameterError("query stream needs at least one query")
+    return [_random_query(space, rng, max_radius) for _ in range(queries)]
+
+
 def generate_trace(
     space,
     operations: int,
@@ -106,13 +138,7 @@ def generate_trace(
     for _ in range(operations - 1):
         roll = rng.random()
         if roll < 0.5:
-            radius = rng.randint(0, max_radius)
-            lo = min(radius, space.t - 1 - radius)
-            center = tuple(
-                rng.randint(lo, max(space.t - 1 - radius, lo))
-                for _ in range(space.w)
-            )
-            trace.append(QueryOp(circle=Circle.from_radius(center, radius)))
+            trace.append(_random_query(space, rng, max_radius))
         elif roll < 0.8:
             count = rng.randint(1, batch)
             trace.append(

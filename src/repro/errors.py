@@ -53,6 +53,18 @@ class WireFormatError(SerializationError, ProtocolError):
     """
 
 
+class ConnectionClosedError(WireFormatError):
+    """The peer closed the connection cleanly at a frame boundary.
+
+    Distinguished from mid-frame truncation (plain
+    :class:`WireFormatError`) because it is the one transport failure a
+    persistent-connection client may transparently recover from: a clean
+    close before any reply byte means the request was either never
+    processed or its reply was deliberately withheld — and the client
+    knows which by whether the connection was fresh or reused.
+    """
+
+
 class ServiceError(ReproError):
     """Base class for errors raised by the networked query service."""
 

@@ -1,0 +1,37 @@
+"""Load generation: measure sustained query traffic against the service.
+
+The pieces compose into one pipeline:
+
+1. :func:`repro.datasets.workload.generate_query_stream` produces a
+   reproducible query stream;
+2. :func:`~repro.loadgen.tokens.tokens_for_queries` encrypts it into
+   wire-ready tokens (up front, off the clock);
+3. :func:`~repro.loadgen.runner.run_closed_loop` /
+   :func:`~repro.loadgen.runner.run_open_loop` replay the tokens through
+   an :class:`~repro.service.aio.AsyncServiceClient`, folding outcomes
+   into a :class:`~repro.loadgen.runner.LoadResult` with an HDR-style
+   :class:`~repro.loadgen.recorder.LatencyRecorder`;
+4. :func:`~repro.loadgen.report.render_report` /
+   :func:`~repro.loadgen.report.saturation_sweep` turn results into the
+   numbers that matter: sustained QPS, p50/p95/p99/p999, and the
+   concurrency level where the engine saturates.
+
+``repro loadtest`` is the CLI face of this package;
+``bench_ablation_async_throughput`` is the benchmark one.
+"""
+
+from repro.loadgen.recorder import LatencyRecorder
+from repro.loadgen.report import render_report, render_sweep, saturation_sweep
+from repro.loadgen.runner import LoadResult, run_closed_loop, run_open_loop
+from repro.loadgen.tokens import tokens_for_queries
+
+__all__ = [
+    "LatencyRecorder",
+    "LoadResult",
+    "run_closed_loop",
+    "run_open_loop",
+    "render_report",
+    "render_sweep",
+    "saturation_sweep",
+    "tokens_for_queries",
+]

@@ -1,0 +1,138 @@
+"""HDR-style latency recorder: log-bucketed histogram with bounded error.
+
+Storing every sample is wasteful at sustained load, and a fixed-bucket
+histogram (like the server's :mod:`repro.service.metrics`) trades too much
+tail resolution away for a client-side report.  This recorder keeps the
+classic high-dynamic-range compromise: microsecond values below 2^7 are
+exact, and every larger value lands in a sub-bucket holding the top 7
+significant bits of its magnitude — relative quantile error is bounded by
+``1/128`` (< 1%) across the whole range, from microseconds to minutes,
+using O(occupied buckets) memory.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+
+__all__ = ["LatencyRecorder"]
+
+#: Significant bits kept per magnitude; error is bounded by 2^-bits.
+_PRECISION_BITS = 7
+_PRECISION = 1 << _PRECISION_BITS
+
+
+class LatencyRecorder:
+    """Accumulates latencies (seconds in, milliseconds out)."""
+
+    def __init__(self) -> None:
+        """Start empty."""
+        self._counts: dict[int, int] = {}
+        self.count = 0
+        self._min_us: int | None = None
+        self._max_us = 0
+        self._total_us = 0
+
+    # ------------------------------------------------------------------
+    # Bucketing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _index_of(us: int) -> int:
+        if us < _PRECISION:
+            return us
+        shift = us.bit_length() - _PRECISION_BITS
+        return (shift << _PRECISION_BITS) + (us >> shift)
+
+    @staticmethod
+    def _value_of(index: int) -> int:
+        shift = index >> _PRECISION_BITS
+        mantissa = index & (_PRECISION - 1)
+        if shift == 0:
+            return mantissa
+        # Bucket midpoint: halves the worst-case quantile error.
+        return (mantissa << shift) + (1 << (shift - 1))
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, seconds: float) -> None:
+        """Record one latency observation.
+
+        Raises:
+            ParameterError: On a negative latency (a clock bug upstream —
+                silently clamping would corrupt the tail).
+        """
+        if seconds < 0:
+            raise ParameterError(f"negative latency {seconds!r}")
+        us = int(round(seconds * 1e6))
+        self._counts[self._index_of(us)] = (
+            self._counts.get(self._index_of(us), 0) + 1
+        )
+        self.count += 1
+        self._total_us += us
+        self._max_us = max(self._max_us, us)
+        self._min_us = us if self._min_us is None else min(self._min_us, us)
+
+    def merge(self, other: LatencyRecorder) -> None:
+        """Fold *other*'s observations into this recorder."""
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self.count += other.count
+        self._total_us += other._total_us
+        self._max_us = max(self._max_us, other._max_us)
+        if other._min_us is not None:
+            self._min_us = (
+                other._min_us
+                if self._min_us is None
+                else min(self._min_us, other._min_us)
+            )
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def percentile_ms(self, quantile: float) -> float:
+        """The latency at *quantile* (in ``(0, 1]``), in milliseconds.
+
+        Raises:
+            ParameterError: On a quantile outside ``(0, 1]``.
+        """
+        if not 0 < quantile <= 1:
+            raise ParameterError(f"quantile {quantile!r} outside (0, 1]")
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(quantile * self.count))
+        cumulative = 0
+        for index in sorted(self._counts):
+            cumulative += self._counts[index]
+            if cumulative >= rank:
+                return self._value_of(index) / 1000.0
+        return self._max_us / 1000.0
+
+    @property
+    def min_ms(self) -> float:
+        """Smallest recorded latency (exact, not bucketed)."""
+        return (self._min_us or 0) / 1000.0
+
+    @property
+    def max_ms(self) -> float:
+        """Largest recorded latency (exact, not bucketed)."""
+        return self._max_us / 1000.0
+
+    @property
+    def mean_ms(self) -> float:
+        """Arithmetic mean (exact: totals are kept beside the buckets)."""
+        return self._total_us / self.count / 1000.0 if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (what reports and benchmarks persist)."""
+        return {
+            "count": self.count,
+            "min_ms": round(self.min_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+            "mean_ms": round(self.mean_ms, 3),
+            "p50_ms": round(self.percentile_ms(0.50), 3),
+            "p95_ms": round(self.percentile_ms(0.95), 3),
+            "p99_ms": round(self.percentile_ms(0.99), 3),
+            "p999_ms": round(self.percentile_ms(0.999), 3),
+        }

@@ -1,0 +1,88 @@
+"""Render load-run results and sweep concurrency to find saturation.
+
+The report format is deliberately greppable — stable ``key=value`` pairs
+on the first line (CI smoke checks assert on ``failed=0``) with latency
+percentiles spelled out beneath.  The sweep runs the same closed-loop
+workload at increasing concurrency and reports QPS per level, which is
+the classic way to read off the saturation knee: throughput climbs until
+the serial resource (here, the engine's worker pool) is full, then
+latency climbs instead.
+"""
+
+from __future__ import annotations
+
+from repro.loadgen.runner import LoadResult, run_closed_loop
+
+__all__ = ["render_report", "render_sweep", "saturation_sweep"]
+
+
+def render_report(result: LoadResult) -> str:
+    """Human-readable (and greppable) summary of one load run."""
+    lat = result.latency
+    shape = f"mode={result.mode}"
+    if result.concurrency is not None:
+        shape += f" concurrency={result.concurrency}"
+    if result.rate_qps is not None:
+        shape += f" rate_qps={result.rate_qps:g}"
+    if result.batch > 1:
+        shape += f" batch={result.batch}"
+    lines = [
+        f"{shape} requested={result.requested} ok={result.ok} "
+        f"busy={result.busy} deadline={result.deadline} "
+        f"failed={result.failed}",
+        f"elapsed={result.elapsed_s:.3f}s qps={result.qps:.1f}",
+        f"latency_ms p50={lat.percentile_ms(0.50):.3f} "
+        f"p95={lat.percentile_ms(0.95):.3f} "
+        f"p99={lat.percentile_ms(0.99):.3f} "
+        f"p999={lat.percentile_ms(0.999):.3f} "
+        f"min={lat.min_ms:.3f} max={lat.max_ms:.3f} mean={lat.mean_ms:.3f}",
+    ]
+    if result.error_samples:
+        lines.append("errors: " + "; ".join(result.error_samples))
+    return "\n".join(lines)
+
+
+async def saturation_sweep(
+    client,
+    payloads,
+    concurrency_levels,
+    deadline_ms: float | None = None,
+    batch: int = 1,
+) -> list[LoadResult]:
+    """Run the closed-loop workload once per concurrency level, in order.
+
+    Levels run sequentially (a sweep whose levels contend with each
+    other measures nothing), reusing one client so connection setup is
+    paid once.
+    """
+    results = []
+    for level in concurrency_levels:
+        results.append(
+            await run_closed_loop(
+                client,
+                payloads,
+                concurrency=level,
+                deadline_ms=deadline_ms,
+                batch=batch,
+            )
+        )
+    return results
+
+
+def render_sweep(results) -> str:
+    """A fixed-width table of one sweep's per-level outcomes."""
+    lines = [
+        f"{'conc':>5} {'qps':>9} {'p50_ms':>9} {'p95_ms':>9} "
+        f"{'p99_ms':>9} {'ok':>7} {'busy':>5} {'fail':>5}"
+    ]
+    for result in results:
+        lat = result.latency
+        lines.append(
+            f"{result.concurrency or 0:>5} {result.qps:>9.1f} "
+            f"{lat.percentile_ms(0.50):>9.3f} "
+            f"{lat.percentile_ms(0.95):>9.3f} "
+            f"{lat.percentile_ms(0.99):>9.3f} "
+            f"{result.ok:>7} {result.busy:>5} "
+            f"{result.failed + result.deadline:>5}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,236 @@
+"""Open- and closed-loop load generation against a running service.
+
+Two canonical driving modes, because they answer different questions:
+
+* **closed loop** — a fixed number of workers, each firing its next query
+  the moment the previous reply lands.  Measures the *capacity* of the
+  system at a given concurrency: sustained QPS and the latency the system
+  settles into under that pressure.
+* **open loop** — queries arrive on a fixed schedule (``rate_qps``)
+  regardless of whether earlier ones have finished, the way real traffic
+  does.  Latency is measured from each query's **intended** start time,
+  not its actual send — the coordinated-omission correction: if the
+  client stalls behind a slow server, the stall *is* queueing delay and
+  must show up in the tail, not be silently edited out of it.
+
+Both runners drive an :class:`~repro.service.aio.AsyncServiceClient`
+(anything with awaitable ``search``/``search_batch`` works) and fold every
+outcome into a :class:`LoadResult`: ok/busy/deadline/failed counts and an
+HDR-style latency histogram.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    DeadlineExceededError,
+    ParameterError,
+    ServiceBusyError,
+)
+from repro.loadgen.recorder import LatencyRecorder
+
+__all__ = ["LoadResult", "run_closed_loop", "run_open_loop"]
+
+#: Cap on remembered error messages — enough to diagnose, bounded memory.
+_MAX_ERROR_SAMPLES = 8
+
+
+@dataclass
+class LoadResult:
+    """Everything one load run observed."""
+
+    mode: str
+    requested: int
+    ok: int = 0
+    busy: int = 0
+    deadline: int = 0
+    failed: int = 0
+    elapsed_s: float = 0.0
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    error_samples: list[str] = field(default_factory=list)
+    concurrency: int | None = None
+    rate_qps: float | None = None
+    batch: int = 1
+    #: Per-query sorted identifier tuples (request order), populated only
+    #: when the run collects results — parity checks need them, pure
+    #: throughput runs skip the memory.
+    results: list[tuple[int, ...] | None] | None = None
+
+    @property
+    def qps(self) -> float:
+        """Completed queries per wall-clock second."""
+        return self.ok / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def observe_failure(self, exc: BaseException) -> None:
+        """Classify and count one failed query."""
+        if isinstance(exc, ServiceBusyError):
+            self.busy += 1
+        elif isinstance(exc, DeadlineExceededError):
+            self.deadline += 1
+        else:
+            self.failed += 1
+        if len(self.error_samples) < _MAX_ERROR_SAMPLES:
+            self.error_samples.append(f"{type(exc).__name__}: {exc}")
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (what benchmarks persist)."""
+        summary = {
+            "mode": self.mode,
+            "requested": self.requested,
+            "ok": self.ok,
+            "busy": self.busy,
+            "deadline": self.deadline,
+            "failed": self.failed,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "qps": round(self.qps, 1),
+            "batch": self.batch,
+            "latency": self.latency.to_dict(),
+        }
+        if self.concurrency is not None:
+            summary["concurrency"] = self.concurrency
+        if self.rate_qps is not None:
+            summary["rate_qps"] = self.rate_qps
+        if self.error_samples:
+            summary["error_samples"] = list(self.error_samples)
+        return summary
+
+
+async def run_closed_loop(
+    client,
+    payloads,
+    concurrency: int,
+    deadline_ms: float | None = None,
+    batch: int = 1,
+    collect_results: bool = False,
+) -> LoadResult:
+    """Drive *payloads* through *client* with *concurrency* workers.
+
+    Each worker claims the next unclaimed query (or, with ``batch > 1``,
+    the next contiguous chunk, sent as one ``search_batch`` round trip —
+    every query in a chunk is charged the chunk's full latency) and fires
+    it as soon as its previous one completes.
+
+    Raises:
+        ParameterError: On non-positive concurrency or batch, or an
+            empty payload list.
+    """
+    payloads = list(payloads)
+    if concurrency < 1:
+        raise ParameterError("closed loop needs at least one worker")
+    if batch < 1:
+        raise ParameterError("batch must be at least 1")
+    if not payloads:
+        raise ParameterError("load run needs at least one query")
+    result = LoadResult(
+        mode="closed",
+        requested=len(payloads),
+        concurrency=concurrency,
+        batch=batch,
+    )
+    if collect_results:
+        result.results = [None] * len(payloads)
+    position = 0
+    started = time.perf_counter()
+
+    async def run_one(index: int) -> None:
+        fired = time.perf_counter()
+        try:
+            response, _stats = await client.search(
+                payloads[index], deadline_ms=deadline_ms
+            )
+        except Exception as exc:
+            result.observe_failure(exc)
+            return
+        result.latency.record(time.perf_counter() - fired)
+        result.ok += 1
+        if result.results is not None:
+            result.results[index] = tuple(sorted(response.identifiers))
+
+    async def run_chunk(indices: list[int]) -> None:
+        fired = time.perf_counter()
+        try:
+            replies = await client.search_batch(
+                tuple(payloads[i] for i in indices),
+                deadline_ms=deadline_ms,
+            )
+        except Exception as exc:
+            for _ in indices:
+                result.observe_failure(exc)
+            return
+        elapsed = time.perf_counter() - fired
+        for index, (response, _stats) in zip(indices, replies):
+            result.latency.record(elapsed)
+            result.ok += 1
+            if result.results is not None:
+                result.results[index] = tuple(sorted(response.identifiers))
+
+    async def worker() -> None:
+        nonlocal position
+        while position < len(payloads):
+            # Claim without awaiting in between: single-threaded asyncio
+            # makes the read-advance pair atomic.
+            start = position
+            position = min(start + batch, len(payloads))
+            indices = list(range(start, position))
+            if batch > 1:
+                await run_chunk(indices)
+            else:
+                await run_one(indices[0])
+
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    result.elapsed_s = time.perf_counter() - started
+    return result
+
+
+async def run_open_loop(
+    client,
+    payloads,
+    rate_qps: float,
+    deadline_ms: float | None = None,
+    collect_results: bool = False,
+) -> LoadResult:
+    """Fire *payloads* at a fixed arrival rate, one query per tick.
+
+    Arrivals are scheduled, not reactive: query *i*'s intended start is
+    ``i / rate_qps`` after the run begins, and its latency is measured
+    from that intended start even when the client fell behind — the
+    coordinated-omission correction described in the module docstring.
+
+    Raises:
+        ParameterError: On a non-positive rate or an empty payload list.
+    """
+    payloads = list(payloads)
+    if rate_qps <= 0:
+        raise ParameterError("open loop needs a positive arrival rate")
+    if not payloads:
+        raise ParameterError("load run needs at least one query")
+    result = LoadResult(
+        mode="open", requested=len(payloads), rate_qps=rate_qps
+    )
+    if collect_results:
+        result.results = [None] * len(payloads)
+    started = time.perf_counter()
+
+    async def fire(index: int) -> None:
+        intended = started + index / rate_qps
+        delay = intended - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        try:
+            response, _stats = await client.search(
+                payloads[index], deadline_ms=deadline_ms
+            )
+        except Exception as exc:
+            result.observe_failure(exc)
+            return
+        result.latency.record(time.perf_counter() - intended)
+        result.ok += 1
+        if result.results is not None:
+            result.results[index] = tuple(sorted(response.identifiers))
+
+    await asyncio.gather(*(fire(i) for i in range(len(payloads))))
+    result.elapsed_s = time.perf_counter() - started
+    return result

@@ -1,0 +1,44 @@
+"""Turn workload query streams into wire-ready search tokens.
+
+Token generation holds the key and burns CPU on crypto, so it happens
+up front, synchronously, *outside* the measured load run — the harness
+measures the service, not the client's tokenizer.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cloud.codec import encode_token
+
+__all__ = ["tokens_for_queries"]
+
+
+def tokens_for_queries(
+    scheme,
+    key,
+    queries,
+    rng: random.Random,
+    hide_radius_to: int | None = None,
+) -> tuple[bytes, ...]:
+    """Encode one search-token payload per query op, in stream order.
+
+    Args:
+        scheme: The CRSE scheme the service was keyed with.
+        key: The owner's key.
+        queries: ``QueryOp`` sequence (e.g. from
+            :func:`repro.datasets.workload.generate_query_stream`).
+        rng: Token randomness.
+        hide_radius_to: Default dummy-padding target for ops that do not
+            fix their own ``hide_radius_to``.
+    """
+    payloads = []
+    for op in queries:
+        hide = (
+            op.hide_radius_to
+            if op.hide_radius_to is not None
+            else hide_radius_to
+        )
+        token = scheme.gen_token(key, op.circle, rng, hide_radius_to=hide)
+        payloads.append(encode_token(scheme, token))
+    return tuple(payloads)

@@ -12,9 +12,14 @@ runnable client/server system:
 * :mod:`repro.service.server` — the asyncio TCP server with a bounded
   request queue (typed BUSY backpressure), server-enforced per-request
   deadlines, per-verb metrics, and graceful drain on SIGTERM;
-* :mod:`repro.service.client` — a blocking client with configurable
+* :mod:`repro.service.client` — a blocking client holding one persistent
+  connection (transparent redial on idle-close), with configurable
   timeouts and exponential-backoff-with-jitter retries that distinguishes
   retryable (connect failures, BUSY) from non-retryable (protocol) errors;
+* :mod:`repro.service.aio` — an asyncio client multiplexing many
+  in-flight requests over one connection (replies matched to futures by
+  request id), with bounded in-flight, per-request deadlines, and
+  connection supervision — the engine behind :mod:`repro.loadgen`;
 * :mod:`repro.service.metrics` — per-verb counters and latency histograms
   exposed through the ``stats`` verb;
 * :mod:`repro.service.coordinator` — a distributed front-end that owns a
@@ -40,6 +45,7 @@ counts).  The service adds *operational* observables (latency, queue depth)
 that are properties of the deployment, not of the ciphertexts.
 """
 
+from repro.service.aio import AsyncServiceClient
 from repro.service.client import RetryPolicy, ServiceClient
 from repro.service.coordinator import (
     Coordinator,
@@ -52,6 +58,7 @@ from repro.service.harness import ServerThread
 from repro.service.server import FramedServer, ServiceConfig, ServiceServer
 
 __all__ = [
+    "AsyncServiceClient",
     "Coordinator",
     "CoordinatorConfig",
     "FramedServer",

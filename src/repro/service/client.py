@@ -1,9 +1,21 @@
 """Blocking client for the CRSE query service.
 
-One call, one connection: every request dials the server, sends one frame,
-reads one reply, and hangs up.  That keeps retry semantics trivial to
-reason about — a retried request can never collide with a half-read reply
-from an earlier attempt on a shared connection.
+The client keeps **one persistent connection** and reuses it across
+requests: strict request→reply on a single socket, so a retried request
+can never collide with a half-read reply from an earlier attempt.  Dialing
+per request (the original design) costs a TCP handshake on every query,
+which at sustained load dominates small-search latency.
+
+Reuse needs one new failure case handled: the server (or a proxy between)
+may close an *idle* connection between our requests, which we only notice
+when the next send or reply read fails.  That race is recovered
+transparently — redial and resend once — but **only** when the failed
+request went out on a *reused* connection and no reply byte arrived: a
+clean EOF there means the peer hung up before reading us, or at worst the
+idle-close crossed our send on the wire.  The same EOF on a *fresh*
+connection is a real mid-request failure (the server accepted, may have
+executed, and dropped the reply), so it raises instead of replaying —
+blind replay could double-apply an upload.
 
 Retry policy is exponential backoff with jitter, and it is deliberately
 narrow about what it retries:
@@ -32,6 +44,7 @@ from repro.cloud.messages import (
     UploadDataset,
 )
 from repro.errors import (
+    ConnectionClosedError,
     DeadlineExceededError,
     IntegrityError,
     ProtocolError,
@@ -60,6 +73,66 @@ def _partial_identifiers(fields: dict) -> tuple[int, ...]:
     ):
         raise WireFormatError("partial identifiers must be a list of ints")
     return tuple(identifiers)
+
+
+def _parse_search_reply(fields: dict) -> tuple[SearchResponse, dict]:
+    """Extract ``(response, stats)`` from a search reply's fields.
+
+    Shared by the blocking and async clients — the wire shape is the
+    same regardless of transport.
+
+    Raises:
+        WireFormatError: On a missing or malformed identifier list.
+    """
+    identifiers = fields.get("identifiers")
+    if not isinstance(identifiers, list) or not all(
+        isinstance(i, int) for i in identifiers
+    ):
+        raise WireFormatError("search reply missing identifier list")
+    stats = fields.get("stats")
+    return (
+        SearchResponse(identifiers=tuple(identifiers)),
+        stats if isinstance(stats, dict) else {},
+    )
+
+
+def _parse_batch_reply(
+    fields: dict, expected: int
+) -> tuple[tuple[SearchResponse, dict], ...]:
+    """Extract per-token ``(response, stats)`` pairs from a batch reply.
+
+    Raises:
+        WireFormatError: If the reply does not carry exactly *expected*
+            results (position is the only token↔result pairing).
+    """
+    results = protocol.batch_results_from_fields(fields)
+    if len(results) != expected:
+        raise WireFormatError(
+            f"batch reply has {len(results)} results for {expected} tokens"
+        )
+    return tuple(
+        (SearchResponse(identifiers=identifiers), stats)
+        for identifiers, stats in results
+    )
+
+
+def _error_from_reply(reply: protocol.Reply) -> Exception:
+    """Map a non-BUSY typed error reply onto the exception hierarchy.
+
+    BUSY is excluded because it is the one code the retry loops handle
+    in place (it changes control flow, not just the raised type).
+    """
+    if reply.error_code == protocol.ERR_DEADLINE:
+        return DeadlineExceededError(reply.error_message)
+    if reply.error_code == protocol.ERR_PROTOCOL:
+        return ProtocolError(reply.error_message)
+    if reply.error_code == protocol.ERR_SHARD_UNAVAILABLE:
+        return ShardUnavailableError(
+            reply.error_message,
+            partial_identifiers=_partial_identifiers(reply.fields),
+            shards=protocol.shard_reports_from_fields(reply.fields),
+        )
+    return ServiceError(f"{reply.error_code}: {reply.error_message}")
 
 
 class RetryPolicy:
@@ -130,11 +203,37 @@ class ServiceClient:
         self.retry = retry or RetryPolicy()
         self._rng = rng or random.Random()
         self._next_request_id = 1
+        self._sock: socket.socket | None = None
+        self._connections_opened = 0
+
+    @property
+    def connections_opened(self) -> int:
+        """How many TCP connections this client has dialed (ever).
+
+        A persistent client serving N healthy sequential requests reports
+        1 here; tests use the counter to pin the reuse behaviour down.
+        """
+        return self._connections_opened
+
+    def close(self) -> None:
+        """Close the cached connection (safe to call repeatedly)."""
+        self._drop_socket()
+
+    def __enter__(self) -> ServiceClient:
+        """Enter a ``with`` block; the client needs no setup."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the cached connection on block exit."""
+        self.close()
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _roundtrip_once(self, body: bytes) -> protocol.Reply:
+    def _ensure_socket(self) -> tuple[socket.socket, bool]:
+        """Return ``(socket, fresh)``, dialing only if none is cached."""
+        if self._sock is not None:
+            return self._sock, False
         try:
             sock = socket.create_connection(
                 (self.host, self.port), timeout=self.timeout_s
@@ -143,23 +242,65 @@ class ServiceClient:
             raise ServiceConnectionError(
                 f"cannot connect to {self.host}:{self.port}: {exc}"
             ) from exc
+        sock.settimeout(self.timeout_s)
+        self._sock = sock
+        self._connections_opened += 1
+        return sock, True
+
+    def _drop_socket(self) -> None:
+        if self._sock is None:
+            return
         try:
-            sock.settimeout(self.timeout_s)
-            protocol.send_frame(sock, body)
-            reply_body = protocol.recv_frame(sock)
-        except socket.timeout as exc:
-            raise ServiceError(
-                f"no reply within {self.timeout_s} s (request may still "
-                "have executed server-side; not retrying)"
-            ) from exc
-        except OSError as exc:
-            raise ServiceError(
-                f"connection to {self.host}:{self.port} failed "
-                f"mid-request: {exc}"
-            ) from exc
-        finally:
-            sock.close()
-        return protocol.decode_reply(reply_body)
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = None
+
+    def _roundtrip_once(self, body: bytes) -> protocol.Reply:
+        # A clean EOF (or send failure) on a REUSED connection is the
+        # idle-close race: the server hung up between our requests, and
+        # our send crossed the close on the wire.  Redial and resend once.
+        # The same failure on a FRESH connection means the server accepted
+        # this very request and dropped the reply — it may have executed,
+        # so replaying could double-apply; raise instead.
+        resent = False
+        while True:
+            sock, fresh = self._ensure_socket()
+            try:
+                protocol.send_frame(sock, body)
+                reply_body = protocol.recv_frame(sock)
+            except socket.timeout as exc:
+                self._drop_socket()
+                raise ServiceError(
+                    f"no reply within {self.timeout_s} s (request may "
+                    "still have executed server-side; not retrying)"
+                ) from exc
+            except ConnectionClosedError as exc:
+                self._drop_socket()
+                if not fresh and not resent:
+                    resent = True
+                    continue
+                raise ServiceError(
+                    f"connection to {self.host}:{self.port} closed before "
+                    "a reply (request may still have executed server-side; "
+                    "not retrying)"
+                ) from exc
+            except WireFormatError:
+                # Mid-frame truncation or junk bytes: the reply started
+                # arriving, so the request definitely executed.  Never
+                # resend; surface the typed wire error.
+                self._drop_socket()
+                raise
+            except OSError as exc:
+                self._drop_socket()
+                if not fresh and not resent:
+                    resent = True
+                    continue
+                raise ServiceError(
+                    f"connection to {self.host}:{self.port} failed "
+                    f"mid-request: {exc}"
+                ) from exc
+            return protocol.decode_reply(reply_body)
 
     def _request(
         self,
@@ -205,19 +346,7 @@ class ServiceClient:
                 time.sleep(self.retry.delay_s(retry_index, self._rng))
                 retry_index += 1
                 continue
-            if reply.error_code == protocol.ERR_DEADLINE:
-                raise DeadlineExceededError(reply.error_message)
-            if reply.error_code == protocol.ERR_PROTOCOL:
-                raise ProtocolError(reply.error_message)
-            if reply.error_code == protocol.ERR_SHARD_UNAVAILABLE:
-                raise ShardUnavailableError(
-                    reply.error_message,
-                    partial_identifiers=_partial_identifiers(reply.fields),
-                    shards=protocol.shard_reports_from_fields(reply.fields),
-                )
-            raise ServiceError(
-                f"{reply.error_code}: {reply.error_message}"
-            )
+            raise _error_from_reply(reply)
 
     # ------------------------------------------------------------------
     # Verbs
@@ -260,7 +389,7 @@ class ServiceClient:
             protocol.search_fields(SearchRequest(payload=token_payload)),
             deadline_ms=deadline_ms,
         )
-        response, stats = self._parse_search_reply(fields)
+        response, stats = _parse_search_reply(fields)
         return response, stats
 
     def search_verified(
@@ -293,7 +422,7 @@ class ServiceClient:
             ),
             deadline_ms=deadline_ms,
         )
-        response, stats = self._parse_search_reply(fields)
+        response, stats = _parse_search_reply(fields)
         section = protocol.integrity_section_from_fields(fields)
         if section is None:
             raise IntegrityError(
@@ -302,19 +431,29 @@ class ServiceClient:
             )
         return response, stats, section
 
-    def _parse_search_reply(
-        self, fields: dict
-    ) -> tuple[SearchResponse, dict]:
-        identifiers = fields.get("identifiers")
-        if not isinstance(identifiers, list) or not all(
-            isinstance(i, int) for i in identifiers
-        ):
-            raise WireFormatError("search reply missing identifier list")
-        stats = fields.get("stats")
-        return (
-            SearchResponse(identifiers=tuple(identifiers)),
-            stats if isinstance(stats, dict) else {},
+    def search_batch(
+        self,
+        token_payloads: tuple[bytes, ...],
+        deadline_ms: float | None = None,
+    ) -> tuple[tuple[SearchResponse, dict], ...]:
+        """Run several searches in one round trip.
+
+        The server answers position-for-position: result *i* belongs to
+        token *i*.  One frame each way amortizes framing and dispatch
+        overhead; leakage-wise the batch is exactly ``len(token_payloads)``
+        independent searches.
+
+        Raises:
+            WireFormatError: If the batch is empty or the reply does not
+                carry one result per token.
+        """
+        payloads = tuple(token_payloads)
+        fields = self._request(
+            "search_batch",
+            protocol.search_batch_fields(payloads),
+            deadline_ms=deadline_ms,
         )
+        return _parse_batch_reply(fields, len(payloads))
 
     def fetch(
         self,

@@ -44,6 +44,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -302,6 +303,13 @@ class Coordinator(FramedServer):
         self._by_addr = {s.addr: s for s in self.shards}
         self.data_dir = None if data_dir is None else Path(data_dir)
         self._client_factory = client_factory or _default_client_factory
+        # Shard clients keep persistent connections and are not
+        # thread-safe, so each fan-out pool thread caches its own client
+        # per shard (thread-local).  The flat registry exists only so
+        # shutdown can close every cached socket.
+        self._local = threading.local()
+        self._clients_lock = threading.Lock()
+        self._all_clients: list[ServiceClient] = []
         self._pool = ThreadPoolExecutor(
             max_workers=max(4, 2 * len(self.shards)),
             thread_name_prefix="coord",
@@ -352,10 +360,25 @@ class Coordinator(FramedServer):
             self.partition_map.save(self.data_dir)
 
     def _client(self, spec: ShardSpec) -> ServiceClient:
-        return self._client_factory(spec, self.config.shard_timeout_s)
+        cache = getattr(self._local, "clients", None)
+        if cache is None:
+            cache = self._local.clients = {}
+        client = cache.get(spec.addr)
+        if client is None:
+            client = self._client_factory(spec, self.config.shard_timeout_s)
+            cache[spec.addr] = client
+            with self._clients_lock:
+                self._all_clients.append(client)
+        return client
 
     def _close_resources(self, drain: bool) -> None:
         self._pool.shutdown(wait=drain)
+        with self._clients_lock:
+            clients, self._all_clients = self._all_clients, []
+        for client in clients:
+            close = getattr(client, "close", None)
+            if close is not None:
+                close()
 
     async def _fan_out(self, specs, call):
         """Run blocking *call(spec)* for every shard concurrently.
@@ -401,6 +424,7 @@ class Coordinator(FramedServer):
         return {
             "upload": self._do_upload,
             "search": self._do_search,
+            "search_batch": self._do_search_batch,
             "fetch": self._do_fetch,
             "delete": self._do_delete,
             "health": self._do_health,
@@ -495,6 +519,82 @@ class Coordinator(FramedServer):
                 )
             )
         return fields
+
+    async def _do_search_batch(self, request: protocol.Request) -> dict:
+        payloads = protocol.search_batch_from_fields(request.fields)
+        started = time.perf_counter()
+        budget = self._remaining_ms(request, started)
+
+        def ask(spec: ShardSpec):
+            return self._client(spec).search_batch(
+                payloads, deadline_ms=budget
+            )
+
+        outcomes = await self._fan_out(self.shards, ask)
+        merged: list[set[int]] = [set() for _ in payloads]
+        aggregates: list[dict] = [
+            {
+                "records_scanned": 0,
+                "sub_token_evaluations": 0,
+                "elapsed_ms": 0.0,
+                "partitions": [],
+            }
+            for _ in payloads
+        ]
+        reports: list[dict] = []
+        failures: list[str] = []
+        for spec, outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                reports.append(
+                    {"addr": spec.addr, "ok": False, "error": str(outcome)}
+                )
+                failures.append(spec.addr)
+                continue
+            matched = 0
+            for index, (response, stats) in enumerate(outcome):
+                merged[index].update(response.identifiers)
+                matched += len(response.identifiers)
+                aggregate = aggregates[index]
+                aggregate["records_scanned"] += int(
+                    stats.get("records_scanned", 0)
+                )
+                aggregate["sub_token_evaluations"] += int(
+                    stats.get("sub_token_evaluations", 0)
+                )
+                aggregate["elapsed_ms"] = max(
+                    aggregate["elapsed_ms"],
+                    float(stats.get("elapsed_ms", 0.0)),
+                )
+                shard_partitions = stats.get("partitions")
+                if isinstance(shard_partitions, list):
+                    aggregate["partitions"].extend(
+                        float(ms) for ms in shard_partitions
+                    )
+            reports.append(
+                {"addr": spec.addr, "ok": True, "records": matched}
+            )
+        if failures:
+            partial: set[int] = set()
+            for matches in merged:
+                partial.update(matches)
+            raise ShardUnavailableError(
+                f"batch search lost shard(s) {', '.join(failures)}; "
+                f"partial results cover "
+                f"{len(self.shards) - len(failures)} of "
+                f"{len(self.shards)} shards",
+                partial_identifiers=tuple(sorted(partial)),
+                shards=tuple(reports),
+            )
+        results = []
+        for index, matches in enumerate(merged):
+            identifiers = tuple(sorted(matches))
+            stats = aggregates[index]
+            stats["matches"] = len(identifiers)
+            results.append((identifiers, stats))
+        return {
+            **protocol.batch_results_fields(results),
+            **protocol.shard_reports_fields(reports),
+        }
 
     async def _do_upload(self, request: protocol.Request) -> dict:
         message = protocol.upload_from_fields(request.fields)
@@ -710,13 +810,31 @@ class Coordinator(FramedServer):
                 )
         snapshot = self.metrics.snapshot()
         snapshot["records"] = self.partition_map.record_count
-        snapshot["queue"] = {
-            "in_flight": self._in_flight,
-            "limit": self.config.max_pending,
-        }
+        snapshot.update(self._saturation_fields())
         snapshot["partition"] = {
             "counts": self.partition_map.counts(),
         }
+        # Cluster-wide saturation: sum the reachable shards' own queue
+        # gauges so one stats call shows where the fleet is loaded.
+        cluster = {
+            "in_flight": 0,
+            "peak_in_flight": 0,
+            "rejected_busy": 0,
+            "shards_reporting": 0,
+        }
+        for report in reports:
+            stats = report.get("stats")
+            if not report.get("ok") or not isinstance(stats, dict):
+                continue
+            queue = stats.get("queue")
+            if isinstance(queue, dict):
+                cluster["in_flight"] += int(queue.get("in_flight", 0))
+                cluster["peak_in_flight"] += int(
+                    queue.get("peak_in_flight", 0)
+                )
+            cluster["rejected_busy"] += int(stats.get("rejected_busy", 0))
+            cluster["shards_reporting"] += 1
+        snapshot["cluster"] = cluster
         integrity = self._aggregate_integrity(reports)
         if integrity is not None:
             snapshot["integrity"] = integrity

@@ -57,6 +57,27 @@ class VerbMetrics:
         else:
             self.buckets[-1] += 1
 
+    def percentile_ms(self, quantile: float) -> float:
+        """Estimate the *quantile* (in ``(0, 1]``) from the histogram.
+
+        Linear interpolation inside the covering bucket; the overflow
+        bucket reports ``max_ms`` (the histogram has no upper bound
+        there).  An estimate, not an exact order statistic — bucket
+        resolution bounds the error, which is the histogram trade-off.
+        """
+        if not self.requests:
+            return 0.0
+        rank = quantile * self.requests
+        cumulative = 0
+        prev_bound = 0.0
+        for bound, count in zip(LATENCY_BUCKETS_MS, self.buckets):
+            if count and cumulative + count >= rank:
+                fraction = (rank - cumulative) / count
+                return prev_bound + fraction * (bound - prev_bound)
+            cumulative += count
+            prev_bound = bound
+        return self.max_ms
+
     def snapshot(self) -> dict:
         """JSON-serializable view (what the ``stats`` verb ships)."""
         mean = self.total_ms / self.requests if self.requests else 0.0
@@ -65,6 +86,9 @@ class VerbMetrics:
             "errors": self.errors,
             "mean_ms": round(mean, 3),
             "max_ms": round(self.max_ms, 3),
+            "p50_ms": round(self.percentile_ms(0.50), 3),
+            "p95_ms": round(self.percentile_ms(0.95), 3),
+            "p99_ms": round(self.percentile_ms(0.99), 3),
             "buckets_le_ms": [
                 [bound, count]
                 for bound, count in zip(LATENCY_BUCKETS_MS, self.buckets)

@@ -17,12 +17,19 @@ large frame.
 Request verbs map one-to-one onto the paper's message flows plus two
 operational verbs::
 
-    upload  — message 1, the encrypted dataset        (UploadDataset)
-    search  — messages 4 → 5, one range query          (SearchRequest)
-    fetch   — follow-up content retrieval              (FetchRequest)
-    delete  — dynamic record removal                   (DeleteRequest)
-    health  — liveness + record/worker counts          (operational)
-    stats   — per-verb counters + latency histograms   (operational)
+    upload        — message 1, the encrypted dataset        (UploadDataset)
+    search        — messages 4 → 5, one range query          (SearchRequest)
+    search_batch  — a vector of range queries in one frame   (token list)
+    fetch         — follow-up content retrieval              (FetchRequest)
+    delete        — dynamic record removal                   (DeleteRequest)
+    health        — liveness + record/worker counts          (operational)
+    stats         — per-verb counters + latency histograms   (operational)
+
+``search_batch`` exists for sustained traffic: a batch amortizes framing,
+envelope decode, and engine dispatch across many tokens, and its reply
+carries one ``{identifiers, stats}`` entry per token *in request order* —
+leakage-wise it is exactly N independent searches (each token is recorded
+in the leakage log individually).
 
 The **shards capability** extends the same envelopes for distributed
 search: coordinator replies may carry a ``shards`` list (one validated
@@ -53,7 +60,7 @@ from repro.cloud.messages import (
     UploadDataset,
     UploadRecord,
 )
-from repro.errors import WireFormatError
+from repro.errors import ConnectionClosedError, WireFormatError
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -81,6 +88,10 @@ __all__ = [
     "search_fields",
     "search_from_fields",
     "search_wants_verify",
+    "search_batch_fields",
+    "search_batch_from_fields",
+    "batch_results_fields",
+    "batch_results_from_fields",
     "integrity_section_fields",
     "integrity_section_from_fields",
     "fetch_fields",
@@ -104,7 +115,15 @@ MAX_FRAME_BYTES = 32 * 1024 * 1024
 
 _LENGTH_PREFIX = 4
 
-VERBS = ("upload", "search", "fetch", "delete", "health", "stats")
+VERBS = (
+    "upload",
+    "search",
+    "search_batch",
+    "fetch",
+    "delete",
+    "health",
+    "stats",
+)
 
 # Typed error codes carried in error replies.  BUSY is the only retryable
 # server-originated code: the bounded queue rejected the request.
@@ -204,6 +223,8 @@ def recv_frame(sock: socket.socket) -> bytes:
     """Blocking counterpart of :func:`read_frame` for the client side.
 
     Raises:
+        ConnectionClosedError: On a clean EOF at a frame boundary (the
+            peer hung up before sending any reply byte).
         WireFormatError: On EOF mid-frame or an oversized length prefix.
     """
     header = _recv_exactly(sock, _LENGTH_PREFIX, "frame header")
@@ -217,6 +238,10 @@ def _recv_exactly(sock: socket.socket, count: int, what: str) -> bytes:
     while remaining:
         chunk = sock.recv(remaining)
         if not chunk:
+            if remaining == count and what == "frame header":
+                raise ConnectionClosedError(
+                    "connection closed at a frame boundary"
+                )
             raise WireFormatError(
                 f"connection closed mid-{what} "
                 f"({count - remaining}/{count} bytes)"
@@ -477,6 +502,82 @@ def search_wants_verify(fields: dict) -> bool:
     if not isinstance(flag, bool):
         raise WireFormatError("'verify' must be a boolean")
     return flag
+
+
+def search_batch_fields(token_payloads) -> dict:
+    """Envelope fields for a ``search_batch`` request.
+
+    Raises:
+        WireFormatError: On an empty batch (a zero-token batch has no
+            defined reply shape; send nothing instead).
+    """
+    payloads = list(token_payloads)
+    if not payloads:
+        raise WireFormatError("search_batch needs at least one token")
+    return {"tokens": [_b64(payload) for payload in payloads]}
+
+
+def search_batch_from_fields(fields: dict) -> tuple[bytes, ...]:
+    """Rebuild the token payload vector from ``search_batch`` fields.
+
+    Raises:
+        WireFormatError: On a missing, empty, or malformed token list.
+    """
+    tokens = fields.get("tokens")
+    if not isinstance(tokens, list) or not tokens:
+        raise WireFormatError(
+            "search_batch must carry a non-empty list of tokens"
+        )
+    return tuple(
+        _unb64(token, f"batch token {index}")
+        for index, token in enumerate(tokens)
+    )
+
+
+def batch_results_fields(results) -> dict:
+    """Envelope fields for a ``search_batch`` success reply.
+
+    Each result is ``(identifiers, stats_dict)``; entries are emitted in
+    request order, which is the only pairing the client has.
+    """
+    return {
+        "results": [
+            {"identifiers": list(identifiers), "stats": dict(stats)}
+            for identifiers, stats in results
+        ]
+    }
+
+
+def batch_results_from_fields(
+    fields: dict,
+) -> tuple[tuple[tuple[int, ...], dict], ...]:
+    """Rebuild ``(identifiers, stats)`` pairs from a batch reply.
+
+    Raises:
+        WireFormatError: On malformed result entries.
+    """
+    entries = fields.get("results")
+    if not isinstance(entries, list):
+        raise WireFormatError("search_batch reply must carry 'results'")
+    results = []
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise WireFormatError("each batch result must be an object")
+        identifiers = entry.get("identifiers")
+        if not isinstance(identifiers, list) or not all(
+            isinstance(i, int) for i in identifiers
+        ):
+            raise WireFormatError(
+                "batch result must carry an identifier list"
+            )
+        stats = entry.get("stats")
+        results.append(
+            (
+                tuple(identifiers),
+                stats if isinstance(stats, dict) else {},
+            )
+        )
+    return tuple(results)
 
 
 def integrity_section_fields(matches, shards) -> dict:

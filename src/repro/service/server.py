@@ -12,8 +12,13 @@ One :class:`ServiceServer` owns three things: a
 :class:`~repro.cloud.server.CloudServer` (record/content store and the
 paper's leakage log), a :class:`~repro.service.engine.SearchEngine` (the
 multi-core scan), and a :class:`~repro.service.metrics.ServiceMetrics`
-registry.  Requests on one connection are handled in order, concurrency
-comes from concurrent connections.
+registry.  Requests on one connection are *pipelined*: every decoded
+request is dispatched as its own task and replies go out (under a
+per-connection write lock) as each completes, possibly out of request
+order.  A client that sends one request and waits observes exactly the
+old in-order behaviour; a multiplexing client
+(:class:`~repro.service.aio.AsyncServiceClient`) keeps many requests in
+flight on one connection and pairs replies by request id.
 
 Robustness semantics:
 
@@ -41,7 +46,7 @@ import time
 from dataclasses import dataclass
 
 from repro.cloud.codec import decode_token
-from repro.cloud.messages import UploadDataset, UploadRecord
+from repro.cloud.messages import SearchRequest, UploadDataset, UploadRecord
 from repro.cloud.server import CloudServer, SearchStats
 from repro.core.base import CRSEScheme
 from repro.errors import (
@@ -107,6 +112,9 @@ class FramedServer:
         self.port: int | None = None
         self._server: asyncio.Server | None = None
         self._in_flight = 0
+        self._peak_in_flight = 0
+        self._connections_open = 0
+        self._connections_total = 0
         self._draining = False
         self._stopped = asyncio.Event()
         self._conn_tasks: set[asyncio.Task] = set()
@@ -217,35 +225,74 @@ class FramedServer:
     async def _connection_loop(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        while True:
-            try:
-                body = await protocol.read_frame(reader)
-            except WireFormatError as exc:
-                # Frame alignment is gone; answer once and hang up.
-                self.metrics.count_protocol_error()
-                await self._safe_reply(
-                    writer,
-                    protocol.encode_error(
-                        0, protocol.ERR_PROTOCOL, str(exc)
-                    ),
+        # Requests are pipelined: each decoded request runs as its own
+        # task, and replies are written (lock-serialized) as they finish,
+        # possibly out of request order.  The request id in the envelope
+        # is what lets a multiplexing client pair them up again.
+        self._connections_open += 1
+        self._connections_total += 1
+        write_lock = asyncio.Lock()
+        request_tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    body = await protocol.read_frame(reader)
+                except WireFormatError as exc:
+                    # Frame alignment is gone; answer once and hang up.
+                    self.metrics.count_protocol_error()
+                    await self._locked_reply(
+                        writer,
+                        write_lock,
+                        protocol.encode_error(
+                            0, protocol.ERR_PROTOCOL, str(exc)
+                        ),
+                    )
+                    return
+                if body is None:
+                    return
+                try:
+                    request = protocol.decode_request(body)
+                except WireFormatError as exc:
+                    # Bad envelope in a well-formed frame: recoverable.
+                    self.metrics.count_protocol_error()
+                    await self._locked_reply(
+                        writer,
+                        write_lock,
+                        protocol.encode_error(
+                            0, protocol.ERR_PROTOCOL, str(exc)
+                        ),
+                    )
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_request(request, writer, write_lock)
                 )
-                return
-            if body is None:
-                return
-            try:
-                request = protocol.decode_request(body)
-            except WireFormatError as exc:
-                # Bad envelope in a well-formed frame: recoverable.
-                self.metrics.count_protocol_error()
-                await self._safe_reply(
-                    writer,
-                    protocol.encode_error(
-                        0, protocol.ERR_PROTOCOL, str(exc)
-                    ),
-                )
-                continue
-            reply = await self._handle_request(request)
-            await self._safe_reply(writer, reply)
+                request_tasks.add(task)
+                task.add_done_callback(request_tasks.discard)
+                # Shutdown must be able to cancel requests that outlive
+                # their connection loop, so they register globally too.
+                self._conn_tasks.add(task)
+                task.add_done_callback(self._conn_tasks.discard)
+        finally:
+            self._connections_open -= 1
+            if request_tasks:
+                # Let in-flight requests finish (their replies may still
+                # be writable); shutdown cancels them via _conn_tasks.
+                await asyncio.gather(*request_tasks, return_exceptions=True)
+
+    async def _serve_request(
+        self,
+        request: protocol.Request,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        reply = await self._handle_request(request)
+        await self._locked_reply(writer, write_lock, reply)
+
+    async def _locked_reply(
+        self, writer: asyncio.StreamWriter, lock: asyncio.Lock, body: bytes
+    ) -> None:
+        async with lock:
+            await self._safe_reply(writer, body)
 
     async def _safe_reply(
         self, writer: asyncio.StreamWriter, body: bytes
@@ -276,6 +323,7 @@ class FramedServer:
                 retryable=True,
             )
         self._in_flight += 1
+        self._peak_in_flight = max(self._peak_in_flight, self._in_flight)
         started = time.perf_counter()
         ok = False
         try:
@@ -336,6 +384,26 @@ class FramedServer:
         return await asyncio.get_running_loop().run_in_executor(
             None, func, *args
         )
+
+    def _saturation_fields(self) -> dict:
+        """The ``queue``/``connections`` sections of a ``stats`` reply.
+
+        Saturation gauges for load tests: current and peak in-flight
+        depth against the BUSY limit, plus how many connections are open
+        now and were ever accepted (a persistent-connection client shows
+        up here as one connection however many requests it sends).
+        """
+        return {
+            "queue": {
+                "in_flight": self._in_flight,
+                "peak_in_flight": self._peak_in_flight,
+                "limit": self.config.max_pending,
+            },
+            "connections": {
+                "open": self._connections_open,
+                "total": self._connections_total,
+            },
+        }
 
 
 class ServiceServer(FramedServer):
@@ -483,6 +551,7 @@ class ServiceServer(FramedServer):
         return {
             "upload": self._do_upload,
             "search": self._do_search,
+            "search_batch": self._do_search_batch,
             "fetch": self._do_fetch,
             "delete": self._do_delete,
             "health": self._do_health,
@@ -498,45 +567,75 @@ class ServiceServer(FramedServer):
     async def _do_search(self, request: protocol.Request) -> dict:
         message = protocol.search_from_fields(request.fields)
         verify = protocol.search_wants_verify(request.fields)
+        return await self._offload(self._search_once, message.payload, verify)
 
-        def run_search():
-            # Decode in the parent first: a malformed token is rejected
-            # with PROTOCOL before any worker sees it, and the leakage
-            # log records exactly what handle_search would record.
-            token = decode_token(self.cloud.scheme, message.payload)
-            self.cloud._record_query_leakage(message, token)
-            result = self.engine.search(message.payload)
-            self.cloud.log.access_pattern.append(result.identifiers)
-            self.cloud.last_search_stats = result.stats
-            fields = {
-                "identifiers": list(result.identifiers),
-                "stats": _stats_fields(result.stats),
-            }
-            if verify:
-                # Attach per-match tags and the completeness proof.  A
-                # shard holding untagged records cannot attest, which is
-                # the requester's problem statement — a PROTOCOL error,
-                # not an internal one.
-                try:
-                    fields.update(
-                        protocol.integrity_section_fields(
-                            self.integrity.matches_section(result.identifiers),
-                            [
-                                self.integrity.proof_for(
-                                    result.identifiers, message.payload
-                                )
-                            ],
-                        )
+    async def _do_search_batch(self, request: protocol.Request) -> dict:
+        payloads = protocol.search_batch_from_fields(request.fields)
+
+        def run_batch() -> dict:
+            # Decode and log every token first (a malformed one rejects
+            # the whole batch before any worker sees it), then hand the
+            # vector to the engine in one dispatch per shard — the
+            # per-task pool overhead that dominates small-dataset
+            # searches is paid once for the batch.  Leakage-wise each
+            # token is still recorded as its own query, so a batch
+            # observes exactly N independent searches.
+            for payload in payloads:
+                message = SearchRequest(payload=payload)
+                token = decode_token(self.cloud.scheme, payload)
+                self.cloud._record_query_leakage(message, token)
+            engine_results = self.engine.search_batch(payloads)
+            results = []
+            for result in engine_results:
+                self.cloud.log.access_pattern.append(result.identifiers)
+                self.cloud.last_search_stats = result.stats
+                results.append(
+                    (list(result.identifiers), _stats_fields(result.stats))
+                )
+            return protocol.batch_results_fields(results)
+
+        return await self._offload(run_batch)
+
+    def _search_once(self, payload: bytes, verify: bool) -> dict:
+        """Run one token against the engine (executor thread).
+
+        Decode in the parent first: a malformed token is rejected with
+        PROTOCOL before any worker sees it, and the leakage log records
+        exactly what handle_search would record.
+        """
+        message = SearchRequest(payload=payload)
+        token = decode_token(self.cloud.scheme, payload)
+        self.cloud._record_query_leakage(message, token)
+        result = self.engine.search(payload)
+        self.cloud.log.access_pattern.append(result.identifiers)
+        self.cloud.last_search_stats = result.stats
+        fields = {
+            "identifiers": list(result.identifiers),
+            "stats": _stats_fields(result.stats),
+        }
+        if verify:
+            # Attach per-match tags and the completeness proof.  A
+            # shard holding untagged records cannot attest, which is
+            # the requester's problem statement — a PROTOCOL error,
+            # not an internal one.
+            try:
+                fields.update(
+                    protocol.integrity_section_fields(
+                        self.integrity.matches_section(result.identifiers),
+                        [
+                            self.integrity.proof_for(
+                                result.identifiers, payload
+                            )
+                        ],
                     )
-                except IntegrityError as exc:
-                    self._last_proof = "failed"
-                    raise ProtocolError(
-                        f"verification unavailable: {exc}"
-                    ) from exc
-                self._last_proof = "served"
-            return fields
-
-        return await self._offload(run_search)
+                )
+            except IntegrityError as exc:
+                self._last_proof = "failed"
+                raise ProtocolError(
+                    f"verification unavailable: {exc}"
+                ) from exc
+            self._last_proof = "served"
+        return fields
 
     async def _do_fetch(self, request: protocol.Request) -> dict:
         message = protocol.fetch_from_fields(request.fields)
@@ -589,10 +688,7 @@ class ServiceServer(FramedServer):
     async def _do_stats(self, request: protocol.Request) -> dict:
         snapshot = self.metrics.snapshot()
         snapshot["records"] = self.cloud.record_count
-        snapshot["queue"] = {
-            "in_flight": self._in_flight,
-            "limit": self.config.max_pending,
-        }
+        snapshot.update(self._saturation_fields())
         snapshot["engine"] = {
             "record_count": self.engine.record_count,
             "workers": self.engine.workers,

@@ -1,0 +1,459 @@
+"""The async multiplexing client: pairing, retries, and failure isolation.
+
+Two kinds of servers exercise :class:`repro.service.aio.AsyncServiceClient`:
+
+* *scripted* asyncio servers that misbehave on cue — replying out of
+  order, storming BUSY, dying mid-flight, or answering late — to pin down
+  the multiplexing edge cases one at a time;
+* the real :class:`~repro.service.server.ServiceServer`, for end-to-end
+  parity with the blocking client and the single-connection guarantee.
+
+The blocking client's persistent-connection contract (reuse across
+sequential queries, transparent redial on idle close, *no* blind resend
+on a fresh connection) is regression-tested here too, since both clients
+share the one-connection discipline.
+
+No pytest-asyncio in the image: async test bodies run via ``asyncio.run``
+inside plain test functions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.cloud.codec import encode_ciphertext, encode_token
+from repro.cloud.messages import UploadDataset, UploadRecord
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace
+from repro.core.provision import group_for_crse2
+from repro.errors import (
+    DeadlineExceededError,
+    ProtocolError,
+    ServiceBusyError,
+    ServiceConnectionError,
+    ServiceError,
+)
+from repro.service import (
+    AsyncServiceClient,
+    RetryPolicy,
+    ServerThread,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+    protocol,
+)
+
+FAST_RETRY = RetryPolicy(
+    attempts=3, base_delay_s=0.001, max_delay_s=0.002, jitter=0.0
+)
+NO_RETRY = RetryPolicy(
+    attempts=1, base_delay_s=0.001, max_delay_s=0.002, jitter=0.0
+)
+
+
+@pytest.fixture(scope="module")
+def service_env():
+    """A tiny CRSE-II dataset plus tokens with known-match geometry."""
+    rng = random.Random(0xA10)
+    space = DataSpace(2, 16)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    key = scheme.gen_key(rng)
+    points = [(4, 4), (5, 5), (4, 6), (12, 12), (2, 13), (8, 8)]
+    records = tuple(
+        UploadRecord(
+            identifier=index,
+            payload=encode_ciphertext(scheme, scheme.encrypt(key, pt, rng)),
+        )
+        for index, pt in enumerate(points)
+    )
+    tokens = tuple(
+        encode_token(
+            scheme, scheme.gen_token(key, Circle.from_radius(center, 2), rng)
+        )
+        for center in [(4, 5), (12, 12), (8, 8), (1, 1), (5, 4), (13, 12)]
+    )
+    return scheme, records, tokens
+
+
+class ScriptedServer:
+    """An asyncio server whose per-connection behaviour is a test script.
+
+    ``handler(reader, writer, conn_index)`` runs per connection; the
+    server counts connections and frames so tests can assert on them.
+    """
+
+    def __init__(self, handler):
+        self.handler = handler
+        self.connections = 0
+        self.frames = 0
+        self._server: asyncio.Server | None = None
+        self.port: int | None = None
+
+    async def __aenter__(self) -> "ScriptedServer":
+        self._server = await asyncio.start_server(
+            self._on_connection, "127.0.0.1", 0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _on_connection(self, reader, writer) -> None:
+        index = self.connections
+        self.connections += 1
+        try:
+            await self.handler(reader, writer, index)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def read_request(self, reader) -> protocol.Request | None:
+        body = await protocol.read_frame(reader)
+        if body is None:
+            return None
+        self.frames += 1
+        return protocol.decode_request(body)
+
+
+class TestMultiplexing:
+    def test_out_of_order_replies_land_on_right_futures(self):
+        async def scenario():
+            async def handler(reader, writer, index):
+                # Hold both requests, then answer them newest-first: the
+                # client must pair by id, not arrival order.
+                first = await server.read_request(reader)
+                second = await server.read_request(reader)
+                for request in (second, first):
+                    await protocol.write_frame(
+                        writer,
+                        protocol.encode_ok(
+                            request.request_id,
+                            {"echo": request.request_id},
+                        ),
+                    )
+                await server.read_request(reader)  # wait for client close
+
+            async with ScriptedServer(handler) as server:
+                async with AsyncServiceClient(
+                    "127.0.0.1", server.port, retry=NO_RETRY
+                ) as client:
+                    one, two = await asyncio.gather(
+                        client.health(), client.health()
+                    )
+            assert one == {"echo": 1}
+            assert two == {"echo": 2}
+            assert server.connections == 1
+
+        asyncio.run(scenario())
+
+    def test_busy_storm_retries_are_bounded(self):
+        async def scenario():
+            async def handler(reader, writer, index):
+                while True:
+                    request = await server.read_request(reader)
+                    if request is None:
+                        return
+                    await protocol.write_frame(
+                        writer,
+                        protocol.encode_error(
+                            request.request_id,
+                            protocol.ERR_BUSY,
+                            "storm",
+                            retryable=True,
+                        ),
+                    )
+
+            async with ScriptedServer(handler) as server:
+                async with AsyncServiceClient(
+                    "127.0.0.1", server.port, retry=FAST_RETRY
+                ) as client:
+                    with pytest.raises(ServiceBusyError):
+                        await client.health()
+            # Exactly `attempts` tries, all on the one connection: BUSY
+            # does not tear the transport down.
+            assert server.frames == FAST_RETRY.attempts
+            assert server.connections == 1
+
+        asyncio.run(scenario())
+
+    def test_mid_flight_kill_fails_only_pending(self):
+        async def scenario():
+            async def handler(reader, writer, index):
+                if index == 0:
+                    # Answer the older request, then die with the newer
+                    # one still in flight.
+                    first = await server.read_request(reader)
+                    second = await server.read_request(reader)
+                    victim = max(
+                        (first, second), key=lambda r: r.request_id
+                    )
+                    survivor = min(
+                        (first, second), key=lambda r: r.request_id
+                    )
+                    assert victim is not survivor
+                    await protocol.write_frame(
+                        writer,
+                        protocol.encode_ok(
+                            survivor.request_id, {"served": True}
+                        ),
+                    )
+                    return  # close with victim pending
+                while True:
+                    request = await server.read_request(reader)
+                    if request is None:
+                        return
+                    await protocol.write_frame(
+                        writer,
+                        protocol.encode_ok(
+                            request.request_id, {"served": True}
+                        ),
+                    )
+
+            async with ScriptedServer(handler) as server:
+                async with AsyncServiceClient(
+                    "127.0.0.1", server.port, retry=NO_RETRY
+                ) as client:
+                    outcomes = await asyncio.gather(
+                        client.health(),
+                        client.health(),
+                        return_exceptions=True,
+                    )
+                    answered = [o for o in outcomes if isinstance(o, dict)]
+                    failed = [
+                        o
+                        for o in outcomes
+                        if isinstance(o, ServiceConnectionError)
+                    ]
+                    assert len(answered) == 1 and len(failed) == 1
+                    # The loss is behind us: the next request redials.
+                    assert await client.health() == {"served": True}
+                    assert client.connections_opened == 2
+            assert server.connections == 2
+
+        asyncio.run(scenario())
+
+    def test_deadline_expiry_does_not_poison_connection(self):
+        async def scenario():
+            async def answer(writer, lock, request, delay_s):
+                if delay_s:
+                    await asyncio.sleep(delay_s)
+                async with lock:
+                    await protocol.write_frame(
+                        writer,
+                        protocol.encode_ok(
+                            request.request_id, {"served": True}
+                        ),
+                    )
+
+            async def handler(reader, writer, index):
+                lock = asyncio.Lock()
+                while True:
+                    request = await server.read_request(reader)
+                    if request is None:
+                        return
+                    # A request carrying a deadline is answered far too
+                    # late — after the client has given up on it.
+                    delay = 0.25 if request.deadline_ms is not None else 0.0
+                    asyncio.ensure_future(
+                        answer(writer, lock, request, delay)
+                    )
+
+            async with ScriptedServer(handler) as server:
+                async with AsyncServiceClient(
+                    "127.0.0.1",
+                    server.port,
+                    retry=NO_RETRY,
+                    grace_s=0.05,
+                ) as client:
+                    with pytest.raises(DeadlineExceededError):
+                        await client.health(deadline_ms=20.0)
+                    assert client.in_flight == 0
+                    # The late reply is discarded by the reader; the same
+                    # connection keeps serving.
+                    assert await client.health() == {"served": True}
+                    await asyncio.sleep(0.3)  # let the late reply arrive
+                    assert await client.health() == {"served": True}
+                    assert client.connections_opened == 1
+            assert server.connections == 1
+
+        asyncio.run(scenario())
+
+    def test_unattributable_error_fails_pending(self):
+        async def scenario():
+            async def handler(reader, writer, index):
+                request = await server.read_request(reader)
+                if request is None:
+                    return
+                # An id-0 error means the server could not even read the
+                # envelope — nobody can claim it, so everything fails.
+                await protocol.write_frame(
+                    writer,
+                    protocol.encode_error(
+                        0, protocol.ERR_PROTOCOL, "unreadable frame"
+                    ),
+                )
+                await server.read_request(reader)
+
+            async with ScriptedServer(handler) as server:
+                async with AsyncServiceClient(
+                    "127.0.0.1", server.port, retry=NO_RETRY
+                ) as client:
+                    with pytest.raises(ProtocolError):
+                        await client.health()
+
+        asyncio.run(scenario())
+
+
+class TestAgainstRealServer:
+    def test_concurrent_searches_match_blocking_on_one_connection(
+        self, service_env
+    ):
+        scheme, records, tokens = service_env
+        server = ServiceServer(
+            scheme, ServiceConfig(workers=1, max_pending=32)
+        )
+        with ServerThread(server) as thread:
+            port = thread.port
+            with ServiceClient("127.0.0.1", port) as blocking:
+                blocking.upload(UploadDataset(records=records))
+                expected = [
+                    sorted(blocking.search(token)[0].identifiers)
+                    for token in tokens
+                ]
+
+            async def scenario():
+                async with AsyncServiceClient(
+                    "127.0.0.1", port, max_in_flight=4
+                ) as client:
+                    replies = await asyncio.gather(
+                        *(client.search(token) for token in tokens)
+                    )
+                    batched = await client.search_batch(tokens)
+                    stats = await client.stats()
+                    assert client.connections_opened == 1
+                return replies, batched, stats
+
+            replies, batched, stats = asyncio.run(scenario())
+        assert [
+            sorted(response.identifiers) for response, _ in replies
+        ] == expected
+        assert [
+            sorted(response.identifiers) for response, _ in batched
+        ] == expected
+        # Saturation gauges rode along on the stats verb.
+        queue = stats["queue"]
+        assert queue["limit"] == 32
+        assert 1 <= queue["peak_in_flight"] <= 32
+        # Blocking baseline + async pass each ran the token set once.
+        assert stats["verbs"]["search"]["requests"] == 2 * len(tokens)
+        assert stats["verbs"]["search_batch"]["requests"] == 1
+        assert "p50_ms" in stats["verbs"]["search"]
+
+
+class TestBlockingConnectionReuse:
+    def test_sequential_queries_reuse_one_connection(self, service_env):
+        scheme, records, tokens = service_env
+        server = ServiceServer(scheme, ServiceConfig(workers=1))
+        with ServerThread(server) as thread:
+            with ServiceClient("127.0.0.1", thread.port) as client:
+                client.upload(UploadDataset(records=records))
+                for token in tokens:
+                    client.search(token)
+                client.health()
+                stats = client.stats()
+                assert client.connections_opened == 1
+                # The server agrees: one connection ever accepted.
+                assert stats["connections"]["total"] == 1
+                assert stats["connections"]["open"] == 1
+
+    def _scripted_socket_server(self, script):
+        """Run *script(listener)* on a thread; returns (port, thread)."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        port = listener.getsockname()[1]
+        thread = threading.Thread(
+            target=script, args=(listener,), daemon=True
+        )
+        thread.start()
+        return port, thread
+
+    def test_idle_close_redials_transparently(self):
+        def script(listener):
+            with listener:
+                # First connection: one reply, then an idle close.
+                conn, _ = listener.accept()
+                with conn:
+                    request = protocol.decode_request(
+                        protocol.recv_frame(conn)
+                    )
+                    protocol.send_frame(
+                        conn,
+                        protocol.encode_ok(
+                            request.request_id, {"conn": 0}
+                        ),
+                    )
+                # Second connection: serve the redialed request.
+                conn, _ = listener.accept()
+                with conn:
+                    request = protocol.decode_request(
+                        protocol.recv_frame(conn)
+                    )
+                    protocol.send_frame(
+                        conn,
+                        protocol.encode_ok(
+                            request.request_id, {"conn": 1}
+                        ),
+                    )
+
+        port, thread = self._scripted_socket_server(script)
+        with ServiceClient(
+            "127.0.0.1", port, retry=NO_RETRY, timeout_s=5.0
+        ) as client:
+            assert client.health() == {"conn": 0}
+            # The server hung up between requests; the client redials and
+            # resends without surfacing an error.
+            assert client.health() == {"conn": 1}
+            assert client.connections_opened == 2
+        thread.join(timeout=5.0)
+
+    def test_fresh_connection_eof_is_not_resent(self):
+        def script(listener):
+            with listener:
+                # Reply, idle-close, then refuse to answer the redial:
+                # accept it, read the frame, close without replying.
+                conn, _ = listener.accept()
+                with conn:
+                    request = protocol.decode_request(
+                        protocol.recv_frame(conn)
+                    )
+                    protocol.send_frame(
+                        conn, protocol.encode_ok(request.request_id, {})
+                    )
+                conn, _ = listener.accept()
+                with conn:
+                    protocol.recv_frame(conn)
+
+        port, thread = self._scripted_socket_server(script)
+        with ServiceClient(
+            "127.0.0.1", port, retry=NO_RETRY, timeout_s=5.0
+        ) as client:
+            assert client.health() == {}
+            # EOF on the *redialed* (fresh after the first EOF) connection
+            # must not trigger a second blind resend — a non-idempotent
+            # request could otherwise double-apply.
+            with pytest.raises(ServiceError):
+                client.health()
+        thread.join(timeout=5.0)

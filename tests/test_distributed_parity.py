@@ -362,3 +362,41 @@ class TestVerifiedDistributedSearch:
         assert section["complete"] is True
         assert section["shards_reporting"] == N_SHARDS
         assert section["root"] == vc["state"].root.hex()
+
+
+class TestCoordinatorBatchAndClusterStats:
+    """The fan-out ``search_batch`` verb and cluster saturation gauges."""
+
+    def test_search_batch_matches_sequential_searches(self, env, cluster):
+        _, _, _, tokens = env
+        expected = [
+            sorted(response.identifiers)
+            for response, _ in cluster["coord_results"]
+        ]
+        with ServiceClient(
+            "127.0.0.1", cluster["coordinator"].port
+        ) as client:
+            batched = client.search_batch(tokens)
+        assert [
+            sorted(response.identifiers) for response, _ in batched
+        ] == expected
+        # The batch is N independent searches: every token's stats still
+        # account for every record across the shards exactly once.
+        for _, stats in batched:
+            assert stats["records_scanned"] == N_RECORDS
+            assert len(stats["partitions"]) == N_SHARDS
+
+    def test_stats_aggregates_cluster_gauges(self, cluster):
+        with ServiceClient(
+            "127.0.0.1", cluster["coordinator"].port
+        ) as client:
+            snapshot = client.stats()
+        # The coordinator's own queue gauges plus the summed view of the
+        # reachable shards' queues.
+        assert snapshot["queue"]["limit"] > 0
+        assert snapshot["connections"]["total"] >= 1
+        aggregate = snapshot["cluster"]
+        assert aggregate["shards_reporting"] == N_SHARDS
+        # Probing the shards puts one stats request in flight per shard.
+        assert aggregate["peak_in_flight"] >= N_SHARDS
+        assert aggregate["rejected_busy"] == 0

@@ -341,6 +341,71 @@ class TestCRS010:
         assert flow_findings(root) == []
 
 
+class TestCRS010AsyncClientShapes:
+    """CRS010 over the shapes :mod:`repro.service.aio` is built from."""
+
+    def test_blocking_dial_in_async_client_flagged(self, tmp_path):
+        # A multiplexing client that dials with the *blocking* socket API
+        # inside a coroutine stalls its own reader loop.
+        root = write_pkg(
+            tmp_path,
+            {
+                "svc/aio.py": """
+                import socket
+
+                class AsyncClient:
+                    async def _ensure_connection(self, sock, addr):
+                        sock.connect(addr)
+                """
+            },
+        )
+        findings = flow_findings(root)
+        assert [f.rule for f in findings] == ["CRS010"]
+        assert "connect" in findings[0].message
+
+    def test_multiplexing_client_shape_is_clean(self, tmp_path):
+        # The real client's shape: awaited asyncio transport calls plus a
+        # sync bookkeeping closure (futures registry) inside the coroutine.
+        root = write_pkg(
+            tmp_path,
+            {
+                "svc/aio.py": """
+                import asyncio
+
+                class AsyncClient:
+                    async def _ensure_connection(self, host, port):
+                        reader, writer = await asyncio.open_connection(
+                            host, port
+                        )
+
+                        def register(request_id, future):
+                            self._pending[request_id] = future
+
+                        return reader, writer, register
+                """
+            },
+        )
+        assert flow_findings(root) == []
+
+    def test_loadgen_worker_shape_is_clean(self, tmp_path):
+        # A closed-loop worker awaits the client and keeps time with
+        # perf_counter — nothing here blocks the loop.
+        root = write_pkg(
+            tmp_path,
+            {
+                "loadgen/runner.py": """
+                import time
+
+                async def run_one(client, payload, deadline_ms, recorder):
+                    started = time.perf_counter()
+                    await client.search(payload, deadline_ms=deadline_ms)
+                    recorder.record(time.perf_counter() - started)
+                """
+            },
+        )
+        assert flow_findings(root) == []
+
+
 class TestCRS011:
     FIXTURE = {
         "svc/coord.py": """
@@ -375,6 +440,27 @@ class TestCRS011:
             )
         }
         assert flow_findings(write_pkg(tmp_path, fixed)) == []
+
+    def test_batch_fan_out_without_deadline_flagged(self, tmp_path):
+        # search_batch is a deadline-carrying verb like the rest: a
+        # coordinator fanning a token vector out must forward the budget.
+        fixture = {
+            "svc/coord.py": self.FIXTURE["svc/coord.py"].replace(
+                ".search(request)", ".search_batch(request)"
+            )
+        }
+        findings = flow_findings(write_pkg(tmp_path, fixture))
+        assert [f.rule for f in findings] == ["CRS011"]
+        assert "search_batch" in findings[0].message
+
+    def test_batch_fan_out_with_deadline_clean(self, tmp_path):
+        fixture = {
+            "svc/coord.py": self.FIXTURE["svc/coord.py"].replace(
+                ".search(request)",
+                ".search_batch(request, deadline_ms=self._remaining_ms(request, 0))",
+            )
+        }
+        assert flow_findings(write_pkg(tmp_path, fixture)) == []
 
     def test_class_without_fan_out_is_exempt(self, tmp_path):
         fixture = {

@@ -1,0 +1,291 @@
+"""The load-generation subsystem: recorder accuracy, runners, reports.
+
+The recorder tests pin the HDR contract down numerically (exact below
+128 µs, < 1/128 relative error above, exact min/max/mean).  The runner
+tests drive a real :class:`~repro.service.server.ServiceServer` through
+an :class:`~repro.service.aio.AsyncServiceClient` in both loop modes and
+check zero-failure completion plus per-query result parity with the
+blocking client.  Error-path tests use a deliberately broken fake client
+so every outcome class (busy, deadline, failed) is observed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.cloud.codec import encode_ciphertext
+from repro.cloud.messages import UploadDataset, UploadRecord
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import DataSpace
+from repro.core.provision import group_for_crse2
+from repro.datasets.workload import generate_query_stream
+from repro.errors import (
+    DeadlineExceededError,
+    ParameterError,
+    ServiceBusyError,
+    ServiceError,
+)
+from repro.loadgen import (
+    LatencyRecorder,
+    render_report,
+    render_sweep,
+    run_closed_loop,
+    run_open_loop,
+    saturation_sweep,
+    tokens_for_queries,
+)
+from repro.service import (
+    AsyncServiceClient,
+    ServerThread,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+)
+
+
+class TestLatencyRecorder:
+    def test_small_values_exact(self):
+        recorder = LatencyRecorder()
+        for us in (1, 5, 42, 127):
+            recorder.record(us / 1e6)
+        assert recorder.count == 4
+        assert recorder.min_ms == pytest.approx(0.001)
+        assert recorder.max_ms == pytest.approx(0.127)
+        assert recorder.percentile_ms(0.25) == pytest.approx(0.001)
+        assert recorder.percentile_ms(1.0) == pytest.approx(0.127)
+
+    def test_relative_error_bounded_across_magnitudes(self):
+        rng = random.Random(0x11D8)
+        for _ in range(200):
+            # Values from microseconds to tens of seconds.
+            seconds = 10 ** rng.uniform(-6, 1.5)
+            recorder = LatencyRecorder()
+            recorder.record(seconds)
+            reported_ms = recorder.percentile_ms(0.5)
+            assert reported_ms == pytest.approx(
+                seconds * 1000.0, rel=1 / 128, abs=1e-3
+            )
+
+    def test_percentiles_on_known_distribution(self):
+        recorder = LatencyRecorder()
+        # 1..100 ms, one sample each: pN must sit within bucket error
+        # of N ms.
+        for ms in range(1, 101):
+            recorder.record(ms / 1000.0)
+        assert recorder.percentile_ms(0.50) == pytest.approx(50, rel=0.02)
+        assert recorder.percentile_ms(0.95) == pytest.approx(95, rel=0.02)
+        assert recorder.percentile_ms(0.99) == pytest.approx(99, rel=0.02)
+        assert recorder.mean_ms == pytest.approx(50.5, rel=0.001)
+
+    def test_merge_equals_single_recorder(self):
+        rng = random.Random(0x11D9)
+        samples = [rng.uniform(0, 0.2) for _ in range(500)]
+        one = LatencyRecorder()
+        left, right = LatencyRecorder(), LatencyRecorder()
+        for index, sample in enumerate(samples):
+            one.record(sample)
+            (left if index % 2 else right).record(sample)
+        left.merge(right)
+        assert left.to_dict() == one.to_dict()
+
+    def test_invalid_inputs_rejected(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ParameterError):
+            recorder.record(-0.001)
+        with pytest.raises(ParameterError):
+            recorder.percentile_ms(0.0)
+        with pytest.raises(ParameterError):
+            recorder.percentile_ms(1.5)
+
+    def test_empty_recorder_reads_zero(self):
+        recorder = LatencyRecorder()
+        assert recorder.percentile_ms(0.99) == 0.0
+        assert recorder.to_dict()["count"] == 0
+        assert recorder.mean_ms == 0.0
+
+
+@pytest.fixture(scope="module")
+def loaded_service():
+    """A live single-host service with a small dataset, plus the tokens
+    and the blocking client's per-query results for parity checks."""
+    rng = random.Random(0x10AD)
+    space = DataSpace(2, 16)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    key = scheme.gen_key(rng)
+    records = tuple(
+        UploadRecord(
+            identifier=index,
+            payload=encode_ciphertext(
+                scheme,
+                scheme.encrypt(
+                    key,
+                    tuple(rng.randrange(space.t) for _ in range(2)),
+                    rng,
+                ),
+            ),
+        )
+        for index in range(6)
+    )
+    queries = generate_query_stream(space, 24, random.Random(2))
+    payloads = tokens_for_queries(scheme, key, queries, random.Random(3))
+    server = ServiceServer(scheme, ServiceConfig(workers=1, max_pending=64))
+    with ServerThread(server) as thread:
+        with ServiceClient("127.0.0.1", thread.port) as blocking:
+            blocking.upload(UploadDataset(records=records))
+            expected = [
+                tuple(sorted(blocking.search(p)[0].identifiers))
+                for p in payloads
+            ]
+        yield thread.port, payloads, expected
+
+
+class TestRunnersAgainstService:
+    def run(self, coro_factory, port):
+        async def scenario():
+            async with AsyncServiceClient(
+                "127.0.0.1", port, max_in_flight=32
+            ) as client:
+                return await coro_factory(client)
+
+        return asyncio.run(scenario())
+
+    def test_closed_loop_completes_with_parity(self, loaded_service):
+        port, payloads, expected = loaded_service
+        result = self.run(
+            lambda client: run_closed_loop(
+                client, payloads, concurrency=4, collect_results=True
+            ),
+            port,
+        )
+        assert result.ok == len(payloads)
+        assert result.busy == result.deadline == result.failed == 0
+        assert result.results == expected
+        assert result.latency.count == len(payloads)
+        assert result.qps > 0
+
+    def test_closed_loop_batched_parity(self, loaded_service):
+        port, payloads, expected = loaded_service
+        result = self.run(
+            lambda client: run_closed_loop(
+                client,
+                payloads,
+                concurrency=3,
+                batch=4,
+                collect_results=True,
+            ),
+            port,
+        )
+        assert result.ok == len(payloads)
+        assert result.failed == 0
+        assert result.results == expected
+
+    def test_open_loop_completes_with_parity(self, loaded_service):
+        port, payloads, expected = loaded_service
+        result = self.run(
+            lambda client: run_open_loop(
+                client, payloads, rate_qps=400.0, collect_results=True
+            ),
+            port,
+        )
+        assert result.ok == len(payloads)
+        assert result.failed == 0
+        assert result.results == expected
+        # The schedule alone takes requested/rate seconds.
+        assert result.elapsed_s >= (len(payloads) - 1) / 400.0
+
+    def test_saturation_sweep_levels(self, loaded_service):
+        port, payloads, _ = loaded_service
+        results = self.run(
+            lambda client: saturation_sweep(
+                client, payloads, concurrency_levels=[1, 4]
+            ),
+            port,
+        )
+        assert [r.concurrency for r in results] == [1, 4]
+        assert all(r.ok == len(payloads) for r in results)
+        table = render_sweep(results)
+        assert "conc" in table and "qps" in table
+        assert len(table.splitlines()) == 3
+
+    def test_parameter_validation(self, loaded_service):
+        port, payloads, _ = loaded_service
+
+        async def scenario():
+            client = AsyncServiceClient("127.0.0.1", port)
+            with pytest.raises(ParameterError):
+                await run_closed_loop(client, payloads, concurrency=0)
+            with pytest.raises(ParameterError):
+                await run_closed_loop(
+                    client, payloads, concurrency=1, batch=0
+                )
+            with pytest.raises(ParameterError):
+                await run_closed_loop(client, [], concurrency=1)
+            with pytest.raises(ParameterError):
+                await run_open_loop(client, payloads, rate_qps=0.0)
+            await client.close()
+
+        asyncio.run(scenario())
+
+
+class FailingClient:
+    """Scripted outcomes per query index, for error accounting tests."""
+
+    def __init__(self, outcomes):
+        self.outcomes = outcomes
+
+    async def search(self, payload, deadline_ms=None):
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+class TestFailureAccounting:
+    def test_outcome_classes_counted(self):
+        class FakeResponse:
+            identifiers = (7,)
+
+        outcomes = [
+            (FakeResponse(), {}),
+            ServiceBusyError("saturated"),
+            DeadlineExceededError("too slow"),
+            ServiceError("boom"),
+        ]
+        result = asyncio.run(
+            run_closed_loop(
+                FailingClient(outcomes),
+                [b"t1", b"t2", b"t3", b"t4"],
+                concurrency=1,
+                collect_results=True,
+            )
+        )
+        assert (result.ok, result.busy, result.deadline, result.failed) == (
+            1,
+            1,
+            1,
+            1,
+        )
+        assert result.results[0] == (7,)
+        assert result.results[1] is None
+        assert len(result.error_samples) == 3
+
+    def test_report_renders_greppable_line(self):
+        class FakeResponse:
+            identifiers = ()
+
+        outcomes = [(FakeResponse(), {}), ServiceError("boom")]
+        result = asyncio.run(
+            run_closed_loop(
+                FailingClient(outcomes), [b"t1", b"t2"], concurrency=1
+            )
+        )
+        report = render_report(result)
+        first = report.splitlines()[0]
+        assert "mode=closed" in first
+        assert "ok=1" in first
+        assert "failed=1" in first
+        assert "latency_ms p50=" in report
+        assert "ServiceError: boom" in report

@@ -195,3 +195,45 @@ def test_coordinator_verify_and_partial_results(artifacts):
             _reap(coordinator)
         for proc in shards:
             _reap(proc)
+
+
+def test_loadtest_closed_loop_roundtrip(artifacts):
+    key, records, root = artifacts
+    port_file = root / "loadtest-port"
+    serve = _spawn(
+        [
+            "serve", "--key", str(key), "--records", str(records),
+            "--port", "0", "--port-file", str(port_file),
+        ]
+    )
+    try:
+        port = _await_port(serve, port_file, "serve")
+
+        run = _repro(
+            "loadtest", "--key", str(key), "--port", port,
+            "--queries", "20", "--mode", "closed",
+            "--concurrency", "4", "--seed", "17",
+        )
+        assert run.returncode == 0, run.stdout + run.stderr
+        first = run.stdout.splitlines()
+        assert any("failed=0" in line for line in first), run.stdout
+        assert any("ok=20" in line for line in first), run.stdout
+        assert "qps=" in run.stdout
+        assert "latency_ms p50=" in run.stdout
+
+        sweep = _repro(
+            "loadtest", "--key", str(key), "--port", port,
+            "--queries", "12", "--mode", "sweep", "--levels", "1,3",
+            "--seed", "18",
+        )
+        assert sweep.returncode == 0, sweep.stdout + sweep.stderr
+        # The sweep table has a header plus one row per level.
+        assert re.search(r"^\s*conc\s+qps", sweep.stdout, re.M), sweep.stdout
+        assert re.search(r"^\s+1\s", sweep.stdout, re.M)
+        assert re.search(r"^\s+3\s", sweep.stdout, re.M)
+
+        serve.send_signal(signal.SIGTERM)
+        stdout, _ = serve.communicate(timeout=60)
+        assert "drained, bye" in stdout
+    finally:
+        _reap(serve)

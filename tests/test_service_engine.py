@@ -132,6 +132,41 @@ class TestEngine:
             result = engine.search(token)
         assert list(result.identifiers) == expected_ids[1:]
 
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_search_batch_matches_sequential(self, crse2_env, workers):
+        scheme, key, records, token = crse2_env
+        rng = random.Random(0xBA7)
+        tokens = [token] + [
+            encode_token(
+                scheme,
+                scheme.gen_token(
+                    key, Circle.from_radius(center, 2), rng
+                ),
+            )
+            for center in [(16, 16), (30, 2), (8, 8)]
+        ]
+        with SearchEngine(scheme, workers=workers) as engine:
+            engine.load(records)
+            sequential = [engine.search(payload) for payload in tokens]
+            batched = engine.search_batch(tokens)
+        assert len(batched) == len(tokens)
+        for one, many in zip(sequential, batched):
+            assert many.identifiers == one.identifiers
+            assert many.stats.records_scanned == one.stats.records_scanned
+            assert (
+                many.stats.sub_token_evaluations
+                == one.stats.sub_token_evaluations
+            )
+            assert many.stats.matches == one.stats.matches
+            assert len(many.stats.partitions) == workers
+
+    def test_search_batch_empty_rejected(self, crse2_env):
+        scheme, _, records, _ = crse2_env
+        with SearchEngine(scheme, workers=1) as engine:
+            engine.load(records[:2])
+            with pytest.raises(ParameterError):
+                engine.search_batch([])
+
     def test_crse1_supported(self):
         rng = random.Random(0xE29)
         space = DataSpace(2, 8)

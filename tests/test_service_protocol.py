@@ -195,6 +195,48 @@ class TestPayloadFields:
         with pytest.raises(ProtocolError):
             protocol.search_from_fields({})
 
+    def test_search_batch_roundtrip(self):
+        payloads = (b"\x01\x02", b"\x03", b"\xff" * 5)
+        fields = protocol.search_batch_fields(payloads)
+        assert protocol.search_batch_from_fields(fields) == payloads
+
+    def test_search_batch_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.search_batch_fields([])
+        with pytest.raises(ProtocolError):
+            protocol.search_batch_from_fields({"tokens": []})
+        with pytest.raises(ProtocolError):
+            protocol.search_batch_from_fields({})
+
+    def test_search_batch_bad_token_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.search_batch_from_fields(
+                {"tokens": ["AAAA", "!!not-base64!!"]}
+            )
+
+    def test_batch_results_roundtrip(self):
+        results = [
+            ((1, 2, 3), {"records_scanned": 4, "matches": 3}),
+            ((), {"records_scanned": 4, "matches": 0}),
+        ]
+        fields = protocol.batch_results_fields(results)
+        restored = protocol.batch_results_from_fields(fields)
+        assert restored == tuple(results)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {},
+            {"results": "nope"},
+            {"results": [42]},
+            {"results": [{"identifiers": "nope"}]},
+            {"results": [{"identifiers": [1, "two"]}]},
+        ],
+    )
+    def test_malformed_batch_results_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            protocol.batch_results_from_fields(bad)
+
     def test_fetch_and_delete_roundtrip(self):
         fetch = FetchRequest(identifiers=(1, 2, 3))
         assert (
