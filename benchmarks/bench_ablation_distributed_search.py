@@ -21,6 +21,7 @@ smaller hosts the table still reports the measured numbers.
 from __future__ import annotations
 
 import os
+import threading
 import time
 
 from repro.analysis.report import TextTable
@@ -31,6 +32,7 @@ from repro.datasets.synthetic import uniform_points
 from repro.service import (
     Coordinator,
     CoordinatorConfig,
+    ReplicatedCluster,
     ServerThread,
     ServiceClient,
     ServiceConfig,
@@ -91,6 +93,83 @@ def _run_cluster(scheme, records, token, shard_count):
             backend.stop()
 
 
+def _run_kill_under_load(scheme, records, token, expected):
+    """Kill one replica of an R=2 cluster while queries are in flight.
+
+    Returns ``(queries_before, queries_after, failures, worst_ms)`` where
+    *failures* collects every query that errored or returned the wrong
+    identifiers — replication's whole pitch is that this list is empty.
+    """
+    cluster = ReplicatedCluster(
+        lambda: ServiceServer(scheme, config=ServiceConfig(workers=1)),
+        partitions=2,
+        replication=2,
+    )
+    cluster.start()
+    try:
+        upload_client = ServiceClient(
+            "127.0.0.1", cluster.coordinator_port
+        )
+        upload_client.upload(
+            UploadDataset(
+                records=tuple(
+                    UploadRecord(identifier=i, payload=payload)
+                    for i, payload in records
+                )
+            )
+        )
+        for addr in cluster.addrs:
+            cluster.backend(addr).engine.warm_up()
+
+        failures: list[str] = []
+        latencies: list[float] = []
+        record_lock = threading.Lock()
+        stop = threading.Event()
+
+        def worker() -> None:
+            client = ServiceClient("127.0.0.1", cluster.coordinator_port)
+            while not stop.is_set():
+                started = time.perf_counter()
+                try:
+                    response, _ = client.search(token, deadline_ms=20_000)
+                except Exception as exc:  # noqa: BLE001 - tallied below
+                    with record_lock:
+                        failures.append(repr(exc))
+                    continue
+                elapsed = (time.perf_counter() - started) * 1000.0
+                with record_lock:
+                    latencies.append(elapsed)
+                    if sorted(response.identifiers) != expected:
+                        failures.append(
+                            f"wrong identifiers: {response.identifiers}"
+                        )
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+
+        def wait_for(count: int) -> None:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                with record_lock:
+                    if len(latencies) + len(failures) >= count:
+                        return
+                time.sleep(0.01)
+            raise AssertionError("cluster stopped answering under load")
+
+        wait_for(8)  # load is established, queries are in flight
+        with record_lock:
+            before = len(latencies)
+        cluster.kill(cluster.addrs[0])
+        wait_for(before + 16)  # the survivors absorbed the load
+        stop.set()
+        for thread in threads:
+            thread.join()
+        return before, len(latencies) - before, failures, max(latencies)
+    finally:
+        cluster.stop()
+
+
 def test_ablation_distributed_search(crse2_env, write_result):
     scheme, key, rng = crse2_env
     points = uniform_points(scheme.space, N_RECORDS, rng)
@@ -141,6 +220,17 @@ def test_ablation_distributed_search(crse2_env, write_result):
             f"speedup gate: SKIPPED — host exposes only {cpus} usable "
             f"CPU(s); shard parallelism cannot beat one shard here"
         )
+    before, after, failures, worst_ms = _run_kill_under_load(
+        scheme, records, token, expected
+    )
+    assert failures == [], failures
+    assert after >= 16
+    failover_note = (
+        f"failover gate: PASSED — SIGKILLed one replica of a 2x2 cluster "
+        f"under load; {before} queries before the kill, {after} after, "
+        f"0 failed, results identical (worst query {worst_ms:.1f} ms)"
+    )
     write_result(
-        "ablation_distributed_search", table.render() + "\n" + note
+        "ablation_distributed_search",
+        table.render() + "\n" + note + "\n" + failover_note,
     )

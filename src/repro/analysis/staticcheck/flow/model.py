@@ -303,12 +303,14 @@ CLIENT_VERBS = frozenset(
     {
         "search",
         "search_batch",
+        "search_verified",
         "upload",
         "delete",
         "fetch",
         "export",
         "health",
         "stats",
+        "cluster",
     }
 )
 

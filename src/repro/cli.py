@@ -182,6 +182,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="socket timeout for each backend call",
     )
     coordinate.add_argument(
+        "--replication", type=int, default=1, metavar="R",
+        help="copies of every partition; consecutive groups of R shards "
+        "from the --shard list form one partition's replica set, so the "
+        "shard count must be a multiple of R",
+    )
+    coordinate.add_argument(
+        "--repair-interval-s", type=float, default=5.0, metavar="SECONDS",
+        help="re-replicate dirty replicas every SECONDS while serving "
+        "(0 disables background repair)",
+    )
+    coordinate.add_argument(
         "--data-dir", type=Path, default=None,
         help="directory for the persisted partition map (created if "
         "absent); a restarted coordinator reloads it and migrates records "
@@ -544,13 +555,22 @@ def _cmd_coordinate(args, out) -> int:
         max_pending=args.max_pending,
         default_deadline_ms=args.default_deadline_ms,
         shard_timeout_s=args.shard_timeout_s,
+        replication=args.replication,
+        repair_interval_s=args.repair_interval_s or None,
     )
     coordinator = Coordinator(args.shard, config, data_dir=args.data_dir)
     if coordinator.needs_reconcile:
         moved = coordinator.reconcile_membership()
         print(
             f"migrated {sum(moved.values())} record(s) off departed "
-            f"shard(s): {', '.join(sorted(moved))}",
+            f"partition(s): {', '.join(sorted(moved))}",
+            file=out,
+        )
+    repaired = coordinator.repair()
+    if repaired:
+        print(
+            f"re-replicated {sum(repaired.values())} record(s) onto "
+            f"{len(repaired)} stale replica(s)",
             file=out,
         )
     if args.rebalance:
@@ -564,7 +584,8 @@ def _cmd_coordinate(args, out) -> int:
         print(
             f"coordinating {len(coordinator.shards)} shard(s) on "
             f"{args.host}:{port} "
-            f"({coordinator.partition_map.record_count} records mapped)",
+            f"(replication x{coordinator.replication}, "
+            f"{coordinator.partition_map.record_count} records mapped)",
             file=out, flush=True,
         )
         await coordinator.run()

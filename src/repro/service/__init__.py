@@ -23,13 +23,17 @@ runnable client/server system:
 * :mod:`repro.service.metrics` — per-verb counters and latency histograms
   exposed through the ``stats`` verb;
 * :mod:`repro.service.coordinator` — a distributed front-end that owns a
-  persisted partition map, fans searches out to N backend servers
-  concurrently, merges matches and per-shard stats, and degrades to a
-  typed ``SHARD_UNAVAILABLE`` error carrying partial results when a
-  backend dies mid-fan-out;
+  persisted partition map with a replication factor R: uploads and
+  deletes fan out to every live replica of a partition (missed writes
+  are tracked and re-replicated), searches pick the least-loaded live
+  replica and fail over to a sibling mid-query within the original
+  deadline, and a typed ``SHARD_UNAVAILABLE`` error carrying partial
+  results is raised only when every replica of a partition is gone;
 * :mod:`repro.service.harness` — :class:`~repro.service.harness.ServerThread`,
   which runs any of these servers on a private event loop in a daemon
-  thread so tests and benchmarks can stand up whole clusters in-process.
+  thread, and :class:`~repro.service.harness.ReplicatedCluster`, which
+  stands up a whole partitions×replicas cluster in-process so tests and
+  benchmarks can kill and replace replicas under load.
 
 Durability is optional: hand :class:`ServiceServer` an open
 :class:`~repro.storage.RecordStore` and every upload/delete is logged to
@@ -54,7 +58,7 @@ from repro.service.coordinator import (
     ShardSpec,
 )
 from repro.service.engine import SearchEngine
-from repro.service.harness import ServerThread
+from repro.service.harness import ReplicatedCluster, ServerThread
 from repro.service.server import FramedServer, ServiceConfig, ServiceServer
 
 __all__ = [
@@ -63,6 +67,7 @@ __all__ = [
     "CoordinatorConfig",
     "FramedServer",
     "PartitionMap",
+    "ReplicatedCluster",
     "RetryPolicy",
     "ServerThread",
     "ServiceClient",

@@ -463,3 +463,11 @@ class AsyncServiceClient:
     async def stats(self, deadline_ms: float | None = None) -> dict:
         """The server's metrics snapshot (counters, latency histograms)."""
         return await self._request("stats", deadline_ms=deadline_ms)
+
+    async def cluster(self, deadline_ms: float | None = None) -> dict:
+        """The coordinator's topology report (replication, replica
+        liveness, resync debt); plain shards answer ``PROTOCOL``."""
+        fields = await self._request("cluster", deadline_ms=deadline_ms)
+        if not isinstance(fields.get("partitions"), list):
+            raise WireFormatError("cluster reply missing 'partitions'")
+        return fields

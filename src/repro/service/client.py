@@ -56,7 +56,15 @@ from repro.errors import (
 )
 from repro.service import protocol
 
-__all__ = ["RetryPolicy", "ServiceClient"]
+__all__ = ["DEADLINE_GRACE_MS", "RetryPolicy", "ServiceClient"]
+
+#: Slack added on top of a request's remaining deadline when deriving
+#: the per-request socket timeout: the server enforces the deadline and
+#: replies with a typed ``DEADLINE`` error, so the socket should stay
+#: open just long enough to receive it — but no longer, or a stalled
+#: (not dead) server would pin the caller past its budget and eat a
+#: failover sibling's chance to answer in time.
+DEADLINE_GRACE_MS = 250.0
 
 
 def _partial_identifiers(fields: dict) -> tuple[int, ...]:
@@ -230,19 +238,20 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _ensure_socket(self) -> tuple[socket.socket, bool]:
+    def _ensure_socket(self, timeout_s: float) -> tuple[socket.socket, bool]:
         """Return ``(socket, fresh)``, dialing only if none is cached."""
         if self._sock is not None:
+            self._sock.settimeout(timeout_s)
             return self._sock, False
         try:
             sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout_s
+                (self.host, self.port), timeout=timeout_s
             )
         except OSError as exc:
             raise ServiceConnectionError(
                 f"cannot connect to {self.host}:{self.port}: {exc}"
             ) from exc
-        sock.settimeout(self.timeout_s)
+        sock.settimeout(timeout_s)
         self._sock = sock
         self._connections_opened += 1
         return sock, True
@@ -256,7 +265,9 @@ class ServiceClient:
             pass
         self._sock = None
 
-    def _roundtrip_once(self, body: bytes) -> protocol.Reply:
+    def _roundtrip_once(
+        self, body: bytes, timeout_s: float
+    ) -> protocol.Reply:
         # A clean EOF (or send failure) on a REUSED connection is the
         # idle-close race: the server hung up between our requests, and
         # our send crossed the close on the wire.  Redial and resend once.
@@ -265,14 +276,14 @@ class ServiceClient:
         # so replaying could double-apply; raise instead.
         resent = False
         while True:
-            sock, fresh = self._ensure_socket()
+            sock, fresh = self._ensure_socket(timeout_s)
             try:
                 protocol.send_frame(sock, body)
                 reply_body = protocol.recv_frame(sock)
             except socket.timeout as exc:
                 self._drop_socket()
                 raise ServiceError(
-                    f"no reply within {self.timeout_s} s (request may "
+                    f"no reply within {timeout_s:.3f} s (request may "
                     "still have executed server-side; not retrying)"
                 ) from exc
             except ConnectionClosedError as exc:
@@ -313,13 +324,37 @@ class ServiceClient:
         body = protocol.encode_request(
             verb, request_id, fields=fields, deadline_ms=deadline_ms
         )
+        # With a deadline, both the socket timeout and the retry budget
+        # derive from it: a stalled-but-alive server is abandoned when
+        # the budget (plus grace for the server's own DEADLINE reply)
+        # runs out, and backoff sleeps never outlive it.  A coordinator
+        # failing over between replicas relies on this to fit a sibling
+        # attempt inside the caller's original deadline.
+        deadline_at = (
+            None
+            if deadline_ms is None
+            else time.perf_counter() + deadline_ms / 1000.0
+        )
         retries_left = self.retry.attempts - 1
         retry_index = 0
         while True:
+            timeout_s = self.timeout_s
+            if deadline_at is not None:
+                remaining_s = deadline_at - time.perf_counter()
+                if remaining_s <= 0:
+                    raise DeadlineExceededError(
+                        f"deadline of {deadline_ms} ms spent client-side "
+                        "before a reply"
+                    )
+                timeout_s = min(
+                    timeout_s, remaining_s + DEADLINE_GRACE_MS / 1000.0
+                )
             try:
-                reply = self._roundtrip_once(body)
+                reply = self._roundtrip_once(body, timeout_s)
             except ServiceConnectionError:
-                if retries_left <= 0:
+                if retries_left <= 0 or self._deadline_spent(
+                    deadline_at, retry_index
+                ):
                     raise
                 retries_left -= 1
                 time.sleep(self.retry.delay_s(retry_index, self._rng))
@@ -340,13 +375,29 @@ class ServiceClient:
             if reply.ok:
                 return reply.fields
             if reply.error_code == protocol.ERR_BUSY:
-                if retries_left <= 0:
+                if retries_left <= 0 or self._deadline_spent(
+                    deadline_at, retry_index
+                ):
                     raise ServiceBusyError(reply.error_message)
                 retries_left -= 1
                 time.sleep(self.retry.delay_s(retry_index, self._rng))
                 retry_index += 1
                 continue
             raise _error_from_reply(reply)
+
+    def _deadline_spent(
+        self, deadline_at: float | None, retry_index: int
+    ) -> bool:
+        """Whether the next backoff sleep would outlive the deadline."""
+        if deadline_at is None:
+            return False
+        # Compare against the schedule's full (pre-jitter) delay so the
+        # decision does not depend on the jitter draw.
+        next_delay_s = min(
+            self.retry.base_delay_s * (self.retry.multiplier**retry_index),
+            self.retry.max_delay_s,
+        )
+        return time.perf_counter() + next_delay_s >= deadline_at
 
     # ------------------------------------------------------------------
     # Verbs
@@ -527,3 +578,15 @@ class ServiceClient:
     def stats(self, deadline_ms: float | None = None) -> dict:
         """The server's metrics snapshot (counters, latency histograms)."""
         return self._request("stats", deadline_ms=deadline_ms)
+
+    def cluster(self, deadline_ms: float | None = None) -> dict:
+        """The coordinator's topology report: replication factor plus
+        per-partition replica liveness and resync debt.
+
+        Only coordinators serve this verb; a plain shard answers with a
+        typed ``PROTOCOL`` error.
+        """
+        fields = self._request("cluster", deadline_ms=deadline_ms)
+        if not isinstance(fields.get("partitions"), list):
+            raise WireFormatError("cluster reply missing 'partitions'")
+        return fields

@@ -1,42 +1,55 @@
-"""Distributed search: a coordinator fanning out to backend shards.
+"""Distributed search: a coordinator fanning out to replicated shards.
 
 The :class:`Coordinator` is a front-end speaking the same framed wire
 protocol as :class:`~repro.service.server.ServiceServer` — clients cannot
 tell the difference on the happy path — but it stores no records itself.
-It owns only the :class:`PartitionMap` (which record identifier lives on
-which backend) and routes every verb:
+It owns only the :class:`PartitionMap` (which record identifier lives in
+which partition, and which R backend replicas serve that partition) and
+routes every verb:
 
-* **upload** — new records are assigned to the least-loaded shard and the
-  per-shard sub-batches are uploaded concurrently; the partition map is
-  persisted (atomic tmp+rename, same discipline as the storage manifest)
-  recording exactly the assignments the shards acked.
-* **search** — the token is fanned out to *every* shard concurrently (the
-  dataset is partitioned, so each shard scans only its slice), matched
-  identifiers are merged, and the per-shard
-  :class:`~repro.cloud.server.SearchStats` are aggregated: scan counts
-  sum, wall-clock is the slowest shard — the paper's multi-instance
-  parallel-search model, now over real processes.
-* **fetch / delete** — routed to the owning shard(s) via the map.
+* **upload** — new records are assigned to the least-loaded partition and
+  the per-partition sub-batches fan out to *every* live replica of that
+  partition concurrently, with per-replica ack tracking: a replica that
+  misses the write (down, or still resyncing) is marked *dirty* in the
+  map so :meth:`Coordinator.repair` can copy the rows from a clean
+  sibling later.  The partition map is persisted (atomic tmp+rename,
+  same discipline as the storage manifest) recording exactly the
+  assignments at least one replica acked.
+* **search** — the token is fanned out to every partition concurrently
+  (the dataset is partitioned, so each partition scans only its slice);
+  within a partition the least-loaded live replica serves, and if it
+  dies or stalls mid-query the coordinator fails over to a sibling
+  replica *within the original deadline* (the remaining budget is split
+  across the untried replicas).  Matched identifiers are merged and the
+  per-shard :class:`~repro.cloud.server.SearchStats` are aggregated:
+  scan counts sum, wall-clock is the slowest partition — the paper's
+  multi-instance parallel-search model, now over real processes with no
+  load-bearing single server.
+* **fetch / delete** — routed to the owning partition(s) via the map;
+  reads fail over like searches, deletes fan out like uploads.
 
-Failure semantics are explicit rather than optimistic.  A dead shard
-turns the reply into a typed ``SHARD_UNAVAILABLE`` error that still
-carries the partial results the reachable shards attested to, plus one
-report per shard saying who answered.  A ``BUSY`` shard is retried by
-that shard's own client (independent backoff) without re-querying shards
-that already answered.  Deadlines propagate: each shard receives the
-budget that remains after coordinator-side elapsed time.
+Failure semantics are explicit rather than optimistic.  A typed
+``SHARD_UNAVAILABLE`` error is raised only when *every* replica of a
+partition is gone; it still carries the partial results the reachable
+partitions attested to, plus one report per attempted replica saying who
+answered.  A ``BUSY`` replica is retried by that replica's own client
+(independent backoff) without re-querying replicas that already
+answered.  Deadlines propagate: each replica receives the budget that
+remains after coordinator-side elapsed time, divided across the
+failover candidates still untried.
 
 The coordinator never holds key material and never decodes tokens or
-ciphertexts — it routes opaque bytes.  Its view (which shard stores how
-many records, which shards matched per query) is a subset of what the
-shards themselves already observe, so the paper's leakage function is
-unchanged; only its bookkeeping is now split across machines.
+ciphertexts — it routes opaque bytes.  Replication does not change the
+paper's leakage function: each query is served by exactly one replica
+per partition, so the union of what the replicas observe equals what
+the unreplicated shard set already observed.
 
 Membership changes are handled offline (before serving) by
-:meth:`Coordinator.reconcile_membership` and :meth:`Coordinator.rebalance`:
-records are migrated shard-to-shard via payload-bearing fetches (the
-``shards`` capability of :mod:`repro.service.protocol`) and the map is
-rewritten only after the receiving shard acked.
+:meth:`Coordinator.reconcile_membership` and :meth:`Coordinator.rebalance`;
+divergent replicas are re-replicated by :meth:`Coordinator.repair` (and
+detected by :meth:`Coordinator.audit_replicas`) using the existing
+payload-bearing export verb — records move shard-to-shard and the map is
+rewritten only after the receiving replica acked.
 """
 
 from __future__ import annotations
@@ -52,15 +65,17 @@ from pathlib import Path
 
 from repro.cloud.messages import FetchResponse, UploadDataset, UploadRecord
 from repro.errors import (
+    DeadlineExceededError,
     ParameterError,
     ProtocolError,
     ReproError,
+    ServiceConnectionError,
     ShardUnavailableError,
     StorageError,
 )
 from repro.integrity import EMPTY_ROOT, xor_fold
 from repro.service import protocol
-from repro.service.client import ServiceClient
+from repro.service.client import DEADLINE_GRACE_MS, ServiceClient
 from repro.service.server import FramedServer
 from repro.storage.manifest import fsync_directory
 
@@ -112,46 +127,229 @@ class ShardSpec:
 
 
 class PartitionMap:
-    """Which record identifier lives on which shard.
+    """Which record lives in which partition, served by which replicas.
 
     This is the only state the coordinator owns.  It is deliberately tiny
     (ints and address strings — no ciphertext bytes) and is persisted with
     the same atomic tmp+rename+fsync discipline as the storage layer's
     manifest, so a crashed coordinator restarts with a map describing a
-    set of assignments every involved shard actually acked.
+    set of assignments at least one replica of each partition actually
+    acked — including the per-replica *stale* marks that record which
+    replicas still owe a resync.
+
+    Invariants (checked by :meth:`validate`): every partition has at
+    least one replica, all replicas are distinct, no replica serves two
+    partitions, every assignment names an existing partition, and stale
+    marks only name known replicas.
     """
 
-    VERSION = 1
+    VERSION = 2
 
-    def __init__(self, shards=(), assignments=None):
-        """Create a map over *shards* (addr strings) with *assignments*."""
-        self.shards: list[str] = list(shards)
+    def __init__(self, partitions=None, assignments=None, stale=None):
+        """Create a map of ``{partition_id: [replica addrs]}`` with
+        ``{record_id: partition_id}`` *assignments* and per-replica
+        *stale* (addr → dirty record ids) resync obligations."""
+        self.partitions: dict[str, list[str]] = {
+            pid: list(replicas)
+            for pid, replicas in dict(partitions or {}).items()
+        }
         self.assignments: dict[int, str] = dict(assignments or {})
+        self.stale: dict[str, set[int]] = {
+            addr: set(ids) for addr, ids in dict(stale or {}).items() if ids
+        }
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def replicas(self, pid: str) -> tuple[str, ...]:
+        """The replica addrs serving partition *pid* (empty if unknown)."""
+        return tuple(self.partitions.get(pid, ()))
+
+    def partition_of(self, addr: str) -> str | None:
+        """The partition id replica *addr* serves, or ``None``."""
+        for pid, replicas in self.partitions.items():
+            if addr in replicas:
+                return pid
+        return None
+
     def owner(self, identifier: int) -> str | None:
-        """The addr storing *identifier*, or ``None`` if unknown."""
+        """The partition id storing *identifier*, or ``None`` if unknown."""
         return self.assignments.get(identifier)
 
-    def ids_on(self, addr: str) -> tuple[int, ...]:
-        """All identifiers assigned to *addr*, sorted."""
+    def ids_in(self, pid: str) -> tuple[int, ...]:
+        """All identifiers assigned to partition *pid*, sorted."""
         return tuple(
-            sorted(i for i, a in self.assignments.items() if a == addr)
+            sorted(i for i, p in self.assignments.items() if p == pid)
         )
 
+    def ids_on(self, addr: str) -> tuple[int, ...]:
+        """All identifiers the replica at *addr* should hold, sorted."""
+        pid = self.partition_of(addr)
+        return () if pid is None else self.ids_in(pid)
+
+    def dirty_on(self, addr: str) -> frozenset[int]:
+        """The record ids replica *addr* owes a resync for."""
+        return frozenset(self.stale.get(addr, ()))
+
     def counts(self) -> dict[str, int]:
-        """Record count per shard addr (zero entries included)."""
-        counts = {addr: 0 for addr in self.shards}
-        for addr in self.assignments.values():
-            counts[addr] = counts.get(addr, 0) + 1
+        """Record count per replica addr (zero entries included).
+
+        Every replica reports its partition's full count — replicas of
+        one partition hold identical data by design.
+        """
+        per_partition = self.partition_counts()
+        return {
+            addr: per_partition[pid]
+            for pid, replicas in self.partitions.items()
+            for addr in replicas
+        }
+
+    def partition_counts(self) -> dict[str, int]:
+        """Record count per partition id (zero entries included)."""
+        counts = {pid: 0 for pid in self.partitions}
+        for pid in self.assignments.values():
+            counts[pid] = counts.get(pid, 0) + 1
         return counts
+
+    def addrs(self) -> tuple[str, ...]:
+        """Every replica addr across all partitions, sorted."""
+        return tuple(
+            sorted(a for replicas in self.partitions.values() for a in replicas)
+        )
 
     @property
     def record_count(self) -> int:
-        """Total records assigned across all shards."""
+        """Total records assigned across all partitions."""
         return len(self.assignments)
+
+    # ------------------------------------------------------------------
+    # Mutation (membership surgery and resync bookkeeping)
+    # ------------------------------------------------------------------
+    def validate(self, replication: int | None = None) -> None:
+        """Check the structural invariants; raise :class:`StorageError`.
+
+        With *replication* given, additionally requires every partition
+        to have exactly that many replicas.
+        """
+        serving: dict[str, str] = {}
+        for pid, replicas in self.partitions.items():
+            if not replicas:
+                raise StorageError(
+                    f"partition map: partition {pid} has no replicas"
+                )
+            if len(set(replicas)) != len(replicas):
+                raise StorageError(
+                    f"partition map: partition {pid} repeats a replica"
+                )
+            if replication is not None and len(replicas) != replication:
+                raise StorageError(
+                    f"partition map: partition {pid} has {len(replicas)} "
+                    f"replica(s), expected {replication}"
+                )
+            for addr in replicas:
+                if addr in serving:
+                    raise StorageError(
+                        f"partition map: replica {addr} serves partitions "
+                        f"{serving[addr]} and {pid}"
+                    )
+                serving[addr] = pid
+        for identifier, pid in self.assignments.items():
+            if pid not in self.partitions:
+                raise StorageError(
+                    f"partition map: record {identifier} assigned to "
+                    f"unknown partition {pid}"
+                )
+        for addr in self.stale:
+            if addr not in serving:
+                raise StorageError(
+                    f"partition map: stale mark for unknown replica {addr}"
+                )
+
+    def mark_dirty(self, addr: str, identifiers) -> None:
+        """Record that replica *addr* missed writes for *identifiers*.
+
+        Raises:
+            ParameterError: If *addr* serves no partition.
+        """
+        if self.partition_of(addr) is None:
+            raise ParameterError(f"unknown replica {addr}")
+        ids = set(identifiers)
+        if ids:
+            self.stale.setdefault(addr, set()).update(ids)
+
+    def clear_dirty(self, addr: str, identifiers=None) -> None:
+        """Drop resync obligations for *addr* (all, or just *identifiers*)."""
+        if identifiers is None:
+            self.stale.pop(addr, None)
+            return
+        remaining = self.stale.get(addr)
+        if remaining is None:
+            return
+        remaining -= set(identifiers)
+        if not remaining:
+            self.stale.pop(addr, None)
+
+    def add_partition(self, pid: str, replicas) -> None:
+        """Add an empty partition *pid* served by *replicas*.
+
+        Raises:
+            ParameterError: On a duplicate pid, an empty or repeated
+                replica list, or a replica already serving elsewhere.
+        """
+        if pid in self.partitions:
+            raise ParameterError(f"partition {pid} already exists")
+        replicas = list(replicas)
+        if not replicas or len(set(replicas)) != len(replicas):
+            raise ParameterError(
+                f"partition {pid} needs a non-empty, distinct replica list"
+            )
+        taken = {a for group in self.partitions.values() for a in group}
+        clash = taken & set(replicas)
+        if clash:
+            raise ParameterError(
+                f"replica(s) {', '.join(sorted(clash))} already serve "
+                "another partition"
+            )
+        self.partitions[pid] = replicas
+
+    def remove_partition(self, pid: str) -> None:
+        """Remove partition *pid*; it must hold no records.
+
+        Raises:
+            ParameterError: If *pid* is unknown or still has assignments.
+        """
+        if pid not in self.partitions:
+            raise ParameterError(f"unknown partition {pid}")
+        if any(p == pid for p in self.assignments.values()):
+            raise ParameterError(f"partition {pid} still holds records")
+        for addr in self.partitions.pop(pid):
+            self.stale.pop(addr, None)
+
+    def replace_replica(self, pid: str, old: str, new: str) -> None:
+        """Swap replica *old* of partition *pid* for *new*.
+
+        The replacement starts empty, so it is marked dirty with the
+        partition's full canonical id set — it must not serve reads
+        until :meth:`Coordinator.repair` has copied the rows over.
+
+        Raises:
+            ParameterError: If *old* does not serve *pid* or *new*
+                already serves another partition.
+        """
+        replicas = self.partitions.get(pid)
+        if replicas is None or old not in replicas:
+            raise ParameterError(f"replica {old} does not serve {pid}")
+        elsewhere = {
+            a for group in self.partitions.values() for a in group
+        } - {old}
+        if new in elsewhere:
+            raise ParameterError(f"replica {new} already serves a partition")
+        replicas[replicas.index(old)] = new
+        self.stale.pop(old, None)
+        self.stale.pop(new, None)
+        ids = self.ids_in(pid)
+        if ids:
+            self.mark_dirty(new, ids)
 
     # ------------------------------------------------------------------
     # Serialization
@@ -160,10 +358,18 @@ class PartitionMap:
         """JSON-ready form (sorted for deterministic bytes)."""
         return {
             "version": self.VERSION,
-            "shards": list(self.shards),
+            "partitions": [
+                [pid, list(replicas)]
+                for pid, replicas in sorted(self.partitions.items())
+            ],
             "assignments": [
-                [identifier, addr]
-                for identifier, addr in sorted(self.assignments.items())
+                [identifier, pid]
+                for identifier, pid in sorted(self.assignments.items())
+            ],
+            "stale": [
+                [addr, sorted(ids)]
+                for addr, ids in sorted(self.stale.items())
+                if ids
             ],
         }
 
@@ -171,20 +377,86 @@ class PartitionMap:
     def from_dict(cls, raw) -> "PartitionMap":
         """Rebuild a map from :meth:`to_dict` output.
 
+        Version-1 documents (one replica per partition, keyed by addr)
+        are migrated transparently: each shard becomes a single-replica
+        partition whose id is its addr.
+
         Raises:
             StorageError: On a malformed or wrong-version document.
         """
-        if not isinstance(raw, dict) or raw.get("version") != cls.VERSION:
+        if not isinstance(raw, dict):
             raise StorageError("partition map: unsupported document")
+        version = raw.get("version")
+        if version == 1:
+            return cls._from_dict_v1(raw)
+        if version != cls.VERSION:
+            raise StorageError("partition map: unsupported document")
+        entries = raw.get("partitions")
+        if not isinstance(entries, list):
+            raise StorageError("partition map: partitions must be a list")
+        partitions: dict[str, list[str]] = {}
+        for entry in entries:
+            if (
+                not isinstance(entry, list)
+                or len(entry) != 2
+                or not isinstance(entry[0], str)
+                or not isinstance(entry[1], list)
+                or not all(isinstance(a, str) for a in entry[1])
+            ):
+                raise StorageError(
+                    "partition map: each partition must be [pid, [addrs]]"
+                )
+            if entry[0] in partitions:
+                raise StorageError(
+                    f"partition map: partition {entry[0]} listed twice"
+                )
+            partitions[entry[0]] = list(entry[1])
+        assignments = cls._assignments_from(raw.get("assignments"))
+        for identifier, pid in assignments.items():
+            if pid not in partitions:
+                raise StorageError(
+                    f"partition map: record {identifier} assigned to "
+                    f"unknown partition {pid}"
+                )
+        stale_entries = raw.get("stale", [])
+        if not isinstance(stale_entries, list):
+            raise StorageError("partition map: stale must be a list")
+        stale: dict[str, set[int]] = {}
+        for entry in stale_entries:
+            if (
+                not isinstance(entry, list)
+                or len(entry) != 2
+                or not isinstance(entry[0], str)
+                or not isinstance(entry[1], list)
+                or not all(
+                    isinstance(i, int) and not isinstance(i, bool)
+                    for i in entry[1]
+                )
+            ):
+                raise StorageError(
+                    "partition map: each stale entry must be [addr, [ids]]"
+                )
+            stale[entry[0]] = set(entry[1])
+        return cls(partitions=partitions, assignments=assignments, stale=stale)
+
+    @classmethod
+    def _from_dict_v1(cls, raw) -> "PartitionMap":
         shards = raw.get("shards")
         if not isinstance(shards, list) or not all(
             isinstance(a, str) for a in shards
         ):
             raise StorageError("partition map: shards must be addr strings")
-        entries = raw.get("assignments")
+        assignments = cls._assignments_from(raw.get("assignments"))
+        partitions = {addr: [addr] for addr in shards}
+        for pid in assignments.values():
+            partitions.setdefault(pid, [pid])
+        return cls(partitions=partitions, assignments=assignments)
+
+    @staticmethod
+    def _assignments_from(entries) -> dict[int, str]:
         if not isinstance(entries, list):
             raise StorageError("partition map: assignments must be a list")
-        assignments = {}
+        assignments: dict[int, str] = {}
         for entry in entries:
             if (
                 not isinstance(entry, list)
@@ -194,14 +466,14 @@ class PartitionMap:
                 or not isinstance(entry[1], str)
             ):
                 raise StorageError(
-                    "partition map: each assignment must be [id, addr]"
+                    "partition map: each assignment must be [id, partition]"
                 )
             if entry[0] in assignments:
                 raise StorageError(
                     f"partition map: identifier {entry[0]} assigned twice"
                 )
             assignments[entry[0]] = entry[1]
-        return cls(shards=shards, assignments=assignments)
+        return assignments
 
     @classmethod
     def load(cls, directory: Path) -> "PartitionMap | None":
@@ -252,6 +524,17 @@ class CoordinatorConfig:
     drain_timeout_s: float = 10.0
     #: Socket timeout for each backend call (connect + reply).
     shard_timeout_s: float = 30.0
+    #: Budget for health/stats probes when the caller sent no deadline:
+    #: a stalled replica must degrade into an ``unreachable`` marker,
+    #: not stall the whole scrape for ``shard_timeout_s``.
+    probe_timeout_s: float = 5.0
+    #: Copies of every partition.  The configured shard list is split
+    #: into consecutive groups of this size, so it must divide evenly.
+    replication: int = 1
+    #: When set, a background task re-replicates dirty replicas every
+    #: this many seconds while serving.  ``None`` (the default) leaves
+    #: repair to explicit :meth:`Coordinator.repair` calls.
+    repair_interval_s: float | None = None
 
 
 def _default_client_factory(spec: ShardSpec, timeout_s: float) -> ServiceClient:
@@ -259,7 +542,7 @@ def _default_client_factory(spec: ShardSpec, timeout_s: float) -> ServiceClient:
 
 
 class Coordinator(FramedServer):
-    """Front-end server that routes every verb across backend shards."""
+    """Front-end server routing every verb across replicated shards."""
 
     def __init__(
         self,
@@ -272,8 +555,11 @@ class Coordinator(FramedServer):
 
         Args:
             shards: The configured backend :class:`ShardSpec` list (or
-                ``host:port`` strings); must be non-empty and unique.
-            config: Coordinator tunables.
+                ``host:port`` strings); must be non-empty, unique, and a
+                multiple of ``config.replication`` long.  Consecutive
+                groups of R shards form one partition's replica set.
+            config: Coordinator tunables (including the replication
+                factor).
             data_dir: Directory for the persisted partition map.  When
                 given, an existing map is loaded (so a restarted
                 coordinator knows where every record lives) and every
@@ -282,13 +568,19 @@ class Coordinator(FramedServer):
             client_factory: ``(ShardSpec, timeout_s) -> ServiceClient``
                 hook for tests that need to interpose on shard traffic.
 
-        A persisted map that assigns records to shards no longer in the
-        configured set is loaded as-is, but the coordinator refuses to
-        *serve* until :meth:`reconcile_membership` has migrated those
-        records — silently orphaning data is not an option.
+        A persisted map whose partitions no longer match the configured
+        replica groups is *adopted*: partitions sharing at least one
+        replica with a configured group are renamed onto it, and every
+        replica that joined or left such a group is marked dirty so
+        :meth:`repair` re-replicates exactly the divergence.  Partitions
+        with no surviving replica are kept aside, and the coordinator
+        refuses to *serve* until :meth:`reconcile_membership` has
+        migrated their records — silently orphaning data is not an
+        option.
 
         Raises:
-            ParameterError: On an empty or duplicated shard list.
+            ParameterError: On an empty or duplicated shard list, or one
+                that does not divide into replication-factor groups.
         """
         super().__init__(config or CoordinatorConfig())
         specs = [
@@ -299,8 +591,24 @@ class Coordinator(FramedServer):
             raise ParameterError("coordinator needs at least one shard")
         if len({s.addr for s in specs}) != len(specs):
             raise ParameterError("duplicate shard addresses")
+        replication = int(self.config.replication)
+        if replication < 1:
+            raise ParameterError("replication factor must be >= 1")
+        if len(specs) % replication:
+            raise ParameterError(
+                f"{len(specs)} shard(s) cannot host replication factor "
+                f"{replication}: the shard count must be a multiple of it"
+            )
+        self.replication = replication
         self.shards: tuple[ShardSpec, ...] = tuple(specs)
         self._by_addr = {s.addr: s for s in self.shards}
+        self._configured: dict[str, tuple[str, ...]] = {
+            f"p{index}": tuple(
+                s.addr
+                for s in specs[index * replication : (index + 1) * replication]
+            )
+            for index in range(len(specs) // replication)
+        }
         self.data_dir = None if data_dir is None else Path(data_dir)
         self._client_factory = client_factory or _default_client_factory
         # Shard clients keep persistent connections and are not
@@ -310,6 +618,12 @@ class Coordinator(FramedServer):
         self._local = threading.local()
         self._clients_lock = threading.Lock()
         self._all_clients: list[ServiceClient] = []
+        # Liveness and load tracking shared between the event loop and
+        # the fan-out pool threads; _state_lock also guards the map's
+        # stale marks against concurrent repair.
+        self._state_lock = threading.Lock()
+        self._down: set[str] = set()
+        self._loads: dict[str, int] = {s.addr: 0 for s in self.shards}
         self._pool = ThreadPoolExecutor(
             max_workers=max(4, 2 * len(self.shards)),
             thread_name_prefix="coord",
@@ -320,29 +634,75 @@ class Coordinator(FramedServer):
             else None
         )
         if loaded is None:
-            self.partition_map = PartitionMap(
-                shards=[s.addr for s in self.shards]
-            )
+            self.partition_map = PartitionMap(partitions=self._configured)
         else:
-            loaded.shards = [s.addr for s in self.shards]
-            self.partition_map = loaded
+            self.partition_map = self._adopt(loaded)
         self._persist_map()
+
+    def _adopt(self, loaded: PartitionMap) -> PartitionMap:
+        """Fit a persisted map onto the configured replica groups.
+
+        A loaded partition sharing at least one replica with a
+        configured group is renamed onto that group; the symmetric
+        difference of the two replica sets is marked dirty with the
+        partition's ids (joining replicas owe a copy, replicas moved to
+        a different partition owe a purge — :meth:`repair` handles
+        both).  A loaded partition with records but no surviving replica
+        is kept under its own id for :meth:`reconcile_membership`.
+        """
+        adopted = PartitionMap(partitions=self._configured)
+        configured_addrs = {
+            addr for group in self._configured.values() for addr in group
+        }
+        for addr, ids in loaded.stale.items():
+            if addr in configured_addrs:
+                adopted.stale.setdefault(addr, set()).update(ids)
+        rename: dict[str, str] = {}
+        for pid in sorted(loaded.partitions):
+            old_replicas = set(loaded.partitions[pid])
+            ids = loaded.ids_in(pid)
+            best, best_overlap = None, 0
+            for cid in sorted(self._configured):
+                overlap = len(old_replicas & set(self._configured[cid]))
+                if overlap > best_overlap:
+                    best, best_overlap = cid, overlap
+            if best is None:
+                if not ids:
+                    continue
+                departed = pid
+                while departed in adopted.partitions:
+                    departed += "@departed"
+                adopted.partitions[departed] = list(loaded.partitions[pid])
+                rename[pid] = departed
+                continue
+            rename[pid] = best
+            if ids:
+                new_replicas = set(self._configured[best])
+                changed = (old_replicas | new_replicas) - (
+                    old_replicas & new_replicas
+                )
+                for addr in changed & configured_addrs:
+                    adopted.stale.setdefault(addr, set()).update(ids)
+        for identifier, pid in loaded.assignments.items():
+            target = rename.get(pid)
+            if target is not None:
+                adopted.assignments[identifier] = target
+        return adopted
 
     @property
     def needs_reconcile(self) -> bool:
-        """Whether the map assigns records to unconfigured shards."""
-        configured = {s.addr for s in self.shards}
+        """Whether the map holds partitions outside the configured set."""
         return any(
-            addr not in configured
-            for addr in self.partition_map.assignments.values()
+            pid not in self._configured
+            for pid in self.partition_map.partitions
         )
 
     async def start(self) -> int:
         """Bind and start accepting connections (see ``FramedServer``).
 
         Raises:
-            StorageError: If the partition map still assigns records to
-                shards outside the configured set — run
+            StorageError: If the partition map still holds records on
+                partitions outside the configured replica groups — run
                 :meth:`reconcile_membership` first.
         """
         if self.needs_reconcile:
@@ -350,7 +710,25 @@ class Coordinator(FramedServer):
                 "partition map assigns records to unconfigured shards; "
                 "run membership reconciliation before serving"
             )
-        return await super().start()
+        port = await super().start()
+        if self.config.repair_interval_s:
+            task = asyncio.get_running_loop().create_task(self._repair_loop())
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        return port
+
+    async def _repair_loop(self) -> None:
+        """Periodically re-replicate dirty replicas while serving."""
+        while not self._draining:
+            await asyncio.sleep(self.config.repair_interval_s)
+            if self._draining:
+                return
+            try:
+                await self._offload(self.repair)
+            except ReproError:
+                # Repair is best-effort while serving: an unreachable
+                # sibling leaves the marks in place for the next tick.
+                pass
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -380,20 +758,20 @@ class Coordinator(FramedServer):
             if close is not None:
                 close()
 
-    async def _fan_out(self, specs, call):
-        """Run blocking *call(spec)* for every shard concurrently.
+    async def _fan_out(self, items, call):
+        """Run blocking *call(item)* for every item concurrently.
 
-        Returns ``[(spec, outcome), ...]`` in *specs* order, where each
+        Returns ``[(item, outcome), ...]`` in *items* order, where each
         outcome is either the call's return value or the exception it
         raised (shard failures must not cancel sibling calls — partial
         results are the whole point).
         """
         loop = asyncio.get_running_loop()
         futures = [
-            loop.run_in_executor(self._pool, call, spec) for spec in specs
+            loop.run_in_executor(self._pool, call, item) for item in items
         ]
         outcomes = await asyncio.gather(*futures, return_exceptions=True)
-        return list(zip(specs, outcomes))
+        return list(zip(items, outcomes))
 
     def _remaining_ms(
         self, request: protocol.Request, started: float
@@ -407,15 +785,183 @@ class Coordinator(FramedServer):
         # wait_for is about to fire anyway; 1 ms keeps the wire valid.
         return max(deadline - elapsed, 1.0)
 
+    def _write_budget_ms(self, request: protocol.Request) -> float | None:
+        """Deadline for each write fan-out call, if the caller set one.
+
+        Reserves headroom under the coordinator's own deadline: the
+        slowest replica's client-side timeout (budget plus grace) must
+        fire *before* the handler's ``wait_for`` cancels it, or a
+        replica that swallowed the write would never be marked dirty
+        and the acked sub-batches would never reach the map.
+        """
+        remaining = self._remaining_ms(request, time.perf_counter())
+        if remaining is None:
+            return None
+        return max(remaining - 2 * DEADLINE_GRACE_MS, 1.0)
+
+    def _probe_budget_ms(self, request: protocol.Request) -> float:
+        """Deadline for one health/stats probe.
+
+        The caller's remaining budget when it sent one; otherwise the
+        configured probe timeout, so a stalled replica degrades into a
+        per-shard failure marker instead of holding the whole scrape
+        hostage for the full shard socket timeout.
+        """
+        remaining = self._remaining_ms(request, time.perf_counter())
+        if remaining is not None:
+            return remaining
+        return self.config.probe_timeout_s * 1000.0
+
+    def _deadline_at(
+        self, request: protocol.Request, started: float
+    ) -> float | None:
+        """Absolute ``perf_counter`` instant the reply is due, if any."""
+        deadline = self._effective_deadline(request)
+        if deadline is None:
+            return None
+        return started + deadline / 1000.0
+
     @staticmethod
     def _group_by_owner(identifiers, partition_map) -> dict[str, list[int]]:
         grouped: dict[str, list[int]] = {}
         for identifier in identifiers:
-            addr = partition_map.owner(identifier)
-            if addr is None:
+            pid = partition_map.owner(identifier)
+            if pid is None:
                 continue
-            grouped.setdefault(addr, []).append(identifier)
+            grouped.setdefault(pid, []).append(identifier)
         return grouped
+
+    @staticmethod
+    def _rows_to_records(rows) -> tuple[UploadRecord, ...]:
+        records = []
+        for row in rows:
+            records.append(
+                UploadRecord(
+                    identifier=row[0],
+                    payload=row[1],
+                    content=row[2],
+                    tag=row[3] if len(row) > 3 else b"",
+                    mtag=row[4] if len(row) > 4 else b"",
+                )
+            )
+        return tuple(records)
+
+    # ------------------------------------------------------------------
+    # Replica liveness, load, and failover
+    # ------------------------------------------------------------------
+    def _mark_down(self, addr: str) -> None:
+        with self._state_lock:
+            self._down.add(addr)
+
+    def _mark_up(self, addr: str) -> None:
+        with self._state_lock:
+            self._down.discard(addr)
+
+    def _note_failure(self, addr: str, exc: BaseException) -> None:
+        """Downgrade a replica after a transport-level failure.
+
+        Protocol-level errors (a malformed token fails the same way
+        everywhere) leave liveness alone.
+        """
+        if isinstance(exc, (ServiceConnectionError, DeadlineExceededError)):
+            self._mark_down(addr)
+
+    def _replica_order(self, pid: str) -> list[str]:
+        """Replicas of *pid* able to serve a read, best first.
+
+        Dirty replicas (mid-resync) never serve; live replicas come
+        before down-marked ones (kept as a last resort — the mark may be
+        stale), least in-flight load first.
+        """
+        with self._state_lock:
+            down = set(self._down)
+            loads = dict(self._loads)
+            clean = [
+                addr
+                for addr in self.partition_map.replicas(pid)
+                if not self.partition_map.stale.get(addr)
+            ]
+        live = sorted(
+            (a for a in clean if a not in down),
+            key=lambda a: (loads.get(a, 0), a),
+        )
+        suspect = sorted(
+            (a for a in clean if a in down),
+            key=lambda a: (loads.get(a, 0), a),
+        )
+        return live + suspect
+
+    def _with_failover(self, pid: str, attempt, deadline_at):
+        """Try *attempt* on each serviceable replica of *pid* in turn.
+
+        Runs in a fan-out pool thread.  ``attempt(client, addr,
+        budget_ms)`` is called with the remaining deadline split across
+        the untried replicas, so a stalled first replica cannot eat a
+        sibling's chance to answer inside the caller's original budget.
+        Never raises shard errors: returns ``(addr, result, reports)``
+        where ``addr`` and ``result`` are ``None`` if every replica
+        failed, and *reports* lists one entry per failed or skipped
+        attempt.
+        """
+        order = self._replica_order(pid)
+        reports: list[dict] = []
+        if not order:
+            for addr in self.partition_map.replicas(pid):
+                reports.append(
+                    {
+                        "addr": addr,
+                        "partition": pid,
+                        "ok": False,
+                        "error": "replica awaiting re-replication",
+                    }
+                )
+            return None, None, reports
+        for index, addr in enumerate(order):
+            budget = None
+            if deadline_at is not None:
+                remaining = (deadline_at - time.perf_counter()) * 1000.0
+                budget = max(remaining / (len(order) - index), 1.0)
+            with self._state_lock:
+                self._loads[addr] = self._loads.get(addr, 0) + 1
+            try:
+                result = attempt(self._client(self._by_addr[addr]), addr, budget)
+            except ReproError as exc:
+                reports.append(
+                    {
+                        "addr": addr,
+                        "partition": pid,
+                        "ok": False,
+                        "error": str(exc),
+                    }
+                )
+                self._note_failure(addr, exc)
+                continue
+            finally:
+                with self._state_lock:
+                    self._loads[addr] -= 1
+            self._mark_up(addr)
+            return addr, result, reports
+        return None, None, reports
+
+    def _write_targets(self, pids):
+        """Split each partition's replicas into write targets and skips.
+
+        Down or dirty replicas are skipped (and later marked dirty by
+        the caller so repair copies the write); everyone else gets the
+        fan-out.  Returns ``(targets, skipped)`` where targets is a list
+        of ``(pid, addr)`` and skipped maps pid → [addr].
+        """
+        targets: list[tuple[str, str]] = []
+        skipped: dict[str, list[str]] = {}
+        with self._state_lock:
+            down = set(self._down)
+        for pid in pids:
+            for addr in self.partition_map.replicas(pid):
+                if addr in down or self.partition_map.stale.get(addr):
+                    skipped.setdefault(pid, []).append(addr)
+                else:
+                    targets.append((pid, addr))
+        return targets, skipped
 
     # ------------------------------------------------------------------
     # Verb handlers
@@ -429,56 +975,94 @@ class Coordinator(FramedServer):
             "delete": self._do_delete,
             "health": self._do_health,
             "stats": self._do_stats,
+            "cluster": self._do_cluster,
         }
+
+    def _partition_ids(self) -> list[str]:
+        return sorted(self.partition_map.partitions)
+
+    def _lost_shards_error(
+        self, verb: str, lost, reports, partial_identifiers=(), suffix=""
+    ) -> ShardUnavailableError:
+        """The typed partial-failure error for partitions with no usable
+        replica left — the only case that still surfaces
+        ``SHARD_UNAVAILABLE`` under replication."""
+        addrs = sorted(
+            {
+                addr
+                for pid in lost
+                for addr in self.partition_map.replicas(pid)
+            }
+        )
+        return ShardUnavailableError(
+            f"{verb} lost shard(s) {', '.join(addrs)}{suffix}",
+            partial_identifiers=tuple(partial_identifiers),
+            shards=tuple(reports),
+        )
 
     async def _do_search(self, request: protocol.Request) -> dict:
         message = protocol.search_from_fields(request.fields)
         verify = protocol.search_wants_verify(request.fields)
         started = time.perf_counter()
-        budget = self._remaining_ms(request, started)
+        deadline_at = self._deadline_at(request, started)
+        pids = self._partition_ids()
 
-        def ask(spec: ShardSpec):
-            client = self._client(spec)
-            if verify:
-                return client.search_verified(
-                    message.payload, deadline_ms=budget
-                )
-            return client.search(message.payload, deadline_ms=budget)
+        def ask(pid: str):
+            def attempt(client, addr, budget_ms):
+                if verify:
+                    return client.search_verified(
+                        message.payload, deadline_ms=budget_ms
+                    )
+                return client.search(message.payload, deadline_ms=budget_ms)
 
-        outcomes = await self._fan_out(self.shards, ask)
+            return self._with_failover(pid, attempt, deadline_at)
+
+        outcomes = await self._fan_out(pids, ask)
         merged: set[int] = set()
         reports: list[dict] = []
-        failures: list[str] = []
+        lost: list[str] = []
         records_scanned = 0
         sub_token_evaluations = 0
         elapsed_ms = 0.0
         partitions: list[float] = []
         integrity_matches: list[list] = []
         integrity_shards: list[dict] = []
-        for spec, outcome in outcomes:
+        for pid, outcome in outcomes:
             if isinstance(outcome, BaseException):
-                reports.append(
-                    {"addr": spec.addr, "ok": False, "error": str(outcome)}
-                )
-                failures.append(spec.addr)
+                for addr in self.partition_map.replicas(pid):
+                    reports.append(
+                        {
+                            "addr": addr,
+                            "partition": pid,
+                            "ok": False,
+                            "error": str(outcome),
+                        }
+                    )
+                lost.append(pid)
+                continue
+            addr, result, attempt_reports = outcome
+            reports.extend(attempt_reports)
+            if addr is None:
+                lost.append(pid)
                 continue
             if verify:
-                response, stats, section = outcome
+                response, stats, section = result
                 # Matches gain a fourth element — an index into the
                 # merged shard-proof list — so the verifier can pair
-                # each match with the shard that attested it.
+                # each match with the replica that attested it.
                 index = len(integrity_shards)
                 for entry in section["matches"]:
                     integrity_matches.append([*entry[:3], index])
                 proof = dict(section["shards"][0])
-                proof["addr"] = spec.addr
+                proof["addr"] = addr
                 integrity_shards.append(proof)
             else:
-                response, stats = outcome
+                response, stats = result
             merged.update(response.identifiers)
             reports.append(
                 {
-                    "addr": spec.addr,
+                    "addr": addr,
+                    "partition": pid,
                     "ok": True,
                     "records": len(response.identifiers),
                     "stats": stats,
@@ -493,13 +1077,16 @@ class Coordinator(FramedServer):
             if isinstance(shard_partitions, list):
                 partitions.extend(float(ms) for ms in shard_partitions)
         identifiers = sorted(merged)
-        if failures:
-            raise ShardUnavailableError(
-                f"search lost shard(s) {', '.join(failures)}; partial "
-                f"results cover {len(self.shards) - len(failures)} of "
-                f"{len(self.shards)} shards",
-                partial_identifiers=tuple(identifiers),
-                shards=tuple(reports),
+        if lost:
+            raise self._lost_shards_error(
+                "search",
+                lost,
+                reports,
+                partial_identifiers=identifiers,
+                suffix=(
+                    f"; partial results cover {len(pids) - len(lost)} of "
+                    f"{len(pids)} shards"
+                ),
             )
         fields = {
             "identifiers": identifiers,
@@ -523,14 +1110,16 @@ class Coordinator(FramedServer):
     async def _do_search_batch(self, request: protocol.Request) -> dict:
         payloads = protocol.search_batch_from_fields(request.fields)
         started = time.perf_counter()
-        budget = self._remaining_ms(request, started)
+        deadline_at = self._deadline_at(request, started)
+        pids = self._partition_ids()
 
-        def ask(spec: ShardSpec):
-            return self._client(spec).search_batch(
-                payloads, deadline_ms=budget
-            )
+        def ask(pid: str):
+            def attempt(client, addr, budget_ms):
+                return client.search_batch(payloads, deadline_ms=budget_ms)
 
-        outcomes = await self._fan_out(self.shards, ask)
+            return self._with_failover(pid, attempt, deadline_at)
+
+        outcomes = await self._fan_out(pids, ask)
         merged: list[set[int]] = [set() for _ in payloads]
         aggregates: list[dict] = [
             {
@@ -542,16 +1131,27 @@ class Coordinator(FramedServer):
             for _ in payloads
         ]
         reports: list[dict] = []
-        failures: list[str] = []
-        for spec, outcome in outcomes:
+        lost: list[str] = []
+        for pid, outcome in outcomes:
             if isinstance(outcome, BaseException):
-                reports.append(
-                    {"addr": spec.addr, "ok": False, "error": str(outcome)}
-                )
-                failures.append(spec.addr)
+                for addr in self.partition_map.replicas(pid):
+                    reports.append(
+                        {
+                            "addr": addr,
+                            "partition": pid,
+                            "ok": False,
+                            "error": str(outcome),
+                        }
+                    )
+                lost.append(pid)
+                continue
+            addr, result, attempt_reports = outcome
+            reports.extend(attempt_reports)
+            if addr is None:
+                lost.append(pid)
                 continue
             matched = 0
-            for index, (response, stats) in enumerate(outcome):
+            for index, (response, stats) in enumerate(result):
                 merged[index].update(response.identifiers)
                 matched += len(response.identifiers)
                 aggregate = aggregates[index]
@@ -571,19 +1171,21 @@ class Coordinator(FramedServer):
                         float(ms) for ms in shard_partitions
                     )
             reports.append(
-                {"addr": spec.addr, "ok": True, "records": matched}
+                {"addr": addr, "partition": pid, "ok": True, "records": matched}
             )
-        if failures:
+        if lost:
             partial: set[int] = set()
             for matches in merged:
                 partial.update(matches)
-            raise ShardUnavailableError(
-                f"batch search lost shard(s) {', '.join(failures)}; "
-                f"partial results cover "
-                f"{len(self.shards) - len(failures)} of "
-                f"{len(self.shards)} shards",
-                partial_identifiers=tuple(sorted(partial)),
-                shards=tuple(reports),
+            raise self._lost_shards_error(
+                "batch search",
+                lost,
+                reports,
+                partial_identifiers=sorted(partial),
+                suffix=(
+                    f"; partial results cover {len(pids) - len(lost)} of "
+                    f"{len(pids)} shards"
+                ),
             )
         results = []
         for index, matches in enumerate(merged):
@@ -598,7 +1200,7 @@ class Coordinator(FramedServer):
 
     async def _do_upload(self, request: protocol.Request) -> dict:
         message = protocol.upload_from_fields(request.fields)
-        budget = self._remaining_ms(request, time.perf_counter())
+        budget = self._write_budget_ms(request)
         # Duplicate checks mirror the single server: within the batch and
         # against everything already assigned anywhere in the cluster.
         seen = set(self.partition_map.assignments)
@@ -608,55 +1210,90 @@ class Coordinator(FramedServer):
                     f"duplicate record identifier {record.identifier}"
                 )
             seen.add(record.identifier)
-        # Assign each record to the currently least-loaded shard, counting
-        # this batch's own assignments so one big upload spreads evenly.
-        counts = self.partition_map.counts()
-        per_shard: dict[str, list[UploadRecord]] = {}
+        # Assign each record to the currently least-loaded partition,
+        # counting this batch's own assignments so one big upload spreads
+        # evenly; the sub-batch then fans out to every live replica.
+        counts = self.partition_map.partition_counts()
+        per_partition: dict[str, list[UploadRecord]] = {}
         for record in message.records:
-            addr = min(
-                (s.addr for s in self.shards), key=lambda a: (counts[a], a)
-            )
-            counts[addr] += 1
-            per_shard.setdefault(addr, []).append(record)
+            pid = min(counts, key=lambda p: (counts[p], p))
+            counts[pid] += 1
+            per_partition.setdefault(pid, []).append(record)
+        targets, skipped = self._write_targets(sorted(per_partition))
 
-        def push(spec: ShardSpec):
-            batch = per_shard.get(spec.addr)
-            if not batch:
-                return None
-            return self._client(spec).upload(
-                UploadDataset(records=tuple(batch)), deadline_ms=budget
+        def push(target):
+            pid, addr = target
+            return self._client(self._by_addr[addr]).upload(
+                UploadDataset(records=tuple(per_partition[pid])),
+                deadline_ms=budget,
             )
 
-        targets = [s for s in self.shards if per_shard.get(s.addr)]
         outcomes = await self._fan_out(targets, push)
+        acked: dict[str, list[str]] = {}
+        failed: dict[str, list[str]] = {}
         reports: list[dict] = []
-        failures: list[str] = []
-        stored_ids: list[int] = []
-        for spec, outcome in outcomes:
+        for (pid, addr), outcome in outcomes:
             if isinstance(outcome, BaseException):
                 reports.append(
-                    {"addr": spec.addr, "ok": False, "error": str(outcome)}
+                    {
+                        "addr": addr,
+                        "partition": pid,
+                        "ok": False,
+                        "error": str(outcome),
+                    }
                 )
-                failures.append(spec.addr)
+                failed.setdefault(pid, []).append(addr)
+                self._note_failure(addr, outcome)
                 continue
-            acked = per_shard[spec.addr]
-            for record in acked:
-                self.partition_map.assignments[record.identifier] = spec.addr
-                stored_ids.append(record.identifier)
             reports.append(
-                {"addr": spec.addr, "ok": True, "stored": len(acked)}
+                {
+                    "addr": addr,
+                    "partition": pid,
+                    "ok": True,
+                    "stored": len(per_partition[pid]),
+                }
             )
+            acked.setdefault(pid, []).append(addr)
+        stored_ids: list[int] = []
+        lost: list[str] = []
+        with self._state_lock:
+            for pid, batch in sorted(per_partition.items()):
+                ids = [record.identifier for record in batch]
+                if not acked.get(pid):
+                    lost.append(pid)
+                    for addr in skipped.get(pid, []):
+                        reports.append(
+                            {
+                                "addr": addr,
+                                "partition": pid,
+                                "ok": False,
+                                "error": "replica down or awaiting "
+                                "re-replication",
+                            }
+                        )
+                    continue
+                for identifier in ids:
+                    self.partition_map.assignments[identifier] = pid
+                stored_ids.extend(ids)
+                # Replicas that missed the write owe a resync before
+                # they may serve reads again.
+                for addr in failed.get(pid, []) + skipped.get(pid, []):
+                    self.partition_map.mark_dirty(addr, ids)
         # Persist exactly what was acked — a crash right here leaves a map
-        # describing records the shards really hold, nothing more.  The
-        # fsync must not stall concurrent searches, so it runs off-loop.
+        # describing records at least one replica really holds (including
+        # which siblings still owe the copy).  The fsync must not stall
+        # concurrent searches, so it runs off-loop.
         await self._offload(self._persist_map)
-        if failures:
-            raise ShardUnavailableError(
-                f"upload lost shard(s) {', '.join(failures)}; "
-                f"{len(stored_ids)} of {len(message.records)} records "
-                "were stored",
-                partial_identifiers=tuple(sorted(stored_ids)),
-                shards=tuple(reports),
+        if lost:
+            raise self._lost_shards_error(
+                "upload",
+                lost,
+                reports,
+                partial_identifiers=sorted(stored_ids),
+                suffix=(
+                    f"; {len(stored_ids)} of {len(message.records)} "
+                    "records were stored"
+                ),
             )
         return {
             "stored": self.partition_map.record_count,
@@ -665,38 +1302,58 @@ class Coordinator(FramedServer):
 
     async def _do_delete(self, request: protocol.Request) -> dict:
         message = protocol.delete_from_fields(request.fields)
-        budget = self._remaining_ms(request, time.perf_counter())
+        budget = self._write_budget_ms(request)
         grouped = self._group_by_owner(message.identifiers, self.partition_map)
-        specs = [self._by_addr[addr] for addr in sorted(grouped)]
+        targets, skipped = self._write_targets(sorted(grouped))
 
-        def drop(spec: ShardSpec):
-            return self._client(spec).delete(
-                tuple(grouped[spec.addr]), deadline_ms=budget
+        def drop(target):
+            pid, addr = target
+            return self._client(self._by_addr[addr]).delete(
+                tuple(grouped[pid]), deadline_ms=budget
             )
 
-        outcomes = await self._fan_out(specs, drop)
+        outcomes = await self._fan_out(targets, drop)
+        acked: dict[str, list[int]] = {}
+        failed: dict[str, list[str]] = {}
         reports: list[dict] = []
-        failures: list[str] = []
-        removed = 0
-        for spec, outcome in outcomes:
+        for (pid, addr), outcome in outcomes:
             if isinstance(outcome, BaseException):
                 reports.append(
-                    {"addr": spec.addr, "ok": False, "error": str(outcome)}
+                    {
+                        "addr": addr,
+                        "partition": pid,
+                        "ok": False,
+                        "error": str(outcome),
+                    }
                 )
-                failures.append(spec.addr)
+                failed.setdefault(pid, []).append(addr)
+                self._note_failure(addr, outcome)
                 continue
-            for identifier in grouped[spec.addr]:
-                self.partition_map.assignments.pop(identifier, None)
-            removed += outcome
             reports.append(
-                {"addr": spec.addr, "ok": True, "removed": outcome}
+                {
+                    "addr": addr,
+                    "partition": pid,
+                    "ok": True,
+                    "removed": outcome,
+                }
             )
+            acked.setdefault(pid, []).append(outcome)
+        removed = 0
+        lost: list[str] = []
+        with self._state_lock:
+            for pid in sorted(grouped):
+                ids = grouped[pid]
+                if not acked.get(pid):
+                    lost.append(pid)
+                    continue
+                removed += max(acked[pid])
+                for identifier in ids:
+                    self.partition_map.assignments.pop(identifier, None)
+                for addr in failed.get(pid, []) + skipped.get(pid, []):
+                    self.partition_map.mark_dirty(addr, ids)
         await self._offload(self._persist_map)
-        if failures:
-            raise ShardUnavailableError(
-                f"delete lost shard(s) {', '.join(failures)}",
-                shards=tuple(reports),
-            )
+        if lost:
+            raise self._lost_shards_error("delete", lost, reports)
         return {
             "removed": removed,
             **protocol.shard_reports_fields(reports),
@@ -704,7 +1361,8 @@ class Coordinator(FramedServer):
 
     async def _do_fetch(self, request: protocol.Request) -> dict:
         message = protocol.fetch_from_fields(request.fields)
-        budget = self._remaining_ms(request, time.perf_counter())
+        started = time.perf_counter()
+        deadline_at = self._deadline_at(request, started)
         wants_payloads = protocol.fetch_wants_payloads(request.fields)
         for identifier in message.identifiers:
             if self.partition_map.owner(identifier) is None:
@@ -712,44 +1370,42 @@ class Coordinator(FramedServer):
                     f"no stored content for identifier {identifier}"
                 )
         grouped = self._group_by_owner(message.identifiers, self.partition_map)
-        specs = [self._by_addr[addr] for addr in sorted(grouped)]
 
-        def pull(spec: ShardSpec):
-            client = self._client(spec)
-            wanted = tuple(grouped[spec.addr])
-            if wants_payloads:
-                return client.export(wanted, deadline_ms=budget)
-            return client.fetch(wanted, deadline_ms=budget)
+        def pull(pid: str):
+            wanted = tuple(grouped[pid])
 
-        outcomes = await self._fan_out(specs, pull)
-        failures = [
-            spec.addr
-            for spec, outcome in outcomes
-            if isinstance(outcome, BaseException)
-        ]
-        if failures:
-            raise ShardUnavailableError(
-                f"fetch lost shard(s) {', '.join(failures)}",
-                shards=tuple(
-                    {
-                        "addr": spec.addr,
-                        "ok": not isinstance(outcome, BaseException),
-                    }
-                    for spec, outcome in outcomes
-                ),
-            )
+            def attempt(client, addr, budget_ms):
+                if wants_payloads:
+                    return client.export(wanted, deadline_ms=budget_ms)
+                return client.fetch(wanted, deadline_ms=budget_ms)
+
+            return self._with_failover(pid, attempt, deadline_at)
+
+        outcomes = await self._fan_out(sorted(grouped), pull)
+        lost: list[str] = []
+        reports: list[dict] = []
+        results = []
+        for pid, outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                lost.append(pid)
+                continue
+            addr, result, attempt_reports = outcome
+            reports.extend(attempt_reports)
+            if addr is None:
+                lost.append(pid)
+                continue
+            reports.append({"addr": addr, "partition": pid, "ok": True})
+            results.append(result)
+        if lost:
+            raise self._lost_shards_error("fetch", lost, reports)
         if wants_payloads:
-            by_id = {
-                row[0]: row
-                for _, outcome in outcomes
-                for row in outcome
-            }
+            by_id = {row[0]: row for rows in results for row in rows}
             return protocol.export_rows_fields(
                 [by_id[i] for i in message.identifiers]
             )
         contents: dict[int, bytes] = {}
-        for _, outcome in outcomes:
-            contents.update(outcome)
+        for result in results:
+            contents.update(result)
         return protocol.fetch_response_fields(
             FetchResponse(
                 contents=tuple(
@@ -759,7 +1415,7 @@ class Coordinator(FramedServer):
         )
 
     async def _do_health(self, request: protocol.Request) -> dict:
-        budget = self._remaining_ms(request, time.perf_counter())
+        budget = self._probe_budget_ms(request)
 
         def probe(spec: ShardSpec):
             return self._client(spec).health(deadline_ms=budget)
@@ -767,16 +1423,28 @@ class Coordinator(FramedServer):
         outcomes = await self._fan_out(self.shards, probe)
         reports: list[dict] = []
         healthy = 0
+        healthy_pids: set[str] = set()
         for spec, outcome in outcomes:
+            pid = self.partition_map.partition_of(spec.addr) or ""
             if isinstance(outcome, BaseException):
+                self._note_failure(spec.addr, outcome)
                 reports.append(
-                    {"addr": spec.addr, "ok": False, "error": str(outcome)}
+                    {
+                        "addr": spec.addr,
+                        "partition": pid,
+                        "ok": False,
+                        "error": str(outcome),
+                    }
                 )
                 continue
+            self._mark_up(spec.addr)
             healthy += 1
+            if not self.partition_map.stale.get(spec.addr):
+                healthy_pids.add(pid)
             reports.append(
                 {
                     "addr": spec.addr,
+                    "partition": pid,
                     "ok": True,
                     "status": str(outcome.get("status", "")),
                     "records": int(outcome.get("records", 0)),
@@ -788,11 +1456,14 @@ class Coordinator(FramedServer):
             "records": self.partition_map.record_count,
             "shards_healthy": healthy,
             "shards_total": len(self.shards),
+            "replication": self.replication,
+            "partitions_available": len(healthy_pids),
+            "partitions_total": len(self.partition_map.partitions),
             **protocol.shard_reports_fields(reports),
         }
 
     async def _do_stats(self, request: protocol.Request) -> dict:
-        budget = self._remaining_ms(request, time.perf_counter())
+        budget = self._probe_budget_ms(request)
 
         def probe(spec: ShardSpec):
             return self._client(spec).stats(deadline_ms=budget)
@@ -800,19 +1471,48 @@ class Coordinator(FramedServer):
         outcomes = await self._fan_out(self.shards, probe)
         reports = []
         for spec, outcome in outcomes:
+            pid = self.partition_map.partition_of(spec.addr) or ""
             if isinstance(outcome, BaseException):
+                # Degrade, never raise: a shard dying mid-scrape turns
+                # into an explicit per-shard marker, and the aggregate
+                # below covers whoever still answered.
+                self._note_failure(spec.addr, outcome)
                 reports.append(
-                    {"addr": spec.addr, "ok": False, "error": str(outcome)}
+                    {
+                        "addr": spec.addr,
+                        "partition": pid,
+                        "ok": False,
+                        "unreachable": True,
+                        "error": str(outcome),
+                    }
                 )
             else:
                 reports.append(
-                    {"addr": spec.addr, "ok": True, "stats": outcome}
+                    {
+                        "addr": spec.addr,
+                        "partition": pid,
+                        "ok": True,
+                        "stats": outcome,
+                    }
                 )
         snapshot = self.metrics.snapshot()
         snapshot["records"] = self.partition_map.record_count
         snapshot.update(self._saturation_fields())
+        with self._state_lock:
+            down = sorted(self._down)
+            stale = {
+                addr: len(ids)
+                for addr, ids in sorted(self.partition_map.stale.items())
+                if ids
+            }
         snapshot["partition"] = {
             "counts": self.partition_map.counts(),
+            "partitions": self.partition_map.partition_counts(),
+        }
+        snapshot["replication"] = {
+            "factor": self.replication,
+            "down": down,
+            "stale": stale,
         }
         # Cluster-wide saturation: sum the reachable shards' own queue
         # gauges so one stats call shows where the fleet is loaded.
@@ -841,25 +1541,72 @@ class Coordinator(FramedServer):
         snapshot.update(protocol.shard_reports_fields(reports))
         return snapshot
 
-    @staticmethod
-    def _aggregate_integrity(reports) -> dict | None:
+    async def _do_cluster(self, request: protocol.Request) -> dict:
+        """Topology report: partitions, replicas, liveness, resync debt."""
+        with self._state_lock:
+            down = set(self._down)
+            stale = {
+                addr: len(ids)
+                for addr, ids in self.partition_map.stale.items()
+            }
+        counts = self.partition_map.partition_counts()
+        partitions = []
+        for pid in self._partition_ids():
+            partitions.append(
+                {
+                    "id": pid,
+                    "records": counts.get(pid, 0),
+                    "replicas": [
+                        {
+                            "addr": addr,
+                            "down": addr in down,
+                            "stale": stale.get(addr, 0),
+                        }
+                        for addr in self.partition_map.replicas(pid)
+                    ],
+                }
+            )
+        return {
+            "replication": self.replication,
+            "records": self.partition_map.record_count,
+            "shards_total": len(self.shards),
+            "partitions": partitions,
+        }
+
+    def _aggregate_integrity(self, reports) -> dict | None:
         """Fold per-shard integrity stats into one cluster-wide view.
 
-        Tag and record counts sum, accumulator roots XOR together (the
-        same aggregation the client's verifier applies to per-shard
-        proofs), and the cluster is *complete* only if every shard is.
-        Returns ``None`` when no reachable shard reported integrity
-        state (pre-integrity shards, or every probe failed).
+        Exactly one replica represents each partition (replicas hold
+        identical accumulators, and XOR-folding a root twice would
+        cancel it); clean replicas are preferred over dirty ones.  Tag
+        and record counts sum across partitions, accumulator roots XOR
+        together (the same aggregation the client's verifier applies to
+        per-shard proofs), and the cluster is *complete* only if every
+        partition reported and every section is complete.  Returns
+        ``None`` when no reachable shard reported integrity state
+        (pre-integrity shards, or every probe failed).
         """
-        sections = [
-            report["stats"]["integrity"]
-            for report in reports
-            if report.get("ok")
-            and isinstance(report.get("stats"), dict)
-            and isinstance(report["stats"].get("integrity"), dict)
-        ]
-        if not sections:
+        candidates = []
+        for report in reports:
+            if (
+                not report.get("ok")
+                or not isinstance(report.get("stats"), dict)
+                or not isinstance(report["stats"].get("integrity"), dict)
+            ):
+                continue
+            addr = report.get("addr", "")
+            dirty = bool(self.partition_map.stale.get(addr))
+            pid = report.get("partition") or addr
+            candidates.append((dirty, pid, report["stats"]["integrity"]))
+        if not candidates:
             return None
+        chosen: dict[str, dict] = {}
+        for dirty, pid, section in sorted(
+            candidates, key=lambda entry: entry[0]
+        ):
+            if pid not in chosen:
+                chosen[pid] = section
+        sections = list(chosen.values())
         root = EMPTY_ROOT
         for section in sections:
             try:
@@ -882,7 +1629,8 @@ class Coordinator(FramedServer):
             ),
             "complete": all(
                 bool(section.get("complete")) for section in sections
-            ),
+            )
+            and len(sections) == len(self.partition_map.partitions),
             "root": root.hex(),
             "version": sum(
                 int(section.get("version", 0)) for section in sections
@@ -892,113 +1640,270 @@ class Coordinator(FramedServer):
         }
 
     # ------------------------------------------------------------------
+    # Re-replication (repair) and divergence detection
+    # ------------------------------------------------------------------
+    def repair(self) -> dict[str, int]:
+        """Re-replicate: bring every dirty replica back in sync.
+
+        For each replica owing a resync, the dirty rows still assigned
+        to its partition are exported from a clean sibling (the
+        payload-bearing fetch), the replica's stale copies are deleted
+        (covering both missed deletes and superseded writes), the fresh
+        rows are uploaded, and only then is the mark cleared and the map
+        persisted.  An unreachable replica or sibling leaves the marks
+        in place — repair is idempotent and retried by the background
+        loop or the next explicit call.
+
+        Returns:
+            ``{addr: records_resynced}`` for each replica healed.
+        """
+        with self._state_lock:
+            todo = {
+                addr: set(ids)
+                for addr, ids in self.partition_map.stale.items()
+                if ids
+            }
+        healed: dict[str, int] = {}
+        for addr in sorted(todo):
+            pid = self.partition_map.partition_of(addr)
+            if pid is None:
+                with self._state_lock:
+                    self.partition_map.clear_dirty(addr, todo[addr])
+                continue
+            dirty = todo[addr]
+            canonical = sorted(
+                i
+                for i in dirty
+                if self.partition_map.assignments.get(i) == pid
+            )
+            rows = ()
+            if canonical:
+                rows = None
+                for source in self._replica_order(pid):
+                    if source == addr:
+                        continue
+                    try:
+                        rows = self._client(self._by_addr[source]).export(
+                            tuple(canonical)
+                        )
+                        break
+                    except ReproError as exc:
+                        self._note_failure(source, exc)
+                if rows is None:
+                    continue
+            target = self._client(self._by_addr[addr])
+            try:
+                target.delete(tuple(sorted(dirty)))
+                if rows:
+                    target.upload(
+                        UploadDataset(records=self._rows_to_records(rows))
+                    )
+            except ReproError as exc:
+                self._note_failure(addr, exc)
+                continue
+            with self._state_lock:
+                self.partition_map.clear_dirty(addr, dirty)
+            self._mark_up(addr)
+            self._persist_map()
+            healed[addr] = len(dirty)
+        return healed
+
+    def audit_replicas(self) -> dict[str, int]:
+        """Cross-check replica record counts against the map.
+
+        A replica that acked a write and then lost it (killed before its
+        commit reached disk, restarted from an older store) diverges
+        silently — the map says it holds rows it does not.  Probing each
+        replica's health ``records`` count against the partition's
+        canonical count catches that restart-level divergence; a
+        mismatched replica is marked dirty with the full canonical id
+        set so :meth:`repair` rebuilds it from a clean sibling.  (Rows a
+        replica holds that the map never knew about are outside the
+        audit's reach — it compares counts, not contents.)
+
+        Returns:
+            ``{addr: count_delta}`` for each replica flagged.
+        """
+        flagged: dict[str, int] = {}
+        for pid in self._partition_ids():
+            canonical = self.partition_map.ids_in(pid)
+            for addr in self.partition_map.replicas(pid):
+                with self._state_lock:
+                    already_dirty = bool(self.partition_map.stale.get(addr))
+                if already_dirty:
+                    continue
+                try:
+                    reply = self._client(self._by_addr[addr]).health()
+                except ReproError as exc:
+                    self._note_failure(addr, exc)
+                    continue
+                held = int(reply.get("records", 0))
+                if held != len(canonical):
+                    with self._state_lock:
+                        self.partition_map.mark_dirty(addr, canonical)
+                        if not canonical:
+                            # Nothing canonical to copy, but the replica
+                            # holds rows the map does not know: it still
+                            # must not serve until an operator resolves
+                            # the divergence.
+                            self._down.add(addr)
+                    flagged[addr] = held - len(canonical)
+        if flagged:
+            self._persist_map()
+        return flagged
+
+    # ------------------------------------------------------------------
     # Membership (offline — run before serving)
     # ------------------------------------------------------------------
     def reconcile_membership(self) -> dict[str, int]:
-        """Migrate records off shards that left the configured set.
+        """Migrate records off partitions that left the configured set.
 
         Called offline (the CLI runs it before binding the listen port)
-        when the persisted map names shards the operator no longer
-        configured.  Every record on a departed-but-reachable shard is
-        exported (payload-bearing fetch), re-uploaded to the least-loaded
-        surviving shard, deleted from the donor, and the map is persisted
-        after each batch — so a crash mid-migration loses nothing: the
-        record is either still on the donor (map unchanged) or acked by
-        the receiver (map updated).
+        when the persisted map holds partitions with no surviving
+        replica in the configured groups.  Every record on a departed
+        partition is exported from the first reachable replica
+        (payload-bearing fetch), re-uploaded to the least-loaded
+        configured partition (all replicas), deleted from the donors,
+        and the map is persisted after each partition — so a crash
+        mid-migration loses nothing: the record is either still on the
+        donor (map unchanged) or acked by a receiving replica (map
+        updated).
 
         Returns:
-            ``{donor_addr: records_moved}`` for each departed shard.
+            ``{donor_partition: records_moved}`` for each departed
+            partition.
 
         Raises:
-            ShardUnavailableError: If a departed shard is unreachable (its
-                records cannot be recovered by the coordinator alone).
+            ShardUnavailableError: If every replica of a departed
+                partition is unreachable (its records cannot be
+                recovered by the coordinator alone).
         """
-        configured = {s.addr for s in self.shards}
         departed = sorted(
-            {
-                addr
-                for addr in self.partition_map.assignments.values()
-                if addr not in configured
-            }
+            pid
+            for pid in self.partition_map.partitions
+            if pid not in self._configured
         )
         moved: dict[str, int] = {}
-        for donor_addr in departed:
-            donor = ShardSpec.parse(donor_addr)
-            doomed = self.partition_map.ids_on(donor_addr)
-            try:
-                rows = self._client(donor).export(doomed)
-            except ReproError as exc:
+        for pid in departed:
+            doomed = self.partition_map.ids_in(pid)
+            replicas = self.partition_map.replicas(pid)
+            rows = None
+            last_error: ReproError | None = None
+            for addr in replicas:
+                try:
+                    rows = self._client(ShardSpec.parse(addr)).export(doomed)
+                    break
+                except ReproError as exc:
+                    last_error = exc
+            if rows is None:
                 raise ShardUnavailableError(
-                    f"departed shard {donor_addr} is unreachable; "
-                    f"{len(doomed)} records cannot be migrated: {exc}"
-                ) from exc
-            self._migrate_rows(rows, from_addr=donor_addr)
-            try:
-                self._client(donor).delete(doomed)
-            except ReproError:
-                # The receivers acked and the map is persisted; a stale
-                # copy on a shard that is leaving the cluster is garbage,
-                # not a correctness problem.
-                pass
-            moved[donor_addr] = len(doomed)
+                    f"departed partition {pid} ({', '.join(replicas)}) is "
+                    f"unreachable; {len(doomed)} records cannot be "
+                    f"migrated: {last_error}"
+                )
+            self._migrate_rows(rows)
+            for addr in replicas:
+                try:
+                    self._client(ShardSpec.parse(addr)).delete(doomed)
+                except ReproError:
+                    # The receivers acked and the map is persisted; a
+                    # stale copy on a shard that is leaving the cluster
+                    # is garbage, not a correctness problem.
+                    pass
+            self.partition_map.remove_partition(pid)
+            self._persist_map()
+            moved[pid] = len(doomed)
         return moved
 
     def rebalance(self, batch_size: int = 64) -> int:
-        """Even out record counts after shards were added.
+        """Even out record counts after partitions were added.
 
-        Moves records from the most- to the least-loaded shard in batches
-        (export → upload → delete → persist map) until no shard is more
-        than one record above the mean.  Each batch is crash-safe in the
-        same way as :meth:`reconcile_membership`.
+        Moves records from the most- to the least-loaded partition in
+        batches (export → replicated upload → delete → persist map)
+        until no partition is more than one record above the mean.  Each
+        batch is crash-safe in the same way as
+        :meth:`reconcile_membership`.
 
         Returns:
             Total records moved.
         """
         moved = 0
         while True:
-            counts = self.partition_map.counts()
-            donor_addr = max(counts, key=lambda a: (counts[a], a))
-            receiver_addr = min(counts, key=lambda a: (counts[a], a))
-            if counts[donor_addr] - counts[receiver_addr] <= 1:
+            counts = self.partition_map.partition_counts()
+            donor = max(counts, key=lambda p: (counts[p], p))
+            receiver = min(counts, key=lambda p: (counts[p], p))
+            if counts[donor] - counts[receiver] <= 1:
                 return moved
-            surplus = counts[donor_addr] - (
-                self.partition_map.record_count // len(self.shards)
+            surplus = counts[donor] - (
+                self.partition_map.record_count
+                // len(self.partition_map.partitions)
             )
-            chunk = self.partition_map.ids_on(donor_addr)[
+            chunk = self.partition_map.ids_in(donor)[
                 : max(1, min(batch_size, surplus))
             ]
-            rows = self._client(self._by_addr[donor_addr]).export(chunk)
-            self._migrate_rows(
-                rows, from_addr=donor_addr, to_addr=receiver_addr
-            )
-            self._client(self._by_addr[donor_addr]).delete(chunk)
+            rows = None
+            for source in self._replica_order(donor):
+                try:
+                    rows = self._client(self._by_addr[source]).export(chunk)
+                    break
+                except ReproError as exc:
+                    self._note_failure(source, exc)
+            if rows is None:
+                raise ShardUnavailableError(
+                    f"partition {donor} has no reachable replica to "
+                    "rebalance from"
+                )
+            self._migrate_rows(rows, to_pid=receiver)
+            for addr in self.partition_map.replicas(donor):
+                try:
+                    self._client(self._by_addr[addr]).delete(chunk)
+                except ReproError as exc:
+                    self._note_failure(addr, exc)
+                    with self._state_lock:
+                        self.partition_map.mark_dirty(addr, chunk)
+            self._persist_map()
             moved += len(chunk)
 
-    def _migrate_rows(self, rows, from_addr: str, to_addr=None) -> None:
-        """Upload exported *rows* to surviving shards and persist the map."""
-        counts = self.partition_map.counts()
-        per_shard: dict[str, list[UploadRecord]] = {}
-        for row in rows:
-            identifier, payload, content = row[0], row[1], row[2]
-            tag = row[3] if len(row) > 3 else b""
-            mtag = row[4] if len(row) > 4 else b""
-            addr = to_addr or min(
-                (s.addr for s in self.shards), key=lambda a: (counts[a], a)
-            )
-            counts[addr] += 1
-            per_shard.setdefault(addr, []).append(
-                UploadRecord(
-                    identifier=identifier,
-                    payload=payload,
-                    content=content,
-                    tag=tag,
-                    mtag=mtag,
+    def _migrate_rows(self, rows, to_pid: str | None = None) -> None:
+        """Upload exported *rows* to configured partitions, all replicas.
+
+        Each receiving replica gets a delete-before-upload so a crashed
+        and re-run migration never trips the duplicate-identifier check;
+        a replica that misses the copy is marked dirty.  The map is
+        persisted once every batch found at least one ack.
+        """
+        counts = {
+            pid: count
+            for pid, count in self.partition_map.partition_counts().items()
+            if pid in self._configured
+        }
+        per_partition: dict[str, list[UploadRecord]] = {}
+        for record in self._rows_to_records(rows):
+            pid = to_pid or min(counts, key=lambda p: (counts[p], p))
+            counts[pid] += 1
+            per_partition.setdefault(pid, []).append(record)
+        for pid, batch in sorted(per_partition.items()):
+            ids = [record.identifier for record in batch]
+            acked = []
+            last_error: ReproError | None = None
+            for addr in self.partition_map.replicas(pid):
+                client = self._client(self._by_addr[addr])
+                try:
+                    client.delete(tuple(ids))
+                    client.upload(UploadDataset(records=tuple(batch)))
+                    acked.append(addr)
+                except ReproError as exc:
+                    last_error = exc
+                    self._note_failure(addr, exc)
+            if not acked:
+                raise ShardUnavailableError(
+                    f"partition {pid} unreachable during migration: "
+                    f"{last_error}"
                 )
-            )
-        for addr, batch in per_shard.items():
-            self._client(self._by_addr[addr]).upload(
-                UploadDataset(records=tuple(batch))
-            )
-            for record in batch:
-                self.partition_map.assignments[record.identifier] = addr
+            with self._state_lock:
+                for record in batch:
+                    self.partition_map.assignments[record.identifier] = pid
+                for addr in self.partition_map.replicas(pid):
+                    if addr not in acked:
+                        self.partition_map.mark_dirty(addr, ids)
         self._persist_map()

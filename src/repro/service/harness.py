@@ -18,9 +18,12 @@ copies of the start/stop dance.
 from __future__ import annotations
 
 import asyncio
+import tempfile
 import threading
+from dataclasses import replace as dataclass_replace
+from pathlib import Path
 
-__all__ = ["ServerThread"]
+__all__ = ["ReplicatedCluster", "ServerThread"]
 
 
 class ServerThread:
@@ -40,6 +43,15 @@ class ServerThread:
         try:
             self._loop.run_until_complete(self._main())
         finally:
+            try:
+                # Transport.close() only takes effect on a later loop
+                # iteration; without this flush an ungraceful stop
+                # leaves accepted sockets open in this process, and
+                # peers block in recv until their own timeout instead
+                # of seeing EOF.
+                self._loop.run_until_complete(asyncio.sleep(0))
+            except BaseException:
+                pass
             self._loop.close()
 
     async def _main(self) -> None:
@@ -84,4 +96,146 @@ class ServerThread:
 
     def __exit__(self, *exc_info) -> None:
         """Context-manager exit: stop with drain."""
+        self.stop()
+
+
+class ReplicatedCluster:
+    """An in-process replicated cluster: P partitions × R replicas behind
+    one coordinator.
+
+    The chaos suites and the kill-a-replica benchmark all need the same
+    dance: stand up ``partitions * replication`` backend servers, wire a
+    replication-aware :class:`~repro.service.coordinator.Coordinator`
+    over them, and later kill a replica mid-run or swap a dead one for a
+    fresh empty server and watch re-replication converge.  The map is
+    persisted into a (temporary, unless given) data directory so a
+    rebuilt coordinator adopts the surviving topology instead of
+    starting blank.
+
+    Args:
+        backend_factory: Zero-argument callable returning a fresh, not
+            yet started backend ``FramedServer`` (usually a
+            ``ServiceServer`` over the test's scheme) — called once per
+            replica, and again by :meth:`replace`.
+        partitions: Number of partitions.
+        replication: Replicas per partition.
+        coordinator_config: Base coordinator tunables; the replication
+            factor is always overridden with *replication*.
+        data_dir: Partition-map directory; a private temporary directory
+            is used (and cleaned up by :meth:`stop`) when omitted.
+    """
+
+    def __init__(
+        self,
+        backend_factory,
+        partitions: int = 2,
+        replication: int = 2,
+        coordinator_config=None,
+        data_dir=None,
+    ):
+        # Imported here, not at module top: the service package imports
+        # this module early, before the coordinator exists.
+        from repro.service.coordinator import Coordinator, CoordinatorConfig
+
+        self._coordinator_cls = Coordinator
+        base = coordinator_config or CoordinatorConfig()
+        self._coord_config = dataclass_replace(base, replication=replication)
+        self._backend_factory = backend_factory
+        self.partitions = partitions
+        self.replication = replication
+        self._tmp = None
+        if data_dir is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+            data_dir = self._tmp.name
+        self.data_dir = Path(data_dir)
+        self._order: list[str] = []
+        self._threads: dict[str, ServerThread] = {}
+        self._coord_thread: ServerThread | None = None
+        self.coordinator_port: int | None = None
+
+    @property
+    def coordinator(self):
+        """The live ``Coordinator`` instance (after :meth:`start`)."""
+        assert self._coord_thread is not None
+        return self._coord_thread.server
+
+    @property
+    def addrs(self) -> tuple[str, ...]:
+        """Replica addrs in partition-group order (R consecutive addrs
+        per partition)."""
+        return tuple(self._order)
+
+    def backend(self, addr: str):
+        """The in-process backend server at *addr* (its logs and record
+        store stay directly inspectable)."""
+        return self._threads[addr].server
+
+    def start(self) -> int:
+        """Start every backend plus the coordinator; return its port."""
+        for _ in range(self.partitions * self.replication):
+            thread = ServerThread(self._backend_factory())
+            port = thread.start()
+            addr = f"127.0.0.1:{port}"
+            self._order.append(addr)
+            self._threads[addr] = thread
+        return self._start_coordinator()
+
+    def _start_coordinator(self) -> int:
+        coordinator = self._coordinator_cls(
+            self._order, config=self._coord_config, data_dir=self.data_dir
+        )
+        if coordinator.needs_reconcile:
+            coordinator.reconcile_membership()
+        coordinator.repair()
+        self._coord_thread = ServerThread(coordinator)
+        self.coordinator_port = self._coord_thread.start()
+        return self.coordinator_port
+
+    def kill(self, addr: str) -> None:
+        """Take the backend at *addr* down ungracefully (no drain)."""
+        self._threads[addr].stop(drain=False)
+
+    def replace(self, addr: str) -> str:
+        """Swap the replica at *addr* for a fresh empty backend.
+
+        Kills the old backend if it is still up, starts a new one on a
+        new port, and rebuilds the coordinator over the updated shard
+        list: the persisted map is adopted, the newcomer is marked dirty
+        with the partition's canonical ids, and repair copies the rows
+        from a surviving sibling before the coordinator serves.  Returns
+        the new replica's addr.  The coordinator's port changes — dial
+        :attr:`coordinator_port` again.
+        """
+        old = self._threads.pop(addr)
+        old.stop(drain=False)
+        thread = ServerThread(self._backend_factory())
+        port = thread.start()
+        new_addr = f"127.0.0.1:{port}"
+        self._order[self._order.index(addr)] = new_addr
+        self._threads[new_addr] = thread
+        if self._coord_thread is not None:
+            self._coord_thread.stop(drain=False)
+        self._start_coordinator()
+        return new_addr
+
+    def stop(self) -> None:
+        """Stop the coordinator, every backend, and the temp map dir."""
+        if self._coord_thread is not None:
+            self._coord_thread.stop()
+            self._coord_thread = None
+        for thread in self._threads.values():
+            thread.stop()
+        self._threads.clear()
+        self._order.clear()
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+    def __enter__(self) -> "ReplicatedCluster":
+        """Context-manager entry: start and return self."""
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: stop everything."""
         self.stop()

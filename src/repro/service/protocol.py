@@ -123,6 +123,7 @@ VERBS = (
     "delete",
     "health",
     "stats",
+    "cluster",
 )
 
 # Typed error codes carried in error replies.  BUSY is the only retryable
@@ -729,6 +730,11 @@ _SHARD_REPORT_OPTIONAL = {
     "status": str,
     "stats": dict,
     "integrity": dict,
+    # Replicated-coordinator reports: which partition the replica
+    # serves, and the explicit couldn't-scrape marker stats degrades to
+    # instead of failing the whole aggregate.
+    "partition": str,
+    "unreachable": bool,
 }
 
 

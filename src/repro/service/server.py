@@ -42,6 +42,8 @@ Robustness semantics:
 from __future__ import annotations
 
 import asyncio
+import os
+import threading
 import time
 from dataclasses import dataclass
 
@@ -78,6 +80,49 @@ class ServiceConfig:
     default_deadline_ms: float | None = None
     max_deadline_ms: float = 60_000.0
     drain_timeout_s: float = 10.0
+
+
+# Server-socket hygiene across fork().  The search engine forks worker
+# processes, and tests/benchmarks run several servers in one process —
+# so a fork taken by server B copies server A's listener and accepted
+# connections into a long-lived child.  Killing A then leaves its port
+# bound (connects hang in a zombie backlog) and its connections open (no
+# FIN, peers block in recv) until that unrelated child exits.  Every
+# FramedServer registers its socket fds here; forked children close
+# their inherited copies immediately, restoring normal dead-peer
+# semantics (ECONNREFUSED / EOF) no matter who forked when.
+_server_fds: set[int] = set()
+_server_fds_lock = threading.Lock()
+
+
+def _track_fd(fd: int) -> None:
+    with _server_fds_lock:
+        _server_fds.add(fd)
+
+
+def _untrack_fd(fd: int) -> None:
+    with _server_fds_lock:
+        _server_fds.discard(fd)
+
+
+def _close_server_fds_in_child() -> None:
+    # Runs in the forked child, which inherits the lock in the acquired
+    # state (taken by the before-fork hook so the set is not copied
+    # mid-mutation).
+    _server_fds_lock.release()
+    for fd in list(_server_fds):
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    _server_fds.clear()
+
+
+os.register_at_fork(
+    before=_server_fds_lock.acquire,
+    after_in_parent=_server_fds_lock.release,
+    after_in_child=_close_server_fds_in_child,
+)
 
 
 def _stats_fields(stats: SearchStats) -> dict:
@@ -151,6 +196,8 @@ class FramedServer:
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port
         )
+        for sock in self._server.sockets:
+            _track_fd(sock.fileno())
         self.port = self._server.sockets[0].getsockname()[1]
         return self.port
 
@@ -188,6 +235,8 @@ class FramedServer:
             return
         self._draining = True
         if self._server is not None:
+            for sock in self._server.sockets:
+                _untrack_fd(sock.fileno())
             self._server.close()
             await self._server.wait_closed()
         if drain:
@@ -211,11 +260,17 @@ class FramedServer:
         if task is not None:
             self._conn_tasks.add(task)
             task.add_done_callback(self._conn_tasks.discard)
+        sock = writer.get_extra_info("socket")
+        conn_fd = sock.fileno() if sock is not None else -1
+        if conn_fd >= 0:
+            _track_fd(conn_fd)
         try:
             await self._connection_loop(reader, writer)
         except (asyncio.CancelledError, ConnectionError):
             pass
         finally:
+            if conn_fd >= 0:
+                _untrack_fd(conn_fd)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -371,7 +426,14 @@ class FramedServer:
         return min(deadline, self.config.max_deadline_ms)
 
     async def _dispatch(self, request: protocol.Request) -> dict:
-        handler = self._handlers()[request.verb]
+        handler = self._handlers().get(request.verb)
+        if handler is None:
+            # The verb is valid on the wire but not on this endpoint
+            # (e.g. ``cluster`` against a plain shard): a typed error,
+            # not a hung connection.
+            raise ProtocolError(
+                f"verb {request.verb!r} is not served by this endpoint"
+            )
         deadline_ms = self._effective_deadline(request)
         work = handler(request)
         if deadline_ms is None:

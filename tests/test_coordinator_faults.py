@@ -60,13 +60,26 @@ class FaultProxy:
       * ``"truncate"``   — relay the request, then forward only half of
         the backend's reply frame and close the connection;
       * ``"drop_reply"`` — relay the request, let the backend execute it,
-        read the reply, and close without forwarding it.
+        read the reply, and close without forwarding it;
+      * ``"stall"``      — read the request and sit on it silently (the
+        connection stays open) for ``stall_s`` seconds: a replica that
+        is alive but too slow to answer inside any reasonable deadline;
+      * ``"partial_write"`` — forge a success ack echoing the request id
+        without ever contacting the backend: a replica that acks a
+        write and is killed before its commit lands.
     """
 
-    def __init__(self, backend_port: int, mode: str = "pass", busy_budget: int = 0):
+    def __init__(
+        self,
+        backend_port: int,
+        mode: str = "pass",
+        busy_budget: int = 0,
+        stall_s: float = 30.0,
+    ):
         self.backend_port = backend_port
         self.mode = mode
         self.busy_budget = busy_budget
+        self.stall_s = stall_s
         self.connections = 0
         self.forwarded = 0
         self._lock = threading.Lock()
@@ -136,6 +149,23 @@ class FaultProxy:
                     "proxy-injected backpressure",
                     retryable=True,
                 )
+                conn.sendall(len(body).to_bytes(4, "big") + body)
+                return
+            if mode == "stall":
+                deadline = time.monotonic() + self.stall_s
+                while time.monotonic() < deadline and not self._closing:
+                    time.sleep(0.05)
+                return
+            if mode == "partial_write":
+                decoded = protocol.decode_request(request[4:])
+                fields = {}
+                if decoded.verb == "upload":
+                    fields["stored"] = len(decoded.fields.get("records", ()))
+                elif decoded.verb == "delete":
+                    fields["removed"] = len(
+                        decoded.fields.get("identifiers", ())
+                    )
+                body = protocol.encode_ok(decoded.request_id, fields)
                 conn.sendall(len(body).to_bytes(4, "big") + body)
                 return
             upstream = socket.create_connection(
@@ -288,10 +318,11 @@ class TestShardDeath:
         assert sum(1 for r in reports.values() if r["ok"]) == 1
         survivor_map = coordinator.server.partition_map
         dead_addr = next(a for a, r in reports.items() if not r["ok"])
+        dead_pid = survivor_map.partition_of(dead_addr)
         live_ids = {
             i
-            for i, addr in survivor_map.assignments.items()
-            if addr != dead_addr
+            for i, pid in survivor_map.assignments.items()
+            if pid != dead_pid
         }
         assert set(error.partial_identifiers) <= live_ids
         assert all(
@@ -344,13 +375,11 @@ class TestProxyFaults:
             ok_flags = sorted(r["ok"] for r in error.shards)
             assert ok_flags == [False, True]
             # The healthy shard's matches still came back.
-            healthy_ids = {
-                i
-                for i, addr in (
-                    coordinator.server.partition_map.assignments.items()
+            healthy_ids = set(
+                coordinator.server.partition_map.ids_on(
+                    f"127.0.0.1:{shards[0].port}"
                 )
-                if addr == f"127.0.0.1:{shards[0].port}"
-            }
+            )
             assert set(error.partial_identifiers) <= healthy_ids
         finally:
             coordinator.stop()
@@ -404,6 +433,38 @@ class TestProxyFaults:
             coordinator.stop()
             proxy.close()
 
+    def test_stats_mid_scrape_death_degrades_to_unreachable_marker(
+        self, env
+    ):
+        """A shard dying mid-scrape must not fail the whole ``stats``
+        aggregate: its report degrades to an ``unreachable`` marker and
+        the survivors' sections still come back."""
+        scheme, dataset, _ = env
+        shards = [_in_process_shard(scheme) for _ in range(2)]
+        coordinator = _coordinator_over(
+            [s.port for s in shards], probe_timeout_s=2.0
+        )
+        try:
+            client = ServiceClient("127.0.0.1", coordinator.port)
+            client.upload(dataset)
+            dead_addr = f"127.0.0.1:{shards[1].port}"
+            shards[1].stop(drain=False)
+            snapshot = client.stats()  # must degrade, never raise
+            reports = {r["addr"]: r for r in snapshot["shards"]}
+            assert reports[dead_addr]["ok"] is False
+            assert reports[dead_addr]["unreachable"] is True
+            assert "error" in reports[dead_addr]
+            live_addr = f"127.0.0.1:{shards[0].port}"
+            assert reports[live_addr]["ok"] is True
+            assert "unreachable" not in reports[live_addr]
+            assert snapshot["cluster"]["shards_reporting"] == 1
+            # The aggregate still reflects the whole dataset: counts
+            # come from the map, not from whoever answered the probe.
+            assert snapshot["records"] == len(dataset.records)
+        finally:
+            coordinator.stop()
+            shards[0].stop()
+
     def test_dropped_upload_ack_is_not_blindly_retried(self, env, shards):
         _, dataset, _ = env
         proxy = FaultProxy(shards[1].port, mode="drop_reply")
@@ -430,3 +491,118 @@ class TestProxyFaults:
         finally:
             coordinator.stop()
             proxy.close()
+
+
+# ----------------------------------------------------------------------
+# Replication faults: stalls, failover, and re-replication convergence
+# ----------------------------------------------------------------------
+class TestReplicationFaults:
+    @pytest.fixture()
+    def replica_pair(self, env):
+        """One partition at R=2: a proxied replica plus a direct sibling."""
+        scheme, _, _ = env
+        backends = [_in_process_shard(scheme) for _ in range(2)]
+        proxy = FaultProxy(backends[0].port, mode="pass")
+        coordinator = _coordinator_over(
+            [proxy.port, backends[1].port],
+            replication=2,
+            shard_timeout_s=5.0,
+        )
+        yield backends, proxy, coordinator
+        coordinator.stop()
+        proxy.close()
+        for backend in backends:
+            backend.stop()
+
+    @staticmethod
+    def _steer_reads_to(coordinator, preferred_addr: str) -> None:
+        """Bias replica selection so *preferred_addr* is tried first."""
+        coord = coordinator.server
+        with coord._state_lock:
+            for addr in coord.partition_map.replicas("p0"):
+                coord._loads[addr] = 0 if addr == preferred_addr else 100
+
+    def test_stalled_replica_fails_over_within_deadline(
+        self, env, replica_pair
+    ):
+        _, dataset, token = env
+        backends, proxy, coordinator = replica_pair
+        client = ServiceClient("127.0.0.1", coordinator.port)
+        client.upload(dataset)
+        reference, _ = client.search(token)
+        proxy_addr = f"127.0.0.1:{proxy.port}"
+        self._steer_reads_to(coordinator, proxy_addr)
+        proxy.mode = "stall"
+        contacted_before = proxy.connections
+        started = time.monotonic()
+        response, _ = client.search(token, deadline_ms=4000)
+        elapsed = time.monotonic() - started
+        # The stalled replica was genuinely attempted, the sibling
+        # answered inside the original deadline, results are complete.
+        assert proxy.connections > contacted_before
+        assert elapsed < 4.0
+        assert sorted(response.identifiers) == sorted(
+            reference.identifiers
+        )
+
+    def test_upload_during_stall_marks_dirty_and_repair_converges(
+        self, env, replica_pair
+    ):
+        _, dataset, _ = env
+        backends, proxy, coordinator = replica_pair
+        coord = coordinator.server
+        client = ServiceClient("127.0.0.1", coordinator.port)
+        proxy.mode = "stall"
+        stored = client.upload(dataset, deadline_ms=2500)
+        assert stored == len(dataset.records)
+        proxy_addr = f"127.0.0.1:{proxy.port}"
+        all_ids = {record.identifier for record in dataset.records}
+        # The sibling committed; the stalled replica owes every row.
+        assert backends[1].server.cloud.record_count == len(all_ids)
+        assert backends[0].server.cloud.record_count == 0
+        assert set(coord.partition_map.dirty_on(proxy_addr)) == all_ids
+        # Un-stall and re-replicate: the replica converges and serves.
+        proxy.mode = "pass"
+        healed = coord.repair()
+        assert healed == {proxy_addr: len(all_ids)}
+        assert not coord.partition_map.dirty_on(proxy_addr)
+        assert backends[0].server.cloud.record_count == len(all_ids)
+
+    def test_forged_write_ack_is_audited_and_repaired(
+        self, env, replica_pair
+    ):
+        _, dataset, token = env
+        backends, proxy, coordinator = replica_pair
+        coord = coordinator.server
+        client = ServiceClient("127.0.0.1", coordinator.port)
+        proxy.mode = "partial_write"
+        stored = client.upload(dataset)
+        assert stored == len(dataset.records)
+        proxy_addr = f"127.0.0.1:{proxy.port}"
+        # The forged ack left no trace in the map — and no rows in the
+        # replica behind the proxy.
+        assert not coord.partition_map.dirty_on(proxy_addr)
+        assert backends[0].server.cloud.record_count == 0
+        assert backends[1].server.cloud.record_count == len(
+            dataset.records
+        )
+        proxy.mode = "pass"
+        flagged = coord.audit_replicas()
+        assert flagged == {proxy_addr: -len(dataset.records)}
+        healed = coord.repair()
+        assert healed == {proxy_addr: len(dataset.records)}
+        assert backends[0].server.cloud.record_count == len(
+            dataset.records
+        )
+        # The healed replica serves reads again, with full results —
+        # reference comes from the sibling that always held the data.
+        sibling_addr = f"127.0.0.1:{backends[1].port}"
+        self._steer_reads_to(coordinator, sibling_addr)
+        reference, _ = client.search(token)
+        self._steer_reads_to(coordinator, proxy_addr)
+        contacted_before = proxy.forwarded
+        response, _ = client.search(token)
+        assert proxy.forwarded > contacted_before
+        assert sorted(response.identifiers) == sorted(
+            reference.identifiers
+        )

@@ -462,6 +462,39 @@ class TestCRS011:
         }
         assert flow_findings(write_pkg(tmp_path, fixture)) == []
 
+    def test_verified_retry_path_without_deadline_flagged(self, tmp_path):
+        # The failover retry path re-issues the verb against a sibling
+        # replica; the retry must carry the *remaining* budget too, or a
+        # failed first attempt silently doubles the caller's deadline.
+        fixture = {
+            "svc/coord.py": self.FIXTURE["svc/coord.py"].replace(
+                ".search(request)", ".search_verified(request)"
+            )
+        }
+        findings = flow_findings(write_pkg(tmp_path, fixture))
+        assert [f.rule for f in findings] == ["CRS011"]
+        assert "search_verified" in findings[0].message
+
+    def test_verified_retry_path_with_deadline_clean(self, tmp_path):
+        fixture = {
+            "svc/coord.py": self.FIXTURE["svc/coord.py"].replace(
+                ".search(request)",
+                ".search_verified("
+                "request, deadline_ms=self._remaining_ms(request, 0))",
+            )
+        }
+        assert flow_findings(write_pkg(tmp_path, fixture)) == []
+
+    def test_cluster_probe_without_deadline_flagged(self, tmp_path):
+        fixture = {
+            "svc/coord.py": self.FIXTURE["svc/coord.py"].replace(
+                ".search(request)", ".cluster(request)"
+            )
+        }
+        findings = flow_findings(write_pkg(tmp_path, fixture))
+        assert [f.rule for f in findings] == ["CRS011"]
+        assert "cluster" in findings[0].message
+
     def test_class_without_fan_out_is_exempt(self, tmp_path):
         fixture = {
             "svc/plain.py": """

@@ -1,0 +1,189 @@
+"""Seed-fixed property tests for partition-map invariants.
+
+The partition map is the coordinator's source of truth: which partition
+each record lives on, which R replicas serve each partition, and which
+replicas owe a resync.  Rather than enumerating hand-picked membership
+scenarios, these tests drive the map through long randomized (but
+seed-fixed, hence reproducible) sequences of join / leave / replace /
+assign / dirty / repair events and assert the structural invariants
+after every single step:
+
+* every partition has exactly R distinct replicas, and no replica
+  serves two partitions (so no record is ever reachable through
+  replicas of two different partitions);
+* every assignment points at a live partition, and the id sets served
+  by different partitions are disjoint;
+* stale marks only ever name live replicas, and only cover ids of the
+  replica's own partition;
+* the map survives a serialization round-trip bit-for-bit, at any
+  intermediate state.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.service.coordinator import PartitionMap
+
+R_VALUES = (2, 3)
+SEEDS = (0xA11CE, 0xB0B5EED, 0xC4FE12)
+N_STEPS = 120
+
+
+def _fresh_map(replication: int, counters: dict) -> PartitionMap:
+    pmap = PartitionMap()
+    for _ in range(2):
+        _join(pmap, replication, counters)
+    return pmap
+
+
+def _next_addr(counters: dict) -> str:
+    counters["addr"] += 1
+    return f"10.0.0.{counters['addr'] // 1000}:{counters['addr'] % 1000}"
+
+
+def _join(pmap: PartitionMap, replication: int, counters: dict) -> None:
+    counters["pid"] += 1
+    pmap.add_partition(
+        f"p{counters['pid']}",
+        [_next_addr(counters) for _ in range(replication)],
+    )
+
+
+def _assign(pmap: PartitionMap, rng: random.Random, counters: dict) -> None:
+    # Least-loaded placement, the coordinator's upload rule.
+    counts = {pid: 0 for pid in pmap.partitions}
+    for pid in pmap.assignments.values():
+        counts[pid] += 1
+    for _ in range(rng.randrange(1, 6)):
+        counters["record"] += 1
+        pid = min(counts, key=lambda p: (counts[p], p))
+        counts[pid] += 1
+        pmap.assignments[counters["record"]] = pid
+
+
+def _unassign(pmap: PartitionMap, rng: random.Random) -> None:
+    ids = sorted(pmap.assignments)
+    for identifier in rng.sample(ids, min(len(ids), rng.randrange(1, 4))):
+        pid = pmap.assignments.pop(identifier)
+        # Mirror the coordinator: a delete a replica missed stays on its
+        # stale list until repair clears it, but marks never outlive the
+        # partition's id ownership... clearing here models the ack path.
+        for addr in pmap.replicas(pid):
+            pmap.clear_dirty(addr, (identifier,))
+
+
+def _leave(pmap: PartitionMap, rng: random.Random) -> None:
+    if len(pmap.partitions) <= 1:
+        return
+    donor = rng.choice(sorted(pmap.partitions))
+    survivors = sorted(set(pmap.partitions) - {donor})
+    # Reconciliation moves every record off the departing partition
+    # before the partition (and its replicas) leave the map.
+    for identifier in pmap.ids_in(donor):
+        pmap.assignments[identifier] = rng.choice(survivors)
+    pmap.remove_partition(donor)
+
+
+def _replace(pmap: PartitionMap, rng: random.Random, counters: dict) -> None:
+    pid = rng.choice(sorted(pmap.partitions))
+    old = rng.choice(list(pmap.replicas(pid)))
+    new = _next_addr(counters)
+    pmap.replace_replica(pid, old, new)
+    # The newcomer is empty: it must owe the partition's full id set.
+    assert pmap.dirty_on(new) == frozenset(pmap.ids_in(pid))
+
+
+def _dirty(pmap: PartitionMap, rng: random.Random) -> None:
+    pid = rng.choice(sorted(pmap.partitions))
+    ids = pmap.ids_in(pid)
+    if not ids:
+        return
+    addr = rng.choice(list(pmap.replicas(pid)))
+    pmap.mark_dirty(addr, rng.sample(ids, rng.randrange(1, len(ids) + 1)))
+
+
+def _repair(pmap: PartitionMap, rng: random.Random) -> None:
+    dirty = sorted(addr for addr, ids in pmap.stale.items() if ids)
+    if dirty:
+        pmap.clear_dirty(rng.choice(dirty))
+
+
+def _check_invariants(pmap: PartitionMap, replication: int) -> None:
+    pmap.validate(replication)
+    # Disjoint id ownership across partitions: each record is assigned
+    # to exactly one pid, and validate() has pinned each replica to
+    # exactly one pid — so cross-partition replica id sets must be
+    # disjoint.
+    seen: dict[int, str] = {}
+    for pid in pmap.partitions:
+        for identifier in pmap.ids_in(pid):
+            assert identifier not in seen or seen[identifier] == pid
+            seen[identifier] = pid
+    assert len(seen) == len(pmap.assignments) == pmap.record_count
+    # Stale marks only cover ids of the replica's own partition or ids
+    # that no longer exist (a missed delete awaiting repair).
+    for addr, ids in pmap.stale.items():
+        pid = pmap.partition_of(addr)
+        assert pid is not None
+        for identifier in ids:
+            owner = pmap.assignments.get(identifier)
+            assert owner is None or owner == pid
+
+
+@pytest.mark.parametrize("replication", R_VALUES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_partition_map_invariants_hold_under_membership_churn(
+    replication, seed
+):
+    rng = random.Random(seed)
+    counters = {"addr": 0, "pid": 0, "record": 0}
+    pmap = _fresh_map(replication, counters)
+    events = (
+        ("assign", lambda: _assign(pmap, rng, counters)),
+        ("assign", lambda: _assign(pmap, rng, counters)),
+        ("unassign", lambda: _unassign(pmap, rng)),
+        ("join", lambda: _join(pmap, replication, counters)),
+        ("leave", lambda: _leave(pmap, rng)),
+        ("replace", lambda: _replace(pmap, rng, counters)),
+        ("dirty", lambda: _dirty(pmap, rng)),
+        ("repair", lambda: _repair(pmap, rng)),
+    )
+    for step in range(N_STEPS):
+        name, event = rng.choice(events)
+        event()
+        _check_invariants(pmap, replication)
+        if step % 10 == 0:
+            clone = PartitionMap.from_dict(pmap.to_dict())
+            assert clone.to_dict() == pmap.to_dict()
+            _check_invariants(clone, replication)
+
+
+@pytest.mark.parametrize("replication", R_VALUES)
+def test_partition_map_survives_disk_round_trip_mid_churn(
+    tmp_path, replication
+):
+    rng = random.Random(0xD15C)
+    counters = {"addr": 0, "pid": 0, "record": 0}
+    pmap = _fresh_map(replication, counters)
+    for _ in range(40):
+        _assign(pmap, rng, counters)
+        _replace(pmap, rng, counters)
+        pmap.save(tmp_path)
+        loaded = PartitionMap.load(tmp_path)
+        assert loaded is not None
+        assert loaded.to_dict() == pmap.to_dict()
+        _check_invariants(loaded, replication)
+
+
+def test_rejects_replica_serving_two_partitions():
+    pmap = PartitionMap()
+    pmap.add_partition("p0", ["a:1", "a:2"])
+    with pytest.raises(Exception):
+        pmap.add_partition("p1", ["a:2", "a:3"])
+    pmap.add_partition("p1", ["a:3", "a:4"])
+    with pytest.raises(Exception):
+        pmap.replace_replica("p1", "a:3", "a:1")
+    pmap.validate(2)

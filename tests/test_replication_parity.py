@@ -1,0 +1,302 @@
+"""Replication parity: an R-replicated cluster ≡ a single server.
+
+Replication must be an invisible optimization, exactly like the
+partitioning it composes with.  For R=2 and R=3 clusters these tests pin:
+
+* **result parity** — the coordinator's merged matches equal the single
+  unreplicated server's, query by query;
+* **leakage parity** — every query is served by exactly one replica per
+  partition, and whichever replica that was observed exactly the single
+  server's leakage restricted to its partition: same token bytes, and
+  access patterns that union (across partitions) to the single server's;
+* **proof parity** — verified queries pass the client's
+  :class:`~repro.integrity.ResultVerifier` against the same client-side
+  :class:`~repro.integrity.IntegrityState`, no matter which replica
+  attested each partition;
+* **failover parity** — all of the above survive killing a replica
+  mid-life and re-replicating onto a fresh one.
+
+The kill/replace test must run last in each parameter group: it mutates
+the module-scoped cluster (the coordinator is rebuilt on a new port).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.cloud.codec import encode_ciphertext, encode_token
+from repro.cloud.messages import UploadDataset, UploadRecord
+from repro.core.crse2 import CRSE2Scheme
+from repro.core.geometry import Circle, DataSpace, point_in_circle
+from repro.core.provision import group_for_crse2
+from repro.integrity import (
+    IntegrityState,
+    ResultVerifier,
+    TagKeys,
+    membership_tag,
+    record_tag,
+)
+from repro.service import (
+    ReplicatedCluster,
+    ServerThread,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+)
+
+N_RECORDS = 18
+N_PARTITIONS = 2
+QUERIES = (
+    ((16, 16), 12),
+    ((16, 16), 12),  # repeated query: search-pattern parity
+    ((6, 6), 4),
+)
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(0x5EED)
+    space = DataSpace(2, 32)
+    scheme = CRSE2Scheme(space, group_for_crse2(space, "fast", rng))
+    key = scheme.gen_key(rng)
+    keys = TagKeys.derive(scheme, key)
+    points = [
+        (rng.randrange(space.t), rng.randrange(space.t))
+        for _ in range(N_RECORDS)
+    ]
+    records = []
+    for identifier, point in enumerate(points):
+        payload = encode_ciphertext(scheme, scheme.encrypt(key, point, rng))
+        records.append(
+            UploadRecord(
+                identifier=identifier,
+                payload=payload,
+                tag=record_tag(keys, identifier, payload),
+                mtag=membership_tag(keys, identifier),
+            )
+        )
+    dataset = UploadDataset(records=tuple(records))
+    tokens = tuple(
+        encode_token(
+            scheme,
+            scheme.gen_token(key, Circle.from_radius(center, radius), rng),
+        )
+        for center, radius in QUERIES
+    )
+    return scheme, points, dataset, tokens, keys
+
+
+@pytest.fixture(scope="module")
+def single(env):
+    """The unreplicated reference: one server holding everything."""
+    scheme, _, dataset, tokens, _ = env
+    handle = ServerThread(ServiceServer(scheme, config=ServiceConfig()))
+    port = handle.start()
+    try:
+        client = ServiceClient("127.0.0.1", port)
+        client.upload(dataset)
+        results = [client.search(token) for token in tokens]
+        # Leakage snapshots taken now: later verified queries append to
+        # the live log, and the parity tests compare per-query history.
+        log = handle.server.cloud.log
+        token_sizes = list(log.token_sizes)
+        access_pattern = [list(hits) for hits in log.access_pattern]
+        yield {
+            "server": handle.server,
+            "client": client,
+            "results": results,
+            "token_sizes": token_sizes,
+            "access_pattern": access_pattern,
+        }
+    finally:
+        handle.stop()
+
+
+@pytest.fixture(scope="module", params=(2, 3), ids=("R2", "R3"))
+def replicated(request, env):
+    """A partitions×R cluster with the same dataset and query history."""
+    scheme, _, dataset, tokens, keys = env
+    cluster = ReplicatedCluster(
+        lambda: ServiceServer(scheme, config=ServiceConfig()),
+        partitions=N_PARTITIONS,
+        replication=request.param,
+    )
+    cluster.start()
+    try:
+        client = ServiceClient("127.0.0.1", cluster.coordinator_port)
+        client.upload(dataset)
+        state = IntegrityState()
+        state.note_upload(keys, (r.identifier for r in dataset.records))
+        results = [client.search(token) for token in tokens]
+        yield {
+            "replication": request.param,
+            "cluster": cluster,
+            "client": client,
+            "results": results,
+            "state": state,
+        }
+    finally:
+        cluster.stop()
+
+
+class TestReplicatedParity:
+    def test_results_match_single_server(self, single, replicated):
+        for (single_resp, _), (coord_resp, _) in zip(
+            single["results"], replicated["results"]
+        ):
+            assert sorted(coord_resp.identifiers) == sorted(
+                single_resp.identifiers
+            )
+
+    def test_results_match_plaintext_filter(self, env, replicated):
+        _, points, _, _, _ = env
+        for (center, radius), (coord_resp, _) in zip(
+            QUERIES, replicated["results"]
+        ):
+            circle = Circle.from_radius(center, radius)
+            expected = sorted(
+                i
+                for i, point in enumerate(points)
+                if point_in_circle(point, circle)
+            )
+            assert sorted(coord_resp.identifiers) == expected
+
+    def test_scan_work_is_single_server_work_not_r_times(
+        self, single, replicated
+    ):
+        # R replicas hold R copies, but each query scans each record
+        # once: replication buys availability, not extra leakage or work.
+        for (_, single_stats), (_, coord_stats) in zip(
+            single["results"], replicated["results"]
+        ):
+            assert (
+                coord_stats["records_scanned"]
+                == single_stats["records_scanned"]
+                == N_RECORDS
+            )
+            assert (
+                coord_stats["sub_token_evaluations"]
+                == single_stats["sub_token_evaluations"]
+            )
+
+    def test_each_query_served_by_one_replica_per_partition(
+        self, replicated
+    ):
+        cluster = replicated["cluster"]
+        coordinator = cluster.coordinator
+        for pid in sorted(coordinator.partition_map.partitions):
+            logs = [
+                cluster.backend(addr).cloud.log
+                for addr in coordinator.partition_map.replicas(pid)
+            ]
+            assert sum(log.queries_served for log in logs) == len(QUERIES)
+
+    def test_leakage_unions_to_single_server(self, single, replicated):
+        """Whichever replica served, it observed the single server's
+        leakage restricted to its partition — nothing more."""
+        cluster = replicated["cluster"]
+        coordinator = cluster.coordinator
+        for pid in sorted(coordinator.partition_map.partitions):
+            partition_ids = set(coordinator.partition_map.ids_in(pid))
+            expected_patterns = Counter(
+                frozenset(set(single["access_pattern"][q]) & partition_ids)
+                for q in range(len(QUERIES))
+            )
+            expected_sizes = Counter(single["token_sizes"])
+            observed_patterns: Counter = Counter()
+            observed_sizes: Counter = Counter()
+            for addr in coordinator.partition_map.replicas(pid):
+                log = cluster.backend(addr).cloud.log
+                observed_patterns.update(
+                    frozenset(hits) for hits in log.access_pattern
+                )
+                observed_sizes.update(log.token_sizes)
+            assert observed_patterns == expected_patterns
+            assert observed_sizes == expected_sizes
+
+    def test_replicas_of_a_partition_hold_identical_data(self, replicated):
+        cluster = replicated["cluster"]
+        coordinator = cluster.coordinator
+        for pid in sorted(coordinator.partition_map.partitions):
+            canonical = set(coordinator.partition_map.ids_in(pid))
+            for addr in coordinator.partition_map.replicas(pid):
+                assert (
+                    cluster.backend(addr).cloud.record_count
+                    == len(canonical)
+                )
+
+    def test_verified_search_passes_whoever_attests(
+        self, env, single, replicated
+    ):
+        _, _, _, tokens, keys = env
+        verifier = ResultVerifier(keys)
+        response, _, section = replicated["client"].search_verified(
+            tokens[0]
+        )
+        report = verifier.verify(
+            tokens[0], response.identifiers, section, replicated["state"]
+        )
+        assert report.shards == N_PARTITIONS
+        single_resp, _, single_section = (
+            single["client"].search_verified(tokens[0])
+        )
+        assert sorted(response.identifiers) == sorted(
+            single_resp.identifiers
+        )
+        single_report = verifier.verify(
+            tokens[0],
+            single_resp.identifiers,
+            single_section,
+            replicated["state"],
+        )
+        assert report.records == single_report.records
+
+    def test_zz_parity_survives_kill_and_re_replication(
+        self, env, single, replicated
+    ):
+        """Runs last: kills a replica, verifies degraded parity, then
+        re-replicates onto a fresh backend and verifies full parity."""
+        _, _, _, tokens, keys = env
+        cluster = replicated["cluster"]
+        victim = cluster.addrs[0]
+        victim_pid = cluster.coordinator.partition_map.partition_of(victim)
+        cluster.kill(victim)
+        client = replicated["client"]
+        verifier = ResultVerifier(keys)
+        # Degraded: the sibling replica serves, results and proofs hold.
+        for token, (single_resp, _) in zip(tokens, single["results"]):
+            response, _ = client.search(token, deadline_ms=10_000)
+            assert sorted(response.identifiers) == sorted(
+                single_resp.identifiers
+            )
+        response, _, section = client.search_verified(
+            tokens[0], deadline_ms=10_000
+        )
+        report = verifier.verify(
+            tokens[0], response.identifiers, section, replicated["state"]
+        )
+        assert report.shards == N_PARTITIONS
+        # Re-replicate onto a fresh empty backend and re-check parity.
+        new_addr = cluster.replace(victim)
+        client = ServiceClient("127.0.0.1", cluster.coordinator_port)
+        coordinator = cluster.coordinator
+        assert not coordinator.partition_map.dirty_on(new_addr)
+        canonical = set(coordinator.partition_map.ids_in(victim_pid))
+        assert cluster.backend(new_addr).cloud.record_count == len(
+            canonical
+        )
+        for token, (single_resp, _) in zip(tokens, single["results"]):
+            response, _ = client.search(token, deadline_ms=10_000)
+            assert sorted(response.identifiers) == sorted(
+                single_resp.identifiers
+            )
+        response, _, section = client.search_verified(
+            tokens[0], deadline_ms=10_000
+        )
+        report = verifier.verify(
+            tokens[0], response.identifiers, section, replicated["state"]
+        )
+        assert report.shards == N_PARTITIONS
